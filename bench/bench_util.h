@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration binaries.
+ *
+ * Each bench binary reproduces one table or figure of the paper
+ * (see DESIGN.md's per-experiment index): it runs the relevant
+ * workload x machine x policy cross product and prints the same
+ * rows/series the paper reports, with textual bars standing in for
+ * the graphical figures.
+ */
+
+#ifndef CDPC_BENCH_BENCH_UTIL_H
+#define CDPC_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/spec.h"
+#include "workloads/workload.h"
+
+namespace cdpc::bench
+{
+
+/** The CPU counts the paper's simulation figures sweep. */
+inline const std::vector<std::uint32_t> kSimCpuCounts = {1, 2, 4, 8, 16};
+
+/** The CPU counts of the AlphaServer validation (Section 7). */
+inline const std::vector<std::uint32_t> kAlphaCpuCounts = {1, 2, 4, 8};
+
+/** Standard header printed by every bench binary. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "=== " << what << " ===\n"
+              << "Reproduces: " << paper_ref << "\n"
+              << "Model: 1/8-scale (cache 1MB->128KB, page 4KB->512B, "
+                 "line 128B->64B, data sets /8); see DESIGN.md.\n\n";
+}
+
+/** Normalized stall breakdown columns used by several figures. */
+inline std::vector<std::string>
+mcpiColumns(const WeightedTotals &t)
+{
+    auto pct = [&](double v) {
+        return t.memStall > 0 ? fmtF(100.0 * v / t.memStall, 1) + "%"
+                              : std::string("-");
+    };
+    return {
+        fmtF(t.mcpi(), 2),
+        pct(t.l2HitStall),
+        pct(t.missStallOf(MissKind::Cold) +
+            t.missStallOf(MissKind::Capacity)),
+        pct(t.missStallOf(MissKind::Conflict)),
+        pct(t.communicationStall()),
+    };
+}
+
+/** The header matching mcpiColumns(). */
+inline std::vector<std::string>
+mcpiHeader()
+{
+    return {"MCPI", "on-chip", "cold+cap", "conflict", "comm"};
+}
+
+} // namespace cdpc::bench
+
+#endif // CDPC_BENCH_BENCH_UTIL_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Extension experiment: how much associativity replaces CDPC?
+ *
+ * Section 6.1: "tomcatv has seven large data structures and only an
+ * eight-way set-associative cache of size 1MB would eliminate all
+ * conflicts for 16 processors." This bench sweeps the external
+ * cache's associativity from 1 to 8 ways at constant capacity and
+ * measures the conflict stall under page coloring vs CDPC — checking
+ * that claim directly, and showing that even high associativity does
+ * not recover CDPC's cache-utilization benefit.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace cdpc;
+using namespace cdpc::bench;
+
+int
+main()
+{
+    banner("Extension — Associativity Sweep vs CDPC",
+           "validates the Section 6.1 eight-way claim; 16 CPUs");
+    constexpr std::uint32_t ncpus = 16;
+
+    for (const char *app : {"101.tomcatv", "102.swim", "104.hydro2d"}) {
+        std::cout << "--- " << app << " ---\n";
+        TextTable table({"assoc", "colors", "PC combined(M)",
+                         "PC conflict stall(M)", "CDPC combined(M)",
+                         "CDPC speedup"});
+        for (std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+            double combined[2], conflict_pc = 0.0;
+            std::uint64_t colors = 0;
+            int i = 0;
+            for (MappingPolicy pol :
+                 {MappingPolicy::PageColoring, MappingPolicy::Cdpc}) {
+                ExperimentConfig cfg;
+                cfg.machine = MachineConfig::paperScaled(ncpus);
+                cfg.machine.l2.assoc = assoc;
+                cfg.machine.validate();
+                colors = cfg.machine.numColors();
+                cfg.mapping = pol;
+                ExperimentResult r = runWorkload(app, cfg);
+                combined[i] = r.totals.combinedTime();
+                if (pol == MappingPolicy::PageColoring) {
+                    conflict_pc =
+                        r.totals.missStallOf(MissKind::Conflict);
+                }
+                i++;
+            }
+            table.addRow({
+                std::to_string(assoc) + "-way",
+                std::to_string(colors),
+                fmtF(combined[0] / 1e6, 0),
+                fmtF(conflict_pc / 1e6, 0),
+                fmtF(combined[1] / 1e6, 0),
+                fmtF(combined[0] / combined[1], 2) + "x",
+            });
+        }
+        std::cout << table.render() << "\n";
+    }
+    std::cout << "Expected: the page-coloring conflict stall shrinks "
+                 "with associativity\nand is largely gone by 8-way "
+                 "(the paper's tomcatv claim), while CDPC\nachieves "
+                 "the same with a direct-mapped cache.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 2: high-level characterization of the workloads.
+ *
+ * Four complementary views for all ten benchmarks at 1-16 CPUs on
+ * the base machine (1MB-class direct-mapped external cache, IRIX
+ * page coloring):
+ *   1. combined execution time (sum over CPUs) split into
+ *      execution / memory stall / overheads;
+ *   2. the overheads split into kernel, load imbalance, sequential,
+ *      suppressed and synchronization time;
+ *   3. memory system behaviour (MCPI) split into on-chip,
+ *      replacement and communication stalls;
+ *   4. bus utilization split into data, writeback and upgrade
+ *      occupancy.
+ */
+
+#include "bench/bench_util.h"
+
+using namespace cdpc;
+using namespace cdpc::bench;
+
+int
+main()
+{
+    banner("Figure 2 — High Level Characterization of the Workloads",
+           "Figure 2 (Section 4.1); base config, page coloring");
+
+    for (const WorkloadInfo &w : allWorkloads()) {
+        std::cout << "--- " << w.name << " (" << w.description
+                  << ") ---\n";
+        TextTable table({"P", "combined(M)", "exec%", "mem%", "ovhd%",
+                         "kern%", "imb%", "seq%", "supp%", "sync%",
+                         "MCPI", "on-chip%", "repl%", "comm%",
+                         "bus", "data%", "wb%", "upg%"});
+
+        double base_combined = 0.0;
+        for (std::uint32_t p : kSimCpuCounts) {
+            ExperimentConfig cfg;
+            cfg.machine = MachineConfig::paperScaled(p);
+            cfg.mapping = MappingPolicy::PageColoring;
+            ExperimentResult r = runWorkload(w.name, cfg);
+            const WeightedTotals &t = r.totals;
+
+            double combined = t.combinedTime();
+            if (p == 1)
+                base_combined = combined;
+            auto pct_of = [&](double v, double whole) {
+                return whole > 0 ? fmtF(100.0 * v / whole, 1)
+                                 : std::string("0.0");
+            };
+            double bus_busy =
+                t.busDataBusy + t.busWritebackBusy + t.busUpgradeBusy;
+            table.addRow({
+                std::to_string(p),
+                fmtF(combined / 1e6, 0),
+                pct_of(t.busy, combined),
+                pct_of(t.memStall, combined),
+                pct_of(t.overheadTime(), combined),
+                pct_of(t.kernel, combined),
+                pct_of(t.imbalance, combined),
+                pct_of(t.sequential, combined),
+                pct_of(t.suppressed, combined),
+                pct_of(t.sync, combined),
+                fmtF(t.mcpi(), 2),
+                pct_of(t.l2HitStall, t.memStall),
+                pct_of(t.replacementStall(), t.memStall),
+                pct_of(t.communicationStall(), t.memStall),
+                fmtF(t.busUtilization() * 100.0, 1) + "%",
+                pct_of(t.busDataBusy, bus_busy),
+                pct_of(t.busWritebackBusy, bus_busy),
+                pct_of(t.busUpgradeBusy, bus_busy),
+            });
+        }
+        std::cout << table.render();
+        // A constant combined time across P means linear speedup.
+        std::cout << "speedup@16 (combined-time ratio vs 1P deviation "
+                     "from 1.0 indicates overheads)\n\n";
+        (void)base_combined;
+    }
+    return 0;
+}

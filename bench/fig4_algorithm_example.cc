@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Figure 4: the CDPC algorithm walked through on the paper's style
+ * of example — two data structures distributed across two CPUs —
+ * printing the intermediate state after each of the five steps.
+ */
+
+#include "bench/bench_util.h"
+#include "cdpc/runtime.h"
+#include "workloads/builder.h"
+#include "compiler/compiler.h"
+
+using namespace cdpc;
+using namespace cdpc::bench;
+
+int
+main()
+{
+    banner("Figure 4 — The CDPC Algorithm, Step by Step",
+           "Figure 4 (Section 5.2); illustrative 2-CPU example");
+
+    // Two arrays of 8 pages each, row-partitioned across 2 CPUs,
+    // with one page of boundary communication — the flavor of the
+    // paper's worked example.
+    ProgramBuilder b("fig4-example");
+    std::uint32_t a0 = b.array2d("A", 16, 32); // 16 rows x 32 cols x 8B
+    std::uint32_t a1 = b.array2d("B", 16, 32);
+
+    Phase ph;
+    ph.name = "sweep";
+    LoopNest nest;
+    nest.label = "stencil";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {14, 32};
+    nest.instsPerIter = 200; // keep it above the suppression bar
+    nest.refs = {
+        b.at2(a0, 0, 1, 0, 0), b.at2(a0, 0, 1, 1, 0),
+        b.at2(a1, 0, 1, 0, 0, true),
+    };
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program prog = b.build();
+
+    CompilerOptions copts;
+    copts.parallelizer.suppressionThresholdInsts = 1;
+    CompileResult compiled = compileProgram(prog, copts);
+
+    std::cout << "Compiler summaries:\n";
+    for (const auto &p : compiled.summaries.partitions) {
+        std::cout << "  partition: array "
+                  << prog.arrays[p.arrayId].name << ", unit "
+                  << p.unitBytes << "B x " << p.numUnits << " units, "
+                  << (p.policy == PartitionPolicy::Even ? "even"
+                                                        : "blocked")
+                  << "/"
+                  << (p.dir == PartitionDir::Forward ? "fwd" : "rev")
+                  << "\n";
+    }
+    for (const auto &c : compiled.summaries.comms) {
+        std::cout << "  comm: array " << prog.arrays[c.arrayId].name
+                  << ", shift of " << c.boundaryUnits << " unit(s)\n";
+    }
+    for (const auto &g : compiled.summaries.groups) {
+        std::cout << "  group: (" << prog.arrays[g.arrayA].name << ", "
+                  << prog.arrays[g.arrayB].name << ")\n";
+    }
+
+    CdpcParams params;
+    params.numCpus = 2;
+    params.pageBytes = 512;
+    params.numColors = 8; // a small cache so the wrap is visible
+    CdpcPlan plan = computeCdpcPlan(compiled.summaries, params);
+
+    std::cout << "\nStep 1 — uniform access segments:\n";
+    for (std::size_t i = 0; i < plan.segments.size(); i++) {
+        const Segment &s = plan.segments[i];
+        std::cout << "  seg" << i << ": array "
+                  << prog.arrays[s.arrayId].name << ", pages ["
+                  << s.firstVpn << ", " << s.lastVpn() << "], procs "
+                  << s.procs.str() << "\n";
+    }
+
+    std::cout << "\nStep 2 — uniform access sets in path order:\n";
+    for (const UniformSet &set : plan.sets) {
+        std::cout << "  set " << set.procs.str() << ": segments {";
+        for (std::size_t id : set.segIds)
+            std::cout << " " << id;
+        std::cout << " }\n";
+    }
+
+    std::cout << "\nStep 4 — cyclic rotations chosen:\n";
+    for (std::size_t id : plan.coloring.segmentOrder) {
+        std::cout << "  seg" << id << ": rotation "
+                  << plan.coloring.rotation[id] << ", start color "
+                  << plan.coloring.startColor[id] << "\n";
+    }
+
+    std::cout << "\nStep 5 — final page -> color hints (page order):\n  ";
+    for (std::size_t i = 0; i < plan.coloring.hints.size(); i++) {
+        const ColorHint &h = plan.coloring.hints[i];
+        std::cout << h.vpn << ":" << h.color
+                  << (i + 1 < plan.coloring.hints.size() ? ", " : "\n");
+        if (i % 8 == 7)
+            std::cout << "  ";
+    }
+
+    std::cout << "\nNote how the starting pages of A and B no longer "
+                 "share a color,\nand each CPU's pages occupy a "
+                 "contiguous run of colors.\n";
+    return 0;
+}

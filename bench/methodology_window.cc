@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Section 3.3's methodology check: representative execution windows.
+ *
+ * "We analyze the variation in execution behavior between different
+ *  occurrences of each phase. We found that in all but one case
+ *  (wave5), the standard deviation of both the number of
+ *  instructions and the miss rate is less than 1% of the mean."
+ *
+ * This bench replays every workload's steady phases several times
+ * (after a warm-up occurrence, as the paper discards cold-start
+ * transients) and reports the occurrence-to-occurrence variation of
+ * instructions and external-cache misses — the evidence that
+ * simulating a few occurrences and weighting by the occurrence count
+ * is sound.
+ */
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "machine/simulator.h"
+#include "mem/memsystem.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+#include "compiler/compiler.h"
+
+using namespace cdpc;
+using namespace cdpc::bench;
+
+int
+main()
+{
+    banner("Methodology — Representative Execution Windows",
+           "Section 3.3: per-phase occurrence variation");
+    constexpr std::uint32_t ncpus = 8;
+    constexpr int kRounds = 6;
+
+    TextTable table({"workload", "phase", "insts mean(M)",
+                     "insts stddev", "misses mean(K)",
+                     "miss stddev"});
+
+    for (const WorkloadInfo &w : allWorkloads()) {
+        Program prog = w.build();
+        MachineConfig machine = MachineConfig::paperScaled(ncpus);
+        CompilerOptions copts;
+        copts.aligner.lineBytes = machine.l2.lineBytes;
+        copts.aligner.l1SpanBytes =
+            machine.l1d.sizeBytes / machine.l1d.assoc;
+        compileProgram(prog, copts);
+
+        PhysMem phys(machine.physPages, machine.numColors());
+        PageColoringPolicy policy(machine.numColors());
+        VirtualMemory vm(machine, phys, policy);
+        MemorySystem mem(machine, vm);
+        MpSimulator sim(machine, mem);
+        SimOptions opts;
+        sim.runPhase(prog, prog.init, opts);
+
+        for (const Phase &phase : prog.steady) {
+            // One warm-up occurrence, then measure the rest.
+            sim.runPhase(prog, phase, opts);
+            Distribution insts, misses;
+            for (int r = 0; r < kRounds; r++) {
+                RunTotals before = sim.snapshot();
+                sim.runPhase(prog, phase, opts);
+                RunTotals after = sim.snapshot();
+                double di = 0.0;
+                for (std::size_t c = 0; c < after.cpus.size(); c++) {
+                    di += static_cast<double>(after.cpus[c].insts -
+                                              before.cpus[c].insts);
+                }
+                insts.sample(di);
+                misses.sample(static_cast<double>(
+                    after.mem.l2Misses - before.mem.l2Misses));
+            }
+            auto rel = [](const Distribution &d) {
+                return d.mean() > 0
+                           ? fmtF(100.0 * d.stddev() / d.mean(), 2) +
+                                 "%"
+                           : std::string("-");
+            };
+            table.addRow({
+                w.name,
+                phase.name,
+                fmtF(insts.mean() / 1e6, 2),
+                rel(insts),
+                fmtF(misses.mean() / 1e3, 1),
+                rel(misses),
+            });
+        }
+        table.addSeparator();
+    }
+    std::cout << table.render();
+    std::cout << "\nThe paper found <1% variation everywhere except "
+                 "one wave5 phase.\nOur synthetic kernels are exactly "
+                 "periodic, so near-zero variation\nvalidates the "
+                 "weighted-occurrence methodology every other bench\n"
+                 "relies on (wave5's real-data 30% miss variation is "
+                 "a property of\nits input file that a synthetic "
+                 "stand-in does not carry).\n";
+    return 0;
+}

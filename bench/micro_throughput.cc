@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: raw throughput of the simulator
+ * substrate (cache lookups, full memory-system accesses, TLB, CDPC
+ * plan computation, whole-experiment runs). These bound how much
+ * paper-scale simulation the figure benches can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cdpc/runtime.h"
+#include "common/logging.h"
+#include "compiler/compiler.h"
+#include "harness/experiment.h"
+#include "mem/cache.h"
+#include "mem/memsystem.h"
+#include "mem/tlb.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace cdpc;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{128 * 1024, 1, 64});
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        Addr line = (addr * 64) % (1 << 22);
+        CacheLine *l = cache.access(line * 64, line);
+        if (!l)
+            cache.insert(line * 64, line, Mesi::Shared);
+        addr++;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    Tlb tlb(64);
+    std::uint64_t vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.access(vpn % 256));
+        vpn += 3;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_MemSystemAccess(benchmark::State &state)
+{
+    auto ncpus = static_cast<std::uint32_t>(state.range(0));
+    MachineConfig m = MachineConfig::paperScaled(ncpus);
+    PhysMem phys(m.physPages, m.numColors());
+    PageColoringPolicy policy(m.numColors());
+    VirtualMemory vm(m, phys, policy);
+    MemorySystem mem(m, vm);
+
+    std::uint64_t i = 0;
+    Cycles now = 0;
+    for (auto _ : state) {
+        MemAccess a;
+        a.va = (i * 64) % (4 << 20);
+        a.kind = (i & 3) == 0 ? AccessKind::Store : AccessKind::Load;
+        AccessOutcome out =
+            mem.access(static_cast<CpuId>(i % ncpus), a, now);
+        now += 10 + out.stall;
+        i++;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemSystemAccess)->Arg(1)->Arg(8)->Arg(16);
+
+void
+BM_CdpcPlan(benchmark::State &state)
+{
+    Program prog = buildWorkload("102.swim");
+    CompileResult compiled = compileProgram(prog);
+    CdpcParams params = cdpcParams(MachineConfig::paperScaled(16));
+    for (auto _ : state) {
+        CdpcPlan plan = computeCdpcPlan(compiled.summaries, params);
+        benchmark::DoNotOptimize(plan.coloring.hints.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CdpcPlan);
+
+void
+BM_FullExperiment(benchmark::State &state)
+{
+    auto ncpus = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(ncpus);
+        cfg.mapping = MappingPolicy::Cdpc;
+        ExperimentResult r = runWorkload("104.hydro2d", cfg);
+        benchmark::DoNotOptimize(r.totals.wall);
+    }
+}
+BENCHMARK(BM_FullExperiment)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

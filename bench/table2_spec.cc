@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Table 2: execution time and SPEC95fp rating on the (modeled)
+ * AlphaServer with bin hopping, page coloring and CDPC.
+ *
+ * Per-benchmark SPEC ratios at 1, 4 and 8 CPUs for the three
+ * policies, anchored so the uniprocessor bin-hopping rating is the
+ * paper's 13.7 (see harness/spec.h). The paper's headline numbers
+ * to reproduce in *shape*: CDPC improves the 8-CPU rating by ~8%
+ * over bin hopping and ~20% over page coloring, and the rating
+ * improves ~2.9x at 4 CPUs and ~4.2x at 8 CPUs over one processor.
+ */
+
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace cdpc;
+using namespace cdpc::bench;
+
+int
+main()
+{
+    banner("Table 2 — SPEC95fp Ratings on the AlphaServer Model",
+           "Table 2 (Section 7)");
+
+    const MappingPolicy policies[] = {MappingPolicy::BinHopping,
+                                      MappingPolicy::PageColoring,
+                                      MappingPolicy::CdpcTouchOrder};
+    const char *pol_names[] = {"bin-hopping", "page-coloring", "CDPC"};
+    const std::uint32_t cpu_counts[] = {1, 4, 8};
+
+    // wall[policy][ncpus][workload]
+    std::map<std::string, std::map<std::uint32_t,
+                                   std::map<std::string, double>>> wall;
+
+    for (const WorkloadInfo &w : allWorkloads()) {
+        for (std::uint32_t p : cpu_counts) {
+            for (int i = 0; i < 3; i++) {
+                ExperimentConfig cfg;
+                cfg.machine = MachineConfig::alphaScaled(p);
+                cfg.mapping = policies[i];
+                ExperimentResult r = runWorkload(w.name, cfg);
+                wall[pol_names[i]][p][w.name] = r.totals.wall;
+            }
+        }
+    }
+
+    for (std::uint32_t p : cpu_counts) {
+        std::cout << "--- " << p << " CPU" << (p > 1 ? "s" : "")
+                  << " ---\n";
+        TextTable table({"benchmark", "bin-hopping", "page-coloring",
+                         "CDPC", "best-static", "CDPC>=best?"});
+        std::map<std::string, std::vector<double>> ratios;
+        for (const WorkloadInfo &w : allWorkloads()) {
+            double base = wall["bin-hopping"][1][w.name];
+            double r_bh = specRatio(base, wall["bin-hopping"][p][w.name]);
+            double r_pc =
+                specRatio(base, wall["page-coloring"][p][w.name]);
+            double r_cd = specRatio(base, wall["CDPC"][p][w.name]);
+            ratios["bin-hopping"].push_back(r_bh);
+            ratios["page-coloring"].push_back(r_pc);
+            ratios["CDPC"].push_back(r_cd);
+            double best_static = std::max(r_bh, r_pc);
+            table.addRow({
+                w.name,
+                fmtF(r_bh, 1),
+                fmtF(r_pc, 1),
+                fmtF(r_cd, 1),
+                fmtF(best_static, 1),
+                r_cd >= 0.97 * best_static ? "yes" : "NO",
+            });
+        }
+        table.addSeparator();
+        double g_bh = specRating(ratios["bin-hopping"]);
+        double g_pc = specRating(ratios["page-coloring"]);
+        double g_cd = specRating(ratios["CDPC"]);
+        table.addRow({"SPEC95fp (geo mean)", fmtF(g_bh, 1),
+                      fmtF(g_pc, 1), fmtF(g_cd, 1), "", ""});
+        std::cout << table.render();
+        if (p == 8) {
+            std::cout << "CDPC vs bin hopping: +"
+                      << fmtF(100.0 * (g_cd / g_bh - 1.0), 1)
+                      << "% (paper: +8%)\n"
+                      << "CDPC vs page coloring: +"
+                      << fmtF(100.0 * (g_cd / g_pc - 1.0), 1)
+                      << "% (paper: +20%)\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

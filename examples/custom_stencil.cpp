@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Using the library on your own application: build a red/black
+ * Gauss-Seidel solver in the loop-nest IR, run the full compiler
+ * pipeline, inspect the CDPC plan, and compare page mapping
+ * policies on it.
+ *
+ * This is the path a user takes for a workload that is not one of
+ * the bundled SPEC95fp stand-ins.
+ *
+ * Usage: custom_stencil [n] [ncpus]     (defaults: 192, 8)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "workloads/builder.h"
+
+using namespace cdpc;
+
+namespace
+{
+
+/** A 5-point red/black Gauss-Seidel relaxation over two grids. */
+Program
+buildRedBlack(std::uint64_t n)
+{
+    ProgramBuilder b("custom.redblack");
+    std::uint32_t u = b.array2d("u", n, n);
+    std::uint32_t f = b.array2d("f", n, n);
+    std::uint32_t res = b.array2d("res", n, n);
+
+    b.initNest(interleavedInit2d(b, {u, f, res}, n, n));
+
+    Phase sweep;
+    sweep.name = "relaxation";
+    sweep.occurrences = 80;
+
+    for (const char *color : {"red", "black"}) {
+        LoopNest nest;
+        nest.label = std::string("relax-") + color;
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        // Half the points per sweep: stride 2 through the columns.
+        nest.bounds = {n - 2, (n - 2) / 2};
+        nest.instsPerIter = 24;
+        AffineRef c = b.at2(u, 0, 1, 0, 0, true);
+        AffineRef up = b.at2(u, 0, 1, -1, 0);
+        AffineRef dn = b.at2(u, 0, 1, 1, 0);
+        AffineRef rhs = b.at2(f, 0, 1, 0, 0);
+        for (AffineRef *r : {&c, &up, &dn, &rhs}) {
+            // Column index advances by 2 per iteration.
+            r->terms[1].coeffElems = 2;
+            if (color[0] == 'b')
+                r->constElems += 1;
+        }
+        nest.refs = {c, up, dn, rhs};
+        sweep.nests.push_back(nest);
+    }
+
+    // Residual check every iteration (uses all three arrays).
+    LoopNest resid;
+    resid.label = "residual";
+    resid.kind = NestKind::Parallel;
+    resid.parallelDim = 0;
+    resid.bounds = {n - 2, n - 2};
+    resid.instsPerIter = 12;
+    resid.refs = {
+        b.at2(u, 0, 1, 0, 0), b.at2(f, 0, 1, 0, 0),
+        b.at2(res, 0, 1, 0, 0, true),
+    };
+    sweep.nests.push_back(resid);
+
+    b.phase(sweep);
+    return b.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t n =
+        argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 192;
+    std::uint32_t ncpus =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
+
+    std::cout << "Custom workload: red/black Gauss-Seidel, " << n
+              << "x" << n << " grids (";
+    {
+        Program probe = buildRedBlack(n);
+        std::cout << formatBytes(probe.dataSetBytes());
+    }
+    std::cout << " data) on " << ncpus << " CPUs\n\n";
+
+    // 1. What did the compiler find? Run one CDPC experiment and
+    //    print the summary bundle and the resulting plan.
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(ncpus);
+    cfg.mapping = MappingPolicy::Cdpc;
+    ExperimentResult cdpc_run = runProgram(buildRedBlack(n), cfg);
+
+    std::cout << "Compiler summaries:\n"
+              << "  partitions: " << cdpc_run.summaries.partitions.size()
+              << " (unit = row of " << n * 8 << "B)\n"
+              << "  comm patterns: " << cdpc_run.summaries.comms.size()
+              << " (i±1 stencil -> shift)\n"
+              << "  group pairs: " << cdpc_run.summaries.groups.size()
+              << "\n";
+    std::cout << "CDPC plan: " << cdpc_run.plan->segments.size()
+              << " uniform access segments in "
+              << cdpc_run.plan->sets.size() << " sets, "
+              << cdpc_run.plan->coloring.hints.size()
+              << " page hints, " << fmtF(cdpc_run.hintsHonored * 100, 1)
+              << "% honored\n\n";
+
+    // 2. Policy comparison.
+    TextTable table({"policy", "combined cycles", "MCPI",
+                     "conflict stall %", "speedup vs PC"});
+    double pc = 0.0;
+    for (MappingPolicy pol :
+         {MappingPolicy::PageColoring, MappingPolicy::BinHopping,
+          MappingPolicy::Cdpc}) {
+        ExperimentConfig c2 = cfg;
+        c2.mapping = pol;
+        ExperimentResult r = runProgram(buildRedBlack(n), c2);
+        double combined = r.totals.combinedTime();
+        if (pol == MappingPolicy::PageColoring)
+            pc = combined;
+        double conf = r.totals.memStall > 0
+                          ? 100.0 *
+                                r.totals.missStallOf(MissKind::Conflict) /
+                                r.totals.memStall
+                          : 0.0;
+        table.addRow({
+            r.policy,
+            fmtI(static_cast<std::uint64_t>(combined)),
+            fmtF(r.totals.mcpi(), 2),
+            fmtF(conf, 1) + "%",
+            fmtF(pc / combined, 2) + "x",
+        });
+    }
+    std::cout << table.render();
+    return 0;
+}

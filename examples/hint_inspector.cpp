@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A debugging lens on the CDPC pipeline: for any workload, print the
+ * compiler's access summaries and walk the run-time algorithm's five
+ * steps, showing the uniform access segments, the set ordering, the
+ * chosen rotations and the final color map — the tool you reach for
+ * when a hinted mapping does not behave as expected.
+ *
+ * Usage: hint_inspector [workload] [ncpus]  (defaults: 101.tomcatv, 4)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cdpc/runtime.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "compiler/compiler.h"
+#include "workloads/workload.h"
+
+using namespace cdpc;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "101.tomcatv";
+    std::uint32_t ncpus =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+
+    Program prog = buildWorkload(name);
+    MachineConfig machine = MachineConfig::paperScaled(ncpus);
+    CompilerOptions copts;
+    copts.aligner.lineBytes = machine.l2.lineBytes;
+    copts.aligner.l1SpanBytes =
+        machine.l1d.sizeBytes / machine.l1d.assoc;
+    CompileResult compiled = compileProgram(prog, copts);
+
+    std::cout << "=== " << name << " on " << ncpus << " CPUs, "
+              << machine.numColors() << " colors ===\n\n";
+
+    std::cout << "Arrays (" << prog.arrays.size() << "):\n";
+    {
+        TextTable t({"name", "size", "base vpn", "analyzable"});
+        for (std::size_t i = 0; i < prog.arrays.size(); i++) {
+            const ArrayDecl &a = prog.arrays[i];
+            t.addRow({a.name, formatBytes(a.sizeBytes()),
+                      std::to_string(a.base / machine.pageBytes),
+                      compiled.summaries.isAnalyzable(
+                          static_cast<std::uint32_t>(i))
+                          ? "yes"
+                          : "NO"});
+        }
+        std::cout << t.render() << "\n";
+    }
+
+    std::cout << "Partition summaries ("
+              << compiled.summaries.partitions.size() << "):\n";
+    for (const ArrayPartitionSummary &p : compiled.summaries.partitions) {
+        std::cout << "  " << prog.arrays[p.arrayId].name << ": "
+                  << p.numUnits << " units of " << p.unitBytes << "B, "
+                  << (p.policy == PartitionPolicy::Even ? "even"
+                                                        : "blocked")
+                  << "/"
+                  << (p.dir == PartitionDir::Forward ? "forward"
+                                                     : "reverse")
+                  << "\n";
+    }
+    std::cout << "Communication patterns ("
+              << compiled.summaries.comms.size() << "):\n";
+    for (const CommPatternSummary &c : compiled.summaries.comms) {
+        std::cout << "  " << prog.arrays[c.arrayId].name << ": "
+                  << (c.type == CommType::Shift ? "shift" : "rotate")
+                  << " of " << c.boundaryUnits << " unit(s), "
+                  << (c.dir == CommDir::Low
+                          ? "low side"
+                          : c.dir == CommDir::High ? "high side"
+                                                   : "both sides")
+                  << "\n";
+    }
+    std::cout << "Group access pairs: "
+              << compiled.summaries.groups.size() << "\n\n";
+
+    CdpcPlan plan =
+        computeCdpcPlan(compiled.summaries, cdpcParams(machine));
+
+    std::cout << "Step 1: " << plan.segments.size()
+              << " uniform access segments\n";
+    std::cout << "Step 2: " << plan.sets.size()
+              << " uniform access sets, in path order:\n  ";
+    for (const UniformSet &set : plan.sets)
+        std::cout << set.procs.str() << " ";
+    std::cout << "\n\nSteps 3-5: segments in final order:\n";
+    {
+        TextTable t({"#", "array", "pages", "procs", "rotation",
+                     "start color"});
+        int idx = 0;
+        for (std::size_t id : plan.coloring.segmentOrder) {
+            const Segment &s = plan.segments[id];
+            t.addRow({
+                std::to_string(idx++),
+                prog.arrays[s.arrayId].name,
+                std::to_string(s.numPages),
+                s.procs.str(),
+                std::to_string(plan.coloring.rotation[id]),
+                std::to_string(plan.coloring.startColor[id]),
+            });
+        }
+        std::cout << t.render();
+    }
+    std::cout << "\nTotal hints: " << plan.coloring.hints.size()
+              << " pages ("
+              << formatBytes(plan.coloring.hints.size() *
+                             machine.pageBytes)
+              << " of "
+              << formatBytes(prog.dataSetBytes()) << " data)\n";
+    return 0;
+}

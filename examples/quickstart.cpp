@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: run one benchmark under the three page mapping
+ * policies and print the headline comparison — the 60-second tour
+ * of the library.
+ *
+ * Usage: quickstart [workload] [ncpus]
+ * Defaults: 102.swim on 8 CPUs (the paper's most dramatic case).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+using namespace cdpc;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "102.swim";
+    std::uint32_t ncpus =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
+
+    std::cout << "CDPC quickstart: " << workload << " on " << ncpus
+              << " CPUs (1/8-scale SimOS model, 1MB-class "
+                 "direct-mapped external cache)\n\n";
+
+    TextTable table({"policy", "combined cycles", "MCPI",
+                     "conflict stall %", "bus util", "speedup vs PC"});
+
+    double pc_time = 0.0;
+    for (MappingPolicy policy :
+         {MappingPolicy::PageColoring, MappingPolicy::BinHopping,
+          MappingPolicy::Cdpc}) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(ncpus);
+        cfg.mapping = policy;
+        ExperimentResult r = runWorkload(workload, cfg);
+
+        double combined = r.totals.combinedTime();
+        if (policy == MappingPolicy::PageColoring)
+            pc_time = combined;
+        double conflict_frac =
+            r.totals.memStall > 0
+                ? r.totals.missStallOf(MissKind::Conflict) /
+                      r.totals.memStall
+                : 0.0;
+        table.addRow({
+            r.policy,
+            fmtI(static_cast<std::uint64_t>(combined)),
+            fmtF(r.totals.mcpi(), 3),
+            fmtF(conflict_frac * 100.0, 1) + "%",
+            fmtF(r.totals.busUtilization() * 100.0, 1) + "%",
+            fmtF(pc_time / combined, 2) + "x",
+        });
+    }
+
+    std::cout << table.render() << "\n";
+    std::cout << "CDPC eliminates the conflict misses the default\n"
+                 "policies leave behind; see bench/ for the full\n"
+                 "reproduction of the paper's figures.\n";
+    return 0;
+}

@@ -1,0 +1,134 @@
+#include "cdpc/coloring.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+/** Circular distance between two colors. */
+std::uint64_t
+circDist(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    std::uint64_t d = a > b ? a - b : b - a;
+    return std::min(d, c - d);
+}
+
+/** Do circular intervals [a0, a0+la) and [b0, b0+lb) mod c overlap? */
+bool
+circOverlap(std::uint64_t a0, std::uint64_t la, std::uint64_t b0,
+            std::uint64_t lb, std::uint64_t c)
+{
+    if (la >= c || lb >= c)
+        return true;
+    // Distance from a0 forward to b0 and vice versa.
+    std::uint64_t fwd = (b0 + c - a0) % c;
+    std::uint64_t bwd = (a0 + c - b0) % c;
+    return fwd < la || bwd < lb;
+}
+
+bool
+grouped(std::uint32_t a, std::uint32_t b,
+        const std::vector<GroupAccessPair> &groups)
+{
+    if (a == b)
+        return true;
+    for (const GroupAccessPair &g : groups) {
+        if ((g.arrayA == a && g.arrayB == b) ||
+            (g.arrayA == b && g.arrayB == a)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+ColoringResult
+assignColors(const std::vector<Segment> &segs,
+             const std::vector<UniformSet> &ordered_sets,
+             const std::vector<GroupAccessPair> &groups,
+             const CdpcParams &params, bool cyclic)
+{
+    fatalIf(params.numColors == 0, "coloring needs at least one color");
+    const std::uint64_t c = params.numColors;
+
+    ColoringResult res;
+    res.rotation.assign(segs.size(), 0);
+    res.startColor.assign(segs.size(), 0);
+
+    for (const UniformSet &set : ordered_sets) {
+        for (std::size_t id : set.segIds)
+            res.segmentOrder.push_back(id);
+    }
+
+    std::uint64_t total_pages = 0;
+    for (std::size_t id : res.segmentOrder)
+        total_pages += segs[id].numPages;
+    res.pageOrder.reserve(total_pages);
+    res.hints.reserve(total_pages);
+
+    std::uint64_t g = 0; // global page index
+    std::vector<std::size_t> placed;
+    for (std::size_t id : res.segmentOrder) {
+        const Segment &seg = segs[id];
+        std::uint64_t len = seg.numPages;
+        std::uint64_t base_color = g % c;
+
+        // Step 4: pick the rotation that spaces this segment's start
+        // color away from the start colors of the conflicting
+        // segments already placed.
+        std::uint64_t best_x = 0;
+        if (cyclic) {
+            std::vector<std::uint64_t> rivals;
+            for (std::size_t pid : placed) {
+                const Segment &e = segs[pid];
+                if (!grouped(seg.arrayId, e.arrayId, groups))
+                    continue;
+                if (!seg.procs.intersects(e.procs))
+                    continue;
+                if (!circOverlap(base_color, len,
+                                 res.startColor[pid], e.numPages, c)) {
+                    continue;
+                }
+                rivals.push_back(res.startColor[pid]);
+            }
+            if (!rivals.empty()) {
+                std::uint64_t best_score = 0;
+                std::uint64_t limit = std::min(len, c);
+                for (std::uint64_t x = 0; x < limit; x++) {
+                    std::uint64_t color = (base_color + x) % c;
+                    std::uint64_t score = c;
+                    for (std::uint64_t rc : rivals)
+                        score = std::min(score, circDist(color, rc, c));
+                    if (x == 0 || score > best_score) {
+                        best_score = score;
+                        best_x = x;
+                    }
+                }
+            }
+        }
+        std::uint64_t rot = (len - best_x % len) % len;
+        res.rotation[id] = rot;
+        res.startColor[id] =
+            static_cast<Color>((base_color + best_x) % c);
+
+        // Step 5: emit pages in rotated order; colors are round robin
+        // over the global order.
+        for (std::uint64_t i = 0; i < len; i++) {
+            PageNum vpn = seg.firstVpn + (rot + i) % len;
+            Color color = static_cast<Color>((g + i) % c);
+            res.pageOrder.push_back(vpn);
+            res.hints.push_back(ColorHint{vpn, color});
+        }
+        g += len;
+        placed.push_back(id);
+    }
+    return res;
+}
+
+} // namespace cdpc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Steps 4 and 5 of the CDPC run-time algorithm (paper, Section 5.2):
+ * cyclic page ordering within each segment, then round-robin color
+ * assignment over the final page order.
+ *
+ * Step 4: within a segment the pages are not laid out in ascending
+ * virtual order; a starting point is chosen and the pages wrap
+ * around, so that *conflicting* segments — same loop (group access),
+ * intersecting processor sets, partial cache overlap — start at
+ * colors spaced as far apart as possible.
+ *
+ * Step 5: walking the pages in this final order, colors are handed
+ * out round robin, which also makes the order realizable on a
+ * bin-hopping kernel purely by touch order (paper, Section 5.3).
+ */
+
+#ifndef CDPC_CDPC_COLORING_H
+#define CDPC_CDPC_COLORING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cdpc/ordering.h"
+#include "cdpc/segments.h"
+#include "vm/hints.h"
+
+namespace cdpc
+{
+
+/** The output of Steps 4-5. */
+struct ColoringResult
+{
+    /** Segment ids in final (Step 2 + Step 3) order. */
+    std::vector<std::size_t> segmentOrder;
+    /** Chosen Step-4 rotation per segment (indexed by segment id). */
+    std::vector<std::uint64_t> rotation;
+    /** All hinted pages in coloring order. */
+    std::vector<PageNum> pageOrder;
+    /** Final page -> color hints. */
+    std::vector<ColorHint> hints;
+    /** Start color of each segment's first *virtual* page. */
+    std::vector<Color> startColor;
+};
+
+/**
+ * Assign colors to every page of every segment.
+ *
+ * @param segs all segments (Step 1)
+ * @param ordered_sets sets in Step-2 order with Step-3 segment order
+ * @param groups group access info (conflict condition 1)
+ * @param params machine parameters
+ * @param cyclic enable Step 4 (disable for the ablation study)
+ */
+ColoringResult assignColors(const std::vector<Segment> &segs,
+                            const std::vector<UniformSet> &ordered_sets,
+                            const std::vector<GroupAccessPair> &groups,
+                            const CdpcParams &params,
+                            bool cyclic = true);
+
+} // namespace cdpc
+
+#endif // CDPC_CDPC_COLORING_H

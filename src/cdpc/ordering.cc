@@ -1,0 +1,208 @@
+#include "cdpc/ordering.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+std::vector<UniformSet>
+groupIntoSets(const std::vector<Segment> &segs)
+{
+    std::vector<UniformSet> sets;
+    for (std::size_t i = 0; i < segs.size(); i++) {
+        auto it = std::find_if(sets.begin(), sets.end(),
+                               [&](const UniformSet &s) {
+                                   return s.procs == segs[i].procs;
+                               });
+        if (it == sets.end()) {
+            sets.push_back(UniformSet{segs[i].procs, {i}});
+        } else {
+            it->segIds.push_back(i);
+        }
+    }
+    return sets;
+}
+
+std::vector<UniformSet>
+orderUniformSets(std::vector<UniformSet> sets)
+{
+    std::size_t n = sets.size();
+    if (n <= 1)
+        return sets;
+
+    std::vector<bool> visited(n, false);
+    std::vector<std::size_t> path;
+    path.reserve(n);
+
+    // Deterministic starting node: the singleton set with the
+    // smallest mask; failing that, the smallest set.
+    auto better_start = [&](std::size_t a, std::size_t b) {
+        unsigned ca = sets[a].procs.count();
+        unsigned cb = sets[b].procs.count();
+        if (ca != cb)
+            return ca < cb;
+        return sets[a].procs.mask < sets[b].procs.mask;
+    };
+
+    // Phase 1: greedy path over the subgraph of small (1-2 CPU) sets.
+    auto in_subgraph = [&](std::size_t i) {
+        return sets[i].procs.count() <= 2;
+    };
+    bool subgraph_nonempty = false;
+    for (std::size_t i = 0; i < n; i++)
+        subgraph_nonempty |= in_subgraph(i);
+
+    if (subgraph_nonempty) {
+        std::size_t start = n;
+        for (std::size_t i = 0; i < n; i++) {
+            if (in_subgraph(i) && (start == n || better_start(i, start)))
+                start = i;
+        }
+        path.push_back(start);
+        visited[start] = true;
+
+        for (;;) {
+            std::size_t cur = path.back();
+            // Prefer an adjacent unvisited subgraph node with maximum
+            // processor overlap; smallest mask breaks ties.
+            std::size_t next = n;
+            unsigned best_overlap = 0;
+            for (std::size_t i = 0; i < n; i++) {
+                if (visited[i] || !in_subgraph(i))
+                    continue;
+                unsigned ov = sets[cur].procs.overlap(sets[i].procs);
+                if (ov == 0)
+                    continue;
+                if (next == n || ov > best_overlap ||
+                    (ov == best_overlap &&
+                     sets[i].procs.mask < sets[next].procs.mask)) {
+                    next = i;
+                    best_overlap = ov;
+                }
+            }
+            if (next == n) {
+                // No adjacent node; jump to the best remaining
+                // subgraph node, if any.
+                for (std::size_t i = 0; i < n; i++) {
+                    if (!visited[i] && in_subgraph(i) &&
+                        (next == n || better_start(i, next))) {
+                        next = i;
+                    }
+                }
+                if (next == n)
+                    break;
+            }
+            path.push_back(next);
+            visited[next] = true;
+        }
+    }
+
+    // Phase 2: insert every remaining node next to the path node with
+    // the maximum processor overlap.
+    for (std::size_t i = 0; i < n; i++) {
+        if (visited[i])
+            continue;
+        if (path.empty()) {
+            path.push_back(i);
+            visited[i] = true;
+            continue;
+        }
+        std::size_t best_pos = 0;
+        unsigned best_overlap = 0;
+        for (std::size_t p = 0; p < path.size(); p++) {
+            unsigned ov = sets[i].procs.overlap(sets[path[p]].procs);
+            if (p == 0 || ov > best_overlap) {
+                best_overlap = ov;
+                best_pos = p;
+            }
+        }
+        path.insert(path.begin() +
+                        static_cast<std::ptrdiff_t>(best_pos) + 1,
+                    i);
+        visited[i] = true;
+    }
+
+    std::vector<UniformSet> ordered;
+    ordered.reserve(n);
+    for (std::size_t idx : path)
+        ordered.push_back(std::move(sets[idx]));
+    return ordered;
+}
+
+void
+orderSegmentsWithinSets(std::vector<UniformSet> &sets,
+                        const std::vector<Segment> &segs,
+                        const std::vector<GroupAccessPair> &groups)
+{
+    auto grouped = [&](std::uint32_t a, std::uint32_t b) {
+        if (a == b)
+            return true;
+        for (const GroupAccessPair &g : groups) {
+            if ((g.arrayA == a && g.arrayB == b) ||
+                (g.arrayA == b && g.arrayB == a)) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    for (UniformSet &set : sets) {
+        std::size_t n = set.segIds.size();
+        if (n <= 1)
+            continue;
+
+        std::vector<bool> visited(n, false);
+        std::vector<std::size_t> path; // positions within set.segIds
+        path.reserve(n);
+
+        auto vpn_of = [&](std::size_t pos) {
+            return segs[set.segIds[pos]].firstVpn;
+        };
+
+        // Start from the smallest virtual address.
+        std::size_t start = 0;
+        for (std::size_t i = 1; i < n; i++) {
+            if (vpn_of(i) < vpn_of(start))
+                start = i;
+        }
+        path.push_back(start);
+        visited[start] = true;
+
+        while (path.size() < n) {
+            std::size_t cur = path.back();
+            std::uint32_t cur_arr = segs[set.segIds[cur]].arrayId;
+            std::size_t next = n;
+            // Adjacent = group-access partner; tie-break smallest
+            // virtual address.
+            for (std::size_t i = 0; i < n; i++) {
+                if (visited[i])
+                    continue;
+                if (!grouped(cur_arr, segs[set.segIds[i]].arrayId))
+                    continue;
+                if (next == n || vpn_of(i) < vpn_of(next))
+                    next = i;
+            }
+            if (next == n) {
+                // Stuck: continue from the smallest-address segment.
+                for (std::size_t i = 0; i < n; i++) {
+                    if (!visited[i] && (next == n ||
+                                        vpn_of(i) < vpn_of(next))) {
+                        next = i;
+                    }
+                }
+            }
+            path.push_back(next);
+            visited[next] = true;
+        }
+
+        std::vector<std::size_t> reordered;
+        reordered.reserve(n);
+        for (std::size_t pos : path)
+            reordered.push_back(set.segIds[pos]);
+        set.segIds = std::move(reordered);
+    }
+}
+
+} // namespace cdpc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Steps 2 and 3 of the CDPC run-time algorithm (paper, Section 5.2):
+ * ordering the uniform access sets, then the segments within each.
+ *
+ * Both steps are path-building problems on small undirected graphs,
+ * solved with the paper's greedy heuristics:
+ *
+ *  Step 2 — nodes are uniform access sets, edges join sets whose
+ *  processor sets intersect. Start from a singleton-processor node,
+ *  extend to adjacent unvisited nodes (the subgraph of one- and
+ *  two-processor sets first), then insert the remaining nodes next
+ *  to the path node with maximum processor overlap. This clusters
+ *  the pages of each processor.
+ *
+ *  Step 3 — within a set, nodes are segments and edges join
+ *  segments of arrays listed together in the group access
+ *  information; ties break toward the smallest virtual address.
+ */
+
+#ifndef CDPC_CDPC_ORDERING_H
+#define CDPC_CDPC_ORDERING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cdpc/segments.h"
+#include "compiler/summaries.h"
+
+namespace cdpc
+{
+
+/** A group of segments sharing one processor set. */
+struct UniformSet
+{
+    ProcSet procs;
+    /** Indices into the segment vector. */
+    std::vector<std::size_t> segIds;
+};
+
+/** Group segments into uniform access sets (same processor set). */
+std::vector<UniformSet> groupIntoSets(const std::vector<Segment> &segs);
+
+/** Step 2: order the uniform access sets; returns a new ordering. */
+std::vector<UniformSet>
+orderUniformSets(std::vector<UniformSet> sets);
+
+/**
+ * Step 3: order each set's segments along the group-access graph
+ * (in place).
+ */
+void orderSegmentsWithinSets(std::vector<UniformSet> &sets,
+                             const std::vector<Segment> &segs,
+                             const std::vector<GroupAccessPair> &groups);
+
+} // namespace cdpc
+
+#endif // CDPC_CDPC_ORDERING_H

@@ -1,0 +1,26 @@
+#include "cdpc/procset.h"
+
+#include <sstream>
+
+namespace cdpc
+{
+
+std::string
+ProcSet::str() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (CpuId c = 0; c < 32; c++) {
+        if (contains(c)) {
+            if (!first)
+                os << ",";
+            os << c;
+            first = false;
+        }
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace cdpc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ProcSet: a set of processors, the key attribute of a uniform
+ * access segment in the CDPC algorithm (paper, Section 5.2).
+ */
+
+#ifndef CDPC_CDPC_PROCSET_H
+#define CDPC_CDPC_PROCSET_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** A set of CPUs as a bitmask (up to 32 CPUs). */
+struct ProcSet
+{
+    std::uint32_t mask = 0;
+
+    static ProcSet
+    single(CpuId cpu)
+    {
+        return ProcSet{1u << cpu};
+    }
+
+    static ProcSet
+    all(std::uint32_t ncpus)
+    {
+        return ProcSet{ncpus >= 32 ? ~0u : (1u << ncpus) - 1};
+    }
+
+    void add(CpuId cpu) { mask |= 1u << cpu; }
+    bool contains(CpuId cpu) const { return (mask >> cpu) & 1u; }
+    bool empty() const { return mask == 0; }
+    unsigned count() const { return std::popcount(mask); }
+    bool singleton() const { return count() == 1; }
+
+    bool
+    intersects(const ProcSet &o) const
+    {
+        return (mask & o.mask) != 0;
+    }
+
+    unsigned
+    overlap(const ProcSet &o) const
+    {
+        return std::popcount(mask & o.mask);
+    }
+
+    bool operator==(const ProcSet &) const = default;
+
+    /** Display form like "{0,1,5}". */
+    std::string str() const;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_CDPC_PROCSET_H

@@ -1,0 +1,59 @@
+#include "cdpc/runtime.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+CdpcParams
+cdpcParams(const MachineConfig &config)
+{
+    CdpcParams p;
+    p.numCpus = config.numCpus;
+    p.pageBytes = config.pageBytes;
+    p.numColors = config.numColors();
+    return p;
+}
+
+CdpcPlan
+computeCdpcPlan(const AccessSummaries &summaries, const CdpcParams &params,
+                const CdpcOptions &opts)
+{
+    CdpcPlan plan;
+    plan.params = params;
+
+    // Step 1: maximal uniform access segments.
+    plan.segments = buildSegments(summaries, params);
+
+    // Step 2: order the uniform access sets.
+    std::vector<UniformSet> sets = groupIntoSets(plan.segments);
+    if (opts.greedyOrdering)
+        sets = orderUniformSets(std::move(sets));
+
+    // Step 3: order the segments within each set.
+    if (opts.greedyOrdering)
+        orderSegmentsWithinSets(sets, plan.segments, summaries.groups);
+    plan.sets = std::move(sets);
+
+    // Steps 4-5: cyclic assignment and round-robin coloring.
+    plan.coloring = assignColors(plan.segments, plan.sets,
+                                 summaries.groups, params,
+                                 opts.cyclicAssignment);
+    return plan;
+}
+
+void
+applyHints(const CdpcPlan &plan, CdpcHintPolicy &policy)
+{
+    policy.madviseColors(plan.coloring.hints);
+}
+
+std::uint64_t
+applyByTouchOrder(const CdpcPlan &plan, VirtualMemory &vm)
+{
+    for (PageNum vpn : plan.coloring.pageOrder)
+        vm.touch(vpn * vm.pageBytes(), 0);
+    return plan.coloring.pageOrder.size();
+}
+
+} // namespace cdpc

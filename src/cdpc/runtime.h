@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The CDPC run-time library (paper, Section 5.2-5.3): the start-up
+ * code linked into the application that turns the compiler's access
+ * summaries plus the machine parameters into page-color hints and
+ * hands them to the operating system.
+ *
+ * Two kernel-side realizations are provided, matching the paper's
+ * two implementations:
+ *  - applyHints(): the madvise-style single system call (IRIX);
+ *  - applyByTouchOrder(): no kernel change at all — touch the pages
+ *    serially in coloring order and let the native bin-hopping
+ *    policy produce the desired mapping (Digital UNIX). Step 5's
+ *    round-robin color assignment makes the two exactly equivalent
+ *    up to a constant rotation of all colors.
+ */
+
+#ifndef CDPC_CDPC_RUNTIME_H
+#define CDPC_CDPC_RUNTIME_H
+
+#include <cstdint>
+
+#include "cdpc/coloring.h"
+#include "cdpc/ordering.h"
+#include "cdpc/segments.h"
+#include "compiler/summaries.h"
+#include "machine/config.h"
+#include "vm/hints.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+
+/** Everything the run-time library computed for one program. */
+struct CdpcPlan
+{
+    CdpcParams params;
+    std::vector<Segment> segments;
+    /** Uniform access sets in final (Step 2) order. */
+    std::vector<UniformSet> sets;
+    ColoringResult coloring;
+};
+
+/** Tuning knobs (ablation hooks). */
+struct CdpcOptions
+{
+    /** Step 4 cyclic assignment (conflict spacing). */
+    bool cyclicAssignment = true;
+    /** Steps 2-3 greedy ordering; false = raw address order. */
+    bool greedyOrdering = true;
+};
+
+/** Extract the parameters CDPC needs from a machine description. */
+CdpcParams cdpcParams(const MachineConfig &config);
+
+/** Run the full five-step algorithm. */
+CdpcPlan computeCdpcPlan(const AccessSummaries &summaries,
+                         const CdpcParams &params,
+                         const CdpcOptions &opts = {});
+
+/** Install the plan's hints into the kernel's hint table (IRIX). */
+void applyHints(const CdpcPlan &plan, CdpcHintPolicy &policy);
+
+/**
+ * Realize the plan by touch order on a bin-hopping kernel (Digital
+ * UNIX): pre-fault the pages serially in coloring order.
+ * @return the number of pages touched (each cost one serialized
+ *         page fault, the drawback the paper notes).
+ */
+std::uint64_t applyByTouchOrder(const CdpcPlan &plan, VirtualMemory &vm);
+
+} // namespace cdpc
+
+#endif // CDPC_CDPC_RUNTIME_H

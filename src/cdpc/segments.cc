@@ -1,0 +1,165 @@
+#include "cdpc/segments.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ir/loop.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+/** Mark pages covering byte range [b0, b1) of an array with @p cpu. */
+void
+markRange(std::vector<ProcSet> &pages, VAddr array_start,
+          std::uint64_t page_bytes, PageNum first_vpn, std::uint64_t b0,
+          std::uint64_t b1, CpuId cpu)
+{
+    if (b0 >= b1)
+        return;
+    PageNum from = (array_start + b0) / page_bytes;
+    PageNum to = (array_start + b1 - 1) / page_bytes;
+    for (PageNum v = from; v <= to; v++) {
+        std::uint64_t idx = v - first_vpn;
+        if (idx < pages.size())
+            pages[idx].add(cpu);
+    }
+}
+
+} // namespace
+
+std::vector<Segment>
+buildSegments(const AccessSummaries &summaries, const CdpcParams &params)
+{
+    fatalIf(params.numCpus == 0, "CDPC needs at least one CPU");
+    fatalIf(params.pageBytes == 0, "CDPC needs a nonzero page size");
+
+    // Process arrays in ascending address order so that a page shared
+    // by two adjacent arrays is claimed exactly once.
+    std::vector<ArrayExtent> arrays = summaries.arrays;
+    std::sort(arrays.begin(), arrays.end(),
+              [](const ArrayExtent &a, const ArrayExtent &b) {
+                  return a.start < b.start;
+              });
+
+    std::vector<Segment> segments;
+    PageNum last_claimed = 0;
+    bool any_claimed = false;
+
+    for (const ArrayExtent &arr : arrays) {
+        if (!arr.analyzable || arr.sizeBytes == 0)
+            continue;
+
+        PageNum first_vpn = arr.start / params.pageBytes;
+        PageNum last_vpn =
+            (arr.start + arr.sizeBytes - 1) / params.pageBytes;
+        if (any_claimed && first_vpn <= last_claimed)
+            first_vpn = last_claimed + 1;
+        if (first_vpn > last_vpn)
+            continue;
+        std::uint64_t npages = last_vpn - first_vpn + 1;
+
+        std::vector<ProcSet> pages(npages);
+
+        bool partitioned = false;
+        for (const ArrayPartitionSummary &part : summaries.partitions) {
+            if (part.arrayId != arr.arrayId || part.numUnits == 0)
+                continue;
+            partitioned = true;
+            Partition sched{part.policy, part.dir};
+            for (CpuId cpu = 0; cpu < params.numCpus; cpu++) {
+                std::uint64_t lo, hi;
+                sched.range(part.numUnits, params.numCpus, cpu, lo, hi);
+                if (lo >= hi)
+                    continue;
+                std::uint64_t b0 = lo * part.unitBytes;
+                std::uint64_t b1 =
+                    std::min(hi * part.unitBytes, part.sizeBytes);
+                markRange(pages, arr.start, params.pageBytes, first_vpn,
+                          b0, b1, cpu);
+
+                // Boundary communication: this CPU also touches the
+                // neighbouring chunks' boundary units.
+                for (const CommPatternSummary &comm : summaries.comms) {
+                    if (comm.arrayId != arr.arrayId)
+                        continue;
+                    std::uint64_t b = comm.boundaryUnits;
+                    bool low = comm.dir != CommDir::High;
+                    bool high = comm.dir != CommDir::Low;
+                    if (low) {
+                        // Units just below this chunk.
+                        std::uint64_t left_lo = lo >= b ? lo - b : 0;
+                        markRange(pages, arr.start, params.pageBytes,
+                                  first_vpn, left_lo * part.unitBytes,
+                                  lo * part.unitBytes, cpu);
+                    }
+                    if (high) {
+                        // Units just above this chunk.
+                        std::uint64_t right_hi =
+                            std::min(hi + b, part.numUnits);
+                        markRange(pages, arr.start, params.pageBytes,
+                                  first_vpn, hi * part.unitBytes,
+                                  std::min(right_hi * part.unitBytes,
+                                           part.sizeBytes),
+                                  cpu);
+                    }
+                    if (comm.type == CommType::Rotate) {
+                        if (lo == 0 && low) {
+                            std::uint64_t w0 = part.numUnits >= b
+                                                   ? part.numUnits - b
+                                                   : 0;
+                            markRange(pages, arr.start,
+                                      params.pageBytes, first_vpn,
+                                      w0 * part.unitBytes,
+                                      std::min(part.numUnits *
+                                                   part.unitBytes,
+                                               part.sizeBytes),
+                                      cpu);
+                        }
+                        if (hi == part.numUnits && high) {
+                            markRange(pages, arr.start,
+                                      params.pageBytes, first_vpn, 0,
+                                      std::min(b * part.unitBytes,
+                                               part.sizeBytes),
+                                      cpu);
+                        }
+                    }
+                }
+            }
+        }
+
+        if (!partitioned) {
+            // Analyzable but replicated: every CPU touches it.
+            ProcSet everyone = ProcSet::all(params.numCpus);
+            for (ProcSet &s : pages)
+                s = everyone;
+        }
+
+        // Split into maximal runs of identical processor sets.
+        std::uint64_t i = 0;
+        while (i < npages) {
+            if (pages[i].empty()) {
+                i++;
+                continue;
+            }
+            std::uint64_t j = i + 1;
+            while (j < npages && pages[j] == pages[i])
+                j++;
+            Segment seg;
+            seg.firstVpn = first_vpn + i;
+            seg.numPages = j - i;
+            seg.arrayId = arr.arrayId;
+            seg.procs = pages[i];
+            segments.push_back(seg);
+            i = j;
+        }
+
+        last_claimed = last_vpn;
+        any_claimed = true;
+    }
+    return segments;
+}
+
+} // namespace cdpc

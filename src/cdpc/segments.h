@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Step 1 of the CDPC run-time algorithm: build the maximal uniform
+ * access segments (paper, Section 5.2).
+ *
+ * "The algorithm starts by treating the entire virtual address space
+ *  as a single access segment. It processes each array partitioning
+ *  and communication pattern summary in turn, by splitting segments
+ *  at boundaries of arrays and whenever the access pattern within
+ *  the array changes."
+ *
+ * The result is a list of segments — maximal runs of consecutive
+ * virtual pages within one array that are accessed by the same set
+ * of processors — computed from the compiler's summaries plus the
+ * parameters known only at start-up (CPU count, page size).
+ */
+
+#ifndef CDPC_CDPC_SEGMENTS_H
+#define CDPC_CDPC_SEGMENTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cdpc/procset.h"
+#include "common/types.h"
+#include "compiler/summaries.h"
+
+namespace cdpc
+{
+
+/** Machine parameters bound at program start-up. */
+struct CdpcParams
+{
+    std::uint32_t numCpus = 1;
+    std::uint64_t pageBytes = 512;
+    std::uint64_t numColors = 256;
+};
+
+/** A maximal uniform access segment. */
+struct Segment
+{
+    /** First virtual page (inclusive). */
+    PageNum firstVpn = 0;
+    /** Number of consecutive pages. */
+    std::uint64_t numPages = 0;
+    /** Array the segment belongs to. */
+    std::uint32_t arrayId = 0;
+    /** Processors that access these pages. */
+    ProcSet procs;
+
+    PageNum lastVpn() const { return firstVpn + numPages - 1; }
+};
+
+/**
+ * Compute the uniform access segments for every analyzable array.
+ *
+ * Pages of unanalyzable arrays (and of analyzable arrays' pages that
+ * nobody accesses) produce no segments; those pages keep the OS's
+ * native mapping policy, as in the paper's su2cor discussion.
+ */
+std::vector<Segment> buildSegments(const AccessSummaries &summaries,
+                                   const CdpcParams &params);
+
+} // namespace cdpc
+
+#endif // CDPC_CDPC_SEGMENTS_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the cache and VM layers.
+ * Everything here is constexpr and branch-light; these functions sit
+ * on the per-reference hot path of the simulator.
+ */
+
+#ifndef CDPC_COMMON_INTMATH_H
+#define CDPC_COMMON_INTMATH_H
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+/** @return true iff @p n is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** @return floor(log2(n)); @p n must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(n | 1));
+}
+
+/** @return ceil(log2(n)); @p n must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return floorLog2(n) + (isPowerOf2(n) ? 0u : 1u);
+}
+
+/** @return ceil(a / b) for b > 0. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** @return @p a rounded up to the next multiple of @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t align)
+{
+    return divCeil(a, align) * align;
+}
+
+/** @return @p a rounded down to a multiple of @p align. */
+constexpr std::uint64_t
+roundDown(std::uint64_t a, std::uint64_t align)
+{
+    return (a / align) * align;
+}
+
+/**
+ * Positive modulo: result is always in [0, m) even for "negative"
+ * differences computed in unsigned arithmetic.
+ */
+constexpr std::uint64_t
+posMod(std::int64_t a, std::uint64_t m)
+{
+    std::int64_t r = a % static_cast<std::int64_t>(m);
+    return static_cast<std::uint64_t>(r < 0 ?
+                                      r + static_cast<std::int64_t>(m) : r);
+}
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_INTMATH_H

@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace cdpc
+{
+
+namespace
+{
+
+std::atomic<bool> quietFlag{false};
+
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+isQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+emitWarn(const std::string &msg)
+{
+    if (!isQuiet())
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (!isQuiet())
+        std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace cdpc

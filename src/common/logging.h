@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, following the
+ * gem5 fatal()/panic() discipline:
+ *
+ *  - panic():  an internal invariant was violated — a bug in this
+ *              library, never the user's fault.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments).
+ *  - warn():   something works, but not as well as it should.
+ *  - inform(): purely informational status output.
+ *
+ * Because this code is a library used from tests, panic() and fatal()
+ * throw typed exceptions (PanicError / FatalError) rather than calling
+ * abort()/exit(); a standalone binary that does not catch them still
+ * terminates with the message on stderr.
+ */
+
+#ifndef CDPC_COMMON_LOGGING_H
+#define CDPC_COMMON_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cdpc
+{
+
+/** Thrown by panic(): an internal invariant of the library failed. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user asked for something unsatisfiable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a pack of stream-insertable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal bug and throw PanicError.
+ * Use when a condition should be impossible regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError("panic: " +
+                     detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user error and throw FatalError.
+ * Use for bad configurations and invalid arguments.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError("fatal: " +
+                     detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless @p cond holds. */
+template <typename Cond, typename... Args>
+void
+panicIfNot(const Cond &cond, Args &&...args)
+{
+    if (!cond)
+        panic(std::forward<Args>(args)...);
+}
+
+/** fatal() if @p cond holds. */
+template <typename Cond, typename... Args>
+void
+fatalIf(const Cond &cond, Args &&...args)
+{
+    if (cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** Print a warning to stderr; never throws, never stops execution. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarn(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence warn()/inform() output (used by tests/benches). */
+void setQuiet(bool quiet);
+
+/** @return whether warn()/inform() output is currently suppressed. */
+bool isQuiet();
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_LOGGING_H

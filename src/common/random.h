@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*).
+ *
+ * The simulator must be reproducible run-to-run, so all stochastic
+ * behaviour (the bin-hopping fault race, randomized test sweeps)
+ * draws from explicitly seeded Rng instances — never from global
+ * state or std::random_device.
+ */
+
+#ifndef CDPC_COMMON_RANDOM_H
+#define CDPC_COMMON_RANDOM_H
+
+#include <cstdint>
+
+namespace cdpc
+{
+
+/** Small, fast, seedable xorshift64* generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 1)
+    {}
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** @return a value uniform in [0, bound); @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return a double uniform in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_RANDOM_H

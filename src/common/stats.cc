@@ -1,0 +1,49 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cdpc
+{
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    fatalIf(values.empty(), "geometricMean of an empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        fatalIf(v <= 0.0, "geometricMean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= (1ULL << 30) && bytes % (1ULL << 20) == 0) {
+        std::snprintf(buf, sizeof(buf), "%.1fGB",
+                      static_cast<double>(bytes) / (1ULL << 30));
+    } else if (bytes >= (1ULL << 20)) {
+        std::snprintf(buf, sizeof(buf), "%.1fMB",
+                      static_cast<double>(bytes) / (1ULL << 20));
+    } else if (bytes >= (1ULL << 10)) {
+        std::snprintf(buf, sizeof(buf), "%.0fKB",
+                      static_cast<double>(bytes) / (1ULL << 10));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace cdpc

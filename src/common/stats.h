@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, running
+ * distributions and fixed-bucket histograms. These are the building
+ * blocks for the memory-system and execution statistics that the
+ * benchmark harness turns into the paper's tables and figures.
+ */
+
+#ifndef CDPC_COMMON_STATS_H
+#define CDPC_COMMON_STATS_H
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+/** A running distribution: count, mean, stddev, min, max. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        count_++;
+        sum_ += v;
+        sumSq_ += v * v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double
+    stddev() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        double m = mean();
+        double var = sumSq_ / static_cast<double>(count_) - m * m;
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = Distribution{};
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width bucket histogram over [0, buckets * bucketWidth).
+ * Samples beyond the last bucket are clamped into it.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::size_t buckets, double bucket_width)
+        : width(bucket_width), counts(buckets, 0)
+    {
+        fatalIf(buckets == 0, "Histogram needs at least one bucket");
+        fatalIf(bucket_width <= 0.0, "Histogram bucket width must be > 0");
+    }
+
+    void
+    sample(double v)
+    {
+        if (v < 0.0)
+            v = 0.0;
+        auto idx = static_cast<std::size_t>(v / width);
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+        counts[idx]++;
+        total_++;
+    }
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+    std::size_t buckets() const { return counts.size(); }
+    double bucketWidth() const { return width; }
+    std::uint64_t total() const { return total_; }
+
+  private:
+    double width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total_ = 0;
+};
+
+/** @return the geometric mean of @p values (all must be > 0). */
+double geometricMean(const std::vector<double> &values);
+
+/** Format a byte count as "14.0MB" / "512KB" / "32B". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a ratio as a fixed-precision percentage, e.g. "42.3%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_STATS_H

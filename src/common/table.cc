@@ -1,0 +1,136 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != ',' && c != 'x') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    fatalIf(header.empty(), "TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != header.size(),
+            "TextTable row arity ", cells.size(), " != header arity ",
+            header.size());
+    body.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    body.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); c++)
+        widths[c] = header[c].size();
+    for (const auto &row : body) {
+        for (std::size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); c++) {
+            os << (c == 0 ? "| " : " ");
+            bool right = looksNumeric(row[c]);
+            std::size_t pad = widths[c] - row[c].size();
+            if (right)
+                os << std::string(pad, ' ') << row[c];
+            else
+                os << row[c] << std::string(pad, ' ');
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    auto emit_sep = [&](std::ostringstream &os) {
+        for (std::size_t c = 0; c < widths.size(); c++) {
+            os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-')
+               << "|";
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit_row(os, header);
+    emit_sep(os);
+    for (const auto &row : body) {
+        if (row.empty())
+            emit_sep(os);
+        else
+            emit_row(os, row);
+    }
+    return os.str();
+}
+
+std::string
+textBar(double value, double max_value, int width, char fill)
+{
+    if (max_value <= 0.0 || value < 0.0)
+        return std::string(static_cast<std::size_t>(width), ' ');
+    double frac = std::min(1.0, value / max_value);
+    auto n = static_cast<std::size_t>(frac * width + 0.5);
+    std::string bar(n, fill);
+    bar.resize(static_cast<std::size_t>(width), ' ');
+    return bar;
+}
+
+std::string
+fmtF(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtI(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int seen = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (seen && seen % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        seen++;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace cdpc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Plain-text table and bar rendering used by the benchmark harness to
+ * print the paper's tables and figure series on a terminal.
+ */
+
+#ifndef CDPC_COMMON_TABLE_H
+#define CDPC_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cdpc
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Numeric-looking cells are right-aligned, everything else is
+ * left-aligned. render() returns the whole table including a header
+ * separator row.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** @return the rendered table, newline-terminated. */
+    std::string render() const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> header;
+    /** Each row is either a full set of cells or empty (= separator). */
+    std::vector<std::vector<std::string>> body;
+};
+
+/**
+ * Render a horizontal bar of width proportional to value/maxValue,
+ * e.g. "#######   " — used to sketch the paper's bar-chart figures.
+ */
+std::string textBar(double value, double max_value, int width = 40,
+                    char fill = '#');
+
+/** Fixed-precision double formatting, e.g. fmtF(3.14159, 2) == "3.14". */
+std::string fmtF(double v, int precision = 2);
+
+/** Integer formatting with thousands separators: 1234567 -> "1,234,567". */
+std::string fmtI(std::uint64_t v);
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_TABLE_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module in the CDPC
+ * reproduction: addresses, cycle counts, page/color/processor ids.
+ *
+ * All address arithmetic in the simulator is done on 64-bit unsigned
+ * integers. Virtual and physical addresses are distinct typedefs for
+ * documentation purposes only; the VM layer is the single place where
+ * one is converted into the other.
+ */
+
+#ifndef CDPC_COMMON_TYPES_H
+#define CDPC_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace cdpc
+{
+
+/** Generic 64-bit address. */
+using Addr = std::uint64_t;
+
+/** A virtual address within an application's address space. */
+using VAddr = Addr;
+
+/** A physical address chosen by the physical memory manager. */
+using PAddr = Addr;
+
+/** A virtual or physical page number (address / page size). */
+using PageNum = std::uint64_t;
+
+/**
+ * A cache color: the index of the cache bin a page maps to.
+ * Two physical pages conflict in a physically indexed cache only if
+ * they have the same color (paper, Section 2.1).
+ */
+using Color = std::uint32_t;
+
+/** Processor identifier, 0-based. */
+using CpuId = std::uint32_t;
+
+/** Simulated processor cycles. */
+using Cycles = std::uint64_t;
+
+/** Simulated instruction counts. */
+using Insts = std::uint64_t;
+
+/** Sentinel meaning "no color preference". */
+inline constexpr Color kNoColor = ~Color{0};
+
+/** Sentinel meaning "no/invalid CPU". */
+inline constexpr CpuId kNoCpu = ~CpuId{0};
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_TYPES_H

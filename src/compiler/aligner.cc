@@ -1,0 +1,70 @@
+#include "compiler/aligner.h"
+
+#include <set>
+#include <vector>
+
+#include "common/intmath.h"
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+LayoutOptions
+computeAlignedLayout(const Program &program,
+                     const std::vector<GroupAccessPair> &groups,
+                     const AlignerOptions &opts)
+{
+    fatalIf(opts.lineBytes == 0, "aligner line size must be nonzero");
+    fatalIf(opts.l1SpanBytes % opts.lineBytes != 0,
+            "L1 span must be a multiple of the line size");
+
+    LayoutOptions layout;
+    layout.alignToLine = true;
+    layout.lineBytes = opts.lineBytes;
+    layout.padBytes.assign(program.arrays.size(), 0);
+
+    // Adjacency from the group access information.
+    std::vector<std::set<std::uint32_t>> partners(program.arrays.size());
+    for (const GroupAccessPair &g : groups) {
+        if (g.arrayA < partners.size() && g.arrayB < partners.size()) {
+            partners[g.arrayA].insert(g.arrayB);
+            partners[g.arrayB].insert(g.arrayA);
+        }
+    }
+
+    // Simulate the layout walk, nudging each array forward until its
+    // start offset within one L1 way differs from every already
+    // placed group partner.
+    std::vector<std::uint64_t> start(program.arrays.size(), 0);
+    VAddr cursor = layout.dataBase;
+    for (std::size_t i = 0; i < program.arrays.size(); i++) {
+        cursor = roundUp(cursor, opts.lineBytes);
+        std::uint64_t pad = 0;
+        auto collides = [&](VAddr at) {
+            std::uint64_t off = at % opts.l1SpanBytes;
+            for (std::uint32_t p : partners[i]) {
+                if (p < i && start[p] % opts.l1SpanBytes == off)
+                    return true;
+            }
+            return false;
+        };
+        std::uint64_t max_pad = opts.l1SpanBytes;
+        while (collides(cursor + pad) && pad < max_pad)
+            pad += opts.lineBytes;
+        layout.padBytes[i] = pad;
+        start[i] = cursor + pad;
+        cursor = start[i] + program.arrays[i].sizeBytes();
+    }
+    return layout;
+}
+
+LayoutOptions
+computeUnalignedLayout()
+{
+    LayoutOptions layout;
+    layout.alignToLine = false;
+    layout.deliberatelyUnaligned = true;
+    return layout;
+}
+
+} // namespace cdpc

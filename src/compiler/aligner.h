@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Data-structure alignment and padding (paper, Section 5.4).
+ *
+ * Two compile-time layout decisions complement page coloring:
+ *  - every array starts on a cache-line boundary, eliminating false
+ *    sharing between structures;
+ *  - arrays used together (per the group access information) get
+ *    small pads so their starting addresses never map to the same
+ *    location in the *on-chip* cache, which page mapping cannot fix
+ *    because that cache is virtually indexed.
+ */
+
+#ifndef CDPC_COMPILER_ALIGNER_H
+#define CDPC_COMPILER_ALIGNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/summaries.h"
+#include "ir/layout.h"
+#include "ir/program.h"
+
+namespace cdpc
+{
+
+/** Knobs for the alignment pass. */
+struct AlignerOptions
+{
+    std::uint32_t lineBytes = 32;
+    /** Span of one on-chip cache way (size / assoc), in bytes. */
+    std::uint64_t l1SpanBytes = 2 * 1024;
+};
+
+/**
+ * Compute layout options implementing the Section 5.4 policy: line
+ * alignment plus inter-array pads such that group-access partners
+ * start at distinct on-chip cache offsets.
+ *
+ * @param program the program (addresses need not be assigned yet)
+ * @param groups group access pairs from the analysis
+ */
+LayoutOptions computeAlignedLayout(const Program &program,
+                                   const std::vector<GroupAccessPair> &groups,
+                                   const AlignerOptions &opts = {});
+
+/** The naive layout of Figure 9's "not aligned" configuration. */
+LayoutOptions computeUnalignedLayout();
+
+} // namespace cdpc
+
+#endif // CDPC_COMPILER_ALIGNER_H

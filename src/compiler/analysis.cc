@@ -1,0 +1,207 @@
+#include "compiler/analysis.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+/** Net coefficient of @p dim in @p ref's index expression. */
+std::int64_t
+coeffOf(const AffineRef &ref, std::uint32_t dim)
+{
+    std::int64_t c = 0;
+    for (const AffineTerm &t : ref.terms) {
+        if (t.loopDim == dim)
+            c += t.coeffElems;
+    }
+    return c;
+}
+
+bool
+samePartition(const ArrayPartitionSummary &a,
+              const ArrayPartitionSummary &b)
+{
+    return a.arrayId == b.arrayId && a.unitBytes == b.unitBytes &&
+           a.policy == b.policy && a.dir == b.dir;
+}
+
+void
+analyzeNest(const Program &program, const LoopNest &nest,
+            AccessSummaries &out, std::set<std::uint32_t> &unanalyzable)
+{
+    // Group access: every pair of distinct arrays in this nest.
+    std::set<std::uint32_t> arrays_here;
+    for (const AffineRef &r : nest.refs)
+        arrays_here.insert(r.arrayId);
+    for (auto a = arrays_here.begin(); a != arrays_here.end(); ++a) {
+        for (auto b = std::next(a); b != arrays_here.end(); ++b) {
+            GroupAccessPair pair{*a, *b};
+            if (std::find(out.groups.begin(), out.groups.end(), pair) ==
+                out.groups.end()) {
+                out.groups.push_back(pair);
+            }
+        }
+    }
+
+    for (const AffineRef &ref : nest.refs) {
+        const ArrayDecl &arr = program.arrays[ref.arrayId];
+        if (ref.wrapModElems != 0 || !arr.summarizable) {
+            unanalyzable.insert(ref.arrayId);
+            continue;
+        }
+        if (nest.kind != NestKind::Parallel)
+            continue;
+
+        std::int64_t c_p = coeffOf(ref, nest.parallelDim);
+        if (c_p == 0)
+            continue; // replicated access in this nest
+
+        // The summary model describes contiguous per-processor data:
+        // it only applies when the distributed loop drives the
+        // outermost (largest-stride) array index. Otherwise the
+        // processor footprint is strided and no partition summary is
+        // emitted — the array falls back to replicated treatment,
+        // like the structures SUIF could not restructure.
+        bool outermost = true;
+        for (const AffineTerm &t : ref.terms) {
+            if (t.loopDim != nest.parallelDim &&
+                std::llabs(t.coeffElems) > std::llabs(c_p)) {
+                outermost = false;
+                break;
+            }
+        }
+        if (!outermost)
+            continue;
+
+        ArrayPartitionSummary part;
+        part.arrayId = ref.arrayId;
+        part.start = arr.base;
+        part.sizeBytes = arr.sizeBytes();
+        part.unitBytes = static_cast<std::uint64_t>(std::llabs(c_p)) *
+                         arr.elemBytes;
+        part.numUnits = part.sizeBytes / std::max<std::uint64_t>(
+                                             part.unitBytes, 1);
+        part.policy = nest.partition.policy;
+        part.dir = nest.partition.dir;
+
+        bool duplicate = false;
+        for (const ArrayPartitionSummary &p : out.partitions) {
+            if (samePartition(p, part)) {
+                duplicate = true;
+                break;
+            }
+        }
+        if (!duplicate)
+            out.partitions.push_back(part);
+
+        // Shift communication: a constant offset of a small whole
+        // number of partition units means this CPU reads its
+        // neighbour's boundary units.
+        if (ref.constElems != 0 && ref.constElems % c_p == 0) {
+            std::int64_t units = ref.constElems / c_p;
+            if (units != 0 && std::llabs(units) <= 2) {
+                CommPatternSummary comm;
+                comm.arrayId = ref.arrayId;
+                comm.type = CommType::Shift;
+                comm.boundaryUnits =
+                    static_cast<std::uint32_t>(std::llabs(units));
+                comm.dir = units < 0 ? CommDir::Low : CommDir::High;
+                bool seen = false;
+                for (CommPatternSummary &c : out.comms) {
+                    if (c.arrayId == comm.arrayId &&
+                        c.type == comm.type) {
+                        // Merge: widen and combine directions.
+                        c.boundaryUnits =
+                            std::max(c.boundaryUnits,
+                                     comm.boundaryUnits);
+                        if (c.dir != comm.dir)
+                            c.dir = CommDir::Both;
+                        seen = true;
+                        break;
+                    }
+                }
+                if (!seen)
+                    out.comms.push_back(comm);
+            }
+        }
+    }
+}
+
+} // namespace
+
+AccessSummaries
+analyzeProgram(const Program &program)
+{
+    AccessSummaries out;
+    out.programName = program.name;
+    std::set<std::uint32_t> unanalyzable;
+
+    // Arrays the workload author already flagged (e.g. indirect
+    // accesses the real compiler could not analyze).
+    for (std::size_t i = 0; i < program.arrays.size(); i++) {
+        if (!program.arrays[i].summarizable)
+            unanalyzable.insert(static_cast<std::uint32_t>(i));
+    }
+
+    for (const Phase &phase : program.steady) {
+        for (const LoopNest &nest : phase.nests)
+            analyzeNest(program, nest, out, unanalyzable);
+    }
+
+    // Author-declared communication (e.g. periodic boundaries done
+    // through index arithmetic the affine analysis cannot see).
+    for (const DeclaredComm &d : program.declaredComms) {
+        fatalIf(d.arrayId >= program.arrays.size(),
+                "declared comm names nonexistent array ", d.arrayId);
+        CommPatternSummary comm;
+        comm.arrayId = d.arrayId;
+        comm.type = d.rotate ? CommType::Rotate : CommType::Shift;
+        comm.boundaryUnits = d.boundaryUnits;
+        comm.dir = CommDir::Both;
+        bool merged = false;
+        for (CommPatternSummary &c : out.comms) {
+            if (c.arrayId == comm.arrayId && c.type == comm.type) {
+                c.boundaryUnits =
+                    std::max(c.boundaryUnits, comm.boundaryUnits);
+                c.dir = CommDir::Both;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            out.comms.push_back(comm);
+    }
+
+    // Drop partitions of arrays that later turned out unanalyzable.
+    std::erase_if(out.partitions,
+                  [&](const ArrayPartitionSummary &p) {
+                      return unanalyzable.contains(p.arrayId);
+                  });
+    std::erase_if(out.comms, [&](const CommPatternSummary &c) {
+        return unanalyzable.contains(c.arrayId);
+    });
+
+    out.unanalyzable.assign(unanalyzable.begin(), unanalyzable.end());
+
+    out.arrays.reserve(program.arrays.size());
+    for (std::size_t i = 0; i < program.arrays.size(); i++) {
+        const ArrayDecl &a = program.arrays[i];
+        ArrayExtent ext;
+        ext.arrayId = static_cast<std::uint32_t>(i);
+        ext.start = a.base;
+        ext.sizeBytes = a.sizeBytes();
+        ext.analyzable =
+            !unanalyzable.contains(static_cast<std::uint32_t>(i));
+        out.arrays.push_back(ext);
+    }
+    return out;
+}
+
+} // namespace cdpc

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The compiler analyses that produce the CDPC access-pattern
+ * summaries: array partitioning, communication patterns and group
+ * access information (paper, Section 5.1).
+ *
+ * "The compiler uses information that is directly derived from its
+ *  parallelization and locality analysis" — here, derived from the
+ * static schedules and affine references of the parallel loop nests.
+ */
+
+#ifndef CDPC_COMPILER_ANALYSIS_H
+#define CDPC_COMPILER_ANALYSIS_H
+
+#include "compiler/summaries.h"
+#include "ir/program.h"
+
+namespace cdpc
+{
+
+/**
+ * Derive the full summary bundle for @p program.
+ *
+ * For every parallel nest and affine reference, the analysis
+ * determines the array's partition unit (|coefficient of the
+ * distributed loop| * element size), the schedule (policy and
+ * direction), shift-type boundary communication (constant offsets of
+ * a small whole number of units), and the group-access pairs (arrays
+ * co-referenced in one nest). References with wrapped (non-affine)
+ * index expressions mark their array unanalyzable, excluding it from
+ * CDPC exactly as in the paper's su2cor discussion.
+ */
+AccessSummaries analyzeProgram(const Program &program);
+
+} // namespace cdpc
+
+#endif // CDPC_COMPILER_ANALYSIS_H

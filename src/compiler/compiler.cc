@@ -1,0 +1,40 @@
+#include "compiler/compiler.h"
+
+namespace cdpc
+{
+
+CompileResult
+compileProgram(Program &program, const CompilerOptions &opts)
+{
+    program.validate();
+
+    CompileResult res;
+    res.parallelizer = parallelize(program, opts.parallelizer);
+
+    // Layout transformation must precede the analysis and the
+    // address assignment: it rewrites dimensions and references.
+    if (opts.transpose)
+        res.transpose = transposeForContiguity(program);
+
+    // The analysis needs the final nest kinds but not addresses; the
+    // aligner needs the group access info; layout must precede any
+    // address-dependent consumer (CDPC, simulation).
+    AccessSummaries pre = analyzeProgram(program);
+    res.layout = opts.align
+                     ? computeAlignedLayout(program, pre.groups,
+                                            opts.aligner)
+                     : computeUnalignedLayout();
+    assignAddresses(program, res.layout);
+
+    if (opts.prefetch)
+        res.prefetcher = insertPrefetches(program, opts.prefetcher);
+    else
+        clearPrefetches(program);
+
+    // Re-run the analysis now that base addresses are final (the
+    // partition summaries carry starting virtual addresses).
+    res.summaries = analyzeProgram(program);
+    return res;
+}
+
+} // namespace cdpc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The compiler driver: runs the full SUIF-like pipeline on an IR
+ * program — parallelization (suppression), layout (alignment and
+ * padding), access-pattern analysis, and optionally prefetch
+ * insertion — and returns the summary bundle CDPC's run-time
+ * library consumes.
+ */
+
+#ifndef CDPC_COMPILER_COMPILER_H
+#define CDPC_COMPILER_COMPILER_H
+
+#include "compiler/aligner.h"
+#include "compiler/analysis.h"
+#include "compiler/parallelizer.h"
+#include "compiler/prefetcher.h"
+#include "compiler/transpose.h"
+#include "ir/layout.h"
+#include "ir/program.h"
+
+namespace cdpc
+{
+
+/** End-to-end compilation options. */
+struct CompilerOptions
+{
+    /** Apply the Section 5.4 alignment + padding layout. */
+    bool align = true;
+    /** Insert software prefetches (Section 6.2). */
+    bool prefetch = false;
+    /** Transpose arrays for per-CPU contiguity (Section 2.2 [2]). */
+    bool transpose = true;
+    ParallelizerOptions parallelizer;
+    PrefetcherOptions prefetcher;
+    AlignerOptions aligner;
+};
+
+/** Everything the driver produced besides the mutated program. */
+struct CompileResult
+{
+    AccessSummaries summaries;
+    ParallelizerResult parallelizer;
+    PrefetcherResult prefetcher;
+    TransposeResult transpose;
+    LayoutOptions layout;
+};
+
+/**
+ * Compile @p program in place: decide suppression, assign addresses,
+ * (optionally) insert prefetches, and derive the CDPC summaries.
+ */
+CompileResult compileProgram(Program &program,
+                             const CompilerOptions &opts = {});
+
+} // namespace cdpc
+
+#endif // CDPC_COMPILER_COMPILER_H

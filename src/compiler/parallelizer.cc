@@ -1,0 +1,48 @@
+#include "compiler/parallelizer.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+std::uint64_t
+nestWork(const LoopNest &nest)
+{
+    // Instructions plus one unit per reference: a rough cost model of
+    // a nest invocation, enough to separate fine-grain loops from
+    // real computational kernels.
+    std::uint64_t per_iter = nest.instsPerIter + nest.refs.size();
+    return nest.totalIters() * per_iter;
+}
+
+} // namespace
+
+ParallelizerResult
+parallelize(Program &program, const ParallelizerOptions &opts)
+{
+    ParallelizerResult res;
+    for (Phase &phase : program.steady) {
+        for (LoopNest &nest : phase.nests) {
+            switch (nest.kind) {
+              case NestKind::Sequential:
+                res.sequentialNests++;
+                break;
+              case NestKind::Suppressed:
+                res.suppressedNests++;
+                break;
+              case NestKind::Parallel:
+                if (nestWork(nest) < opts.suppressionThresholdInsts) {
+                    nest.kind = NestKind::Suppressed;
+                    res.suppressedNests++;
+                } else {
+                    res.parallelNests++;
+                }
+                break;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace cdpc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The parallelizer pass: granularity-based suppression.
+ *
+ * SUIF statically schedules parallel loops but suppresses those too
+ * fine-grained to pay for synchronization on real machines:
+ * "Both apsi and wave5 have fine-grain loop-level parallelism that
+ *  is suppressed ... because of their high synchronization and
+ *  communication costs" (Section 4.1). This pass walks every nest
+ * marked Parallel and demotes it to Suppressed when the work per
+ * invocation falls below a threshold.
+ */
+
+#ifndef CDPC_COMPILER_PARALLELIZER_H
+#define CDPC_COMPILER_PARALLELIZER_H
+
+#include <cstdint>
+
+#include "ir/program.h"
+
+namespace cdpc
+{
+
+/** Knobs for the suppression heuristic. */
+struct ParallelizerOptions
+{
+    /**
+     * Minimum total instructions a parallel nest must execute per
+     * invocation to be worth the barrier; below this it is
+     * suppressed and runs on the master alone.
+     */
+    std::uint64_t suppressionThresholdInsts = 50000;
+};
+
+/** Statistics the pass reports. */
+struct ParallelizerResult
+{
+    std::uint32_t parallelNests = 0;
+    std::uint32_t suppressedNests = 0;
+    std::uint32_t sequentialNests = 0;
+};
+
+/**
+ * Apply granularity-based suppression to every steady-state nest.
+ * Nests authored Sequential or Suppressed are left as-is.
+ */
+ParallelizerResult parallelize(Program &program,
+                               const ParallelizerOptions &opts = {});
+
+} // namespace cdpc
+
+#endif // CDPC_COMPILER_PARALLELIZER_H

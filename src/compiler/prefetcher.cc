@@ -1,0 +1,124 @@
+#include "compiler/prefetcher.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/intmath.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+std::int64_t
+innerCoeff(const AffineRef &ref, std::uint32_t inner_dim)
+{
+    std::int64_t c = 0;
+    for (const AffineTerm &t : ref.terms) {
+        if (t.loopDim == inner_dim)
+            c += t.coeffElems;
+    }
+    return c;
+}
+
+void
+annotateNest(const Program &program, LoopNest &nest,
+             const PrefetcherOptions &opts, PrefetcherResult &res)
+{
+    auto inner = static_cast<std::uint32_t>(nest.bounds.size() - 1);
+    for (std::size_t i = 0; i < nest.refs.size(); i++) {
+        AffineRef &ref = nest.refs[i];
+        const ArrayDecl &arr = program.arrays[ref.arrayId];
+
+        if (arr.sizeBytes() < opts.minArrayBytes) {
+            res.refsSkippedSmallArray++;
+            continue;
+        }
+        std::int64_t stride =
+            innerCoeff(ref, inner) * static_cast<std::int64_t>(
+                                         arr.elemBytes);
+        if (stride == 0) {
+            res.refsSkippedZeroStride++;
+            continue;
+        }
+
+        // Group reuse: when an earlier reference walks the same array
+        // with the same stride less than a line apart, it already
+        // covers this one's lines.
+        bool covered = false;
+        for (std::size_t j = 0; j < i; j++) {
+            const AffineRef &lead = nest.refs[j];
+            if (lead.arrayId != ref.arrayId ||
+                lead.prefetchDistLines == 0) {
+                continue;
+            }
+            if (innerCoeff(lead, inner) == innerCoeff(ref, inner) &&
+                static_cast<std::uint64_t>(
+                    std::llabs(lead.constElems - ref.constElems)) *
+                        arr.elemBytes < opts.lineBytes) {
+                covered = true;
+                break;
+            }
+        }
+        if (covered) {
+            res.refsSkippedGroupReuse++;
+            continue;
+        }
+
+        // Software pipelining: distance (in lines) that covers the
+        // memory latency given the instructions executed per line.
+        std::uint64_t abs_stride =
+            static_cast<std::uint64_t>(std::llabs(stride));
+        std::uint64_t insts_per_line = nest.instsPerIter;
+        if (abs_stride < opts.lineBytes) {
+            insts_per_line *=
+                std::max<std::uint64_t>(opts.lineBytes / abs_stride, 1);
+        }
+        std::uint32_t dist = static_cast<std::uint32_t>(
+            divCeil(opts.targetLatency,
+                    std::max<std::uint64_t>(insts_per_line, 1)) + 1);
+        dist = std::min(dist, opts.maxDistLines);
+        dist = std::max<std::uint32_t>(dist, 1);
+        if (nest.prefetchPipelineInhibited) {
+            // Tiling defeats the software pipeline: the prefetch is
+            // still emitted, but too close to its use to help.
+            dist = 1;
+            ref.prefetchLate = true;
+        } else {
+            ref.prefetchLate = false;
+        }
+
+        ref.prefetchDistLines = dist;
+        res.refsAnnotated++;
+    }
+}
+
+} // namespace
+
+PrefetcherResult
+insertPrefetches(Program &program, const PrefetcherOptions &opts)
+{
+    clearPrefetches(program);
+    PrefetcherResult res;
+    for (Phase &phase : program.steady) {
+        for (LoopNest &nest : phase.nests)
+            annotateNest(program, nest, opts, res);
+    }
+    return res;
+}
+
+void
+clearPrefetches(Program &program)
+{
+    for (Phase &phase : program.steady) {
+        for (LoopNest &nest : phase.nests) {
+            for (AffineRef &ref : nest.refs) {
+                ref.prefetchDistLines = 0;
+                ref.prefetchLate = false;
+            }
+        }
+    }
+}
+
+} // namespace cdpc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The compiler -> run-time interface of CDPC (paper, Section 5.1).
+ *
+ * "The compiler extracts three kinds of information from the
+ *  program: array partitioning, communication patterns, and group
+ *  access information."
+ *
+ * These structures are exactly that interface: everything the
+ * run-time library needs, with machine-specific parameters (CPU
+ * count, cache geometry, page size) left to be bound at program
+ * start-up, as in the paper.
+ */
+
+#ifndef CDPC_COMPILER_SUMMARIES_H
+#define CDPC_COMPILER_SUMMARIES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ir/loop.h"
+
+namespace cdpc
+{
+
+/**
+ * How one array is partitioned across the processors by the static
+ * schedule of the parallel loops that access it.
+ */
+struct ArrayPartitionSummary
+{
+    std::uint32_t arrayId = 0;
+    /** Starting virtual address of the array. */
+    VAddr start = 0;
+    /** Total array size in bytes. */
+    std::uint64_t sizeBytes = 0;
+    /**
+     * The data partitioning unit: the bytes operated on in one
+     * iteration of the parallel loop (e.g. one column/row).
+     */
+    std::uint64_t unitBytes = 0;
+    /** Number of units along the distributed dimension. */
+    std::uint64_t numUnits = 0;
+    PartitionPolicy policy = PartitionPolicy::Even;
+    PartitionDir dir = PartitionDir::Forward;
+};
+
+/** Inter-processor communication shape on an array's boundaries. */
+enum class CommType : unsigned char
+{
+    /** Neighbouring processors exchange boundary units. */
+    Shift,
+    /** Boundary exchange wraps around (CPU p-1 <-> CPU 0). */
+    Rotate,
+};
+
+/** Which neighbour's boundary a processor reads. */
+enum class CommDir : unsigned char
+{
+    /** Units just below the chunk (a[i-1]-style references). */
+    Low,
+    /** Units just above the chunk (a[i+1]-style references). */
+    High,
+    /** Both neighbours. */
+    Both,
+};
+
+/** One communication pattern record. */
+struct CommPatternSummary
+{
+    std::uint32_t arrayId = 0;
+    CommType type = CommType::Shift;
+    /** Width of the exchanged boundary region, in partition units. */
+    std::uint32_t boundaryUnits = 1;
+    CommDir dir = CommDir::Both;
+};
+
+/** A pair of arrays accessed within the same loops. */
+struct GroupAccessPair
+{
+    std::uint32_t arrayA = 0;
+    std::uint32_t arrayB = 0;
+
+    bool operator==(const GroupAccessPair &) const = default;
+};
+
+/** Placement facts about one array (start-up-time information). */
+struct ArrayExtent
+{
+    std::uint32_t arrayId = 0;
+    VAddr start = 0;
+    std::uint64_t sizeBytes = 0;
+    /** False when the array carries unanalyzable accesses. */
+    bool analyzable = true;
+};
+
+/** The full summary bundle the compiler emits for one program. */
+struct AccessSummaries
+{
+    std::string programName;
+    /** Every array's extent, in declaration order. */
+    std::vector<ArrayExtent> arrays;
+    std::vector<ArrayPartitionSummary> partitions;
+    std::vector<CommPatternSummary> comms;
+    std::vector<GroupAccessPair> groups;
+
+    /** Arrays with at least one unanalyzable access (no summary). */
+    std::vector<std::uint32_t> unanalyzable;
+
+    bool
+    isAnalyzable(std::uint32_t array_id) const
+    {
+        for (std::uint32_t a : unanalyzable) {
+            if (a == array_id)
+                return false;
+        }
+        return true;
+    }
+};
+
+} // namespace cdpc
+
+#endif // CDPC_COMPILER_SUMMARIES_H

@@ -1,0 +1,180 @@
+#include "compiler/summaries_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'D', 'P', 'C', 'S', 'U', 'M', '1'};
+
+void
+putU64(std::ostream &out, std::uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint64_t
+getU64(std::istream &in)
+{
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    fatalIf(!in, "truncated summaries stream");
+    return v;
+}
+
+void
+putString(std::ostream &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+getString(std::istream &in)
+{
+    std::uint64_t n = getU64(in);
+    fatalIf(n > (1u << 20), "implausible string length in summaries");
+    std::string s(n, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(n));
+    fatalIf(!in, "truncated summaries stream");
+    return s;
+}
+
+} // namespace
+
+void
+saveSummaries(const AccessSummaries &s, std::ostream &out)
+{
+    out.write(kMagic, sizeof(kMagic));
+    putString(out, s.programName);
+
+    putU64(out, s.arrays.size());
+    for (const ArrayExtent &a : s.arrays) {
+        putU64(out, a.arrayId);
+        putU64(out, a.start);
+        putU64(out, a.sizeBytes);
+        putU64(out, a.analyzable ? 1 : 0);
+    }
+
+    putU64(out, s.partitions.size());
+    for (const ArrayPartitionSummary &p : s.partitions) {
+        putU64(out, p.arrayId);
+        putU64(out, p.start);
+        putU64(out, p.sizeBytes);
+        putU64(out, p.unitBytes);
+        putU64(out, p.numUnits);
+        putU64(out, static_cast<std::uint64_t>(p.policy));
+        putU64(out, static_cast<std::uint64_t>(p.dir));
+    }
+
+    putU64(out, s.comms.size());
+    for (const CommPatternSummary &c : s.comms) {
+        putU64(out, c.arrayId);
+        putU64(out, static_cast<std::uint64_t>(c.type));
+        putU64(out, c.boundaryUnits);
+        putU64(out, static_cast<std::uint64_t>(c.dir));
+    }
+
+    putU64(out, s.groups.size());
+    for (const GroupAccessPair &g : s.groups) {
+        putU64(out, g.arrayA);
+        putU64(out, g.arrayB);
+    }
+
+    putU64(out, s.unanalyzable.size());
+    for (std::uint32_t a : s.unanalyzable)
+        putU64(out, a);
+
+    fatalIf(!out, "summaries write failed");
+}
+
+void
+saveSummaries(const AccessSummaries &s, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatalIf(!out, "cannot open summaries file for writing: ", path);
+    saveSummaries(s, out);
+}
+
+AccessSummaries
+loadSummaries(std::istream &in)
+{
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    fatalIf(!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+            "not a CDPC summaries stream");
+
+    AccessSummaries s;
+    s.programName = getString(in);
+
+    std::uint64_t n = getU64(in);
+    fatalIf(n > (1u << 20), "implausible array count");
+    for (std::uint64_t i = 0; i < n; i++) {
+        ArrayExtent a;
+        a.arrayId = static_cast<std::uint32_t>(getU64(in));
+        a.start = getU64(in);
+        a.sizeBytes = getU64(in);
+        a.analyzable = getU64(in) != 0;
+        s.arrays.push_back(a);
+    }
+
+    n = getU64(in);
+    fatalIf(n > (1u << 20), "implausible partition count");
+    for (std::uint64_t i = 0; i < n; i++) {
+        ArrayPartitionSummary p;
+        p.arrayId = static_cast<std::uint32_t>(getU64(in));
+        p.start = getU64(in);
+        p.sizeBytes = getU64(in);
+        p.unitBytes = getU64(in);
+        p.numUnits = getU64(in);
+        p.policy = static_cast<PartitionPolicy>(getU64(in));
+        p.dir = static_cast<PartitionDir>(getU64(in));
+        s.partitions.push_back(p);
+    }
+
+    n = getU64(in);
+    fatalIf(n > (1u << 20), "implausible comm count");
+    for (std::uint64_t i = 0; i < n; i++) {
+        CommPatternSummary c;
+        c.arrayId = static_cast<std::uint32_t>(getU64(in));
+        c.type = static_cast<CommType>(getU64(in));
+        c.boundaryUnits = static_cast<std::uint32_t>(getU64(in));
+        c.dir = static_cast<CommDir>(getU64(in));
+        s.comms.push_back(c);
+    }
+
+    n = getU64(in);
+    fatalIf(n > (1u << 20), "implausible group count");
+    for (std::uint64_t i = 0; i < n; i++) {
+        GroupAccessPair g;
+        g.arrayA = static_cast<std::uint32_t>(getU64(in));
+        g.arrayB = static_cast<std::uint32_t>(getU64(in));
+        s.groups.push_back(g);
+    }
+
+    n = getU64(in);
+    fatalIf(n > (1u << 20), "implausible unanalyzable count");
+    for (std::uint64_t i = 0; i < n; i++)
+        s.unanalyzable.push_back(
+            static_cast<std::uint32_t>(getU64(in)));
+
+    return s;
+}
+
+AccessSummaries
+loadSummaries(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open summaries file: ", path);
+    return loadSummaries(in);
+}
+
+} // namespace cdpc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary serialization of the compiler's access-pattern summaries.
+ *
+ * In the paper the compiler "generates function calls that pass the
+ * array access patterns to a run-time library" — the summaries are
+ * baked into the binary at compile time and interpreted at start-up
+ * with the machine parameters. This module makes that staging
+ * literal: a compile step can save the AccessSummaries next to the
+ * "binary", and any later run-time step (a different process, a
+ * different machine configuration) loads them and computes its own
+ * plan.
+ *
+ * Format: little-endian, length-prefixed sections, magic "CDPCSUM1".
+ */
+
+#ifndef CDPC_COMPILER_SUMMARIES_IO_H
+#define CDPC_COMPILER_SUMMARIES_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "compiler/summaries.h"
+
+namespace cdpc
+{
+
+/** Serialize @p summaries to a stream. */
+void saveSummaries(const AccessSummaries &summaries, std::ostream &out);
+
+/** Serialize to a file (created/truncated). */
+void saveSummaries(const AccessSummaries &summaries,
+                   const std::string &path);
+
+/** Deserialize from a stream; fatal() on malformed input. */
+AccessSummaries loadSummaries(std::istream &in);
+
+/** Deserialize from a file. */
+AccessSummaries loadSummaries(const std::string &path);
+
+} // namespace cdpc
+
+#endif // CDPC_COMPILER_SUMMARIES_IO_H

@@ -1,0 +1,173 @@
+#include "compiler/transpose.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+/** Which array dimension a term's coefficient walks, with its sign. */
+struct DimDrive
+{
+    std::size_t dim;
+    std::int64_t sign;
+};
+
+std::optional<DimDrive>
+decomposeCoeff(const ArrayDecl &arr, std::int64_t coeff)
+{
+    if (coeff == 0)
+        return std::nullopt;
+    std::int64_t mag = std::llabs(coeff);
+    for (std::size_t d = 0; d < arr.dims.size(); d++) {
+        if (static_cast<std::int64_t>(arr.strideElems(d)) == mag)
+            return DimDrive{d, coeff > 0 ? 1 : -1};
+    }
+    return std::nullopt;
+}
+
+/** Decompose a constant offset into per-dimension offsets. */
+std::optional<std::vector<std::int64_t>>
+decomposeConst(const ArrayDecl &arr, std::int64_t c)
+{
+    std::vector<std::int64_t> offs(arr.dims.size(), 0);
+    for (std::size_t d = 0; d < arr.dims.size(); d++) {
+        auto stride = static_cast<std::int64_t>(arr.strideElems(d));
+        offs[d] = c / stride; // truncates toward zero
+        c -= offs[d] * stride;
+        if (std::llabs(offs[d]) >=
+            static_cast<std::int64_t>(arr.dims[d])) {
+            return std::nullopt; // out-of-range offset
+        }
+    }
+    if (c != 0)
+        return std::nullopt;
+    return offs;
+}
+
+/** All references to @p aid across init and steady phases. */
+template <typename F>
+void
+forEachRef(Program &p, std::uint32_t aid, F &&fn)
+{
+    auto scan = [&](Phase &phase) {
+        for (LoopNest &nest : phase.nests) {
+            for (AffineRef &r : nest.refs) {
+                if (r.arrayId == aid)
+                    fn(nest, r);
+            }
+        }
+    };
+    scan(p.init);
+    for (Phase &phase : p.steady)
+        scan(phase);
+}
+
+} // namespace
+
+TransposeResult
+transposeForContiguity(Program &program)
+{
+    TransposeResult res;
+
+    for (std::uint32_t aid = 0; aid < program.arrays.size(); aid++) {
+        ArrayDecl &arr = program.arrays[aid];
+        if (!arr.summarizable || arr.dims.size() < 2)
+            continue;
+        if (std::any_of(arr.dims.begin(), arr.dims.end(),
+                        [](std::uint64_t d) { return d < 2; })) {
+            continue;
+        }
+
+        // Pass 1: every reference must decompose exactly, and the
+        // parallel loops must consistently partition one dimension.
+        bool analyzable = true;
+        std::set<std::size_t> partitioned_dims;
+        forEachRef(program, aid, [&](LoopNest &nest, AffineRef &r) {
+            if (!analyzable)
+                return;
+            if (r.wrapModElems != 0 ||
+                !decomposeConst(arr, r.constElems)) {
+                analyzable = false;
+                return;
+            }
+            std::int64_t par_coeff = 0;
+            for (const AffineTerm &t : r.terms) {
+                auto drive = decomposeCoeff(arr, t.coeffElems);
+                if (!drive) {
+                    analyzable = false;
+                    return;
+                }
+                if (nest.kind == NestKind::Parallel &&
+                    t.loopDim == nest.parallelDim) {
+                    par_coeff = t.coeffElems;
+                }
+            }
+            if (nest.kind == NestKind::Parallel && par_coeff != 0)
+                partitioned_dims.insert(
+                    decomposeCoeff(arr, par_coeff)->dim);
+        });
+
+        if (!analyzable) {
+            res.skippedUnanalyzable++;
+            continue;
+        }
+        if (partitioned_dims.size() != 1) {
+            if (partitioned_dims.size() > 1)
+                res.skippedInconsistent++;
+            continue;
+        }
+        std::size_t target = *partitioned_dims.begin();
+        if (target == 0)
+            continue; // already outermost
+
+        // Build the permutation: target dimension first, the rest in
+        // their original order. perm[new position] = old dimension.
+        std::vector<std::size_t> perm;
+        perm.push_back(target);
+        for (std::size_t d = 0; d < arr.dims.size(); d++) {
+            if (d != target)
+                perm.push_back(d);
+        }
+
+        ArrayDecl new_arr = arr;
+        for (std::size_t n = 0; n < perm.size(); n++)
+            new_arr.dims[n] = arr.dims[perm[n]];
+
+        // old dim -> stride in the new layout.
+        std::vector<std::int64_t> new_stride_of_old(arr.dims.size());
+        for (std::size_t n = 0; n < perm.size(); n++) {
+            new_stride_of_old[perm[n]] =
+                static_cast<std::int64_t>(new_arr.strideElems(n));
+        }
+
+        // Pass 2: rewrite every reference.
+        forEachRef(program, aid, [&](LoopNest &, AffineRef &r) {
+            for (AffineTerm &t : r.terms) {
+                DimDrive drive = *decomposeCoeff(arr, t.coeffElems);
+                t.coeffElems =
+                    drive.sign * new_stride_of_old[drive.dim];
+            }
+            std::vector<std::int64_t> offs =
+                *decomposeConst(arr, r.constElems);
+            std::int64_t c = 0;
+            for (std::size_t d = 0; d < offs.size(); d++)
+                c += offs[d] * new_stride_of_old[d];
+            r.constElems = c;
+        });
+
+        arr = new_arr;
+        res.arraysTransposed++;
+    }
+    return res;
+}
+
+} // namespace cdpc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Data-layout transposition — the Anderson-Lam data transformation
+ * the paper's Section 2.2 cites ([2]): "transformations that make
+ * data elements accessed by the same processor contiguous in the
+ * shared address space".
+ *
+ * CDPC's partition summaries only describe *contiguous* per-CPU
+ * footprints, so an array whose parallel loop drives a
+ * non-outermost index (a column-partitioned row-major array) falls
+ * back to replicated treatment. This pass fixes the layout instead:
+ * when every parallel access to an array consistently partitions the
+ * same non-outermost dimension, the array's dimensions are permuted
+ * to move that dimension outermost and every reference is rewritten
+ * — after which the ordinary analysis emits a clean partition
+ * summary.
+ */
+
+#ifndef CDPC_COMPILER_TRANSPOSE_H
+#define CDPC_COMPILER_TRANSPOSE_H
+
+#include <cstdint>
+
+#include "ir/program.h"
+
+namespace cdpc
+{
+
+/** What the pass did. */
+struct TransposeResult
+{
+    std::uint32_t arraysTransposed = 0;
+    /** Candidates skipped: inconsistent partition dims across nests. */
+    std::uint32_t skippedInconsistent = 0;
+    /** Candidates skipped: a reference was not exactly analyzable. */
+    std::uint32_t skippedUnanalyzable = 0;
+};
+
+/**
+ * Transpose every array whose accesses consistently partition a
+ * non-outermost dimension. References (coefficients and constant
+ * offsets) are rewritten in place; iteration semantics — the
+ * (loop iteration -> array element) mapping — are preserved exactly,
+ * only the element's address changes.
+ *
+ * Must run before address assignment (layout uses the final dims).
+ */
+TransposeResult transposeForContiguity(Program &program);
+
+} // namespace cdpc
+
+#endif // CDPC_COMPILER_TRANSPOSE_H

@@ -1,0 +1,169 @@
+#include "harness/attribution.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.h"
+#include "machine/simulator.h"
+#include "machine/tracefile.h"
+#include "mem/memsystem.h"
+#include "vm/hints.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+/** The OS-side objects one experiment needs, built consistently. */
+struct OsStack
+{
+    OsStack(const MachineConfig &m, const ExperimentConfig &config)
+        : phys(m.physPages, m.numColors()),
+          coloring(m.numColors()),
+          binhop(m.numColors(), config.binHopRacy, config.seed),
+          random(m.numColors(), config.seed), hash(m.numColors()),
+          hints(pickBase(config))
+    {
+        active = config.mapping == MappingPolicy::Cdpc
+                     ? static_cast<PageMappingPolicy *>(&hints)
+                     : &pickBase(config);
+        vm = std::make_unique<VirtualMemory>(m, phys, *active);
+    }
+
+    PageMappingPolicy &
+    pickBase(const ExperimentConfig &config)
+    {
+        switch (config.mapping) {
+          case MappingPolicy::PageColoring:
+          case MappingPolicy::Cdpc:
+            return coloring;
+          case MappingPolicy::BinHopping:
+          case MappingPolicy::CdpcTouchOrder:
+            return binhop;
+          case MappingPolicy::Random:
+            return random;
+          case MappingPolicy::Hash:
+            return hash;
+        }
+        panic("unhandled mapping policy");
+    }
+
+    PhysMem phys;
+    PageColoringPolicy coloring;
+    BinHoppingPolicy binhop;
+    RandomPolicy random;
+    HashPolicy hash;
+    CdpcHintPolicy hints;
+    PageMappingPolicy *active = nullptr;
+    std::unique_ptr<VirtualMemory> vm;
+};
+
+void
+setupCdpc(const Program &program, const ExperimentConfig &config,
+          const MachineConfig &m, const CompileResult &compiled,
+          OsStack &os)
+{
+    if (config.mapping != MappingPolicy::Cdpc &&
+        config.mapping != MappingPolicy::CdpcTouchOrder) {
+        return;
+    }
+    (void)program;
+    CdpcPlan plan = computeCdpcPlan(compiled.summaries, cdpcParams(m),
+                                    config.cdpcOptions);
+    if (config.mapping == MappingPolicy::Cdpc)
+        applyHints(plan, os.hints);
+    else
+        applyByTouchOrder(plan, *os.vm);
+}
+
+} // namespace
+
+AttributionResult
+attributeMisses(const std::string &workload,
+                const ExperimentConfig &config)
+{
+    const MachineConfig &m = config.machine;
+    m.validate();
+
+    // Compile once; both the recording and the replaying stack see
+    // the same addresses.
+    Program program = buildWorkload(workload);
+    CompilerOptions copts;
+    copts.align = config.aligned;
+    copts.aligner.lineBytes = m.l2.lineBytes;
+    copts.aligner.l1SpanBytes = m.l1d.sizeBytes / m.l1d.assoc;
+    CompileResult compiled = compileProgram(program, copts);
+
+    std::string path =
+        std::string("/tmp/cdpc_attr_") + std::to_string(::getpid()) +
+        "_" + workload + ".trc";
+
+    // Pass 1: record the demand stream.
+    {
+        OsStack os(m, config);
+        setupCdpc(program, config, m, compiled, os);
+        MemorySystem mem(m, *os.vm);
+        MpSimulator sim(m, mem);
+        TraceWriter writer(path, m.numCpus);
+        SimOptions opts = config.sim;
+        opts.record = &writer;
+        sim.run(program, opts);
+    }
+
+    // Pass 2: replay with per-record attribution.
+    AttributionResult res;
+    res.arrays.reserve(program.arrays.size());
+    for (const ArrayDecl &a : program.arrays) {
+        ArrayAttribution att;
+        att.name = a.name;
+        att.sizeBytes = a.sizeBytes();
+        res.arrays.push_back(att);
+    }
+    res.other.name = "(other)";
+
+    auto owner = [&](VAddr va) -> ArrayAttribution & {
+        for (std::size_t i = 0; i < program.arrays.size(); i++) {
+            const ArrayDecl &a = program.arrays[i];
+            if (va >= a.base && va < a.endAddr())
+                return res.arrays[i];
+        }
+        return res.other;
+    };
+
+    {
+        OsStack os(m, config);
+        setupCdpc(program, config, m, compiled, os);
+        MemorySystem mem(m, *os.vm);
+        TraceReader reader(path);
+        std::vector<Cycles> clk(m.numCpus, 0);
+        TraceRecord rec;
+        while (reader.next(rec)) {
+            Cycles &c = clk[rec.cpu];
+            c += rec.insts;
+            MemAccess a;
+            a.va = rec.va;
+            a.kind = rec.isIfetch()
+                         ? AccessKind::Ifetch
+                         : rec.isWrite() ? AccessKind::Store
+                                         : AccessKind::Load;
+            a.wordMask = rec.wordMask;
+            AccessOutcome out = mem.access(rec.cpu, a, c);
+            c += out.stall;
+
+            ArrayAttribution &att = owner(rec.va);
+            att.refs++;
+            if (out.l2Miss) {
+                att.l2Misses++;
+                att.missCount[static_cast<int>(out.missKind)]++;
+            }
+        }
+    }
+    std::remove(path.c_str());
+    return res;
+}
+
+} // namespace cdpc

@@ -1,0 +1,142 @@
+#include "harness/experiment.h"
+
+#include "common/logging.h"
+#include "mem/memsystem.h"
+#include "vm/hints.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+
+const char *
+mappingName(MappingPolicy p)
+{
+    switch (p) {
+      case MappingPolicy::PageColoring:
+        return "page-coloring";
+      case MappingPolicy::BinHopping:
+        return "bin-hopping";
+      case MappingPolicy::Cdpc:
+        return "cdpc";
+      case MappingPolicy::CdpcTouchOrder:
+        return "cdpc-touch-order";
+      case MappingPolicy::Random:
+        return "random";
+      case MappingPolicy::Hash:
+        return "hash";
+    }
+    return "unknown";
+}
+
+ExperimentResult
+runProgram(Program program, const ExperimentConfig &config)
+{
+    const MachineConfig &m = config.machine;
+    m.validate();
+
+    // --- Compile -------------------------------------------------------
+    CompilerOptions copts;
+    copts.align = config.aligned;
+    copts.prefetch = config.prefetch;
+    copts.aligner.lineBytes = m.l2.lineBytes;
+    copts.aligner.l1SpanBytes = m.l1d.sizeBytes / m.l1d.assoc;
+    copts.prefetcher.lineBytes = m.l2.lineBytes;
+    copts.prefetcher.targetLatency = m.memLatencyCycles;
+    copts.prefetcher.minArrayBytes = m.l2.sizeBytes / 2;
+    CompileResult compiled = compileProgram(program, copts);
+
+    // --- Operating system ---------------------------------------------
+    PhysMem phys(m.physPages, m.numColors());
+    RandomPolicy random(m.numColors(), config.seed);
+    HashPolicy hash(m.numColors());
+    fatalIf(config.preallocatedPages >= m.physPages,
+            "preallocatedPages leaves no memory for the application");
+    // Competing processes hog the lower half of the color space.
+    std::uint64_t half = std::max<std::uint64_t>(m.numColors() / 2, 1);
+    for (std::uint64_t i = 0; i < config.preallocatedPages; i++)
+        phys.alloc(static_cast<Color>(i % half));
+    const PhysMemStats hog_base = phys.stats();
+    PageColoringPolicy coloring(m.numColors());
+    BinHoppingPolicy binhop(m.numColors(), config.binHopRacy,
+                            config.seed);
+
+    PageMappingPolicy *base = nullptr;
+    switch (config.mapping) {
+      case MappingPolicy::PageColoring:
+      case MappingPolicy::Cdpc:
+        base = &coloring;
+        break;
+      case MappingPolicy::BinHopping:
+      case MappingPolicy::CdpcTouchOrder:
+        base = &binhop;
+        break;
+      case MappingPolicy::Random:
+        base = &random;
+        break;
+      case MappingPolicy::Hash:
+        base = &hash;
+        break;
+    }
+    CdpcHintPolicy hints(*base);
+
+    bool use_cdpc = config.mapping == MappingPolicy::Cdpc ||
+                    config.mapping == MappingPolicy::CdpcTouchOrder;
+    PageMappingPolicy *active =
+        config.mapping == MappingPolicy::Cdpc
+            ? static_cast<PageMappingPolicy *>(&hints)
+            : base;
+
+    VirtualMemory vm(m, phys, *active);
+
+    // --- CDPC run-time library ------------------------------------------
+    ExperimentResult res;
+    res.summaries = compiled.summaries;
+    if (use_cdpc) {
+        CdpcPlan plan = computeCdpcPlan(compiled.summaries,
+                                        cdpcParams(m),
+                                        config.cdpcOptions);
+        if (config.mapping == MappingPolicy::Cdpc)
+            applyHints(plan, hints);
+        else
+            applyByTouchOrder(plan, vm);
+        res.plan = std::move(plan);
+    }
+
+    // --- Simulate --------------------------------------------------------
+    MemorySystem mem(m, vm);
+    std::unique_ptr<DynamicRecolorer> recolorer;
+    if (config.dynamicRecolor) {
+        recolorer = std::make_unique<DynamicRecolorer>(vm, phys, mem,
+                                                       config.recolor);
+        mem.setConflictObserver(
+            [&](CpuId cpu, PageNum vpn, Cycles now) {
+                return recolorer->onConflictMiss(cpu, vpn, now);
+            });
+    }
+    MpSimulator sim(m, mem);
+    res.totals = sim.run(program, config.sim);
+    if (recolorer)
+        res.recolorStats = recolorer->stats();
+
+    res.workload = program.name;
+    res.policy = mappingName(config.mapping);
+    res.ncpus = m.numCpus;
+    res.dataSetBytes = program.dataSetBytes();
+    const PhysMemStats &ps = phys.stats();
+    std::uint64_t honored = ps.preferredHonored - hog_base.preferredHonored;
+    std::uint64_t denied = ps.preferredDenied - hog_base.preferredDenied;
+    std::uint64_t expressed = honored + denied;
+    res.hintsHonored =
+        expressed ? static_cast<double>(honored) / expressed : 1.0;
+    return res;
+}
+
+ExperimentResult
+runWorkload(const std::string &name, const ExperimentConfig &config)
+{
+    return runProgram(buildWorkload(name), config);
+}
+
+} // namespace cdpc

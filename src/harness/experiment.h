@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The experiment harness: one call runs a workload under a given
+ * machine configuration, page mapping policy, layout and prefetch
+ * setting — the cross product behind every figure and table of the
+ * paper's evaluation.
+ */
+
+#ifndef CDPC_HARNESS_EXPERIMENT_H
+#define CDPC_HARNESS_EXPERIMENT_H
+
+#include <optional>
+#include <string>
+
+#include "cdpc/runtime.h"
+#include "compiler/compiler.h"
+#include "ir/program.h"
+#include "machine/config.h"
+#include "machine/simulator.h"
+#include "machine/stats.h"
+#include "mem/recolor.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+
+/** Which page-mapping setup an experiment uses. */
+enum class MappingPolicy
+{
+    /** IRIX-style page coloring (vpn mod colors). */
+    PageColoring,
+    /** Digital UNIX-style bin hopping (fault-order cycling). */
+    BinHopping,
+    /** CDPC hints over page coloring (the IRIX implementation). */
+    Cdpc,
+    /**
+     * CDPC realized purely by touch order on a bin-hopping kernel
+     * (the Digital UNIX implementation, Section 5.3).
+     */
+    CdpcTouchOrder,
+    /** Random color per fault (research baseline). */
+    Random,
+    /** XOR-folded hashed coloring (deterministic de-aliasing). */
+    Hash,
+};
+
+/** @return a display name ("page-coloring", "cdpc", ...). */
+const char *mappingName(MappingPolicy p);
+
+/** Full experiment specification. */
+struct ExperimentConfig
+{
+    MachineConfig machine = MachineConfig::paperScaled(1);
+    MappingPolicy mapping = MappingPolicy::PageColoring;
+    /** Apply the Section 5.4 alignment/padding layout. */
+    bool aligned = true;
+    /** Insert compiler prefetches (Section 6.2). */
+    bool prefetch = false;
+    /** Model the bin-hopping kernel race on concurrent faults. */
+    bool binHopRacy = true;
+    /** CDPC algorithm knobs (ablations). */
+    CdpcOptions cdpcOptions;
+    SimOptions sim;
+    std::uint64_t seed = 1;
+    /**
+     * Pages held by "other processes" before the run, concentrated
+     * on the lower half of the colors — models the memory pressure
+     * under which the kernel cannot honor every hint (Section 5,
+     * step 3 of the paper's pipeline).
+     */
+    std::uint64_t preallocatedPages = 0;
+    /**
+     * Enable the dynamic recoloring extension on top of the chosen
+     * mapping (the Section 2.1 alternative the paper left
+     * unevaluated for multiprocessors).
+     */
+    bool dynamicRecolor = false;
+    RecolorConfig recolor;
+};
+
+/** Everything one experiment produced. */
+struct ExperimentResult
+{
+    std::string workload;
+    std::string policy;
+    std::uint32_t ncpus = 1;
+    WeightedTotals totals;
+    /** Fraction of color preferences the allocator honored. */
+    double hintsHonored = 1.0;
+    /** The CDPC plan, present for Cdpc/CdpcTouchOrder runs. */
+    std::optional<CdpcPlan> plan;
+    /** The compiled program's summaries (for inspection). */
+    AccessSummaries summaries;
+    /** Scaled data-set size of the program. */
+    std::uint64_t dataSetBytes = 0;
+    /** Dynamic-recoloring statistics (when the extension ran). */
+    RecolorStats recolorStats;
+};
+
+/** Compile and run @p program under @p config. */
+ExperimentResult runProgram(Program program,
+                            const ExperimentConfig &config);
+
+/** Build the named workload and run it. */
+ExperimentResult runWorkload(const std::string &name,
+                             const ExperimentConfig &config);
+
+} // namespace cdpc
+
+#endif // CDPC_HARNESS_EXPERIMENT_H

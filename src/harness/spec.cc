@@ -1,0 +1,23 @@
+#include "harness/spec.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace cdpc
+{
+
+double
+specRatio(double base_wall, double run_wall)
+{
+    fatalIf(base_wall <= 0.0 || run_wall <= 0.0,
+            "specRatio needs positive wall-clock cycles");
+    return kUniprocessorRating * base_wall / run_wall;
+}
+
+double
+specRating(const std::vector<double> &ratios)
+{
+    return geometricMean(ratios);
+}
+
+} // namespace cdpc

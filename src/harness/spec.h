@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SPEC95fp ratio computation (paper, Table 2 and Section 7).
+ *
+ * A SPECratio is reference-time / measured-time. Our simulated
+ * machine is a scale model, so absolute seconds are meaningless;
+ * instead we anchor each benchmark's uniprocessor bin-hopping run to
+ * the paper's uniprocessor rating (Table 2 reports a SPEC95fp of
+ * 13.7 for one CPU) and derive every other configuration's ratio
+ * from relative simulated wall-clock cycles. All *relative* numbers
+ * — speedups, CDPC-vs-policy gaps, geometric means — are unaffected
+ * by the anchor.
+ */
+
+#ifndef CDPC_HARNESS_SPEC_H
+#define CDPC_HARNESS_SPEC_H
+
+#include <string>
+#include <vector>
+
+namespace cdpc
+{
+
+/** The paper's uniprocessor SPEC95fp rating used as the anchor. */
+inline constexpr double kUniprocessorRating = 13.7;
+
+/**
+ * Ratio of a run given the benchmark's anchored uniprocessor
+ * wall-clock cycles.
+ *
+ * @param base_wall uniprocessor (bin hopping, aligned) wall cycles
+ * @param run_wall this configuration's wall cycles
+ */
+double specRatio(double base_wall, double run_wall);
+
+/** Geometric mean of per-benchmark ratios (the SPEC95fp rating). */
+double specRating(const std::vector<double> &ratios);
+
+} // namespace cdpc
+
+#endif // CDPC_HARNESS_SPEC_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Array declarations for the mini loop-nest IR.
+ *
+ * The SUIF-parallelized SPEC95fp programs are FORTRAN numeric codes:
+ * their data is a set of statically known multi-dimensional arrays.
+ * Our IR keeps exactly the information the CDPC pipeline needs about
+ * each array: element size, dimensions, the base virtual address
+ * assigned by layout, and whether the compiler could analyze every
+ * access to it (arrays with unanalyzable accesses are excluded from
+ * CDPC, the su2cor situation in Section 6.1).
+ */
+
+#ifndef CDPC_IR_ARRAY_H
+#define CDPC_IR_ARRAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** One statically declared array. */
+struct ArrayDecl
+{
+    std::string name;
+    /** Bytes per element (8 for double-precision FORTRAN data). */
+    std::uint32_t elemBytes = 8;
+    /** Extents, outermost first; the last dimension is contiguous. */
+    std::vector<std::uint64_t> dims;
+    /** Base virtual address; assigned by VirtualLayout. */
+    VAddr base = 0;
+    /**
+     * False when some access to this array could not be analyzed by
+     * the compiler; such arrays get no partition summary and fall
+     * back to the OS's native mapping policy.
+     */
+    bool summarizable = true;
+
+    std::uint64_t
+    elements() const
+    {
+        std::uint64_t n = 1;
+        for (std::uint64_t d : dims)
+            n *= d;
+        return n;
+    }
+
+    std::uint64_t sizeBytes() const { return elements() * elemBytes; }
+
+    /** Row-major stride, in elements, of dimension @p dim. */
+    std::uint64_t
+    strideElems(std::size_t dim) const
+    {
+        panicIfNot(dim < dims.size(), "stride of nonexistent dim");
+        std::uint64_t s = 1;
+        for (std::size_t d = dims.size() - 1; d > dim; d--)
+            s *= dims[d];
+        return s;
+    }
+
+    VAddr endAddr() const { return base + sizeBytes(); }
+};
+
+} // namespace cdpc
+
+#endif // CDPC_IR_ARRAY_H

@@ -1,0 +1,215 @@
+#include "ir/exec.h"
+
+#include "common/intmath.h"
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+RunGenerator::RunGenerator(const Program &program, const LoopNest &nest,
+                           CpuId cpu, std::uint32_t ncpus)
+    : program(program), nest(nest)
+{
+    std::size_t depth = nest.bounds.size();
+    panicIfNot(depth > 0, "RunGenerator over an empty nest");
+    lo.resize(depth);
+    hi.resize(depth);
+    for (std::size_t d = 0; d < depth; d++) {
+        lo[d] = 0;
+        hi[d] = nest.bounds[d];
+    }
+    if (nest.kind == NestKind::Parallel) {
+        nest.partition.range(nest.bounds[nest.parallelDim], ncpus, cpu,
+                             lo[nest.parallelDim], hi[nest.parallelDim]);
+    }
+    idx = lo;
+    for (std::size_t d = 0; d < depth; d++) {
+        if (lo[d] >= hi[d])
+            done = true; // this CPU got no iterations
+    }
+}
+
+bool
+RunGenerator::bumpOdometer()
+{
+    // The innermost dimension is the run axis; the odometer spans the
+    // rest, innermost-of-the-rest varying fastest.
+    std::size_t inner = innerDim();
+    if (nest.bounds.size() == 1)
+        return false;
+    std::size_t d = inner; // will be decremented before first use
+    while (d > 0) {
+        d--;
+        if (++idx[d] < hi[d])
+            return true;
+        idx[d] = lo[d];
+    }
+    return false;
+}
+
+void
+RunGenerator::buildRun(Run &out) const
+{
+    std::size_t inner = innerDim();
+    std::uint64_t count = hi[inner] - lo[inner];
+    const AffineRef &ref = nest.refs[refCursor];
+    const ArrayDecl &arr = program.arrays[ref.arrayId];
+
+    std::int64_t flat = ref.constElems;
+    std::int64_t stride_elems = 0;
+    for (const AffineTerm &t : ref.terms) {
+        if (t.loopDim == inner) {
+            flat += t.coeffElems * static_cast<std::int64_t>(lo[inner]);
+            stride_elems += t.coeffElems;
+        } else {
+            flat += t.coeffElems * static_cast<std::int64_t>(idx[t.loopDim]);
+        }
+    }
+
+    out.start = arr.base +
+                static_cast<std::int64_t>(arr.elemBytes) * flat;
+    out.strideBytes = stride_elems * arr.elemBytes;
+    out.count = count;
+    out.isWrite = ref.isWrite;
+    out.ref = &ref;
+    out.wrapModBytes = ref.wrapModElems * arr.elemBytes;
+    out.wrapBase = arr.base;
+
+    // Split the nest's per-iteration instruction budget across refs;
+    // the first ref absorbs the rounding remainder.
+    Insts total = static_cast<Insts>(nest.instsPerIter) * count;
+    Insts share = total / nest.refs.size();
+    out.insts = refCursor == 0
+                    ? total - share * (nest.refs.size() - 1)
+                    : share;
+}
+
+bool
+RunGenerator::next(Run &out)
+{
+    if (done)
+        return false;
+    started = true;
+
+    if (nest.refs.empty()) {
+        // Compute-only nest: one instruction-charge run per odometer
+        // position covering the whole innermost extent.
+        std::size_t inner = innerDim();
+        out = Run{};
+        out.count = 0;
+        out.insts = static_cast<Insts>(nest.instsPerIter) *
+                    (hi[inner] - lo[inner]);
+        out.ref = nullptr;
+        if (!bumpOdometer())
+            done = true;
+        return true;
+    }
+
+    buildRun(out);
+    if (++refCursor == nest.refs.size()) {
+        refCursor = 0;
+        if (!bumpOdometer())
+            done = true;
+    }
+    return true;
+}
+
+RunCursor::RunCursor(const Program &program, const LoopNest &nest,
+                     CpuId cpu, std::uint32_t ncpus,
+                     std::uint32_t line_bytes)
+    : gen(program, nest, cpu, ncpus), lineBytes(line_bytes)
+{
+    panicIfNot(isPowerOf2(line_bytes), "line size must be a power of 2");
+}
+
+bool
+RunCursor::refill()
+{
+    while (gen.next(run)) {
+        if (run.ref == nullptr || run.count > 0) {
+            runValid = true;
+            consumed = 0;
+            pos = static_cast<std::int64_t>(run.start);
+            instsLeft = run.insts;
+            return true;
+        }
+    }
+    runValid = false;
+    return false;
+}
+
+VAddr
+RunCursor::elementAddr() const
+{
+    if (run.wrapModBytes == 0)
+        return static_cast<VAddr>(pos);
+    std::int64_t off = pos - static_cast<std::int64_t>(run.wrapBase);
+    return run.wrapBase +
+           posMod(off, static_cast<std::uint64_t>(run.wrapModBytes));
+}
+
+bool
+RunCursor::next(LineAccess &out)
+{
+    if (!runValid && !refill())
+        return false;
+
+    // Compute-only run: emit the instruction charge and retire it.
+    if (run.ref == nullptr) {
+        out = LineAccess{};
+        out.insts = instsLeft;
+        runValid = false;
+        return true;
+    }
+
+    std::uint64_t elems_left_before = run.count - consumed;
+    VAddr first = elementAddr();
+    std::uint64_t line = first / lineBytes;
+
+    std::uint32_t mask = 0;
+    std::uint32_t elems = 0;
+
+    auto add_word_bits = [&](VAddr addr) {
+        std::uint64_t off = addr % lineBytes;
+        mask |= 1u << (off / 8);
+    };
+
+    if (run.strideBytes == 0 && run.wrapModBytes == 0) {
+        // A loop-invariant reference: every iteration hits one word.
+        add_word_bits(first);
+        elems = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(elems_left_before, ~0u));
+        consumed += elems;
+    } else {
+        while (consumed < run.count) {
+            VAddr addr = elementAddr();
+            if (elems > 0 && addr / lineBytes != line)
+                break;
+            add_word_bits(addr);
+            elems++;
+            consumed++;
+            pos += run.strideBytes;
+        }
+    }
+
+    out.va = first;
+    out.wordMask = mask;
+    out.elems = elems;
+    out.isWrite = run.isWrite;
+    out.backward = run.strideBytes < 0;
+    out.ref = run.ref;
+
+    // Charge instructions proportionally to elements consumed, giving
+    // the final batch whatever remainder is left.
+    Insts charge =
+        instsLeft * elems / std::max<std::uint64_t>(elems_left_before, 1);
+    if (consumed >= run.count) {
+        charge = instsLeft;
+        runValid = false;
+    }
+    instsLeft -= charge;
+    out.insts = charge;
+    return true;
+}
+
+} // namespace cdpc

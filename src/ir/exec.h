@@ -1,0 +1,144 @@
+/**
+ * @file
+ * IR execution: turning a LoopNest into the per-CPU stream of
+ * cache-line-granular references the machine simulator consumes.
+ *
+ * Two layers:
+ *  - RunGenerator enumerates "runs": for each combination of
+ *    non-innermost loop indices and each body reference, the
+ *    innermost loop walks a strided sequence of addresses.
+ *  - RunCursor expands runs into LineAccess records, coalescing the
+ *    elements that fall in the same external-cache line into one
+ *    record that carries an element count, an instruction charge and
+ *    the touched-word mask (which feeds the true/false-sharing
+ *    classifier).
+ *
+ * Line coalescing is what makes simulating the full SPEC95fp-scale
+ * reference streams tractable without changing cache behaviour: every
+ * element of a unit-stride run beyond the first is an L1 hit whose
+ * timing is deterministic.
+ */
+
+#ifndef CDPC_IR_EXEC_H
+#define CDPC_IR_EXEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "ir/program.h"
+
+namespace cdpc
+{
+
+/** A strided walk of one reference through the innermost loop. */
+struct Run
+{
+    /** Address of the first element. */
+    VAddr start = 0;
+    /** Byte stride per innermost iteration (may be 0 or negative). */
+    std::int64_t strideBytes = 0;
+    /** Number of innermost iterations covered. */
+    std::uint64_t count = 0;
+    bool isWrite = false;
+    /** Instructions charged to this run. */
+    Insts insts = 0;
+    /** Source reference (nullptr for compute-only runs). */
+    const AffineRef *ref = nullptr;
+    /** Wrap modulus in bytes (0 = linear). */
+    std::int64_t wrapModBytes = 0;
+    /** Array base the wrap is relative to. */
+    VAddr wrapBase = 0;
+};
+
+/** One coalesced line-granular access. */
+struct LineAccess
+{
+    /** Address of the first element touched in the line. */
+    VAddr va = 0;
+    /** 8-byte-word mask of the touched words within the line. */
+    std::uint32_t wordMask = 0;
+    /** Number of element references this record stands for. */
+    std::uint32_t elems = 0;
+    /** Instructions executed along with these references. */
+    Insts insts = 0;
+    bool isWrite = false;
+    /** True when the run walks addresses downward (negative stride). */
+    bool backward = false;
+    /** Source reference (prefetch annotations), may be nullptr. */
+    const AffineRef *ref = nullptr;
+};
+
+/**
+ * Enumerates the runs of one loop nest for one CPU.
+ *
+ * For Parallel nests the parallel dimension is restricted to the
+ * CPU's chunk per the nest's Partition; Sequential and Suppressed
+ * nests yield their full iteration space (the simulator routes them
+ * to the master CPU only).
+ */
+class RunGenerator
+{
+  public:
+    RunGenerator(const Program &program, const LoopNest &nest, CpuId cpu,
+                 std::uint32_t ncpus);
+
+    /** Produce the next run; @return false when exhausted. */
+    bool next(Run &out);
+
+    /** True when this CPU has no iterations at all in this nest. */
+    bool empty() const { return done && !started; }
+
+  private:
+    const Program &program;
+    const LoopNest &nest;
+
+    /** Per-dimension iteration ranges [lo, hi) for this CPU. */
+    std::vector<std::uint64_t> lo;
+    std::vector<std::uint64_t> hi;
+    /** Current indices of the non-innermost dimensions. */
+    std::vector<std::uint64_t> idx;
+    /** Next body reference to emit for the current indices. */
+    std::size_t refCursor = 0;
+    bool done = false;
+    bool started = false;
+
+    /** Advance the outer-dimension odometer; false when finished. */
+    bool bumpOdometer();
+    /** Build the run for refs[refCursor] at the current indices. */
+    void buildRun(Run &out) const;
+    std::size_t innerDim() const { return nest.bounds.size() - 1; }
+};
+
+/**
+ * Expands the runs of one nest into LineAccess records for one CPU.
+ */
+class RunCursor
+{
+  public:
+    RunCursor(const Program &program, const LoopNest &nest, CpuId cpu,
+              std::uint32_t ncpus, std::uint32_t line_bytes);
+
+    /** Produce the next line access; @return false when exhausted. */
+    bool next(LineAccess &out);
+
+  private:
+    RunGenerator gen;
+    std::uint32_t lineBytes;
+
+    Run run;
+    bool runValid = false;
+    /** Elements of the current run already consumed. */
+    std::uint64_t consumed = 0;
+    /** Address of the next element. */
+    std::int64_t pos = 0;
+    /** Instructions of the current run not yet charged. */
+    Insts instsLeft = 0;
+
+    bool refill();
+    VAddr elementAddr() const;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_IR_EXEC_H

@@ -1,0 +1,37 @@
+#include "ir/layout.h"
+
+#include "common/intmath.h"
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+void
+assignAddresses(Program &program, const LayoutOptions &opts)
+{
+    fatalIf(!opts.padBytes.empty() &&
+                opts.padBytes.size() != program.arrays.size(),
+            "padBytes must be empty or match the array count");
+    fatalIf(opts.lineBytes == 0, "layout line size must be nonzero");
+
+    program.textBase = opts.textBase;
+
+    VAddr cursor = opts.dataBase;
+    for (std::size_t i = 0; i < program.arrays.size(); i++) {
+        ArrayDecl &a = program.arrays[i];
+        if (!opts.padBytes.empty())
+            cursor += opts.padBytes[i];
+        if (opts.alignToLine && !opts.deliberatelyUnaligned)
+            cursor = roundUp(cursor, opts.lineBytes);
+        if (opts.deliberatelyUnaligned) {
+            // Give every array an odd sub-line starting offset so
+            // that structures straddle line boundaries the way a
+            // naive static layout would.
+            cursor += a.elemBytes + (i % 3) * a.elemBytes;
+        }
+        a.base = cursor;
+        cursor += a.sizeBytes();
+    }
+}
+
+} // namespace cdpc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Virtual address space layout for a Program's text and data.
+ *
+ * Section 5.4 of the paper: SUIF dynamically allocates all data
+ * structures, aligning each to a cache-line boundary (eliminating
+ * false sharing between structures) and inserting small pads so that
+ * structures used together never start at the same on-chip-cache
+ * offset. Figure 9 additionally measures bin hopping *without* this
+ * alignment, so the layout engine supports a deliberately unaligned
+ * mode.
+ */
+
+#ifndef CDPC_IR_LAYOUT_H
+#define CDPC_IR_LAYOUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "ir/program.h"
+
+namespace cdpc
+{
+
+/** Layout options chosen by the compiler's Aligner pass. */
+struct LayoutOptions
+{
+    /** Base virtual address of the data segment. */
+    VAddr dataBase = 0x10000000;
+    /**
+     * Base virtual address of the text segment. The default is
+     * offset from the data base by a non-multiple of any plausible
+     * cache span so that page coloring does not trivially alias
+     * instruction pages with the first data pages (real link maps
+     * are arranged with the same consideration).
+     */
+    VAddr textBase = 0x00418000;
+    /** Align each array's start to a cache-line boundary. */
+    bool alignToLine = true;
+    std::uint32_t lineBytes = 32;
+    /**
+     * Extra pad bytes inserted *before* each array (index-aligned
+     * with Program::arrays). Computed by the Aligner from group
+     * access information; empty means no pads.
+     */
+    std::vector<std::uint64_t> padBytes;
+    /**
+     * Deliberately misalign array starts (adds an odd sub-line
+     * offset to every array) — models the unoptimized layout of
+     * Figure 9's "bin hopping, not aligned" bars.
+     */
+    bool deliberatelyUnaligned = false;
+};
+
+/**
+ * Assign base addresses to a program's text segment and arrays.
+ * Arrays are placed in declaration order, contiguous up to
+ * alignment/padding — the FORTRAN common-block picture the paper's
+ * page mapping policies act upon.
+ */
+void assignAddresses(Program &program, const LayoutOptions &opts);
+
+} // namespace cdpc
+
+#endif // CDPC_IR_LAYOUT_H

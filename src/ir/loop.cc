@@ -1,0 +1,40 @@
+#include "ir/loop.h"
+
+#include "common/intmath.h"
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+void
+Partition::range(std::uint64_t extent, std::uint32_t ncpus, CpuId cpu,
+                 std::uint64_t &lo, std::uint64_t &hi) const
+{
+    panicIfNot(ncpus > 0, "partition over zero CPUs");
+    panicIfNot(cpu < ncpus, "partition for out-of-range CPU");
+
+    // Reverse direction assigns chunk 0 to the last CPU.
+    CpuId chunk = dir == PartitionDir::Forward
+                      ? cpu
+                      : static_cast<CpuId>(ncpus - 1 - cpu);
+
+    if (policy == PartitionPolicy::Blocked) {
+        std::uint64_t sz = divCeil(extent, ncpus);
+        lo = std::min<std::uint64_t>(chunk * sz, extent);
+        hi = std::min<std::uint64_t>(lo + sz, extent);
+    } else {
+        // Even: sizes differ by at most one; the first (extent % p)
+        // chunks get one extra iteration.
+        std::uint64_t base = extent / ncpus;
+        std::uint64_t extra = extent % ncpus;
+        if (chunk < extra) {
+            lo = chunk * (base + 1);
+            hi = lo + base + 1;
+        } else {
+            lo = extra * (base + 1) + (chunk - extra) * base;
+            hi = lo + base;
+        }
+    }
+}
+
+} // namespace cdpc

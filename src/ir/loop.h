@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Loop nests and affine array references — the executable core of
+ * the mini IR.
+ *
+ * A LoopNest is a rectangular nest of counted loops whose body makes
+ * a fixed set of affine references each innermost iteration, plus a
+ * fixed amount of non-memory computation. One dimension may be
+ * marked parallel; the Parallelizer attaches the static schedule
+ * (even/blocked, forward/reverse — the partition vocabulary of the
+ * paper's Section 5.1).
+ */
+
+#ifndef CDPC_IR_LOOP_H
+#define CDPC_IR_LOOP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** How a parallel dimension's iterations are divided among CPUs. */
+enum class PartitionPolicy : unsigned char
+{
+    /** Contiguous chunks whose sizes differ by at most one. */
+    Even,
+    /** ceil(N/p) iterations each; the last CPU may get fewer. */
+    Blocked,
+};
+
+/** Order in which chunks are assigned to CPUs. */
+enum class PartitionDir : unsigned char
+{
+    Forward, ///< chunk 0 -> CPU 0
+    Reverse, ///< chunk 0 -> CPU p-1
+};
+
+/** Static schedule of a parallel dimension. */
+struct Partition
+{
+    PartitionPolicy policy = PartitionPolicy::Even;
+    PartitionDir dir = PartitionDir::Forward;
+
+    /**
+     * Compute CPU @p cpu's contiguous iteration range [lo, hi) for a
+     * dimension of @p extent iterations among @p ncpus CPUs.
+     */
+    void range(std::uint64_t extent, std::uint32_t ncpus, CpuId cpu,
+               std::uint64_t &lo, std::uint64_t &hi) const;
+};
+
+/** One linear term of an affine index expression. */
+struct AffineTerm
+{
+    /** Loop dimension the term reads (0 = outermost). */
+    std::uint32_t loopDim = 0;
+    /** Coefficient, in array *elements*. */
+    std::int64_t coeffElems = 1;
+};
+
+/**
+ * An affine reference: element index = constElems + sum of
+ * coeff * iv over terms. Executed once per innermost iteration.
+ */
+struct AffineRef
+{
+    std::uint32_t arrayId = 0;
+    std::int64_t constElems = 0;
+    std::vector<AffineTerm> terms;
+    bool isWrite = false;
+    /**
+     * When nonzero, the flattened index wraps modulo this element
+     * count — used to model non-contiguous (unanalyzable) access
+     * patterns like su2cor's; such refs defeat the compiler's
+     * partition summaries.
+     */
+    std::int64_t wrapModElems = 0;
+    /**
+     * Compiler-inserted prefetch distance, in external-cache lines
+     * ahead of the demand reference; 0 means not prefetched. Set by
+     * the Prefetcher pass.
+     */
+    std::uint32_t prefetchDistLines = 0;
+    /**
+     * True when software pipelining failed (tiled nests): the
+     * prefetch is emitted immediately before the demand reference of
+     * the same line, so it covers essentially none of the latency —
+     * the paper's "not scheduled early enough" (Section 6.2).
+     */
+    bool prefetchLate = false;
+};
+
+/** Parallelization status of a nest (Figure 2's overhead taxonomy). */
+enum class NestKind : unsigned char
+{
+    /** Runs distributed across the CPUs. */
+    Parallel,
+    /** Could not be parallelized; master runs it, slaves spin. */
+    Sequential,
+    /**
+     * Parallelizable but suppressed by the compiler because it is
+     * too fine-grained to pay for synchronization (apsi, wave5).
+     */
+    Suppressed,
+};
+
+/** A rectangular counted loop nest. */
+struct LoopNest
+{
+    std::string label;
+    /** Iteration counts per dimension, outermost first. */
+    std::vector<std::uint64_t> bounds;
+    /** Which dimension is distributed; meaningful for Parallel. */
+    std::uint32_t parallelDim = 0;
+    NestKind kind = NestKind::Parallel;
+    Partition partition;
+    /** Non-memory instructions per innermost iteration. */
+    std::uint32_t instsPerIter = 8;
+    /**
+     * True when a transformation (e.g. the loop tiling applu gets
+     * during parallelization) prevents software-pipelining the
+     * prefetches, so they cannot be scheduled early enough
+     * (Section 6.2).
+     */
+    bool prefetchPipelineInhibited = false;
+    std::vector<AffineRef> refs;
+
+    std::uint64_t
+    totalIters() const
+    {
+        std::uint64_t n = 1;
+        for (std::uint64_t b : bounds)
+            n *= b;
+        return n;
+    }
+};
+
+} // namespace cdpc
+
+#endif // CDPC_IR_LOOP_H

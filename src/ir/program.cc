@@ -1,0 +1,61 @@
+#include "ir/program.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+std::uint32_t
+Program::arrayId(const std::string &array_name) const
+{
+    for (std::size_t i = 0; i < arrays.size(); i++) {
+        if (arrays[i].name == array_name)
+            return static_cast<std::uint32_t>(i);
+    }
+    fatal("program ", name, " has no array named ", array_name);
+}
+
+namespace
+{
+
+void
+validateNest(const Program &p, const Phase &phase, const LoopNest &nest)
+{
+    fatalIf(nest.bounds.empty(), "nest ", nest.label, " in phase ",
+            phase.name, " has no loop bounds");
+    for (std::uint64_t b : nest.bounds) {
+        fatalIf(b == 0, "nest ", nest.label, " has a zero loop bound");
+    }
+    fatalIf(nest.kind == NestKind::Parallel &&
+                nest.parallelDim >= nest.bounds.size(),
+            "nest ", nest.label, " parallel dim out of range");
+    for (const AffineRef &r : nest.refs) {
+        fatalIf(r.arrayId >= p.arrays.size(), "nest ", nest.label,
+                " references nonexistent array id ", r.arrayId);
+        for (const AffineTerm &t : r.terms) {
+            fatalIf(t.loopDim >= nest.bounds.size(), "nest ",
+                    nest.label, " term reads nonexistent loop dim ",
+                    t.loopDim);
+        }
+    }
+}
+
+} // namespace
+
+void
+Program::validate() const
+{
+    fatalIf(arrays.empty(), "program ", name, " declares no arrays");
+    fatalIf(steady.empty(), "program ", name, " has no steady-state "
+            "phases — nothing to measure");
+    for (const LoopNest &nest : init.nests)
+        validateNest(*this, init, nest);
+    for (const Phase &phase : steady) {
+        fatalIf(phase.occurrences == 0, "phase ", phase.name,
+                " occurs zero times");
+        for (const LoopNest &nest : phase.nests)
+            validateNest(*this, phase, nest);
+    }
+}
+
+} // namespace cdpc

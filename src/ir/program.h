@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A Program: arrays + phases, the IR-level picture of one
+ * compiler-parallelized benchmark.
+ *
+ * The paper's representative-execution-window methodology (Section
+ * 3.3) observes that each SPEC95fp benchmark is a short sequential
+ * initialization followed by a steady state made of a few phases,
+ * each repeated a known number of times (turb3d: four phases
+ * occurring 11, 66, 100 and 120 times). We encode exactly that: an
+ * init phase (whose first-touch order is what the OS page mapping
+ * policies act on) and a list of weighted steady-state phases.
+ */
+
+#ifndef CDPC_IR_PROGRAM_H
+#define CDPC_IR_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ir/array.h"
+#include "ir/loop.h"
+
+namespace cdpc
+{
+
+/** A phase: a straight-line sequence of loop nests. */
+struct Phase
+{
+    std::string name;
+    std::vector<LoopNest> nests;
+    /** Times this phase occurs during the steady state. */
+    std::uint64_t occurrences = 1;
+};
+
+/**
+ * A communication pattern the workload author declares explicitly —
+ * the pragma/annotation channel for patterns the affine analysis
+ * cannot see (e.g. periodic boundary copies done through index
+ * arithmetic). Merged into the compiler's summaries.
+ */
+struct DeclaredComm
+{
+    std::uint32_t arrayId = 0;
+    /** True for wrap-around (rotate) exchange, false for shift. */
+    bool rotate = true;
+    std::uint32_t boundaryUnits = 1;
+};
+
+/** One benchmark program in IR form. */
+struct Program
+{
+    std::string name;
+
+    std::vector<ArrayDecl> arrays;
+
+    /** Author-declared communication patterns (see DeclaredComm). */
+    std::vector<DeclaredComm> declaredComms;
+
+    /**
+     * Sequential initialization executed once by the master CPU.
+     * Its reference order is the first-touch order the page mapping
+     * policies see, so it is semantically load-bearing.
+     */
+    Phase init;
+
+    /** The steady-state phases (each simulated occurrences times). */
+    std::vector<Phase> steady;
+
+    /**
+     * Instruction-stream footprint in bytes. When modelIfetch is
+     * set the simulator generates instruction fetches cycling
+     * through a text segment of this size (fpppp's bottleneck).
+     */
+    std::uint64_t textBytes = 8 * 1024;
+    bool modelIfetch = false;
+    /** Text segment base; assigned by VirtualLayout. */
+    VAddr textBase = 0;
+
+    /** Sum of all array sizes (Table 1's data-set size). */
+    std::uint64_t
+    dataSetBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const ArrayDecl &a : arrays)
+            total += a.sizeBytes();
+        return total;
+    }
+
+    /** Look up an array id by name; fatal() when absent. */
+    std::uint32_t arrayId(const std::string &name) const;
+
+    /** Validate internal consistency (ref ids, term dims, bounds). */
+    void validate() const;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_IR_PROGRAM_H

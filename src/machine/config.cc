@@ -1,0 +1,108 @@
+#include "machine/config.h"
+
+#include "common/intmath.h"
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+void
+MachineConfig::validate() const
+{
+    fatalIf(numCpus == 0, "machine needs at least one CPU");
+    fatalIf(!isPowerOf2(pageBytes), "page size must be a power of two");
+    for (const CacheConfig *c : {&l1d, &l1i, &l2}) {
+        fatalIf(c->sizeBytes == 0, "cache size must be nonzero");
+        fatalIf(!isPowerOf2(c->lineBytes),
+                "cache line size must be a power of two");
+        fatalIf(c->assoc == 0, "cache associativity must be nonzero");
+        fatalIf(c->sizeBytes % (static_cast<std::uint64_t>(c->assoc) *
+                                c->lineBytes) != 0,
+                "cache size must be a multiple of assoc * line size");
+        fatalIf(!isPowerOf2(c->numSets()),
+                "number of cache sets must be a power of two");
+    }
+    fatalIf(l2.sizeBytes % (pageBytes * l2.assoc) != 0,
+            "external cache size must be a multiple of page size * assoc");
+    fatalIf(numColors() == 0, "machine must have at least one page color");
+    fatalIf(pageBytes % l2.lineBytes != 0,
+            "page size must be a multiple of the external line size");
+    fatalIf(physPages < numColors(),
+            "physical memory must cover at least one page per color");
+}
+
+MachineConfig
+MachineConfig::paperScaled(std::uint32_t ncpus)
+{
+    MachineConfig m;
+    m.name = "simos-scaled-1MB-dm";
+    m.numCpus = ncpus;
+    m.l1d = {4 * 1024, 2, 64};
+    m.l1i = {4 * 1024, 2, 64};
+    m.l2 = {128 * 1024, 1, 64};
+    m.pageBytes = 512;
+    m.physPages = 64 * 1024; // 32MB of 512B pages, ample for scaled sets
+    // 64B at the paper's 1.2GB/s is ~53ns ~ 21 cycles at 400MHz.
+    m.busDataCycles = 22;
+    m.busWritebackCycles = 22;
+    m.busUpgradeCycles = 6;
+    m.validate();
+    return m;
+}
+
+MachineConfig
+MachineConfig::paperScaledTwoWay(std::uint32_t ncpus)
+{
+    MachineConfig m = paperScaled(ncpus);
+    m.name = "simos-scaled-1MB-2way";
+    m.l2.assoc = 2;
+    m.validate();
+    return m;
+}
+
+MachineConfig
+MachineConfig::paperScaledBig(std::uint32_t ncpus)
+{
+    MachineConfig m = paperScaled(ncpus);
+    m.name = "simos-scaled-4MB-dm";
+    m.l2.sizeBytes = 512 * 1024;
+    m.validate();
+    return m;
+}
+
+MachineConfig
+MachineConfig::alphaScaled(std::uint32_t ncpus)
+{
+    // The AlphaServer 8400's 21164 has two on-chip levels and a 4MB
+    // direct-mapped board cache. We model the on-chip hierarchy as a
+    // single L1 and scale the board cache like everything else.
+    MachineConfig m = paperScaled(ncpus);
+    m.name = "alphaserver-scaled-4MB-dm";
+    m.l2.sizeBytes = 512 * 1024;
+    m.l1d = {8 * 1024, 2, 64};
+    m.l1i = {8 * 1024, 2, 64};
+    // The 21164's memory system is markedly faster relative to its
+    // clock than the base SimOS model's.
+    m.memLatencyCycles = 120;
+    m.remoteDirtyLatencyCycles = 190;
+    m.l2HitCycles = 8;
+    m.validate();
+    return m;
+}
+
+MachineConfig
+MachineConfig::paperFull(std::uint32_t ncpus)
+{
+    MachineConfig m;
+    m.name = "simos-full-1MB-dm";
+    m.numCpus = ncpus;
+    m.l1d = {32 * 1024, 2, 64};
+    m.l1i = {32 * 1024, 2, 64};
+    m.l2 = {1024 * 1024, 1, 128};
+    m.pageBytes = 4096;
+    m.physPages = 64 * 1024; // 256MB
+    m.validate();
+    return m;
+}
+
+} // namespace cdpc

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * MachineConfig: every architectural parameter of the simulated
+ * multiprocessor in one value type, with named presets.
+ *
+ * The paper's base machine (Section 3.2) is a bus-based SMP of
+ * single-issue 400MHz R4400s with 32KB 2-way split L1 caches, a 1MB
+ * direct-mapped external cache with 128B lines, 4KB pages, a
+ * 1.2GB/s split-transaction bus, and 500ns/750ns miss latencies.
+ *
+ * Presets derive a 1/8-scale model (see DESIGN.md §6) that keeps the
+ * quantities CDPC cares about identical: 256 page colors for the
+ * direct-mapped cache, the data-set/cache ratio, and latencies in
+ * cycles. paperFull() keeps the paper's absolute sizes.
+ */
+
+#ifndef CDPC_MACHINE_CONFIG_H
+#define CDPC_MACHINE_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** Cache geometry for one level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t assoc = 1;
+    std::uint32_t lineBytes = 32;
+
+    std::uint64_t numLines() const { return sizeBytes / lineBytes; }
+    std::uint64_t numSets() const { return numLines() / assoc; }
+};
+
+/** Full machine description. */
+struct MachineConfig
+{
+    /** Human-readable preset name (appears in reports). */
+    std::string name = "unnamed";
+
+    std::uint32_t numCpus = 1;
+
+    /** Per-CPU on-chip data cache (virtually indexed). */
+    CacheConfig l1d{4 * 1024, 2, 32};
+    /** Per-CPU on-chip instruction cache (virtually indexed). */
+    CacheConfig l1i{4 * 1024, 2, 32};
+    /** Per-CPU external cache (physically indexed). */
+    CacheConfig l2{128 * 1024, 1, 32};
+
+    std::uint64_t pageBytes = 512;
+
+    /** Number of physical pages available to the application. */
+    std::uint64_t physPages = 64 * 1024;
+
+    /** TLB entries (fully associative, LRU). */
+    std::uint32_t tlbEntries = 64;
+
+    /** Kernel cycles to service one TLB refill. */
+    Cycles tlbMissCycles = 30;
+    /** Kernel cycles to service one page fault (allocation + zeroing). */
+    Cycles pageFaultCycles = 2000;
+
+    /** Stall cycles for an L1 miss that hits in the external cache. */
+    Cycles l2HitCycles = 10;
+    /** Minimum latency of an external-cache miss served by memory. */
+    Cycles memLatencyCycles = 200;
+    /** Minimum latency when the line is dirty in another cache. */
+    Cycles remoteDirtyLatencyCycles = 300;
+
+    /** Bus occupancy (cycles) of one cache-line data transfer. */
+    Cycles busDataCycles = 40;
+    /** Bus occupancy of a writeback transfer. */
+    Cycles busWritebackCycles = 40;
+    /** Bus occupancy of an ownership upgrade (address-only). */
+    Cycles busUpgradeCycles = 8;
+
+    /** Cost of one barrier episode (software barrier, Section 4.1). */
+    Cycles barrierCycles = 400;
+    /** Fixed per-parallel-loop fork/dispatch overhead on each CPU. */
+    Cycles forkCycles = 200;
+
+    /**
+     * Maximum outstanding prefetches per CPU; one more stalls the
+     * processor (the paper's R10000 model allows 4).
+     */
+    std::uint32_t maxOutstandingPrefetches = 4;
+
+    /** Number of page colors in the external cache. */
+    std::uint64_t
+    numColors() const
+    {
+        return l2.sizeBytes / (pageBytes * l2.assoc);
+    }
+
+    /** Lines per page. */
+    std::uint64_t linesPerPage() const { return pageBytes / l2.lineBytes; }
+
+    /** Sanity-check invariants; calls fatal() on a bad configuration. */
+    void validate() const;
+
+    /**
+     * The 1/8-scale model of the paper's base SimOS machine:
+     * 128KB direct-mapped external cache, 32B lines, 512B pages
+     * (256 colors), 4KB 2-way L1s.
+     */
+    static MachineConfig paperScaled(std::uint32_t ncpus);
+
+    /** paperScaled() with a two-way set-associative external cache. */
+    static MachineConfig paperScaledTwoWay(std::uint32_t ncpus);
+
+    /** paperScaled() with a 4x larger (512KB ~ "4MB") external cache. */
+    static MachineConfig paperScaledBig(std::uint32_t ncpus);
+
+    /**
+     * 1/8-scale model of the AlphaServer 8400 used for validation in
+     * Section 7: 4MB-class direct-mapped external cache.
+     */
+    static MachineConfig alphaScaled(std::uint32_t ncpus);
+
+    /** The paper's full-size base machine (slow to simulate). */
+    static MachineConfig paperFull(std::uint32_t ncpus);
+};
+
+} // namespace cdpc
+
+#endif // CDPC_MACHINE_CONFIG_H

@@ -1,0 +1,296 @@
+#include "machine/simulator.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/intmath.h"
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+MpSimulator::MpSimulator(const MachineConfig &config, MemorySystem &mem)
+    : cfg(config), mem(mem), ncpus(config.numCpus),
+      clock(config.numCpus, 0), exec(config.numCpus),
+      ifetchDebt(config.numCpus, 0), textCursor(config.numCpus, 0)
+{
+    fatalIf(mem.numCpus() != ncpus,
+            "memory system CPU count disagrees with machine config");
+}
+
+void
+MpSimulator::idleUntil(Cycles t, Cycles CpuExecStats::*category,
+                       CpuId except)
+{
+    for (CpuId c = 0; c < ncpus; c++) {
+        if (c == except)
+            continue;
+        if (clock[c] < t) {
+            exec[c].*category += t - clock[c];
+            clock[c] = t;
+        }
+    }
+}
+
+void
+MpSimulator::executeLine(const Program &program, CpuId cpu,
+                         const LineAccess &la, std::uint32_t concurrent,
+                         const SimOptions &opts)
+{
+    CpuExecStats &e = exec[cpu];
+
+    // Instruction execution: the body computation plus one issue slot
+    // per memory reference (single-issue CPU).
+    Insts ni = la.insts + la.elems;
+    if (ni) {
+        clock[cpu] += ni;
+        e.busy += ni;
+        e.insts += ni;
+    }
+
+    // Instruction-stream fetches (fpppp's bottleneck).
+    if (program.modelIfetch && ni) {
+        ifetchDebt[cpu] += ni;
+        const Insts per_line = cfg.l2.lineBytes / 4; // 4-byte insts
+        const std::uint64_t text_span =
+            roundUp(program.textBytes, cfg.l2.lineBytes);
+        while (ifetchDebt[cpu] >= per_line) {
+            ifetchDebt[cpu] -= per_line;
+            MemAccess ia;
+            ia.va = program.textBase + textCursor[cpu];
+            ia.kind = AccessKind::Ifetch;
+            ia.wordMask = (1u << (cfg.l2.lineBytes / 8)) - 1;
+            if (opts.record) {
+                TraceRecord rec;
+                rec.va = ia.va;
+                rec.wordMask = ia.wordMask;
+                rec.cpu = static_cast<std::uint8_t>(cpu);
+                rec.flags = 2; // ifetch
+                opts.record->append(rec);
+            }
+            AccessOutcome out = mem.access(cpu, ia, clock[cpu]);
+            clock[cpu] += out.stall;
+            e.memStall += out.stall - out.kernel;
+            e.kernel += out.kernel;
+            textCursor[cpu] =
+                (textCursor[cpu] + cfg.l2.lineBytes) % text_span;
+        }
+    }
+
+    if (la.elems == 0 || la.ref == nullptr)
+        return; // compute-only record
+
+    // Compiler-inserted prefetch, software-pipelined dist lines ahead
+    // in the run's direction of travel.
+    if (la.ref->prefetchDistLines) {
+        std::uint64_t off = static_cast<std::uint64_t>(
+                                la.ref->prefetchDistLines) *
+                            cfg.l2.lineBytes;
+        // A late (pipeline-inhibited) prefetch targets the line the
+        // demand reference is about to touch: it starts the fetch a
+        // cycle early, covering essentially nothing.
+        if (la.ref->prefetchLate)
+            off = 0;
+        VAddr pva = la.backward ? la.va - off : la.va + off;
+        // One issue slot for the prefetch instruction itself.
+        clock[cpu] += 1;
+        e.busy += 1;
+        e.insts += 1;
+        Cycles st = mem.prefetch(cpu, pva, clock[cpu]);
+        clock[cpu] += st;
+        e.memStall += st;
+    }
+
+    if (opts.record) {
+        TraceRecord rec;
+        rec.va = la.va;
+        rec.insts = static_cast<std::uint32_t>(ni);
+        rec.wordMask = la.wordMask;
+        rec.elems = la.elems;
+        rec.cpu = static_cast<std::uint8_t>(cpu);
+        rec.flags = la.isWrite ? 1 : 0;
+        opts.record->append(rec);
+    }
+
+    MemAccess a;
+    a.va = la.va;
+    a.kind = la.isWrite ? AccessKind::Store : AccessKind::Load;
+    a.wordMask = la.wordMask;
+    a.concurrentFaults = concurrent;
+    AccessOutcome out = mem.access(cpu, a, clock[cpu]);
+    clock[cpu] += out.stall;
+    e.memStall += out.stall - out.kernel;
+    e.kernel += out.kernel;
+
+    if (opts.trace)
+        opts.trace->note(cpu, la.va / cfg.pageBytes);
+}
+
+void
+MpSimulator::runParallelNest(const Program &program, const LoopNest &nest,
+                             const SimOptions &opts,
+                             const std::string &phase_name)
+{
+    NestTimelineEntry entry;
+    if (opts.timeline) {
+        entry.phase = phase_name;
+        entry.label = nest.label;
+        entry.kind = NestKind::Parallel;
+        entry.start = clock[0];
+    }
+
+    // Fork/dispatch cost on every CPU.
+    for (CpuId c = 0; c < ncpus; c++) {
+        clock[c] += cfg.forkCycles;
+        exec[c].sync += cfg.forkCycles;
+    }
+
+    std::vector<RunCursor> cursors;
+    cursors.reserve(ncpus);
+    for (CpuId c = 0; c < ncpus; c++)
+        cursors.emplace_back(program, nest, c, ncpus, cfg.l2.lineBytes);
+
+    using Entry = std::pair<Cycles, CpuId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    std::vector<Cycles> arrival(ncpus, 0);
+    for (CpuId c = 0; c < ncpus; c++)
+        pq.emplace(clock[c], c);
+
+    std::uint32_t batch = std::max<std::uint32_t>(opts.batchLines, 1);
+    LineAccess la;
+    while (!pq.empty()) {
+        CpuId cpu = pq.top().second;
+        pq.pop();
+        bool alive = true;
+        for (std::uint32_t k = 0; k < batch; k++) {
+            if (!cursors[cpu].next(la)) {
+                alive = false;
+                break;
+            }
+            executeLine(program, cpu, la, ncpus, opts);
+        }
+        if (alive)
+            pq.emplace(clock[cpu], cpu);
+        else
+            arrival[cpu] = clock[cpu];
+    }
+
+    // Barrier: the spread of arrival times is load imbalance; the
+    // barrier episode itself is synchronization cost.
+    Cycles latest = *std::max_element(arrival.begin(), arrival.end());
+    for (CpuId c = 0; c < ncpus; c++) {
+        exec[c].imbalance += latest - arrival[c];
+        clock[c] = latest + cfg.barrierCycles;
+        exec[c].sync += cfg.barrierCycles;
+    }
+    barriers++;
+
+    if (opts.timeline) {
+        entry.cpuEnd = arrival;
+        entry.end = clock[0];
+        opts.timeline->push_back(std::move(entry));
+    }
+}
+
+void
+MpSimulator::runMasterNest(const Program &program, const LoopNest &nest,
+                           const SimOptions &opts, bool suppressed,
+                           const std::string &phase_name)
+{
+    NestTimelineEntry entry;
+    if (opts.timeline) {
+        entry.phase = phase_name;
+        entry.label = nest.label;
+        entry.kind = suppressed ? NestKind::Suppressed
+                                : NestKind::Sequential;
+        entry.start = clock[0];
+        entry.cpuEnd.assign(ncpus, clock[0]);
+    }
+
+    RunCursor cursor(program, nest, 0, 1, cfg.l2.lineBytes);
+    LineAccess la;
+    while (cursor.next(la))
+        executeLine(program, 0, la, 1, opts);
+    idleUntil(clock[0],
+              suppressed ? &CpuExecStats::suppressed
+                         : &CpuExecStats::sequential,
+              0);
+
+    if (opts.timeline) {
+        entry.cpuEnd[0] = clock[0];
+        entry.end = clock[0];
+        opts.timeline->push_back(std::move(entry));
+    }
+}
+
+void
+MpSimulator::runPhase(const Program &program, const Phase &phase,
+                      const SimOptions &opts)
+{
+    for (const LoopNest &nest : phase.nests) {
+        switch (nest.kind) {
+          case NestKind::Parallel:
+            runParallelNest(program, nest, opts, phase.name);
+            break;
+          case NestKind::Sequential:
+            runMasterNest(program, nest, opts, false, phase.name);
+            break;
+          case NestKind::Suppressed:
+            runMasterNest(program, nest, opts, true, phase.name);
+            break;
+        }
+    }
+}
+
+RunTotals
+MpSimulator::snapshot() const
+{
+    RunTotals t;
+    t.cpus = exec;
+    t.mem = mem.totalStats();
+    t.bus = mem.busStats();
+    t.wall = *std::max_element(clock.begin(), clock.end());
+    t.barriers = barriers;
+    return t;
+}
+
+WeightedTotals
+MpSimulator::run(const Program &program, const SimOptions &opts)
+{
+    fatalIf(opts.measureRounds == 0, "measureRounds must be at least 1");
+
+    if (opts.runInit) {
+        SimOptions init_opts = opts;
+        init_opts.trace = nullptr; // Figures 3/5 plot steady state only
+        runPhase(program, program.init, init_opts);
+    }
+
+    WeightedTotals out;
+    for (const Phase &phase : program.steady) {
+        for (std::uint32_t w = 0; w < opts.warmupRounds; w++) {
+            SimOptions warm_opts = opts;
+            warm_opts.trace = nullptr;
+            runPhase(program, phase, warm_opts);
+        }
+        RunTotals before = snapshot();
+        for (std::uint32_t m = 0; m < opts.measureRounds; m++)
+            runPhase(program, phase, opts);
+        RunTotals after = snapshot();
+        double weight = static_cast<double>(phase.occurrences) /
+                        opts.measureRounds;
+        out.add(before, after, weight);
+    }
+    return out;
+}
+
+void
+MpSimulator::resetExecState()
+{
+    std::fill(clock.begin(), clock.end(), 0);
+    std::fill(exec.begin(), exec.end(), CpuExecStats{});
+    std::fill(ifetchDebt.begin(), ifetchDebt.end(), 0);
+    std::fill(textCursor.begin(), textCursor.end(), 0);
+    barriers = 0;
+}
+
+} // namespace cdpc

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * MpSimulator: execution-driven simulation of a compiled Program on
+ * the modeled multiprocessor.
+ *
+ * The simulator plays the role SimOS plays in the paper: it executes
+ * the parallelized program's reference streams against the memory
+ * hierarchy with full timing. The SUIF execution model (paper,
+ * Figure 1) is reproduced: a master CPU runs sequential sections
+ * while slaves spin; parallel loops fork to all CPUs, which run
+ * their statically scheduled chunks and meet at a barrier; loops the
+ * compiler suppressed run on the master alone.
+ *
+ * CPUs are interleaved in local-time order (the CPU with the
+ * smallest clock executes next), which keeps the shared bus and the
+ * MESI coherence protocol causally consistent.
+ *
+ * The measurement methodology is the paper's representative
+ * execution window (Section 3.3): each steady-state phase is
+ * simulated warmupRounds times with statistics discarded (cold-start
+ * transients) and measureRounds times with statistics kept, and the
+ * measured deltas are weighted by the phase's occurrence count.
+ */
+
+#ifndef CDPC_MACHINE_SIMULATOR_H
+#define CDPC_MACHINE_SIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "ir/exec.h"
+#include "ir/program.h"
+#include "machine/config.h"
+#include "machine/stats.h"
+#include "machine/trace.h"
+#include "machine/tracefile.h"
+#include "mem/memsystem.h"
+
+namespace cdpc
+{
+
+/**
+ * One nest's execution record: when it started (all CPUs are
+ * synchronized at nest boundaries), when each CPU finished its part,
+ * and when the program moved on. This is the raw material for the
+ * paper's Figure 1 (the SUIF master/slave execution model).
+ */
+struct NestTimelineEntry
+{
+    std::string phase;
+    std::string label;
+    NestKind kind = NestKind::Parallel;
+    Cycles start = 0;
+    /** Per-CPU completion of its own work (master only for
+     *  sequential/suppressed nests; slaves show start). */
+    std::vector<Cycles> cpuEnd;
+    /** Time after the barrier / join. */
+    Cycles end = 0;
+};
+
+/** Simulation controls. */
+struct SimOptions
+{
+    /** Rounds of each phase executed and discarded (cache warmup). */
+    std::uint32_t warmupRounds = 1;
+    /** Rounds of each phase measured (deltas weighted by occurrence). */
+    std::uint32_t measureRounds = 1;
+    /** Execute the init phase (first-touch order, page faults). */
+    bool runInit = true;
+    /**
+     * Line accesses a CPU executes per scheduling turn. Larger
+     * batches run faster but let a CPU race ahead of its peers
+     * within the turn, distorting bus queueing; 1 keeps the shared
+     * bus causally exact.
+     */
+    std::uint32_t batchLines = 1;
+    /** Optional page-level trace sink (Figures 3 and 5). */
+    PageTraceCollector *trace = nullptr;
+    /** Optional per-nest timeline sink (Figure 1). */
+    std::vector<NestTimelineEntry> *timeline = nullptr;
+    /**
+     * Optional demand-reference trace sink. Records are written in
+     * global execution order; software prefetches are not recorded.
+     */
+    TraceWriter *record = nullptr;
+};
+
+/** Execution-driven multiprocessor simulator. */
+class MpSimulator
+{
+  public:
+    /**
+     * @param config machine parameters
+     * @param mem memory hierarchy (not owned; shares the config)
+     */
+    MpSimulator(const MachineConfig &config, MemorySystem &mem);
+
+    /**
+     * Run @p program: init phase once, then each steady phase
+     * warmupRounds + measureRounds times, returning the
+     * occurrence-weighted totals of the measured rounds.
+     */
+    WeightedTotals run(const Program &program,
+                       const SimOptions &opts = {});
+
+    /**
+     * Execute every nest of @p phase once (all CPUs). Exposed for
+     * tests and custom harnesses; statistics accumulate into the
+     * simulator's counters, snapshot() reads them.
+     */
+    void runPhase(const Program &program, const Phase &phase,
+                  const SimOptions &opts);
+
+    /** Capture the current raw totals. */
+    RunTotals snapshot() const;
+
+    /** Per-CPU clock (cycles since construction/reset). */
+    Cycles cpuClock(CpuId cpu) const { return clock.at(cpu); }
+
+    /** Reset CPU clocks and execution counters (not the caches). */
+    void resetExecState();
+
+  private:
+    MachineConfig cfg;
+    MemorySystem &mem;
+    std::uint32_t ncpus;
+
+    std::vector<Cycles> clock;
+    std::vector<CpuExecStats> exec;
+    std::uint64_t barriers = 0;
+
+    /** Instruction-fetch modeling state. */
+    std::vector<Insts> ifetchDebt;
+    std::vector<std::uint64_t> textCursor;
+
+    void runParallelNest(const Program &program, const LoopNest &nest,
+                         const SimOptions &opts,
+                         const std::string &phase_name);
+    void runMasterNest(const Program &program, const LoopNest &nest,
+                       const SimOptions &opts, bool suppressed,
+                       const std::string &phase_name);
+
+    /**
+     * Execute one line access (with its prefetches and optional
+     * instruction fetches) on @p cpu; advances the CPU's clock and
+     * execution counters.
+     */
+    void executeLine(const Program &program, CpuId cpu,
+                     const LineAccess &la, std::uint32_t concurrent,
+                     const SimOptions &opts);
+
+    /** Synchronize every CPU to @p t, attributing the wait. */
+    void idleUntil(Cycles t, Cycles CpuExecStats::*category,
+                   CpuId except);
+};
+
+} // namespace cdpc
+
+#endif // CDPC_MACHINE_SIMULATOR_H

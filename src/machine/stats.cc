@@ -1,0 +1,77 @@
+#include "machine/stats.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+double
+delta(std::uint64_t before, std::uint64_t after)
+{
+    return static_cast<double>(after - before);
+}
+
+} // namespace
+
+void
+WeightedTotals::add(const RunTotals &before, const RunTotals &after,
+                    double weight)
+{
+    panicIfNot(before.cpus.size() == after.cpus.size(),
+               "snapshot CPU counts differ");
+
+    for (std::size_t c = 0; c < after.cpus.size(); c++) {
+        const CpuExecStats &b = before.cpus[c];
+        const CpuExecStats &a = after.cpus[c];
+        insts += delta(b.insts, a.insts) * weight;
+        busy += delta(b.busy, a.busy) * weight;
+        memStall += delta(b.memStall, a.memStall) * weight;
+        kernel += delta(b.kernel, a.kernel) * weight;
+        imbalance += delta(b.imbalance, a.imbalance) * weight;
+        sequential += delta(b.sequential, a.sequential) * weight;
+        suppressed += delta(b.suppressed, a.suppressed) * weight;
+        sync += delta(b.sync, a.sync) * weight;
+    }
+
+    wall += delta(before.wall, after.wall) * weight;
+    barriers += delta(before.barriers, after.barriers) * weight;
+
+    const CpuMemStats &mb = before.mem;
+    const CpuMemStats &ma = after.mem;
+    refs += delta(mb.totalRefs(), ma.totalRefs()) * weight;
+    l1Misses += delta(mb.l1Misses, ma.l1Misses) * weight;
+    l2Hits += delta(mb.l2Hits, ma.l2Hits) * weight;
+    l2Misses += delta(mb.l2Misses, ma.l2Misses) * weight;
+    pageFaults += delta(mb.pageFaults, ma.pageFaults) * weight;
+    tlbMisses += delta(mb.tlbMisses, ma.tlbMisses) * weight;
+    l2HitStall += delta(mb.l2HitStall, ma.l2HitStall) * weight;
+    prefetchLateStall +=
+        delta(mb.prefetchLateStall, ma.prefetchLateStall) * weight;
+    prefetchFullStall +=
+        delta(mb.prefetchFullStall, ma.prefetchFullStall) * weight;
+    for (std::size_t k = 0; k < missCount.size(); k++) {
+        missCount[k] += delta(mb.missCount[k], ma.missCount[k]) * weight;
+        missStall[k] += delta(mb.missStall[k], ma.missStall[k]) * weight;
+    }
+    prefetchesIssued +=
+        delta(mb.prefetchesIssued, ma.prefetchesIssued) * weight;
+    prefetchesDropped +=
+        delta(mb.prefetchesDropped, ma.prefetchesDropped) * weight;
+    prefetchesUseful +=
+        delta(mb.prefetchesUseful, ma.prefetchesUseful) * weight;
+
+    const BusStats &bb = before.bus;
+    const BusStats &ba = after.bus;
+    busDataBusy += delta(bb.dataBusy, ba.dataBusy) * weight;
+    busWritebackBusy +=
+        delta(bb.writebackBusy, ba.writebackBusy) * weight;
+    busUpgradeBusy += delta(bb.upgradeBusy, ba.upgradeBusy) * weight;
+    busQueueing += delta(bb.queueing, ba.queueing) * weight;
+}
+
+} // namespace cdpc

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Execution statistics: the quantities behind the paper's Figure 2
+ * (combined execution time, overhead breakdown, MCPI breakdown, bus
+ * utilization) and the speedup/ratio tables.
+ *
+ * RunTotals is a raw integer snapshot of one execution segment.
+ * WeightedTotals accumulates (after - before) deltas scaled by phase
+ * occurrence weights — the paper's representative-execution-window
+ * methodology, where each phase is simulated a few times and its
+ * statistics weighted by how often it occurs in the steady state
+ * (Section 3.3).
+ */
+
+#ifndef CDPC_MACHINE_STATS_H
+#define CDPC_MACHINE_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/bus.h"
+#include "mem/memsystem.h"
+
+namespace cdpc
+{
+
+/** Per-CPU execution-side counters. */
+struct CpuExecStats
+{
+    Insts insts = 0;
+    /** Cycles spent executing instructions (single issue, 1 IPC). */
+    Cycles busy = 0;
+    /** Demand memory stall cycles (excludes kernel time). */
+    Cycles memStall = 0;
+    /** Kernel cycles: TLB refills and page faults. */
+    Cycles kernel = 0;
+    /** Cycles waiting at barriers for slower CPUs. */
+    Cycles imbalance = 0;
+    /** Cycles idle while the master runs unparallelized code. */
+    Cycles sequential = 0;
+    /** Cycles idle while the master runs suppressed parallel code. */
+    Cycles suppressed = 0;
+    /** Barrier and fork/dispatch costs. */
+    Cycles sync = 0;
+
+    Cycles
+    total() const
+    {
+        return busy + memStall + kernel + imbalance + sequential +
+               suppressed + sync;
+    }
+};
+
+/** Raw snapshot of one execution segment. */
+struct RunTotals
+{
+    std::vector<CpuExecStats> cpus;
+    CpuMemStats mem;
+    BusStats bus;
+    /** Wall-clock cycles elapsed (all CPUs synchronized at ends). */
+    Cycles wall = 0;
+    std::uint64_t barriers = 0;
+};
+
+/**
+ * Occurrence-weighted statistics, aggregated over CPUs.
+ * All fields are in cycles (or counts) summed over the processors,
+ * matching the paper's "combined execution time" metric.
+ */
+struct WeightedTotals
+{
+    double insts = 0;
+    double busy = 0;
+    double memStall = 0;
+    double kernel = 0;
+    double imbalance = 0;
+    double sequential = 0;
+    double suppressed = 0;
+    double sync = 0;
+    double wall = 0;
+    double barriers = 0;
+
+    double refs = 0;
+    double l1Misses = 0;
+    double l2Hits = 0;
+    double l2Misses = 0;
+    double pageFaults = 0;
+    double tlbMisses = 0;
+
+    double l2HitStall = 0;
+    double prefetchLateStall = 0;
+    double prefetchFullStall = 0;
+    /** Indexed by MissKind. */
+    std::array<double, 6> missCount{};
+    std::array<double, 6> missStall{};
+
+    double busDataBusy = 0;
+    double busWritebackBusy = 0;
+    double busUpgradeBusy = 0;
+    double busQueueing = 0;
+
+    double prefetchesIssued = 0;
+    double prefetchesDropped = 0;
+    double prefetchesUseful = 0;
+
+    /** Accumulate (after - before) scaled by @p weight. */
+    void add(const RunTotals &before, const RunTotals &after,
+             double weight);
+
+    /** Sum of all per-CPU time categories ("combined exec time"). */
+    double
+    combinedTime() const
+    {
+        return busy + memStall + kernel + imbalance + sequential +
+               suppressed + sync;
+    }
+
+    /** Overheads portion of the combined time (Figure 2, graph 2). */
+    double
+    overheadTime() const
+    {
+        return kernel + imbalance + sequential + suppressed + sync;
+    }
+
+    /** Memory cycles per instruction during useful execution. */
+    double mcpi() const { return insts > 0 ? memStall / insts : 0.0; }
+
+    /** Fraction of wall-clock cycles the bus was occupied. */
+    double
+    busUtilization() const
+    {
+        double busy_cycles =
+            busDataBusy + busWritebackBusy + busUpgradeBusy;
+        return wall > 0 ? std::min(1.0, busy_cycles / wall) : 0.0;
+    }
+
+    double
+    missStallOf(MissKind k) const
+    {
+        return missStall[static_cast<std::size_t>(k)];
+    }
+
+    double
+    missCountOf(MissKind k) const
+    {
+        return missCount[static_cast<std::size_t>(k)];
+    }
+
+    /** Replacement-miss stall: cold + capacity + conflict. */
+    double
+    replacementStall() const
+    {
+        return missStallOf(MissKind::Cold) +
+               missStallOf(MissKind::Capacity) +
+               missStallOf(MissKind::Conflict);
+    }
+
+    /** Communication-miss stall: true + false sharing + upgrades. */
+    double
+    communicationStall() const
+    {
+        return missStallOf(MissKind::TrueSharing) +
+               missStallOf(MissKind::FalseSharing) +
+               missStallOf(MissKind::Upgrade);
+    }
+};
+
+} // namespace cdpc
+
+#endif // CDPC_MACHINE_STATS_H

@@ -1,0 +1,36 @@
+#include "machine/trace.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cdpc
+{
+
+std::vector<PageNum>
+PageTraceCollector::allPages() const
+{
+    std::set<PageNum> all;
+    for (const auto &s : perCpu)
+        all.insert(s.begin(), s.end());
+    return {all.begin(), all.end()};
+}
+
+std::uint32_t
+PageTraceCollector::sharersOf(PageNum vpn) const
+{
+    std::uint32_t n = 0;
+    for (const auto &s : perCpu) {
+        if (s.contains(vpn))
+            n++;
+    }
+    return n;
+}
+
+void
+PageTraceCollector::clear()
+{
+    for (auto &s : perCpu)
+        s.clear();
+}
+
+} // namespace cdpc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Page-level access tracing: which CPUs touch which virtual pages
+ * during the steady state. This is the raw material of the paper's
+ * Figure 3 (sparse per-CPU footprints under the default layout) and
+ * Figure 5 (dense footprints in CDPC coloring order).
+ */
+
+#ifndef CDPC_MACHINE_TRACE_H
+#define CDPC_MACHINE_TRACE_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** Records the set of virtual pages each CPU touches. */
+class PageTraceCollector
+{
+  public:
+    explicit PageTraceCollector(std::uint32_t ncpus) : perCpu(ncpus) {}
+
+    void
+    note(CpuId cpu, PageNum vpn)
+    {
+        perCpu[cpu].insert(vpn);
+    }
+
+    /** Pages CPU @p cpu touched. */
+    const std::unordered_set<PageNum> &
+    pagesOf(CpuId cpu) const
+    {
+        return perCpu.at(cpu);
+    }
+
+    std::uint32_t
+    numCpus() const
+    {
+        return static_cast<std::uint32_t>(perCpu.size());
+    }
+
+    /** All pages touched by any CPU, sorted. */
+    std::vector<PageNum> allPages() const;
+
+    /** Number of CPUs that touched @p vpn. */
+    std::uint32_t sharersOf(PageNum vpn) const;
+
+    void clear();
+
+  private:
+    std::vector<std::unordered_set<PageNum>> perCpu;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_MACHINE_TRACE_H

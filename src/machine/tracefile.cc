@@ -1,0 +1,127 @@
+#include "machine/tracefile.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "mem/memsystem.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'D', 'P', 'C', 'T', 'R', 'C', '1'};
+
+struct Header
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t ncpus;
+    std::uint64_t records;
+};
+
+static_assert(sizeof(Header) == 24, "trace header must be packed");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, std::uint32_t ncpus)
+    : out(path, std::ios::binary | std::ios::trunc), ncpus(ncpus)
+{
+    fatalIf(!out, "cannot open trace file for writing: ", path);
+    writeHeader();
+}
+
+void
+TraceWriter::writeHeader()
+{
+    Header h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.version = 1;
+    h.ncpus = ncpus;
+    h.records = count;
+    out.seekp(0);
+    out.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    fatalIf(!out, "trace header write failed");
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    panicIfNot(!closed, "append to a closed trace");
+    out.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+    fatalIf(!out, "trace record write failed");
+    count++;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed)
+        return;
+    writeHeader(); // patch the final record count
+    out.close();
+    closed = true;
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in(path, std::ios::binary)
+{
+    fatalIf(!in, "cannot open trace file: ", path);
+    Header h{};
+    in.read(reinterpret_cast<char *>(&h), sizeof(h));
+    fatalIf(!in || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0,
+            "not a CDPC trace file: ", path);
+    fatalIf(h.version != 1, "unsupported trace version ", h.version);
+    ncpus = h.ncpus;
+    count = h.records;
+}
+
+bool
+TraceReader::next(TraceRecord &rec)
+{
+    if (consumed >= count)
+        return false;
+    in.read(reinterpret_cast<char *>(&rec), sizeof(rec));
+    fatalIf(!in, "truncated trace file");
+    consumed++;
+    return true;
+}
+
+ReplayResult
+replayTrace(TraceReader &reader, MemorySystem &mem)
+{
+    fatalIf(reader.numCpus() > mem.numCpus(),
+            "trace was recorded on ", reader.numCpus(),
+            " CPUs but the memory system has ", mem.numCpus());
+
+    ReplayResult res;
+    res.cpuClock.assign(mem.numCpus(), 0);
+
+    TraceRecord rec;
+    while (reader.next(rec)) {
+        panicIfNot(rec.cpu < mem.numCpus(),
+                   "trace record names CPU ", unsigned(rec.cpu));
+        Cycles &clk = res.cpuClock[rec.cpu];
+        clk += rec.insts;
+
+        MemAccess a;
+        a.va = rec.va;
+        a.kind = rec.isIfetch()
+                     ? AccessKind::Ifetch
+                     : rec.isWrite() ? AccessKind::Store
+                                     : AccessKind::Load;
+        a.wordMask = rec.wordMask;
+        AccessOutcome out = mem.access(rec.cpu, a, clk);
+        clk += out.stall;
+        res.records++;
+    }
+    return res;
+}
+
+} // namespace cdpc

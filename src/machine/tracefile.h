@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Reference-trace capture and replay.
+ *
+ * SimOS-style workflow: record the demand reference stream of an
+ * execution-driven run once (in global interleaved order, so the
+ * coherence-relevant ordering is preserved), then replay it through
+ * any memory-system configuration without re-interpreting the
+ * program. Useful for regression baselines, for feeding the stream
+ * into other tools, and for separating "what the program does" from
+ * "how the hierarchy responds".
+ *
+ * The file format is a little-endian binary: a 24-byte header
+ * (magic, version, CPU count, record count) followed by fixed-size
+ * 24-byte records. Software prefetches are not recorded — a trace
+ * captures the demand stream (see DESIGN.md).
+ */
+
+#ifndef CDPC_MACHINE_TRACEFILE_H
+#define CDPC_MACHINE_TRACEFILE_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+class MemorySystem;
+
+/** One demand reference in a trace. */
+struct TraceRecord
+{
+    VAddr va = 0;
+    /** Instructions executed along with this reference. */
+    std::uint32_t insts = 0;
+    std::uint32_t wordMask = 0;
+    /** Element references this record stands for. */
+    std::uint32_t elems = 0;
+    std::uint8_t cpu = 0;
+    /** Bit 0: write; bit 1: instruction fetch. */
+    std::uint8_t flags = 0;
+    std::uint16_t pad = 0;
+
+    bool isWrite() const { return flags & 1; }
+    bool isIfetch() const { return flags & 2; }
+};
+
+static_assert(sizeof(TraceRecord) == 24, "trace record must be packed");
+
+/** Sequential trace writer. */
+class TraceWriter
+{
+  public:
+    /**
+     * @param path output file (created/truncated)
+     * @param ncpus CPU count recorded in the header
+     */
+    TraceWriter(const std::string &path, std::uint32_t ncpus);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record (in global execution order). */
+    void append(const TraceRecord &rec);
+
+    /** Finalize the header; implicit in the destructor. */
+    void close();
+
+    std::uint64_t records() const { return count; }
+
+  private:
+    std::ofstream out;
+    std::uint32_t ncpus;
+    std::uint64_t count = 0;
+    bool closed = false;
+
+    void writeHeader();
+};
+
+/** Sequential trace reader. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    /** @return false at end of trace. */
+    bool next(TraceRecord &rec);
+
+    std::uint32_t numCpus() const { return ncpus; }
+    std::uint64_t records() const { return count; }
+
+  private:
+    std::ifstream in;
+    std::uint32_t ncpus = 0;
+    std::uint64_t count = 0;
+    std::uint64_t consumed = 0;
+};
+
+/** Outcome of a trace replay. */
+struct ReplayResult
+{
+    std::uint64_t records = 0;
+    /** Per-CPU final clocks (instructions + stalls). */
+    std::vector<Cycles> cpuClock;
+
+    Cycles
+    combinedCycles() const
+    {
+        Cycles sum = 0;
+        for (Cycles c : cpuClock)
+            sum += c;
+        return sum;
+    }
+};
+
+/**
+ * Replay a trace through @p mem, advancing per-CPU clocks by the
+ * recorded instruction counts plus the memory system's stalls. The
+ * records are applied in file order, preserving the recorded
+ * coherence interleaving.
+ */
+ReplayResult replayTrace(TraceReader &reader, MemorySystem &mem);
+
+} // namespace cdpc
+
+#endif // CDPC_MACHINE_TRACEFILE_H

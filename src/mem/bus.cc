@@ -1,0 +1,61 @@
+#include "mem/bus.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+Bus::Bus(Cycles data_cycles, Cycles wb_cycles, Cycles upgrade_cycles)
+    : dataCycles(data_cycles), wbCycles(wb_cycles),
+      upgradeCycles(upgrade_cycles)
+{
+    fatalIf(data_cycles == 0 || wb_cycles == 0 || upgrade_cycles == 0,
+            "bus occupancies must be nonzero");
+}
+
+Cycles
+Bus::acquire(BusKind kind, Cycles now)
+{
+    Cycles start = std::max(now, nextFree);
+    Cycles occ = 0;
+    switch (kind) {
+      case BusKind::Data:
+        occ = dataCycles;
+        stats_.dataTxns++;
+        stats_.dataBusy += occ;
+        break;
+      case BusKind::Writeback:
+        occ = wbCycles;
+        stats_.writebackTxns++;
+        stats_.writebackBusy += occ;
+        break;
+      case BusKind::Upgrade:
+        occ = upgradeCycles;
+        stats_.upgradeTxns++;
+        stats_.upgradeBusy += occ;
+        break;
+    }
+    stats_.queueing += start - now;
+    nextFree = start + occ;
+    return start;
+}
+
+double
+Bus::utilization(Cycles window) const
+{
+    if (window == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(stats_.totalBusy()) /
+                             static_cast<double>(window));
+}
+
+void
+Bus::reset()
+{
+    nextFree = 0;
+    stats_ = BusStats{};
+}
+
+} // namespace cdpc

@@ -1,0 +1,114 @@
+#include "mem/cache.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config(config),
+      lineShift(floorLog2(config.lineBytes)),
+      setMask(config.numSets() - 1),
+      lines(config.numLines())
+{
+    fatalIf(!isPowerOf2(config.lineBytes), "line size must be power of 2");
+    fatalIf(!isPowerOf2(config.numSets()),
+            "number of sets must be a power of 2");
+}
+
+CacheLine *
+Cache::findInSet(std::uint64_t set, Addr phys_line)
+{
+    CacheLine *base = &lines[set * config.assoc];
+    for (std::uint32_t w = 0; w < config.assoc; w++) {
+        CacheLine &l = base[w];
+        if (mesiValid(l.state) && l.lineAddr == phys_line)
+            return &l;
+    }
+    return nullptr;
+}
+
+CacheLine *
+Cache::access(Addr index_addr, Addr phys_line)
+{
+    stats_.accesses++;
+    CacheLine *l = findInSet(setIndex(index_addr), phys_line);
+    if (l) {
+        stats_.hits++;
+        l->lastUse = ++useClock;
+    } else {
+        stats_.misses++;
+    }
+    return l;
+}
+
+CacheLine *
+Cache::probe(Addr index_addr, Addr phys_line)
+{
+    return findInSet(setIndex(index_addr), phys_line);
+}
+
+const CacheLine *
+Cache::probe(Addr index_addr, Addr phys_line) const
+{
+    return const_cast<Cache *>(this)->findInSet(setIndex(index_addr),
+                                                phys_line);
+}
+
+CacheLine *
+Cache::insert(Addr index_addr, Addr phys_line, Mesi state,
+              CacheLine *victim)
+{
+    panicIfNot(mesiValid(state), "inserting an Invalid line");
+    std::uint64_t set = setIndex(index_addr);
+    panicIfNot(findInSet(set, phys_line) == nullptr,
+               "inserting a line that is already present");
+    CacheLine *base = &lines[set * config.assoc];
+
+    // Prefer an invalid way; otherwise evict true-LRU.
+    CacheLine *slot = nullptr;
+    for (std::uint32_t w = 0; w < config.assoc; w++) {
+        CacheLine &l = base[w];
+        if (!mesiValid(l.state)) {
+            slot = &l;
+            break;
+        }
+        if (!slot || l.lastUse < slot->lastUse)
+            slot = &l;
+    }
+
+    if (mesiValid(slot->state)) {
+        stats_.evictions++;
+        if (victim)
+            *victim = *slot;
+    }
+
+    slot->lineAddr = phys_line;
+    slot->state = state;
+    slot->dirty = false;
+    slot->lastUse = ++useClock;
+    return slot;
+}
+
+bool
+Cache::invalidate(Addr index_addr, Addr phys_line)
+{
+    CacheLine *l = findInSet(setIndex(index_addr), phys_line);
+    if (!l)
+        return false;
+    l->state = Mesi::Invalid;
+    l->dirty = false;
+    stats_.invalidations++;
+    return true;
+}
+
+void
+Cache::reset()
+{
+    for (CacheLine &l : lines)
+        l = CacheLine{};
+    useClock = 0;
+    stats_ = CacheStats{};
+}
+
+} // namespace cdpc

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A generic set-associative cache tag array with true-LRU
+ * replacement. It stores no data — the simulator only needs hit/miss
+ * behaviour, per-line MESI state and dirty/writable bits.
+ *
+ * The same class models:
+ *  - the virtually indexed on-chip caches (indexed by virtual
+ *    address, tagged by physical line address), and
+ *  - the physically indexed external caches (indexed and tagged by
+ *    physical address) whose interaction with page colors is the
+ *    whole subject of the paper.
+ */
+
+#ifndef CDPC_MEM_CACHE_H
+#define CDPC_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/intmath.h"
+#include "common/types.h"
+#include "machine/config.h"
+#include "mem/mesi.h"
+
+namespace cdpc
+{
+
+/** One cache line's bookkeeping. */
+struct CacheLine
+{
+    /** Physical line address (paddr / lineBytes); tag identity. */
+    Addr lineAddr = 0;
+    Mesi state = Mesi::Invalid;
+    /** L1 lines: was the line written since fill. */
+    bool dirty = false;
+    /** LRU timestamp (monotone per cache). */
+    std::uint64_t lastUse = 0;
+};
+
+/** Basic hit/miss/eviction counters. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/**
+ * Set-associative tag array.
+ *
+ * The caller supplies both the index address (virtual for L1,
+ * physical for L2) and the physical line address used as the tag, so
+ * one class covers both indexing schemes.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up a line.
+     * @param index_addr address used for set selection
+     * @param phys_line physical line address (tag match)
+     * @return pointer to the line, or nullptr on miss.
+     *         Updates LRU and hit/miss counters.
+     */
+    CacheLine *access(Addr index_addr, Addr phys_line);
+
+    /** Look up without touching LRU or counters. */
+    CacheLine *probe(Addr index_addr, Addr phys_line);
+    const CacheLine *probe(Addr index_addr, Addr phys_line) const;
+
+    /**
+     * Insert a line (after a miss), evicting the set's LRU entry if
+     * needed.
+     * @param[out] victim filled with the evicted line when one was
+     *             valid; untouched otherwise
+     * @return pointer to the newly inserted line
+     */
+    CacheLine *insert(Addr index_addr, Addr phys_line, Mesi state,
+                      CacheLine *victim = nullptr);
+
+    /** Invalidate a specific line if present; @return true if it was. */
+    bool invalidate(Addr index_addr, Addr phys_line);
+
+    /** Invalidate everything (between experiment runs). */
+    void reset();
+
+    /** Visit every valid line (auditing / statistics walks). */
+    template <typename F>
+    void
+    forEachValid(F &&fn) const
+    {
+        for (const CacheLine &l : lines) {
+            if (mesiValid(l.state))
+                fn(l);
+        }
+    }
+
+    /** @return set index for an address (exposed for tests). */
+    std::uint64_t
+    setIndex(Addr index_addr) const
+    {
+        return (index_addr >> lineShift) & setMask;
+    }
+
+    /** @return physical line address for a physical byte address. */
+    Addr lineAddrOf(Addr paddr) const { return paddr >> lineShift; }
+
+    std::uint32_t lineBytes() const { return config.lineBytes; }
+    std::uint64_t numSets() const { return config.numSets(); }
+    std::uint32_t assoc() const { return config.assoc; }
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    CacheConfig config;
+    unsigned lineShift;
+    std::uint64_t setMask;
+    std::uint64_t useClock = 0;
+    /** lines[set * assoc + way]. */
+    std::vector<CacheLine> lines;
+    CacheStats stats_;
+
+    CacheLine *findInSet(std::uint64_t set, Addr phys_line);
+};
+
+} // namespace cdpc
+
+#endif // CDPC_MEM_CACHE_H

@@ -1,0 +1,576 @@
+#include "mem/memsystem.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+MemorySystem::MemorySystem(const MachineConfig &config, VirtualMemory &vm)
+    : cfg(config), vm(vm),
+      bus(config.busDataCycles, config.busWritebackCycles,
+          config.busUpgradeCycles)
+{
+    cfg.validate();
+    fatalIf(cfg.numCpus > kMaxCpus, "at most ", kMaxCpus,
+            " CPUs supported, got ", cfg.numCpus);
+    ports.reserve(cfg.numCpus);
+    for (std::uint32_t i = 0; i < cfg.numCpus; i++)
+        ports.push_back(std::make_unique<Port>(cfg));
+}
+
+AccessOutcome
+MemorySystem::access(CpuId cpu, const MemAccess &acc, Cycles now)
+{
+    panicIfNot(cpu < ports.size(), "access from out-of-range CPU ", cpu);
+    Port &p = *ports[cpu];
+    AccessOutcome out;
+
+    switch (acc.kind) {
+      case AccessKind::Load:
+        p.stats.loads++;
+        break;
+      case AccessKind::Store:
+        p.stats.stores++;
+        break;
+      case AccessKind::Ifetch:
+        p.stats.ifetches++;
+        break;
+    }
+
+    // --- TLB and translation ------------------------------------------
+    PageNum vpn = vm.vpnOf(acc.va);
+    if (!p.tlb.access(vpn)) {
+        out.tlbMiss = true;
+        p.stats.tlbMisses++;
+        out.kernel += cfg.tlbMissCycles;
+    }
+    Translation tr = vm.translate(acc.va, cpu, acc.concurrentFaults);
+    if (tr.faulted) {
+        out.pageFault = true;
+        p.stats.pageFaults++;
+        out.kernel += cfg.pageFaultCycles;
+    }
+    p.stats.kernelStall += out.kernel;
+    Cycles t = now + out.kernel;
+    Addr line = lineOf(tr.pa);
+
+    // --- On-chip cache (virtually indexed, physically tagged) ---------
+    bool is_write = acc.kind == AccessKind::Store;
+    Cache &l1 = acc.kind == AccessKind::Ifetch ? p.l1i : p.l1d;
+    CacheLine *l1l = l1.access(acc.va, line);
+    bool l1_data_hit = l1l != nullptr;
+    bool need_l2 = !l1l || (is_write && !mesiWritable(l1l->state));
+
+    if (!need_l2) {
+        if (is_write) {
+            l1l->state = Mesi::Modified;
+            l1l->dirty = true;
+            // Writes absorbed by the L1 are invisible on the bus but
+            // still count for true/false-sharing classification.
+            recordWrite(cpu, line, acc.wordMask);
+        }
+        out.l1Hit = true;
+        p.stats.l1Hits++;
+        out.stall = out.kernel;
+        return out;
+    }
+
+    if (l1_data_hit)
+        p.stats.l1Hits++; // write-permission upgrade, data was present
+    else
+        p.stats.l1Misses++;
+
+    // --- External cache leg -------------------------------------------
+    L2Result r = l2Access(cpu, line, is_write, acc.wordMask, t, false);
+    out.l2Hit = r.hit;
+    out.l2Miss = r.miss;
+    out.missKind = r.kind;
+
+    // --- L1 fill / upgrade --------------------------------------------
+    if (l1_data_hit) {
+        l1l->state = Mesi::Modified;
+        l1l->dirty = true;
+    } else {
+        Mesi fill_state;
+        if (is_write)
+            fill_state = Mesi::Modified;
+        else
+            fill_state = r.writable ? Mesi::Exclusive : Mesi::Shared;
+        CacheLine victim;
+        CacheLine *nl = l1.insert(acc.va, line, fill_state, &victim);
+        nl->dirty = is_write;
+        if (mesiValid(victim.state)) {
+            p.l1Residence.erase(victim.lineAddr);
+            if (victim.dirty) {
+                // Write the dirty data down into the (inclusive) L2.
+                Addr vic_idx = victim.lineAddr * cfg.l2.lineBytes;
+                CacheLine *l2v = p.l2.probe(vic_idx, victim.lineAddr);
+                panicIfNot(l2v != nullptr,
+                           "inclusion violated: dirty L1 victim absent "
+                           "from L2");
+                l2v->state = Mesi::Modified;
+            }
+        }
+        p.l1Residence[line] = acc.va;
+    }
+
+    out.stall = out.kernel + r.latency;
+
+    // Dynamic-policy hook: conflict misses may trigger a recoloring
+    // whose kernel cost lands on this access.
+    if (conflictObserver && r.miss && r.kind == MissKind::Conflict) {
+        Cycles extra =
+            conflictObserver(cpu, vpn, now + out.stall);
+        out.kernel += extra;
+        out.stall += extra;
+        p.stats.kernelStall += extra;
+    }
+    return out;
+}
+
+void
+MemorySystem::setConflictObserver(ConflictObserver obs)
+{
+    conflictObserver = std::move(obs);
+}
+
+void
+MemorySystem::purgePage(VAddr va)
+{
+    auto pa = vm.translateIfMapped(va);
+    if (!pa)
+        return;
+    Addr first_line = *pa / cfg.l2.lineBytes;
+    std::uint64_t lines = cfg.linesPerPage();
+    PageNum vpn = vm.vpnOf(va);
+
+    for (std::uint64_t i = 0; i < lines; i++) {
+        Addr line = first_line + i;
+        Addr idx = line * cfg.l2.lineBytes;
+        for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+            Port &p = *ports[q];
+            if (CacheLine *l = p.l2.probe(idx, line)) {
+                if (l->state == Mesi::Modified)
+                    bus.acquire(BusKind::Writeback, 0);
+                p.l2.invalidate(idx, line);
+                backInvalidateL1(q, line);
+            }
+            p.prefetches.erase(line);
+        }
+        sharing.erase(line);
+    }
+    for (std::uint32_t q = 0; q < cfg.numCpus; q++)
+        ports[q]->tlb.invalidate(vpn);
+}
+
+MemorySystem::L2Result
+MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
+                       std::uint32_t word_mask, Cycles now,
+                       bool is_prefetch)
+{
+    Port &p = *ports[cpu];
+    Addr idx = line * cfg.l2.lineBytes;
+    L2Result r;
+
+    CacheLine *l2l = p.l2.access(idx, line);
+
+    bool shadow_hit = false;
+    bool seen = false;
+    if (!is_prefetch) {
+        shadow_hit = p.shadow.accessAndUpdate(line);
+        seen = p.cold.seenBefore(line);
+    }
+
+    if (l2l) {
+        r.hit = true;
+        // Was this line brought in by a prefetch that is still in
+        // flight? If so the demand reference waits out the remainder.
+        auto pf = p.prefetches.find(line);
+        if (pf != p.prefetches.end() && !is_prefetch) {
+            p.stats.prefetchesUseful++;
+            if (pf->second > now) {
+                Cycles wait = pf->second - now;
+                r.latency += wait;
+                p.stats.prefetchLateStall += wait;
+                now += wait;
+            }
+            p.prefetches.erase(pf);
+        }
+
+        if (is_write && l2l->state == Mesi::Shared) {
+            // Ownership upgrade: address-only bus transaction that
+            // invalidates the other copies.
+            Cycles start = bus.acquire(BusKind::Upgrade, now);
+            Cycles lat = (start - now) + cfg.busUpgradeCycles;
+            invalidateOthers(cpu, line, word_mask, now);
+            l2l->state = Mesi::Modified;
+            r.latency += lat;
+            r.kind = MissKind::Upgrade;
+            auto k = static_cast<std::size_t>(MissKind::Upgrade);
+            p.stats.missCount[k]++;
+            p.stats.missStall[k] += lat;
+        } else {
+            if (is_write) {
+                l2l->state = Mesi::Modified; // silent E->M included
+                recordWrite(cpu, line, word_mask);
+            }
+            if (!is_prefetch) {
+                r.latency += cfg.l2HitCycles;
+                p.stats.l2HitStall += cfg.l2HitCycles;
+            }
+        }
+        if (!is_prefetch)
+            p.stats.l2Hits++;
+        r.writable = mesiWritable(l2l->state);
+        return r;
+    }
+
+    // ---- External cache miss ------------------------------------------
+    r.miss = true;
+    if (!is_prefetch) {
+        p.stats.l2Misses++;
+        r.kind = classifyMiss(cpu, line, word_mask, seen, shadow_hit);
+    }
+
+    // Snoop the other external caches. A line that is Exclusive in a
+    // remote L2 may still be dirty in that CPU's on-chip cache (the
+    // silent E->M upgrade happens above the L2), so the snoop must
+    // probe the L1 as well.
+    bool shared_elsewhere = false;
+    CpuId dirty_owner = kNoCpu;
+    for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+        if (q == cpu)
+            continue;
+        CacheLine *rl = ports[q]->l2.probe(idx, line);
+        if (rl) {
+            shared_elsewhere = true;
+            if (rl->state == Mesi::Modified) {
+                dirty_owner = q;
+            } else if (rl->state == Mesi::Exclusive) {
+                auto res = ports[q]->l1Residence.find(line);
+                if (res != ports[q]->l1Residence.end()) {
+                    CacheLine *c =
+                        ports[q]->l1d.probe(res->second, line);
+                    if (c && c->dirty) {
+                        rl->state = Mesi::Modified;
+                        dirty_owner = q;
+                    }
+                }
+            }
+        }
+    }
+
+    Cycles start = bus.acquire(BusKind::Data, now);
+    Cycles service = dirty_owner != kNoCpu ? cfg.remoteDirtyLatencyCycles
+                                           : cfg.memLatencyCycles;
+    Cycles lat = (start - now) + service;
+    r.latency += lat;
+
+    Mesi new_state;
+    if (is_write) {
+        invalidateOthers(cpu, line, word_mask, now);
+        new_state = Mesi::Modified;
+    } else {
+        if (dirty_owner != kNoCpu) {
+            // Cache-to-cache transfer downgrades the owner to Shared.
+            CacheLine *ol = ports[dirty_owner]->l2.probe(idx, line);
+            ol->state = Mesi::Shared;
+            // The owner's L1 copy loses write permission too.
+            auto res = ports[dirty_owner]->l1Residence.find(line);
+            if (res != ports[dirty_owner]->l1Residence.end()) {
+                Port &op = *ports[dirty_owner];
+                if (CacheLine *c = op.l1d.probe(res->second, line)) {
+                    c->state = Mesi::Shared;
+                    c->dirty = false;
+                } else if (CacheLine *c2 = op.l1i.probe(res->second,
+                                                        line)) {
+                    c2->state = Mesi::Shared;
+                    c2->dirty = false;
+                }
+            }
+        } else if (shared_elsewhere) {
+            // Clean remote copies can be downgraded E->S lazily; all
+            // that matters is that we must insert as Shared.
+            for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+                if (q == cpu)
+                    continue;
+                if (CacheLine *rl = ports[q]->l2.probe(idx, line)) {
+                    if (rl->state == Mesi::Exclusive)
+                        rl->state = Mesi::Shared;
+                }
+            }
+        }
+        new_state = shared_elsewhere ? Mesi::Shared : Mesi::Exclusive;
+    }
+
+    CacheLine victim;
+    p.l2.insert(idx, line, new_state, &victim);
+    if (mesiValid(victim.state))
+        evictL2Victim(cpu, victim, now);
+
+    if (is_write)
+        recordWrite(cpu, line, word_mask);
+
+    if (!is_prefetch) {
+        auto k = static_cast<std::size_t>(r.kind);
+        p.stats.missCount[k]++;
+        p.stats.missStall[k] += lat;
+    }
+    r.writable = mesiWritable(new_state);
+    return r;
+}
+
+Cycles
+MemorySystem::prefetch(CpuId cpu, VAddr va, Cycles now)
+{
+    panicIfNot(cpu < ports.size(), "prefetch from out-of-range CPU ", cpu);
+    Port &p = *ports[cpu];
+    p.stats.prefetchesIssued++;
+
+    // R10000 semantics: prefetches for pages not mapped in the TLB are
+    // dropped and do not cause exceptions (Section 6.2).
+    PageNum vpn = vm.vpnOf(va);
+    if (!p.tlb.contains(vpn)) {
+        p.stats.prefetchesDropped++;
+        return 0;
+    }
+    auto pa = vm.translateIfMapped(va);
+    if (!pa) {
+        p.stats.prefetchesDropped++;
+        return 0;
+    }
+    Addr line = lineOf(*pa);
+    Addr idx = line * cfg.l2.lineBytes;
+
+    if (p.l2.probe(idx, line) || p.prefetches.contains(line))
+        return 0; // already present or already in flight
+
+    // Count in-flight prefetches; the queue holds maxOutstanding, one
+    // more stalls the processor until a slot frees up.
+    Cycles stall = 0;
+    std::uint32_t in_flight = 0;
+    Cycles earliest = 0;
+    for (const auto &[l, ready] : p.prefetches) {
+        if (ready > now) {
+            in_flight++;
+            if (in_flight == 1 || ready < earliest)
+                earliest = ready;
+        }
+    }
+    if (in_flight >= cfg.maxOutstandingPrefetches) {
+        stall = earliest - now;
+        p.stats.prefetchFullStall += stall;
+        now = earliest;
+    }
+
+    L2Result r = l2Access(cpu, line, false, 0, now, true);
+    p.prefetches[line] = now + r.latency;
+
+    // Keep the completion map from growing without bound when
+    // prefetched lines are never demanded.
+    if (p.prefetches.size() > 4096) {
+        for (auto it = p.prefetches.begin(); it != p.prefetches.end();) {
+            if (it->second <= now)
+                it = p.prefetches.erase(it);
+            else
+                ++it;
+        }
+    }
+    return stall;
+}
+
+void
+MemorySystem::invalidateOthers(CpuId writer, Addr line,
+                               std::uint32_t word_mask, Cycles now)
+{
+    (void)now;
+    Addr idx = line * cfg.l2.lineBytes;
+    bool any = false;
+    for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+        if (q == writer)
+            continue;
+        if (ports[q]->l2.invalidate(idx, line)) {
+            any = true;
+            backInvalidateL1(q, line);
+            SharingInfo &info = sharing[line];
+            info.invalidatedMask |= 1u << q;
+            info.writtenSince[q] = 0;
+        }
+    }
+    if (any || sharing.contains(line))
+        recordWrite(writer, line, word_mask);
+}
+
+void
+MemorySystem::recordWrite(CpuId writer, Addr line, std::uint32_t word_mask)
+{
+    (void)writer;
+    auto it = sharing.find(line);
+    if (it == sharing.end() || it->second.invalidatedMask == 0)
+        return;
+    std::uint32_t mask = it->second.invalidatedMask;
+    while (mask) {
+        unsigned q = static_cast<unsigned>(std::countr_zero(mask));
+        it->second.writtenSince[q] |= word_mask;
+        mask &= mask - 1;
+    }
+}
+
+void
+MemorySystem::evictL2Victim(CpuId cpu, const CacheLine &victim, Cycles now)
+{
+    backInvalidateL1(cpu, victim.lineAddr);
+    if (victim.state == Mesi::Modified)
+        bus.acquire(BusKind::Writeback, now);
+}
+
+void
+MemorySystem::backInvalidateL1(CpuId cpu, Addr line)
+{
+    Port &p = *ports[cpu];
+    auto it = p.l1Residence.find(line);
+    if (it == p.l1Residence.end())
+        return;
+    if (!p.l1d.invalidate(it->second, line))
+        p.l1i.invalidate(it->second, line);
+    p.l1Residence.erase(it);
+}
+
+MissKind
+MemorySystem::classifyMiss(CpuId cpu, Addr line, std::uint32_t word_mask,
+                           bool seen_before, bool shadow_hit)
+{
+    auto it = sharing.find(line);
+    if (it != sharing.end() &&
+        (it->second.invalidatedMask & (1u << cpu))) {
+        bool is_true = (word_mask & it->second.writtenSince[cpu]) != 0;
+        it->second.invalidatedMask &= ~(1u << cpu);
+        it->second.writtenSince[cpu] = 0;
+        if (it->second.invalidatedMask == 0)
+            sharing.erase(it);
+        return is_true ? MissKind::TrueSharing : MissKind::FalseSharing;
+    }
+    if (!seen_before)
+        return MissKind::Cold;
+    return shadow_hit ? MissKind::Conflict : MissKind::Capacity;
+}
+
+const CpuMemStats &
+MemorySystem::cpuStats(CpuId cpu) const
+{
+    panicIfNot(cpu < ports.size(), "stats for out-of-range CPU ", cpu);
+    return ports[cpu]->stats;
+}
+
+CpuMemStats
+MemorySystem::totalStats() const
+{
+    CpuMemStats total;
+    for (const auto &p : ports) {
+        const CpuMemStats &s = p->stats;
+        total.loads += s.loads;
+        total.stores += s.stores;
+        total.ifetches += s.ifetches;
+        total.l1Hits += s.l1Hits;
+        total.l1Misses += s.l1Misses;
+        total.l2Hits += s.l2Hits;
+        total.l2Misses += s.l2Misses;
+        total.tlbMisses += s.tlbMisses;
+        total.pageFaults += s.pageFaults;
+        for (std::size_t k = 0; k < total.missCount.size(); k++) {
+            total.missCount[k] += s.missCount[k];
+            total.missStall[k] += s.missStall[k];
+        }
+        total.l2HitStall += s.l2HitStall;
+        total.kernelStall += s.kernelStall;
+        total.prefetchLateStall += s.prefetchLateStall;
+        total.prefetchFullStall += s.prefetchFullStall;
+        total.prefetchesIssued += s.prefetchesIssued;
+        total.prefetchesDropped += s.prefetchesDropped;
+        total.prefetchesUseful += s.prefetchesUseful;
+    }
+    return total;
+}
+
+void
+MemorySystem::auditInvariants() const
+{
+    // line -> (holder mask, per-holder state list is reconstructed on
+    // demand); dirty means L2-Modified or dirty in the holder's L1.
+    std::unordered_map<Addr, std::uint32_t> holder_mask;
+    std::unordered_map<Addr, std::uint32_t> dirty_mask;
+    std::unordered_map<Addr, std::uint32_t> exclusive_mask;
+
+    for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+        const Port &p = *ports[q];
+        p.l2.forEachValid([&](const CacheLine &l) {
+            holder_mask[l.lineAddr] |= 1u << q;
+            if (l.state == Mesi::Modified)
+                dirty_mask[l.lineAddr] |= 1u << q;
+            if (l.state == Mesi::Exclusive)
+                exclusive_mask[l.lineAddr] |= 1u << q;
+        });
+
+        // Inclusion: every L1 line is in the residence map and in
+        // the same CPU's L2; dirty L1 lines sit over writable L2
+        // lines.
+        auto audit_l1 = [&](const Cache &l1, const char *which) {
+            l1.forEachValid([&](const CacheLine &l) {
+                auto res = p.l1Residence.find(l.lineAddr);
+                panicIfNot(res != p.l1Residence.end(),
+                           "audit: ", which, " line ", l.lineAddr,
+                           " on cpu ", q, " missing from residence");
+                const CacheLine *l2l = p.l2.probe(
+                    l.lineAddr * cfg.l2.lineBytes, l.lineAddr);
+                panicIfNot(l2l != nullptr, "audit: inclusion violated "
+                           "for line ", l.lineAddr, " on cpu ", q);
+                if (l.dirty) {
+                    panicIfNot(mesiWritable(l2l->state),
+                               "audit: dirty L1 line ", l.lineAddr,
+                               " over non-writable L2 on cpu ", q);
+                    dirty_mask[l.lineAddr] |= 1u << q;
+                }
+            });
+        };
+        audit_l1(p.l1d, "L1D");
+        audit_l1(p.l1i, "L1I");
+    }
+
+    for (const auto &[line, mask] : holder_mask) {
+        unsigned holders = std::popcount(mask);
+        std::uint32_t dirty = dirty_mask.contains(line)
+                                  ? dirty_mask.at(line)
+                                  : 0;
+        std::uint32_t excl = exclusive_mask.contains(line)
+                                 ? exclusive_mask.at(line)
+                                 : 0;
+        panicIfNot(dirty == 0 || holders == 1,
+                   "audit: line ", line, " dirty on cpu mask ", dirty,
+                   " but valid in ", holders, " caches");
+        panicIfNot(excl == 0 || holders == 1, "audit: line ", line,
+                   " Exclusive but held by ", holders, " caches");
+    }
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &p : ports) {
+        p->l1d.reset();
+        p->l1i.reset();
+        p->l2.reset();
+        p->tlb.flush();
+        p->shadow.reset();
+        p->cold.reset();
+        p->l1Residence.clear();
+        p->prefetches.clear();
+        p->stats = CpuMemStats{};
+    }
+    bus.reset();
+    sharing.clear();
+}
+
+} // namespace cdpc

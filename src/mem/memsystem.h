@@ -1,0 +1,287 @@
+/**
+ * @file
+ * MemorySystem: the simulated multiprocessor memory hierarchy.
+ *
+ * Models the machine of the paper's Section 3.2: per-CPU virtually
+ * indexed split L1 caches, per-CPU physically indexed external (L2)
+ * caches kept coherent with a bus-based MESI invalidation protocol, a
+ * bandwidth-limited split-transaction bus, per-CPU TLBs, and an
+ * R10000-style prefetch unit (up to four outstanding prefetches, a
+ * fifth stalls, prefetches to unmapped TLB entries are dropped,
+ * prefetched lines fill the external cache only).
+ *
+ * Every demand miss in an external cache is classified (see
+ * mem/miss_classify.h) so the harness can regenerate the paper's
+ * MCPI breakdowns. Page colors enter the picture through the
+ * VirtualMemory translation consulted on every access: the physical
+ * page chosen at fault time determines which external-cache sets a
+ * page occupies — the entire mechanism CDPC manipulates.
+ */
+
+#ifndef CDPC_MEM_MEMSYSTEM_H
+#define CDPC_MEM_MEMSYSTEM_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "machine/config.h"
+#include "mem/bus.h"
+#include "mem/cache.h"
+#include "mem/miss_classify.h"
+#include "mem/tlb.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+
+/** Upper bound on CPUs (paper evaluates up to 16). */
+inline constexpr std::uint32_t kMaxCpus = 32;
+
+/** What kind of reference a CPU is making. */
+enum class AccessKind : unsigned char
+{
+    Load,
+    Store,
+    Ifetch,
+};
+
+/** One demand reference presented to the memory system. */
+struct MemAccess
+{
+    VAddr va = 0;
+    AccessKind kind = AccessKind::Load;
+    /**
+     * Bitmask of the words (8B units) this reference touches within
+     * its external-cache line. Line-coalesced reference generation
+     * makes one MemAccess stand for a whole unit-stride run through
+     * the line, so the mask may have several bits set. Used for the
+     * Dubois true/false-sharing classification.
+     */
+    std::uint32_t wordMask = 1;
+    /** CPUs concurrently faulting (bin-hopping race model). */
+    std::uint32_t concurrentFaults = 1;
+};
+
+/** Stall categories charged to a CPU for one access. */
+struct AccessOutcome
+{
+    /** Total cycles the CPU stalls for this reference. */
+    Cycles stall = 0;
+    /** Portion of the stall spent in the kernel (TLB/page fault). */
+    Cycles kernel = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool tlbMiss = false;
+    bool pageFault = false;
+    /** Valid only when the reference missed in the external cache. */
+    MissKind missKind = MissKind::Cold;
+    bool l2Miss = false;
+};
+
+/** Per-CPU memory-system statistics. */
+struct CpuMemStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t ifetches = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t pageFaults = 0;
+
+    /** Counts and stalls per MissKind (indexed by enum value). */
+    std::array<std::uint64_t, 6> missCount{};
+    std::array<Cycles, 6> missStall{};
+
+    /** Stall for L1 misses that hit the external cache ("on-chip"). */
+    Cycles l2HitStall = 0;
+    /** Kernel stall (TLB refills + page faults). */
+    Cycles kernelStall = 0;
+    /** Stall waiting for a late prefetch to complete. */
+    Cycles prefetchLateStall = 0;
+    /** Stall because a fifth prefetch found the queue full. */
+    Cycles prefetchFullStall = 0;
+
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesDropped = 0; ///< TLB-miss drops
+    std::uint64_t prefetchesUseful = 0;  ///< later hit by a demand ref
+
+    /** Total memory stall excluding kernel time. */
+    Cycles
+    memStall() const
+    {
+        Cycles s = l2HitStall + prefetchLateStall + prefetchFullStall;
+        for (Cycles c : missStall)
+            s += c;
+        return s;
+    }
+
+    std::uint64_t
+    totalRefs() const
+    {
+        return loads + stores + ifetches;
+    }
+};
+
+/** The complete multiprocessor memory hierarchy. */
+class MemorySystem
+{
+  public:
+    /**
+     * @param config machine parameters
+     * @param vm the application's address space (not owned)
+     */
+    MemorySystem(const MachineConfig &config, VirtualMemory &vm);
+
+    /**
+     * Perform one demand reference for @p cpu at local time @p now.
+     * All timing (TLB refill, page fault, cache lookups, bus
+     * queueing, remote fetches) is folded into the returned stall.
+     */
+    AccessOutcome access(CpuId cpu, const MemAccess &acc, Cycles now);
+
+    /**
+     * Issue a (non-binding) software prefetch of the line holding
+     * @p va. Returns the cycles the CPU stalls, which is zero unless
+     * the prefetch queue is full. Prefetches never take page faults:
+     * if the page is not in the TLB the prefetch is dropped, and if
+     * the page is unmapped it is also dropped (the paper's R10000
+     * semantics).
+     */
+    Cycles prefetch(CpuId cpu, VAddr va, Cycles now);
+
+    /** Per-CPU statistics. */
+    const CpuMemStats &cpuStats(CpuId cpu) const;
+
+    /** Aggregate statistics over all CPUs. */
+    CpuMemStats totalStats() const;
+
+    const BusStats &busStats() const { return bus.stats(); }
+    double busUtilization(Cycles window) const
+    {
+        return bus.utilization(window);
+    }
+
+    const Cache &l2Cache(CpuId cpu) const { return ports[cpu]->l2; }
+    const Tlb &tlb(CpuId cpu) const { return ports[cpu]->tlb; }
+    std::uint32_t lineBytes() const { return cfg.l2.lineBytes; }
+    std::uint32_t numCpus() const { return cfg.numCpus; }
+
+    /**
+     * Hook for dynamic policies: invoked on every demand miss that
+     * classified as a conflict, with (cpu, faulting vpn, time); the
+     * returned cycles are charged to the access as kernel time.
+     */
+    using ConflictObserver =
+        std::function<Cycles(CpuId, PageNum, Cycles)>;
+
+    /** Install (or clear, with nullptr) the conflict observer. */
+    void setConflictObserver(ConflictObserver obs);
+
+    /**
+     * Purge one virtual page everywhere: invalidate its lines from
+     * every external and on-chip cache (counting writebacks for
+     * dirty lines), drop in-flight prefetches to it, and shoot the
+     * page down from every TLB — the machinery a recoloring remap
+     * needs before the mapping changes.
+     */
+    void purgePage(VAddr va);
+
+    /**
+     * Audit the coherence invariants across the whole hierarchy:
+     *  - single-writer: a line Modified (or dirty in an L1) in one
+     *    cache is not valid anywhere else;
+     *  - Exclusive means exactly one holder;
+     *  - inclusion: every L1-resident line is L2-resident on the
+     *    same CPU, and the residence index is consistent.
+     * panic()s on the first violation. Cheap enough for tests and
+     * debug runs (walks every valid line once).
+     */
+    void auditInvariants() const;
+
+    /** Clear all caches, TLBs and statistics (not the page table). */
+    void reset();
+
+  private:
+    struct SharingInfo
+    {
+        /** CPUs whose copy was invalidated and not yet refetched. */
+        std::uint32_t invalidatedMask = 0;
+        /** Per CPU: words written by owners since that invalidation. */
+        std::array<std::uint32_t, kMaxCpus> writtenSince{};
+    };
+
+    struct Port
+    {
+        Port(const MachineConfig &c)
+            : l1d(c.l1d), l1i(c.l1i), l2(c.l2), tlb(c.tlbEntries),
+              shadow(c.l2.numLines())
+        {}
+
+        Cache l1d;
+        Cache l1i;
+        Cache l2;
+        Tlb tlb;
+        LruShadow shadow;
+        ColdTracker cold;
+        /** phys line -> virtual index addr of its L1 residence. */
+        std::unordered_map<Addr, Addr> l1Residence;
+        /** phys line -> completion time of an issued prefetch. */
+        std::unordered_map<Addr, Cycles> prefetches;
+        CpuMemStats stats;
+    };
+
+    /** Result of the external-cache leg of an access. */
+    struct L2Result
+    {
+        Cycles latency = 0;
+        bool hit = false;
+        bool miss = false;
+        /** Whether the resulting L2 state grants write permission. */
+        bool writable = false;
+        MissKind kind = MissKind::Cold;
+    };
+
+    MachineConfig cfg;
+    VirtualMemory &vm;
+    Bus bus;
+    ConflictObserver conflictObserver;
+    std::vector<std::unique_ptr<Port>> ports;
+    /** Per-line invalidation history for sharing classification. */
+    std::unordered_map<Addr, SharingInfo> sharing;
+
+    Addr lineOf(PAddr pa) const { return pa / cfg.l2.lineBytes; }
+
+    /** External-cache access including coherence and the bus. */
+    L2Result l2Access(CpuId cpu, Addr line, bool is_write,
+                      std::uint32_t word_mask, Cycles now,
+                      bool is_prefetch);
+
+    /** Invalidate all other copies of @p line on behalf of a writer. */
+    void invalidateOthers(CpuId writer, Addr line,
+                          std::uint32_t word_mask, Cycles now);
+
+    /** Record words written while other CPUs hold invalidations. */
+    void recordWrite(CpuId writer, Addr line, std::uint32_t word_mask);
+
+    /** Handle an L2 victim: writeback and L1 back-invalidation. */
+    void evictL2Victim(CpuId cpu, const CacheLine &victim, Cycles now);
+
+    /** Remove a line from a CPU's L1s (inclusion maintenance). */
+    void backInvalidateL1(CpuId cpu, Addr line);
+
+    /** Classify an external-cache demand miss. */
+    MissKind classifyMiss(CpuId cpu, Addr line, std::uint32_t word_mask,
+                          bool seen_before, bool shadow_hit);
+};
+
+} // namespace cdpc
+
+#endif // CDPC_MEM_MEMSYSTEM_H

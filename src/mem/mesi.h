@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MESI coherence states for lines of the physically indexed external
+ * caches. The simulated machine is a bus-based SMP with an
+ * invalidation protocol, like the SGI machine SimOS models.
+ */
+
+#ifndef CDPC_MEM_MESI_H
+#define CDPC_MEM_MESI_H
+
+namespace cdpc
+{
+
+/** Classic MESI line states. */
+enum class Mesi : unsigned char
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** @return true when the state grants write permission. */
+constexpr bool
+mesiWritable(Mesi s)
+{
+    return s == Mesi::Exclusive || s == Mesi::Modified;
+}
+
+/** @return true when the state holds valid data. */
+constexpr bool
+mesiValid(Mesi s)
+{
+    return s != Mesi::Invalid;
+}
+
+/** @return a short name for tracing ("I", "S", "E", "M"). */
+constexpr const char *
+mesiName(Mesi s)
+{
+    switch (s) {
+      case Mesi::Invalid:
+        return "I";
+      case Mesi::Shared:
+        return "S";
+      case Mesi::Exclusive:
+        return "E";
+      case Mesi::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+} // namespace cdpc
+
+#endif // CDPC_MEM_MESI_H

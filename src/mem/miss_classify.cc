@@ -1,0 +1,65 @@
+#include "mem/miss_classify.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+const char *
+missKindName(MissKind k)
+{
+    switch (k) {
+      case MissKind::Cold:
+        return "cold";
+      case MissKind::Capacity:
+        return "capacity";
+      case MissKind::Conflict:
+        return "conflict";
+      case MissKind::TrueSharing:
+        return "true-sharing";
+      case MissKind::FalseSharing:
+        return "false-sharing";
+      case MissKind::Upgrade:
+        return "upgrade";
+    }
+    return "unknown";
+}
+
+LruShadow::LruShadow(std::uint64_t capacity_lines)
+    : capacityLines(capacity_lines)
+{
+    fatalIf(capacity_lines == 0, "LruShadow needs nonzero capacity");
+    map.reserve(capacity_lines * 2);
+}
+
+bool
+LruShadow::accessAndUpdate(Addr line)
+{
+    auto it = map.find(line);
+    if (it != map.end()) {
+        lru.splice(lru.begin(), lru, it->second);
+        return true;
+    }
+    if (map.size() >= capacityLines) {
+        map.erase(lru.back());
+        lru.pop_back();
+    }
+    lru.push_front(line);
+    map[line] = lru.begin();
+    return false;
+}
+
+bool
+LruShadow::contains(Addr line) const
+{
+    return map.contains(line);
+}
+
+void
+LruShadow::reset()
+{
+    lru.clear();
+    map.clear();
+}
+
+} // namespace cdpc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * External-cache miss classification.
+ *
+ * The paper's memory-system-behaviour graphs (Figures 2, 6, 7, 8)
+ * split off-chip stall time into *replacement* misses — further
+ * separable into cold, capacity and conflict — and *communication*
+ * misses, classified as true or false sharing following Dubois et
+ * al. [8]. This header provides the two pieces of machinery:
+ *
+ *  - LruShadow: a fully associative LRU cache of the same capacity as
+ *    the real external cache. A replacement miss that *hits* in the
+ *    shadow would not have occurred with full associativity, so it is
+ *    a conflict miss; a shadow miss on a previously seen line is a
+ *    capacity miss; a never-seen line is a cold miss. Conflict misses
+ *    are precisely the ones page mapping policies can remove.
+ *
+ *  - Sharing classification is performed by the coherence layer
+ *    (MemorySystem) using per-line written-word masks: a miss on a
+ *    line this CPU lost to an invalidation is true sharing when the
+ *    words now accessed intersect the words written by the
+ *    invalidating writer, and false sharing otherwise.
+ */
+
+#ifndef CDPC_MEM_MISS_CLASSIFY_H
+#define CDPC_MEM_MISS_CLASSIFY_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** Classification of one external-cache miss. */
+enum class MissKind : unsigned char
+{
+    Cold,
+    Capacity,
+    Conflict,
+    TrueSharing,
+    FalseSharing,
+    Upgrade, ///< write hit on a Shared line (ownership only, no data)
+};
+
+/** @return a stable display name for a MissKind. */
+const char *missKindName(MissKind k);
+
+/**
+ * Fully associative LRU shadow tag store, same capacity as the real
+ * cache, used to tell conflict misses from capacity misses.
+ */
+class LruShadow
+{
+  public:
+    explicit LruShadow(std::uint64_t capacity_lines);
+
+    /**
+     * Record an access to @p line and report whether it hit.
+     * Must be fed exactly the demand accesses the real cache sees.
+     */
+    bool accessAndUpdate(Addr line);
+
+    /** Presence test without LRU update. */
+    bool contains(Addr line) const;
+
+    void reset();
+
+    std::uint64_t capacity() const { return capacityLines; }
+    std::size_t size() const { return map.size(); }
+
+  private:
+    std::uint64_t capacityLines;
+    std::list<Addr> lru;
+    std::unordered_map<Addr, std::list<Addr>::iterator> map;
+};
+
+/**
+ * Tracks which physical lines a CPU has ever referenced, to identify
+ * cold misses.
+ */
+class ColdTracker
+{
+  public:
+    /** @return true when @p line was seen before (and record it). */
+    bool
+    seenBefore(Addr line)
+    {
+        return !seen.insert(line).second;
+    }
+
+    void reset() { seen.clear(); }
+    std::size_t linesSeen() const { return seen.size(); }
+
+  private:
+    std::unordered_set<Addr> seen;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_MEM_MISS_CLASSIFY_H

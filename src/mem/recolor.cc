@@ -1,0 +1,103 @@
+#include "mem/recolor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mem/memsystem.h"
+#include "vm/physmem.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+
+DynamicRecolorer::DynamicRecolorer(VirtualMemory &vm, PhysMem &phys,
+                                   MemorySystem &mem,
+                                   const RecolorConfig &config)
+    : vm(vm), phys(phys), mem(mem), cfg(config),
+      colorPressure(phys.numColors(), 0)
+{
+    fatalIf(cfg.missThreshold == 0,
+            "recolor threshold must be nonzero");
+}
+
+Color
+DynamicRecolorer::pickTargetColor(Color current) const
+{
+    // Prefer the emptiest color (fewest mapped pages, proxied by the
+    // free count) so recolored pages spread out instead of piling
+    // onto one conflict-cold color; break ties toward the color with
+    // the least observed conflict pressure.
+    Color best = current;
+    std::uint64_t best_free = 0;
+    std::uint64_t best_pressure = ~0ULL;
+    for (Color c = 0; c < colorPressure.size(); c++) {
+        if (c == current)
+            continue;
+        std::uint64_t free = phys.freePagesOfColor(c);
+        if (free == 0)
+            continue;
+        if (free > best_free ||
+            (free == best_free && colorPressure[c] < best_pressure)) {
+            best_free = free;
+            best_pressure = colorPressure[c];
+            best = c;
+        }
+    }
+    return best;
+}
+
+void
+DynamicRecolorer::decay()
+{
+    for (auto &[vpn, count] : missCount)
+        count /= 2;
+    for (std::uint64_t &p : colorPressure)
+        p /= 2;
+}
+
+Cycles
+DynamicRecolorer::onConflictMiss(CpuId cpu, PageNum vpn, Cycles now)
+{
+    (void)cpu;
+    (void)now;
+    stats_.conflictsObserved++;
+
+    VAddr va = vpn * vm.pageBytes();
+    if (!vm.isMapped(va))
+        return 0;
+    Color current = vm.colorOf(va);
+    colorPressure[current]++;
+
+    std::uint32_t &count = missCount[vpn];
+    if (++count < cfg.missThreshold)
+        return 0;
+    count = 0;
+
+    if (stats_.recolorings >= cfg.maxRecolorings)
+        return 0;
+
+    Color target = pickTargetColor(current);
+    if (target == current) {
+        stats_.recoloringsDenied++;
+        return 0;
+    }
+
+    // The expensive part the paper warns about: purge the page from
+    // every cache, shoot down every TLB, copy the contents.
+    mem.purgePage(va);
+    if (!vm.remap(vpn, target)) {
+        stats_.recoloringsDenied++;
+        return 0;
+    }
+    stats_.recolorings++;
+    if (cfg.decayEvery && stats_.recolorings % cfg.decayEvery == 0)
+        decay();
+
+    Cycles cost = cfg.copyCyclesPerPage +
+                  static_cast<Cycles>(cfg.tlbShootdownCyclesPerCpu) *
+                      mem.numCpus();
+    stats_.overheadCycles += cost;
+    return cost;
+}
+
+} // namespace cdpc

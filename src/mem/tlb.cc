@@ -1,0 +1,57 @@
+#include "mem/tlb.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+Tlb::Tlb(std::uint32_t entries) : entries(entries)
+{
+    fatalIf(entries == 0, "TLB needs at least one entry");
+    map.reserve(entries * 2);
+}
+
+bool
+Tlb::access(PageNum vpn)
+{
+    stats_.accesses++;
+    auto it = map.find(vpn);
+    if (it != map.end()) {
+        lru.splice(lru.begin(), lru, it->second);
+        return true;
+    }
+    stats_.misses++;
+    if (map.size() >= entries) {
+        map.erase(lru.back());
+        lru.pop_back();
+    }
+    lru.push_front(vpn);
+    map[vpn] = lru.begin();
+    return false;
+}
+
+bool
+Tlb::contains(PageNum vpn) const
+{
+    return map.contains(vpn);
+}
+
+bool
+Tlb::invalidate(PageNum vpn)
+{
+    auto it = map.find(vpn);
+    if (it == map.end())
+        return false;
+    lru.erase(it->second);
+    map.erase(it);
+    return true;
+}
+
+void
+Tlb::flush()
+{
+    lru.clear();
+    map.clear();
+}
+
+} // namespace cdpc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-CPU TLB model: fully associative over virtual page numbers with
+ * true-LRU replacement.
+ *
+ * TLB behaviour matters to the paper in two ways: TLB refills are the
+ * dominant kernel overhead in Figure 2, and the R10000 drops
+ * prefetches whose page is not mapped in the TLB — which is why
+ * prefetching is ineffective for applu's large-stride accesses
+ * (Section 6.2).
+ */
+
+#ifndef CDPC_MEM_TLB_H
+#define CDPC_MEM_TLB_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** TLB statistics. */
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/** Fully associative LRU TLB over virtual page numbers. */
+class Tlb
+{
+  public:
+    explicit Tlb(std::uint32_t entries);
+
+    /**
+     * Access the TLB for @p vpn; on a miss the entry is refilled
+     * (evicting LRU).
+     * @return true on hit, false on miss.
+     */
+    bool access(PageNum vpn);
+
+    /** Check for presence without refilling or updating LRU. */
+    bool contains(PageNum vpn) const;
+
+    /** Drop one entry if present (shootdown); @return true if it was. */
+    bool invalidate(PageNum vpn);
+
+    /** Drop every entry (e.g. around a recoloring flush). */
+    void flush();
+
+    std::uint32_t capacity() const { return entries; }
+    std::size_t size() const { return map.size(); }
+    const TlbStats &stats() const { return stats_; }
+
+  private:
+    std::uint32_t entries;
+    /** LRU order: front = most recent. */
+    std::list<PageNum> lru;
+    std::unordered_map<PageNum, std::list<PageNum>::iterator> map;
+    TlbStats stats_;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_MEM_TLB_H

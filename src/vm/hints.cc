@@ -1,0 +1,52 @@
+#include "vm/hints.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+CdpcHintPolicy::CdpcHintPolicy(PageMappingPolicy &fallback)
+    : fallback(fallback)
+{}
+
+void
+CdpcHintPolicy::madviseColors(const std::vector<ColorHint> &hints)
+{
+    table.reserve(table.size() + hints.size());
+    for (const ColorHint &h : hints)
+        table[h.vpn] = h.color;
+}
+
+void
+CdpcHintPolicy::clearHints()
+{
+    table.clear();
+}
+
+Color
+CdpcHintPolicy::preferredColor(const FaultContext &ctx)
+{
+    auto it = table.find(ctx.vpn);
+    if (it != table.end()) {
+        hinted++;
+        return it->second;
+    }
+    unhinted++;
+    return fallback.preferredColor(ctx);
+}
+
+std::string
+CdpcHintPolicy::name() const
+{
+    return "cdpc(" + fallback.name() + ")";
+}
+
+void
+CdpcHintPolicy::reset()
+{
+    hinted = 0;
+    unhinted = 0;
+    fallback.reset();
+}
+
+} // namespace cdpc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The madvise-style page-color hint interface (paper, Section 5.3).
+ *
+ * The CDPC run-time library computes a preferred color per virtual
+ * page and hands the whole vector to the kernel "through a single
+ * system call". The kernel stores them in a table consulted at
+ * page-fault time; pages without a hint fall back to the system's
+ * native policy (page coloring on IRIX, bin hopping on Digital UNIX).
+ */
+
+#ifndef CDPC_VM_HINTS_H
+#define CDPC_VM_HINTS_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "vm/policy.h"
+
+namespace cdpc
+{
+
+/** One page-color hint: virtual page -> preferred color. */
+struct ColorHint
+{
+    PageNum vpn;
+    Color color;
+
+    bool operator==(const ColorHint &) const = default;
+};
+
+/**
+ * A page mapping policy that consults a hint table first and falls
+ * back to a native policy for unhinted pages. This is the kernel side
+ * of CDPC: the extension the paper added to IRIX's madvise().
+ */
+class CdpcHintPolicy : public PageMappingPolicy
+{
+  public:
+    /**
+     * @param fallback the OS's native policy (not owned; must outlive
+     *        this object)
+     */
+    explicit CdpcHintPolicy(PageMappingPolicy &fallback);
+
+    /**
+     * Install hints (the "single system call"). Later installs
+     * overwrite earlier hints for the same page.
+     */
+    void madviseColors(const std::vector<ColorHint> &hints);
+
+    /** Drop all hints. */
+    void clearHints();
+
+    Color preferredColor(const FaultContext &ctx) override;
+    std::string name() const override;
+    void reset() override;
+
+    std::uint64_t numHints() const { return table.size(); }
+    /** Faults that found a hint in the table. */
+    std::uint64_t hintedFaults() const { return hinted; }
+    /** Faults that fell back to the native policy. */
+    std::uint64_t unhintedFaults() const { return unhinted; }
+
+  private:
+    PageMappingPolicy &fallback;
+    std::unordered_map<PageNum, Color> table;
+    std::uint64_t hinted = 0;
+    std::uint64_t unhinted = 0;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_VM_HINTS_H

@@ -1,0 +1,82 @@
+#include "vm/physmem.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+PhysMem::PhysMem(std::uint64_t num_pages, std::uint64_t num_colors)
+    : numPages(num_pages), colors(num_colors), freeCount(num_pages),
+      freeLists(num_colors)
+{
+    fatalIf(num_colors == 0, "PhysMem needs at least one color");
+    fatalIf(num_pages < num_colors,
+            "PhysMem needs at least one page per color");
+    for (auto &list : freeLists)
+        list.reserve(num_pages / num_colors + 1);
+    // Populate free lists high-to-low so that allocation order within a
+    // color is ascending physical page number (pop from the back).
+    for (std::uint64_t p = num_pages; p-- > 0;)
+        freeLists[p % colors].push_back(p);
+}
+
+PageNum
+PhysMem::alloc(Color preferred)
+{
+    fatalIf(freeCount == 0, "physical memory exhausted");
+    stats_.allocs++;
+
+    Color start;
+    if (preferred == kNoColor) {
+        stats_.noPreference++;
+        start = rotor;
+        rotor = static_cast<Color>((rotor + 1) % colors);
+    } else {
+        panicIfNot(preferred < colors, "preferred color ", preferred,
+                   " out of range (", colors, " colors)");
+        start = preferred;
+    }
+
+    for (std::uint64_t i = 0; i < colors; i++) {
+        Color c = static_cast<Color>((start + i) % colors);
+        if (!freeLists[c].empty()) {
+            PageNum ppn = freeLists[c].back();
+            freeLists[c].pop_back();
+            freeCount--;
+            if (preferred != kNoColor) {
+                if (i == 0)
+                    stats_.preferredHonored++;
+                else
+                    stats_.preferredDenied++;
+            }
+            return ppn;
+        }
+    }
+    panic("free list inconsistency: freeCount=", freeCount,
+          " but all color lists empty");
+}
+
+void
+PhysMem::free(PageNum ppn)
+{
+    panicIfNot(ppn < numPages, "freeing out-of-range page ", ppn);
+    freeLists[ppn % colors].push_back(ppn);
+    freeCount++;
+    panicIfNot(freeCount <= numPages, "double free detected");
+}
+
+Color
+PhysMem::colorOf(PageNum ppn) const
+{
+    panicIfNot(ppn < numPages, "colorOf out-of-range page ", ppn);
+    return static_cast<Color>(ppn % colors);
+}
+
+std::uint64_t
+PhysMem::freePagesOfColor(Color c) const
+{
+    panicIfNot(c < colors, "color out of range");
+    return freeLists[c].size();
+}
+
+} // namespace cdpc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Physical memory manager with per-color free lists.
+ *
+ * Pages of physical memory are grouped into colors: two pages have
+ * the same color iff they map to the same bins of a physically
+ * indexed cache (paper, Section 2.1). The manager keeps one free
+ * list per color so the VM layer can honor preferred-color requests,
+ * and falls back to neighbouring colors under memory pressure —
+ * mirroring how the paper's kernels treat CDPC output strictly as a
+ * hint ("it may not be able to honor the hints if the machine is
+ * under memory pressure", Section 5).
+ */
+
+#ifndef CDPC_VM_PHYSMEM_H
+#define CDPC_VM_PHYSMEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** Allocation statistics for hint-honoring analysis. */
+struct PhysMemStats
+{
+    std::uint64_t allocs = 0;
+    /** Requests where the preferred color was available. */
+    std::uint64_t preferredHonored = 0;
+    /** Requests satisfied with a different color (pressure fallback). */
+    std::uint64_t preferredDenied = 0;
+    /** Requests that expressed no preference. */
+    std::uint64_t noPreference = 0;
+};
+
+/**
+ * Free-list based physical page allocator.
+ *
+ * Physical page number p has color p % numColors, matching real
+ * memory where consecutive physical pages cycle through the cache.
+ */
+class PhysMem
+{
+  public:
+    /**
+     * @param num_pages total physical pages managed
+     * @param num_colors page colors in the external cache
+     */
+    PhysMem(std::uint64_t num_pages, std::uint64_t num_colors);
+
+    /**
+     * Allocate one physical page.
+     *
+     * @param preferred the color to try first, or kNoColor
+     * @return the allocated physical page number
+     *
+     * When the preferred color's list is empty, scans the remaining
+     * colors round-robin from the preferred one. Calls fatal() when
+     * physical memory is exhausted entirely.
+     */
+    PageNum alloc(Color preferred = kNoColor);
+
+    /** Return a page to its color's free list. */
+    void free(PageNum ppn);
+
+    /** @return the color of physical page @p ppn. */
+    Color colorOf(PageNum ppn) const;
+
+    std::uint64_t freePages() const { return freeCount; }
+    std::uint64_t totalPages() const { return numPages; }
+    std::uint64_t numColors() const { return colors; }
+    std::uint64_t freePagesOfColor(Color c) const;
+
+    const PhysMemStats &stats() const { return stats_; }
+
+  private:
+    std::uint64_t numPages;
+    std::uint64_t colors;
+    std::uint64_t freeCount;
+    /** freeLists[c] holds the free physical pages of color c. */
+    std::vector<std::vector<PageNum>> freeLists;
+    /** Round-robin cursor for no-preference allocations. */
+    Color rotor = 0;
+    PhysMemStats stats_;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_VM_PHYSMEM_H

@@ -1,0 +1,86 @@
+#include "vm/policy.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+PageColoringPolicy::PageColoringPolicy(std::uint64_t num_colors)
+    : colors(num_colors)
+{
+    fatalIf(colors == 0, "PageColoringPolicy needs at least one color");
+}
+
+Color
+PageColoringPolicy::preferredColor(const FaultContext &ctx)
+{
+    return static_cast<Color>(ctx.vpn % colors);
+}
+
+BinHoppingPolicy::BinHoppingPolicy(std::uint64_t num_colors, bool racy,
+                                   std::uint64_t seed)
+    : colors(num_colors), racy(racy), seed(seed), rng(seed)
+{
+    fatalIf(colors == 0, "BinHoppingPolicy needs at least one color");
+}
+
+Color
+BinHoppingPolicy::preferredColor(const FaultContext &ctx)
+{
+    std::uint64_t pick = cursor;
+    if (racy && ctx.concurrentFaults > 1) {
+        // Concurrent faulting CPUs race to increment the kernel's
+        // cursor; model the unpredictable interleaving by letting the
+        // effective slot land anywhere among the racers.
+        pick += rng.below(ctx.concurrentFaults);
+    }
+    cursor++;
+    return static_cast<Color>(pick % colors);
+}
+
+void
+BinHoppingPolicy::reset()
+{
+    cursor = 0;
+    rng = Rng(seed);
+}
+
+RandomPolicy::RandomPolicy(std::uint64_t num_colors, std::uint64_t seed)
+    : colors(num_colors), seed(seed), rng(seed)
+{
+    fatalIf(colors == 0, "RandomPolicy needs at least one color");
+}
+
+Color
+RandomPolicy::preferredColor(const FaultContext &ctx)
+{
+    (void)ctx;
+    return static_cast<Color>(rng.below(colors));
+}
+
+void
+RandomPolicy::reset()
+{
+    rng = Rng(seed);
+}
+
+HashPolicy::HashPolicy(std::uint64_t num_colors) : colors(num_colors)
+{
+    fatalIf(colors == 0, "HashPolicy needs at least one color");
+}
+
+Color
+HashPolicy::preferredColor(const FaultContext &ctx)
+{
+    // Fold the bits above the color field back in so that pages one
+    // cache span apart land on different colors.
+    std::uint64_t v = ctx.vpn;
+    std::uint64_t h = v;
+    while (v >= colors) {
+        v /= colors;
+        h ^= v;
+    }
+    return static_cast<Color>(h % colors);
+}
+
+} // namespace cdpc

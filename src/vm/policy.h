@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Page mapping policies.
+ *
+ * The operating system consults a PageMappingPolicy on every page
+ * fault to pick a *preferred* cache color for the faulting virtual
+ * page (paper, Section 2.1). The two policies shipped by commercial
+ * systems at the time were:
+ *
+ *  - page coloring (IRIX, Windows NT): consecutive virtual pages get
+ *    consecutive colors — exploits spatial locality;
+ *  - bin hopping (Digital UNIX): colors are handed out cyclically in
+ *    page-fault order — exploits temporal locality, but races when
+ *    multiple CPUs fault concurrently.
+ *
+ * CdpcHintPolicy (vm/hints.h) layers the paper's madvise-style hint
+ * table on top of either.
+ */
+
+#ifndef CDPC_VM_POLICY_H
+#define CDPC_VM_POLICY_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** Context the OS has available when a page fault occurs. */
+struct FaultContext
+{
+    /** Faulting virtual page number. */
+    PageNum vpn = 0;
+    /** CPU that took the fault. */
+    CpuId cpu = 0;
+    /**
+     * Number of CPUs with a fault outstanding at the same time.
+     * Bin hopping's kernel race only matters when this exceeds 1.
+     */
+    std::uint32_t concurrentFaults = 1;
+};
+
+/** Interface: pick a preferred color for a faulting page. */
+class PageMappingPolicy
+{
+  public:
+    virtual ~PageMappingPolicy() = default;
+
+    /** @return the preferred color for this fault, or kNoColor. */
+    virtual Color preferredColor(const FaultContext &ctx) = 0;
+
+    /** Policy name for reports ("page-coloring", "bin-hopping", ...). */
+    virtual std::string name() const = 0;
+
+    /** Reset mutable policy state between runs. */
+    virtual void reset() {}
+};
+
+/**
+ * Page coloring: color = virtual page number mod number of colors.
+ * Conflicts then occur only between pages whose virtual addresses
+ * differ by a multiple of the cache set span.
+ */
+class PageColoringPolicy : public PageMappingPolicy
+{
+  public:
+    explicit PageColoringPolicy(std::uint64_t num_colors);
+
+    Color preferredColor(const FaultContext &ctx) override;
+    std::string name() const override { return "page-coloring"; }
+
+  private:
+    std::uint64_t colors;
+};
+
+/**
+ * Bin hopping: a global cursor cycles through the colors in fault
+ * order. With racy=true, concurrent faults from multiple CPUs perturb
+ * the cursor nondeterministically, modeling the kernel race the paper
+ * describes ("a race in the kernel to determine the color of each
+ * page ... unpredictable performance", Section 2.1).
+ */
+class BinHoppingPolicy : public PageMappingPolicy
+{
+  public:
+    /**
+     * @param num_colors colors to cycle through
+     * @param racy model the multiprocessor fault race
+     * @param seed RNG seed for the racy perturbation
+     */
+    explicit BinHoppingPolicy(std::uint64_t num_colors, bool racy = false,
+                              std::uint64_t seed = 1);
+
+    Color preferredColor(const FaultContext &ctx) override;
+    std::string name() const override { return "bin-hopping"; }
+    void reset() override;
+
+  private:
+    std::uint64_t colors;
+    bool racy;
+    std::uint64_t seed;
+    std::uint64_t cursor = 0;
+    Rng rng;
+};
+
+/**
+ * Random mapping: a seeded uniform color per fault. The classic
+ * research baseline — no pathological alignment, no locality either.
+ */
+class RandomPolicy : public PageMappingPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t num_colors,
+                          std::uint64_t seed = 1);
+
+    Color preferredColor(const FaultContext &ctx) override;
+    std::string name() const override { return "random"; }
+    void reset() override;
+
+  private:
+    std::uint64_t colors;
+    std::uint64_t seed;
+    Rng rng;
+};
+
+/**
+ * Hashed coloring: XOR-fold the virtual page number so that pages a
+ * cache-span apart stop aliasing — the "page hashing" variant some
+ * systems adopted to break page coloring's power-of-two pathologies
+ * deterministically.
+ */
+class HashPolicy : public PageMappingPolicy
+{
+  public:
+    explicit HashPolicy(std::uint64_t num_colors);
+
+    Color preferredColor(const FaultContext &ctx) override;
+    std::string name() const override { return "hash"; }
+
+  private:
+    std::uint64_t colors;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_VM_POLICY_H

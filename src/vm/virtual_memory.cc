@@ -1,0 +1,90 @@
+#include "vm/virtual_memory.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+VirtualMemory::VirtualMemory(const MachineConfig &config, PhysMem &phys,
+                             PageMappingPolicy &policy)
+    : phys(phys), policy_(policy), pageSize(config.pageBytes)
+{
+    fatalIf(phys.numColors() != config.numColors(),
+            "PhysMem colors (", phys.numColors(),
+            ") disagree with machine config (", config.numColors(), ")");
+}
+
+Translation
+VirtualMemory::translate(VAddr va, CpuId cpu,
+                         std::uint32_t concurrent_faults)
+{
+    stats_.translations++;
+    PageNum vpn = va / pageSize;
+    auto it = pageTable.find(vpn);
+    if (it == pageTable.end()) {
+        FaultContext ctx;
+        ctx.vpn = vpn;
+        ctx.cpu = cpu;
+        ctx.concurrentFaults = concurrent_faults;
+        Color preferred = policy_.preferredColor(ctx);
+        PageNum ppn = phys.alloc(preferred);
+        it = pageTable.emplace(vpn, ppn).first;
+        stats_.pageFaults++;
+        return {it->second * pageSize + va % pageSize, true};
+    }
+    return {it->second * pageSize + va % pageSize, false};
+}
+
+std::optional<PAddr>
+VirtualMemory::translateIfMapped(VAddr va) const
+{
+    PageNum vpn = va / pageSize;
+    auto it = pageTable.find(vpn);
+    if (it == pageTable.end())
+        return std::nullopt;
+    return it->second * pageSize + va % pageSize;
+}
+
+void
+VirtualMemory::touch(VAddr va, CpuId cpu)
+{
+    translate(va, cpu, 1);
+}
+
+bool
+VirtualMemory::isMapped(VAddr va) const
+{
+    return pageTable.contains(va / pageSize);
+}
+
+Color
+VirtualMemory::colorOf(VAddr va) const
+{
+    auto it = pageTable.find(va / pageSize);
+    panicIfNot(it != pageTable.end(),
+               "colorOf() on unmapped virtual address ", va);
+    return phys.colorOf(it->second);
+}
+
+std::optional<Color>
+VirtualMemory::remap(PageNum vpn, Color target)
+{
+    auto it = pageTable.find(vpn);
+    if (it == pageTable.end())
+        return std::nullopt;
+    PageNum old_ppn = it->second;
+    PageNum new_ppn = phys.alloc(target);
+    it->second = new_ppn;
+    phys.free(old_ppn);
+    return phys.colorOf(new_ppn);
+}
+
+void
+VirtualMemory::unmapAll()
+{
+    for (const auto &[vpn, ppn] : pageTable)
+        phys.free(ppn);
+    pageTable.clear();
+}
+
+} // namespace cdpc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * VirtualMemory: the OS view of one application's address space.
+ *
+ * Holds the page table, services page faults by asking the active
+ * PageMappingPolicy for a preferred color and the PhysMem allocator
+ * for a page, and exposes the color of every mapped page to the
+ * cache model. Also provides touch(), the serialized pre-faulting
+ * primitive the paper uses to implement page coloring and CDPC on
+ * top of Digital UNIX's native bin hopping (Section 5.3).
+ */
+
+#ifndef CDPC_VM_VIRTUAL_MEMORY_H
+#define CDPC_VM_VIRTUAL_MEMORY_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "machine/config.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+
+namespace cdpc
+{
+
+/** Per-address-space VM statistics. */
+struct VmStats
+{
+    std::uint64_t translations = 0;
+    std::uint64_t pageFaults = 0;
+};
+
+/** Result of a translation: physical address plus fault indicator. */
+struct Translation
+{
+    PAddr pa = 0;
+    /** True when this translation had to allocate the page. */
+    bool faulted = false;
+};
+
+/** Page table + fault handler for a single simulated application. */
+class VirtualMemory
+{
+  public:
+    /**
+     * @param config machine parameters (page size, colors)
+     * @param phys physical allocator (not owned)
+     * @param policy active page mapping policy (not owned)
+     */
+    VirtualMemory(const MachineConfig &config, PhysMem &phys,
+                  PageMappingPolicy &policy);
+
+    /**
+     * Translate @p va, taking a page fault if needed.
+     *
+     * @param va virtual address
+     * @param cpu the accessing CPU (fault attribution)
+     * @param concurrent_faults how many CPUs are faulting at once
+     *        (feeds the bin-hopping race model)
+     */
+    Translation translate(VAddr va, CpuId cpu,
+                          std::uint32_t concurrent_faults = 1);
+
+    /** Translation that never faults; nullopt when unmapped. */
+    std::optional<PAddr> translateIfMapped(VAddr va) const;
+
+    /** Pre-fault one page (the Digital UNIX touch-order trick). */
+    void touch(VAddr va, CpuId cpu);
+
+    /** @return true when the page holding @p va is mapped. */
+    bool isMapped(VAddr va) const;
+
+    /** @return the cache color of the (mapped) page holding @p va. */
+    Color colorOf(VAddr va) const;
+
+    /**
+     * Recolor a mapped page: allocate a page of @p target color,
+     * switch the mapping and free the old page (the dynamic-policy
+     * remap primitive; the caller is responsible for cache purges
+     * and TLB shootdowns).
+     * @return the new color, or nullopt when the page is unmapped.
+     */
+    std::optional<Color> remap(PageNum vpn, Color target);
+
+    /** Unmap everything and return the pages to the allocator. */
+    void unmapAll();
+
+    std::uint64_t pageBytes() const { return pageSize; }
+    std::uint64_t numColors() const { return phys.numColors(); }
+    PageNum vpnOf(VAddr va) const { return va / pageSize; }
+    std::uint64_t mappedPages() const { return pageTable.size(); }
+
+    const VmStats &stats() const { return stats_; }
+    PageMappingPolicy &policy() { return policy_; }
+
+  private:
+    PhysMem &phys;
+    PageMappingPolicy &policy_;
+    std::uint64_t pageSize;
+    std::unordered_map<PageNum, PageNum> pageTable;
+    VmStats stats_;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_VM_VIRTUAL_MEMORY_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * 110.applu — SSOR solver for coupled parabolic/elliptic PDEs.
+ *
+ * Three paper-relevant pathologies are encoded:
+ *
+ *  1. "the parallelized loops of applu consist of only 33
+ *     iterations. As a result, 16 processors do not execute such
+ *     loops more efficiently than 11" (Section 4.1) — the parallel
+ *     dimension has extent 33 with blocked ceil(N/p) partitions.
+ *
+ *  2. capacity-dominated behaviour: the 3.9MB (scaled) data set
+ *     exceeds even 16 CPUs' aggregate 1MB-class caches, so CDPC has
+ *     nothing to win at the base cache size but gains at the 4MB
+ *     configuration (Figure 7).
+ *
+ *  3. prefetching is ineffective: the loop tiling introduced during
+ *     parallelization inhibits software pipelining
+ *     (prefetchPipelineInhibited) and the wavefront sweep's
+ *     plane-sized strides step across pages faster than the TLB can
+ *     track, so prefetches are dropped (Section 6.2).
+ *
+ * Data set: 5 arrays of 33 x 54 x 54 doubles = 3.9MB ~ 31MB / 8.
+ */
+
+#include "workloads/builder.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+
+Program
+buildApplu()
+{
+    constexpr std::uint64_t ni = 33;
+    constexpr std::uint64_t nj = 54;
+    constexpr std::uint64_t nk = 54;
+    ProgramBuilder b("110.applu");
+
+    std::uint32_t u = b.array3d("u", ni, nj, nk);
+    std::uint32_t rsd = b.array3d("rsd", ni, nj, nk);
+    std::uint32_t frct = b.array3d("frct", ni, nj, nk);
+    std::uint32_t a = b.array3d("a", ni, nj, nk);
+    std::uint32_t c = b.array3d("c", ni, nj, nk);
+
+    for (std::uint32_t arr : {u, rsd, frct, a, c})
+        b.initNest(sequentialInit1d(b, arr, ni * nj * nk));
+
+    Phase ssor;
+    ssor.name = "ssor-sweep";
+    ssor.occurrences = 25;
+
+    // RHS computation: parallel over the 33-extent dimension with
+    // blocked partitions (ceil(33/p) each).
+    {
+        LoopNest nest;
+        nest.label = "rhs";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.partition.policy = PartitionPolicy::Blocked;
+        nest.prefetchPipelineInhibited = true;
+        nest.bounds = {ni - 2, nj - 2, nk - 2};
+        nest.instsPerIter = 60;
+        nest.refs = {
+            b.at3(u, 0, 1, 2, 0, 0, 0), b.at3(u, 0, 1, 2, -1, 0, 0),
+            b.at3(u, 0, 1, 2, 1, 0, 0), b.at3(u, 0, 1, 2, 0, -1, 0),
+            b.at3(frct, 0, 1, 2, 0, 0, 0),
+            b.at3(rsd, 0, 1, 2, 0, 0, 0, true),
+        };
+        ssor.nests.push_back(nest);
+    }
+
+    // Lower-triangular wavefront (tiled). The tiling inhibits
+    // software pipelining of the prefetches, and the middle loop
+    // walks the j dimension with plane-crossing strides on the
+    // block-diagonal matrix — strides large enough that prefetches
+    // regularly target pages absent from the TLB.
+    {
+        LoopNest nest;
+        nest.label = "blts-wavefront";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.partition.policy = PartitionPolicy::Blocked;
+        nest.prefetchPipelineInhibited = true;
+        // Loop dims: (i, j, k). The state arrays sweep plane-local
+        // and unit-stride; the block-diagonal matrix is walked
+        // transposed (row index k, inner stride one plane row =
+        // 432B), which is what makes its prefetches cross pages
+        // faster than the TLB tracks.
+        nest.bounds = {ni - 2, nj - 2, nk - 2};
+        nest.instsPerIter = 72;
+        nest.refs = {
+            b.at3(a, 0, 2, 1, 0, 0, 0),
+            b.at3(rsd, 0, 1, 2, 0, 0, 0),
+            b.at3(rsd, 0, 1, 2, -1, 0, 0),
+            b.at3(u, 0, 1, 2, 0, 0, 0, true),
+        };
+        ssor.nests.push_back(nest);
+    }
+
+    // Upper-triangular wavefront, reverse partition.
+    {
+        LoopNest nest;
+        nest.label = "buts-wavefront";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.partition.policy = PartitionPolicy::Blocked;
+        // The sweep runs backward in time, but the static schedule
+        // keeps each plane on the CPU that owns it (SUIF schedules
+        // for affinity), so the data partition stays forward.
+        nest.prefetchPipelineInhibited = true;
+        nest.bounds = {ni - 2, nj - 2, nk - 2};
+        nest.instsPerIter = 72;
+        nest.refs = {
+            b.at3(c, 0, 2, 1, 0, 0, 0),
+            b.at3(u, 0, 1, 2, 0, 0, 0),
+            b.at3(u, 0, 1, 2, 1, 0, 0),
+            b.at3(rsd, 0, 1, 2, 0, 0, 0, true),
+        };
+        ssor.nests.push_back(nest);
+    }
+
+    // Solution update over the 33-iteration dimension.
+    {
+        LoopNest nest;
+        nest.label = "update";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.partition.policy = PartitionPolicy::Blocked;
+        nest.prefetchPipelineInhibited = true;
+        nest.bounds = {ni, nj, nk};
+        nest.instsPerIter = 24;
+        nest.refs = {
+            b.at3(rsd, 0, 1, 2, 0, 0, 0),
+            b.at3(u, 0, 1, 2, 0, 0, 0, true),
+        };
+        ssor.nests.push_back(nest);
+    }
+
+    b.phase(ssor);
+    return b.build();
+}
+
+} // namespace cdpc

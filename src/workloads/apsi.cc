@@ -1,0 +1,89 @@
+/**
+ * @file
+ * 141.apsi — mesoscale pollutant-transport weather code.
+ *
+ * The paper's apsi barely benefits from parallelization: "apsi and
+ * wave5 have fine-grain loop-level parallelism that is suppressed
+ * since it cannot be exploited effectively" (Section 4.1), and CDPC
+ * has no effect on it (Figure 6 omits it). We model apsi as many
+ * small parallelizable nests — each below the parallelizer's
+ * suppression threshold, so they run on the master — plus genuinely
+ * sequential bookkeeping, over eight 136 x 136 arrays (1.2MB ~ the
+ * paper's 9MB / 8).
+ */
+
+#include "workloads/builder.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+
+Program
+buildApsi()
+{
+    constexpr std::uint64_t n = 136;
+    ProgramBuilder b("141.apsi");
+
+    std::vector<std::uint32_t> fields;
+    const char *names[] = {"um", "vm", "wm", "tm", "qm", "pm", "dkh",
+                           "dkm"};
+    for (const char *nm : names)
+        fields.push_back(b.array2d(nm, n, n));
+
+    b.initNest(interleavedInit2d(b, fields, n, n));
+
+    Phase step;
+    step.name = "apsi-step";
+    step.occurrences = 50;
+
+    // Many narrow column-sweep loops: parallelizable on paper but
+    // each only ~30k instructions, below the suppression threshold —
+    // the fine-grain parallelism the compiler declines to exploit.
+    for (std::size_t f = 0; f + 1 < fields.size(); f++) {
+        LoopNest nest;
+        nest.label = std::string("column-sweep-") + names[f];
+        nest.kind = NestKind::Parallel; // suppressed by the pass
+        nest.parallelDim = 0;
+        nest.bounds = {n, 12};
+        nest.instsPerIter = 18;
+        nest.refs = {
+            b.at2(fields[f], 0, 1, 0, 0),
+            b.at2(fields[f + 1], 0, 1, 0, 0, true),
+        };
+        step.nests.push_back(nest);
+    }
+
+    // Sequential physics driver the compiler could not parallelize.
+    {
+        LoopNest nest;
+        nest.label = "physics-seq";
+        nest.kind = NestKind::Sequential;
+        nest.bounds = {n / 2, n / 2};
+        nest.instsPerIter = 42;
+        nest.refs = {
+            b.at2(fields[0], 0, 1), b.at2(fields[3], 0, 1),
+            b.at2(fields[5], 0, 1, 0, 0, true),
+        };
+        step.nests.push_back(nest);
+    }
+
+    // One coarse nest that does survive parallelization.
+    {
+        LoopNest nest;
+        nest.label = "advection";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {n, n};
+        nest.instsPerIter = 48;
+        nest.refs = {
+            b.at2(fields[0], 0, 1), b.at2(fields[1], 0, 1),
+            b.at2(fields[2], 0, 1, 0, 0, true),
+        };
+        step.nests.push_back(nest);
+    }
+
+    b.phase(step);
+    return b.build();
+}
+
+} // namespace cdpc

@@ -1,0 +1,34 @@
+#include "workloads/builder.h"
+
+namespace cdpc
+{
+
+LoopNest
+interleavedInit2d(const ProgramBuilder &b,
+                  const std::vector<std::uint32_t> &arrays,
+                  std::uint64_t rows, std::uint64_t cols)
+{
+    LoopNest nest;
+    nest.label = "init-interleaved";
+    nest.kind = NestKind::Sequential;
+    nest.bounds = {rows, cols};
+    nest.instsPerIter = 4;
+    for (std::uint32_t a : arrays)
+        nest.refs.push_back(b.at2(a, 0, 1, 0, 0, true));
+    return nest;
+}
+
+LoopNest
+sequentialInit1d(const ProgramBuilder &b, std::uint32_t array,
+                 std::uint64_t elems)
+{
+    LoopNest nest;
+    nest.label = "init-seq";
+    nest.kind = NestKind::Sequential;
+    nest.bounds = {elems};
+    nest.instsPerIter = 2;
+    nest.refs.push_back(b.at1(array, 0, 1, 0, true));
+    return nest;
+}
+
+} // namespace cdpc

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * A small construction DSL for the synthetic SPEC95fp stand-ins.
+ *
+ * Each workload file builds a Program: arrays with the scaled
+ * data-set sizes of Table 1, an init phase encoding the first-touch
+ * order, and steady-state phases of loop nests whose partitioning,
+ * strides and stencil offsets reproduce the paper-relevant access
+ * structure of the original benchmark.
+ */
+
+#ifndef CDPC_WORKLOADS_BUILDER_H
+#define CDPC_WORKLOADS_BUILDER_H
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.h"
+
+namespace cdpc
+{
+
+/** Fluent helper around a Program under construction. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name)
+    {
+        prog.name = std::move(name);
+    }
+
+    /** Declare a 1-D array of @p n elements. */
+    std::uint32_t
+    array1d(const std::string &name, std::uint64_t n,
+            std::uint32_t elem_bytes = 8)
+    {
+        ArrayDecl a;
+        a.name = name;
+        a.elemBytes = elem_bytes;
+        a.dims = {n};
+        prog.arrays.push_back(a);
+        return static_cast<std::uint32_t>(prog.arrays.size() - 1);
+    }
+
+    /** Declare a 2-D (rows x cols) row-major array. */
+    std::uint32_t
+    array2d(const std::string &name, std::uint64_t rows,
+            std::uint64_t cols, std::uint32_t elem_bytes = 8)
+    {
+        ArrayDecl a;
+        a.name = name;
+        a.elemBytes = elem_bytes;
+        a.dims = {rows, cols};
+        prog.arrays.push_back(a);
+        return static_cast<std::uint32_t>(prog.arrays.size() - 1);
+    }
+
+    /** Declare a 3-D array. */
+    std::uint32_t
+    array3d(const std::string &name, std::uint64_t d0, std::uint64_t d1,
+            std::uint64_t d2, std::uint32_t elem_bytes = 8)
+    {
+        ArrayDecl a;
+        a.name = name;
+        a.elemBytes = elem_bytes;
+        a.dims = {d0, d1, d2};
+        prog.arrays.push_back(a);
+        return static_cast<std::uint32_t>(prog.arrays.size() - 1);
+    }
+
+    /** Mark an array as carrying accesses the compiler cannot analyze. */
+    void
+    markUnanalyzable(std::uint32_t id)
+    {
+        prog.arrays.at(id).summarizable = false;
+    }
+
+    /**
+     * 2-D reference a[i + di][j + dj] where loop dim @p i_dim drives
+     * the row index and @p j_dim the column index.
+     */
+    AffineRef
+    at2(std::uint32_t arr, std::uint32_t i_dim, std::uint32_t j_dim,
+        std::int64_t di = 0, std::int64_t dj = 0,
+        bool write = false) const
+    {
+        const ArrayDecl &a = prog.arrays.at(arr);
+        auto row = static_cast<std::int64_t>(a.strideElems(0));
+        AffineRef r;
+        r.arrayId = arr;
+        r.terms = {{i_dim, row}, {j_dim, 1}};
+        r.constElems = di * row + dj;
+        r.isWrite = write;
+        return r;
+    }
+
+    /** 3-D reference a[i+di][j+dj][k+dk]. */
+    AffineRef
+    at3(std::uint32_t arr, std::uint32_t i_dim, std::uint32_t j_dim,
+        std::uint32_t k_dim, std::int64_t di = 0, std::int64_t dj = 0,
+        std::int64_t dk = 0, bool write = false) const
+    {
+        const ArrayDecl &a = prog.arrays.at(arr);
+        auto s0 = static_cast<std::int64_t>(a.strideElems(0));
+        auto s1 = static_cast<std::int64_t>(a.strideElems(1));
+        AffineRef r;
+        r.arrayId = arr;
+        r.terms = {{i_dim, s0}, {j_dim, s1}, {k_dim, 1}};
+        r.constElems = di * s0 + dj * s1 + dk;
+        r.isWrite = write;
+        return r;
+    }
+
+    /** 1-D reference a[c * iv + d]. */
+    AffineRef
+    at1(std::uint32_t arr, std::uint32_t iv_dim, std::int64_t coeff = 1,
+        std::int64_t d = 0, bool write = false) const
+    {
+        AffineRef r;
+        r.arrayId = arr;
+        r.terms = {{iv_dim, coeff}};
+        r.constElems = d;
+        r.isWrite = write;
+        return r;
+    }
+
+    /**
+     * 1-D reference with a wrapped (mod array size) index — the
+     * non-contiguous access pattern the compiler cannot summarize.
+     */
+    AffineRef
+    gather1(std::uint32_t arr, std::uint32_t iv_dim,
+            std::int64_t stride_elems, bool write = false) const
+    {
+        AffineRef r = at1(arr, iv_dim, stride_elems, 0, write);
+        r.wrapModElems =
+            static_cast<std::int64_t>(prog.arrays.at(arr).elements());
+        return r;
+    }
+
+    /** Append a nest to the init phase. */
+    void
+    initNest(LoopNest nest)
+    {
+        prog.init.nests.push_back(std::move(nest));
+    }
+
+    /** Append a phase to the steady state. */
+    void
+    phase(Phase p)
+    {
+        prog.steady.push_back(std::move(p));
+    }
+
+    Program &
+    program()
+    {
+        return prog;
+    }
+
+    /** Finish: name the init phase, validate, hand out the Program. */
+    Program
+    build()
+    {
+        prog.init.name = "init";
+        prog.validate();
+        return std::move(prog);
+    }
+
+  private:
+    Program prog;
+};
+
+/**
+ * Convenience: a sequential init nest that touches a set of 2-D
+ * arrays interleaved (a[i][j], b[i][j], ... in one loop body) —
+ * FORTRAN-style initialization whose fault order interleaves the
+ * arrays' pages, which is what differentiates bin hopping from page
+ * coloring.
+ */
+LoopNest interleavedInit2d(const ProgramBuilder &b,
+                           const std::vector<std::uint32_t> &arrays,
+                           std::uint64_t rows, std::uint64_t cols);
+
+/** A sequential init nest touching one array after another. */
+LoopNest sequentialInit1d(const ProgramBuilder &b, std::uint32_t array,
+                          std::uint64_t elems);
+
+} // namespace cdpc
+
+#endif // CDPC_WORKLOADS_BUILDER_H

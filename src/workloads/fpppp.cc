@@ -1,0 +1,75 @@
+/**
+ * @file
+ * 145.fpppp — two-electron integral derivatives (Gaussian-series
+ * quantum chemistry).
+ *
+ * The paper's outlier: "fpppp has essentially no loop-level
+ * parallelism" and is "limited entirely by instruction cache misses
+ * fetched from the external cache and puts no load on the shared
+ * bus" (Section 4.1). The data set is under 1MB (Table 1). We model
+ * it as sequential compute-dense kernels over three small arrays
+ * with instruction-stream modeling enabled: the text footprint
+ * (24KB scaled) exceeds the on-chip I-cache but lives comfortably
+ * in the external cache, so every I-miss is an on-chip stall with
+ * no bus traffic — and no page mapping policy changes anything.
+ */
+
+#include "workloads/builder.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+
+Program
+buildFpppp()
+{
+    constexpr std::uint64_t n = 64;
+    ProgramBuilder b("145.fpppp");
+
+    std::uint32_t f = b.array2d("fock", n, n);
+    std::uint32_t d = b.array2d("dens", n, n);
+    std::uint32_t s = b.array2d("scr", n, n);
+
+    b.initNest(interleavedInit2d(b, {f, d, s}, n, n));
+
+    Phase scf;
+    scf.name = "scf-iteration";
+    scf.occurrences = 40;
+
+    // The giant straight-line integral kernel: enormous basic blocks
+    // (hence the huge text footprint), tiny data.
+    {
+        LoopNest nest;
+        nest.label = "twoel";
+        nest.kind = NestKind::Sequential;
+        nest.bounds = {n, n};
+        nest.instsPerIter = 120;
+        nest.refs = {
+            b.at2(f, 0, 1, 0, 0, true),
+            b.at2(d, 0, 1, 0, 0),
+        };
+        scf.nests.push_back(nest);
+    }
+
+    // A second sequential kernel with different control flow.
+    {
+        LoopNest nest;
+        nest.label = "shell-pairs";
+        nest.kind = NestKind::Sequential;
+        nest.bounds = {n, n};
+        nest.instsPerIter = 80;
+        nest.refs = {
+            b.at2(s, 0, 1, 0, 0, true),
+            b.at2(f, 0, 1, 0, 0),
+        };
+        scf.nests.push_back(nest);
+    }
+
+    b.phase(scf);
+    Program prog = b.build();
+    prog.modelIfetch = true;
+    prog.textBytes = 24 * 1024; // > 4KB L1I, < 128KB external cache
+    return prog;
+}
+
+} // namespace cdpc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * 104.hydro2d — Navier-Stokes galactic-jet hydrodynamics.
+ *
+ * Modeled as eight N x N state/flux arrays swept by directional
+ * stencil passes (x-sweep then y-sweep, the alternating-direction
+ * structure of the original), parallelized over rows. 130 x 128
+ * arrays give 8 * 130 * 128 * 8B = 1.06MB, the paper's 8MB at 1/8
+ * scale — the data set fits the aggregate cache from 8 CPUs on,
+ * which is where the paper sees CDPC's large hydro2d wins on the
+ * 1MB configuration. Each array is 260 pages (four over two cache
+ * spans), so the per-CPU chunks nearly alias under page coloring.
+ */
+
+#include "workloads/builder.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+
+Program
+buildHydro2d()
+{
+    constexpr std::uint64_t rows = 130;
+    constexpr std::uint64_t cols = 128;
+    ProgramBuilder b("104.hydro2d");
+
+    std::uint32_t ro = b.array2d("ro", rows, cols);
+    std::uint32_t en = b.array2d("en", rows, cols);
+    std::uint32_t mu = b.array2d("mu", rows, cols);
+    std::uint32_t mv = b.array2d("mv", rows, cols);
+    std::uint32_t fro = b.array2d("fro", rows, cols);
+    std::uint32_t fen = b.array2d("fen", rows, cols);
+    std::uint32_t fmu = b.array2d("fmu", rows, cols);
+    std::uint32_t fmv = b.array2d("fmv", rows, cols);
+
+    // One initialization loop touches the state and flux arrays
+    // together, so bin hopping interleaves all eight arrays' pages.
+    b.initNest(interleavedInit2d(b, {ro, en, mu, mv, fro, fen, fmu, fmv},
+                                 rows, cols));
+
+    Phase step;
+    step.name = "hydro-step";
+    step.occurrences = 80;
+
+    // X-sweep: fluxes from the state, stencil along j.
+    {
+        LoopNest nest;
+        nest.label = "x-flux";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {rows - 2, cols - 2};
+        nest.instsPerIter = 45;
+        nest.refs = {
+            b.at2(ro, 0, 1, 0, -1), b.at2(ro, 0, 1, 0, 1),
+            b.at2(en, 0, 1, 0, 0), b.at2(mu, 0, 1, 0, 0),
+            b.at2(mv, 0, 1, 0, 0),
+            b.at2(fro, 0, 1, 0, 0, true), b.at2(fen, 0, 1, 0, 0, true),
+            b.at2(fmu, 0, 1, 0, 0, true),
+            b.at2(fmv, 0, 1, 0, 0, true),
+        };
+        step.nests.push_back(nest);
+    }
+
+    // Y-sweep: stencil along i — the i±1 offsets cross the row
+    // partition boundaries (shift communication).
+    {
+        LoopNest nest;
+        nest.label = "y-flux";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {rows - 2, cols - 2};
+        nest.instsPerIter = 45;
+        nest.refs = {
+            b.at2(fro, 0, 1, -1, 0), b.at2(fro, 0, 1, 1, 0),
+            b.at2(fen, 0, 1, 0, 0), b.at2(fmu, 0, 1, 0, 0),
+            b.at2(fmv, 0, 1, 0, 0),
+            b.at2(ro, 0, 1, 0, 0, true), b.at2(en, 0, 1, 0, 0, true),
+            b.at2(mu, 0, 1, 0, 0, true), b.at2(mv, 0, 1, 0, 0, true),
+        };
+        step.nests.push_back(nest);
+    }
+
+    // State update: advance all conserved quantities.
+    {
+        LoopNest nest;
+        nest.label = "advance";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {rows, cols};
+        nest.instsPerIter = 30;
+        nest.refs = {
+            b.at2(fro, 0, 1), b.at2(fen, 0, 1), b.at2(fmu, 0, 1),
+            b.at2(fmv, 0, 1),
+            b.at2(ro, 0, 1, 0, 0, true), b.at2(en, 0, 1, 0, 0, true),
+            b.at2(mu, 0, 1, 0, 0, true), b.at2(mv, 0, 1, 0, 0, true),
+        };
+        step.nests.push_back(nest);
+    }
+
+    b.phase(step);
+    return b.build();
+}
+
+} // namespace cdpc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * 102.swim — shallow water equations on an N x N grid.
+ *
+ * The original uses thirteen 513 x 513 arrays in three stencil
+ * kernels (CALC1/CALC2/CALC3) plus a periodic-boundary copy. We keep
+ * thirteen arrays at 130 x 128 — each 260 pages, four pages over an
+ * exact multiple of the scaled external cache — so under page
+ * coloring the thirteen arrays' per-CPU chunks pile onto nearly the
+ * same colors. This is why swim is the paper's most
+ * page-coloring-hostile benchmark (2.6x worse than CDPC at 8 CPUs,
+ * Section 7).
+ *
+ * Data set: 13 * 130 * 128 * 8B = 1.73MB ~ the paper's 14MB / 8.
+ */
+
+#include "workloads/builder.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+
+Program
+buildSwim()
+{
+    constexpr std::uint64_t rows = 130;
+    constexpr std::uint64_t cols = 128;
+    ProgramBuilder b("102.swim");
+
+    std::uint32_t u = b.array2d("u", rows, cols);
+    std::uint32_t v = b.array2d("v", rows, cols);
+    std::uint32_t p = b.array2d("p", rows, cols);
+    std::uint32_t unew = b.array2d("unew", rows, cols);
+    std::uint32_t vnew = b.array2d("vnew", rows, cols);
+    std::uint32_t pnew = b.array2d("pnew", rows, cols);
+    std::uint32_t uold = b.array2d("uold", rows, cols);
+    std::uint32_t vold = b.array2d("vold", rows, cols);
+    std::uint32_t pold = b.array2d("pold", rows, cols);
+    std::uint32_t cu = b.array2d("cu", rows, cols);
+    std::uint32_t cv = b.array2d("cv", rows, cols);
+    std::uint32_t z = b.array2d("z", rows, cols);
+    std::uint32_t h = b.array2d("h", rows, cols);
+
+    // swim's INITAL sets u/v/p together, then copies into the
+    // old/new generations.
+    b.initNest(interleavedInit2d(b, {u, v, p}, rows, cols));
+    b.initNest(interleavedInit2d(b, {uold, vold, pold}, rows, cols));
+    b.initNest(interleavedInit2d(b, {unew, vnew, pnew}, rows, cols));
+    b.initNest(interleavedInit2d(b, {cu, cv, z, h}, rows, cols));
+
+    Phase step;
+    step.name = "time-step";
+    step.occurrences = 120;
+
+    // CALC1: cu, cv, z, h from u, v, p (i+1 / j+1 stencils).
+    {
+        LoopNest nest;
+        nest.label = "calc1";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {rows - 1, cols - 1};
+        nest.instsPerIter = 42;
+        nest.refs = {
+            b.at2(u, 0, 1, 0, 0), b.at2(u, 0, 1, 1, 0),
+            b.at2(v, 0, 1, 0, 0), b.at2(v, 0, 1, 0, 1),
+            b.at2(p, 0, 1, 0, 0), b.at2(p, 0, 1, 1, 0),
+            b.at2(p, 0, 1, 0, 1),
+            b.at2(cu, 0, 1, 0, 0, true), b.at2(cv, 0, 1, 0, 0, true),
+            b.at2(z, 0, 1, 0, 0, true), b.at2(h, 0, 1, 0, 0, true),
+        };
+        step.nests.push_back(nest);
+    }
+
+    // CALC2: new generation from old + fluxes (i-1 / j-1 stencils).
+    {
+        LoopNest nest;
+        nest.label = "calc2";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {rows - 1, cols - 1};
+        nest.instsPerIter = 48;
+        nest.refs = {
+            b.at2(uold, 0, 1), b.at2(vold, 0, 1), b.at2(pold, 0, 1),
+            b.at2(cu, 0, 1, 0, 0), b.at2(cu, 0, 1, -1, 0),
+            b.at2(cv, 0, 1, 0, 0), b.at2(cv, 0, 1, 0, -1),
+            b.at2(z, 0, 1, 0, 0), b.at2(h, 0, 1, 0, 0),
+            b.at2(unew, 0, 1, 0, 0, true),
+            b.at2(vnew, 0, 1, 0, 0, true),
+            b.at2(pnew, 0, 1, 0, 0, true),
+        };
+        step.nests.push_back(nest);
+    }
+
+    // CALC3: time smoothing — writes the old generation, shifts the
+    // new into current.
+    {
+        LoopNest nest;
+        nest.label = "calc3";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {rows, cols};
+        nest.instsPerIter = 36;
+        nest.refs = {
+            b.at2(u, 0, 1), b.at2(v, 0, 1), b.at2(p, 0, 1),
+            b.at2(unew, 0, 1), b.at2(vnew, 0, 1), b.at2(pnew, 0, 1),
+            b.at2(uold, 0, 1, 0, 0, true),
+            b.at2(vold, 0, 1, 0, 0, true),
+            b.at2(pold, 0, 1, 0, 0, true),
+            b.at2(u, 0, 1, 0, 0, true), b.at2(v, 0, 1, 0, 0, true),
+            b.at2(p, 0, 1, 0, 0, true),
+        };
+        step.nests.push_back(nest);
+    }
+
+    b.phase(step);
+    Program prog = b.build();
+    // swim's grids are periodic: the boundary-copy loops exchange
+    // the wrap-around rows/columns, which the affine analysis cannot
+    // see — declare the rotate communication explicitly.
+    for (std::uint32_t arr : {u, v, p})
+        prog.declaredComms.push_back(DeclaredComm{arr, true, 1});
+    return prog;
+}
+
+} // namespace cdpc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * 101.tomcatv — vectorized mesh generation.
+ *
+ * Structure modeled from the paper: seven large N x N arrays (the
+ * paper notes "tomcatv has seven large data structures"), a steady
+ * state that is one phase repeated many times, 5-point stencil
+ * sweeps parallelized over rows with even forward partitions, and a
+ * reverse-partitioned back-substitution sweep. The i±1 stencil
+ * offsets produce the shift communication CDPC's summaries record.
+ *
+ * Scale: 206 x 160 arrays give 7 * 263,680B = 1.85MB, the paper's
+ * 14MB data set at the 1/8 model scale. Each array is 515 pages —
+ * three pages over 2x the scaled external cache — so under page
+ * coloring the seven arrays' per-CPU chunks land a few colors apart
+ * and overlap heavily: the conflict pathology of Figures 3/6, which
+ * sharpens as chunks shrink with more CPUs.
+ */
+
+#include "workloads/builder.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+
+Program
+buildTomcatv()
+{
+    constexpr std::uint64_t rows = 206;
+    constexpr std::uint64_t cols = 160;
+    ProgramBuilder b("101.tomcatv");
+
+    std::uint32_t x = b.array2d("x", rows, cols);
+    std::uint32_t y = b.array2d("y", rows, cols);
+    std::uint32_t rx = b.array2d("rx", rows, cols);
+    std::uint32_t ry = b.array2d("ry", rows, cols);
+    std::uint32_t aa = b.array2d("aa", rows, cols);
+    std::uint32_t dd = b.array2d("dd", rows, cols);
+    std::uint32_t d = b.array2d("d", rows, cols);
+
+    // FORTRAN-style init: the mesh arrays are set together, the
+    // solver workspaces in a second loop.
+    b.initNest(interleavedInit2d(b, {x, y, rx, ry}, rows, cols));
+    b.initNest(interleavedInit2d(b, {aa, dd, d}, rows, cols));
+
+    Phase iter;
+    iter.name = "mesh-iteration";
+    iter.occurrences = 100;
+
+    // Residual computation: 9-point stencil on x/y writes rx/ry.
+    {
+        LoopNest nest;
+        nest.label = "residual";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {rows - 2, cols - 2};
+        nest.instsPerIter = 54;
+        nest.refs = {
+            b.at2(x, 0, 1, 0, 0), b.at2(x, 0, 1, -1, 0),
+            b.at2(x, 0, 1, 1, 0), b.at2(x, 0, 1, 0, -1),
+            b.at2(x, 0, 1, 0, 1), b.at2(y, 0, 1, 0, 0),
+            b.at2(y, 0, 1, -1, 0), b.at2(y, 0, 1, 1, 0),
+            b.at2(rx, 0, 1, 0, 0, true), b.at2(ry, 0, 1, 0, 0, true),
+        };
+        iter.nests.push_back(nest);
+    }
+
+    // Tridiagonal solve coefficients: reads rx/ry, writes aa/dd/d.
+    {
+        LoopNest nest;
+        nest.label = "solve-coeff";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {rows - 2, cols - 2};
+        nest.instsPerIter = 36;
+        nest.refs = {
+            b.at2(rx, 0, 1), b.at2(ry, 0, 1),
+            b.at2(aa, 0, 1, 0, 0, true), b.at2(dd, 0, 1, 0, 0, true),
+            b.at2(d, 0, 1, 0, 0, true),
+        };
+        iter.nests.push_back(nest);
+    }
+
+    // Back substitution: reverse partition (the solver runs bottom
+    // row up), still one row per processor chunk.
+    {
+        LoopNest nest;
+        nest.label = "backsub";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        // Backward in iteration order, but affinity-scheduled: each
+        // CPU keeps its own rows.
+        nest.bounds = {rows - 2, cols - 2};
+        nest.instsPerIter = 24;
+        nest.refs = {
+            b.at2(aa, 0, 1), b.at2(dd, 0, 1), b.at2(d, 0, 1),
+            b.at2(rx, 0, 1, 0, 0, true), b.at2(ry, 0, 1, 0, 0, true),
+        };
+        iter.nests.push_back(nest);
+    }
+
+    // Mesh update: x += rx, y += ry.
+    {
+        LoopNest nest;
+        nest.label = "update";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {rows - 2, cols - 2};
+        nest.instsPerIter = 20;
+        nest.refs = {
+            b.at2(rx, 0, 1), b.at2(ry, 0, 1),
+            b.at2(x, 0, 1, 0, 0, true), b.at2(y, 0, 1, 0, 0, true),
+        };
+        iter.nests.push_back(nest);
+    }
+
+    b.phase(iter);
+    return b.build();
+}
+
+} // namespace cdpc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * 125.turb3d — isotropic homogeneous turbulence (3-D FFTs).
+ *
+ * The paper uses turb3d as its example of multi-phase steady-state
+ * structure: "turb3d contains four phases that each occur 11, 66,
+ * 100 and 120 times respectively during the steady state" (Section
+ * 3.3). We reproduce exactly that: an x-direction FFT phase, a
+ * y-direction phase, a z-direction phase and a nonlinear-term phase
+ * with those occurrence counts, over three 48^3 velocity arrays
+ * (2.65MB ~ the paper's 24MB / 8). FFT butterflies are
+ * compute-dense, so replacement misses are comparatively small and
+ * CDPC's improvement is modest — the paper's result.
+ */
+
+#include "workloads/builder.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+
+Program
+buildTurb3d()
+{
+    constexpr std::uint64_t n = 48;
+    ProgramBuilder b("125.turb3d");
+
+    std::uint32_t u = b.array3d("u", n, n, n);
+    std::uint32_t v = b.array3d("v", n, n, n);
+    std::uint32_t w = b.array3d("w", n, n, n);
+
+    for (std::uint32_t arr : {u, v, w})
+        b.initNest(sequentialInit1d(b, arr, n * n * n));
+
+    auto fft_phase = [&](const std::string &name, std::uint64_t occ,
+                         bool stride_mid) {
+        Phase phase;
+        phase.name = name;
+        phase.occurrences = occ;
+        for (std::uint32_t arr : {u, v, w}) {
+            LoopNest nest;
+            nest.label = name + "-" + b.program().arrays[arr].name;
+            nest.kind = NestKind::Parallel;
+            nest.parallelDim = 0;
+            nest.bounds = {n, n, n};
+            nest.instsPerIter = 90; // butterflies are compute-heavy
+            if (stride_mid) {
+                // Transform along the middle index: innermost loop
+                // drives dim 1 (stride n elements).
+                nest.refs = {
+                    b.at3(arr, 0, 2, 1, 0, 0, 0),
+                    b.at3(arr, 0, 2, 1, 0, 0, 0, true),
+                };
+            } else {
+                nest.refs = {
+                    b.at3(arr, 0, 1, 2, 0, 0, 0),
+                    b.at3(arr, 0, 1, 2, 0, 0, 0, true),
+                };
+            }
+            phase.nests.push_back(nest);
+        }
+        b.phase(phase);
+    };
+
+    fft_phase("xy-transform", 11, false);
+    fft_phase("z-transform", 66, true);
+
+    // Nonlinear term: all three arrays together (group access).
+    {
+        Phase phase;
+        phase.name = "nonlinear";
+        phase.occurrences = 100;
+        LoopNest nest;
+        nest.label = "nonlinear";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {n, n, n};
+        nest.instsPerIter = 60;
+        nest.refs = {
+            b.at3(u, 0, 1, 2, 0, 0, 0),
+            b.at3(v, 0, 1, 2, 0, 0, 0),
+            b.at3(w, 0, 1, 2, 0, 0, 0),
+            b.at3(u, 0, 1, 2, 0, 0, 0, true),
+        };
+        phase.nests.push_back(nest);
+        b.phase(phase);
+    }
+
+    // Time advance: light elementwise update.
+    {
+        Phase phase;
+        phase.name = "advance";
+        phase.occurrences = 120;
+        LoopNest nest;
+        nest.label = "advance";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {n, n, n};
+        nest.instsPerIter = 30;
+        nest.refs = {
+            b.at3(u, 0, 1, 2, 0, 0, 0),
+            b.at3(v, 0, 1, 2, 0, 0, 0, true),
+            b.at3(w, 0, 1, 2, 0, 0, 0, true),
+        };
+        phase.nests.push_back(nest);
+        b.phase(phase);
+    }
+
+    return b.build();
+}
+
+} // namespace cdpc

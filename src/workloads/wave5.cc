@@ -1,0 +1,95 @@
+/**
+ * @file
+ * 146.wave5 — 2-D particle-in-cell plasma simulation.
+ *
+ * The largest data set of the suite (40MB, scaled to 5MB) and the
+ * paper's second no-speedup case: its particle push has fine-grain,
+ * gather/scatter parallelism that the compiler suppresses, and it
+ * was the one benchmark whose phases showed real variation ("One of
+ * the phases of wave5 showed ... a 30% variation in cache misses",
+ * Section 3.3) — which gathers through particle arrays naturally
+ * produce. Field solves are parallel and well-partitioned; the
+ * particle phase dominates, so page mapping policy barely matters
+ * (Figure 9 shows little variance for wave5).
+ */
+
+#include "workloads/builder.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+
+Program
+buildWave5()
+{
+    constexpr std::uint64_t n = 256;               // field grids
+    constexpr std::uint64_t np = 192 * 1024;       // particles
+    ProgramBuilder b("146.wave5");
+
+    std::uint32_t ex = b.array2d("ex", n, n);
+    std::uint32_t ey = b.array2d("ey", n, n);
+    std::uint32_t rho = b.array2d("rho", n, n);
+    std::uint32_t phi = b.array2d("phi", n, n);
+    std::uint32_t px = b.array1d("px", np);
+    std::uint32_t py = b.array1d("py", np);
+    b.markUnanalyzable(px);
+    b.markUnanalyzable(py);
+
+    b.initNest(interleavedInit2d(b, {ex, ey, rho, phi}, n, n));
+    b.initNest(sequentialInit1d(b, px, np));
+    b.initNest(sequentialInit1d(b, py, np));
+
+    // Field solve: a well-partitioned parallel stencil phase.
+    Phase field;
+    field.name = "field-solve";
+    field.occurrences = 30;
+    {
+        LoopNest nest;
+        nest.label = "poisson";
+        nest.kind = NestKind::Parallel;
+        nest.parallelDim = 0;
+        nest.bounds = {n - 2, n - 2};
+        nest.instsPerIter = 36;
+        nest.refs = {
+            b.at2(phi, 0, 1, 0, 0), b.at2(phi, 0, 1, -1, 0),
+            b.at2(phi, 0, 1, 1, 0), b.at2(rho, 0, 1, 0, 0),
+            b.at2(ex, 0, 1, 0, 0, true), b.at2(ey, 0, 1, 0, 0, true),
+        };
+        field.nests.push_back(nest);
+    }
+    b.phase(field);
+
+    // Particle push: fine-grain gather/scatter parallelism that the
+    // compiler suppresses — the master walks every particle,
+    // gathering field values and scattering charge.
+    Phase push;
+    push.name = "particle-push";
+    push.occurrences = 30;
+    {
+        LoopNest nest;
+        nest.label = "push";
+        nest.kind = NestKind::Suppressed;
+        nest.bounds = {np / 64, 64};
+        nest.instsPerIter = 30;
+        nest.refs = {
+            b.at1(px, 1, 1, 0, true),
+            b.at1(py, 1, 1, 0, true),
+            b.gather1(ex, 1, 911),
+            b.gather1(rho, 1, 1213, true),
+        };
+        // Index the particle arrays by both loop dims so the sweep
+        // covers all particles, 64 per outer iteration; the field
+        // gathers advance by the same combined index so each outer
+        // iteration lands on fresh (wrapped) grid locations.
+        nest.refs[0].terms.push_back({0, 64});
+        nest.refs[1].terms.push_back({0, 64});
+        nest.refs[2].terms.push_back({0, 911 * 64});
+        nest.refs[3].terms.push_back({0, 1213 * 64});
+        push.nests.push_back(nest);
+    }
+    b.phase(push);
+
+    return b.build();
+}
+
+} // namespace cdpc

@@ -1,0 +1,61 @@
+#include "workloads/workload.h"
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    // SPEC95 reference times are the published SparcStation 10/40
+    // reference seconds used to form SPECratios.
+    static const std::vector<WorkloadInfo> registry = {
+        {"101.tomcatv", 14, 3700.0, buildTomcatv,
+         "mesh generation; 7 large arrays, row-partitioned stencils"},
+        {"102.swim", 14, 8600.0, buildSwim,
+         "shallow water; 13 cache-sized arrays, worst case for "
+         "page coloring"},
+        {"103.su2cor", 23, 1400.0, buildSu2cor,
+         "lattice QCD; partitioned gauge fields + unanalyzable "
+         "propagators"},
+        {"104.hydro2d", 8, 2400.0, buildHydro2d,
+         "Navier-Stokes; 8 arrays, alternating-direction stencils"},
+        {"107.mgrid", 7, 2500.0, buildMgrid,
+         "3-D multigrid; strong locality, small replacement misses"},
+        {"110.applu", 31, 2200.0, buildApplu,
+         "SSOR; 33-iteration parallel loops, capacity-bound, "
+         "prefetch-hostile wavefronts"},
+        {"125.turb3d", 24, 4100.0, buildTurb3d,
+         "turbulence FFTs; 4 phases occurring 11/66/100/120 times"},
+        {"141.apsi", 9, 2100.0, buildApsi,
+         "weather; fine-grain parallelism suppressed"},
+        {"145.fpppp", 1, 9600.0, buildFpppp,
+         "quantum chemistry; sequential, instruction-stream bound"},
+        {"146.wave5", 40, 3000.0, buildWave5,
+         "particle-in-cell plasma; suppressed gather/scatter push"},
+    };
+    return registry;
+}
+
+const WorkloadInfo &
+findWorkload(const std::string &name)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+        // Accept the bare name without the SPEC number prefix.
+        auto dot = w.name.find('.');
+        if (dot != std::string::npos && w.name.substr(dot + 1) == name)
+            return w;
+    }
+    fatal("unknown workload: ", name);
+}
+
+Program
+buildWorkload(const std::string &name)
+{
+    return findWorkload(name).build();
+}
+
+} // namespace cdpc

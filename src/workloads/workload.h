@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The workload registry: the ten SPEC95fp benchmarks as synthetic
+ * stand-ins (see DESIGN.md's substitution table).
+ *
+ * Each entry records the paper's Table 1 data-set size, the SPEC95
+ * reference time used to compute SPEC ratios, and a builder that
+ * produces the benchmark's IR Program at the 1/8 model scale.
+ */
+
+#ifndef CDPC_WORKLOADS_WORKLOAD_H
+#define CDPC_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace cdpc
+{
+
+/** Registry entry for one benchmark. */
+struct WorkloadInfo
+{
+    /** SPEC-style name, e.g. "101.tomcatv". */
+    std::string name;
+    /** Reference data-set size from the paper's Table 1 (MB). */
+    std::uint32_t paperDataSetMB;
+    /** SPEC95 reference time (seconds on a SparcStation 10). */
+    double specRefSeconds;
+    /** Builds the scaled IR program. */
+    std::function<Program()> build;
+    /** One-line description of the modeled structure. */
+    std::string description;
+};
+
+/** All ten benchmarks, in SPEC order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Find one by (suffix-insensitive) name; fatal() when unknown. */
+const WorkloadInfo &findWorkload(const std::string &name);
+
+/** Build one by name. */
+Program buildWorkload(const std::string &name);
+
+// Individual builders (exposed for tests and examples).
+Program buildTomcatv();
+Program buildSwim();
+Program buildSu2cor();
+Program buildHydro2d();
+Program buildMgrid();
+Program buildApplu();
+Program buildTurb3d();
+Program buildApsi();
+Program buildFpppp();
+Program buildWave5();
+
+} // namespace cdpc
+
+#endif // CDPC_WORKLOADS_WORKLOAD_H

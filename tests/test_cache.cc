@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the set-associative cache tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace cdpc
+{
+namespace
+{
+
+CacheConfig
+smallCache(std::uint32_t assoc = 1)
+{
+    return CacheConfig{1024, assoc, 64}; // 16 lines
+}
+
+TEST(Cache, MissOnEmpty)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.access(0, 0), nullptr);
+    EXPECT_EQ(c.stats().accesses, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, HitAfterInsert)
+{
+    Cache c(smallCache());
+    c.insert(0x100, 4, Mesi::Shared);
+    CacheLine *l = c.access(0x100, 4);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->lineAddr, 4u);
+    EXPECT_EQ(l->state, Mesi::Shared);
+    EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(Cache, DirectMappedConflictEvicts)
+{
+    Cache c(smallCache(1));
+    // Two lines mapping to the same set (index addr differs by the
+    // cache size).
+    c.insert(0x000, 1, Mesi::Shared);
+    CacheLine victim;
+    c.insert(0x400, 2, Mesi::Modified, &victim);
+    EXPECT_EQ(victim.lineAddr, 1u);
+    EXPECT_EQ(c.access(0x000, 1), nullptr);
+    EXPECT_NE(c.access(0x400, 2), nullptr);
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, TwoWayHoldsBothConflictingLines)
+{
+    Cache c(smallCache(2));
+    c.insert(0x000, 1, Mesi::Shared);
+    c.insert(0x400, 2, Mesi::Shared);
+    EXPECT_NE(c.access(0x000, 1), nullptr);
+    EXPECT_NE(c.access(0x400, 2), nullptr);
+    EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(Cache, TrueLruEviction)
+{
+    Cache c(smallCache(2));
+    c.insert(0x000, 1, Mesi::Shared);
+    c.insert(0x400, 2, Mesi::Shared);
+    // Touch line 1 so line 2 becomes LRU.
+    c.access(0x000, 1);
+    CacheLine victim;
+    c.insert(0x800, 3, Mesi::Shared, &victim);
+    EXPECT_EQ(victim.lineAddr, 2u);
+    EXPECT_NE(c.probe(0x000, 1), nullptr);
+    EXPECT_EQ(c.probe(0x400, 2), nullptr);
+}
+
+TEST(Cache, ProbeDoesNotTouchLruOrStats)
+{
+    Cache c(smallCache(2));
+    c.insert(0x000, 1, Mesi::Shared);
+    c.insert(0x400, 2, Mesi::Shared);
+    std::uint64_t accesses = c.stats().accesses;
+    // Probing line 1 must not refresh it...
+    c.probe(0x000, 1);
+    EXPECT_EQ(c.stats().accesses, accesses);
+    // ...so after touching line 2, line 1 is the LRU victim.
+    c.access(0x400, 2);
+    CacheLine victim;
+    c.insert(0x800, 3, Mesi::Shared, &victim);
+    EXPECT_EQ(victim.lineAddr, 1u);
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c(smallCache());
+    c.insert(0x100, 4, Mesi::Modified);
+    EXPECT_TRUE(c.invalidate(0x100, 4));
+    EXPECT_FALSE(c.invalidate(0x100, 4));
+    EXPECT_EQ(c.access(0x100, 4), nullptr);
+    EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, VirtualIndexPhysicalTag)
+{
+    // Same physical line reachable through its virtual index only.
+    Cache c(smallCache(1));
+    c.insert(/*index*/ 0x3c0, /*phys line*/ 99, Mesi::Shared);
+    EXPECT_NE(c.probe(0x3c0, 99), nullptr);
+    // A different index addr maps to a different set: not found.
+    EXPECT_EQ(c.probe(0x000, 99), nullptr);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(smallCache());
+    c.insert(0, 1, Mesi::Shared);
+    c.access(0, 1);
+    c.reset();
+    EXPECT_EQ(c.access(0, 1), nullptr);
+    EXPECT_EQ(c.stats().accesses, 1u);
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(Cache, InsertDuplicatePanics)
+{
+    Cache c(smallCache(2));
+    c.insert(0, 1, Mesi::Shared);
+    EXPECT_THROW(c.insert(0, 1, Mesi::Shared), PanicError);
+}
+
+TEST(Cache, InsertInvalidStatePanics)
+{
+    Cache c(smallCache());
+    EXPECT_THROW(c.insert(0, 1, Mesi::Invalid), PanicError);
+}
+
+/** Property sweep: geometry invariants across configurations. */
+class CacheGeometry
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>>
+{};
+
+TEST_P(CacheGeometry, CapacityAndResidency)
+{
+    auto [size, assoc, line] = GetParam();
+    Cache c(CacheConfig{size, assoc, line});
+    std::uint64_t lines = size / line;
+
+    // Fill exactly to capacity with distinct, set-spread lines.
+    for (std::uint64_t i = 0; i < lines; i++)
+        c.insert(i * line, i, Mesi::Shared);
+    EXPECT_EQ(c.stats().evictions, 0u);
+
+    // Everything still resident.
+    for (std::uint64_t i = 0; i < lines; i++)
+        EXPECT_NE(c.probe(i * line, i), nullptr) << "line " << i;
+
+    // One more wave evicts exactly one per insertion.
+    for (std::uint64_t i = 0; i < lines; i++)
+        c.insert(i * line, lines + i, Mesi::Shared);
+    EXPECT_EQ(c.stats().evictions, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Combine(::testing::Values(1024u, 4096u, 128u * 1024u),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(32u, 64u)));
+
+} // namespace
+} // namespace cdpc

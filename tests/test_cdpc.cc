@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Tests for the CDPC core: ProcSet, Step 1 segments, Steps 2-3
+ * ordering, Steps 4-5 coloring, and the run-time facade, including
+ * the touch-order equivalence property of Section 5.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cdpc/runtime.h"
+#include "compiler/compiler.h"
+#include "vm/physmem.h"
+#include "vm/virtual_memory.h"
+#include "workloads/builder.h"
+
+namespace cdpc
+{
+namespace
+{
+
+// ---- ProcSet ---------------------------------------------------------------
+
+TEST(ProcSet, Basics)
+{
+    ProcSet s;
+    EXPECT_TRUE(s.empty());
+    s.add(3);
+    s.add(5);
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_FALSE(s.contains(4));
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_FALSE(s.singleton());
+    EXPECT_TRUE(ProcSet::single(7).singleton());
+    EXPECT_EQ(ProcSet::all(4).mask, 0b1111u);
+    EXPECT_EQ(s.str(), "{3,5}");
+}
+
+TEST(ProcSet, IntersectionAndOverlap)
+{
+    ProcSet a{0b0110}, b{0b0011}, c{0b1000};
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_EQ(a.overlap(b), 1u);
+    EXPECT_EQ(a.overlap(a), 2u);
+}
+
+// ---- Fixtures ---------------------------------------------------------------
+
+/**
+ * Two 16-page arrays row-partitioned over the CPUs, with shift
+ * communication on the first — the Figure 4 flavor.
+ */
+Program
+planProgram()
+{
+    ProgramBuilder b("plan");
+    std::uint32_t a = b.array2d("A", 16, 64); // 16 rows x 512B = 16 pages
+    std::uint32_t o = b.array2d("B", 16, 64);
+    Phase ph;
+    ph.name = "p";
+    LoopNest nest;
+    nest.label = "stencil";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {14, 64};
+    nest.instsPerIter = 200;
+    nest.refs = {
+        b.at2(a, 0, 1, 0, 0),
+        b.at2(a, 0, 1, 1, 0),
+        b.at2(o, 0, 1, 0, 0, true),
+    };
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    return p;
+}
+
+CdpcParams
+params(std::uint32_t ncpus, std::uint64_t colors = 8)
+{
+    CdpcParams prm;
+    prm.numCpus = ncpus;
+    prm.pageBytes = 512;
+    prm.numColors = colors;
+    return prm;
+}
+
+// ---- Step 1: segments --------------------------------------------------------
+
+TEST(Segments, SingleCpuIsOneSegmentPerArray)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    std::vector<Segment> segs = buildSegments(s, params(1));
+    ASSERT_EQ(segs.size(), 2u);
+    for (const Segment &seg : segs) {
+        EXPECT_EQ(seg.numPages, 16u);
+        EXPECT_EQ(seg.procs, ProcSet::single(0));
+    }
+}
+
+TEST(Segments, TwoCpusSplitWithBoundarySharing)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    std::vector<Segment> segs = buildSegments(s, params(2));
+
+    // Array A: rows 0-7 belong to cpu0; the a[i+1] ref makes cpu0
+    // also touch row 8 -> pages {0..7}:{0}, {8}:{0,1}, {9..15}:{1}.
+    std::map<std::uint32_t, std::vector<const Segment *>> by_array;
+    for (const Segment &seg : segs)
+        by_array[seg.arrayId].push_back(&seg);
+
+    ASSERT_EQ(by_array[0].size(), 3u);
+    EXPECT_EQ(by_array[0][0]->numPages, 8u);
+    EXPECT_EQ(by_array[0][0]->procs, ProcSet::single(0));
+    EXPECT_EQ(by_array[0][1]->numPages, 1u);
+    EXPECT_EQ(by_array[0][1]->procs.mask, 0b11u);
+    EXPECT_EQ(by_array[0][2]->numPages, 7u);
+    EXPECT_EQ(by_array[0][2]->procs, ProcSet::single(1));
+
+    // Array B has no communication: a clean two-way split.
+    ASSERT_EQ(by_array[1].size(), 2u);
+    EXPECT_EQ(by_array[1][0]->numPages, 8u);
+    EXPECT_EQ(by_array[1][1]->numPages, 8u);
+}
+
+TEST(Segments, UnanalyzableArrayProducesNoSegments)
+{
+    Program p = planProgram();
+    p.arrays[0].summarizable = false;
+    AccessSummaries s = analyzeProgram(p);
+    std::vector<Segment> segs = buildSegments(s, params(2));
+    for (const Segment &seg : segs)
+        EXPECT_EQ(seg.arrayId, 1u);
+}
+
+TEST(Segments, ReplicatedArrayGetsFullProcSet)
+{
+    Program p = planProgram();
+    // Strip the parallel-dim dependence: array A replicated.
+    LoopNest &nest = p.steady[0].nests[0];
+    nest.refs = {nest.refs[0]};
+    nest.refs[0].terms = {{1, 1}};
+    AccessSummaries s = analyzeProgram(p);
+    std::vector<Segment> segs = buildSegments(s, params(4));
+    bool found_a = false;
+    for (const Segment &seg : segs) {
+        if (seg.arrayId == 0) {
+            found_a = true;
+            EXPECT_EQ(seg.procs, ProcSet::all(4));
+        }
+    }
+    EXPECT_TRUE(found_a);
+}
+
+TEST(Segments, RotateCommMarksWrapAroundBoundaries)
+{
+    Program p = planProgram();
+    // Declare periodic (rotate) communication on array A.
+    p.declaredComms.push_back(DeclaredComm{0, true, 1});
+    AccessSummaries s = analyzeProgram(p);
+    std::vector<Segment> segs = buildSegments(s, params(4));
+
+    // With 4 CPUs and rotate comm, CPU 3 also touches CPU 0's first
+    // unit and CPU 0 touches CPU 3's last: the first and last pages
+    // of array A are shared between CPUs 0 and 3.
+    const Segment *first = nullptr, *last = nullptr;
+    for (const Segment &seg : segs) {
+        if (seg.arrayId != 0)
+            continue;
+        if (!first || seg.firstVpn < first->firstVpn)
+            first = &seg;
+        if (!last || seg.lastVpn() > last->lastVpn())
+            last = &seg;
+    }
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(last, nullptr);
+    EXPECT_TRUE(first->procs.contains(0));
+    EXPECT_TRUE(first->procs.contains(3));
+    EXPECT_TRUE(last->procs.contains(3));
+    EXPECT_TRUE(last->procs.contains(0));
+}
+
+TEST(Segments, PagesCoveredExactlyOnce)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    for (std::uint32_t ncpus : {1u, 2u, 4u, 8u}) {
+        std::vector<Segment> segs = buildSegments(s, params(ncpus));
+        std::set<PageNum> seen;
+        for (const Segment &seg : segs) {
+            for (std::uint64_t i = 0; i < seg.numPages; i++) {
+                PageNum v = seg.firstVpn + i;
+                EXPECT_TRUE(seen.insert(v).second)
+                    << "page " << v << " duplicated at " << ncpus;
+            }
+        }
+        EXPECT_EQ(seen.size(), 32u) << "ncpus " << ncpus;
+    }
+}
+
+// ---- Steps 2-3: ordering -------------------------------------------------------
+
+TEST(Ordering, GroupsByProcSet)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    std::vector<Segment> segs = buildSegments(s, params(2));
+    std::vector<UniformSet> sets = groupIntoSets(segs);
+    // {0}, {0,1}, {1}
+    EXPECT_EQ(sets.size(), 3u);
+    std::size_t total = 0;
+    for (const UniformSet &set : sets)
+        total += set.segIds.size();
+    EXPECT_EQ(total, segs.size());
+}
+
+TEST(Ordering, PathStartsWithSingletonAndClusters)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    std::vector<Segment> segs = buildSegments(s, params(2));
+    std::vector<UniformSet> sets =
+        orderUniformSets(groupIntoSets(segs));
+    ASSERT_EQ(sets.size(), 3u);
+    EXPECT_TRUE(sets.front().procs.singleton());
+    // The shared {0,1} set sits between the two singletons (the
+    // paper's Figure 4(b) shape).
+    EXPECT_EQ(sets[1].procs.count(), 2u);
+    EXPECT_TRUE(sets[2].procs.singleton());
+    EXPECT_NE(sets[0].procs, sets[2].procs);
+}
+
+TEST(Ordering, SegmentsWithinSetFollowGroupGraph)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    std::vector<Segment> segs = buildSegments(s, params(2));
+    std::vector<UniformSet> sets =
+        orderUniformSets(groupIntoSets(segs));
+    orderSegmentsWithinSets(sets, segs, s.groups);
+    // Within each set, the first segment has the smallest address.
+    for (const UniformSet &set : sets) {
+        ASSERT_FALSE(set.segIds.empty());
+        PageNum first = segs[set.segIds[0]].firstVpn;
+        for (std::size_t id : set.segIds)
+            EXPECT_GE(segs[id].firstVpn, first);
+    }
+}
+
+// ---- Steps 4-5: coloring -------------------------------------------------------
+
+TEST(Coloring, RoundRobinColors)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    CdpcParams prm = params(2);
+    CdpcPlan plan = computeCdpcPlan(s, prm);
+    ASSERT_EQ(plan.coloring.hints.size(), 32u);
+    for (std::size_t i = 0; i < plan.coloring.hints.size(); i++) {
+        EXPECT_EQ(plan.coloring.hints[i].color,
+                  static_cast<Color>(i % prm.numColors));
+    }
+}
+
+TEST(Coloring, EveryPageHintedExactlyOnce)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    CdpcPlan plan = computeCdpcPlan(s, params(4));
+    std::set<PageNum> pages(plan.coloring.pageOrder.begin(),
+                            plan.coloring.pageOrder.end());
+    EXPECT_EQ(pages.size(), plan.coloring.pageOrder.size());
+    EXPECT_EQ(pages.size(), 32u);
+}
+
+TEST(Coloring, RotationIsCyclicShiftOfSegmentPages)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    CdpcPlan plan = computeCdpcPlan(s, params(2));
+    // Reconstruct each segment's emitted order and verify it is a
+    // rotation of its ascending page range.
+    std::size_t cursor = 0;
+    for (std::size_t id : plan.coloring.segmentOrder) {
+        const Segment &seg = plan.segments[id];
+        std::uint64_t rot = plan.coloring.rotation[id];
+        for (std::uint64_t i = 0; i < seg.numPages; i++) {
+            PageNum expect =
+                seg.firstVpn + (rot + i) % seg.numPages;
+            EXPECT_EQ(plan.coloring.pageOrder[cursor + i], expect);
+        }
+        cursor += seg.numPages;
+    }
+}
+
+TEST(Coloring, CyclicAssignmentSpreadsConflictingStarts)
+{
+    // Two arrays used together by the same CPU, each a whole number
+    // of cache spans: without Step 4 their start colors coincide.
+    ProgramBuilder b("spread");
+    std::uint32_t x = b.array1d("x", 8 * 512 / 8); // 8 pages
+    std::uint32_t y = b.array1d("y", 8 * 512 / 8);
+    Phase ph;
+    ph.name = "p";
+    LoopNest nest;
+    nest.label = "n";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {512};
+    nest.instsPerIter = 200;
+    nest.refs = {b.at1(x, 0), b.at1(y, 0, 1, 0, true)};
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    AccessSummaries s = analyzeProgram(p);
+
+    CdpcParams prm = params(1, /*colors*/ 8);
+    CdpcOptions with;
+    CdpcOptions without;
+    without.cyclicAssignment = false;
+    CdpcPlan plan_on = computeCdpcPlan(s, prm, with);
+    CdpcPlan plan_off = computeCdpcPlan(s, prm, without);
+
+    ASSERT_EQ(plan_on.segments.size(), 2u);
+    // Without Step 4 both 8-page segments start at color 0.
+    EXPECT_EQ(plan_off.coloring.startColor[0],
+              plan_off.coloring.startColor[1]);
+    // With Step 4 the starts are spread apart.
+    EXPECT_NE(plan_on.coloring.startColor[0],
+              plan_on.coloring.startColor[1]);
+}
+
+// ---- Runtime facade -------------------------------------------------------------
+
+TEST(Runtime, ParamsFromMachineConfig)
+{
+    MachineConfig m = MachineConfig::paperScaled(8);
+    CdpcParams prm = cdpcParams(m);
+    EXPECT_EQ(prm.numCpus, 8u);
+    EXPECT_EQ(prm.pageBytes, 512u);
+    EXPECT_EQ(prm.numColors, 256u);
+}
+
+TEST(Runtime, ApplyHintsInstallsAll)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    CdpcPlan plan = computeCdpcPlan(s, params(2));
+    PageColoringPolicy base(8);
+    CdpcHintPolicy policy(base);
+    applyHints(plan, policy);
+    EXPECT_EQ(policy.numHints(), 32u);
+    // Faulting a hinted page returns the plan's color.
+    const ColorHint &h = plan.coloring.hints[5];
+    EXPECT_EQ(policy.preferredColor({h.vpn, 0, 1}), h.color);
+}
+
+/**
+ * The Section 5.3 equivalence: touching pages in coloring order on a
+ * bin-hopping kernel yields exactly the hinted colors, up to one
+ * constant rotation of the whole color space.
+ */
+TEST(Runtime, TouchOrderEquivalentToHintsUpToRotation)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    MachineConfig m = MachineConfig::paperScaled(4);
+    CdpcPlan plan = computeCdpcPlan(s, cdpcParams(m));
+
+    PhysMem phys(m.physPages, m.numColors());
+    BinHoppingPolicy binhop(m.numColors(), false);
+    VirtualMemory vm(m, phys, binhop);
+    applyByTouchOrder(plan, vm);
+
+    ASSERT_FALSE(plan.coloring.hints.empty());
+    std::uint64_t colors = m.numColors();
+    const ColorHint &first = plan.coloring.hints[0];
+    std::uint64_t shift =
+        (vm.colorOf(first.vpn * m.pageBytes) + colors - first.color) %
+        colors;
+    for (const ColorHint &h : plan.coloring.hints) {
+        EXPECT_EQ(vm.colorOf(h.vpn * m.pageBytes),
+                  (h.color + shift) % colors)
+            << "vpn " << h.vpn;
+    }
+}
+
+TEST(Runtime, GreedyOrderingOffStillColorsEverything)
+{
+    Program p = planProgram();
+    AccessSummaries s = analyzeProgram(p);
+    CdpcOptions opts;
+    opts.greedyOrdering = false;
+    CdpcPlan plan = computeCdpcPlan(s, params(4), opts);
+    EXPECT_EQ(plan.coloring.hints.size(), 32u);
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for logging, statistics, tables and the RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace cdpc
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    try {
+        panic("value=", 7);
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: value=7");
+    }
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    try {
+        fatal("n=", 3, " too big");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: n=3 too big");
+    }
+}
+
+TEST(Logging, ConditionalHelpers)
+{
+    EXPECT_NO_THROW(panicIfNot(true, "fine"));
+    EXPECT_THROW(panicIfNot(false, "bad"), PanicError);
+    EXPECT_NO_THROW(fatalIf(false, "fine"));
+    EXPECT_THROW(fatalIf(true, "bad"), FatalError);
+}
+
+TEST(Logging, QuietToggle)
+{
+    bool was = isQuiet();
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    warn("should be invisible");
+    inform("also invisible");
+    setQuiet(was);
+}
+
+TEST(Distribution, Basic)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    EXPECT_NEAR(d.stddev(), 1.63299, 1e-4);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Distribution, SingleSampleHasZeroStddev)
+{
+    Distribution d;
+    d.sample(5.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(4, 10.0);
+    h.sample(0.0);
+    h.sample(9.9);
+    h.sample(10.0);
+    h.sample(35.0);
+    h.sample(1000.0); // clamps into the last bucket
+    h.sample(-3.0);   // clamps into the first
+    EXPECT_EQ(h.bucketCount(0), 3u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 2u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, RejectsBadShape)
+{
+    EXPECT_THROW(Histogram(0, 1.0), FatalError);
+    EXPECT_THROW(Histogram(4, 0.0), FatalError);
+}
+
+TEST(GeometricMean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geometricMean({1.0, 4.0}), 2.0);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_THROW(geometricMean({}), FatalError);
+    EXPECT_THROW(geometricMean({1.0, 0.0}), FatalError);
+    EXPECT_THROW(geometricMean({-1.0}), FatalError);
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(0), "0B");
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(2048), "2KB");
+    EXPECT_EQ(formatBytes(128 * 1024), "128KB");
+    EXPECT_EQ(formatBytes(14 * 1024 * 1024), "14.0MB");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(formatPercent(0.5), "50.0%");
+    EXPECT_EQ(formatPercent(0.123, 2), "12.30%");
+}
+
+TEST(TextTable, RendersAligned)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "123"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Numeric cells right-align.
+    EXPECT_NE(out.find("  1 |"), std::string::npos);
+}
+
+TEST(TextTable, EnforcesArity)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+    EXPECT_THROW(TextTable({}), FatalError);
+}
+
+TEST(TextTable, SeparatorRows)
+{
+    TextTable t({"x"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // Header separator plus the explicit one.
+    std::size_t first = out.find("|---");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(out.find("|---", first + 1), std::string::npos);
+}
+
+TEST(TextBar, Proportional)
+{
+    EXPECT_EQ(textBar(0.0, 10.0, 10), "          ");
+    EXPECT_EQ(textBar(10.0, 10.0, 10), "##########");
+    EXPECT_EQ(textBar(5.0, 10.0, 10), "#####     ");
+    // Values beyond max clamp.
+    EXPECT_EQ(textBar(20.0, 10.0, 4), "####");
+}
+
+TEST(Format, ThousandsSeparators)
+{
+    EXPECT_EQ(fmtI(0), "0");
+    EXPECT_EQ(fmtI(999), "999");
+    EXPECT_EQ(fmtI(1000), "1,000");
+    EXPECT_EQ(fmtI(1234567), "1,234,567");
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; i++) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ZeroSeedStillWorks)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for the compiler passes: access-pattern analysis,
+ * parallelizer suppression, prefetch insertion, alignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compiler/compiler.h"
+#include "workloads/builder.h"
+
+namespace cdpc
+{
+namespace
+{
+
+/** A program with one row-partitioned stencil over two arrays. */
+Program
+analysisProgram()
+{
+    ProgramBuilder b("analysis");
+    std::uint32_t a = b.array2d("a", 32, 64);
+    std::uint32_t o = b.array2d("o", 32, 64);
+    Phase ph;
+    ph.name = "p";
+    LoopNest nest;
+    nest.label = "stencil";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {30, 64};
+    nest.instsPerIter = 100;
+    nest.refs = {
+        b.at2(a, 0, 1, 0, 0),
+        b.at2(a, 0, 1, -1, 0), // reads the lower neighbour's row
+        b.at2(o, 0, 1, 0, 0, true),
+    };
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    return p;
+}
+
+// ---- Analysis ---------------------------------------------------------------
+
+TEST(Analysis, PartitionUnitIsRowBytes)
+{
+    Program p = analysisProgram();
+    AccessSummaries s = analyzeProgram(p);
+    ASSERT_EQ(s.partitions.size(), 2u);
+    for (const ArrayPartitionSummary &part : s.partitions) {
+        EXPECT_EQ(part.unitBytes, 64u * 8u);
+        EXPECT_EQ(part.numUnits, 32u);
+        EXPECT_EQ(part.policy, PartitionPolicy::Even);
+        EXPECT_EQ(part.sizeBytes, 32u * 64u * 8u);
+    }
+}
+
+TEST(Analysis, ShiftCommDetectedWithDirection)
+{
+    Program p = analysisProgram();
+    AccessSummaries s = analyzeProgram(p);
+    ASSERT_EQ(s.comms.size(), 1u);
+    EXPECT_EQ(s.comms[0].arrayId, p.arrayId("a"));
+    EXPECT_EQ(s.comms[0].type, CommType::Shift);
+    EXPECT_EQ(s.comms[0].boundaryUnits, 1u);
+    EXPECT_EQ(s.comms[0].dir, CommDir::Low);
+}
+
+TEST(Analysis, BothDirectionsMerge)
+{
+    Program p = analysisProgram();
+    AffineRef up = p.steady[0].nests[0].refs[1];
+    up.constElems = 64; // also read the upper neighbour
+    p.steady[0].nests[0].refs.push_back(up);
+    AccessSummaries s = analyzeProgram(p);
+    ASSERT_EQ(s.comms.size(), 1u);
+    EXPECT_EQ(s.comms[0].dir, CommDir::Both);
+}
+
+TEST(Analysis, GroupAccessPairs)
+{
+    Program p = analysisProgram();
+    AccessSummaries s = analyzeProgram(p);
+    ASSERT_EQ(s.groups.size(), 1u);
+    GroupAccessPair g = s.groups[0];
+    EXPECT_TRUE((g.arrayA == 0 && g.arrayB == 1) ||
+                (g.arrayA == 1 && g.arrayB == 0));
+}
+
+TEST(Analysis, DuplicatePartitionsDeduped)
+{
+    Program p = analysisProgram();
+    // Clone the nest: same partitions should not duplicate.
+    p.steady[0].nests.push_back(p.steady[0].nests[0]);
+    AccessSummaries s = analyzeProgram(p);
+    EXPECT_EQ(s.partitions.size(), 2u);
+}
+
+TEST(Analysis, WrappedRefMarksArrayUnanalyzable)
+{
+    Program p = analysisProgram();
+    AffineRef &r = p.steady[0].nests[0].refs[0];
+    r.wrapModElems = 2048;
+    AccessSummaries s = analyzeProgram(p);
+    EXPECT_FALSE(s.isAnalyzable(0));
+    EXPECT_TRUE(s.isAnalyzable(1));
+    // No partition survives for array 0.
+    for (const ArrayPartitionSummary &part : s.partitions)
+        EXPECT_NE(part.arrayId, 0u);
+}
+
+TEST(Analysis, AuthorFlaggedArrayUnanalyzable)
+{
+    Program p = analysisProgram();
+    p.arrays[1].summarizable = false;
+    AccessSummaries s = analyzeProgram(p);
+    EXPECT_FALSE(s.isAnalyzable(1));
+}
+
+TEST(Analysis, MidDimensionPartitionSkipped)
+{
+    Program p = analysisProgram();
+    // Make the parallel loop drive the *column* index (smaller
+    // stride than the row term): footprint not contiguous, so no
+    // partition summary may be emitted.
+    LoopNest &nest = p.steady[0].nests[0];
+    nest.refs = {nest.refs[0]};
+    nest.refs[0].terms = {{0, 1}, {1, 64}};
+    AccessSummaries s = analyzeProgram(p);
+    EXPECT_TRUE(s.partitions.empty());
+}
+
+TEST(Analysis, ReplicatedAccessYieldsNoPartition)
+{
+    Program p = analysisProgram();
+    LoopNest &nest = p.steady[0].nests[0];
+    // Remove the parallel-dim dependence from all refs to array a.
+    nest.refs = {nest.refs[0]};
+    nest.refs[0].terms = {{1, 1}};
+    AccessSummaries s = analyzeProgram(p);
+    EXPECT_TRUE(s.partitions.empty());
+    EXPECT_TRUE(s.isAnalyzable(0));
+}
+
+TEST(Analysis, ArrayExtentsReported)
+{
+    Program p = analysisProgram();
+    AccessSummaries s = analyzeProgram(p);
+    ASSERT_EQ(s.arrays.size(), 2u);
+    EXPECT_EQ(s.arrays[0].start, p.arrays[0].base);
+    EXPECT_EQ(s.arrays[0].sizeBytes, p.arrays[0].sizeBytes());
+    EXPECT_TRUE(s.arrays[0].analyzable);
+}
+
+TEST(Analysis, DeclaredRotateCommIncluded)
+{
+    Program p = analysisProgram();
+    p.declaredComms.push_back(DeclaredComm{p.arrayId("o"), true, 1});
+    AccessSummaries s = analyzeProgram(p);
+    bool found = false;
+    for (const CommPatternSummary &c : s.comms) {
+        if (c.arrayId == p.arrayId("o")) {
+            found = true;
+            EXPECT_EQ(c.type, CommType::Rotate);
+            EXPECT_EQ(c.dir, CommDir::Both);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, DeclaredCommMergesWithDetected)
+{
+    Program p = analysisProgram();
+    // Array "a" already has a detected Shift; declaring a wider one
+    // merges rather than duplicates.
+    p.declaredComms.push_back(DeclaredComm{p.arrayId("a"), false, 2});
+    AccessSummaries s = analyzeProgram(p);
+    int count = 0;
+    for (const CommPatternSummary &c : s.comms) {
+        if (c.arrayId == p.arrayId("a") && c.type == CommType::Shift) {
+            count++;
+            EXPECT_EQ(c.boundaryUnits, 2u);
+            EXPECT_EQ(c.dir, CommDir::Both);
+        }
+    }
+    EXPECT_EQ(count, 1);
+}
+
+TEST(Analysis, DeclaredCommBadArrayRejected)
+{
+    Program p = analysisProgram();
+    p.declaredComms.push_back(DeclaredComm{99, true, 1});
+    EXPECT_THROW(analyzeProgram(p), FatalError);
+}
+
+// ---- Parallelizer -------------------------------------------------------------
+
+TEST(Parallelizer, SuppressesFineGrainNests)
+{
+    Program p = analysisProgram();
+    LoopNest tiny = p.steady[0].nests[0];
+    tiny.label = "tiny";
+    tiny.bounds = {4, 4};
+    p.steady[0].nests.push_back(tiny);
+    ParallelizerResult r = parallelize(p);
+    EXPECT_EQ(r.parallelNests, 1u);
+    EXPECT_EQ(r.suppressedNests, 1u);
+    EXPECT_EQ(p.steady[0].nests[1].kind, NestKind::Suppressed);
+    EXPECT_EQ(p.steady[0].nests[0].kind, NestKind::Parallel);
+}
+
+TEST(Parallelizer, SequentialNestsUntouched)
+{
+    Program p = analysisProgram();
+    p.steady[0].nests[0].kind = NestKind::Sequential;
+    ParallelizerResult r = parallelize(p);
+    EXPECT_EQ(r.sequentialNests, 1u);
+    EXPECT_EQ(p.steady[0].nests[0].kind, NestKind::Sequential);
+}
+
+TEST(Parallelizer, ThresholdConfigurable)
+{
+    Program p = analysisProgram();
+    ParallelizerOptions opts;
+    opts.suppressionThresholdInsts = 1ULL << 40;
+    parallelize(p, opts);
+    EXPECT_EQ(p.steady[0].nests[0].kind, NestKind::Suppressed);
+}
+
+// ---- Prefetcher -------------------------------------------------------------
+
+Program
+prefetchProgram()
+{
+    ProgramBuilder b("pf");
+    std::uint32_t big = b.array2d("big", 512, 512);   // 2MB
+    std::uint32_t small = b.array1d("small", 128);    // 1KB
+    Phase ph;
+    ph.name = "p";
+    LoopNest nest;
+    nest.label = "sweep";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {512, 512};
+    nest.instsPerIter = 8;
+    nest.refs = {
+        b.at2(big, 0, 1, 0, 0),
+        b.at2(big, 0, 1, 0, 1), // group partner < 1 line away
+        b.at1(small, 1, 0, 5),  // zero innermost stride
+    };
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    return p;
+}
+
+TEST(Prefetcher, AnnotatesLeadingBigArrayRef)
+{
+    Program p = prefetchProgram();
+    PrefetcherResult r = insertPrefetches(p);
+    EXPECT_EQ(r.refsAnnotated, 1u);
+    EXPECT_GT(p.steady[0].nests[0].refs[0].prefetchDistLines, 0u);
+    EXPECT_FALSE(p.steady[0].nests[0].refs[0].prefetchLate);
+}
+
+TEST(Prefetcher, SkipsGroupReuse)
+{
+    Program p = prefetchProgram();
+    PrefetcherResult r = insertPrefetches(p);
+    EXPECT_EQ(r.refsSkippedGroupReuse, 1u);
+    EXPECT_EQ(p.steady[0].nests[0].refs[1].prefetchDistLines, 0u);
+}
+
+TEST(Prefetcher, SkipsZeroStrideAndSmallArrays)
+{
+    Program p = prefetchProgram();
+    PrefetcherResult r = insertPrefetches(p);
+    EXPECT_EQ(r.refsSkippedSmallArray, 1u);
+    EXPECT_EQ(p.steady[0].nests[0].refs[2].prefetchDistLines, 0u);
+    (void)r;
+}
+
+TEST(Prefetcher, DistanceCoversLatency)
+{
+    Program p = prefetchProgram();
+    PrefetcherOptions opts;
+    opts.targetLatency = 400;
+    insertPrefetches(p, opts);
+    // 8 insts/iter, 8 elems/line -> 64 insts/line; 400/64 + 1 = 8.
+    EXPECT_EQ(p.steady[0].nests[0].refs[0].prefetchDistLines, 7u + 1u);
+}
+
+TEST(Prefetcher, InhibitedNestsGetLatePrefetch)
+{
+    Program p = prefetchProgram();
+    p.steady[0].nests[0].prefetchPipelineInhibited = true;
+    insertPrefetches(p);
+    const AffineRef &r = p.steady[0].nests[0].refs[0];
+    EXPECT_EQ(r.prefetchDistLines, 1u);
+    EXPECT_TRUE(r.prefetchLate);
+}
+
+TEST(Prefetcher, ClearRemovesAnnotations)
+{
+    Program p = prefetchProgram();
+    insertPrefetches(p);
+    clearPrefetches(p);
+    for (const AffineRef &r : p.steady[0].nests[0].refs) {
+        EXPECT_EQ(r.prefetchDistLines, 0u);
+        EXPECT_FALSE(r.prefetchLate);
+    }
+}
+
+// ---- Aligner -------------------------------------------------------------
+
+TEST(Aligner, PartnersGetDistinctL1Offsets)
+{
+    ProgramBuilder b("align");
+    // Three arrays exactly one L1 span each: without padding they
+    // would all start at L1 offset 0.
+    std::vector<std::uint32_t> ids;
+    for (const char *nm : {"x", "y", "z"})
+        ids.push_back(b.array1d(nm, 2048 / 8));
+    Phase ph;
+    ph.name = "p";
+    LoopNest nest;
+    nest.label = "n";
+    nest.kind = NestKind::Parallel;
+    nest.bounds = {256};
+    nest.instsPerIter = 400;
+    for (std::uint32_t id : ids)
+        nest.refs.push_back(b.at1(id, 0));
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+
+    AccessSummaries pre = analyzeProgram(p);
+    AlignerOptions opts;
+    opts.l1SpanBytes = 2048;
+    LayoutOptions layout = computeAlignedLayout(p, pre.groups, opts);
+    assignAddresses(p, layout);
+
+    std::set<std::uint64_t> offsets;
+    for (const ArrayDecl &a : p.arrays) {
+        EXPECT_EQ(a.base % opts.lineBytes, 0u);
+        offsets.insert(a.base % opts.l1SpanBytes);
+    }
+    EXPECT_EQ(offsets.size(), p.arrays.size());
+}
+
+TEST(Aligner, UnalignedLayoutIsUnaligned)
+{
+    LayoutOptions layout = computeUnalignedLayout();
+    EXPECT_TRUE(layout.deliberatelyUnaligned);
+    EXPECT_FALSE(layout.alignToLine);
+}
+
+// ---- Driver ---------------------------------------------------------------
+
+TEST(CompilerDriver, EndToEnd)
+{
+    Program p = analysisProgram();
+    CompilerOptions opts;
+    opts.prefetch = true;
+    // The test arrays are small; lower the selectivity bar.
+    opts.prefetcher.minArrayBytes = 1024;
+    CompileResult res = compileProgram(p, opts);
+    EXPECT_FALSE(res.summaries.partitions.empty());
+    EXPECT_GT(res.prefetcher.refsAnnotated, 0u);
+    EXPECT_GT(p.arrays[0].base, 0u);
+    // Summaries carry post-layout addresses.
+    EXPECT_EQ(res.summaries.partitions[0].start,
+              p.arrays[res.summaries.partitions[0].arrayId].base);
+}
+
+TEST(CompilerDriver, NoPrefetchClearsAnnotations)
+{
+    Program p = analysisProgram();
+    CompilerOptions with;
+    with.prefetch = true;
+    compileProgram(p, with);
+    CompilerOptions without;
+    compileProgram(p, without);
+    for (const AffineRef &r : p.steady[0].nests[0].refs)
+        EXPECT_EQ(r.prefetchDistLines, 0u);
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for MachineConfig: preset geometry, the color formula (the
+ * paper's Section 2.1 arithmetic), and validation of every rejection
+ * branch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "machine/config.h"
+
+namespace cdpc
+{
+namespace
+{
+
+TEST(MachineConfig, PaperColorFormula)
+{
+    // "in a system with a 1MB cache and 4KB page size, there are 256
+    //  colors if the cache is direct-mapped, and 128 if the cache is
+    //  two-way set-associative."
+    MachineConfig m = MachineConfig::paperFull(1);
+    EXPECT_EQ(m.numColors(), 256u);
+    m.l2.assoc = 2;
+    EXPECT_EQ(m.numColors(), 128u);
+}
+
+TEST(MachineConfig, ScaledPresetKeepsColors)
+{
+    EXPECT_EQ(MachineConfig::paperScaled(8).numColors(), 256u);
+    EXPECT_EQ(MachineConfig::paperScaledTwoWay(8).numColors(), 128u);
+    EXPECT_EQ(MachineConfig::paperScaledBig(8).numColors(), 1024u);
+    EXPECT_EQ(MachineConfig::alphaScaled(8).numColors(), 1024u);
+}
+
+TEST(MachineConfig, PresetsValidate)
+{
+    for (std::uint32_t p : {1u, 2u, 16u}) {
+        EXPECT_NO_THROW(MachineConfig::paperScaled(p).validate());
+        EXPECT_NO_THROW(MachineConfig::paperScaledTwoWay(p).validate());
+        EXPECT_NO_THROW(MachineConfig::paperScaledBig(p).validate());
+        EXPECT_NO_THROW(MachineConfig::alphaScaled(p).validate());
+        EXPECT_NO_THROW(MachineConfig::paperFull(p).validate());
+    }
+}
+
+TEST(MachineConfig, LinesPerPage)
+{
+    MachineConfig m = MachineConfig::paperScaled(1);
+    EXPECT_EQ(m.linesPerPage(), 512u / 64u);
+    EXPECT_EQ(MachineConfig::paperFull(1).linesPerPage(),
+              4096u / 128u);
+}
+
+TEST(MachineConfig, CacheGeometryHelpers)
+{
+    CacheConfig c{128 * 1024, 2, 64};
+    EXPECT_EQ(c.numLines(), 2048u);
+    EXPECT_EQ(c.numSets(), 1024u);
+}
+
+class ConfigRejection : public ::testing::Test
+{
+  protected:
+    MachineConfig m = MachineConfig::paperScaled(2);
+};
+
+TEST_F(ConfigRejection, ZeroCpus)
+{
+    m.numCpus = 0;
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST_F(ConfigRejection, NonPowerOfTwoPage)
+{
+    m.pageBytes = 500;
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST_F(ConfigRejection, ZeroCacheSize)
+{
+    m.l2.sizeBytes = 0;
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST_F(ConfigRejection, NonPowerOfTwoLine)
+{
+    m.l1d.lineBytes = 48;
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST_F(ConfigRejection, ZeroAssoc)
+{
+    m.l2.assoc = 0;
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST_F(ConfigRejection, CacheNotMultipleOfWaySize)
+{
+    m.l2.sizeBytes = 96 * 1024;
+    m.l2.assoc = 1;
+    m.l2.lineBytes = 64;
+    // 96KB / 64B = 1536 sets: not a power of two.
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST_F(ConfigRejection, CacheNotMultipleOfPageTimesAssoc)
+{
+    m.pageBytes = 512;
+    m.l2.sizeBytes = 64 * 1024;
+    m.l2.assoc = 1;
+    m.l2.lineBytes = 64;
+    m.physPages = 1024;
+    EXPECT_NO_THROW(m.validate());
+    m.pageBytes = 2048;
+    m.l1d.lineBytes = 64;
+    // 64KB / (2KB * 1) = 32 colors: fine. Break it instead with a
+    // page larger than the cache span per way times assoc.
+    m.l2.sizeBytes = 1024; // smaller than the page
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST_F(ConfigRejection, PageNotMultipleOfLine)
+{
+    m.pageBytes = 32; // smaller than the 64B line
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST_F(ConfigRejection, TooFewPhysPages)
+{
+    m.physPages = 4; // fewer than numColors()
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for IR execution: RunGenerator and RunCursor, including the
+ * conservation properties that line coalescing must preserve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ir/exec.h"
+#include "ir/layout.h"
+#include "workloads/builder.h"
+
+namespace cdpc
+{
+namespace
+{
+
+/** A 2-array program with one 2-D parallel stencil nest. */
+Program
+stencilProgram(std::uint64_t rows = 8, std::uint64_t cols = 16)
+{
+    ProgramBuilder b("exec-test");
+    std::uint32_t a = b.array2d("a", rows, cols);
+    std::uint32_t o = b.array2d("o", rows, cols);
+    Phase ph;
+    ph.name = "p";
+    LoopNest nest;
+    nest.label = "stencil";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {rows, cols};
+    nest.instsPerIter = 10;
+    nest.refs = {b.at2(a, 0, 1, 0, 0), b.at2(o, 0, 1, 0, 0, true)};
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    return p;
+}
+
+TEST(RunGenerator, RunCountEqualsOuterItersTimesRefs)
+{
+    Program p = stencilProgram(8, 16);
+    RunGenerator gen(p, p.steady[0].nests[0], 0, 1);
+    cdpc::Run run;
+    int count = 0;
+    while (gen.next(run))
+        count++;
+    EXPECT_EQ(count, 8 * 2); // 8 rows x 2 refs
+}
+
+TEST(RunGenerator, RunShapeMatchesNest)
+{
+    Program p = stencilProgram(8, 16);
+    RunGenerator gen(p, p.steady[0].nests[0], 0, 1);
+    cdpc::Run run;
+    ASSERT_TRUE(gen.next(run));
+    EXPECT_EQ(run.count, 16u);           // full innermost extent
+    EXPECT_EQ(run.strideBytes, 8);       // unit stride doubles
+    EXPECT_EQ(run.start, p.arrays[0].base);
+    EXPECT_TRUE(gen.next(run));
+    EXPECT_TRUE(run.isWrite);            // second ref writes o
+    EXPECT_EQ(run.start, p.arrays[1].base);
+}
+
+TEST(RunGenerator, ParallelSliceRestrictsRows)
+{
+    Program p = stencilProgram(8, 16);
+    // CPU 1 of 4 gets rows [2, 4).
+    RunGenerator gen(p, p.steady[0].nests[0], 1, 4);
+    cdpc::Run run;
+    ASSERT_TRUE(gen.next(run));
+    EXPECT_EQ(run.start, p.arrays[0].base + 2 * 16 * 8);
+    int count = 1;
+    while (gen.next(run))
+        count++;
+    EXPECT_EQ(count, 2 * 2); // 2 rows x 2 refs
+}
+
+TEST(RunGenerator, IdleCpuProducesNothing)
+{
+    Program p = stencilProgram(2, 16);
+    RunGenerator gen(p, p.steady[0].nests[0], 3, 4); // extent 2 < cpu 3
+    cdpc::Run run;
+    EXPECT_FALSE(gen.next(run));
+}
+
+TEST(RunGenerator, ComputeOnlyNestYieldsInstructionRuns)
+{
+    Program p = stencilProgram();
+    LoopNest &nest = p.steady[0].nests[0];
+    nest.refs.clear();
+    RunGenerator gen(p, nest, 0, 1);
+    cdpc::Run run;
+    Insts total = 0;
+    int runs = 0;
+    while (gen.next(run)) {
+        EXPECT_EQ(run.ref, nullptr);
+        total += run.insts;
+        runs++;
+    }
+    EXPECT_EQ(runs, 8);
+    EXPECT_EQ(total, 8u * 16u * 10u);
+}
+
+// ---- RunCursor -------------------------------------------------------------
+
+struct Trace
+{
+    std::uint64_t elems = 0;
+    Insts insts = 0;
+    std::set<std::uint64_t> lines;
+    std::map<std::uint64_t, std::uint32_t> wordMaskByLine;
+};
+
+Trace
+drain(const Program &p, const LoopNest &nest, CpuId cpu,
+      std::uint32_t ncpus, std::uint32_t line_bytes = 64)
+{
+    RunCursor cur(p, nest, cpu, ncpus, line_bytes);
+    LineAccess la;
+    Trace t;
+    while (cur.next(la)) {
+        t.elems += la.elems;
+        t.insts += la.insts;
+        if (la.elems) {
+            t.lines.insert(la.va / line_bytes);
+            t.wordMaskByLine[la.va / line_bytes] |= la.wordMask;
+        }
+    }
+    return t;
+}
+
+TEST(RunCursor, ElementConservation)
+{
+    Program p = stencilProgram(8, 16);
+    Trace t = drain(p, p.steady[0].nests[0], 0, 1);
+    EXPECT_EQ(t.elems, 8u * 16u * 2u); // iters x refs
+}
+
+TEST(RunCursor, InstructionConservation)
+{
+    Program p = stencilProgram(8, 16);
+    Trace t = drain(p, p.steady[0].nests[0], 0, 1);
+    EXPECT_EQ(t.insts, 8u * 16u * 10u);
+}
+
+TEST(RunCursor, UnitStrideCoalescesToLineCount)
+{
+    Program p = stencilProgram(8, 16);
+    Trace t = drain(p, p.steady[0].nests[0], 0, 1);
+    // 8 rows x 16 cols x 8B = 1024B per array = 16 lines, 2 arrays.
+    EXPECT_EQ(t.lines.size(), 32u);
+}
+
+TEST(RunCursor, FullLineWordMask)
+{
+    Program p = stencilProgram(8, 16);
+    Trace t = drain(p, p.steady[0].nests[0], 0, 1);
+    for (const auto &[line, mask] : t.wordMaskByLine)
+        EXPECT_EQ(mask, 0xffu) << "line " << line; // 8 words touched
+}
+
+TEST(RunCursor, LargeStrideOneElementPerLine)
+{
+    Program p = stencilProgram(8, 16);
+    LoopNest &nest = p.steady[0].nests[0];
+    // Column walk: stride = 16 elems = 128B > 64B line.
+    nest.bounds = {16, 8};
+    nest.refs = {nest.refs[0]};
+    nest.refs[0].terms = {{0, 1}, {1, 16}};
+    RunCursor cur(p, nest, 0, 1, 64);
+    LineAccess la;
+    while (cur.next(la)) {
+        if (la.elems)
+            EXPECT_EQ(la.elems, 1u);
+    }
+}
+
+TEST(RunCursor, BackwardRunsFlagged)
+{
+    Program p = stencilProgram(4, 8);
+    LoopNest &nest = p.steady[0].nests[0];
+    nest.refs = {nest.refs[0]};
+    nest.refs[0].terms = {{0, 8}, {1, -1}};
+    nest.refs[0].constElems = 7; // start at row end, walk down
+    RunCursor cur(p, nest, 0, 1, 64);
+    LineAccess la;
+    ASSERT_TRUE(cur.next(la));
+    EXPECT_TRUE(la.backward);
+}
+
+TEST(RunCursor, WrappedRefStaysInsideArray)
+{
+    ProgramBuilder b("wrap");
+    std::uint32_t a = b.array1d("a", 100);
+    Phase ph;
+    ph.name = "p";
+    LoopNest nest;
+    nest.label = "gather";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {1, 400};
+    nest.instsPerIter = 1;
+    nest.refs = {b.gather1(a, 1, 37)};
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    LayoutOptions lo;
+    assignAddresses(p, lo);
+
+    RunCursor cur(p, p.steady[0].nests[0], 0, 1, 64);
+    LineAccess la;
+    std::uint64_t elems = 0;
+    while (cur.next(la)) {
+        if (!la.elems)
+            continue;
+        EXPECT_GE(la.va, p.arrays[0].base);
+        EXPECT_LT(la.va, p.arrays[0].endAddr());
+        elems += la.elems;
+    }
+    EXPECT_EQ(elems, 400u);
+}
+
+TEST(RunCursor, ZeroStrideSingleAccess)
+{
+    Program p = stencilProgram(1, 50);
+    LoopNest &nest = p.steady[0].nests[0];
+    nest.refs = {nest.refs[0]};
+    nest.refs[0].terms.clear(); // loop-invariant scalar-like ref
+    RunCursor cur(p, nest, 0, 1, 64);
+    LineAccess la;
+    ASSERT_TRUE(cur.next(la));
+    EXPECT_EQ(la.elems, 50u);
+    EXPECT_FALSE(cur.next(la));
+}
+
+/** Property: conservation holds across CPU counts and shapes. */
+class CursorConservation
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint64_t,
+                                                 std::uint64_t>>
+{};
+
+TEST_P(CursorConservation, AcrossCpus)
+{
+    auto [ncpus, rows, cols] = GetParam();
+    Program p = stencilProgram(rows, cols);
+    std::uint64_t elems = 0;
+    Insts insts = 0;
+    for (CpuId c = 0; c < ncpus; c++) {
+        Trace t = drain(p, p.steady[0].nests[0], c, ncpus);
+        elems += t.elems;
+        insts += t.insts;
+    }
+    EXPECT_EQ(elems, rows * cols * 2);
+    EXPECT_EQ(insts, rows * cols * 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CursorConservation,
+    ::testing::Combine(::testing::Values(1u, 3u, 8u, 16u),
+                       ::testing::Values(5u, 16u, 33u),
+                       ::testing::Values(7u, 64u)));
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Integration tests: the experiment harness end to end, the paper's
+ * headline qualitative results as regression checks, and the SPEC
+ * ratio helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/spec.h"
+
+namespace cdpc
+{
+namespace
+{
+
+TEST(Spec, RatioAnchorsUniprocessor)
+{
+    EXPECT_DOUBLE_EQ(specRatio(1000.0, 1000.0), kUniprocessorRating);
+    EXPECT_DOUBLE_EQ(specRatio(1000.0, 500.0),
+                     2.0 * kUniprocessorRating);
+    EXPECT_THROW(specRatio(0.0, 1.0), FatalError);
+}
+
+TEST(Spec, RatingIsGeometricMean)
+{
+    EXPECT_DOUBLE_EQ(specRating({4.0, 16.0}), 8.0);
+}
+
+TEST(Experiment, MappingNames)
+{
+    EXPECT_STREQ(mappingName(MappingPolicy::PageColoring),
+                 "page-coloring");
+    EXPECT_STREQ(mappingName(MappingPolicy::BinHopping),
+                 "bin-hopping");
+    EXPECT_STREQ(mappingName(MappingPolicy::Cdpc), "cdpc");
+    EXPECT_STREQ(mappingName(MappingPolicy::CdpcTouchOrder),
+                 "cdpc-touch-order");
+}
+
+TEST(Experiment, RunsAndPopulatesResult)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    cfg.mapping = MappingPolicy::PageColoring;
+    ExperimentResult r = runWorkload("104.hydro2d", cfg);
+    EXPECT_EQ(r.workload, "104.hydro2d");
+    EXPECT_EQ(r.policy, "page-coloring");
+    EXPECT_EQ(r.ncpus, 2u);
+    EXPECT_GT(r.totals.insts, 0.0);
+    EXPECT_GT(r.totals.combinedTime(), 0.0);
+    EXPECT_FALSE(r.plan.has_value());
+    EXPECT_GT(r.dataSetBytes, 0u);
+}
+
+TEST(Experiment, CdpcRunsProducePlans)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(4);
+    cfg.mapping = MappingPolicy::Cdpc;
+    ExperimentResult r = runWorkload("104.hydro2d", cfg);
+    ASSERT_TRUE(r.plan.has_value());
+    EXPECT_FALSE(r.plan->coloring.hints.empty());
+    EXPECT_NEAR(r.hintsHonored, 1.0, 0.01);
+}
+
+TEST(Experiment, Su2corPlanExcludesUnanalyzableArrays)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(4);
+    cfg.mapping = MappingPolicy::Cdpc;
+    ExperimentResult r = runWorkload("103.su2cor", cfg);
+    ASSERT_TRUE(r.plan.has_value());
+    for (const Segment &seg : r.plan->segments) {
+        EXPECT_TRUE(r.summaries.isAnalyzable(seg.arrayId))
+            << "segment of unanalyzable array " << seg.arrayId;
+    }
+}
+
+TEST(Experiment, MemoryPressureDegradesHintHonoring)
+{
+    // Competing processes hold most of the low-color pages: the
+    // kernel cannot honor the hints targeting those colors, yet the
+    // run completes (hints are hints, Section 5).
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    cfg.mapping = MappingPolicy::Cdpc;
+    Program prog = buildWorkload("102.swim");
+    std::uint64_t data_pages =
+        prog.dataSetBytes() / cfg.machine.pageBytes + 64;
+    cfg.machine.physPages = data_pages + cfg.machine.physPages / 2;
+    cfg.preallocatedPages = cfg.machine.physPages - data_pages;
+    ExperimentResult r = runProgram(std::move(prog), cfg);
+    EXPECT_LT(r.hintsHonored, 0.95);
+    EXPECT_GT(r.hintsHonored, 0.0);
+    EXPECT_GT(r.totals.insts, 0.0); // still ran to completion
+}
+
+TEST(Experiment, BalancedHintsFullyHonoredWithoutPressure)
+{
+    // Step 5's round-robin hints are perfectly color-balanced, so
+    // an uncontended allocator honors every one of them even with
+    // little slack.
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    cfg.mapping = MappingPolicy::Cdpc;
+    Program prog = buildWorkload("102.swim");
+    cfg.machine.physPages =
+        prog.dataSetBytes() / cfg.machine.pageBytes +
+        cfg.machine.numColors();
+    ExperimentResult r = runProgram(std::move(prog), cfg);
+    EXPECT_DOUBLE_EQ(r.hintsHonored, 1.0);
+}
+
+// ---- Paper-shape regressions (fast configurations) ------------------------
+
+TEST(PaperShapes, CdpcBeatsPageColoringForSwimAt8)
+{
+    double combined[2];
+    int i = 0;
+    for (MappingPolicy pol :
+         {MappingPolicy::PageColoring, MappingPolicy::Cdpc}) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(8);
+        cfg.mapping = pol;
+        combined[i++] = runWorkload("102.swim", cfg)
+                            .totals.combinedTime();
+    }
+    EXPECT_GT(combined[0] / combined[1], 1.15);
+}
+
+TEST(PaperShapes, CdpcRoughlyNeutralForAppluAt1MB)
+{
+    double combined[2];
+    int i = 0;
+    for (MappingPolicy pol :
+         {MappingPolicy::PageColoring, MappingPolicy::Cdpc}) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(8);
+        cfg.mapping = pol;
+        combined[i++] = runWorkload("110.applu", cfg)
+                            .totals.combinedTime();
+    }
+    double ratio = combined[0] / combined[1];
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST(PaperShapes, FppppInsensitiveToPolicy)
+{
+    double combined[3];
+    int i = 0;
+    for (MappingPolicy pol :
+         {MappingPolicy::PageColoring, MappingPolicy::BinHopping,
+          MappingPolicy::CdpcTouchOrder}) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::alphaScaled(4);
+        cfg.mapping = pol;
+        combined[i++] = runWorkload("145.fpppp", cfg)
+                            .totals.combinedTime();
+    }
+    EXPECT_NEAR(combined[1] / combined[0], 1.0, 0.05);
+    EXPECT_NEAR(combined[2] / combined[0], 1.0, 0.05);
+}
+
+TEST(PaperShapes, CdpcEliminatesConflictStallForHydro2dAt8)
+{
+    ExperimentConfig pc;
+    pc.machine = MachineConfig::paperScaled(8);
+    pc.mapping = MappingPolicy::PageColoring;
+    ExperimentConfig cd = pc;
+    cd.mapping = MappingPolicy::Cdpc;
+    double pc_conflict = runWorkload("104.hydro2d", pc)
+                             .totals.missStallOf(MissKind::Conflict);
+    double cd_conflict = runWorkload("104.hydro2d", cd)
+                             .totals.missStallOf(MissKind::Conflict);
+    EXPECT_LT(cd_conflict, 0.5 * pc_conflict);
+}
+
+TEST(PaperShapes, PrefetchingHidesLatencyForTomcatv)
+{
+    double combined[2];
+    int i = 0;
+    for (bool pf : {false, true}) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(4);
+        cfg.mapping = MappingPolicy::Cdpc;
+        cfg.prefetch = pf;
+        combined[i++] = runWorkload("101.tomcatv", cfg)
+                            .totals.combinedTime();
+    }
+    EXPECT_GT(combined[0] / combined[1], 1.2);
+}
+
+TEST(PaperShapes, PrefetchingIneffectiveForApplu)
+{
+    double combined[2];
+    int i = 0;
+    for (bool pf : {false, true}) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(4);
+        cfg.mapping = MappingPolicy::PageColoring;
+        cfg.prefetch = pf;
+        combined[i++] = runWorkload("110.applu", cfg)
+                            .totals.combinedTime();
+    }
+    double speedup = combined[0] / combined[1];
+    EXPECT_LT(speedup, 1.1);
+}
+
+TEST(PaperShapes, Wave5FlatAcrossCpuCounts)
+{
+    // Suppressed particle push: no speedup from more CPUs.
+    double wall[2];
+    int i = 0;
+    for (std::uint32_t ncpus : {1u, 8u}) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(ncpus);
+        cfg.mapping = MappingPolicy::PageColoring;
+        wall[i++] = runWorkload("146.wave5", cfg).totals.wall;
+    }
+    EXPECT_NEAR(wall[1] / wall[0], 1.0, 0.25);
+}
+
+TEST(PaperShapes, TouchOrderCdpcMatchesKernelCdpcClosely)
+{
+    // The two implementations of Section 5.3 should land within a
+    // few percent of each other (identical colors up to rotation).
+    double combined[2];
+    int i = 0;
+    for (MappingPolicy pol :
+         {MappingPolicy::Cdpc, MappingPolicy::CdpcTouchOrder}) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(8);
+        cfg.mapping = pol;
+        combined[i++] = runWorkload("104.hydro2d", cfg)
+                            .totals.combinedTime();
+    }
+    EXPECT_NEAR(combined[1] / combined[0], 1.0, 0.10);
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Randomized whole-pipeline property tests: generate structurally
+ * random (but valid) programs from seeds and assert that every stage
+ * — validation, transposition, analysis, planning, simulation —
+ * upholds its invariants on inputs nobody hand-crafted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cdpc/runtime.h"
+#include "common/random.h"
+#include "compiler/compiler.h"
+#include "harness/experiment.h"
+#include "workloads/builder.h"
+
+namespace cdpc
+{
+namespace
+{
+
+/** Generate a random valid program from a seed. */
+Program
+randomProgram(std::uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b("fuzz-" + std::to_string(seed));
+
+    std::uint32_t narrays = 2 + static_cast<std::uint32_t>(rng.below(5));
+    std::vector<std::uint32_t> arrays;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> shapes;
+    for (std::uint32_t i = 0; i < narrays; i++) {
+        std::uint64_t rows = 8 + rng.below(120);
+        std::uint64_t cols = 8 + rng.below(120);
+        arrays.push_back(
+            b.array2d("arr" + std::to_string(i), rows, cols));
+        shapes.emplace_back(rows, cols);
+        if (rng.below(8) == 0)
+            b.markUnanalyzable(arrays.back());
+    }
+
+    b.initNest(interleavedInit2d(b, {arrays[0]}, shapes[0].first,
+                                 shapes[0].second));
+
+    std::uint32_t nphases = 1 + static_cast<std::uint32_t>(rng.below(3));
+    for (std::uint32_t ph = 0; ph < nphases; ph++) {
+        Phase phase;
+        phase.name = "phase" + std::to_string(ph);
+        phase.occurrences = 1 + rng.below(40);
+        std::uint32_t nnests =
+            1 + static_cast<std::uint32_t>(rng.below(3));
+        for (std::uint32_t n = 0; n < nnests; n++) {
+            // Every nest iterates the shape of one "driver" array and
+            // only references arrays at in-range offsets of it.
+            std::uint32_t driver =
+                static_cast<std::uint32_t>(rng.below(narrays));
+            auto [rows, cols] = shapes[driver];
+            LoopNest nest;
+            nest.label = "nest" + std::to_string(n);
+            switch (rng.below(4)) {
+              case 0:
+                nest.kind = NestKind::Sequential;
+                break;
+              case 1:
+                nest.kind = NestKind::Suppressed;
+                break;
+              default:
+                nest.kind = NestKind::Parallel;
+            }
+            nest.parallelDim = 0;
+            if (rng.below(3) == 0)
+                nest.partition.policy = PartitionPolicy::Blocked;
+            nest.bounds = {rows - 2, cols - 2};
+            nest.instsPerIter =
+                4 + static_cast<std::uint32_t>(rng.below(60));
+            std::uint32_t nrefs =
+                1 + static_cast<std::uint32_t>(rng.below(4));
+            for (std::uint32_t r = 0; r < nrefs; r++) {
+                // Reference the driver (always shape-safe) or another
+                // array wrapped to its own size (also safe).
+                if (rng.below(4) != 0) {
+                    std::int64_t di =
+                        static_cast<std::int64_t>(rng.below(3)) - 1;
+                    std::int64_t dj =
+                        static_cast<std::int64_t>(rng.below(3)) - 1;
+                    nest.refs.push_back(
+                        b.at2(arrays[driver], 0, 1, 1 + di, 1 + dj,
+                              rng.below(3) == 0));
+                } else {
+                    std::uint32_t other = static_cast<std::uint32_t>(
+                        rng.below(narrays));
+                    nest.refs.push_back(
+                        b.gather1(arrays[other], 1,
+                                  static_cast<std::int64_t>(
+                                      3 + rng.below(977)),
+                                  rng.below(3) == 0));
+                }
+            }
+            phase.nests.push_back(nest);
+        }
+        b.phase(phase);
+    }
+    return b.build();
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FuzzPipeline, CompileAnalyzePlanInvariants)
+{
+    Program p = randomProgram(GetParam());
+    MachineConfig m = MachineConfig::paperScaled(
+        1u << (GetParam() % 4)); // 1..8 CPUs
+    CompilerOptions copts;
+    copts.aligner.lineBytes = m.l2.lineBytes;
+    copts.aligner.l1SpanBytes = m.l1d.sizeBytes / m.l1d.assoc;
+    CompileResult compiled = compileProgram(p, copts);
+
+    // Partitions only over analyzable arrays with sane geometry.
+    for (const ArrayPartitionSummary &part :
+         compiled.summaries.partitions) {
+        EXPECT_TRUE(compiled.summaries.isAnalyzable(part.arrayId));
+        EXPECT_GT(part.unitBytes, 0u);
+        EXPECT_GT(part.numUnits, 0u);
+        EXPECT_EQ(part.start, p.arrays[part.arrayId].base);
+    }
+
+    CdpcPlan plan = computeCdpcPlan(compiled.summaries, cdpcParams(m));
+    std::set<PageNum> seen;
+    for (const ColorHint &h : plan.coloring.hints) {
+        EXPECT_LT(h.color, m.numColors());
+        EXPECT_TRUE(seen.insert(h.vpn).second);
+    }
+    for (const Segment &seg : plan.segments) {
+        EXPECT_FALSE(seg.procs.empty());
+        EXPECT_GT(seg.numPages, 0u);
+        EXPECT_TRUE(compiled.summaries.isAnalyzable(seg.arrayId));
+    }
+}
+
+TEST_P(FuzzPipeline, SimulationConservesAndStaysCoherent)
+{
+    std::uint32_t ncpus = 1u << (GetParam() % 4);
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(ncpus);
+    cfg.mapping = (GetParam() % 3 == 0)
+                      ? MappingPolicy::Cdpc
+                      : (GetParam() % 3 == 1)
+                            ? MappingPolicy::BinHopping
+                            : MappingPolicy::PageColoring;
+    cfg.prefetch = GetParam() % 2 == 0;
+    ExperimentResult r = runProgram(randomProgram(GetParam()), cfg);
+
+    const WeightedTotals &t = r.totals;
+    EXPECT_GT(t.insts, 0.0);
+    double sum = t.busy + t.memStall + t.kernel + t.imbalance +
+                 t.sequential + t.suppressed + t.sync;
+    EXPECT_NEAR(sum, t.combinedTime(), 1e-6);
+    EXPECT_GE(t.wall, 0.0);
+    EXPECT_LE(t.busUtilization(), 1.0);
+
+    // Instruction totals are independent of CPU count and policy.
+    ExperimentConfig cfg2 = cfg;
+    cfg2.machine = MachineConfig::paperScaled(
+        ncpus == 1 ? 4 : ncpus / 2);
+    cfg2.mapping = MappingPolicy::PageColoring;
+    cfg2.prefetch = false;
+    ExperimentResult r2 = runProgram(randomProgram(GetParam()), cfg2);
+    // Prefetch adds one instruction per prefetched line; compare
+    // loosely when prefetch was on.
+    double tolerance = cfg.prefetch ? 0.15 * t.insts : 1e-6;
+    EXPECT_NEAR(r2.totals.insts, t.insts, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit and property tests for common/intmath.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.h"
+
+namespace cdpc
+{
+namespace
+{
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~0ULL), 63u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(33, 16), 3u);
+}
+
+TEST(IntMath, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+    EXPECT_EQ(roundDown(64, 64), 64u);
+    EXPECT_EQ(roundDown(129, 64), 128u);
+}
+
+TEST(IntMath, PosMod)
+{
+    EXPECT_EQ(posMod(5, 4), 1u);
+    EXPECT_EQ(posMod(-1, 4), 3u);
+    EXPECT_EQ(posMod(-4, 4), 0u);
+    EXPECT_EQ(posMod(-5, 4), 3u);
+    EXPECT_EQ(posMod(0, 7), 0u);
+}
+
+/** Property: for powers of two, floor and ceil log agree. */
+class Log2Property : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(Log2Property, FloorEqualsCeilOnPowers)
+{
+    unsigned k = GetParam();
+    std::uint64_t n = 1ULL << k;
+    EXPECT_EQ(floorLog2(n), k);
+    EXPECT_EQ(ceilLog2(n), k);
+    if (k > 1) {
+        EXPECT_EQ(floorLog2(n - 1), k - 1);
+        EXPECT_EQ(ceilLog2(n - 1), k);
+        EXPECT_EQ(floorLog2(n + 1), k);
+        EXPECT_EQ(ceilLog2(n + 1), k + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, Log2Property,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u, 31u,
+                                           32u, 47u, 62u));
+
+/** Property: roundUp/divCeil consistency over a grid. */
+class RoundingProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint64_t>>
+{};
+
+TEST_P(RoundingProperty, Consistent)
+{
+    auto [a, align] = GetParam();
+    std::uint64_t up = roundUp(a, align);
+    EXPECT_GE(up, a);
+    EXPECT_LT(up - a, align);
+    EXPECT_EQ(up % align, 0u);
+    EXPECT_EQ(up / align, divCeil(a, align));
+    std::uint64_t down = roundDown(a, align);
+    EXPECT_LE(down, a);
+    EXPECT_LT(a - down, align);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RoundingProperty,
+    ::testing::Combine(::testing::Values(0u, 1u, 63u, 64u, 65u, 511u,
+                                         4097u, 1000000u),
+                       ::testing::Values(1u, 8u, 64u, 512u, 4096u)));
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the IR: arrays, partitions, programs and layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+#include "ir/array.h"
+#include "ir/layout.h"
+#include "ir/loop.h"
+#include "ir/program.h"
+
+namespace cdpc
+{
+namespace
+{
+
+// ---- ArrayDecl -----------------------------------------------------------
+
+TEST(ArrayDecl, SizesAndStrides)
+{
+    ArrayDecl a;
+    a.name = "m";
+    a.elemBytes = 8;
+    a.dims = {10, 20, 30};
+    EXPECT_EQ(a.elements(), 6000u);
+    EXPECT_EQ(a.sizeBytes(), 48000u);
+    EXPECT_EQ(a.strideElems(2), 1u);
+    EXPECT_EQ(a.strideElems(1), 30u);
+    EXPECT_EQ(a.strideElems(0), 600u);
+}
+
+TEST(ArrayDecl, EndAddr)
+{
+    ArrayDecl a;
+    a.elemBytes = 8;
+    a.dims = {4};
+    a.base = 1000;
+    EXPECT_EQ(a.endAddr(), 1032u);
+}
+
+// ---- Partition -------------------------------------------------------------
+
+TEST(Partition, EvenForwardSplitsContiguously)
+{
+    Partition p;
+    std::uint64_t lo, hi;
+    // 10 iterations over 4 CPUs: sizes 3,3,2,2.
+    p.range(10, 4, 0, lo, hi);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 3u);
+    p.range(10, 4, 3, lo, hi);
+    EXPECT_EQ(lo, 8u);
+    EXPECT_EQ(hi, 10u);
+}
+
+TEST(Partition, BlockedGivesCeilChunks)
+{
+    Partition p;
+    p.policy = PartitionPolicy::Blocked;
+    std::uint64_t lo, hi;
+    // The paper's applu case: 33 iterations over 16 CPUs -> chunks
+    // of 3; only 11 CPUs get work.
+    p.range(33, 16, 0, lo, hi);
+    EXPECT_EQ(hi - lo, 3u);
+    p.range(33, 16, 10, lo, hi);
+    EXPECT_EQ(lo, 30u);
+    EXPECT_EQ(hi, 33u);
+    p.range(33, 16, 11, lo, hi);
+    EXPECT_EQ(lo, hi); // idle CPU
+}
+
+TEST(Partition, ReverseAssignsChunksBackwards)
+{
+    Partition p;
+    p.dir = PartitionDir::Reverse;
+    std::uint64_t lo, hi;
+    p.range(8, 4, 0, lo, hi);
+    EXPECT_EQ(lo, 6u);
+    EXPECT_EQ(hi, 8u);
+    p.range(8, 4, 3, lo, hi);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 2u);
+}
+
+/**
+ * Property: any partition covers every iteration exactly once,
+ * across policies, directions, extents and CPU counts.
+ */
+class PartitionProperty
+    : public ::testing::TestWithParam<
+          std::tuple<PartitionPolicy, PartitionDir, std::uint64_t,
+                     std::uint32_t>>
+{};
+
+TEST_P(PartitionProperty, ExactCoverage)
+{
+    auto [policy, dir, extent, ncpus] = GetParam();
+    Partition p{policy, dir};
+    std::vector<int> covered(extent, 0);
+    for (CpuId c = 0; c < ncpus; c++) {
+        std::uint64_t lo, hi;
+        p.range(extent, ncpus, c, lo, hi);
+        EXPECT_LE(lo, hi);
+        EXPECT_LE(hi, extent);
+        for (std::uint64_t i = lo; i < hi; i++)
+            covered[i]++;
+    }
+    for (std::uint64_t i = 0; i < extent; i++)
+        EXPECT_EQ(covered[i], 1) << "iteration " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Combine(
+        ::testing::Values(PartitionPolicy::Even,
+                          PartitionPolicy::Blocked),
+        ::testing::Values(PartitionDir::Forward, PartitionDir::Reverse),
+        ::testing::Values(1u, 7u, 33u, 128u, 1000u),
+        ::testing::Values(1u, 2u, 8u, 16u)));
+
+// ---- Program ---------------------------------------------------------------
+
+Program
+tinyProgram()
+{
+    Program p;
+    p.name = "tiny";
+    ArrayDecl a;
+    a.name = "a";
+    a.dims = {16};
+    p.arrays.push_back(a);
+    LoopNest nest;
+    nest.label = "sweep";
+    nest.bounds = {16};
+    nest.kind = NestKind::Parallel;
+    AffineRef r;
+    r.arrayId = 0;
+    r.terms = {{0, 1}};
+    nest.refs.push_back(r);
+    Phase ph;
+    ph.name = "main";
+    ph.nests.push_back(nest);
+    p.steady.push_back(ph);
+    return p;
+}
+
+TEST(Program, ValidatesCleanProgram)
+{
+    EXPECT_NO_THROW(tinyProgram().validate());
+}
+
+TEST(Program, RejectsNoArrays)
+{
+    Program p = tinyProgram();
+    p.arrays.clear();
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, RejectsEmptySteadyState)
+{
+    Program p = tinyProgram();
+    p.steady.clear();
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, RejectsBadArrayRef)
+{
+    Program p = tinyProgram();
+    p.steady[0].nests[0].refs[0].arrayId = 5;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, RejectsBadLoopDim)
+{
+    Program p = tinyProgram();
+    p.steady[0].nests[0].refs[0].terms[0].loopDim = 3;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, RejectsZeroBound)
+{
+    Program p = tinyProgram();
+    p.steady[0].nests[0].bounds[0] = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, RejectsZeroOccurrences)
+{
+    Program p = tinyProgram();
+    p.steady[0].occurrences = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, ArrayIdLookup)
+{
+    Program p = tinyProgram();
+    EXPECT_EQ(p.arrayId("a"), 0u);
+    EXPECT_THROW(p.arrayId("zzz"), FatalError);
+}
+
+TEST(Program, DataSetBytesSumsArrays)
+{
+    Program p = tinyProgram();
+    EXPECT_EQ(p.dataSetBytes(), 16u * 8u);
+}
+
+// ---- Layout ----------------------------------------------------------------
+
+Program
+twoArrayProgram()
+{
+    Program p = tinyProgram();
+    ArrayDecl b;
+    b.name = "b";
+    b.dims = {10};
+    b.elemBytes = 8;
+    p.arrays.push_back(b);
+    return p;
+}
+
+TEST(Layout, SequentialLineAligned)
+{
+    Program p = twoArrayProgram();
+    LayoutOptions opts;
+    opts.lineBytes = 64;
+    assignAddresses(p, opts);
+    EXPECT_EQ(p.arrays[0].base, opts.dataBase);
+    EXPECT_EQ(p.arrays[0].base % 64, 0u);
+    EXPECT_EQ(p.arrays[1].base % 64, 0u);
+    EXPECT_GE(p.arrays[1].base, p.arrays[0].endAddr());
+    EXPECT_EQ(p.textBase, opts.textBase);
+}
+
+TEST(Layout, PadsApplied)
+{
+    Program p = twoArrayProgram();
+    LayoutOptions opts;
+    opts.padBytes = {0, 192};
+    assignAddresses(p, opts);
+    EXPECT_GE(p.arrays[1].base, p.arrays[0].endAddr() + 192);
+}
+
+TEST(Layout, PadVectorArityChecked)
+{
+    Program p = twoArrayProgram();
+    LayoutOptions opts;
+    opts.padBytes = {1};
+    EXPECT_THROW(assignAddresses(p, opts), FatalError);
+}
+
+TEST(Layout, DeliberatelyUnalignedBreaksLineAlignment)
+{
+    Program p = twoArrayProgram();
+    LayoutOptions opts;
+    opts.deliberatelyUnaligned = true;
+    assignAddresses(p, opts);
+    EXPECT_NE(p.arrays[0].base % 64, 0u);
+}
+
+TEST(Layout, ArraysNeverOverlap)
+{
+    Program p = twoArrayProgram();
+    for (bool unaligned : {false, true}) {
+        LayoutOptions opts;
+        opts.deliberatelyUnaligned = unaligned;
+        assignAddresses(p, opts);
+        EXPECT_GE(p.arrays[1].base, p.arrays[0].endAddr());
+    }
+}
+
+} // namespace
+} // namespace cdpc

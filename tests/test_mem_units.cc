@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the TLB, bus and miss-classification helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "mem/bus.h"
+#include "mem/miss_classify.h"
+#include "mem/tlb.h"
+
+namespace cdpc
+{
+namespace
+{
+
+// ---- TLB ---------------------------------------------------------------
+
+TEST(Tlb, HitAfterRefill)
+{
+    Tlb t(4);
+    EXPECT_FALSE(t.access(7));
+    EXPECT_TRUE(t.access(7));
+    EXPECT_EQ(t.stats().accesses, 2u);
+    EXPECT_EQ(t.stats().misses, 1u);
+}
+
+TEST(Tlb, LruEvictionAtCapacity)
+{
+    Tlb t(2);
+    t.access(1);
+    t.access(2);
+    t.access(1);       // 2 becomes LRU
+    t.access(3);       // evicts 2
+    EXPECT_TRUE(t.contains(1));
+    EXPECT_FALSE(t.contains(2));
+    EXPECT_TRUE(t.contains(3));
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Tlb, ContainsDoesNotRefill)
+{
+    Tlb t(2);
+    EXPECT_FALSE(t.contains(5));
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.stats().accesses, 0u);
+}
+
+TEST(Tlb, Flush)
+{
+    Tlb t(4);
+    t.access(1);
+    t.access(2);
+    t.flush();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_FALSE(t.contains(1));
+}
+
+TEST(Tlb, ZeroEntriesRejected)
+{
+    EXPECT_THROW(Tlb(0), FatalError);
+}
+
+// ---- Bus ---------------------------------------------------------------
+
+TEST(Bus, ImmediateGrantWhenIdle)
+{
+    Bus b(40, 40, 8);
+    EXPECT_EQ(b.acquire(BusKind::Data, 100), 100u);
+    EXPECT_EQ(b.freeAt(), 140u);
+    EXPECT_EQ(b.stats().dataTxns, 1u);
+    EXPECT_EQ(b.stats().dataBusy, 40u);
+    EXPECT_EQ(b.stats().queueing, 0u);
+}
+
+TEST(Bus, QueueingWhenBusy)
+{
+    Bus b(40, 40, 8);
+    b.acquire(BusKind::Data, 0);
+    // Second request at t=10 waits until 40.
+    EXPECT_EQ(b.acquire(BusKind::Data, 10), 40u);
+    EXPECT_EQ(b.stats().queueing, 30u);
+    EXPECT_EQ(b.freeAt(), 80u);
+}
+
+TEST(Bus, CategoriesTrackedSeparately)
+{
+    Bus b(40, 30, 8);
+    b.acquire(BusKind::Data, 0);
+    b.acquire(BusKind::Writeback, 100);
+    b.acquire(BusKind::Upgrade, 200);
+    EXPECT_EQ(b.stats().dataBusy, 40u);
+    EXPECT_EQ(b.stats().writebackBusy, 30u);
+    EXPECT_EQ(b.stats().upgradeBusy, 8u);
+    EXPECT_EQ(b.stats().totalTxns(), 3u);
+    EXPECT_EQ(b.stats().totalBusy(), 78u);
+}
+
+TEST(Bus, Utilization)
+{
+    Bus b(40, 40, 8);
+    b.acquire(BusKind::Data, 0);
+    EXPECT_DOUBLE_EQ(b.utilization(80), 0.5);
+    EXPECT_DOUBLE_EQ(b.utilization(0), 0.0);
+    // Clamped at 1.
+    EXPECT_DOUBLE_EQ(b.utilization(10), 1.0);
+}
+
+TEST(Bus, Reset)
+{
+    Bus b(40, 40, 8);
+    b.acquire(BusKind::Data, 0);
+    b.reset();
+    EXPECT_EQ(b.freeAt(), 0u);
+    EXPECT_EQ(b.stats().totalTxns(), 0u);
+}
+
+TEST(Bus, ZeroOccupancyRejected)
+{
+    EXPECT_THROW(Bus(0, 40, 8), FatalError);
+}
+
+// ---- LruShadow / ColdTracker -------------------------------------------
+
+TEST(LruShadow, HitWithinCapacity)
+{
+    LruShadow s(4);
+    EXPECT_FALSE(s.accessAndUpdate(1));
+    EXPECT_TRUE(s.accessAndUpdate(1));
+}
+
+TEST(LruShadow, EvictsLruBeyondCapacity)
+{
+    LruShadow s(2);
+    s.accessAndUpdate(1);
+    s.accessAndUpdate(2);
+    s.accessAndUpdate(1); // 2 is now LRU
+    s.accessAndUpdate(3); // evicts 2
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_FALSE(s.contains(2));
+    EXPECT_TRUE(s.contains(3));
+}
+
+TEST(LruShadow, StreamingNeverHits)
+{
+    // The classic capacity pattern: a cyclic sweep of N+1 lines over
+    // an N-line fully associative LRU cache misses every time.
+    LruShadow s(8);
+    for (int round = 0; round < 3; round++) {
+        for (Addr l = 0; l < 9; l++)
+            EXPECT_FALSE(s.accessAndUpdate(l)) << "round " << round;
+    }
+}
+
+TEST(ColdTracker, FirstTouchOnly)
+{
+    ColdTracker c;
+    EXPECT_FALSE(c.seenBefore(10));
+    EXPECT_TRUE(c.seenBefore(10));
+    EXPECT_FALSE(c.seenBefore(11));
+    EXPECT_EQ(c.linesSeen(), 2u);
+    c.reset();
+    EXPECT_FALSE(c.seenBefore(10));
+}
+
+TEST(MissKind, Names)
+{
+    EXPECT_STREQ(missKindName(MissKind::Cold), "cold");
+    EXPECT_STREQ(missKindName(MissKind::Capacity), "capacity");
+    EXPECT_STREQ(missKindName(MissKind::Conflict), "conflict");
+    EXPECT_STREQ(missKindName(MissKind::TrueSharing), "true-sharing");
+    EXPECT_STREQ(missKindName(MissKind::FalseSharing), "false-sharing");
+    EXPECT_STREQ(missKindName(MissKind::Upgrade), "upgrade");
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Behavioural tests for the full memory hierarchy: cache filling,
+ * inclusion, MESI transitions, miss classification, the bus, and
+ * the prefetch unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "machine/config.h"
+#include "mem/memsystem.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+namespace
+{
+
+class MemSystemTest : public ::testing::Test
+{
+  protected:
+    MemSystemTest()
+        : config(MachineConfig::paperScaled(4)),
+          phys(config.physPages, config.numColors()),
+          policy(config.numColors()), vm(config, phys, policy),
+          mem(config, vm)
+    {}
+
+    AccessOutcome
+    load(CpuId cpu, VAddr va, Cycles now = 0)
+    {
+        MemAccess a;
+        a.va = va;
+        a.kind = AccessKind::Load;
+        return mem.access(cpu, a, now);
+    }
+
+    AccessOutcome
+    store(CpuId cpu, VAddr va, std::uint32_t word_mask = 1,
+          Cycles now = 0)
+    {
+        MemAccess a;
+        a.va = va;
+        a.kind = AccessKind::Store;
+        a.wordMask = word_mask;
+        return mem.access(cpu, a, now);
+    }
+
+    /** A virtual address with page-color c and line offset within page. */
+    VAddr
+    coloredVa(Color c, std::uint64_t page_round = 0,
+              std::uint64_t line_in_page = 0)
+    {
+        std::uint64_t vpn = c + page_round * config.numColors();
+        return vpn * config.pageBytes + line_in_page * config.l2.lineBytes;
+    }
+
+    MachineConfig config;
+    PhysMem phys;
+    PageColoringPolicy policy;
+    VirtualMemory vm;
+    MemorySystem mem;
+};
+
+TEST_F(MemSystemTest, FirstAccessIsColdMissWithKernelTime)
+{
+    AccessOutcome out = load(0, 0x0);
+    EXPECT_TRUE(out.tlbMiss);
+    EXPECT_TRUE(out.pageFault);
+    EXPECT_EQ(out.kernel, config.tlbMissCycles + config.pageFaultCycles);
+    EXPECT_TRUE(out.l2Miss);
+    EXPECT_EQ(out.missKind, MissKind::Cold);
+    EXPECT_GE(out.stall, out.kernel + config.memLatencyCycles);
+}
+
+TEST_F(MemSystemTest, SecondAccessHitsL1WithNoStall)
+{
+    load(0, 0x0);
+    AccessOutcome out = load(0, 0x0);
+    EXPECT_TRUE(out.l1Hit);
+    EXPECT_EQ(out.stall, 0u);
+}
+
+TEST_F(MemSystemTest, SameLineDifferentWordIsL1Hit)
+{
+    load(0, 0x0);
+    AccessOutcome out = load(0, 0x38); // same 64B line
+    EXPECT_TRUE(out.l1Hit);
+}
+
+TEST_F(MemSystemTest, SamePageSecondLineAvoidsKernelCosts)
+{
+    load(0, 0x0);
+    AccessOutcome out = load(0, 0x40);
+    EXPECT_FALSE(out.tlbMiss);
+    EXPECT_FALSE(out.pageFault);
+    EXPECT_EQ(out.kernel, 0u);
+}
+
+TEST_F(MemSystemTest, L1EvictionLeadsToL2Hit)
+{
+    // Walk more lines than L1 holds but fewer than L2: revisits are
+    // L1 misses served as L2 hits with the on-chip stall.
+    std::uint64_t lines = config.l1d.numLines() * 2;
+    for (std::uint64_t i = 0; i < lines; i++)
+        load(0, i * config.l2.lineBytes);
+    AccessOutcome out = load(0, 0x0);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_TRUE(out.l2Hit);
+    EXPECT_EQ(out.stall, config.l2HitCycles);
+}
+
+TEST_F(MemSystemTest, CapacityMissClassification)
+{
+    // Stream 2x the external cache, twice: second-round misses have
+    // been seen before and miss in the fully associative shadow too.
+    std::uint64_t lines = config.l2.numLines() * 2;
+    for (int round = 0; round < 2; round++) {
+        for (std::uint64_t i = 0; i < lines; i++)
+            load(0, i * config.l2.lineBytes);
+    }
+    const CpuMemStats &s = mem.cpuStats(0);
+    EXPECT_GT(s.missCount[static_cast<int>(MissKind::Capacity)], 0u);
+    EXPECT_EQ(s.missCount[static_cast<int>(MissKind::Conflict)], 0u);
+}
+
+TEST_F(MemSystemTest, ConflictMissClassification)
+{
+    // Three pages of the same color: their lines share one
+    // direct-mapped L2 set but all fit the fully associative shadow,
+    // so steady-state misses classify as conflicts.
+    VAddr a = coloredVa(5, 0);
+    VAddr b = coloredVa(5, 1);
+    VAddr c = coloredVa(5, 2);
+    for (int round = 0; round < 10; round++) {
+        load(0, a);
+        load(0, b);
+        load(0, c);
+    }
+    const CpuMemStats &s = mem.cpuStats(0);
+    EXPECT_GT(s.missCount[static_cast<int>(MissKind::Conflict)], 10u);
+    EXPECT_EQ(s.missCount[static_cast<int>(MissKind::Capacity)], 0u);
+}
+
+TEST_F(MemSystemTest, DifferentColorsDoNotConflict)
+{
+    VAddr a = coloredVa(5);
+    VAddr b = coloredVa(6);
+    load(0, a);
+    load(0, b);
+    // Both L2-resident; flush L1 influence by streaming elsewhere...
+    // direct probe: both lines present in L2.
+    const CpuMemStats &before = mem.cpuStats(0);
+    std::uint64_t misses = before.l2Misses;
+    load(0, a);
+    load(0, b);
+    EXPECT_EQ(mem.cpuStats(0).l2Misses, misses);
+}
+
+TEST_F(MemSystemTest, UpgradeOnWriteToSharedLine)
+{
+    load(0, 0x0);
+    load(1, 0x0); // both Shared
+    AccessOutcome out = store(1, 0x0);
+    EXPECT_EQ(out.missKind, MissKind::Upgrade);
+    EXPECT_EQ(mem.busStats().upgradeTxns, 1u);
+}
+
+TEST_F(MemSystemTest, TrueSharingMiss)
+{
+    load(0, 0x0);              // cpu0 caches the line
+    store(1, 0x0, /*mask*/ 1); // cpu1 writes word 0, invalidating cpu0
+    MemAccess a;
+    a.va = 0x0;
+    a.kind = AccessKind::Load;
+    a.wordMask = 1; // cpu0 re-reads the written word
+    AccessOutcome out = mem.access(0, a, 0);
+    EXPECT_TRUE(out.l2Miss);
+    EXPECT_EQ(out.missKind, MissKind::TrueSharing);
+}
+
+TEST_F(MemSystemTest, FalseSharingMiss)
+{
+    load(0, 0x0);
+    store(1, 0x0, /*mask*/ 1 << 0); // writes word 0
+    MemAccess a;
+    a.va = 0x8;
+    a.kind = AccessKind::Load;
+    a.wordMask = 1 << 1; // cpu0 reads a different word of the line
+    AccessOutcome out = mem.access(0, a, 0);
+    EXPECT_TRUE(out.l2Miss);
+    EXPECT_EQ(out.missKind, MissKind::FalseSharing);
+}
+
+TEST_F(MemSystemTest, RemoteDirtyFetchIsSlower)
+{
+    store(0, 0x0);
+    // cpu1's miss is served by cpu0's Modified copy.
+    AccessOutcome out = load(1, 0x0);
+    EXPECT_TRUE(out.l2Miss);
+    EXPECT_GE(out.stall - out.kernel, config.remoteDirtyLatencyCycles);
+}
+
+TEST_F(MemSystemTest, WritebackOnDirtyEviction)
+{
+    // Dirty a line, then push it out of both L1 and L2 with
+    // same-color traffic.
+    store(0, coloredVa(3, 0));
+    for (std::uint64_t r = 1; r <= 4; r++)
+        load(0, coloredVa(3, r));
+    EXPECT_GT(mem.busStats().writebackTxns, 0u);
+}
+
+TEST_F(MemSystemTest, InclusionBackInvalidatesL1)
+{
+    VAddr victim = coloredVa(9, 0);
+    load(0, victim);
+    EXPECT_TRUE(load(0, victim).l1Hit);
+    // Conflict the line out of the direct-mapped L2.
+    load(0, coloredVa(9, 1));
+    // The L1 copy must be gone too: the next access is an L2-level
+    // event, not an L1 hit.
+    AccessOutcome out = load(0, victim);
+    EXPECT_FALSE(out.l1Hit);
+}
+
+TEST_F(MemSystemTest, IfetchUsesSeparateL1)
+{
+    MemAccess ia;
+    ia.va = 0x0;
+    ia.kind = AccessKind::Ifetch;
+    mem.access(0, ia, 0);
+    // A data load of the same line misses L1D but hits L2.
+    AccessOutcome out = load(0, 0x0);
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_TRUE(out.l2Hit);
+    EXPECT_EQ(mem.cpuStats(0).ifetches, 1u);
+}
+
+// ---- Prefetch unit -------------------------------------------------------
+
+TEST_F(MemSystemTest, PrefetchDroppedOnTlbMiss)
+{
+    // Page never touched: not in the TLB, prefetch is dropped.
+    Cycles stall = mem.prefetch(0, 0x8000, 0);
+    EXPECT_EQ(stall, 0u);
+    EXPECT_EQ(mem.cpuStats(0).prefetchesDropped, 1u);
+    // And it must not have faulted the page in.
+    EXPECT_FALSE(vm.isMapped(0x8000));
+}
+
+TEST_F(MemSystemTest, UsefulPrefetchAvoidsMissStall)
+{
+    load(0, 0x0); // maps the page, fills the TLB
+    VAddr next = 0x40;
+    mem.prefetch(0, next, /*now*/ 100);
+    // Demand long after completion: only the L2-hit stall remains.
+    AccessOutcome out = load(0, next, /*now*/ 10000);
+    EXPECT_TRUE(out.l2Hit);
+    EXPECT_EQ(out.stall, config.l2HitCycles);
+    EXPECT_EQ(mem.cpuStats(0).prefetchesUseful, 1u);
+}
+
+TEST_F(MemSystemTest, LatePrefetchPartiallyCovers)
+{
+    load(0, 0x0);
+    VAddr next = 0x40;
+    // Times comfortably after the first load's (kernel-delayed) bus
+    // transaction, so the clock stays monotonic.
+    mem.prefetch(0, next, /*now*/ 5000);
+    // Demand 50 cycles later: waits out the remaining latency.
+    AccessOutcome out = load(0, next, /*now*/ 5050);
+    EXPECT_GT(out.stall, 0u);
+    EXPECT_LT(out.stall, config.memLatencyCycles + config.l2HitCycles);
+    EXPECT_GT(mem.cpuStats(0).prefetchLateStall, 0u);
+}
+
+TEST_F(MemSystemTest, FifthOutstandingPrefetchStalls)
+{
+    // Map a page region first so prefetches survive the TLB check.
+    for (int i = 0; i < 8; i++)
+        load(0, 0x0 + i * config.pageBytes);
+    Cycles now = 100000;
+    std::uint32_t issued = 0;
+    Cycles stall_total = 0;
+    for (std::uint32_t i = 0; i < config.maxOutstandingPrefetches + 1;
+         i++) {
+        VAddr va = i * config.pageBytes + 7 * config.l2.lineBytes;
+        stall_total += mem.prefetch(0, va, now);
+        issued++;
+    }
+    EXPECT_GT(stall_total, 0u);
+    EXPECT_GT(mem.cpuStats(0).prefetchFullStall, 0u);
+    EXPECT_EQ(mem.cpuStats(0).prefetchesIssued, issued + 0u);
+}
+
+TEST_F(MemSystemTest, PrefetchOfResidentLineIsNoOp)
+{
+    load(0, 0x0);
+    std::uint64_t txns = mem.busStats().totalTxns();
+    mem.prefetch(0, 0x0, 100);
+    EXPECT_EQ(mem.busStats().totalTxns(), txns);
+}
+
+// ---- Stats & reset --------------------------------------------------------
+
+TEST_F(MemSystemTest, TotalStatsAggregateAcrossCpus)
+{
+    load(0, 0x0);
+    load(1, 0x10000);
+    load(2, 0x20000);
+    CpuMemStats total = mem.totalStats();
+    EXPECT_EQ(total.loads, 3u);
+    EXPECT_EQ(total.l2Misses, 3u);
+}
+
+TEST_F(MemSystemTest, ResetClearsCachesAndStats)
+{
+    load(0, 0x0);
+    mem.reset();
+    EXPECT_EQ(mem.totalStats().loads, 0u);
+    // Page stays mapped (reset is caches only), but the line must
+    // miss again.
+    AccessOutcome out = load(0, 0x0);
+    EXPECT_TRUE(out.l2Miss);
+    EXPECT_FALSE(out.pageFault);
+}
+
+TEST_F(MemSystemTest, StallAccountingConserved)
+{
+    // missStall + l2HitStall + prefetch stalls == memStall().
+    for (int i = 0; i < 100; i++)
+        load(0, i * 64);
+    const CpuMemStats &s = mem.cpuStats(0);
+    Cycles sum = s.l2HitStall + s.prefetchLateStall +
+                 s.prefetchFullStall;
+    for (Cycles c : s.missStall)
+        sum += c;
+    EXPECT_EQ(sum, s.memStall());
+}
+
+} // namespace
+} // namespace cdpc

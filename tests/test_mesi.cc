@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Table-driven MESI protocol tests: every reachable state of a line
+ * in one cache is driven through local and remote reads/writes and
+ * the resulting states, bus transactions and latencies are checked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "machine/config.h"
+#include "mem/memsystem.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+namespace
+{
+
+class MesiTest : public ::testing::Test
+{
+  protected:
+    MesiTest()
+        : config(MachineConfig::paperScaled(4)),
+          phys(config.physPages, config.numColors()),
+          policy(config.numColors()), vm(config, phys, policy),
+          mem(config, vm)
+    {}
+
+    AccessOutcome
+    access(CpuId cpu, VAddr va, bool write)
+    {
+        MemAccess a;
+        a.va = va;
+        a.kind = write ? AccessKind::Store : AccessKind::Load;
+        return mem.access(cpu, a, 0);
+    }
+
+    /** L2-visible state check: does a re-access hit, and writably? */
+    bool
+    l2Holds(CpuId cpu, VAddr va)
+    {
+        auto pa = vm.translateIfMapped(va);
+        if (!pa)
+            return false;
+        Addr line = *pa / config.l2.lineBytes;
+        return mem.l2Cache(cpu).probe(line * config.l2.lineBytes,
+                                      line) != nullptr;
+    }
+
+    Mesi
+    l2State(CpuId cpu, VAddr va)
+    {
+        auto pa = vm.translateIfMapped(va);
+        panicIfNot(pa.has_value(), "unmapped");
+        Addr line = *pa / config.l2.lineBytes;
+        const CacheLine *l = mem.l2Cache(cpu).probe(
+            line * config.l2.lineBytes, line);
+        panicIfNot(l != nullptr, "line absent");
+        return l->state;
+    }
+
+    /** Every scenario must leave the hierarchy coherent. */
+    void TearDown() override { mem.auditInvariants(); }
+
+    MachineConfig config;
+    PhysMem phys;
+    PageColoringPolicy policy;
+    VirtualMemory vm;
+    MemorySystem mem;
+};
+
+TEST_F(MesiTest, ColdReadFillsExclusive)
+{
+    access(0, 0x0, false);
+    EXPECT_EQ(l2State(0, 0x0), Mesi::Exclusive);
+}
+
+TEST_F(MesiTest, ColdWriteFillsModified)
+{
+    access(0, 0x0, true);
+    EXPECT_EQ(l2State(0, 0x0), Mesi::Modified);
+}
+
+TEST_F(MesiTest, SecondReaderMakesBothShared)
+{
+    access(0, 0x0, false);
+    access(1, 0x0, false);
+    EXPECT_EQ(l2State(0, 0x0), Mesi::Shared);
+    EXPECT_EQ(l2State(1, 0x0), Mesi::Shared);
+}
+
+TEST_F(MesiTest, ReadOfModifiedDowngradesOwner)
+{
+    access(0, 0x0, true);
+    access(1, 0x0, false);
+    EXPECT_EQ(l2State(0, 0x0), Mesi::Shared);
+    EXPECT_EQ(l2State(1, 0x0), Mesi::Shared);
+}
+
+TEST_F(MesiTest, WriteToSharedInvalidatesOthers)
+{
+    access(0, 0x0, false);
+    access(1, 0x0, false);
+    access(1, 0x0, true); // upgrade
+    EXPECT_EQ(l2State(1, 0x0), Mesi::Modified);
+    EXPECT_FALSE(l2Holds(0, 0x0));
+}
+
+TEST_F(MesiTest, WriteMissInvalidatesAllSharers)
+{
+    access(0, 0x0, false);
+    access(1, 0x0, false);
+    access(2, 0x0, true); // write miss with two sharers
+    EXPECT_EQ(l2State(2, 0x0), Mesi::Modified);
+    EXPECT_FALSE(l2Holds(0, 0x0));
+    EXPECT_FALSE(l2Holds(1, 0x0));
+}
+
+TEST_F(MesiTest, SilentExclusiveToModifiedUpgrade)
+{
+    access(0, 0x0, false); // E, and the L1 copy is writable
+    std::uint64_t upgrades = mem.busStats().upgradeTxns;
+    // The store is absorbed by the writable L1 copy: no bus
+    // transaction of any kind, and the hierarchy holds the line
+    // dirty (L1-Modified above L2-Exclusive).
+    access(0, 0x0, true);
+    EXPECT_EQ(mem.busStats().upgradeTxns, upgrades);
+    // The dirty-above-Exclusive state must be visible to snoops: a
+    // remote reader pays the dirty-remote latency and both caches
+    // end Shared.
+    AccessOutcome out = access(1, 0x0, false);
+    EXPECT_GE(out.stall - out.kernel,
+              config.remoteDirtyLatencyCycles);
+    EXPECT_EQ(l2State(0, 0x0), Mesi::Shared);
+    EXPECT_EQ(l2State(1, 0x0), Mesi::Shared);
+}
+
+TEST_F(MesiTest, ExclusiveDowngradesToSharedOnRemoteRead)
+{
+    access(0, 0x0, false); // E in cpu0
+    access(1, 0x0, false);
+    EXPECT_EQ(l2State(0, 0x0), Mesi::Shared);
+}
+
+TEST_F(MesiTest, WriteAfterInvalidationIsWriteMissNotUpgrade)
+{
+    access(0, 0x0, false);
+    access(1, 0x0, true); // invalidates cpu0
+    std::uint64_t upgrades = mem.busStats().upgradeTxns;
+    AccessOutcome out = access(0, 0x0, true);
+    EXPECT_TRUE(out.l2Miss);
+    // A write miss is a data transaction, not an address-only upgrade.
+    EXPECT_EQ(mem.busStats().upgradeTxns, upgrades);
+    EXPECT_EQ(l2State(0, 0x0), Mesi::Modified);
+    EXPECT_FALSE(l2Holds(1, 0x0));
+}
+
+TEST_F(MesiTest, ChainOfOwnershipMigration)
+{
+    // The line migrates M->M->M across three writers; each step
+    // invalidates the previous owner. The new writers themselves
+    // take cold misses (they never held the line); the invalidated
+    // previous owners take true-sharing misses when they return.
+    for (CpuId w = 0; w < 3; w++)
+        access(w, 0x0, true);
+    EXPECT_EQ(l2State(2, 0x0), Mesi::Modified);
+    EXPECT_FALSE(l2Holds(0, 0x0));
+    EXPECT_FALSE(l2Holds(1, 0x0));
+
+    AccessOutcome back0 = access(0, 0x0, false);
+    EXPECT_EQ(back0.missKind, MissKind::TrueSharing);
+    AccessOutcome back1 = access(1, 0x0, false);
+    EXPECT_EQ(back1.missKind, MissKind::TrueSharing);
+}
+
+TEST_F(MesiTest, NoCoherenceTrafficForPrivateData)
+{
+    // Four CPUs working on disjoint lines: no upgrades, no sharing
+    // misses, no invalidations ever.
+    for (CpuId c = 0; c < 4; c++) {
+        for (int i = 0; i < 50; i++) {
+            access(c, 0x100000ull * (c + 1) + i * 64, (i & 1) != 0);
+        }
+    }
+    CpuMemStats t = mem.totalStats();
+    EXPECT_EQ(t.missCount[static_cast<int>(MissKind::TrueSharing)], 0u);
+    EXPECT_EQ(t.missCount[static_cast<int>(MissKind::FalseSharing)],
+              0u);
+    EXPECT_EQ(mem.busStats().upgradeTxns, 0u);
+}
+
+TEST_F(MesiTest, AuditPassesAfterMixedTraffic)
+{
+    Rng rng(42);
+    for (int i = 0; i < 5000; i++) {
+        CpuId cpu = static_cast<CpuId>(rng.below(4));
+        VAddr va = rng.below(64) * 64;
+        access(cpu, va, rng.below(3) == 0);
+    }
+    mem.auditInvariants();
+}
+
+TEST_F(MesiTest, AuditPassesAfterPrefetchTraffic)
+{
+    for (int i = 0; i < 32; i++)
+        access(0, i * config.pageBytes, false);
+    for (int i = 0; i < 32; i++)
+        mem.prefetch(0, i * config.pageBytes + 64, 1000000 + i * 50);
+    for (int i = 0; i < 32; i++)
+        access(1, i * config.pageBytes + 64, true);
+    mem.auditInvariants();
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Property sweeps over the full workload suite: for every bundled
+ * benchmark and CPU count, the CDPC plan must satisfy the structural
+ * invariants the algorithm promises (valid colors, unique pages,
+ * balanced round-robin, analyzable coverage, page ranges inside the
+ * data segment) and end-to-end runs must be deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cdpc/runtime.h"
+#include "compiler/compiler.h"
+#include "harness/experiment.h"
+
+namespace cdpc
+{
+namespace
+{
+
+class PlanProperty
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, std::uint32_t>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto [name, ncpus] = GetParam();
+        machine = MachineConfig::paperScaled(ncpus);
+        prog = buildWorkload(name);
+        CompilerOptions copts;
+        copts.aligner.lineBytes = machine.l2.lineBytes;
+        copts.aligner.l1SpanBytes =
+            machine.l1d.sizeBytes / machine.l1d.assoc;
+        summaries = compileProgram(prog, copts).summaries;
+        plan = computeCdpcPlan(summaries, cdpcParams(machine));
+    }
+
+    MachineConfig machine;
+    Program prog;
+    AccessSummaries summaries;
+    CdpcPlan plan;
+};
+
+TEST_P(PlanProperty, ColorsAreValid)
+{
+    for (const ColorHint &h : plan.coloring.hints)
+        EXPECT_LT(h.color, machine.numColors());
+}
+
+TEST_P(PlanProperty, PagesHintedExactlyOnce)
+{
+    std::set<PageNum> seen;
+    for (const ColorHint &h : plan.coloring.hints)
+        EXPECT_TRUE(seen.insert(h.vpn).second) << "vpn " << h.vpn;
+}
+
+TEST_P(PlanProperty, RoundRobinIsBalanced)
+{
+    // Step 5 hands out colors cyclically: per-color hint counts
+    // differ by at most one.
+    std::map<Color, std::uint64_t> per_color;
+    for (const ColorHint &h : plan.coloring.hints)
+        per_color[h.color]++;
+    if (plan.coloring.hints.size() < machine.numColors())
+        return; // trivially balanced
+    std::uint64_t lo = ~0ULL, hi = 0;
+    for (auto &[c, n] : per_color) {
+        lo = std::min(lo, n);
+        hi = std::max(hi, n);
+    }
+    EXPECT_LE(hi - lo, 1u);
+}
+
+TEST_P(PlanProperty, HintsStayInsideAnalyzableArrays)
+{
+    // Every hinted page lies within some analyzable array's extent.
+    for (const ColorHint &h : plan.coloring.hints) {
+        VAddr page_start = h.vpn * machine.pageBytes;
+        VAddr page_end = page_start + machine.pageBytes;
+        bool inside = false;
+        for (const ArrayExtent &a : summaries.arrays) {
+            if (!a.analyzable)
+                continue;
+            if (page_end > a.start &&
+                page_start < a.start + a.sizeBytes) {
+                inside = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(inside) << "vpn " << h.vpn;
+    }
+}
+
+TEST_P(PlanProperty, SegmentsCoverOnlyRealCpus)
+{
+    auto [name, ncpus] = GetParam();
+    (void)name;
+    for (const Segment &seg : plan.segments) {
+        EXPECT_FALSE(seg.procs.empty());
+        for (CpuId c = ncpus; c < 32; c++)
+            EXPECT_FALSE(seg.procs.contains(c))
+                << "phantom CPU " << c;
+    }
+}
+
+TEST_P(PlanProperty, SegmentOrderIsAPermutation)
+{
+    std::set<std::size_t> ids(plan.coloring.segmentOrder.begin(),
+                              plan.coloring.segmentOrder.end());
+    EXPECT_EQ(ids.size(), plan.segments.size());
+    EXPECT_EQ(plan.coloring.segmentOrder.size(), plan.segments.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PlanProperty,
+    ::testing::Combine(
+        ::testing::Values("101.tomcatv", "102.swim", "103.su2cor",
+                          "104.hydro2d", "107.mgrid", "110.applu",
+                          "125.turb3d", "141.apsi", "145.fpppp",
+                          "146.wave5"),
+        ::testing::Values(1u, 4u, 16u)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name + "_p" + std::to_string(std::get<1>(info.param));
+    });
+
+/** End-to-end determinism across the whole suite at 8 CPUs. */
+class RunDeterminism : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(RunDeterminism, IdenticalTotalsAcrossRuns)
+{
+    auto run = [&] {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(8);
+        cfg.mapping = MappingPolicy::Cdpc;
+        return runWorkload(GetParam(), cfg).totals;
+    };
+    WeightedTotals a = run();
+    WeightedTotals b = run();
+    EXPECT_DOUBLE_EQ(a.combinedTime(), b.combinedTime());
+    EXPECT_DOUBLE_EQ(a.memStall, b.memStall);
+    EXPECT_DOUBLE_EQ(a.insts, b.insts);
+    EXPECT_DOUBLE_EQ(a.wall, b.wall);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, RunDeterminism,
+                         ::testing::Values("101.tomcatv", "102.swim",
+                                           "103.su2cor", "146.wave5"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n) {
+                                 if (c == '.')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+} // namespace
+} // namespace cdpc

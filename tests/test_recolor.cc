@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the dynamic-recoloring extension and its supporting
+ * primitives: VirtualMemory::remap, Tlb::invalidate,
+ * MemorySystem::purgePage and the conflict observer hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "machine/config.h"
+#include "mem/memsystem.h"
+#include "mem/recolor.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+namespace
+{
+
+class RecolorTest : public ::testing::Test
+{
+  protected:
+    RecolorTest()
+        : config(MachineConfig::paperScaled(2)),
+          phys(config.physPages, config.numColors()),
+          policy(config.numColors()), vm(config, phys, policy),
+          mem(config, vm)
+    {}
+
+    AccessOutcome
+    load(CpuId cpu, VAddr va)
+    {
+        MemAccess a;
+        a.va = va;
+        a.kind = AccessKind::Load;
+        return mem.access(cpu, a, 0);
+    }
+
+    VAddr
+    coloredVa(Color c, std::uint64_t round = 0)
+    {
+        return (c + round * config.numColors()) * config.pageBytes;
+    }
+
+    MachineConfig config;
+    PhysMem phys;
+    PageColoringPolicy policy;
+    VirtualMemory vm;
+    MemorySystem mem;
+};
+
+TEST_F(RecolorTest, RemapChangesColor)
+{
+    vm.touch(coloredVa(5), 0);
+    EXPECT_EQ(vm.colorOf(coloredVa(5)), 5u);
+    auto newc = vm.remap(vm.vpnOf(coloredVa(5)), 9);
+    ASSERT_TRUE(newc.has_value());
+    EXPECT_EQ(*newc, 9u);
+    EXPECT_EQ(vm.colorOf(coloredVa(5)), 9u);
+}
+
+TEST_F(RecolorTest, RemapOfUnmappedReturnsNullopt)
+{
+    EXPECT_FALSE(vm.remap(12345, 3).has_value());
+}
+
+TEST_F(RecolorTest, RemapFreesTheOldPage)
+{
+    std::uint64_t before = phys.freePages();
+    vm.touch(coloredVa(5), 0);
+    vm.remap(vm.vpnOf(coloredVa(5)), 9);
+    EXPECT_EQ(phys.freePages(), before - 1);
+}
+
+TEST_F(RecolorTest, TlbSingleInvalidate)
+{
+    Tlb tlb(8);
+    tlb.access(7);
+    tlb.access(9);
+    EXPECT_TRUE(tlb.invalidate(7));
+    EXPECT_FALSE(tlb.invalidate(7));
+    EXPECT_FALSE(tlb.contains(7));
+    EXPECT_TRUE(tlb.contains(9));
+}
+
+TEST_F(RecolorTest, PurgePageEvictsAllCachedLines)
+{
+    VAddr va = coloredVa(3);
+    load(0, va);
+    load(1, va); // both CPUs cache the line
+    EXPECT_TRUE(load(0, va).l1Hit);
+    mem.purgePage(va);
+    // The line is gone everywhere: the next access re-misses...
+    AccessOutcome out = load(0, va);
+    EXPECT_TRUE(out.l2Miss);
+    // ...and the TLB was shot down on both CPUs.
+    EXPECT_TRUE(out.tlbMiss);
+}
+
+TEST_F(RecolorTest, PurgePageWritesBackDirtyLines)
+{
+    MemAccess st;
+    st.va = coloredVa(4);
+    st.kind = AccessKind::Store;
+    mem.access(0, st, 0);
+    std::uint64_t wb = mem.busStats().writebackTxns;
+    mem.purgePage(coloredVa(4));
+    EXPECT_GT(mem.busStats().writebackTxns, wb);
+}
+
+TEST_F(RecolorTest, ObserverFiresOnConflictMissesOnly)
+{
+    std::uint64_t fired = 0;
+    mem.setConflictObserver(
+        [&](CpuId, PageNum, Cycles) -> Cycles {
+            fired++;
+            return 0;
+        });
+    // Conflict pattern: three same-color pages round-robined.
+    for (int round = 0; round < 5; round++) {
+        for (std::uint64_t r = 0; r < 3; r++)
+            load(0, coloredVa(6, r));
+    }
+    EXPECT_GT(fired, 0u);
+    std::uint64_t fired_before_capacity = fired;
+    // A streaming (capacity) pattern must not fire the observer;
+    // two passes so the second classifies as capacity, not cold.
+    for (int pass = 0; pass < 2; pass++) {
+        for (std::uint64_t i = 0; i < config.l2.numLines() * 3; i++)
+            load(1, 0x4000000 + i * config.l2.lineBytes);
+    }
+    const CpuMemStats &s = mem.cpuStats(1);
+    EXPECT_GT(s.missCount[static_cast<int>(MissKind::Capacity)], 0u);
+    EXPECT_EQ(fired, fired_before_capacity);
+}
+
+TEST_F(RecolorTest, ObserverCyclesChargedAsKernelTime)
+{
+    mem.setConflictObserver(
+        [](CpuId, PageNum, Cycles) -> Cycles { return 777; });
+    for (int round = 0; round < 3; round++) {
+        for (std::uint64_t r = 0; r < 3; r++)
+            load(0, coloredVa(6, r));
+    }
+    // Find one conflicted access and check the charge.
+    AccessOutcome out = load(0, coloredVa(6, 0));
+    if (out.l2Miss && out.missKind == MissKind::Conflict) {
+        EXPECT_GE(out.kernel, 777u);
+        EXPECT_GE(out.stall, 777u);
+    }
+    EXPECT_GT(mem.cpuStats(0).kernelStall, 777u);
+}
+
+TEST_F(RecolorTest, RecolorerMovesHotPagesApart)
+{
+    RecolorConfig rc;
+    rc.missThreshold = 4;
+    DynamicRecolorer recolorer(vm, phys, mem, rc);
+    mem.setConflictObserver(
+        [&](CpuId cpu, PageNum vpn, Cycles now) {
+            return recolorer.onConflictMiss(cpu, vpn, now);
+        });
+
+    VAddr a = coloredVa(6, 0);
+    VAddr b = coloredVa(6, 1);
+    for (int round = 0; round < 40; round++) {
+        load(0, a);
+        load(0, b);
+    }
+    EXPECT_GT(recolorer.stats().recolorings, 0u);
+    EXPECT_GT(recolorer.stats().overheadCycles, 0u);
+    // After recoloring the two pages no longer share a color.
+    EXPECT_NE(vm.colorOf(a), vm.colorOf(b));
+    // And the conflict storm has stopped: both now hit.
+    load(0, a);
+    load(0, b);
+    EXPECT_TRUE(load(0, a).l1Hit || load(0, a).l2Hit);
+    EXPECT_TRUE(load(0, b).l1Hit || load(0, b).l2Hit);
+}
+
+TEST_F(RecolorTest, RecolorerRespectsMaxRecolorings)
+{
+    RecolorConfig rc;
+    rc.missThreshold = 1;
+    rc.maxRecolorings = 2;
+    DynamicRecolorer recolorer(vm, phys, mem, rc);
+    mem.setConflictObserver(
+        [&](CpuId cpu, PageNum vpn, Cycles now) {
+            return recolorer.onConflictMiss(cpu, vpn, now);
+        });
+    for (int round = 0; round < 50; round++) {
+        for (std::uint64_t r = 0; r < 3; r++)
+            load(0, coloredVa(9, r));
+    }
+    EXPECT_LE(recolorer.stats().recolorings, 2u);
+}
+
+TEST_F(RecolorTest, ZeroThresholdRejected)
+{
+    RecolorConfig rc;
+    rc.missThreshold = 0;
+    EXPECT_THROW(DynamicRecolorer(vm, phys, mem, rc), FatalError);
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the multiprocessor simulator: timing attribution,
+ * barriers, sequential/suppressed semantics, the weighted-phase
+ * methodology, tracing and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "ir/layout.h"
+#include "machine/simulator.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+#include "workloads/builder.h"
+
+namespace cdpc
+{
+namespace
+{
+
+Program
+simProgram(std::uint64_t rows = 16, std::uint64_t cols = 64,
+           NestKind kind = NestKind::Parallel,
+           std::uint64_t occurrences = 1)
+{
+    ProgramBuilder b("sim-test");
+    std::uint32_t a = b.array2d("a", rows, cols);
+    b.initNest(interleavedInit2d(b, {a}, rows, cols));
+    Phase ph;
+    ph.name = "p";
+    ph.occurrences = occurrences;
+    LoopNest nest;
+    nest.label = "sweep";
+    nest.kind = kind;
+    nest.parallelDim = 0;
+    nest.bounds = {rows, cols};
+    nest.instsPerIter = 10;
+    nest.refs = {b.at2(a, 0, 1, 0, 0, true)};
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    return p;
+}
+
+struct Rig
+{
+    explicit Rig(std::uint32_t ncpus)
+        : config(MachineConfig::paperScaled(ncpus)),
+          phys(config.physPages, config.numColors()),
+          policy(config.numColors()), vm(config, phys, policy),
+          mem(config, vm), sim(config, mem)
+    {}
+
+    MachineConfig config;
+    PhysMem phys;
+    PageColoringPolicy policy;
+    VirtualMemory vm;
+    MemorySystem mem;
+    MpSimulator sim;
+};
+
+TEST(Simulator, InstructionConservationAcrossCpuCounts)
+{
+    // Total instructions = iters * (insts + refs) regardless of CPUs.
+    std::uint64_t expected = 16 * 64 * (10 + 1);
+    for (std::uint32_t ncpus : {1u, 2u, 4u, 8u}) {
+        Rig rig(ncpus);
+        Program p = simProgram();
+        SimOptions opts;
+        opts.warmupRounds = 0;
+        WeightedTotals t = rig.sim.run(p, opts);
+        EXPECT_DOUBLE_EQ(t.insts, static_cast<double>(expected))
+            << ncpus << " cpus";
+    }
+}
+
+TEST(Simulator, ClocksAlignedAfterBarrier)
+{
+    Rig rig(4);
+    Program p = simProgram();
+    rig.sim.run(p, {});
+    Cycles c0 = rig.sim.cpuClock(0);
+    for (CpuId c = 1; c < 4; c++)
+        EXPECT_EQ(rig.sim.cpuClock(c), c0);
+}
+
+TEST(Simulator, SequentialNestChargesSlaveIdleTime)
+{
+    Rig rig(4);
+    Program p = simProgram(16, 64, NestKind::Sequential);
+    SimOptions opts;
+    opts.warmupRounds = 0;
+    WeightedTotals t = rig.sim.run(p, opts);
+    EXPECT_GT(t.sequential, 0.0);
+    EXPECT_DOUBLE_EQ(t.suppressed, 0.0);
+    // The three slaves idle while the master works: the idle time is
+    // about 3x the master's busy+stall time.
+    EXPECT_NEAR(t.sequential, 3.0 * (t.busy + t.memStall + t.kernel),
+                t.sequential * 0.05);
+}
+
+TEST(Simulator, SuppressedNestChargedSeparately)
+{
+    Rig rig(2);
+    Program p = simProgram(16, 64, NestKind::Suppressed);
+    SimOptions opts;
+    opts.warmupRounds = 0;
+    WeightedTotals t = rig.sim.run(p, opts);
+    EXPECT_GT(t.suppressed, 0.0);
+    EXPECT_DOUBLE_EQ(t.sequential, 0.0);
+}
+
+TEST(Simulator, ParallelNestPaysForkAndBarrier)
+{
+    Rig rig(4);
+    Program p = simProgram();
+    SimOptions opts;
+    opts.warmupRounds = 0;
+    opts.runInit = false;
+    WeightedTotals t = rig.sim.run(p, opts);
+    // One parallel nest: fork + barrier on each of 4 CPUs.
+    double expected =
+        4.0 * (rig.config.forkCycles + rig.config.barrierCycles);
+    EXPECT_DOUBLE_EQ(t.sync, expected);
+    EXPECT_DOUBLE_EQ(t.barriers, 1.0);
+}
+
+TEST(Simulator, ImbalanceFromUnevenIterations)
+{
+    // 5 iterations over 4 CPUs: one CPU does double work.
+    Rig rig(4);
+    Program p = simProgram(5, 64);
+    SimOptions opts;
+    opts.warmupRounds = 0;
+    WeightedTotals t = rig.sim.run(p, opts);
+    EXPECT_GT(t.imbalance, 0.0);
+}
+
+TEST(Simulator, OccurrenceWeightingScalesLinearly)
+{
+    Rig rig1(2), rig2(2);
+    Program p1 = simProgram(16, 64, NestKind::Parallel, 1);
+    Program p10 = simProgram(16, 64, NestKind::Parallel, 10);
+    SimOptions opts;
+    WeightedTotals t1 = rig1.sim.run(p1, opts);
+    WeightedTotals t10 = rig2.sim.run(p10, opts);
+    EXPECT_NEAR(t10.insts, 10.0 * t1.insts, 1e-6);
+    // Warm caches make later rounds cheaper, but the weighted stall
+    // must scale with occurrences to within the warmup difference.
+    EXPECT_GT(t10.combinedTime(), 5.0 * t1.combinedTime());
+}
+
+TEST(Simulator, MeasureRoundsAverage)
+{
+    Rig a(2), b(2);
+    Program p = simProgram(16, 64, NestKind::Parallel, 6);
+    SimOptions one;
+    one.measureRounds = 1;
+    SimOptions three;
+    three.measureRounds = 3;
+    WeightedTotals t1 = a.sim.run(p, one);
+    WeightedTotals t3 = b.sim.run(p, three);
+    // Same weighted instruction total either way.
+    EXPECT_NEAR(t1.insts, t3.insts, 1e-6);
+}
+
+TEST(Simulator, TraceCollectsSteadyPagesOnly)
+{
+    Rig rig(2);
+    Program p = simProgram();
+    PageTraceCollector trace(2);
+    SimOptions opts;
+    opts.trace = &trace;
+    rig.sim.run(p, opts);
+    // Both CPUs touched their slice: 16 rows x 512B = 16 pages total.
+    std::vector<PageNum> pages = trace.allPages();
+    EXPECT_EQ(pages.size(), 16u);
+    EXPECT_GE(trace.pagesOf(0).size(), 8u);
+    EXPECT_GE(trace.pagesOf(1).size(), 8u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        Rig rig(4);
+        Program p = simProgram(32, 64);
+        return rig.sim.run(p, {});
+    };
+    WeightedTotals a = run_once();
+    WeightedTotals b = run_once();
+    EXPECT_DOUBLE_EQ(a.combinedTime(), b.combinedTime());
+    EXPECT_DOUBLE_EQ(a.memStall, b.memStall);
+    EXPECT_DOUBLE_EQ(a.wall, b.wall);
+}
+
+TEST(Simulator, IfetchModelGeneratesInstructionFetches)
+{
+    Rig rig(1);
+    Program p = simProgram();
+    p.modelIfetch = true;
+    p.textBytes = 16 * 1024;
+    SimOptions opts;
+    opts.warmupRounds = 0;
+    rig.sim.run(p, opts);
+    EXPECT_GT(rig.mem.totalStats().ifetches, 0u);
+}
+
+TEST(Simulator, ResetExecState)
+{
+    Rig rig(2);
+    Program p = simProgram();
+    rig.sim.run(p, {});
+    rig.sim.resetExecState();
+    EXPECT_EQ(rig.sim.cpuClock(0), 0u);
+    RunTotals t = rig.sim.snapshot();
+    EXPECT_EQ(t.cpus[0].insts, 0u);
+    EXPECT_EQ(t.barriers, 0u);
+}
+
+TEST(Simulator, ZeroMeasureRoundsRejected)
+{
+    Rig rig(1);
+    Program p = simProgram();
+    SimOptions opts;
+    opts.measureRounds = 0;
+    EXPECT_THROW(rig.sim.run(p, opts), FatalError);
+}
+
+TEST(Simulator, CombinedTimeEqualsCpuTimeSum)
+{
+    Rig rig(4);
+    Program p = simProgram(32, 64);
+    SimOptions opts;
+    opts.warmupRounds = 0;
+    opts.runInit = false;
+    WeightedTotals t = rig.sim.run(p, opts);
+    // With no init and no warmup, the weighted combined time equals
+    // the sum of the CPUs' clocks.
+    double clock_sum = 0.0;
+    for (CpuId c = 0; c < 4; c++)
+        clock_sum += static_cast<double>(rig.sim.cpuClock(c));
+    EXPECT_NEAR(t.combinedTime(), clock_sum, clock_sum * 1e-12);
+}
+
+TEST(Simulator, TimelineRecordsEveryNest)
+{
+    Rig rig(4);
+    ProgramBuilder b("timeline");
+    std::uint32_t a = b.array2d("a", 16, 64);
+    Phase ph;
+    ph.name = "phase-x";
+    for (NestKind kind : {NestKind::Sequential, NestKind::Parallel,
+                          NestKind::Suppressed}) {
+        LoopNest nest;
+        nest.label = kind == NestKind::Parallel ? "par" : "other";
+        nest.kind = kind;
+        nest.parallelDim = 0;
+        nest.bounds = {16, 64};
+        nest.instsPerIter = 10;
+        nest.refs = {b.at2(a, 0, 1, 0, 0, true)};
+        ph.nests.push_back(nest);
+    }
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+
+    std::vector<NestTimelineEntry> timeline;
+    SimOptions opts;
+    opts.warmupRounds = 0;
+    opts.runInit = false;
+    opts.timeline = &timeline;
+    rig.sim.run(p, opts);
+
+    ASSERT_EQ(timeline.size(), 3u);
+    EXPECT_EQ(timeline[0].kind, NestKind::Sequential);
+    EXPECT_EQ(timeline[1].kind, NestKind::Parallel);
+    EXPECT_EQ(timeline[2].kind, NestKind::Suppressed);
+    for (const NestTimelineEntry &e : timeline) {
+        EXPECT_EQ(e.phase, "phase-x");
+        EXPECT_EQ(e.cpuEnd.size(), 4u);
+        EXPECT_LE(e.start, e.end);
+        for (Cycles c : e.cpuEnd) {
+            EXPECT_GE(c, e.start);
+            EXPECT_LE(c, e.end);
+        }
+    }
+    // Entries are time-ordered and contiguous.
+    EXPECT_LE(timeline[0].end, timeline[1].start);
+    EXPECT_LE(timeline[1].end, timeline[2].start);
+}
+
+/** Property: stat categories always sum to the combined time. */
+class SimBreakdownProperty : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(SimBreakdownProperty, CategoriesAreExhaustive)
+{
+    Rig rig(GetParam());
+    Program p = simProgram(33, 64); // odd extent: imbalance present
+    SimOptions opts;
+    WeightedTotals t = rig.sim.run(p, opts);
+    double sum = t.busy + t.memStall + t.kernel + t.imbalance +
+                 t.sequential + t.suppressed + t.sync;
+    EXPECT_NEAR(sum, t.combinedTime(), 1e-9);
+    EXPECT_GE(t.wall, 0.0);
+    EXPECT_GT(t.busy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cpus, SimBreakdownProperty,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u));
+
+} // namespace
+} // namespace cdpc

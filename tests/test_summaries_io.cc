@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Round-trip tests for the summaries serialization, including the
+ * staging property: a plan computed from reloaded summaries is
+ * identical to one computed from the originals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cdpc/runtime.h"
+#include "common/logging.h"
+#include "compiler/compiler.h"
+#include "compiler/summaries_io.h"
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+namespace
+{
+
+AccessSummaries
+summariesFor(const char *name)
+{
+    Program p = buildWorkload(name);
+    return compileProgram(p).summaries;
+}
+
+TEST(SummariesIo, RoundTripPreservesEverything)
+{
+    AccessSummaries s = summariesFor("102.swim");
+    std::stringstream buf;
+    saveSummaries(s, buf);
+    AccessSummaries t = loadSummaries(buf);
+
+    EXPECT_EQ(t.programName, s.programName);
+    ASSERT_EQ(t.arrays.size(), s.arrays.size());
+    for (std::size_t i = 0; i < s.arrays.size(); i++) {
+        EXPECT_EQ(t.arrays[i].arrayId, s.arrays[i].arrayId);
+        EXPECT_EQ(t.arrays[i].start, s.arrays[i].start);
+        EXPECT_EQ(t.arrays[i].sizeBytes, s.arrays[i].sizeBytes);
+        EXPECT_EQ(t.arrays[i].analyzable, s.arrays[i].analyzable);
+    }
+    ASSERT_EQ(t.partitions.size(), s.partitions.size());
+    for (std::size_t i = 0; i < s.partitions.size(); i++) {
+        EXPECT_EQ(t.partitions[i].arrayId, s.partitions[i].arrayId);
+        EXPECT_EQ(t.partitions[i].unitBytes,
+                  s.partitions[i].unitBytes);
+        EXPECT_EQ(t.partitions[i].numUnits, s.partitions[i].numUnits);
+        EXPECT_EQ(t.partitions[i].policy, s.partitions[i].policy);
+        EXPECT_EQ(t.partitions[i].dir, s.partitions[i].dir);
+    }
+    ASSERT_EQ(t.comms.size(), s.comms.size());
+    for (std::size_t i = 0; i < s.comms.size(); i++) {
+        EXPECT_EQ(t.comms[i].arrayId, s.comms[i].arrayId);
+        EXPECT_EQ(t.comms[i].type, s.comms[i].type);
+        EXPECT_EQ(t.comms[i].boundaryUnits, s.comms[i].boundaryUnits);
+        EXPECT_EQ(t.comms[i].dir, s.comms[i].dir);
+    }
+    EXPECT_EQ(t.groups.size(), s.groups.size());
+    EXPECT_EQ(t.unanalyzable, s.unanalyzable);
+}
+
+TEST(SummariesIo, StagedPlanIdenticalToDirectPlan)
+{
+    // The paper's deployment: compile once, plan at start-up on
+    // whatever machine you find. A plan from reloaded summaries must
+    // be bit-identical.
+    for (const char *name : {"101.tomcatv", "103.su2cor"}) {
+        AccessSummaries s = summariesFor(name);
+        std::stringstream buf;
+        saveSummaries(s, buf);
+        AccessSummaries t = loadSummaries(buf);
+
+        CdpcParams params = cdpcParams(MachineConfig::paperScaled(8));
+        CdpcPlan direct = computeCdpcPlan(s, params);
+        CdpcPlan staged = computeCdpcPlan(t, params);
+        ASSERT_EQ(staged.coloring.hints.size(),
+                  direct.coloring.hints.size())
+            << name;
+        for (std::size_t i = 0; i < direct.coloring.hints.size(); i++) {
+            EXPECT_EQ(staged.coloring.hints[i], direct.coloring.hints[i])
+                << name << " hint " << i;
+        }
+    }
+}
+
+TEST(SummariesIo, RejectsGarbage)
+{
+    std::stringstream buf;
+    buf << "definitely not a summaries stream";
+    EXPECT_THROW(loadSummaries(buf), FatalError);
+}
+
+TEST(SummariesIo, RejectsTruncated)
+{
+    AccessSummaries s = summariesFor("104.hydro2d");
+    std::stringstream buf;
+    saveSummaries(s, buf);
+    std::string whole = buf.str();
+    std::stringstream cut(whole.substr(0, whole.size() / 2));
+    EXPECT_THROW(loadSummaries(cut), FatalError);
+}
+
+TEST(SummariesIo, MissingFileRejected)
+{
+    EXPECT_THROW(loadSummaries(std::string("/nonexistent/x.sum")),
+                 FatalError);
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the VM substrate: physical allocator, mapping policies,
+ * hint table and the VirtualMemory facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "machine/config.h"
+#include "vm/hints.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+namespace
+{
+
+// ---- PhysMem -----------------------------------------------------------
+
+TEST(PhysMem, ColorOfCyclesThroughColors)
+{
+    PhysMem pm(64, 16);
+    for (PageNum p = 0; p < 64; p++)
+        EXPECT_EQ(pm.colorOf(p), p % 16);
+}
+
+TEST(PhysMem, PreferredColorHonored)
+{
+    PhysMem pm(64, 16);
+    for (Color c : {3u, 7u, 3u, 15u}) {
+        PageNum p = pm.alloc(c);
+        EXPECT_EQ(pm.colorOf(p), c);
+    }
+    EXPECT_EQ(pm.stats().preferredHonored, 4u);
+    EXPECT_EQ(pm.stats().preferredDenied, 0u);
+}
+
+TEST(PhysMem, FallbackUnderColorPressure)
+{
+    PhysMem pm(32, 16); // two pages per color
+    PageNum a = pm.alloc(5);
+    PageNum b = pm.alloc(5);
+    EXPECT_EQ(pm.colorOf(a), 5u);
+    EXPECT_EQ(pm.colorOf(b), 5u);
+    // Color 5 exhausted: the next request falls forward to color 6.
+    PageNum c = pm.alloc(5);
+    EXPECT_EQ(pm.colorOf(c), 6u);
+    EXPECT_EQ(pm.stats().preferredDenied, 1u);
+}
+
+TEST(PhysMem, ExhaustionIsFatal)
+{
+    PhysMem pm(4, 4);
+    for (int i = 0; i < 4; i++)
+        pm.alloc(kNoColor);
+    EXPECT_THROW(pm.alloc(kNoColor), FatalError);
+}
+
+TEST(PhysMem, FreeReturnsPageToItsColor)
+{
+    PhysMem pm(16, 16); // one page per color
+    PageNum p = pm.alloc(9);
+    EXPECT_EQ(pm.freePagesOfColor(9), 0u);
+    pm.free(p);
+    EXPECT_EQ(pm.freePagesOfColor(9), 1u);
+    EXPECT_EQ(pm.alloc(9), p);
+}
+
+TEST(PhysMem, NoPreferenceRotatesColors)
+{
+    PhysMem pm(64, 16);
+    Color c0 = pm.colorOf(pm.alloc(kNoColor));
+    Color c1 = pm.colorOf(pm.alloc(kNoColor));
+    EXPECT_NE(c0, c1);
+    EXPECT_EQ(pm.stats().noPreference, 2u);
+}
+
+TEST(PhysMem, AscendingAllocationWithinColor)
+{
+    PhysMem pm(64, 16);
+    PageNum a = pm.alloc(0);
+    PageNum b = pm.alloc(0);
+    EXPECT_LT(a, b);
+}
+
+// ---- Policies ----------------------------------------------------------
+
+TEST(PageColoringPolicy, VpnModuloColors)
+{
+    PageColoringPolicy p(256);
+    EXPECT_EQ(p.preferredColor({0, 0, 1}), 0u);
+    EXPECT_EQ(p.preferredColor({255, 0, 1}), 255u);
+    EXPECT_EQ(p.preferredColor({256, 0, 1}), 0u);
+    EXPECT_EQ(p.preferredColor({1000, 3, 4}), 1000u % 256);
+    EXPECT_EQ(p.name(), "page-coloring");
+}
+
+TEST(BinHoppingPolicy, CyclesInFaultOrder)
+{
+    BinHoppingPolicy p(8, false);
+    for (std::uint32_t i = 0; i < 20; i++)
+        EXPECT_EQ(p.preferredColor({i * 977, 0, 1}), i % 8);
+}
+
+TEST(BinHoppingPolicy, ResetRestartsCycle)
+{
+    BinHoppingPolicy p(8, false);
+    p.preferredColor({1, 0, 1});
+    p.preferredColor({2, 0, 1});
+    p.reset();
+    EXPECT_EQ(p.preferredColor({3, 0, 1}), 0u);
+}
+
+TEST(BinHoppingPolicy, RacyPerturbationBounded)
+{
+    BinHoppingPolicy p(64, true, 123);
+    // With k concurrent faulters the color lands within k slots of
+    // the deterministic cursor.
+    for (std::uint32_t i = 0; i < 200; i++) {
+        Color c = p.preferredColor({i, 0, 4});
+        std::uint32_t base = i % 64;
+        std::uint32_t delta = (c + 64 - base) % 64;
+        EXPECT_LT(delta, 4u) << "fault " << i;
+    }
+}
+
+TEST(BinHoppingPolicy, RacyIsDeterministicPerSeed)
+{
+    BinHoppingPolicy a(64, true, 5), b(64, true, 5);
+    for (std::uint32_t i = 0; i < 100; i++) {
+        EXPECT_EQ(a.preferredColor({i, 0, 8}),
+                  b.preferredColor({i, 0, 8}));
+    }
+}
+
+TEST(BinHoppingPolicy, NoRaceWithSingleFaulter)
+{
+    BinHoppingPolicy p(16, true, 99);
+    for (std::uint32_t i = 0; i < 50; i++)
+        EXPECT_EQ(p.preferredColor({i, 0, 1}), i % 16);
+}
+
+TEST(RandomPolicy, SeededDeterministicAndInRange)
+{
+    RandomPolicy a(64, 7), b(64, 7);
+    for (std::uint32_t i = 0; i < 200; i++) {
+        Color ca = a.preferredColor({i, 0, 1});
+        EXPECT_LT(ca, 64u);
+        EXPECT_EQ(ca, b.preferredColor({i, 0, 1}));
+    }
+}
+
+TEST(RandomPolicy, ResetReplaysSequence)
+{
+    RandomPolicy p(64, 7);
+    Color first = p.preferredColor({0, 0, 1});
+    p.preferredColor({1, 0, 1});
+    p.reset();
+    EXPECT_EQ(p.preferredColor({0, 0, 1}), first);
+}
+
+TEST(RandomPolicy, CoversTheColorSpace)
+{
+    RandomPolicy p(16, 3);
+    std::set<Color> seen;
+    for (std::uint32_t i = 0; i < 500; i++)
+        seen.insert(p.preferredColor({i, 0, 1}));
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(HashPolicy, DeterministicAndInRange)
+{
+    HashPolicy p(256);
+    for (PageNum v : {0ull, 255ull, 256ull, 123456789ull}) {
+        Color c1 = p.preferredColor({v, 0, 1});
+        Color c2 = p.preferredColor({v, 0, 1});
+        EXPECT_EQ(c1, c2);
+        EXPECT_LT(c1, 256u);
+    }
+}
+
+TEST(HashPolicy, BreaksCacheSpanAliasing)
+{
+    // The pathology hash coloring exists to break: pages exactly one
+    // color-span apart alias under plain page coloring. Hashing must
+    // separate most such pairs.
+    HashPolicy p(256);
+    int aliased = 0;
+    for (PageNum base = 1; base <= 64; base++) {
+        Color c1 = p.preferredColor({base * 256, 0, 1});
+        Color c2 = p.preferredColor({(base + 1) * 256, 0, 1});
+        if (c1 == c2)
+            aliased++;
+    }
+    EXPECT_LT(aliased, 8);
+}
+
+// ---- CdpcHintPolicy ------------------------------------------------------
+
+TEST(CdpcHintPolicy, HintsOverrideFallback)
+{
+    PageColoringPolicy base(16);
+    CdpcHintPolicy hints(base);
+    hints.madviseColors({{100, 7}, {101, 3}});
+    EXPECT_EQ(hints.preferredColor({100, 0, 1}), 7u);
+    EXPECT_EQ(hints.preferredColor({101, 0, 1}), 3u);
+    EXPECT_EQ(hints.preferredColor({102, 0, 1}), 102u % 16);
+    EXPECT_EQ(hints.hintedFaults(), 2u);
+    EXPECT_EQ(hints.unhintedFaults(), 1u);
+    EXPECT_EQ(hints.name(), "cdpc(page-coloring)");
+}
+
+TEST(CdpcHintPolicy, LaterHintsOverwrite)
+{
+    PageColoringPolicy base(16);
+    CdpcHintPolicy hints(base);
+    hints.madviseColors({{5, 1}});
+    hints.madviseColors({{5, 9}});
+    EXPECT_EQ(hints.numHints(), 1u);
+    EXPECT_EQ(hints.preferredColor({5, 0, 1}), 9u);
+}
+
+TEST(CdpcHintPolicy, ClearHints)
+{
+    PageColoringPolicy base(16);
+    CdpcHintPolicy hints(base);
+    hints.madviseColors({{5, 1}});
+    hints.clearHints();
+    EXPECT_EQ(hints.numHints(), 0u);
+    EXPECT_EQ(hints.preferredColor({5, 0, 1}), 5u % 16);
+}
+
+// ---- VirtualMemory --------------------------------------------------------
+
+class VirtualMemoryTest : public ::testing::Test
+{
+  protected:
+    VirtualMemoryTest()
+        : config(MachineConfig::paperScaled(1)),
+          phys(config.physPages, config.numColors()),
+          policy(config.numColors()), vm(config, phys, policy)
+    {}
+
+    MachineConfig config;
+    PhysMem phys;
+    PageColoringPolicy policy;
+    VirtualMemory vm;
+};
+
+TEST_F(VirtualMemoryTest, FaultThenHit)
+{
+    Translation t1 = vm.translate(0x1000, 0);
+    EXPECT_TRUE(t1.faulted);
+    Translation t2 = vm.translate(0x1000, 0);
+    EXPECT_FALSE(t2.faulted);
+    EXPECT_EQ(t1.pa, t2.pa);
+    EXPECT_EQ(vm.stats().pageFaults, 1u);
+    EXPECT_EQ(vm.stats().translations, 2u);
+}
+
+TEST_F(VirtualMemoryTest, OffsetPreservedWithinPage)
+{
+    Translation t = vm.translate(0x1234, 0);
+    EXPECT_EQ(t.pa % config.pageBytes,
+              0x1234u % config.pageBytes);
+}
+
+TEST_F(VirtualMemoryTest, ColorMatchesPolicy)
+{
+    VAddr va = 77 * config.pageBytes;
+    vm.translate(va, 0);
+    EXPECT_EQ(vm.colorOf(va),
+              static_cast<Color>(77 % config.numColors()));
+}
+
+TEST_F(VirtualMemoryTest, TranslateIfMapped)
+{
+    EXPECT_FALSE(vm.translateIfMapped(0x5000).has_value());
+    vm.touch(0x5000, 0);
+    EXPECT_TRUE(vm.translateIfMapped(0x5000).has_value());
+    EXPECT_TRUE(vm.isMapped(0x5000));
+    EXPECT_FALSE(vm.isMapped(0x9000));
+}
+
+TEST_F(VirtualMemoryTest, ColorOfUnmappedPanics)
+{
+    EXPECT_THROW(vm.colorOf(0xdead000), PanicError);
+}
+
+TEST_F(VirtualMemoryTest, UnmapAllReturnsPages)
+{
+    std::uint64_t before = phys.freePages();
+    vm.touch(0x1000, 0);
+    vm.touch(0x2000, 0);
+    EXPECT_EQ(phys.freePages(), before - 2);
+    vm.unmapAll();
+    EXPECT_EQ(phys.freePages(), before);
+    EXPECT_EQ(vm.mappedPages(), 0u);
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Structural tests for the ten SPEC95fp stand-ins: every workload
+ * builds and validates, data-set sizes track Table 1 at the 1/8
+ * scale, and the per-benchmark characteristics the paper relies on
+ * are present (swim's 13 arrays, turb3d's phase occurrences, applu's
+ * 33-iteration blocked loops, fpppp's instruction-stream model, the
+ * unanalyzable structures of su2cor and wave5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/workload.h"
+
+namespace cdpc
+{
+namespace
+{
+
+TEST(Workloads, RegistryHasAllTen)
+{
+    EXPECT_EQ(allWorkloads().size(), 10u);
+}
+
+TEST(Workloads, AllBuildAndValidate)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        Program p = w.build();
+        EXPECT_NO_THROW(p.validate()) << w.name;
+        EXPECT_EQ(p.name, w.name);
+        EXPECT_FALSE(p.steady.empty()) << w.name;
+        EXPECT_FALSE(p.init.nests.empty()) << w.name;
+    }
+}
+
+TEST(Workloads, DataSetSizesTrackTable1)
+{
+    // Scaled size x 8 should be within 20% of the paper's Table 1
+    // (fpppp's "< 1MB" is excluded from the tolerance check).
+    for (const WorkloadInfo &w : allWorkloads()) {
+        Program p = w.build();
+        double scaled_up =
+            static_cast<double>(p.dataSetBytes()) * 8.0 /
+            (1024.0 * 1024.0);
+        if (w.name == "145.fpppp") {
+            EXPECT_LT(scaled_up, 1.0);
+            continue;
+        }
+        EXPECT_NEAR(scaled_up, w.paperDataSetMB,
+                    0.20 * w.paperDataSetMB)
+            << w.name;
+    }
+}
+
+TEST(Workloads, LookupByFullAndShortName)
+{
+    EXPECT_EQ(findWorkload("102.swim").name, "102.swim");
+    EXPECT_EQ(findWorkload("swim").name, "102.swim");
+    EXPECT_THROW(findWorkload("nosuch"), FatalError);
+}
+
+TEST(Workloads, SpecReferenceTimesPositive)
+{
+    for (const WorkloadInfo &w : allWorkloads())
+        EXPECT_GT(w.specRefSeconds, 0.0) << w.name;
+}
+
+TEST(Workloads, SwimHasThirteenCacheSpanningArrays)
+{
+    Program p = buildWorkload("swim");
+    EXPECT_EQ(p.arrays.size(), 13u);
+    for (const ArrayDecl &a : p.arrays)
+        EXPECT_EQ(a.sizeBytes(), 130u * 128u * 8u) << a.name;
+}
+
+TEST(Workloads, TomcatvHasSevenArrays)
+{
+    Program p = buildWorkload("tomcatv");
+    EXPECT_EQ(p.arrays.size(), 7u);
+}
+
+TEST(Workloads, Turb3dPhaseOccurrencesMatchPaper)
+{
+    // "four phases that each occur 11, 66, 100 and 120 times"
+    Program p = buildWorkload("turb3d");
+    ASSERT_EQ(p.steady.size(), 4u);
+    EXPECT_EQ(p.steady[0].occurrences, 11u);
+    EXPECT_EQ(p.steady[1].occurrences, 66u);
+    EXPECT_EQ(p.steady[2].occurrences, 100u);
+    EXPECT_EQ(p.steady[3].occurrences, 120u);
+}
+
+TEST(Workloads, AppluHas33IterationBlockedLoops)
+{
+    Program p = buildWorkload("applu");
+    bool found = false;
+    for (const Phase &ph : p.steady) {
+        for (const LoopNest &nest : ph.nests) {
+            if (nest.kind != NestKind::Parallel)
+                continue;
+            EXPECT_EQ(nest.partition.policy, PartitionPolicy::Blocked)
+                << nest.label;
+            if (nest.bounds[nest.parallelDim] == 33)
+                found = true;
+        }
+    }
+    EXPECT_TRUE(found) << "no 33-iteration parallel loop";
+}
+
+TEST(Workloads, AppluWavefrontsInhibitPrefetchPipelining)
+{
+    Program p = buildWorkload("applu");
+    for (const Phase &ph : p.steady) {
+        for (const LoopNest &nest : ph.nests)
+            EXPECT_TRUE(nest.prefetchPipelineInhibited) << nest.label;
+    }
+}
+
+TEST(Workloads, FppppIsSequentialAndIfetchBound)
+{
+    Program p = buildWorkload("fpppp");
+    EXPECT_TRUE(p.modelIfetch);
+    EXPECT_GT(p.textBytes, 4u * 1024u);   // exceeds the L1I
+    EXPECT_LT(p.textBytes, 128u * 1024u); // fits the external cache
+    for (const Phase &ph : p.steady) {
+        for (const LoopNest &nest : ph.nests)
+            EXPECT_EQ(nest.kind, NestKind::Sequential) << nest.label;
+    }
+    EXPECT_LT(p.dataSetBytes(), 128u * 1024u);
+}
+
+TEST(Workloads, Su2corHasUnanalyzableStructures)
+{
+    Program p = buildWorkload("su2cor");
+    int unanalyzable = 0;
+    for (const ArrayDecl &a : p.arrays)
+        unanalyzable += a.summarizable ? 0 : 1;
+    EXPECT_EQ(unanalyzable, 3); // prop0, prop1, latt
+}
+
+TEST(Workloads, Wave5ParticlePushIsSuppressed)
+{
+    Program p = buildWorkload("wave5");
+    bool suppressed_gather = false;
+    for (const Phase &ph : p.steady) {
+        for (const LoopNest &nest : ph.nests) {
+            if (nest.kind != NestKind::Suppressed)
+                continue;
+            for (const AffineRef &r : nest.refs) {
+                if (r.wrapModElems != 0)
+                    suppressed_gather = true;
+            }
+        }
+    }
+    EXPECT_TRUE(suppressed_gather);
+}
+
+TEST(Workloads, ApsiHasFineGrainNests)
+{
+    // The nests apsi authors as Parallel must be small enough that
+    // the parallelizer suppresses most of them.
+    Program p = buildWorkload("apsi");
+    int narrow = 0;
+    for (const Phase &ph : p.steady) {
+        for (const LoopNest &nest : ph.nests) {
+            std::uint64_t work =
+                nest.totalIters() * (nest.instsPerIter +
+                                     nest.refs.size());
+            if (nest.kind == NestKind::Parallel && work < 50000)
+                narrow++;
+        }
+    }
+    EXPECT_GE(narrow, 4);
+}
+
+TEST(Workloads, ArraysHaveUniqueNames)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        Program p = w.build();
+        std::set<std::string> names;
+        for (const ArrayDecl &a : p.arrays)
+            EXPECT_TRUE(names.insert(a.name).second)
+                << w.name << ": " << a.name;
+    }
+}
+
+} // namespace
+} // namespace cdpc

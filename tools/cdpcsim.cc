@@ -1,0 +1,558 @@
+/**
+ * @file
+ * cdpcsim — the command-line driver for the CDPC simulator.
+ *
+ *   cdpcsim list
+ *       The bundled SPEC95fp workloads.
+ *   cdpcsim run <workload> [options]
+ *       One experiment with a full execution/memory breakdown.
+ *   cdpcsim compare <workload> [options]
+ *       All four page mapping policies side by side.
+ *   cdpcsim sweep <workload> [options]
+ *       One policy across 1..16 CPUs.
+ *   cdpcsim plan <workload> [options]
+ *       The compiler summaries and the CDPC plan, no simulation.
+ *   cdpcsim record <workload> --out FILE [options]
+ *       Capture the demand reference trace of one run.
+ *   cdpcsim replay FILE [options]
+ *       Replay a recorded trace through a (possibly different)
+ *       memory-system configuration.
+ *   cdpcsim attribute <workload> [options]
+ *       Per-array reference and miss attribution.
+ *   cdpcsim plan <workload> --out FILE
+ *       Also: save the compiler summaries for later staging.
+ *   cdpcsim hints FILE [options]
+ *       Compute a CDPC plan from saved summaries (the run-time
+ *       library step, decoupled from compilation).
+ *
+ * Options:
+ *   --cpus N        processors (default 8)
+ *   --policy P      pc | bh | cdpc | cdpc-touch (default cdpc)
+ *   --machine M     scaled | scaled-2way | scaled-4mb | alpha | full
+ *   --cache KB      override external cache size (KB)
+ *   --assoc N       override external cache associativity
+ *   --prefetch      enable compiler-inserted prefetching
+ *   --dynamic       enable the dynamic recoloring extension
+ *   --unaligned     disable the Section 5.4 alignment/padding
+ *   --no-cyclic     disable CDPC Step 4 (ablation)
+ *   --no-greedy     disable CDPC Steps 2-3 ordering (ablation)
+ *   --out FILE      trace output path (record)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "compiler/summaries_io.h"
+#include "harness/attribution.h"
+#include "harness/experiment.h"
+#include "harness/spec.h"
+#include "machine/tracefile.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+using namespace cdpc;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string command;
+    std::string workload;
+    std::uint32_t cpus = 8;
+    MappingPolicy policy = MappingPolicy::Cdpc;
+    std::string machine = "scaled";
+    std::uint64_t cacheKb = 0;
+    std::uint32_t assoc = 0;
+    bool prefetch = false;
+    bool dynamic = false;
+    bool unaligned = false;
+    bool noCyclic = false;
+    bool noGreedy = false;
+    std::string out;
+};
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::cerr << "cdpcsim: " << msg << "\n\n";
+    std::cerr <<
+        "usage: cdpcsim <command> [workload] [options]\n"
+        "commands: list | run | compare | sweep | plan | record |\n"
+        "          replay | attribute\n"
+        "options: --cpus N --policy pc|bh|cdpc|cdpc-touch\n"
+        "         --machine scaled|scaled-2way|scaled-4mb|alpha|full\n"
+        "         --cache KB --assoc N --prefetch --dynamic\n"
+        "         --unaligned --no-cyclic --no-greedy\n";
+    std::exit(msg ? 2 : 0);
+}
+
+MappingPolicy
+parsePolicy(const std::string &s)
+{
+    if (s == "pc" || s == "page-coloring")
+        return MappingPolicy::PageColoring;
+    if (s == "bh" || s == "bin-hopping")
+        return MappingPolicy::BinHopping;
+    if (s == "cdpc")
+        return MappingPolicy::Cdpc;
+    if (s == "cdpc-touch")
+        return MappingPolicy::CdpcTouchOrder;
+    usage("unknown policy");
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions o;
+    if (argc < 2)
+        usage();
+    o.command = argv[1];
+    int i = 2;
+    if (i < argc && argv[i][0] != '-')
+        o.workload = argv[i++];
+    auto need_value = [&](const char *flag) -> std::string {
+        if (i >= argc)
+            usage((std::string(flag) + " needs a value").c_str());
+        return argv[i++];
+    };
+    while (i < argc) {
+        std::string a = argv[i++];
+        if (a == "--cpus")
+            o.cpus = static_cast<std::uint32_t>(
+                std::atoi(need_value("--cpus").c_str()));
+        else if (a == "--policy")
+            o.policy = parsePolicy(need_value("--policy"));
+        else if (a == "--machine")
+            o.machine = need_value("--machine");
+        else if (a == "--cache")
+            o.cacheKb = static_cast<std::uint64_t>(
+                std::atoll(need_value("--cache").c_str()));
+        else if (a == "--assoc")
+            o.assoc = static_cast<std::uint32_t>(
+                std::atoi(need_value("--assoc").c_str()));
+        else if (a == "--prefetch")
+            o.prefetch = true;
+        else if (a == "--dynamic")
+            o.dynamic = true;
+        else if (a == "--unaligned")
+            o.unaligned = true;
+        else if (a == "--no-cyclic")
+            o.noCyclic = true;
+        else if (a == "--no-greedy")
+            o.noGreedy = true;
+        else if (a == "--out")
+            o.out = need_value("--out");
+        else if (a == "--help" || a == "-h")
+            usage();
+        else
+            usage(("unknown option " + a).c_str());
+    }
+    return o;
+}
+
+MachineConfig
+makeMachine(const CliOptions &o, std::uint32_t cpus)
+{
+    MachineConfig m;
+    if (o.machine == "scaled")
+        m = MachineConfig::paperScaled(cpus);
+    else if (o.machine == "scaled-2way")
+        m = MachineConfig::paperScaledTwoWay(cpus);
+    else if (o.machine == "scaled-4mb")
+        m = MachineConfig::paperScaledBig(cpus);
+    else if (o.machine == "alpha")
+        m = MachineConfig::alphaScaled(cpus);
+    else if (o.machine == "full")
+        m = MachineConfig::paperFull(cpus);
+    else
+        usage("unknown machine preset");
+    if (o.cacheKb)
+        m.l2.sizeBytes = o.cacheKb * 1024;
+    if (o.assoc)
+        m.l2.assoc = o.assoc;
+    m.validate();
+    return m;
+}
+
+ExperimentConfig
+makeConfig(const CliOptions &o, std::uint32_t cpus,
+           MappingPolicy policy)
+{
+    ExperimentConfig cfg;
+    cfg.machine = makeMachine(o, cpus);
+    cfg.mapping = policy;
+    cfg.prefetch = o.prefetch;
+    cfg.dynamicRecolor = o.dynamic;
+    cfg.aligned = !o.unaligned;
+    cfg.cdpcOptions.cyclicAssignment = !o.noCyclic;
+    cfg.cdpcOptions.greedyOrdering = !o.noGreedy;
+    return cfg;
+}
+
+int
+cmdList()
+{
+    TextTable t({"workload", "paper data", "model data", "arrays",
+                 "description"});
+    for (const WorkloadInfo &w : allWorkloads()) {
+        Program p = w.build();
+        t.addRow({w.name,
+                  w.paperDataSetMB == 1
+                      ? "< 1MB"
+                      : std::to_string(w.paperDataSetMB) + "MB",
+                  formatBytes(p.dataSetBytes()),
+                  std::to_string(p.arrays.size()), w.description});
+    }
+    std::cout << t.render();
+    return 0;
+}
+
+void
+printBreakdown(const ExperimentResult &r)
+{
+    const WeightedTotals &t = r.totals;
+    double combined = t.combinedTime();
+    std::cout << r.workload << " on " << r.ncpus << " CPUs, "
+              << r.policy << ":\n\n";
+
+    TextTable exec({"category", "cycles (M)", "share"});
+    auto row = [&](const char *name, double v) {
+        exec.addRow({name, fmtF(v / 1e6, 1),
+                     fmtF(100.0 * v / combined, 1) + "%"});
+    };
+    row("execution", t.busy);
+    row("memory stall", t.memStall);
+    row("kernel", t.kernel);
+    row("load imbalance", t.imbalance);
+    row("sequential", t.sequential);
+    row("suppressed", t.suppressed);
+    row("synchronization", t.sync);
+    exec.addSeparator();
+    exec.addRow({"combined", fmtF(combined / 1e6, 1), "100.0%"});
+    std::cout << exec.render() << "\n";
+
+    TextTable mem({"memory stall source", "cycles (M)", "share"});
+    auto mrow = [&](const char *name, double v) {
+        if (t.memStall > 0) {
+            mem.addRow({name, fmtF(v / 1e6, 1),
+                        fmtF(100.0 * v / t.memStall, 1) + "%"});
+        }
+    };
+    mrow("on-chip (external-cache hits)", t.l2HitStall);
+    mrow("cold misses", t.missStallOf(MissKind::Cold));
+    mrow("capacity misses", t.missStallOf(MissKind::Capacity));
+    mrow("conflict misses", t.missStallOf(MissKind::Conflict));
+    mrow("true sharing", t.missStallOf(MissKind::TrueSharing));
+    mrow("false sharing", t.missStallOf(MissKind::FalseSharing));
+    mrow("upgrades", t.missStallOf(MissKind::Upgrade));
+    mrow("late prefetches", t.prefetchLateStall);
+    mrow("prefetch queue full", t.prefetchFullStall);
+    std::cout << mem.render() << "\n";
+
+    std::cout << "MCPI " << fmtF(t.mcpi(), 3) << ", bus utilization "
+              << fmtF(t.busUtilization() * 100.0, 1)
+              << "%, wall " << fmtI(static_cast<std::uint64_t>(t.wall))
+              << " cycles\n";
+    if (r.plan) {
+        std::cout << "CDPC: " << r.plan->coloring.hints.size()
+                  << " hints over " << r.plan->segments.size()
+                  << " segments, "
+                  << fmtF(r.hintsHonored * 100.0, 1) << "% honored\n";
+    }
+    if (r.recolorStats.recolorings || r.recolorStats.conflictsObserved) {
+        std::cout << "dynamic recoloring: "
+                  << r.recolorStats.recolorings << " recolorings, "
+                  << fmtF(r.recolorStats.overheadCycles / 1e6, 1)
+                  << "M overhead cycles\n";
+    }
+}
+
+int
+cmdRun(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("run needs a workload");
+    ExperimentResult r =
+        runWorkload(o.workload, makeConfig(o, o.cpus, o.policy));
+    printBreakdown(r);
+    return 0;
+}
+
+int
+cmdCompare(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("compare needs a workload");
+    TextTable t({"policy", "combined (M)", "MCPI", "conflict%",
+                 "bus", "speedup vs pc"});
+    double pc = 0.0;
+    for (MappingPolicy pol :
+         {MappingPolicy::PageColoring, MappingPolicy::BinHopping,
+          MappingPolicy::Cdpc, MappingPolicy::CdpcTouchOrder}) {
+        ExperimentResult r =
+            runWorkload(o.workload, makeConfig(o, o.cpus, pol));
+        double combined = r.totals.combinedTime();
+        if (pol == MappingPolicy::PageColoring)
+            pc = combined;
+        double conf =
+            r.totals.memStall > 0
+                ? 100.0 * r.totals.missStallOf(MissKind::Conflict) /
+                      r.totals.memStall
+                : 0.0;
+        t.addRow({r.policy, fmtF(combined / 1e6, 0),
+                  fmtF(r.totals.mcpi(), 2), fmtF(conf, 1) + "%",
+                  fmtF(r.totals.busUtilization() * 100.0, 1) + "%",
+                  fmtF(pc / combined, 2) + "x"});
+    }
+    std::cout << o.workload << " on " << o.cpus << " CPUs ("
+              << o.machine << "):\n" << t.render();
+    return 0;
+}
+
+int
+cmdSweep(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("sweep needs a workload");
+    TextTable t({"CPUs", "combined (M)", "wall (M)", "speedup",
+                 "MCPI", "bus"});
+    double wall1 = 0.0;
+    for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u}) {
+        ExperimentResult r =
+            runWorkload(o.workload, makeConfig(o, p, o.policy));
+        if (p == 1)
+            wall1 = r.totals.wall;
+        t.addRow({std::to_string(p),
+                  fmtF(r.totals.combinedTime() / 1e6, 0),
+                  fmtF(r.totals.wall / 1e6, 0),
+                  fmtF(wall1 / r.totals.wall, 2) + "x",
+                  fmtF(r.totals.mcpi(), 2),
+                  fmtF(r.totals.busUtilization() * 100.0, 1) + "%"});
+    }
+    std::cout << o.workload << ", " << mappingName(o.policy) << " ("
+              << o.machine << "):\n" << t.render();
+    return 0;
+}
+
+int
+cmdPlan(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("plan needs a workload");
+    Program prog = buildWorkload(o.workload);
+    MachineConfig m = makeMachine(o, o.cpus);
+    CompilerOptions copts;
+    copts.align = !o.unaligned;
+    copts.aligner.lineBytes = m.l2.lineBytes;
+    copts.aligner.l1SpanBytes = m.l1d.sizeBytes / m.l1d.assoc;
+    CompileResult compiled = compileProgram(prog, copts);
+    CdpcOptions cdpc_opts;
+    cdpc_opts.cyclicAssignment = !o.noCyclic;
+    cdpc_opts.greedyOrdering = !o.noGreedy;
+    CdpcPlan plan = computeCdpcPlan(compiled.summaries, cdpcParams(m),
+                                    cdpc_opts);
+    if (!o.out.empty()) {
+        saveSummaries(compiled.summaries, o.out);
+        std::cout << "saved summaries to " << o.out << "\n";
+    }
+
+    std::cout << o.workload << ", " << o.cpus << " CPUs, "
+              << m.numColors() << " colors:\n"
+              << "  " << compiled.summaries.partitions.size()
+              << " partition summaries, "
+              << compiled.summaries.comms.size()
+              << " comm patterns, " << compiled.summaries.groups.size()
+              << " group pairs, "
+              << compiled.summaries.unanalyzable.size()
+              << " unanalyzable arrays\n"
+              << "  " << plan.segments.size() << " segments in "
+              << plan.sets.size() << " uniform access sets, "
+              << plan.coloring.hints.size() << " page hints\n";
+
+    TextTable t({"set", "segments", "pages"});
+    for (const UniformSet &set : plan.sets) {
+        std::uint64_t pages = 0;
+        for (std::size_t id : set.segIds)
+            pages += plan.segments[id].numPages;
+        t.addRow({set.procs.str(), std::to_string(set.segIds.size()),
+                  std::to_string(pages)});
+    }
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdAttribute(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("attribute needs a workload");
+    AttributionResult res =
+        attributeMisses(findWorkload(o.workload).name,
+                        makeConfig(o, o.cpus, o.policy));
+    std::cout << o.workload << " on " << o.cpus << " CPUs, "
+              << mappingName(o.policy) << ": per-array misses\n";
+    TextTable t({"array", "size", "refs(K)", "misses(K)",
+                 "miss rate", "conflict(K)", "capacity(K)",
+                 "sharing(K)"});
+    auto add = [&](const ArrayAttribution &a) {
+        if (a.refs == 0)
+            return;
+        double sharing =
+            static_cast<double>(
+                a.missCount[static_cast<int>(MissKind::TrueSharing)] +
+                a.missCount[static_cast<int>(
+                    MissKind::FalseSharing)]);
+        t.addRow({
+            a.name,
+            formatBytes(a.sizeBytes),
+            fmtF(a.refs / 1e3, 1),
+            fmtF(a.l2Misses / 1e3, 1),
+            fmtF(a.missRate() * 100.0, 1) + "%",
+            fmtF(a.missCount[static_cast<int>(MissKind::Conflict)] /
+                     1e3, 1),
+            fmtF(a.missCount[static_cast<int>(MissKind::Capacity)] /
+                     1e3, 1),
+            fmtF(sharing / 1e3, 1),
+        });
+    };
+    for (const ArrayAttribution &a : res.arrays)
+        add(a);
+    add(res.other);
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdHints(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("hints needs a summaries file");
+    AccessSummaries summaries = loadSummaries(o.workload);
+    MachineConfig m = makeMachine(o, o.cpus);
+    CdpcOptions cdpc_opts;
+    cdpc_opts.cyclicAssignment = !o.noCyclic;
+    cdpc_opts.greedyOrdering = !o.noGreedy;
+    CdpcPlan plan =
+        computeCdpcPlan(summaries, cdpcParams(m), cdpc_opts);
+    std::cout << "plan for " << summaries.programName << " on "
+              << o.cpus << " CPUs (" << m.numColors()
+              << " colors): " << plan.segments.size()
+              << " segments, " << plan.coloring.hints.size()
+              << " hints\n";
+    // Print the first few hints as the madvise payload preview.
+    std::size_t show =
+        std::min<std::size_t>(plan.coloring.hints.size(), 16);
+    for (std::size_t i = 0; i < show; i++) {
+        const ColorHint &h = plan.coloring.hints[i];
+        std::cout << "  vpn " << h.vpn << " -> color " << h.color
+                  << "\n";
+    }
+    if (plan.coloring.hints.size() > show)
+        std::cout << "  ... " << plan.coloring.hints.size() - show
+                  << " more\n";
+    return 0;
+}
+
+int
+cmdRecord(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("record needs a workload");
+    if (o.out.empty())
+        usage("record needs --out FILE");
+
+    Program prog = buildWorkload(o.workload);
+    MachineConfig m = makeMachine(o, o.cpus);
+    CompilerOptions copts;
+    copts.align = !o.unaligned;
+    copts.prefetch = o.prefetch;
+    copts.aligner.lineBytes = m.l2.lineBytes;
+    copts.aligner.l1SpanBytes = m.l1d.sizeBytes / m.l1d.assoc;
+    compileProgram(prog, copts);
+
+    PhysMem phys(m.physPages, m.numColors());
+    PageColoringPolicy policy(m.numColors());
+    VirtualMemory vm(m, phys, policy);
+    MemorySystem mem(m, vm);
+    MpSimulator sim(m, mem);
+
+    TraceWriter writer(o.out, o.cpus);
+    SimOptions opts;
+    opts.record = &writer;
+    sim.run(prog, opts);
+    writer.close();
+    std::cout << "wrote " << fmtI(writer.records())
+              << " demand references to " << o.out << "\n";
+    return 0;
+}
+
+int
+cmdReplay(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("replay needs a trace file");
+    TraceReader reader(o.workload);
+    std::uint32_t cpus = std::max(o.cpus, reader.numCpus());
+    MachineConfig m = makeMachine(o, cpus);
+    PhysMem phys(m.physPages, m.numColors());
+    PageColoringPolicy policy(m.numColors());
+    VirtualMemory vm(m, phys, policy);
+    MemorySystem mem(m, vm);
+    ReplayResult res = replayTrace(reader, mem);
+
+    CpuMemStats s = mem.totalStats();
+    std::cout << "replayed " << fmtI(res.records) << " references ("
+              << reader.numCpus() << "-CPU trace) on " << m.name
+              << ":\n";
+    TextTable t({"metric", "value"});
+    t.addRow({"references", fmtI(s.totalRefs())});
+    t.addRow({"L1 misses", fmtI(s.l1Misses)});
+    t.addRow({"external-cache misses", fmtI(s.l2Misses)});
+    for (int k = 0; k < 6; k++) {
+        t.addRow({std::string(missKindName(static_cast<MissKind>(k))) +
+                      " misses",
+                  fmtI(s.missCount[k])});
+    }
+    t.addRow({"combined cycles", fmtI(res.combinedCycles())});
+    std::cout << t.render();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions o = parseArgs(argc, argv);
+    try {
+        if (o.command == "list")
+            return cmdList();
+        if (o.command == "run")
+            return cmdRun(o);
+        if (o.command == "compare")
+            return cmdCompare(o);
+        if (o.command == "sweep")
+            return cmdSweep(o);
+        if (o.command == "plan")
+            return cmdPlan(o);
+        if (o.command == "record")
+            return cmdRecord(o);
+        if (o.command == "attribute")
+            return cmdAttribute(o);
+        if (o.command == "hints")
+            return cmdHints(o);
+        if (o.command == "replay")
+            return cmdReplay(o);
+        usage(("unknown command " + o.command).c_str());
+    } catch (const FatalError &e) {
+        std::cerr << "cdpcsim: " << e.what() << "\n";
+        return 1;
+    }
+}
