@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cdpc.dir/ablation_cdpc.cc.o"
+  "CMakeFiles/ablation_cdpc.dir/ablation_cdpc.cc.o.d"
+  "ablation_cdpc"
+  "ablation_cdpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cdpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_associativity.dir/ext_associativity.cc.o"
+  "CMakeFiles/ext_associativity.dir/ext_associativity.cc.o.d"
+  "ext_associativity"
+  "ext_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

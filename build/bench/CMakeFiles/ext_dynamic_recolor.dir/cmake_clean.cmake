@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_recolor.dir/ext_dynamic_recolor.cc.o"
+  "CMakeFiles/ext_dynamic_recolor.dir/ext_dynamic_recolor.cc.o.d"
+  "ext_dynamic_recolor"
+  "ext_dynamic_recolor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_recolor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

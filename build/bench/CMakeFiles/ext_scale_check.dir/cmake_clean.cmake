@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scale_check.dir/ext_scale_check.cc.o"
+  "CMakeFiles/ext_scale_check.dir/ext_scale_check.cc.o.d"
+  "ext_scale_check"
+  "ext_scale_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scale_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_execution_model.dir/fig1_execution_model.cc.o"
+  "CMakeFiles/fig1_execution_model.dir/fig1_execution_model.cc.o.d"
+  "fig1_execution_model"
+  "fig1_execution_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_execution_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

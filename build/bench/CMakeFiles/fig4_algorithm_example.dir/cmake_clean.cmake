@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_algorithm_example.dir/fig4_algorithm_example.cc.o"
+  "CMakeFiles/fig4_algorithm_example.dir/fig4_algorithm_example.cc.o.d"
+  "fig4_algorithm_example"
+  "fig4_algorithm_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_algorithm_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cdpc_patterns.dir/fig5_cdpc_patterns.cc.o"
+  "CMakeFiles/fig5_cdpc_patterns.dir/fig5_cdpc_patterns.cc.o.d"
+  "fig5_cdpc_patterns"
+  "fig5_cdpc_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cdpc_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cdpc_dm.dir/fig6_cdpc_dm.cc.o"
+  "CMakeFiles/fig6_cdpc_dm.dir/fig6_cdpc_dm.cc.o.d"
+  "fig6_cdpc_dm"
+  "fig6_cdpc_dm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cdpc_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_assoc_and_4mb.dir/fig7_assoc_and_4mb.cc.o"
+  "CMakeFiles/fig7_assoc_and_4mb.dir/fig7_assoc_and_4mb.cc.o.d"
+  "fig7_assoc_and_4mb"
+  "fig7_assoc_and_4mb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_assoc_and_4mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_assoc_and_4mb.
+# This may be replaced when dependencies are built.

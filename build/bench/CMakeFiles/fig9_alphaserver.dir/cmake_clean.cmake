@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_alphaserver.dir/fig9_alphaserver.cc.o"
+  "CMakeFiles/fig9_alphaserver.dir/fig9_alphaserver.cc.o.d"
+  "fig9_alphaserver"
+  "fig9_alphaserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_alphaserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_window.dir/methodology_window.cc.o"
+  "CMakeFiles/methodology_window.dir/methodology_window.cc.o.d"
+  "methodology_window"
+  "methodology_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdpc/coloring.cc" "src/cdpc/CMakeFiles/cdpc_core.dir/coloring.cc.o" "gcc" "src/cdpc/CMakeFiles/cdpc_core.dir/coloring.cc.o.d"
+  "/root/repo/src/cdpc/ordering.cc" "src/cdpc/CMakeFiles/cdpc_core.dir/ordering.cc.o" "gcc" "src/cdpc/CMakeFiles/cdpc_core.dir/ordering.cc.o.d"
+  "/root/repo/src/cdpc/procset.cc" "src/cdpc/CMakeFiles/cdpc_core.dir/procset.cc.o" "gcc" "src/cdpc/CMakeFiles/cdpc_core.dir/procset.cc.o.d"
+  "/root/repo/src/cdpc/runtime.cc" "src/cdpc/CMakeFiles/cdpc_core.dir/runtime.cc.o" "gcc" "src/cdpc/CMakeFiles/cdpc_core.dir/runtime.cc.o.d"
+  "/root/repo/src/cdpc/segments.cc" "src/cdpc/CMakeFiles/cdpc_core.dir/segments.cc.o" "gcc" "src/cdpc/CMakeFiles/cdpc_core.dir/segments.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/cdpc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cdpc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cdpc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cdpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdpc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

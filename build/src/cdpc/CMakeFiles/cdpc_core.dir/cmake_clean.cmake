@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpc_core.dir/coloring.cc.o"
+  "CMakeFiles/cdpc_core.dir/coloring.cc.o.d"
+  "CMakeFiles/cdpc_core.dir/ordering.cc.o"
+  "CMakeFiles/cdpc_core.dir/ordering.cc.o.d"
+  "CMakeFiles/cdpc_core.dir/procset.cc.o"
+  "CMakeFiles/cdpc_core.dir/procset.cc.o.d"
+  "CMakeFiles/cdpc_core.dir/runtime.cc.o"
+  "CMakeFiles/cdpc_core.dir/runtime.cc.o.d"
+  "CMakeFiles/cdpc_core.dir/segments.cc.o"
+  "CMakeFiles/cdpc_core.dir/segments.cc.o.d"
+  "libcdpc_core.a"
+  "libcdpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpc_common.dir/logging.cc.o"
+  "CMakeFiles/cdpc_common.dir/logging.cc.o.d"
+  "CMakeFiles/cdpc_common.dir/stats.cc.o"
+  "CMakeFiles/cdpc_common.dir/stats.cc.o.d"
+  "CMakeFiles/cdpc_common.dir/table.cc.o"
+  "CMakeFiles/cdpc_common.dir/table.cc.o.d"
+  "libcdpc_common.a"
+  "libcdpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/aligner.cc" "src/compiler/CMakeFiles/cdpc_compiler.dir/aligner.cc.o" "gcc" "src/compiler/CMakeFiles/cdpc_compiler.dir/aligner.cc.o.d"
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/cdpc_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/cdpc_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/compiler/CMakeFiles/cdpc_compiler.dir/compiler.cc.o" "gcc" "src/compiler/CMakeFiles/cdpc_compiler.dir/compiler.cc.o.d"
+  "/root/repo/src/compiler/parallelizer.cc" "src/compiler/CMakeFiles/cdpc_compiler.dir/parallelizer.cc.o" "gcc" "src/compiler/CMakeFiles/cdpc_compiler.dir/parallelizer.cc.o.d"
+  "/root/repo/src/compiler/prefetcher.cc" "src/compiler/CMakeFiles/cdpc_compiler.dir/prefetcher.cc.o" "gcc" "src/compiler/CMakeFiles/cdpc_compiler.dir/prefetcher.cc.o.d"
+  "/root/repo/src/compiler/summaries_io.cc" "src/compiler/CMakeFiles/cdpc_compiler.dir/summaries_io.cc.o" "gcc" "src/compiler/CMakeFiles/cdpc_compiler.dir/summaries_io.cc.o.d"
+  "/root/repo/src/compiler/transpose.cc" "src/compiler/CMakeFiles/cdpc_compiler.dir/transpose.cc.o" "gcc" "src/compiler/CMakeFiles/cdpc_compiler.dir/transpose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cdpc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

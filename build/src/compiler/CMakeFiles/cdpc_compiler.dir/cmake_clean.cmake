@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpc_compiler.dir/aligner.cc.o"
+  "CMakeFiles/cdpc_compiler.dir/aligner.cc.o.d"
+  "CMakeFiles/cdpc_compiler.dir/analysis.cc.o"
+  "CMakeFiles/cdpc_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/cdpc_compiler.dir/compiler.cc.o"
+  "CMakeFiles/cdpc_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/cdpc_compiler.dir/parallelizer.cc.o"
+  "CMakeFiles/cdpc_compiler.dir/parallelizer.cc.o.d"
+  "CMakeFiles/cdpc_compiler.dir/prefetcher.cc.o"
+  "CMakeFiles/cdpc_compiler.dir/prefetcher.cc.o.d"
+  "CMakeFiles/cdpc_compiler.dir/summaries_io.cc.o"
+  "CMakeFiles/cdpc_compiler.dir/summaries_io.cc.o.d"
+  "CMakeFiles/cdpc_compiler.dir/transpose.cc.o"
+  "CMakeFiles/cdpc_compiler.dir/transpose.cc.o.d"
+  "libcdpc_compiler.a"
+  "libcdpc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

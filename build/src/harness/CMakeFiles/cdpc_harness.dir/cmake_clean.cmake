@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpc_harness.dir/attribution.cc.o"
+  "CMakeFiles/cdpc_harness.dir/attribution.cc.o.d"
+  "CMakeFiles/cdpc_harness.dir/experiment.cc.o"
+  "CMakeFiles/cdpc_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/cdpc_harness.dir/spec.cc.o"
+  "CMakeFiles/cdpc_harness.dir/spec.cc.o.d"
+  "libcdpc_harness.a"
+  "libcdpc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/exec.cc" "src/ir/CMakeFiles/cdpc_ir.dir/exec.cc.o" "gcc" "src/ir/CMakeFiles/cdpc_ir.dir/exec.cc.o.d"
+  "/root/repo/src/ir/layout.cc" "src/ir/CMakeFiles/cdpc_ir.dir/layout.cc.o" "gcc" "src/ir/CMakeFiles/cdpc_ir.dir/layout.cc.o.d"
+  "/root/repo/src/ir/loop.cc" "src/ir/CMakeFiles/cdpc_ir.dir/loop.cc.o" "gcc" "src/ir/CMakeFiles/cdpc_ir.dir/loop.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/ir/CMakeFiles/cdpc_ir.dir/program.cc.o" "gcc" "src/ir/CMakeFiles/cdpc_ir.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpc_ir.dir/exec.cc.o"
+  "CMakeFiles/cdpc_ir.dir/exec.cc.o.d"
+  "CMakeFiles/cdpc_ir.dir/layout.cc.o"
+  "CMakeFiles/cdpc_ir.dir/layout.cc.o.d"
+  "CMakeFiles/cdpc_ir.dir/loop.cc.o"
+  "CMakeFiles/cdpc_ir.dir/loop.cc.o.d"
+  "CMakeFiles/cdpc_ir.dir/program.cc.o"
+  "CMakeFiles/cdpc_ir.dir/program.cc.o.d"
+  "libcdpc_ir.a"
+  "libcdpc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

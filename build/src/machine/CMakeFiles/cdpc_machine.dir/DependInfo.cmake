@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/config.cc" "src/machine/CMakeFiles/cdpc_machine.dir/config.cc.o" "gcc" "src/machine/CMakeFiles/cdpc_machine.dir/config.cc.o.d"
+  "/root/repo/src/machine/simulator.cc" "src/machine/CMakeFiles/cdpc_machine.dir/simulator.cc.o" "gcc" "src/machine/CMakeFiles/cdpc_machine.dir/simulator.cc.o.d"
+  "/root/repo/src/machine/stats.cc" "src/machine/CMakeFiles/cdpc_machine.dir/stats.cc.o" "gcc" "src/machine/CMakeFiles/cdpc_machine.dir/stats.cc.o.d"
+  "/root/repo/src/machine/trace.cc" "src/machine/CMakeFiles/cdpc_machine.dir/trace.cc.o" "gcc" "src/machine/CMakeFiles/cdpc_machine.dir/trace.cc.o.d"
+  "/root/repo/src/machine/tracefile.cc" "src/machine/CMakeFiles/cdpc_machine.dir/tracefile.cc.o" "gcc" "src/machine/CMakeFiles/cdpc_machine.dir/tracefile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cdpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cdpc_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

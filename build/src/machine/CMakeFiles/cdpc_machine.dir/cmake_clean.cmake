@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpc_machine.dir/config.cc.o"
+  "CMakeFiles/cdpc_machine.dir/config.cc.o.d"
+  "CMakeFiles/cdpc_machine.dir/simulator.cc.o"
+  "CMakeFiles/cdpc_machine.dir/simulator.cc.o.d"
+  "CMakeFiles/cdpc_machine.dir/stats.cc.o"
+  "CMakeFiles/cdpc_machine.dir/stats.cc.o.d"
+  "CMakeFiles/cdpc_machine.dir/trace.cc.o"
+  "CMakeFiles/cdpc_machine.dir/trace.cc.o.d"
+  "CMakeFiles/cdpc_machine.dir/tracefile.cc.o"
+  "CMakeFiles/cdpc_machine.dir/tracefile.cc.o.d"
+  "libcdpc_machine.a"
+  "libcdpc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bus.cc" "src/mem/CMakeFiles/cdpc_mem.dir/bus.cc.o" "gcc" "src/mem/CMakeFiles/cdpc_mem.dir/bus.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/cdpc_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/cdpc_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/memsystem.cc" "src/mem/CMakeFiles/cdpc_mem.dir/memsystem.cc.o" "gcc" "src/mem/CMakeFiles/cdpc_mem.dir/memsystem.cc.o.d"
+  "/root/repo/src/mem/miss_classify.cc" "src/mem/CMakeFiles/cdpc_mem.dir/miss_classify.cc.o" "gcc" "src/mem/CMakeFiles/cdpc_mem.dir/miss_classify.cc.o.d"
+  "/root/repo/src/mem/recolor.cc" "src/mem/CMakeFiles/cdpc_mem.dir/recolor.cc.o" "gcc" "src/mem/CMakeFiles/cdpc_mem.dir/recolor.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/cdpc_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/cdpc_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cdpc_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

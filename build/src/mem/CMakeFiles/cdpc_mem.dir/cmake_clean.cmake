@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpc_mem.dir/bus.cc.o"
+  "CMakeFiles/cdpc_mem.dir/bus.cc.o.d"
+  "CMakeFiles/cdpc_mem.dir/cache.cc.o"
+  "CMakeFiles/cdpc_mem.dir/cache.cc.o.d"
+  "CMakeFiles/cdpc_mem.dir/memsystem.cc.o"
+  "CMakeFiles/cdpc_mem.dir/memsystem.cc.o.d"
+  "CMakeFiles/cdpc_mem.dir/miss_classify.cc.o"
+  "CMakeFiles/cdpc_mem.dir/miss_classify.cc.o.d"
+  "CMakeFiles/cdpc_mem.dir/recolor.cc.o"
+  "CMakeFiles/cdpc_mem.dir/recolor.cc.o.d"
+  "CMakeFiles/cdpc_mem.dir/tlb.cc.o"
+  "CMakeFiles/cdpc_mem.dir/tlb.cc.o.d"
+  "libcdpc_mem.a"
+  "libcdpc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/hints.cc" "src/vm/CMakeFiles/cdpc_vm.dir/hints.cc.o" "gcc" "src/vm/CMakeFiles/cdpc_vm.dir/hints.cc.o.d"
+  "/root/repo/src/vm/physmem.cc" "src/vm/CMakeFiles/cdpc_vm.dir/physmem.cc.o" "gcc" "src/vm/CMakeFiles/cdpc_vm.dir/physmem.cc.o.d"
+  "/root/repo/src/vm/policy.cc" "src/vm/CMakeFiles/cdpc_vm.dir/policy.cc.o" "gcc" "src/vm/CMakeFiles/cdpc_vm.dir/policy.cc.o.d"
+  "/root/repo/src/vm/virtual_memory.cc" "src/vm/CMakeFiles/cdpc_vm.dir/virtual_memory.cc.o" "gcc" "src/vm/CMakeFiles/cdpc_vm.dir/virtual_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpc_vm.dir/hints.cc.o"
+  "CMakeFiles/cdpc_vm.dir/hints.cc.o.d"
+  "CMakeFiles/cdpc_vm.dir/physmem.cc.o"
+  "CMakeFiles/cdpc_vm.dir/physmem.cc.o.d"
+  "CMakeFiles/cdpc_vm.dir/policy.cc.o"
+  "CMakeFiles/cdpc_vm.dir/policy.cc.o.d"
+  "CMakeFiles/cdpc_vm.dir/virtual_memory.cc.o"
+  "CMakeFiles/cdpc_vm.dir/virtual_memory.cc.o.d"
+  "libcdpc_vm.a"
+  "libcdpc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/applu.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/applu.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/applu.cc.o.d"
+  "/root/repo/src/workloads/apsi.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/apsi.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/apsi.cc.o.d"
+  "/root/repo/src/workloads/builder.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/builder.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/builder.cc.o.d"
+  "/root/repo/src/workloads/fpppp.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/fpppp.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/fpppp.cc.o.d"
+  "/root/repo/src/workloads/hydro2d.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/hydro2d.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/hydro2d.cc.o.d"
+  "/root/repo/src/workloads/mgrid.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/mgrid.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/mgrid.cc.o.d"
+  "/root/repo/src/workloads/su2cor.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/su2cor.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/su2cor.cc.o.d"
+  "/root/repo/src/workloads/swim.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/swim.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/swim.cc.o.d"
+  "/root/repo/src/workloads/tomcatv.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/tomcatv.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/tomcatv.cc.o.d"
+  "/root/repo/src/workloads/turb3d.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/turb3d.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/turb3d.cc.o.d"
+  "/root/repo/src/workloads/wave5.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/wave5.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/wave5.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/cdpc_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/cdpc_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cdpc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpc_workloads.dir/applu.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/applu.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/apsi.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/apsi.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/builder.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/builder.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/fpppp.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/fpppp.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/hydro2d.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/hydro2d.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/mgrid.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/mgrid.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/su2cor.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/su2cor.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/swim.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/swim.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/tomcatv.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/tomcatv.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/turb3d.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/turb3d.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/wave5.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/wave5.cc.o.d"
+  "CMakeFiles/cdpc_workloads.dir/workload.cc.o"
+  "CMakeFiles/cdpc_workloads.dir/workload.cc.o.d"
+  "libcdpc_workloads.a"
+  "libcdpc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attribution.cc" "tests/CMakeFiles/test_attribution.dir/test_attribution.cc.o" "gcc" "tests/CMakeFiles/test_attribution.dir/test_attribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cdpc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdpc/CMakeFiles/cdpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/cdpc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cdpc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cdpc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cdpc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cdpc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

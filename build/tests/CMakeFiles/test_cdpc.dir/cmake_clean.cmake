@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdpc.dir/test_cdpc.cc.o"
+  "CMakeFiles/test_cdpc.dir/test_cdpc.cc.o.d"
+  "test_cdpc"
+  "test_cdpc.pdb"
+  "test_cdpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_units.dir/test_mem_units.cc.o"
+  "CMakeFiles/test_mem_units.dir/test_mem_units.cc.o.d"
+  "test_mem_units"
+  "test_mem_units.pdb"
+  "test_mem_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

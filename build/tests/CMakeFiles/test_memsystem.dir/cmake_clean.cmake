@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsystem.dir/test_memsystem.cc.o"
+  "CMakeFiles/test_memsystem.dir/test_memsystem.cc.o.d"
+  "test_memsystem"
+  "test_memsystem.pdb"
+  "test_memsystem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

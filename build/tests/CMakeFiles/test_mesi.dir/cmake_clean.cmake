@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesi.dir/test_mesi.cc.o"
+  "CMakeFiles/test_mesi.dir/test_mesi.cc.o.d"
+  "test_mesi"
+  "test_mesi.pdb"
+  "test_mesi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_properties.dir/test_plan_properties.cc.o"
+  "CMakeFiles/test_plan_properties.dir/test_plan_properties.cc.o.d"
+  "test_plan_properties"
+  "test_plan_properties.pdb"
+  "test_plan_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

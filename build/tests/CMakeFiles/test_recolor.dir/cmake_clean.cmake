@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recolor.dir/test_recolor.cc.o"
+  "CMakeFiles/test_recolor.dir/test_recolor.cc.o.d"
+  "test_recolor"
+  "test_recolor.pdb"
+  "test_recolor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recolor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summaries_io.dir/test_summaries_io.cc.o"
+  "CMakeFiles/test_summaries_io.dir/test_summaries_io.cc.o.d"
+  "test_summaries_io"
+  "test_summaries_io.pdb"
+  "test_summaries_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summaries_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

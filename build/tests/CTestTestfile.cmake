@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_intmath[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_units[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_memsystem[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_cdpc[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_recolor[1]_include.cmake")
+include("/root/repo/build/tests/test_mesi[1]_include.cmake")
+include("/root/repo/build/tests/test_plan_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_transpose[1]_include.cmake")
+include("/root/repo/build/tests/test_tracefile[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_attribution[1]_include.cmake")
+include("/root/repo/build/tests/test_summaries_io[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpcsim.dir/cdpcsim.cc.o"
+  "CMakeFiles/cdpcsim.dir/cdpcsim.cc.o.d"
+  "cdpcsim"
+  "cdpcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
