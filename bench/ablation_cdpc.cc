@@ -18,12 +18,74 @@ using namespace cdpc;
 using namespace cdpc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobs(argc, argv);
     banner("Ablations — CDPC design choices",
            "DESIGN.md section 5; 8 CPUs, base config");
     constexpr std::uint32_t ncpus = 8;
     const char *apps[] = {"101.tomcatv", "102.swim", "104.hydro2d"};
+
+    // All four ablation sections as one batch; the print loops below
+    // consume the results in the same submission order.
+    std::vector<runner::JobSpec> specs;
+
+    // 1+2: algorithm steps (four CDPC variants + the PC baseline).
+    struct Mode
+    {
+        bool cyclic, greedy;
+    };
+    const Mode modes[] = {Mode{true, true}, Mode{false, true},
+                          Mode{true, false}, Mode{false, false}};
+    for (const char *app : apps) {
+        for (const Mode m : modes) {
+            ExperimentConfig cfg;
+            cfg.machine = MachineConfig::paperScaled(ncpus);
+            cfg.mapping = MappingPolicy::Cdpc;
+            cfg.cdpcOptions.cyclicAssignment = m.cyclic;
+            cfg.cdpcOptions.greedyOrdering = m.greedy;
+            addJob(specs, app, cfg);
+        }
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(ncpus);
+        cfg.mapping = MappingPolicy::PageColoring;
+        addJob(specs, app, cfg);
+    }
+
+    // 3: memory pressure. Competing processes hog low-color pages,
+    // leaving just enough memory for the application: the kernel
+    // must deny a growing share of the hints (it treats them
+    // strictly as hints, Section 5).
+    const double hog_levels[] = {0.0, 0.3, 0.45, 0.49};
+    {
+        std::uint64_t data_pages =
+            buildWorkload("102.swim").dataSetBytes() /
+                MachineConfig::paperScaled(ncpus).pageBytes +
+            64;
+        for (double hogged : hog_levels) {
+            ExperimentConfig cfg;
+            cfg.machine = MachineConfig::paperScaled(ncpus);
+            cfg.mapping = MappingPolicy::Cdpc;
+            cfg.machine.physPages = 2 * data_pages;
+            cfg.preallocatedPages = static_cast<std::uint64_t>(
+                hogged * 2 * data_pages);
+            addJob(specs, "102.swim", cfg);
+        }
+    }
+
+    // 4: bin-hopping fault race.
+    for (const char *app : apps) {
+        for (int racy = 0; racy < 2; racy++) {
+            ExperimentConfig cfg;
+            cfg.machine = MachineConfig::paperScaled(ncpus);
+            cfg.mapping = MappingPolicy::BinHopping;
+            cfg.binHopRacy = racy == 1;
+            addJob(specs, app, cfg);
+        }
+    }
+
+    std::vector<ExperimentResult> results = runBatch(specs, jobs);
+    std::size_t next = 0;
 
     std::cout << "--- 1+2: algorithm steps ---\n";
     {
@@ -32,26 +94,10 @@ main()
                          "PC baseline(M)"});
         for (const char *app : apps) {
             std::vector<std::string> row = {app};
-            struct Mode
-            {
-                bool cyclic, greedy;
-            };
-            for (const Mode m : {Mode{true, true}, Mode{false, true},
-                                 Mode{true, false},
-                                 Mode{false, false}}) {
-                ExperimentConfig cfg;
-                cfg.machine = MachineConfig::paperScaled(ncpus);
-                cfg.mapping = MappingPolicy::Cdpc;
-                cfg.cdpcOptions.cyclicAssignment = m.cyclic;
-                cfg.cdpcOptions.greedyOrdering = m.greedy;
-                ExperimentResult r = runWorkload(app, cfg);
-                row.push_back(fmtF(r.totals.combinedTime() / 1e6, 0));
+            for (int i = 0; i < 5; i++) {
+                row.push_back(fmtF(
+                    results[next++].totals.combinedTime() / 1e6, 0));
             }
-            ExperimentConfig cfg;
-            cfg.machine = MachineConfig::paperScaled(ncpus);
-            cfg.mapping = MappingPolicy::PageColoring;
-            row.push_back(fmtF(
-                runWorkload(app, cfg).totals.combinedTime() / 1e6, 0));
             table.addRow(row);
         }
         std::cout << table.render() << "\n";
@@ -59,24 +105,11 @@ main()
 
     std::cout << "--- 3: memory pressure (hint honoring) ---\n";
     {
-        // Competing processes hog low-color pages, leaving just
-        // enough memory for the application: the kernel must deny a
-        // growing share of the hints (it treats them strictly as
-        // hints, Section 5).
         TextTable table({"memory hogged", "hints honored",
                          "combined(M)", "vs unconstrained"});
         double base = 0.0;
-        for (double hogged : {0.0, 0.3, 0.45, 0.49}) {
-            ExperimentConfig cfg;
-            cfg.machine = MachineConfig::paperScaled(ncpus);
-            cfg.mapping = MappingPolicy::Cdpc;
-            Program prog = buildWorkload("102.swim");
-            std::uint64_t data_pages =
-                prog.dataSetBytes() / cfg.machine.pageBytes + 64;
-            cfg.machine.physPages = 2 * data_pages;
-            cfg.preallocatedPages = static_cast<std::uint64_t>(
-                hogged * 2 * data_pages);
-            ExperimentResult r = runProgram(std::move(prog), cfg);
+        for (double hogged : hog_levels) {
+            const ExperimentResult &r = results[next++];
             double combined = r.totals.combinedTime();
             if (base == 0.0)
                 base = combined;
@@ -96,13 +129,8 @@ main()
                          "racy penalty"});
         for (const char *app : apps) {
             double t[2];
-            for (int racy = 0; racy < 2; racy++) {
-                ExperimentConfig cfg;
-                cfg.machine = MachineConfig::paperScaled(ncpus);
-                cfg.mapping = MappingPolicy::BinHopping;
-                cfg.binHopRacy = racy == 1;
-                t[racy] = runWorkload(app, cfg).totals.combinedTime();
-            }
+            for (int racy = 0; racy < 2; racy++)
+                t[racy] = results[next++].totals.combinedTime();
             table.addRow({app, fmtF(t[0] / 1e6, 0), fmtF(t[1] / 1e6, 0),
                           fmtF(t[1] / t[0], 3) + "x"});
         }

@@ -12,6 +12,7 @@
 #ifndef CDPC_BENCH_BENCH_UTIL_H
 #define CDPC_BENCH_BENCH_UTIL_H
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "common/table.h"
 #include "harness/experiment.h"
 #include "harness/spec.h"
+#include "runner/runner.h"
 #include "workloads/workload.h"
 
 namespace cdpc::bench
@@ -65,6 +67,55 @@ inline std::vector<std::string>
 mcpiHeader()
 {
     return {"MCPI", "on-chip", "cold+cap", "conflict", "comm"};
+}
+
+/**
+ * Parse the shared bench command line: `--jobs N` (0 or absent
+ * means hardware_concurrency). Unknown flags abort with a usage
+ * message so each figure binary stays a plain `main`.
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (a == "--help" || a == "-h") {
+            std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+            std::exit(0);
+        } else {
+            std::cerr << argv[0] << ": unknown option " << a
+                      << " (usage: [--jobs N])\n";
+            std::exit(2);
+        }
+    }
+    return jobs;
+}
+
+/**
+ * Run the experiment cross product behind a figure/table through
+ * the work-stealing batch engine and hand the results back in
+ * submission order. Any job failure is fatal — a figure with holes
+ * is worse than no figure. Progress goes to stderr, rate-limited,
+ * so redirecting stdout still captures clean tables.
+ */
+inline std::vector<ExperimentResult>
+runBatch(std::vector<runner::JobSpec> specs, unsigned jobs)
+{
+    runner::BatchOptions options;
+    options.jobs = jobs;
+    options.progress = true;
+    return runner::runBatchOrThrow(std::move(specs), options);
+}
+
+/** Shorthand: queue one workload/config pair onto a spec list. */
+inline void
+addJob(std::vector<runner::JobSpec> &specs, const std::string &workload,
+       ExperimentConfig cfg)
+{
+    specs.push_back(runner::makeJob(workload, std::move(cfg)));
 }
 
 } // namespace cdpc::bench

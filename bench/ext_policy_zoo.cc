@@ -17,8 +17,9 @@ using namespace cdpc;
 using namespace cdpc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobs(argc, argv);
     banner("Extension — Page-Mapping Policy Zoo",
            "page coloring / bin hopping / random / hash / CDPC");
 
@@ -28,17 +29,29 @@ main()
         MappingPolicy::Cdpc,         MappingPolicy::CdpcTouchOrder,
     };
 
-    for (const char *app : {"101.tomcatv", "102.swim", "104.hydro2d"}) {
+    const char *apps[] = {"101.tomcatv", "102.swim", "104.hydro2d"};
+    std::vector<runner::JobSpec> specs;
+    for (const char *app : apps) {
+        for (std::uint32_t p : {8u, 16u}) {
+            for (MappingPolicy pol : policies) {
+                ExperimentConfig cfg;
+                cfg.machine = MachineConfig::paperScaled(p);
+                cfg.mapping = pol;
+                addJob(specs, app, cfg);
+            }
+        }
+    }
+    std::vector<ExperimentResult> results = runBatch(specs, jobs);
+    std::size_t next = 0;
+
+    for (const char *app : apps) {
         std::cout << "--- " << app << " ---\n";
         TextTable table({"P", "policy", "combined(M)", "MCPI",
                          "conflict%", "vs page-coloring"});
         for (std::uint32_t p : {8u, 16u}) {
             double pc = 0.0;
             for (MappingPolicy pol : policies) {
-                ExperimentConfig cfg;
-                cfg.machine = MachineConfig::paperScaled(p);
-                cfg.mapping = pol;
-                ExperimentResult r = runWorkload(app, cfg);
+                const ExperimentResult &r = results[next++];
                 double combined = r.totals.combinedTime();
                 if (pol == MappingPolicy::PageColoring)
                     pc = combined;

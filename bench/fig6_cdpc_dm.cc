@@ -18,14 +18,31 @@ using namespace cdpc;
 using namespace cdpc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobs(argc, argv);
     banner("Figure 6 — Impact of Compiler-Directed Page Coloring",
            "Figure 6 (Section 6.1); 1MB-class direct-mapped cache");
 
     const char *apps[] = {"101.tomcatv", "102.swim", "103.su2cor",
                           "104.hydro2d", "107.mgrid", "110.applu",
                           "125.turb3d", "146.wave5"};
+
+    // One batch over every (app, P, policy) cell of the figure.
+    std::vector<runner::JobSpec> specs;
+    for (const char *app : apps) {
+        for (std::uint32_t p : kSimCpuCounts) {
+            for (MappingPolicy pol :
+                 {MappingPolicy::PageColoring, MappingPolicy::Cdpc}) {
+                ExperimentConfig cfg;
+                cfg.machine = MachineConfig::paperScaled(p);
+                cfg.mapping = pol;
+                addJob(specs, app, cfg);
+            }
+        }
+    }
+    std::vector<ExperimentResult> results = runBatch(specs, jobs);
+    std::size_t next = 0;
 
     for (const char *app : apps) {
         std::cout << "--- " << app << " ---\n";
@@ -46,12 +63,8 @@ main()
         };
         std::vector<Row> rows;
         for (std::uint32_t p : kSimCpuCounts) {
-            for (MappingPolicy pol :
-                 {MappingPolicy::PageColoring, MappingPolicy::Cdpc}) {
-                ExperimentConfig cfg;
-                cfg.machine = MachineConfig::paperScaled(p);
-                cfg.mapping = pol;
-                ExperimentResult r = runWorkload(app, cfg);
+            for (int i = 0; i < 2; i++) {
+                const ExperimentResult &r = results[next++];
                 rows.push_back({p, r.policy, r.totals.combinedTime(),
                                 r.totals});
                 worst = std::max(worst, rows.back().combined);

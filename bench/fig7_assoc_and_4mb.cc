@@ -22,26 +22,33 @@ namespace
 {
 
 void
-sweep(const char *title, MachineConfig (*make)(std::uint32_t))
+sweep(const char *title, MachineConfig (*make)(std::uint32_t),
+      unsigned jobs)
 {
     std::cout << "### " << title << " ###\n";
     const char *apps[] = {"101.tomcatv", "102.swim", "104.hydro2d",
                           "107.mgrid", "110.applu", "125.turb3d"};
+    std::vector<runner::JobSpec> specs;
     for (const char *app : apps) {
-        TextTable table({"P", "PC combined(M)", "CDPC combined(M)",
-                         "CDPC speedup", "PC conflict%",
-                         "CDPC conflict%"});
         for (std::uint32_t p : kSimCpuCounts) {
-            WeightedTotals pc, cd;
             for (MappingPolicy pol :
                  {MappingPolicy::PageColoring, MappingPolicy::Cdpc}) {
                 ExperimentConfig cfg;
                 cfg.machine = make(p);
                 cfg.mapping = pol;
-                ExperimentResult r = runWorkload(app, cfg);
-                (pol == MappingPolicy::PageColoring ? pc : cd) =
-                    r.totals;
+                addJob(specs, app, cfg);
             }
+        }
+    }
+    std::vector<ExperimentResult> results = runBatch(specs, jobs);
+    std::size_t next = 0;
+    for (const char *app : apps) {
+        TextTable table({"P", "PC combined(M)", "CDPC combined(M)",
+                         "CDPC speedup", "PC conflict%",
+                         "CDPC conflict%"});
+        for (std::uint32_t p : kSimCpuCounts) {
+            WeightedTotals pc = results[next++].totals;
+            WeightedTotals cd = results[next++].totals;
             auto conf_pct = [](const WeightedTotals &t) {
                 return t.memStall > 0
                            ? fmtF(100.0 *
@@ -65,12 +72,14 @@ sweep(const char *title, MachineConfig (*make)(std::uint32_t))
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobs(argc, argv);
     banner("Figure 7 — CDPC with 2-way and 4MB-class caches",
            "Figure 7 (Section 6.1)");
     sweep("two-way set-associative, 1MB-class",
-          MachineConfig::paperScaledTwoWay);
-    sweep("direct-mapped, 4MB-class", MachineConfig::paperScaledBig);
+          MachineConfig::paperScaledTwoWay, jobs);
+    sweep("direct-mapped, 4MB-class", MachineConfig::paperScaledBig,
+          jobs);
     return 0;
 }

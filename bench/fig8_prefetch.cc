@@ -19,15 +19,50 @@
 using namespace cdpc;
 using namespace cdpc::bench;
 
-int
-main()
+namespace
 {
+
+struct Mode
+{
+    const char *name;
+    MappingPolicy pol;
+    bool pf;
+};
+
+constexpr Mode kModes[] = {
+    {"PC", MappingPolicy::PageColoring, false},
+    {"PC+PF", MappingPolicy::PageColoring, true},
+    {"CDPC", MappingPolicy::Cdpc, false},
+    {"CDPC+PF", MappingPolicy::Cdpc, true},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = parseJobs(argc, argv);
     banner("Figure 8 — CDPC Combined with Compiler-Inserted "
            "Prefetching",
            "Figure 8 (Section 6.2); 1MB-class direct-mapped cache");
 
     const char *apps[] = {"101.tomcatv", "102.swim", "103.su2cor",
                           "104.hydro2d", "110.applu"};
+
+    std::vector<runner::JobSpec> specs;
+    for (const char *app : apps) {
+        for (std::uint32_t p : kSimCpuCounts) {
+            for (const Mode &m : kModes) {
+                ExperimentConfig cfg;
+                cfg.machine = MachineConfig::paperScaled(p);
+                cfg.mapping = m.pol;
+                cfg.prefetch = m.pf;
+                addJob(specs, app, cfg);
+            }
+        }
+    }
+    std::vector<ExperimentResult> results = runBatch(specs, jobs);
+    std::size_t next = 0;
 
     for (const char *app : apps) {
         std::cout << "--- " << app << " ---\n";
@@ -36,24 +71,8 @@ main()
                          "MCPI"});
         for (std::uint32_t p : kSimCpuCounts) {
             double pc_base = 0.0;
-            struct Mode
-            {
-                const char *name;
-                MappingPolicy pol;
-                bool pf;
-            };
-            const Mode modes[] = {
-                {"PC", MappingPolicy::PageColoring, false},
-                {"PC+PF", MappingPolicy::PageColoring, true},
-                {"CDPC", MappingPolicy::Cdpc, false},
-                {"CDPC+PF", MappingPolicy::Cdpc, true},
-            };
-            for (const Mode &m : modes) {
-                ExperimentConfig cfg;
-                cfg.machine = MachineConfig::paperScaled(p);
-                cfg.mapping = m.pol;
-                cfg.prefetch = m.pf;
-                ExperimentResult r = runWorkload(app, cfg);
+            for (const Mode &m : kModes) {
+                const ExperimentResult &r = results[next++];
                 double combined = r.totals.combinedTime();
                 if (std::string(m.name) == "PC")
                     pc_base = combined;

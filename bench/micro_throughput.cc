@@ -4,17 +4,31 @@
  * substrate (cache lookups, full memory-system accesses, TLB, CDPC
  * plan computation, whole-experiment runs). These bound how much
  * paper-scale simulation the figure benches can afford.
+ *
+ * After the microbenchmarks, a fixed experiment battery runs through
+ * the batch engine and its throughput is written to
+ * BENCH_micro_throughput.json — a machine-readable baseline future
+ * PRs can diff their own runs against.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
 #include "cdpc/runtime.h"
 #include "common/logging.h"
+#include "common/table.h"
 #include "compiler/compiler.h"
 #include "harness/experiment.h"
 #include "mem/cache.h"
 #include "mem/memsystem.h"
 #include "mem/tlb.h"
+#include "runner/runner.h"
 #include "vm/physmem.h"
 #include "vm/policy.h"
 #include "vm/virtual_memory.h"
@@ -107,6 +121,75 @@ BM_FullExperiment(benchmark::State &state)
 }
 BENCHMARK(BM_FullExperiment)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
+/**
+ * The fixed batch baseline: a small representative battery (two
+ * policy-sensitive workloads x {1, 8} CPUs x {PC, CDPC}) pushed
+ * through the work-stealing runner at hardware concurrency. The
+ * figure of merit is simulated references per host second — the
+ * quantity every future batching/sharding PR must not regress.
+ */
+void
+writeBatchBaseline(const char *path)
+{
+    std::vector<runner::JobSpec> specs;
+    for (const char *app : {"101.tomcatv", "104.hydro2d"}) {
+        for (std::uint32_t p : {1u, 8u}) {
+            for (MappingPolicy pol :
+                 {MappingPolicy::PageColoring, MappingPolicy::Cdpc}) {
+                ExperimentConfig cfg;
+                cfg.machine = MachineConfig::paperScaled(p);
+                cfg.mapping = pol;
+                specs.push_back(runner::makeJob(app, cfg));
+            }
+        }
+    }
+
+    runner::BatchOptions options;
+    auto start = std::chrono::steady_clock::now();
+    std::vector<runner::JobResult> results =
+        runner::runBatch(specs, options);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    double refs = 0.0;
+    double sim_seconds = 0.0;
+    for (const runner::JobResult &r : results) {
+        fatalIf(!r.ok(), "baseline job failed: ", r.error);
+        refs += r.result->totals.refs;
+        sim_seconds += r.hostSeconds;
+    }
+
+    std::ofstream out(path, std::ios::trunc);
+    fatalIf(!out, "cannot open ", path);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"bench\":\"micro_throughput\",\"jobs\":%zu,"
+        "\"workers\":%u,\"wallSeconds\":%.6f,"
+        "\"jobSecondsTotal\":%.6f,\"simulatedRefs\":%.0f,"
+        "\"refsPerSecond\":%.0f,\"parallelEfficiency\":%.3f}\n",
+        results.size(),
+        std::max(1u, std::thread::hardware_concurrency()), wall,
+        sim_seconds, refs, wall > 0 ? refs / wall : 0.0,
+        wall > 0 ? sim_seconds / wall : 0.0);
+    out << buf;
+    std::cout << "batch baseline: " << results.size() << " jobs, "
+              << fmtF(wall, 2) << "s wall, "
+              << fmtF(refs / 1e6, 1) << "M simulated refs -> " << path
+              << "\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeBatchBaseline("BENCH_micro_throughput.json");
+    return 0;
+}

@@ -19,8 +19,9 @@ using namespace cdpc;
 using namespace cdpc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobs(argc, argv);
     banner("Table 2 — SPEC95fp Ratings on the AlphaServer Model",
            "Table 2 (Section 7)");
 
@@ -30,18 +31,31 @@ main()
     const char *pol_names[] = {"bin-hopping", "page-coloring", "CDPC"};
     const std::uint32_t cpu_counts[] = {1, 4, 8};
 
-    // wall[policy][ncpus][workload]
-    std::map<std::string, std::map<std::uint32_t,
-                                   std::map<std::string, double>>> wall;
-
+    // The full cross product is one embarrassingly parallel batch;
+    // results come back in submission order, so the (workload, cpus,
+    // policy) loop below replays against the same indices.
+    std::vector<runner::JobSpec> specs;
     for (const WorkloadInfo &w : allWorkloads()) {
         for (std::uint32_t p : cpu_counts) {
             for (int i = 0; i < 3; i++) {
                 ExperimentConfig cfg;
                 cfg.machine = MachineConfig::alphaScaled(p);
                 cfg.mapping = policies[i];
-                ExperimentResult r = runWorkload(w.name, cfg);
-                wall[pol_names[i]][p][w.name] = r.totals.wall;
+                specs.push_back(runner::makeJob(w.name, cfg));
+            }
+        }
+    }
+    std::vector<ExperimentResult> results = runBatch(specs, jobs);
+
+    // wall[policy][ncpus][workload]
+    std::map<std::string, std::map<std::uint32_t,
+                                   std::map<std::string, double>>> wall;
+    std::size_t next = 0;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        for (std::uint32_t p : cpu_counts) {
+            for (int i = 0; i < 3; i++) {
+                wall[pol_names[i]][p][w.name] =
+                    results[next++].totals.wall;
             }
         }
     }

@@ -1,0 +1,80 @@
+#include "runner/batch.h"
+
+#include "common/logging.h"
+
+namespace cdpc::runner
+{
+
+std::size_t
+Batch::add(JobSpec spec)
+{
+    specs_.push_back(std::move(spec));
+    return specs_.size() - 1;
+}
+
+std::vector<JobResult>
+Batch::run(ProgressReporter *progress, ResultSink *sink)
+{
+    std::vector<JobResult> results(specs_.size());
+    if (specs_.empty())
+        return results;
+
+    // The batch keeps its own completion count so run() can share a
+    // pool with other batches without waiting on their work.
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = specs_.size();
+
+    for (std::size_t i = 0; i < specs_.size(); i++) {
+        pool_.submit([&, i] {
+            JobResult r = runJob(specs_[i], i);
+            if (sink)
+                sink->write(r);
+            if (progress)
+                progress->jobDone(r.ok());
+            results[i] = std::move(r);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                remaining--;
+            }
+            done_cv.notify_one();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+    return results;
+}
+
+std::vector<JobResult>
+runBatch(std::vector<JobSpec> specs, const BatchOptions &options)
+{
+    ThreadPool pool(options.jobs);
+    Batch batch(pool);
+    for (JobSpec &spec : specs)
+        batch.add(std::move(spec));
+    if (options.progress) {
+        ProgressReporter reporter(batch.size());
+        auto results = batch.run(&reporter, options.sink);
+        reporter.finish();
+        return results;
+    }
+    return batch.run(nullptr, options.sink);
+}
+
+std::vector<ExperimentResult>
+runBatchOrThrow(std::vector<JobSpec> specs, const BatchOptions &options)
+{
+    std::vector<JobResult> jobs =
+        runBatch(std::move(specs), options);
+    std::vector<ExperimentResult> results;
+    results.reserve(jobs.size());
+    for (JobResult &j : jobs) {
+        fatalIf(!j.ok(), "batch job ", j.index, " (",
+                j.spec.displayName(), ") failed: ", j.error);
+        results.push_back(std::move(*j.result));
+    }
+    return results;
+}
+
+} // namespace cdpc::runner

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The Batch API: fan a list of JobSpecs across a work-stealing pool
+ * and gather the ExperimentResults *in submission order*.
+ *
+ * Guarantees:
+ *  - in-order delivery: run() returns results[i] for specs[i],
+ *    whatever order the workers finished in;
+ *  - determinism: specs are executed unmodified and every experiment
+ *    is a pure function of its spec, so a parallel batch is
+ *    bit-identical to serial execution of the same specs (the
+ *    serialized JSON of the two result vectors compares equal);
+ *  - failure isolation: an exception inside one job is captured in
+ *    that job's JobResult::error and does not poison the batch —
+ *    every other job still runs to completion.
+ */
+
+#ifndef CDPC_RUNNER_BATCH_H
+#define CDPC_RUNNER_BATCH_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "runner/job.h"
+#include "runner/progress.h"
+#include "runner/result_sink.h"
+#include "runner/thread_pool.h"
+
+namespace cdpc::runner
+{
+
+/** A group of jobs submitted together over a (possibly shared) pool. */
+class Batch
+{
+  public:
+    explicit Batch(ThreadPool &pool) : pool_(pool) {}
+
+    /** Queue @p spec; @return its submission index. */
+    std::size_t add(JobSpec spec);
+
+    std::size_t size() const { return specs_.size(); }
+
+    /**
+     * Execute every queued spec and block until all finish.
+     * @param progress optional per-job completion reporting
+     * @param sink     optional streaming sink (completion order)
+     * @return one JobResult per spec, in submission order
+     */
+    std::vector<JobResult> run(ProgressReporter *progress = nullptr,
+                               ResultSink *sink = nullptr);
+
+  private:
+    ThreadPool &pool_;
+    std::vector<JobSpec> specs_;
+};
+
+/** Options for the one-shot runBatch() convenience wrapper. */
+struct BatchOptions
+{
+    /** Worker threads; 0 means hardware_concurrency. */
+    unsigned jobs = 0;
+    /** Report progress to stderr (rate-limited). */
+    bool progress = false;
+    /** Optional streaming sink. */
+    ResultSink *sink = nullptr;
+};
+
+/** Create a pool, run @p specs through a Batch, tear the pool down. */
+std::vector<JobResult> runBatch(std::vector<JobSpec> specs,
+                                const BatchOptions &options = {});
+
+/**
+ * runBatch() for callers that treat any job failure as fatal:
+ * rethrows the first failed job's error as FatalError and unwraps
+ * the ExperimentResults.
+ */
+std::vector<ExperimentResult>
+runBatchOrThrow(std::vector<JobSpec> specs,
+                const BatchOptions &options = {});
+
+} // namespace cdpc::runner
+
+#endif // CDPC_RUNNER_BATCH_H

@@ -1,0 +1,63 @@
+#include "runner/job.h"
+
+#include <chrono>
+#include <exception>
+
+namespace cdpc::runner
+{
+
+std::string
+JobSpec::displayName() const
+{
+    if (!name.empty())
+        return name;
+    return workload + "/" + mappingName(config.mapping) + "/" +
+           std::to_string(config.machine.numCpus) + "cpu";
+}
+
+JobSpec
+makeJob(std::string workload, ExperimentConfig config,
+        std::vector<std::string> tags)
+{
+    JobSpec spec;
+    spec.workload = std::move(workload);
+    spec.config = std::move(config);
+    spec.tags = std::move(tags);
+    return spec;
+}
+
+std::uint64_t
+deriveJobSeed(std::uint64_t base, std::uint64_t index)
+{
+    // splitmix64: advance by the golden-ratio increment per index,
+    // then finalize. Distinct (base, index) pairs give uncorrelated
+    // seeds, and index 0 with base b never collides with index 1 of
+    // base b-1's stream the way plain base+index would.
+    std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+JobResult
+runJob(const JobSpec &spec, std::size_t index)
+{
+    JobResult res;
+    res.index = index;
+    res.spec = spec;
+    auto start = std::chrono::steady_clock::now();
+    try {
+        res.result = runWorkload(spec.workload, spec.config);
+    } catch (const std::exception &e) {
+        res.error = e.what();
+    } catch (...) {
+        res.error = "unknown exception";
+    }
+    res.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return res;
+}
+
+} // namespace cdpc::runner

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The unit of batch execution: a named ExperimentConfig plus the
+ * workload it runs, and the per-job outcome record the batch engine
+ * hands back.
+ *
+ * Determinism contract: a JobSpec is a *pure* description — running
+ * it depends only on its own fields (every source of randomness in
+ * an experiment is seeded from config.seed), never on which worker
+ * thread runs it or in what order. The batch engine executes specs
+ * unmodified, which is what makes a parallel batch bit-identical to
+ * serial execution of the same specs.
+ */
+
+#ifndef CDPC_RUNNER_JOB_H
+#define CDPC_RUNNER_JOB_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace cdpc::runner
+{
+
+/** One batch job: a named experiment on a named workload. */
+struct JobSpec
+{
+    /** Display name; defaults to "<workload>/<policy>/<cpus>cpu". */
+    std::string name;
+    /** Workload registry name (e.g. "101.tomcatv"). */
+    std::string workload;
+    ExperimentConfig config;
+    /** Free-form labels carried through to the result sink. */
+    std::vector<std::string> tags;
+
+    /** @return name, or the default derived display name. */
+    std::string displayName() const;
+};
+
+/** Convenience builder with the default display name. */
+JobSpec makeJob(std::string workload, ExperimentConfig config,
+                std::vector<std::string> tags = {});
+
+/** What one job produced (exactly one of result/error is set). */
+struct JobResult
+{
+    /** Submission index within the batch. */
+    std::size_t index = 0;
+    JobSpec spec;
+    /** Present iff the job completed without throwing. */
+    std::optional<ExperimentResult> result;
+    /** The captured exception message when the job failed. */
+    std::string error;
+    /** Host wall-clock seconds this job took. */
+    double hostSeconds = 0.0;
+
+    bool ok() const { return result.has_value(); }
+};
+
+/**
+ * Derive a statistically independent per-job seed from a batch base
+ * seed and the job's submission index (splitmix64 finalizer). The
+ * batch engine never reseeds jobs implicitly; spec generators that
+ * want distinct random streams per job call this explicitly, keeping
+ * the seed a visible part of the spec.
+ */
+std::uint64_t deriveJobSeed(std::uint64_t base, std::uint64_t index);
+
+/** Run one spec synchronously (the function the pool workers call). */
+JobResult runJob(const JobSpec &spec, std::size_t index = 0);
+
+} // namespace cdpc::runner
+
+#endif // CDPC_RUNNER_JOB_H

@@ -1,0 +1,81 @@
+#include "runner/progress.h"
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace cdpc::runner
+{
+
+ProgressReporter::ProgressReporter(std::size_t total, std::ostream *out,
+                                   double min_interval)
+    : out_(out ? out : &std::cerr), total_(total),
+      minInterval_(min_interval), start_(Clock::now()), lastEmit_(start_)
+{}
+
+void
+ProgressReporter::jobDone(bool ok)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_++;
+    if (!ok)
+        failed_++;
+    if (isQuiet())
+        return;
+    auto now = Clock::now();
+    double since_emit =
+        std::chrono::duration<double>(now - lastEmit_).count();
+    if (since_emit >= minInterval_ || done_ == total_)
+        emitLocked(false);
+}
+
+void
+ProgressReporter::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (isQuiet() || finalEmitted_)
+        return;
+    if (emitted_ || done_ < total_ || failed_ > 0)
+        emitLocked(true);
+}
+
+void
+ProgressReporter::emitLocked(bool final)
+{
+    auto now = Clock::now();
+    double elapsed = std::chrono::duration<double>(now - start_).count();
+    double rate = elapsed > 0 ? done_ / elapsed : 0.0;
+    *out_ << "batch: " << done_ << "/" << total_ << " jobs";
+    if (failed_)
+        *out_ << " (" << failed_ << " failed)";
+    if (rate > 0)
+        *out_ << ", " << fmtF(rate, 1) << " jobs/s";
+    if (final || done_ == total_) {
+        *out_ << ", " << fmtF(elapsed, 1) << "s elapsed";
+    } else if (rate > 0 && total_ > done_) {
+        *out_ << ", ETA " << fmtF((total_ - done_) / rate, 0) << "s";
+    }
+    *out_ << "\n";
+    out_->flush();
+    lastEmit_ = now;
+    emitted_ = true;
+    if (done_ == total_)
+        finalEmitted_ = true;
+}
+
+std::size_t
+ProgressReporter::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+std::size_t
+ProgressReporter::failed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failed_;
+}
+
+} // namespace cdpc::runner

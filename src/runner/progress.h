@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Rate-limited batch progress reporting to stderr: jobs done / total,
+ * throughput and an ETA, updated at most a few times per second no
+ * matter how fast jobs complete, and silenced entirely when the
+ * library-wide quiet flag is set (so piping a bench's stdout stays
+ * clean and tests stay silent).
+ */
+
+#ifndef CDPC_RUNNER_PROGRESS_H
+#define CDPC_RUNNER_PROGRESS_H
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+
+namespace cdpc::runner
+{
+
+class ProgressReporter
+{
+  public:
+    /**
+     * @param total        jobs expected in the batch
+     * @param out          stream to report to (default std::cerr)
+     * @param min_interval minimum seconds between progress lines
+     */
+    explicit ProgressReporter(std::size_t total,
+                              std::ostream *out = nullptr,
+                              double min_interval = 0.5);
+
+    /** Record one finished job; prints when the rate limit allows. */
+    void jobDone(bool ok);
+
+    /** Print the final summary line unless jobDone() already did. */
+    void finish();
+
+    std::size_t done() const;
+    std::size_t failed() const;
+
+  private:
+    void emitLocked(bool final);
+
+    using Clock = std::chrono::steady_clock;
+
+    mutable std::mutex mutex_;
+    std::ostream *out_;
+    std::size_t total_;
+    std::size_t done_ = 0;
+    std::size_t failed_ = 0;
+    double minInterval_;
+    Clock::time_point start_;
+    Clock::time_point lastEmit_;
+    bool emitted_ = false;
+    bool finalEmitted_ = false;
+};
+
+} // namespace cdpc::runner
+
+#endif // CDPC_RUNNER_PROGRESS_H

@@ -1,0 +1,256 @@
+#include "runner/result_sink.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "mem/miss_classify.h"
+
+namespace cdpc::runner
+{
+
+namespace
+{
+
+/** Shortest representation that round-trips a double exactly. */
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer the shorter %.15g / %.16g form when it round-trips.
+    for (int prec = 15; prec <= 16; prec++) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v)
+            return shorter;
+    }
+    return buf;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+jsonBool(bool b)
+{
+    return b ? "true" : "false";
+}
+
+/** Streams "key":value pairs with the separating commas. */
+class ObjectWriter
+{
+  public:
+    explicit ObjectWriter(std::string &out) : out_(out)
+    {
+        out_ += '{';
+    }
+
+    void
+    field(const char *key, const std::string &rendered_value)
+    {
+        if (!first_)
+            out_ += ',';
+        first_ = false;
+        out_ += '"';
+        out_ += key;
+        out_ += "\":";
+        out_ += rendered_value;
+    }
+
+    void close() { out_ += '}'; }
+
+  private:
+    std::string &out_;
+    bool first_ = true;
+};
+
+std::string
+missArrayJson(const std::array<double, 6> &by_kind)
+{
+    std::string out;
+    ObjectWriter obj(out);
+    for (std::size_t k = 0; k < by_kind.size(); k++)
+        obj.field(missKindName(static_cast<MissKind>(k)),
+                  jsonNumber(by_kind[k]));
+    obj.close();
+    return out;
+}
+
+std::string
+totalsJson(const WeightedTotals &t)
+{
+    std::string out;
+    ObjectWriter obj(out);
+    obj.field("insts", jsonNumber(t.insts));
+    obj.field("busy", jsonNumber(t.busy));
+    obj.field("memStall", jsonNumber(t.memStall));
+    obj.field("kernel", jsonNumber(t.kernel));
+    obj.field("imbalance", jsonNumber(t.imbalance));
+    obj.field("sequential", jsonNumber(t.sequential));
+    obj.field("suppressed", jsonNumber(t.suppressed));
+    obj.field("sync", jsonNumber(t.sync));
+    obj.field("wall", jsonNumber(t.wall));
+    obj.field("barriers", jsonNumber(t.barriers));
+    obj.field("refs", jsonNumber(t.refs));
+    obj.field("l1Misses", jsonNumber(t.l1Misses));
+    obj.field("l2Hits", jsonNumber(t.l2Hits));
+    obj.field("l2Misses", jsonNumber(t.l2Misses));
+    obj.field("pageFaults", jsonNumber(t.pageFaults));
+    obj.field("tlbMisses", jsonNumber(t.tlbMisses));
+    obj.field("l2HitStall", jsonNumber(t.l2HitStall));
+    obj.field("prefetchLateStall", jsonNumber(t.prefetchLateStall));
+    obj.field("prefetchFullStall", jsonNumber(t.prefetchFullStall));
+    obj.field("missCount", missArrayJson(t.missCount));
+    obj.field("missStall", missArrayJson(t.missStall));
+    obj.field("busDataBusy", jsonNumber(t.busDataBusy));
+    obj.field("busWritebackBusy", jsonNumber(t.busWritebackBusy));
+    obj.field("busUpgradeBusy", jsonNumber(t.busUpgradeBusy));
+    obj.field("busQueueing", jsonNumber(t.busQueueing));
+    obj.field("prefetchesIssued", jsonNumber(t.prefetchesIssued));
+    obj.field("prefetchesDropped", jsonNumber(t.prefetchesDropped));
+    obj.field("prefetchesUseful", jsonNumber(t.prefetchesUseful));
+    obj.close();
+    return out;
+}
+
+std::string
+configJson(const ExperimentConfig &c)
+{
+    std::string out;
+    ObjectWriter obj(out);
+    obj.field("machine", jsonString(c.machine.name));
+    obj.field("cpus", jsonNumber(c.machine.numCpus));
+    obj.field("mapping", jsonString(mappingName(c.mapping)));
+    obj.field("aligned", jsonBool(c.aligned));
+    obj.field("prefetch", jsonBool(c.prefetch));
+    obj.field("binHopRacy", jsonBool(c.binHopRacy));
+    obj.field("dynamicRecolor", jsonBool(c.dynamicRecolor));
+    obj.field("cyclicAssignment",
+              jsonBool(c.cdpcOptions.cyclicAssignment));
+    obj.field("greedyOrdering", jsonBool(c.cdpcOptions.greedyOrdering));
+    obj.field("seed", std::to_string(c.seed));
+    obj.field("preallocatedPages",
+              jsonNumber(static_cast<double>(c.preallocatedPages)));
+    obj.close();
+    return out;
+}
+
+std::string
+tagsJson(const std::vector<std::string> &tags)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < tags.size(); i++) {
+        if (i)
+            out += ',';
+        out += jsonString(tags[i]);
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+resultToJson(const JobResult &r)
+{
+    std::string out;
+    ObjectWriter obj(out);
+    obj.field("job", jsonNumber(static_cast<double>(r.index)));
+    obj.field("name", jsonString(r.spec.displayName()));
+    obj.field("workload", jsonString(r.spec.workload));
+    obj.field("tags", tagsJson(r.spec.tags));
+    obj.field("config", configJson(r.spec.config));
+    obj.field("ok", jsonBool(r.ok()));
+    if (!r.ok()) {
+        obj.field("error", jsonString(r.error));
+        obj.close();
+        return out;
+    }
+    const ExperimentResult &res = *r.result;
+    obj.field("policy", jsonString(res.policy));
+    obj.field("ncpus", jsonNumber(res.ncpus));
+    obj.field("dataSetBytes",
+              jsonNumber(static_cast<double>(res.dataSetBytes)));
+    obj.field("hintsHonored", jsonNumber(res.hintsHonored));
+    obj.field("totals", totalsJson(res.totals));
+    std::string derived;
+    {
+        ObjectWriter d(derived);
+        d.field("combined", jsonNumber(res.totals.combinedTime()));
+        d.field("overhead", jsonNumber(res.totals.overheadTime()));
+        d.field("mcpi", jsonNumber(res.totals.mcpi()));
+        d.field("busUtilization",
+                jsonNumber(res.totals.busUtilization()));
+        d.close();
+    }
+    obj.field("derived", derived);
+    obj.close();
+    return out;
+}
+
+JsonlResultSink::JsonlResultSink(std::ostream &out) : out_(&out) {}
+
+JsonlResultSink::JsonlResultSink(const std::string &path)
+    : owned_(path, std::ios::trunc), out_(&owned_)
+{
+    fatalIf(!owned_, "cannot open result file ", path);
+}
+
+void
+JsonlResultSink::write(const JobResult &r)
+{
+    std::string line = resultToJson(r);
+    std::lock_guard<std::mutex> lock(mutex_);
+    *out_ << line << "\n";
+    out_->flush();
+    lines_++;
+}
+
+std::size_t
+JsonlResultSink::lines() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+}
+
+} // namespace cdpc::runner

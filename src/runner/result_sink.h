@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Streaming JSON-lines output of batch results: one self-describing
+ * JSON object per job, carrying the spec that produced it and the
+ * full stats breakdown, so downstream tooling (plotters, regression
+ * trackers, future PRs' trajectory comparisons) can consume batch
+ * output without parsing the human tables.
+ *
+ * Lines are written in *completion* order under a lock (the sink is
+ * shared by all workers); every line carries the job's submission
+ * index, so `sort -n` on the "job" field — or the in-order vector
+ * the Batch API returns — recovers submission order. Doubles are
+ * printed with round-trip precision, which is what lets a test diff
+ * the serialized form of a parallel batch against a serial one.
+ */
+
+#ifndef CDPC_RUNNER_RESULT_SINK_H
+#define CDPC_RUNNER_RESULT_SINK_H
+
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "runner/job.h"
+
+namespace cdpc::runner
+{
+
+/** JSON-escape the contents of @p s (no surrounding quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** @return one JSON object (no trailing newline) for @p r. */
+std::string resultToJson(const JobResult &r);
+
+/** Receives each finished job; implementations must be thread-safe. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+    virtual void write(const JobResult &r) = 0;
+};
+
+/** Appends one JSON line per job to a stream or file. */
+class JsonlResultSink : public ResultSink
+{
+  public:
+    /** Write to @p out (kept open; caller owns the stream). */
+    explicit JsonlResultSink(std::ostream &out);
+    /** Write to @p path (truncates; fatal() if unopenable). */
+    explicit JsonlResultSink(const std::string &path);
+
+    void write(const JobResult &r) override;
+
+    std::size_t lines() const;
+
+  private:
+    std::ofstream owned_;
+    std::ostream *out_;
+    mutable std::mutex mutex_;
+    std::size_t lines_ = 0;
+};
+
+} // namespace cdpc::runner
+
+#endif // CDPC_RUNNER_RESULT_SINK_H

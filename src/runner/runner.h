@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Umbrella header for the batch-execution subsystem (src/runner/):
+ * JobSpec/JobResult, the work-stealing ThreadPool, the in-order
+ * Batch API, rate-limited progress reporting and the JSON-lines
+ * result sink. See DESIGN.md, "Batch runner".
+ */
+
+#ifndef CDPC_RUNNER_RUNNER_H
+#define CDPC_RUNNER_RUNNER_H
+
+#include "runner/batch.h"
+#include "runner/job.h"
+#include "runner/progress.h"
+#include "runner/result_sink.h"
+#include "runner/thread_pool.h"
+
+#endif // CDPC_RUNNER_RUNNER_H

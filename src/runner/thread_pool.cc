@@ -1,0 +1,182 @@
+#include "runner/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cdpc::runner
+{
+
+namespace
+{
+
+/** Set while a worker thread runs tasks; -1 on external threads. */
+thread_local int tlsWorkerId = -1;
+
+} // namespace
+
+int
+currentWorkerId()
+{
+    return tlsWorkerId;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    waitIdle();
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(parkMutex_);
+    }
+    parkCv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::enqueueOn(unsigned victim, Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(workers_[victim]->mutex);
+        workers_[victim]->deque.push_back(std::move(task));
+    }
+    unclaimed_.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(parkMutex_);
+    }
+    parkCv_.notify_one();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    panicIfNot(task, "ThreadPool::submit of an empty task");
+    panicIfNot(!stop_.load(std::memory_order_acquire),
+               "ThreadPool::submit after shutdown began");
+    pending_.fetch_add(1, std::memory_order_release);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    int self = tlsWorkerId;
+    unsigned target;
+    if (self >= 0 && static_cast<unsigned>(self) < workerCount()) {
+        target = static_cast<unsigned>(self);
+    } else {
+        target = static_cast<unsigned>(
+            nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+            workerCount());
+    }
+    enqueueOn(target, std::move(task));
+}
+
+bool
+ThreadPool::popLocal(unsigned self, Task &out)
+{
+    Worker &w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.deque.empty())
+        return false;
+    out = std::move(w.deque.back());
+    w.deque.pop_back();
+    unclaimed_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+}
+
+bool
+ThreadPool::stealInto(unsigned self, Task &out)
+{
+    unsigned n = workerCount();
+    for (unsigned off = 1; off < n; off++) {
+        unsigned victim = (self + off) % n;
+        std::deque<Task> loot;
+        {
+            std::lock_guard<std::mutex> lock(workers_[victim]->mutex);
+            std::deque<Task> &vd = workers_[victim]->deque;
+            if (vd.empty())
+                continue;
+            // Steal half (rounded up), oldest first, so both sides
+            // keep a contiguous run of their own submissions.
+            std::size_t take = (vd.size() + 1) / 2;
+            for (std::size_t i = 0; i < take; i++) {
+                loot.push_back(std::move(vd.front()));
+                vd.pop_front();
+            }
+        }
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        tasksStolen_.fetch_add(loot.size(), std::memory_order_relaxed);
+        // First stolen task runs immediately; the rest go to our own
+        // deque and become stealable again.
+        out = std::move(loot.front());
+        loot.pop_front();
+        unclaimed_.fetch_sub(1, std::memory_order_acq_rel);
+        if (!loot.empty()) {
+            std::lock_guard<std::mutex> lock(workers_[self]->mutex);
+            std::deque<Task> &sd = workers_[self]->deque;
+            for (Task &t : loot)
+                sd.push_back(std::move(t));
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    tlsWorkerId = static_cast<int>(self);
+    for (;;) {
+        Task task;
+        if (popLocal(self, task) || stealInto(self, task)) {
+            task();
+            executed_.fetch_add(1, std::memory_order_relaxed);
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(parkMutex_);
+                idleCv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(parkMutex_);
+        if (unclaimed_.load(std::memory_order_acquire) > 0)
+            continue;
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        parks_.fetch_add(1, std::memory_order_relaxed);
+        parkCv_.wait(lock, [this] {
+            return unclaimed_.load(std::memory_order_acquire) > 0 ||
+                   stop_.load(std::memory_order_acquire);
+        });
+    }
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(parkMutex_);
+    idleCv_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+ThreadPoolStats
+ThreadPool::stats() const
+{
+    ThreadPoolStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.executed = executed_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.tasksStolen = tasksStolen_.load(std::memory_order_relaxed);
+    s.parks = parks_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace cdpc::runner

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A work-stealing thread pool for coarse-grained simulation jobs.
+ *
+ * Each worker owns a deque: it pushes and pops work at the back
+ * (LIFO, cache-warm), and idle workers steal *half* of a victim's
+ * deque from the front (FIFO, oldest first), which amortizes steal
+ * traffic when job counts are large and balances the tail when a
+ * few jobs run long. Workers with no work to run or steal park on a
+ * condition variable rather than spinning, so an idle pool costs
+ * nothing.
+ *
+ * Jobs here are whole simulations (milliseconds to seconds each), so
+ * the deques are mutex-guarded rather than lock-free — the lock is
+ * taken once per job, which is noise at this granularity, and keeps
+ * the stealing logic obviously correct.
+ */
+
+#ifndef CDPC_RUNNER_THREAD_POOL_H
+#define CDPC_RUNNER_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdpc::runner
+{
+
+/** Counters for introspection and tests. */
+struct ThreadPoolStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    /** Successful steal operations (each may move several tasks). */
+    std::uint64_t steals = 0;
+    /** Tasks moved between deques by steals. */
+    std::uint64_t tasksStolen = 0;
+    /** Times a worker parked on the condition variable. */
+    std::uint64_t parks = 0;
+};
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param workers thread count; 0 means hardware_concurrency. */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains all submitted work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue @p task. Submissions from outside the pool are spread
+     * round-robin over the worker deques; a worker submitting from
+     * inside a task pushes to its own deque (LIFO locality).
+     */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished executing. */
+    void waitIdle();
+
+    /** Snapshot of the counters (racy while work is in flight). */
+    ThreadPoolStats stats() const;
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        /** back = owner's end (LIFO); front = steal end (FIFO). */
+        std::deque<Task> deque;
+    };
+
+    void workerLoop(unsigned self);
+    bool popLocal(unsigned self, Task &out);
+    bool stealInto(unsigned self, Task &out);
+    void enqueueOn(unsigned victim, Task task);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    /** Guards parking and the idle wait; counters are atomic. */
+    mutable std::mutex parkMutex_;
+    std::condition_variable parkCv_;
+    std::condition_variable idleCv_;
+
+    /** Tasks sitting in deques, not yet claimed by a worker. */
+    std::atomic<std::size_t> unclaimed_{0};
+    /** Tasks submitted and not yet finished executing. */
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> nextQueue_{0};
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> tasksStolen_{0};
+    std::atomic<std::uint64_t> parks_{0};
+};
+
+/** The thread id a ThreadPool worker reports inside a task, or -1. */
+int currentWorkerId();
+
+} // namespace cdpc::runner
+
+#endif // CDPC_RUNNER_THREAD_POOL_H

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * The batch-execution subsystem: work-stealing pool mechanics, the
+ * Batch API's ordering/determinism/failure-isolation guarantees, and
+ * the JSON-lines result sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "runner/runner.h"
+
+namespace cdpc::runner
+{
+namespace
+{
+
+class QuietGuard
+{
+  public:
+    QuietGuard() { setQuiet(true); }
+    ~QuietGuard() { setQuiet(false); }
+};
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, DrainsMoreJobsThanWorkers)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 300; i++)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 300);
+    ThreadPoolStats s = pool.stats();
+    EXPECT_EQ(s.submitted, 300u);
+    EXPECT_EQ(s.executed, 300u);
+}
+
+TEST(ThreadPool, SingleWorkerDrains)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workerCount(), 1u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; i++)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 100; i++)
+            pool.submit([&] { count.fetch_add(1); });
+        // No waitIdle: the destructor must finish the queue.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, TasksSubmittedFromInsideTasksRun)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; i++) {
+        pool.submit([&] {
+            count.fetch_add(1);
+            pool.submit([&] { count.fetch_add(1); });
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, WorkSpreadsAcrossWorkers)
+{
+    // With tasks that block until every worker has one, all workers
+    // must participate (steals or round-robin placement get them
+    // there).
+    constexpr unsigned kWorkers = 4;
+    ThreadPool pool(kWorkers);
+    std::mutex mutex;
+    std::set<int> seen;
+    std::atomic<int> arrived{0};
+    for (unsigned i = 0; i < kWorkers; i++) {
+        pool.submit([&] {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                seen.insert(currentWorkerId());
+            }
+            arrived.fetch_add(1);
+            while (arrived.load() < static_cast<int>(kWorkers))
+                std::this_thread::yield();
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(seen.size(), kWorkers);
+}
+
+TEST(ThreadPool, WaitIdleOnIdlePoolReturns)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();
+    SUCCEED();
+}
+
+// ------------------------------------------------------------- seeding
+
+TEST(Job, DerivedSeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t base = 0; base < 4; base++)
+        for (std::uint64_t i = 0; i < 64; i++)
+            seeds.insert(deriveJobSeed(base, i));
+    EXPECT_EQ(seeds.size(), 4u * 64u);
+    EXPECT_EQ(deriveJobSeed(7, 3), deriveJobSeed(7, 3));
+}
+
+TEST(Job, DefaultDisplayName)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(4);
+    cfg.mapping = MappingPolicy::BinHopping;
+    JobSpec spec = makeJob("102.swim", cfg);
+    EXPECT_EQ(spec.displayName(), "102.swim/bin-hopping/4cpu");
+    spec.name = "custom";
+    EXPECT_EQ(spec.displayName(), "custom");
+}
+
+// --------------------------------------------------------------- batch
+
+std::vector<JobSpec>
+smallSpecs()
+{
+    // Mix policies, CPU counts and seeds; mgrid is the cheapest
+    // policy-sensitive workload so the suite stays fast.
+    std::vector<JobSpec> specs;
+    const MappingPolicy policies[] = {
+        MappingPolicy::PageColoring, MappingPolicy::Cdpc,
+        MappingPolicy::BinHopping, MappingPolicy::Random};
+    for (std::size_t i = 0; i < 8; i++) {
+        ExperimentConfig cfg;
+        cfg.machine =
+            MachineConfig::paperScaled(i % 2 == 0 ? 2 : 4);
+        cfg.mapping = policies[i % 4];
+        cfg.seed = deriveJobSeed(42, i);
+        specs.push_back(makeJob("107.mgrid", cfg));
+    }
+    return specs;
+}
+
+TEST(Batch, ParallelBitIdenticalToSerial)
+{
+    QuietGuard quiet;
+    BatchOptions serial;
+    serial.jobs = 1;
+    BatchOptions parallel;
+    parallel.jobs = 4;
+    std::vector<JobResult> a = runBatch(smallSpecs(), serial);
+    std::vector<JobResult> b = runBatch(smallSpecs(), parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        ASSERT_TRUE(a[i].ok());
+        ASSERT_TRUE(b[i].ok());
+        // The serialized form renders every double at round-trip
+        // precision, so string equality is bit equality.
+        EXPECT_EQ(resultToJson(a[i]), resultToJson(b[i]))
+            << "job " << i << " diverged between serial and parallel";
+    }
+}
+
+TEST(Batch, ResultsArriveInSubmissionOrder)
+{
+    QuietGuard quiet;
+    std::vector<JobSpec> specs = smallSpecs();
+    std::vector<std::string> expect_names;
+    for (const JobSpec &s : specs)
+        expect_names.push_back(s.displayName());
+    BatchOptions options;
+    options.jobs = 4;
+    std::vector<JobResult> results = runBatch(specs, options);
+    ASSERT_EQ(results.size(), expect_names.size());
+    for (std::size_t i = 0; i < results.size(); i++) {
+        EXPECT_EQ(results[i].index, i);
+        EXPECT_EQ(results[i].spec.displayName(), expect_names[i]);
+        ASSERT_TRUE(results[i].ok());
+        EXPECT_EQ(results[i].result->ncpus,
+                  specs[i].config.machine.numCpus);
+    }
+}
+
+TEST(Batch, FailedJobDoesNotPoisonTheBatch)
+{
+    QuietGuard quiet;
+    std::vector<JobSpec> specs = smallSpecs();
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    specs.insert(specs.begin() + 3,
+                 makeJob("999.no-such-workload", cfg));
+    BatchOptions options;
+    options.jobs = 4;
+    std::vector<JobResult> results = runBatch(specs, options);
+    ASSERT_EQ(results.size(), 9u);
+    for (std::size_t i = 0; i < results.size(); i++) {
+        if (i == 3) {
+            EXPECT_FALSE(results[i].ok());
+            EXPECT_NE(results[i].error.find("999.no-such-workload"),
+                      std::string::npos);
+        } else {
+            EXPECT_TRUE(results[i].ok())
+                << "job " << i << ": " << results[i].error;
+        }
+    }
+    // And the throwing wrapper surfaces the failure.
+    EXPECT_THROW(
+        {
+            BatchOptions opts;
+            opts.jobs = 2;
+            std::vector<JobSpec> bad;
+            bad.push_back(makeJob("999.no-such-workload", cfg));
+            runBatchOrThrow(std::move(bad), opts);
+        },
+        FatalError);
+}
+
+TEST(Batch, OneWorkerPoolCompletesBatch)
+{
+    QuietGuard quiet;
+    ThreadPool pool(1);
+    Batch batch(pool);
+    std::vector<JobSpec> specs = smallSpecs();
+    specs.resize(3);
+    for (JobSpec &s : specs)
+        batch.add(std::move(s));
+    std::vector<JobResult> results = batch.run();
+    ASSERT_EQ(results.size(), 3u);
+    for (const JobResult &r : results)
+        EXPECT_TRUE(r.ok());
+}
+
+TEST(Batch, SharedPoolRunsBatchesBackToBack)
+{
+    QuietGuard quiet;
+    ThreadPool pool(2);
+    for (int round = 0; round < 2; round++) {
+        Batch batch(pool);
+        std::vector<JobSpec> specs = smallSpecs();
+        specs.resize(2);
+        for (JobSpec &s : specs)
+            batch.add(std::move(s));
+        std::vector<JobResult> results = batch.run();
+        ASSERT_EQ(results.size(), 2u);
+        EXPECT_TRUE(results[0].ok());
+        EXPECT_TRUE(results[1].ok());
+    }
+}
+
+// ---------------------------------------------------------------- sink
+
+TEST(ResultSink, JsonEscaping)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(ResultSink, WritesOneLinePerJobWithIndices)
+{
+    QuietGuard quiet;
+    std::ostringstream out;
+    JsonlResultSink sink(out);
+    BatchOptions options;
+    options.jobs = 4;
+    options.sink = &sink;
+    std::vector<JobSpec> specs = smallSpecs();
+    specs.resize(4);
+    std::vector<JobResult> results = runBatch(specs, options);
+    EXPECT_EQ(sink.lines(), 4u);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::set<std::string> job_fields;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"workload\":\"107.mgrid\""),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"totals\":{"), std::string::npos);
+        job_fields.insert(line.substr(0, line.find(',')));
+        n++;
+    }
+    EXPECT_EQ(n, 4u);
+    // Completion order may vary; the four distinct indices must all
+    // be present.
+    EXPECT_EQ(job_fields.size(), 4u);
+}
+
+TEST(ResultSink, ErrorJobsSerializeErrorField)
+{
+    JobResult r;
+    r.index = 7;
+    r.spec = makeJob("102.swim", ExperimentConfig{});
+    r.error = "boom";
+    std::string json = resultToJson(r);
+    EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"error\":\"boom\""), std::string::npos);
+    EXPECT_EQ(json.find("\"totals\""), std::string::npos);
+}
+
+// ------------------------------------------------------------ progress
+
+TEST(Progress, CountsAndRateLimit)
+{
+    std::ostringstream out;
+    // min_interval of an hour: only the final job may print.
+    ProgressReporter progress(100, &out, 3600.0);
+    for (int i = 0; i < 100; i++)
+        progress.jobDone(i % 10 != 0);
+    progress.finish();
+    EXPECT_EQ(progress.done(), 100u);
+    EXPECT_EQ(progress.failed(), 10u);
+    // One line when done hit total, plus the finish() summary.
+    std::size_t newlines = 0;
+    for (char c : out.str())
+        if (c == '\n')
+            newlines++;
+    EXPECT_LE(newlines, 2u);
+    EXPECT_NE(out.str().find("100/100"), std::string::npos);
+    EXPECT_NE(out.str().find("10 failed"), std::string::npos);
+}
+
+TEST(Progress, QuietSuppressesOutput)
+{
+    QuietGuard quiet;
+    std::ostringstream out;
+    ProgressReporter progress(2, &out, 0.0);
+    progress.jobDone(true);
+    progress.jobDone(true);
+    progress.finish();
+    EXPECT_TRUE(out.str().empty());
+    EXPECT_EQ(progress.done(), 2u);
+}
+
+} // namespace
+} // namespace cdpc::runner

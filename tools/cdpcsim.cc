@@ -11,7 +11,8 @@
  *   cdpcsim sweep <workload> [options]
  *       One policy across 1..16 CPUs.
  *   cdpcsim plan <workload> [options]
- *       The compiler summaries and the CDPC plan, no simulation.
+ *       The compiler summaries and the CDPC plan, no simulation;
+ *       with --out FILE, also save the summaries for later staging.
  *   cdpcsim record <workload> --out FILE [options]
  *       Capture the demand reference trace of one run.
  *   cdpcsim replay FILE [options]
@@ -19,11 +20,13 @@
  *       memory-system configuration.
  *   cdpcsim attribute <workload> [options]
  *       Per-array reference and miss attribution.
- *   cdpcsim plan <workload> --out FILE
- *       Also: save the compiler summaries for later staging.
  *   cdpcsim hints FILE [options]
  *       Compute a CDPC plan from saved summaries (the run-time
  *       library step, decoupled from compilation).
+ *   cdpcsim batch <spec-file> [options]
+ *       Run a file of job specs (one per line: workload key=value
+ *       ...) through the work-stealing batch engine; JSON-lines
+ *       results to --out FILE or stdout.
  *
  * Options:
  *   --cpus N        processors (default 8)
@@ -36,11 +39,18 @@
  *   --unaligned     disable the Section 5.4 alignment/padding
  *   --no-cyclic     disable CDPC Step 4 (ablation)
  *   --no-greedy     disable CDPC Steps 2-3 ordering (ablation)
- *   --out FILE      trace output path (record)
+ *   --jobs N        worker threads for compare/sweep/batch
+ *                   (default: hardware concurrency)
+ *   --seed N        base seed for seed=auto jobs in a batch file
+ *   --out FILE      output path (record trace, plan summaries,
+ *                   batch results)
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,6 +61,7 @@
 #include "harness/experiment.h"
 #include "harness/spec.h"
 #include "machine/tracefile.h"
+#include "runner/runner.h"
 #include "vm/physmem.h"
 #include "vm/policy.h"
 #include "vm/virtual_memory.h"
@@ -75,6 +86,10 @@ struct CliOptions
     bool noCyclic = false;
     bool noGreedy = false;
     std::string out;
+    /** Batch worker threads; 0 means hardware_concurrency. */
+    unsigned jobs = 0;
+    /** Base seed for seed=auto jobs in a batch file. */
+    std::uint64_t seed = 1;
 };
 
 [[noreturn]] void
@@ -83,13 +98,14 @@ usage(const char *msg = nullptr)
     if (msg)
         std::cerr << "cdpcsim: " << msg << "\n\n";
     std::cerr <<
-        "usage: cdpcsim <command> [workload] [options]\n"
+        "usage: cdpcsim <command> [workload|file] [options]\n"
         "commands: list | run | compare | sweep | plan | record |\n"
-        "          replay | attribute\n"
+        "          replay | attribute | hints | batch\n"
         "options: --cpus N --policy pc|bh|cdpc|cdpc-touch\n"
         "         --machine scaled|scaled-2way|scaled-4mb|alpha|full\n"
         "         --cache KB --assoc N --prefetch --dynamic\n"
-        "         --unaligned --no-cyclic --no-greedy\n";
+        "         --unaligned --no-cyclic --no-greedy\n"
+        "         --jobs N --seed N --out FILE\n";
     std::exit(msg ? 2 : 0);
 }
 
@@ -114,6 +130,9 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         usage();
     o.command = argv[1];
+    if (o.command == "--help" || o.command == "-h" ||
+        o.command == "help")
+        usage();
     int i = 2;
     if (i < argc && argv[i][0] != '-')
         o.workload = argv[i++];
@@ -149,6 +168,12 @@ parseArgs(int argc, char **argv)
             o.noGreedy = true;
         else if (a == "--out")
             o.out = need_value("--out");
+        else if (a == "--jobs")
+            o.jobs = static_cast<unsigned>(
+                std::atoi(need_value("--jobs").c_str()));
+        else if (a == "--seed")
+            o.seed = static_cast<std::uint64_t>(
+                std::atoll(need_value("--seed").c_str()));
         else if (a == "--help" || a == "-h")
             usage();
         else
@@ -290,14 +315,24 @@ cmdCompare(const CliOptions &o)
 {
     if (o.workload.empty())
         usage("compare needs a workload");
+    const MappingPolicy policies[] = {
+        MappingPolicy::PageColoring, MappingPolicy::BinHopping,
+        MappingPolicy::Cdpc, MappingPolicy::CdpcTouchOrder};
+    std::vector<runner::JobSpec> specs;
+    for (MappingPolicy pol : policies)
+        specs.push_back(
+            runner::makeJob(o.workload, makeConfig(o, o.cpus, pol)));
+    runner::BatchOptions bopts;
+    bopts.jobs = o.jobs;
+    std::vector<ExperimentResult> results =
+        runner::runBatchOrThrow(std::move(specs), bopts);
+
     TextTable t({"policy", "combined (M)", "MCPI", "conflict%",
                  "bus", "speedup vs pc"});
     double pc = 0.0;
-    for (MappingPolicy pol :
-         {MappingPolicy::PageColoring, MappingPolicy::BinHopping,
-          MappingPolicy::Cdpc, MappingPolicy::CdpcTouchOrder}) {
-        ExperimentResult r =
-            runWorkload(o.workload, makeConfig(o, o.cpus, pol));
+    for (std::size_t i = 0; i < results.size(); i++) {
+        MappingPolicy pol = policies[i];
+        const ExperimentResult &r = results[i];
         double combined = r.totals.combinedTime();
         if (pol == MappingPolicy::PageColoring)
             pc = combined;
@@ -321,12 +356,22 @@ cmdSweep(const CliOptions &o)
 {
     if (o.workload.empty())
         usage("sweep needs a workload");
+    const std::uint32_t cpu_counts[] = {1u, 2u, 4u, 8u, 16u};
+    std::vector<runner::JobSpec> specs;
+    for (std::uint32_t p : cpu_counts)
+        specs.push_back(
+            runner::makeJob(o.workload, makeConfig(o, p, o.policy)));
+    runner::BatchOptions bopts;
+    bopts.jobs = o.jobs;
+    std::vector<ExperimentResult> results =
+        runner::runBatchOrThrow(std::move(specs), bopts);
+
     TextTable t({"CPUs", "combined (M)", "wall (M)", "speedup",
                  "MCPI", "bus"});
     double wall1 = 0.0;
-    for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u}) {
-        ExperimentResult r =
-            runWorkload(o.workload, makeConfig(o, p, o.policy));
+    for (std::size_t i = 0; i < results.size(); i++) {
+        std::uint32_t p = cpu_counts[i];
+        const ExperimentResult &r = results[i];
         if (p == 1)
             wall1 = r.totals.wall;
         t.addRow({std::to_string(p),
@@ -460,6 +505,152 @@ cmdHints(const CliOptions &o)
     return 0;
 }
 
+/**
+ * Parse one batch-file line into a JobSpec. Grammar:
+ *   <workload> [key=value]...
+ * with keys cpus, policy, machine, cache, assoc, prefetch, dynamic,
+ * aligned, racy, cyclic, greedy, seed (integer or "auto"), name and
+ * tags (comma-separated). Unset keys inherit the command-line
+ * defaults, so a spec file can be as terse as one workload per line.
+ */
+runner::JobSpec
+parseBatchLine(const std::string &line, std::size_t index,
+               const CliOptions &defaults)
+{
+    std::istringstream in(line);
+    std::string workload;
+    in >> workload;
+
+    CliOptions o = defaults;
+    runner::JobSpec spec;
+    bool auto_seed = false;
+    std::uint64_t seed = defaults.seed;
+    std::string kv;
+    while (in >> kv) {
+        auto eq = kv.find('=');
+        fatalIf(eq == std::string::npos, "batch line ", index + 1,
+                ": expected key=value, got '", kv, "'");
+        std::string key = kv.substr(0, eq);
+        std::string value = kv.substr(eq + 1);
+        auto flag = [&](const char *name) {
+            fatalIf(value != "0" && value != "1", "batch line ",
+                    index + 1, ": ", name, " wants 0 or 1, got '",
+                    value, "'");
+            return value == "1";
+        };
+        if (key == "cpus")
+            o.cpus = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+        else if (key == "policy")
+            o.policy = parsePolicy(value);
+        else if (key == "machine")
+            o.machine = value;
+        else if (key == "cache")
+            o.cacheKb =
+                static_cast<std::uint64_t>(std::atoll(value.c_str()));
+        else if (key == "assoc")
+            o.assoc = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+        else if (key == "prefetch")
+            o.prefetch = flag("prefetch");
+        else if (key == "dynamic")
+            o.dynamic = flag("dynamic");
+        else if (key == "aligned")
+            o.unaligned = !flag("aligned");
+        else if (key == "racy")
+            spec.config.binHopRacy = flag("racy");
+        else if (key == "cyclic")
+            o.noCyclic = !flag("cyclic");
+        else if (key == "greedy")
+            o.noGreedy = !flag("greedy");
+        else if (key == "seed" && value == "auto")
+            auto_seed = true;
+        else if (key == "seed")
+            seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+        else if (key == "name")
+            spec.name = value;
+        else if (key == "tags") {
+            std::istringstream tags(value);
+            std::string tag;
+            while (std::getline(tags, tag, ','))
+                if (!tag.empty())
+                    spec.tags.push_back(tag);
+        } else {
+            fatal("batch line ", index + 1, ": unknown key '", key,
+                  "'");
+        }
+    }
+    bool racy = spec.config.binHopRacy;
+    spec.workload = workload;
+    spec.config = makeConfig(o, o.cpus, o.policy);
+    spec.config.binHopRacy = racy;
+    spec.config.seed =
+        auto_seed ? runner::deriveJobSeed(defaults.seed, index) : seed;
+    return spec;
+}
+
+int
+cmdBatch(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("batch needs a spec file");
+    std::ifstream in(o.workload);
+    fatalIf(!in, "cannot open batch file ", o.workload);
+
+    std::vector<runner::JobSpec> specs;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        specs.push_back(
+            parseBatchLine(line.substr(first), specs.size(), o));
+    }
+    fatalIf(specs.empty(), "batch file ", o.workload, " has no jobs");
+
+    // JSONL goes to --out FILE (summary table to stdout), or to
+    // stdout itself (summary suppressed) for piping into jq & co.
+    std::unique_ptr<runner::JsonlResultSink> sink;
+    bool to_stdout = o.out.empty();
+    if (to_stdout)
+        sink = std::make_unique<runner::JsonlResultSink>(std::cout);
+    else
+        sink = std::make_unique<runner::JsonlResultSink>(o.out);
+
+    runner::ThreadPool pool(o.jobs);
+    runner::Batch batch(pool);
+    for (runner::JobSpec &spec : specs)
+        batch.add(std::move(spec));
+    runner::ProgressReporter progress(batch.size());
+    std::vector<runner::JobResult> results =
+        batch.run(&progress, sink.get());
+    progress.finish();
+
+    std::size_t failed = 0;
+    for (const runner::JobResult &r : results)
+        if (!r.ok())
+            failed++;
+
+    if (!to_stdout) {
+        TextTable t({"job", "name", "cpus", "combined (M)", "MCPI",
+                     "status"});
+        for (const runner::JobResult &r : results) {
+            t.addRow({std::to_string(r.index), r.spec.displayName(),
+                      std::to_string(r.spec.config.machine.numCpus),
+                      r.ok() ? fmtF(r.result->totals.combinedTime() /
+                                        1e6, 0)
+                             : "-",
+                      r.ok() ? fmtF(r.result->totals.mcpi(), 2) : "-",
+                      r.ok() ? "ok" : r.error});
+        }
+        std::cout << t.render();
+        std::cout << results.size() << " jobs on " << pool.workerCount()
+                  << " workers, " << failed << " failed; results in "
+                  << o.out << "\n";
+    }
+    return failed == 0 ? 0 : 1;
+}
+
 int
 cmdRecord(const CliOptions &o)
 {
@@ -550,6 +741,8 @@ main(int argc, char **argv)
             return cmdHints(o);
         if (o.command == "replay")
             return cmdReplay(o);
+        if (o.command == "batch")
+            return cmdBatch(o);
         usage(("unknown command " + o.command).c_str());
     } catch (const FatalError &e) {
         std::cerr << "cdpcsim: " << e.what() << "\n";
