@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Extension: CDPC hint degradation under memory pressure.
+ *
+ * The paper evaluates CDPC on an unloaded machine and notes only
+ * that the kernel honors color hints "when possible" (Sections 2.1
+ * and 5). This sweep quantifies the "when it is not possible" half:
+ * competitor processes pre-claim 0..95% of physical memory in a
+ * fragmented color pattern, and we measure how each fallback policy
+ * (any-color, nearest-color, steal-via-recolor) degrades CDPC's
+ * conflict-miss advantage over plain page coloring as the hint
+ * honor rate collapses.
+ *
+ * Emits BENCH_ext_pressure_sweep.json with one record per
+ * (occupancy, fallback, policy) cell for plotting.
+ */
+
+#include <fstream>
+
+#include "bench/bench_util.h"
+#include "mem/miss_classify.h"
+
+using namespace cdpc;
+using namespace cdpc::bench;
+
+namespace
+{
+
+const char *kWorkload = "101.tomcatv";
+constexpr std::uint32_t kCpus = 8;
+
+const std::vector<double> kOccupancies = {0.0, 0.25, 0.50, 0.75,
+                                          0.85, 0.90, 0.95};
+const std::vector<FallbackKind> kFallbacks = {
+    FallbackKind::AnyColor, FallbackKind::NearestColor,
+    FallbackKind::Steal};
+const std::vector<MappingPolicy> kPolicies = {
+    MappingPolicy::PageColoring, MappingPolicy::Cdpc};
+
+ExperimentConfig
+makeCell(double occupancy, FallbackKind fallback,
+         MappingPolicy policy)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(kCpus);
+    cfg.mapping = policy;
+    cfg.pressure.occupancy = occupancy;
+    cfg.pressure.pattern = PressurePattern::Fragmented;
+    cfg.pressure.seed = 7;
+    cfg.fallback = fallback;
+    return cfg;
+}
+
+double
+conflictShare(const WeightedTotals &t)
+{
+    return t.memStall > 0
+               ? 100.0 * t.missStallOf(MissKind::Conflict) / t.memStall
+               : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = parseJobs(argc, argv);
+    banner("Extension: memory-pressure sweep",
+           "beyond the paper -- Sections 2.1/5 'honored when "
+           "possible' under 0..95% occupancy");
+
+    std::vector<runner::JobSpec> specs;
+    for (double occ : kOccupancies)
+        for (FallbackKind fb : kFallbacks)
+            for (MappingPolicy pol : kPolicies)
+                addJob(specs, kWorkload, makeCell(occ, fb, pol));
+    std::vector<ExperimentResult> results = runBatch(specs, jobs);
+
+    std::ofstream json("BENCH_ext_pressure_sweep.json");
+    fatalIf(!json, "cannot open BENCH_ext_pressure_sweep.json");
+    json << "[\n";
+
+    TextTable t({"occupancy", "fallback", "policy", "MCPI",
+                 "conflict", "honored", "fallback%", "denied",
+                 "stolen", "reclaimed"});
+    std::size_t i = 0;
+    bool first = true;
+    for (double occ : kOccupancies) {
+        for (FallbackKind fb : kFallbacks) {
+            for (std::size_t p = 0; p < kPolicies.size(); p++) {
+                const ExperimentResult &r = results[i++];
+                const VmStats &d = r.degradation;
+                std::uint64_t expressed =
+                    d.hintHonored + d.hintFallback + d.hintDenied;
+                auto share = [&](std::uint64_t v) {
+                    return expressed
+                               ? fmtF(100.0 * v / expressed, 1) + "%"
+                               : std::string("-");
+                };
+                t.addRow({fmtF(occ * 100.0, 0) + "%",
+                          fallbackName(fb), r.policy,
+                          fmtF(r.totals.mcpi(), 3),
+                          fmtF(conflictShare(r.totals), 1) + "%",
+                          share(d.hintHonored), share(d.hintFallback),
+                          share(d.hintDenied),
+                          std::to_string(d.hintStolen),
+                          std::to_string(d.reclaimedPages)});
+
+                if (!first)
+                    json << ",\n";
+                first = false;
+                json << "  {\"occupancy\": " << occ
+                     << ", \"fallback\": \"" << fallbackName(fb)
+                     << "\", \"policy\": \"" << r.policy
+                     << "\", \"mcpi\": " << r.totals.mcpi()
+                     << ", \"conflictShare\": "
+                     << conflictShare(r.totals) / 100.0
+                     << ", \"hintsHonored\": " << r.hintsHonored
+                     << ", \"hintHonored\": " << d.hintHonored
+                     << ", \"hintFallback\": " << d.hintFallback
+                     << ", \"hintDenied\": " << d.hintDenied
+                     << ", \"hintStolen\": " << d.hintStolen
+                     << ", \"reclaimedPages\": " << d.reclaimedPages
+                     << ", \"pressurePages\": " << r.pressurePages
+                     << "}";
+            }
+        }
+        t.addSeparator();
+    }
+    json << "\n]\n";
+    json.close();
+    fatalIf(!json, "write to BENCH_ext_pressure_sweep.json failed");
+
+    std::cout << t.render()
+              << "\nWrote BENCH_ext_pressure_sweep.json ("
+              << results.size() << " cells)\n"
+              << "Reading: page-coloring is hint-free, so its rows "
+                 "isolate raw allocator pressure;\nCDPC rows show the "
+                 "honor rate collapsing and each fallback's MCPI "
+                 "cost.\n";
+    return 0;
+}

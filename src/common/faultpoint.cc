@@ -1,0 +1,205 @@
+#include "common/faultpoint.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace cdpc
+{
+
+namespace
+{
+
+/** An installed trigger plus its mutable firing state. */
+struct ArmedTrigger
+{
+    FaultTrigger spec;
+    std::uint32_t hits = 0;
+    std::uint32_t fired = 0;
+};
+
+std::mutex gMutex;
+std::vector<ArmedTrigger> gTriggers;
+
+thread_local const std::atomic<bool> *tCancelFlag = nullptr;
+
+/** @return true when @p trigger applies to a hit on @p site. */
+bool
+matches(const std::string &trigger, const std::string &site)
+{
+    if (trigger == site)
+        return true;
+    // A bare trigger matches every "#"-qualified instance of it.
+    auto hash = site.find('#');
+    return hash != std::string::npos &&
+           site.compare(0, hash, trigger) == 0;
+}
+
+[[noreturn]] void
+throwFor(FaultAction action, const std::string &site)
+{
+    std::string msg = "injected fault at " + site;
+    switch (action) {
+      case FaultAction::Fail:
+        throw FaultInjectedError(msg);
+      case FaultAction::Fatal:
+        throw FatalError("fatal: " + msg);
+      case FaultAction::Panic:
+        throw PanicError("panic: " + msg);
+      case FaultAction::Hang:
+        break; // handled by the caller
+    }
+    throw PanicError("panic: unreachable fault action");
+}
+
+void
+hang(std::uint32_t ms, const std::string &site)
+{
+    using Clock = std::chrono::steady_clock;
+    auto deadline = Clock::now() + std::chrono::milliseconds(ms);
+    while (Clock::now() < deadline) {
+        if (tCancelFlag &&
+            tCancelFlag->load(std::memory_order_relaxed)) {
+            throw TransientError("hang at " + site +
+                                 " cancelled by watchdog");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+} // namespace
+
+namespace faultpoints
+{
+
+std::atomic<bool> enabled{false};
+
+void
+install(const FaultPlan &plan)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    gTriggers.clear();
+    for (const FaultTrigger &t : plan.triggers())
+        gTriggers.push_back({t});
+    enabled.store(!gTriggers.empty(), std::memory_order_relaxed);
+}
+
+void
+clear()
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    gTriggers.clear();
+    enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+hit(const std::string &site)
+{
+    FaultAction action{};
+    std::uint32_t hang_ms = 0;
+    bool fire = false;
+    {
+        std::lock_guard<std::mutex> lock(gMutex);
+        for (ArmedTrigger &t : gTriggers) {
+            if (!matches(t.spec.site, site))
+                continue;
+            std::uint32_t hit_no = t.hits++;
+            if (hit_no < t.spec.skip || t.fired >= t.spec.count)
+                continue;
+            t.fired++;
+            fire = true;
+            action = t.spec.action;
+            hang_ms = t.spec.hangMs;
+            break;
+        }
+    }
+    if (!fire)
+        return;
+    if (action == FaultAction::Hang)
+        hang(hang_ms, site);
+    else
+        throwFor(action, site);
+}
+
+void
+setCancelFlag(const std::atomic<bool> *flag)
+{
+    tCancelFlag = flag;
+}
+
+} // namespace faultpoints
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty())
+            continue;
+
+        FaultTrigger t;
+        // Peel "@skip" then "*count" off the tail, then "=action".
+        auto number_after = [&](char sep,
+                                std::uint64_t &out) -> bool {
+            auto at = item.rfind(sep);
+            if (at == std::string::npos)
+                return false;
+            const std::string digits = item.substr(at + 1);
+            fatalIf(digits.empty() ||
+                        digits.find_first_not_of("0123456789") !=
+                            std::string::npos,
+                    "fault plan: bad number after '", sep, "' in '",
+                    item, "'");
+            out = std::stoull(digits);
+            item.resize(at);
+            return true;
+        };
+        std::uint64_t n = 0;
+        if (number_after('@', n))
+            t.skip = static_cast<std::uint32_t>(n);
+        if (number_after('*', n))
+            t.count = static_cast<std::uint32_t>(n);
+        fatalIf(t.count == 0, "fault plan: zero count in '", item,
+                "'");
+
+        auto eq = item.find('=');
+        if (eq != std::string::npos) {
+            std::string action = item.substr(eq + 1);
+            item.resize(eq);
+            if (action == "fail") {
+                t.action = FaultAction::Fail;
+            } else if (action == "fatal") {
+                t.action = FaultAction::Fatal;
+            } else if (action == "panic") {
+                t.action = FaultAction::Panic;
+            } else if (action.compare(0, 4, "hang") == 0) {
+                t.action = FaultAction::Hang;
+                std::string ms = action.substr(4);
+                if (!ms.empty()) {
+                    fatalIf(ms.find_first_not_of("0123456789") !=
+                                std::string::npos,
+                            "fault plan: bad hang duration '", action,
+                            "'");
+                    t.hangMs = static_cast<std::uint32_t>(
+                        std::stoull(ms));
+                }
+            } else {
+                fatal("fault plan: unknown action '", action,
+                      "' (want fail|fatal|panic|hangN)");
+            }
+        }
+        fatalIf(item.empty(), "fault plan: empty site in spec '", spec,
+                "'");
+        t.site = item;
+        plan.add(t);
+    }
+    return plan;
+}
+
+} // namespace cdpc

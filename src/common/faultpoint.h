@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A FaultPlan is a seeded-free, fully explicit list of triggers:
+ * which instrumented site fires, after how many hits, how many
+ * times, and what happens (a retryable failure, a fatal error, an
+ * internal panic, or a hang). Production code marks its interesting
+ * failure points with faultPoint("site"); when no plan is installed
+ * the check is one relaxed atomic load, so instrumenting hot paths
+ * (page allocation, trace reads) costs nothing in normal runs.
+ *
+ * Site names may carry an instance qualifier after '#'
+ * (e.g. "job.run#101.tomcatv/cdpc/8cpu"). A trigger written for the
+ * bare site matches every instance; a qualified trigger matches only
+ * its instance — which is what makes fault batches reproducible
+ * regardless of worker count or scheduling order.
+ *
+ * Plan spec grammar (comma-separated triggers):
+ *
+ *     site[=action][*count][@skip]
+ *
+ *  - action: fail (default; throws TransientError), fatal (throws
+ *    FatalError), panic (throws PanicError), hangN (sleeps N ms,
+ *    default 60000, honoring the cooperative cancel flag)
+ *  - count:  how many hits fire the trigger (default 1)
+ *  - skip:   hits to let pass before the first firing (default 0)
+ *
+ * Example: --fault-plan 'physmem.alloc=fail*2@100,job.run#bad=panic'
+ */
+
+#ifndef CDPC_COMMON_FAULTPOINT_H
+#define CDPC_COMMON_FAULTPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+/** Thrown by a firing fault point with action "fail". */
+class FaultInjectedError : public TransientError
+{
+  public:
+    explicit FaultInjectedError(const std::string &msg)
+        : TransientError(msg)
+    {}
+};
+
+/** What a firing trigger does to the calling thread. */
+enum class FaultAction
+{
+    Fail,  ///< throw FaultInjectedError (retryable)
+    Fatal, ///< throw FatalError (permanent)
+    Panic, ///< throw PanicError (permanent, "a bug")
+    Hang,  ///< sleep hangMs, checking the cancel flag
+};
+
+/** One armed trigger of a FaultPlan. */
+struct FaultTrigger
+{
+    /** Site to match, optionally "#"-qualified to one instance. */
+    std::string site;
+    FaultAction action = FaultAction::Fail;
+    /** Firings before the trigger disarms. */
+    std::uint32_t count = 1;
+    /** Matching hits to let pass before the first firing. */
+    std::uint32_t skip = 0;
+    /** Sleep length for FaultAction::Hang. */
+    std::uint32_t hangMs = 60000;
+};
+
+/** A parsed, installable set of fault triggers. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Parse the --fault-plan spec; fatal() on a malformed spec. */
+    static FaultPlan parse(const std::string &spec);
+
+    void add(FaultTrigger trigger) { triggers_.push_back(trigger); }
+    bool empty() const { return triggers_.empty(); }
+    const std::vector<FaultTrigger> &triggers() const { return triggers_; }
+
+  private:
+    std::vector<FaultTrigger> triggers_;
+};
+
+namespace faultpoints
+{
+
+/** Install @p plan process-wide (replaces any previous plan). */
+void install(const FaultPlan &plan);
+
+/** Remove the installed plan and reset all hit counters. */
+void clear();
+
+/** @return true when a non-empty plan is installed (fast check). */
+inline bool
+active()
+{
+    extern std::atomic<bool> enabled;
+    return enabled.load(std::memory_order_relaxed);
+}
+
+/** Slow path of faultPoint(); may throw or sleep. */
+void hit(const std::string &site);
+
+/**
+ * Register the calling thread's cooperative cancel flag. A hanging
+ * trigger polls it and aborts the sleep (throwing TransientError)
+ * once set — this is what lets the batch watchdog reel a hung job
+ * back in instead of abandoning its thread. Pass nullptr to clear.
+ */
+void setCancelFlag(const std::atomic<bool> *flag);
+
+} // namespace faultpoints
+
+/**
+ * Declare an injectable failure site. No-op (one atomic load) unless
+ * a plan with a matching armed trigger is installed.
+ */
+inline void
+faultPoint(const char *site)
+{
+    if (faultpoints::active())
+        faultpoints::hit(site);
+}
+
+/** faultPoint() for sites with a runtime "#" instance qualifier. */
+inline void
+faultPoint(const std::string &site)
+{
+    if (faultpoints::active())
+        faultpoints::hit(site);
+}
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_FAULTPOINT_H

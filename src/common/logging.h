@@ -42,6 +42,19 @@ class FatalError : public std::runtime_error
     {}
 };
 
+/**
+ * A failure that may succeed on retry (injected faults, transient
+ * resource trouble). The batch runner's retry machinery only retries
+ * errors of this family; FatalError and PanicError stay permanent.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
 namespace detail
 {
 

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/faultpoint.h"
 #include "common/logging.h"
 
 namespace cdpc
@@ -46,6 +47,18 @@ getString(std::istream &in)
     in.read(s.data(), static_cast<std::streamsize>(n));
     fatalIf(!in, "truncated summaries stream");
     return s;
+}
+
+/** Decode a serialized enum, rejecting out-of-range raw values. */
+template <typename Enum>
+Enum
+getEnum(std::istream &in, Enum max, const char *what)
+{
+    std::uint64_t raw = getU64(in);
+    fatalIf(raw > static_cast<std::uint64_t>(max),
+            "corrupt summaries: ", what, " value ", raw,
+            " out of range");
+    return static_cast<Enum>(raw);
 }
 
 } // namespace
@@ -107,6 +120,7 @@ saveSummaries(const AccessSummaries &s, const std::string &path)
 AccessSummaries
 loadSummaries(std::istream &in)
 {
+    faultPoint("summaries.load");
     char magic[8];
     in.read(magic, sizeof(magic));
     fatalIf(!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
@@ -119,7 +133,10 @@ loadSummaries(std::istream &in)
     fatalIf(n > (1u << 20), "implausible array count");
     for (std::uint64_t i = 0; i < n; i++) {
         ArrayExtent a;
-        a.arrayId = static_cast<std::uint32_t>(getU64(in));
+        std::uint64_t raw_id = getU64(in);
+        fatalIf(raw_id > (1u << 20),
+                "corrupt summaries: implausible array id ", raw_id);
+        a.arrayId = static_cast<std::uint32_t>(raw_id);
         a.start = getU64(in);
         a.sizeBytes = getU64(in);
         a.analyzable = getU64(in) != 0;
@@ -135,8 +152,9 @@ loadSummaries(std::istream &in)
         p.sizeBytes = getU64(in);
         p.unitBytes = getU64(in);
         p.numUnits = getU64(in);
-        p.policy = static_cast<PartitionPolicy>(getU64(in));
-        p.dir = static_cast<PartitionDir>(getU64(in));
+        p.policy = getEnum(in, PartitionPolicy::Blocked,
+                           "partition policy");
+        p.dir = getEnum(in, PartitionDir::Reverse, "partition dir");
         s.partitions.push_back(p);
     }
 
@@ -145,9 +163,9 @@ loadSummaries(std::istream &in)
     for (std::uint64_t i = 0; i < n; i++) {
         CommPatternSummary c;
         c.arrayId = static_cast<std::uint32_t>(getU64(in));
-        c.type = static_cast<CommType>(getU64(in));
+        c.type = getEnum(in, CommType::Rotate, "comm type");
         c.boundaryUnits = static_cast<std::uint32_t>(getU64(in));
-        c.dir = static_cast<CommDir>(getU64(in));
+        c.dir = getEnum(in, CommDir::Both, "comm dir");
         s.comms.push_back(c);
     }
 

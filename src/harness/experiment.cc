@@ -53,11 +53,15 @@ runProgram(Program program, const ExperimentConfig &config)
     HashPolicy hash(m.numColors());
     fatalIf(config.preallocatedPages >= m.physPages,
             "preallocatedPages leaves no memory for the application");
-    // Competing processes hog the lower half of the color space.
+    // Legacy hog: competing processes pin (non-reclaimably) the lower
+    // half of the color space.
     std::uint64_t half = std::max<std::uint64_t>(m.numColors() / 2, 1);
     for (std::uint64_t i = 0; i < config.preallocatedPages; i++)
         phys.alloc(static_cast<Color>(i % half));
-    const PhysMemStats hog_base = phys.stats();
+    // Reclaimable competitor processes (the pressure model).
+    PressureStats pressure = applyMemoryPressure(phys, config.pressure);
+    std::unique_ptr<ColorFallbackPolicy> fallback =
+        makeFallbackPolicy(config.fallback);
     PageColoringPolicy coloring(m.numColors());
     BinHoppingPolicy binhop(m.numColors(), config.binHopRacy,
                             config.seed);
@@ -88,7 +92,7 @@ runProgram(Program program, const ExperimentConfig &config)
             ? static_cast<PageMappingPolicy *>(&hints)
             : base;
 
-    VirtualMemory vm(m, phys, *active);
+    VirtualMemory vm(m, phys, *active, fallback.get());
 
     // --- CDPC run-time library ------------------------------------------
     ExperimentResult res;
@@ -106,6 +110,11 @@ runProgram(Program program, const ExperimentConfig &config)
 
     // --- Simulate --------------------------------------------------------
     MemorySystem mem(m, vm);
+    // A stolen-page remap must purge the victim's stale lines and TLB
+    // entries, exactly like a dynamic recoloring remap.
+    vm.setRemapObserver([&](PageNum vpn) {
+        mem.purgePage(vpn * m.pageBytes);
+    });
     std::unique_ptr<DynamicRecolorer> recolorer;
     if (config.dynamicRecolor) {
         recolorer = std::make_unique<DynamicRecolorer>(vm, phys, mem,
@@ -124,12 +133,14 @@ runProgram(Program program, const ExperimentConfig &config)
     res.policy = mappingName(config.mapping);
     res.ncpus = m.numCpus;
     res.dataSetBytes = program.dataSetBytes();
-    const PhysMemStats &ps = phys.stats();
-    std::uint64_t honored = ps.preferredHonored - hog_base.preferredHonored;
-    std::uint64_t denied = ps.preferredDenied - hog_base.preferredDenied;
-    std::uint64_t expressed = honored + denied;
+    res.degradation = vm.stats();
+    res.pressurePages = pressure.claimedPages;
+    const VmStats &vs = res.degradation;
+    std::uint64_t expressed =
+        vs.hintHonored + vs.hintFallback + vs.hintDenied;
     res.hintsHonored =
-        expressed ? static_cast<double>(honored) / expressed : 1.0;
+        expressed ? static_cast<double>(vs.hintHonored) / expressed
+                  : 1.0;
     return res;
 }
 

@@ -19,6 +19,9 @@
 #include "machine/simulator.h"
 #include "machine/stats.h"
 #include "mem/recolor.h"
+#include "vm/fallback.h"
+#include "vm/pressure.h"
+#include "vm/virtual_memory.h"
 #include "workloads/workload.h"
 
 namespace cdpc
@@ -76,6 +79,14 @@ struct ExperimentConfig
      */
     bool dynamicRecolor = false;
     RecolorConfig recolor;
+    /**
+     * Simulated competitor processes claiming pages before the run
+     * (reclaimable, unlike preallocatedPages) — the memory-pressure
+     * regime where hints degrade instead of being free.
+     */
+    MemPressureConfig pressure;
+    /** What a fault gets when its preferred color has no free page. */
+    FallbackKind fallback = FallbackKind::AnyColor;
 };
 
 /** Everything one experiment produced. */
@@ -87,6 +98,13 @@ struct ExperimentResult
     WeightedTotals totals;
     /** Fraction of color preferences the allocator honored. */
     double hintsHonored = 1.0;
+    /**
+     * Per-fault degradation breakdown (hint honored / fallback /
+     * denied, steals and competitor reclaims) from the VM layer.
+     */
+    VmStats degradation;
+    /** Pages pre-claimed by the simulated competitors. */
+    std::uint64_t pressurePages = 0;
     /** The CDPC plan, present for Cdpc/CdpcTouchOrder runs. */
     std::optional<CdpcPlan> plan;
     /** The compiled program's summaries (for inspection). */

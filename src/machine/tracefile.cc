@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/faultpoint.h"
 #include "common/logging.h"
 #include "mem/memsystem.h"
 
@@ -78,6 +79,18 @@ TraceReader::TraceReader(const std::string &path)
     fatalIf(!in || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0,
             "not a CDPC trace file: ", path);
     fatalIf(h.version != 1, "unsupported trace version ", h.version);
+    fatalIf(h.ncpus == 0 || h.ncpus > 4096,
+            "corrupt trace header: implausible CPU count ", h.ncpus);
+    // A lying record count must be caught here, not as a mid-replay
+    // truncation surprise: the payload has to actually be on disk.
+    in.seekg(0, std::ios::end);
+    auto file_bytes = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(sizeof(Header), std::ios::beg);
+    fatalIf(file_bytes < sizeof(Header) ||
+                h.records >
+                    (file_bytes - sizeof(Header)) / sizeof(TraceRecord),
+            "corrupt trace header: ", h.records,
+            " records do not fit in ", file_bytes, " bytes");
     ncpus = h.ncpus;
     count = h.records;
 }
@@ -87,6 +100,7 @@ TraceReader::next(TraceRecord &rec)
 {
     if (consumed >= count)
         return false;
+    faultPoint("tracefile.read");
     in.read(reinterpret_cast<char *>(&rec), sizeof(rec));
     fatalIf(!in, "truncated trace file");
     consumed++;
@@ -105,8 +119,10 @@ replayTrace(TraceReader &reader, MemorySystem &mem)
 
     TraceRecord rec;
     while (reader.next(rec)) {
-        panicIfNot(rec.cpu < mem.numCpus(),
-                   "trace record names CPU ", unsigned(rec.cpu));
+        // Corrupt input is the user's problem, not an internal bug.
+        fatalIf(rec.cpu >= mem.numCpus(),
+                "corrupt trace: record names CPU ", unsigned(rec.cpu),
+                " on a ", mem.numCpus(), "-CPU memory system");
         Cycles &clk = res.cpuClock[rec.cpu];
         clk += rec.insts;
 

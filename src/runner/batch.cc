@@ -13,7 +13,8 @@ Batch::add(JobSpec spec)
 }
 
 std::vector<JobResult>
-Batch::run(ProgressReporter *progress, ResultSink *sink)
+Batch::run(ProgressReporter *progress, ResultSink *sink,
+           const RunPolicy &policy)
 {
     std::vector<JobResult> results(specs_.size());
     if (specs_.empty())
@@ -27,7 +28,7 @@ Batch::run(ProgressReporter *progress, ResultSink *sink)
 
     for (std::size_t i = 0; i < specs_.size(); i++) {
         pool_.submit([&, i] {
-            JobResult r = runJob(specs_[i], i);
+            JobResult r = runJobWithPolicy(specs_[i], i, policy);
             if (sink)
                 sink->write(r);
             if (progress)
@@ -55,11 +56,12 @@ runBatch(std::vector<JobSpec> specs, const BatchOptions &options)
         batch.add(std::move(spec));
     if (options.progress) {
         ProgressReporter reporter(batch.size());
-        auto results = batch.run(&reporter, options.sink);
+        auto results =
+            batch.run(&reporter, options.sink, options.policy);
         reporter.finish();
         return results;
     }
-    return batch.run(nullptr, options.sink);
+    return batch.run(nullptr, options.sink, options.policy);
 }
 
 std::vector<ExperimentResult>

@@ -46,10 +46,12 @@ class Batch
      * Execute every queued spec and block until all finish.
      * @param progress optional per-job completion reporting
      * @param sink     optional streaming sink (completion order)
+     * @param policy   watchdog/retry knobs applied to every job
      * @return one JobResult per spec, in submission order
      */
     std::vector<JobResult> run(ProgressReporter *progress = nullptr,
-                               ResultSink *sink = nullptr);
+                               ResultSink *sink = nullptr,
+                               const RunPolicy &policy = RunPolicy{});
 
   private:
     ThreadPool &pool_;
@@ -65,6 +67,8 @@ struct BatchOptions
     bool progress = false;
     /** Optional streaming sink. */
     ResultSink *sink = nullptr;
+    /** Per-job timeout watchdog and transient-error retry knobs. */
+    RunPolicy policy;
 };
 
 /** Create a pool, run @p specs through a Batch, tear the pool down. */

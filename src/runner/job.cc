@@ -1,7 +1,14 @@
 #include "runner/job.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/faultpoint.h"
+#include "common/logging.h"
 
 namespace cdpc::runner
 {
@@ -26,6 +33,20 @@ makeJob(std::string workload, ExperimentConfig config,
     return spec;
 }
 
+const char *
+jobOutcomeName(JobOutcome outcome)
+{
+    switch (outcome) {
+      case JobOutcome::Ok:
+        return "ok";
+      case JobOutcome::Failed:
+        return "failed";
+      case JobOutcome::TimedOut:
+        return "timeout";
+    }
+    return "unknown";
+}
+
 std::uint64_t
 deriveJobSeed(std::uint64_t base, std::uint64_t index)
 {
@@ -47,17 +68,168 @@ runJob(const JobSpec &spec, std::size_t index)
     res.spec = spec;
     auto start = std::chrono::steady_clock::now();
     try {
+        faultPoint("job.run#" + spec.displayName());
         res.result = runWorkload(spec.workload, spec.config);
+        res.outcome = JobOutcome::Ok;
+    } catch (const TransientError &e) {
+        res.error = e.what();
+        res.errorKind = "transient";
+        res.outcome = JobOutcome::Failed;
+    } catch (const FatalError &e) {
+        res.error = e.what();
+        res.errorKind = "fatal";
+        res.outcome = JobOutcome::Failed;
+    } catch (const PanicError &e) {
+        res.error = e.what();
+        res.errorKind = "panic";
+        res.outcome = JobOutcome::Failed;
     } catch (const std::exception &e) {
         res.error = e.what();
+        res.errorKind = "error";
+        res.outcome = JobOutcome::Failed;
     } catch (...) {
         res.error = "unknown exception";
+        res.errorKind = "error";
+        res.outcome = JobOutcome::Failed;
     }
     res.hostSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
     return res;
+}
+
+namespace
+{
+
+/** Shared between a watched attempt and its watchdog. */
+struct AttemptState
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    JobResult result;
+    /** Set by the watchdog; polled by cooperative fault points. */
+    std::atomic<bool> cancel{false};
+};
+
+/** Threads the watchdog gave up on, kept joinable (leaked on exit
+ * so a truly hung thread never trips ~thread's terminate). */
+struct AbandonedThreads
+{
+    std::mutex mutex;
+    std::vector<std::pair<std::thread, std::shared_ptr<AttemptState>>>
+        threads;
+};
+
+AbandonedThreads &
+abandonedThreads()
+{
+    static AbandonedThreads *reg = new AbandonedThreads;
+    return *reg;
+}
+
+/** One attempt on a watched thread; JobOutcome::TimedOut on expiry. */
+JobResult
+runAttemptWatched(const JobSpec &spec, std::size_t index,
+                  double timeout_seconds)
+{
+    auto state = std::make_shared<AttemptState>();
+    std::thread executor([state, spec, index] {
+        faultpoints::setCancelFlag(&state->cancel);
+        JobResult r = runJob(spec, index);
+        faultpoints::setCancelFlag(nullptr);
+        {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->result = std::move(r);
+            state->done = true;
+        }
+        state->cv.notify_all();
+    });
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(timeout_seconds));
+    std::unique_lock<std::mutex> lock(state->mutex);
+    if (state->cv.wait_until(lock, deadline,
+                             [&] { return state->done; })) {
+        lock.unlock();
+        executor.join();
+        return std::move(state->result);
+    }
+
+    // Expired: ask the attempt to cancel cooperatively, give it a
+    // short grace period, then abandon its thread.
+    state->cancel.store(true, std::memory_order_relaxed);
+    bool finished = state->cv.wait_for(
+        lock, std::chrono::milliseconds(250),
+        [&] { return state->done; });
+    lock.unlock();
+    if (finished) {
+        executor.join();
+    } else {
+        AbandonedThreads &reg = abandonedThreads();
+        std::lock_guard<std::mutex> reg_lock(reg.mutex);
+        reg.threads.emplace_back(std::move(executor), state);
+    }
+
+    JobResult res;
+    res.index = index;
+    res.spec = spec;
+    res.outcome = JobOutcome::TimedOut;
+    res.errorKind = "timeout";
+    res.error = "attempt exceeded " +
+                std::to_string(timeout_seconds) + "s timeout";
+    res.hostSeconds = timeout_seconds;
+    return res;
+}
+
+} // namespace
+
+void
+joinAbandonedJobThreads()
+{
+    AbandonedThreads &reg = abandonedThreads();
+    std::lock_guard<std::mutex> reg_lock(reg.mutex);
+    for (auto it = reg.threads.begin(); it != reg.threads.end();) {
+        bool done;
+        {
+            std::lock_guard<std::mutex> lock(it->second->mutex);
+            done = it->second->done;
+        }
+        if (done) {
+            it->first.join();
+            it = reg.threads.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+JobResult
+runJobWithPolicy(const JobSpec &spec, std::size_t index,
+                 const RunPolicy &policy)
+{
+    double total_seconds = 0.0;
+    for (std::uint32_t attempt = 1;; attempt++) {
+        JobResult r = policy.timeoutSeconds > 0.0
+                          ? runAttemptWatched(spec, index,
+                                              policy.timeoutSeconds)
+                          : runJob(spec, index);
+        total_seconds += r.hostSeconds;
+        r.attempts = attempt;
+        r.hostSeconds = total_seconds;
+        bool retryable = !r.ok() && r.errorKind == "transient";
+        if (!retryable || attempt > policy.maxRetries)
+            return r;
+        std::uint64_t backoff = static_cast<std::uint64_t>(
+            policy.backoffMs) << (attempt - 1);
+        backoff = std::min<std::uint64_t>(backoff, policy.maxBackoffMs);
+        if (backoff)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff));
+    }
 }
 
 } // namespace cdpc::runner

@@ -10,6 +10,13 @@
  * thread runs it or in what order. The batch engine executes specs
  * unmodified, which is what makes a parallel batch bit-identical to
  * serial execution of the same specs.
+ *
+ * Self-healing: runJobWithPolicy() wraps one spec in a per-job
+ * timeout watchdog and a bounded exponential-backoff retry loop.
+ * Only TransientError failures are retried; FatalError/PanicError
+ * and timeouts quarantine the job immediately. A job that exhausts
+ * its attempts (or can never be retried) is reported with its
+ * outcome and error kind rather than poisoning the batch.
  */
 
 #ifndef CDPC_RUNNER_JOB_H
@@ -44,7 +51,30 @@ struct JobSpec
 JobSpec makeJob(std::string workload, ExperimentConfig config,
                 std::vector<std::string> tags = {});
 
-/** What one job produced (exactly one of result/error is set). */
+/** How one job ended, after all retries. */
+enum class JobOutcome
+{
+    Ok,       ///< produced a result
+    Failed,   ///< quarantined: permanent error or retries exhausted
+    TimedOut, ///< quarantined: the watchdog gave up on it
+};
+
+/** @return "ok" | "failed" | "timeout". */
+const char *jobOutcomeName(JobOutcome outcome);
+
+/** Watchdog + retry knobs for one batch run. */
+struct RunPolicy
+{
+    /** Wall-clock seconds one attempt may take; 0 disables. */
+    double timeoutSeconds = 0.0;
+    /** Retries after the first attempt (transient errors only). */
+    std::uint32_t maxRetries = 0;
+    /** Backoff before retry n is backoffMs * 2^(n-1), capped. */
+    std::uint32_t backoffMs = 100;
+    std::uint32_t maxBackoffMs = 5000;
+};
+
+/** What one job produced (result set iff outcome == Ok). */
 struct JobResult
 {
     /** Submission index within the batch. */
@@ -54,10 +84,17 @@ struct JobResult
     std::optional<ExperimentResult> result;
     /** The captured exception message when the job failed. */
     std::string error;
-    /** Host wall-clock seconds this job took. */
+    /** "transient" | "fatal" | "panic" | "timeout" | "error". */
+    std::string errorKind;
+    JobOutcome outcome = JobOutcome::Ok;
+    /** Times the job was started (1 + retries actually taken). */
+    std::uint32_t attempts = 1;
+    /** Host wall-clock seconds this job took (all attempts). */
     double hostSeconds = 0.0;
 
     bool ok() const { return result.has_value(); }
+    /** A job the batch gave up on (failed or timed out). */
+    bool quarantined() const { return outcome != JobOutcome::Ok; }
 };
 
 /**
@@ -69,8 +106,25 @@ struct JobResult
  */
 std::uint64_t deriveJobSeed(std::uint64_t base, std::uint64_t index);
 
-/** Run one spec synchronously (the function the pool workers call). */
+/** Run one spec synchronously (no watchdog, no retries). */
 JobResult runJob(const JobSpec &spec, std::size_t index = 0);
+
+/**
+ * Run one spec under @p policy: each attempt executes on a watched
+ * thread that must finish within the timeout (the watchdog first
+ * asks the attempt to cancel cooperatively, then abandons it);
+ * transient failures are retried with exponential backoff.
+ */
+JobResult runJobWithPolicy(const JobSpec &spec, std::size_t index,
+                           const RunPolicy &policy);
+
+/**
+ * Join executor threads that were abandoned by timeout watchdogs
+ * but have since finished or honored cancellation. Called by tests
+ * and at process exit points to keep sanitizers quiet; a truly hung
+ * thread is skipped (it stays detached).
+ */
+void joinAbandonedJobThreads();
 
 } // namespace cdpc::runner
 

@@ -136,6 +136,33 @@ configJson(const ExperimentConfig &c)
     obj.field("seed", std::to_string(c.seed));
     obj.field("preallocatedPages",
               jsonNumber(static_cast<double>(c.preallocatedPages)));
+    obj.field("pressureOccupancy", jsonNumber(c.pressure.occupancy));
+    obj.field("pressurePattern",
+              jsonString(pressurePatternName(c.pressure.pattern)));
+    obj.field("fallback", jsonString(fallbackName(c.fallback)));
+    obj.close();
+    return out;
+}
+
+std::string
+degradationJson(const VmStats &vs)
+{
+    std::string out;
+    ObjectWriter obj(out);
+    obj.field("pageFaults",
+              jsonNumber(static_cast<double>(vs.pageFaults)));
+    obj.field("hintHonored",
+              jsonNumber(static_cast<double>(vs.hintHonored)));
+    obj.field("hintFallback",
+              jsonNumber(static_cast<double>(vs.hintFallback)));
+    obj.field("hintDenied",
+              jsonNumber(static_cast<double>(vs.hintDenied)));
+    obj.field("noPreference",
+              jsonNumber(static_cast<double>(vs.noPreference)));
+    obj.field("hintStolen",
+              jsonNumber(static_cast<double>(vs.hintStolen)));
+    obj.field("reclaimedPages",
+              jsonNumber(static_cast<double>(vs.reclaimedPages)));
     obj.close();
     return out;
 }
@@ -201,7 +228,11 @@ resultToJson(const JobResult &r)
     obj.field("tags", tagsJson(r.spec.tags));
     obj.field("config", configJson(r.spec.config));
     obj.field("ok", jsonBool(r.ok()));
+    obj.field("outcome", jsonString(jobOutcomeName(r.outcome)));
+    obj.field("attempts",
+              jsonNumber(static_cast<double>(r.attempts)));
     if (!r.ok()) {
+        obj.field("errorKind", jsonString(r.errorKind));
         obj.field("error", jsonString(r.error));
         obj.close();
         return out;
@@ -212,6 +243,9 @@ resultToJson(const JobResult &r)
     obj.field("dataSetBytes",
               jsonNumber(static_cast<double>(res.dataSetBytes)));
     obj.field("hintsHonored", jsonNumber(res.hintsHonored));
+    obj.field("degradation", degradationJson(res.degradation));
+    obj.field("pressurePages",
+              jsonNumber(static_cast<double>(res.pressurePages)));
     obj.field("totals", totalsJson(res.totals));
     std::string derived;
     {

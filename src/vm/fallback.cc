@@ -1,0 +1,135 @@
+#include "vm/fallback.h"
+
+#include "common/logging.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+
+namespace
+{
+
+/** Last resort shared by every policy: take a competitor's page. */
+std::optional<PageNum>
+reclaimOrNothing(PhysMem &phys, Color preferred)
+{
+    return phys.reclaim(preferred);
+}
+
+/** Scan forward from preferred+1 (the legacy alloc() order). */
+std::optional<PageNum>
+scanForward(PhysMem &phys, Color preferred)
+{
+    std::uint64_t colors = phys.numColors();
+    for (std::uint64_t i = 1; i < colors; i++) {
+        Color c = static_cast<Color>((preferred + i) % colors);
+        if (auto p = phys.tryAllocExact(c))
+            return p;
+    }
+    return std::nullopt;
+}
+
+class AnyColorPolicy : public ColorFallbackPolicy
+{
+  public:
+    std::optional<PageNum>
+    allocFallback(PhysMem &phys, VirtualMemory *, Color preferred)
+        override
+    {
+        if (auto p = scanForward(phys, preferred))
+            return p;
+        return reclaimOrNothing(phys, preferred);
+    }
+
+    const char *name() const override { return "any"; }
+};
+
+class NearestColorPolicy : public ColorFallbackPolicy
+{
+  public:
+    std::optional<PageNum>
+    allocFallback(PhysMem &phys, VirtualMemory *, Color preferred)
+        override
+    {
+        std::uint64_t colors = phys.numColors();
+        for (std::uint64_t d = 1; d <= colors / 2; d++) {
+            Color up = static_cast<Color>((preferred + d) % colors);
+            if (auto p = phys.tryAllocExact(up))
+                return p;
+            Color down = static_cast<Color>(
+                (preferred + colors - d) % colors);
+            if (down != up) {
+                if (auto p = phys.tryAllocExact(down))
+                    return p;
+            }
+        }
+        return reclaimOrNothing(phys, preferred);
+    }
+
+    const char *name() const override { return "nearest"; }
+};
+
+class StealPolicy : public ColorFallbackPolicy
+{
+  public:
+    std::optional<PageNum>
+    allocFallback(PhysMem &phys, VirtualMemory *vm, Color preferred)
+        override
+    {
+        if (vm) {
+            if (auto p = vm->stealMappedPage(preferred))
+                return p;
+        }
+        // Nothing to steal (or no donor page): degrade like any-color.
+        if (auto p = scanForward(phys, preferred))
+            return p;
+        return reclaimOrNothing(phys, preferred);
+    }
+
+    const char *name() const override { return "steal"; }
+};
+
+} // namespace
+
+const char *
+fallbackName(FallbackKind kind)
+{
+    switch (kind) {
+      case FallbackKind::AnyColor:
+        return "any";
+      case FallbackKind::NearestColor:
+        return "nearest";
+      case FallbackKind::Steal:
+        return "steal";
+    }
+    return "unknown";
+}
+
+FallbackKind
+parseFallback(const std::string &name)
+{
+    if (name == "any" || name == "any-color")
+        return FallbackKind::AnyColor;
+    if (name == "nearest" || name == "nearest-color")
+        return FallbackKind::NearestColor;
+    if (name == "steal")
+        return FallbackKind::Steal;
+    fatal("unknown fallback policy '", name,
+          "' (want any|nearest|steal)");
+}
+
+std::unique_ptr<ColorFallbackPolicy>
+makeFallbackPolicy(FallbackKind kind)
+{
+    switch (kind) {
+      case FallbackKind::AnyColor:
+        return std::make_unique<AnyColorPolicy>();
+      case FallbackKind::NearestColor:
+        return std::make_unique<NearestColorPolicy>();
+      case FallbackKind::Steal:
+        return std::make_unique<StealPolicy>();
+    }
+    panic("unreachable fallback kind");
+}
+
+} // namespace cdpc

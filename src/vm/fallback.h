@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Color fallback policies: what the OS does when a page fault's
+ * preferred color has no free page.
+ *
+ * The paper treats CDPC output as a hint the kernel honors "when
+ * possible" (Sections 2.1, 5). This module models the "when it is
+ * not possible" half. A ColorFallbackPolicy is consulted only after
+ * an exact-color allocation failed; it decides which wrong-colored
+ * page (or, for the stealing policy, which recolored right-colored
+ * page) the fault gets instead:
+ *
+ *  - any-color:     first free color scanning forward from the
+ *                   preferred one (the classic IRIX behavior, and
+ *                   this simulator's historical semantics);
+ *  - nearest-color: free color at the smallest ring distance from
+ *                   the preferred one, minimizing how far the page
+ *                   lands from its intended cache bins;
+ *  - steal:         recolor one of the application's own pages that
+ *                   currently occupies the preferred color onto a
+ *                   donor page of a free color (the mem/recolor
+ *                   remap primitive), then hand the freed
+ *                   right-colored page to the faulting request.
+ *
+ * Every policy degrades to reclaiming competitor pages
+ * (PhysMem::reclaim) before giving up, so fallback only fails when
+ * the application itself has consumed all of physical memory.
+ */
+
+#ifndef CDPC_VM_FALLBACK_H
+#define CDPC_VM_FALLBACK_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "vm/physmem.h"
+
+namespace cdpc
+{
+
+class VirtualMemory;
+
+/** Selects a ColorFallbackPolicy implementation. */
+enum class FallbackKind
+{
+    /** Scan forward from the preferred color (legacy behavior). */
+    AnyColor,
+    /** Smallest ring distance from the preferred color. */
+    NearestColor,
+    /** Recolor an own page out of the preferred color and take it. */
+    Steal,
+};
+
+/** @return "any" | "nearest" | "steal". */
+const char *fallbackName(FallbackKind kind);
+
+/** Parse a --fallback value; fatal() on an unknown name. */
+FallbackKind parseFallback(const std::string &name);
+
+/** Strategy interface for pressure-time allocation. */
+class ColorFallbackPolicy
+{
+  public:
+    virtual ~ColorFallbackPolicy() = default;
+
+    /**
+     * Allocate a page after the preferred color came up empty.
+     *
+     * @param phys the allocator
+     * @param vm the faulting address space, or nullptr when page
+     *        stealing is impossible (no mappings to recolor)
+     * @param preferred the color the fault wanted (never kNoColor)
+     * @return a page, or nullopt when memory is truly exhausted
+     */
+    virtual std::optional<PageNum> allocFallback(PhysMem &phys,
+                                                 VirtualMemory *vm,
+                                                 Color preferred) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** @return a fresh policy instance of @p kind. */
+std::unique_ptr<ColorFallbackPolicy> makeFallbackPolicy(
+    FallbackKind kind);
+
+} // namespace cdpc
+
+#endif // CDPC_VM_FALLBACK_H

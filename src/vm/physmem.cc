@@ -1,5 +1,6 @@
 #include "vm/physmem.h"
 
+#include "common/faultpoint.h"
 #include "common/logging.h"
 
 namespace cdpc
@@ -7,7 +8,8 @@ namespace cdpc
 
 PhysMem::PhysMem(std::uint64_t num_pages, std::uint64_t num_colors)
     : numPages(num_pages), colors(num_colors), freeCount(num_pages),
-      freeLists(num_colors)
+      freeLists(num_colors), reclaimable(num_colors),
+      isFree(num_pages, 1)
 {
     fatalIf(num_colors == 0, "PhysMem needs at least one color");
     fatalIf(num_pages < num_colors,
@@ -21,10 +23,21 @@ PhysMem::PhysMem(std::uint64_t num_pages, std::uint64_t num_colors)
 }
 
 PageNum
+PhysMem::takeFrom(Color c)
+{
+    PageNum ppn = freeLists[c].back();
+    freeLists[c].pop_back();
+    freeCount--;
+    isFree[ppn] = 0;
+    stats_.allocs++;
+    return ppn;
+}
+
+PageNum
 PhysMem::alloc(Color preferred)
 {
+    faultPoint("physmem.alloc");
     fatalIf(freeCount == 0, "physical memory exhausted");
-    stats_.allocs++;
 
     Color start;
     if (preferred == kNoColor) {
@@ -40,17 +53,42 @@ PhysMem::alloc(Color preferred)
     for (std::uint64_t i = 0; i < colors; i++) {
         Color c = static_cast<Color>((start + i) % colors);
         if (!freeLists[c].empty()) {
-            PageNum ppn = freeLists[c].back();
-            freeLists[c].pop_back();
-            freeCount--;
             if (preferred != kNoColor) {
                 if (i == 0)
                     stats_.preferredHonored++;
                 else
                     stats_.preferredDenied++;
             }
-            return ppn;
+            return takeFrom(c);
         }
+    }
+    panic("free list inconsistency: freeCount=", freeCount,
+          " but all color lists empty");
+}
+
+std::optional<PageNum>
+PhysMem::tryAllocExact(Color c)
+{
+    faultPoint("physmem.alloc");
+    panicIfNot(c < colors, "preferred color ", c, " out of range (",
+               colors, " colors)");
+    if (freeLists[c].empty())
+        return std::nullopt;
+    return takeFrom(c);
+}
+
+std::optional<PageNum>
+PhysMem::tryAllocAny()
+{
+    faultPoint("physmem.alloc");
+    if (freeCount == 0)
+        return std::nullopt;
+    Color start = rotor;
+    rotor = static_cast<Color>((rotor + 1) % colors);
+    for (std::uint64_t i = 0; i < colors; i++) {
+        Color c = static_cast<Color>((start + i) % colors);
+        if (!freeLists[c].empty())
+            return takeFrom(c);
     }
     panic("free list inconsistency: freeCount=", freeCount,
           " but all color lists empty");
@@ -60,9 +98,42 @@ void
 PhysMem::free(PageNum ppn)
 {
     panicIfNot(ppn < numPages, "freeing out-of-range page ", ppn);
+    panicIfNot(!isFree[ppn], "double free of physical page ", ppn);
+    isFree[ppn] = 1;
     freeLists[ppn % colors].push_back(ppn);
     freeCount++;
-    panicIfNot(freeCount <= numPages, "double free detected");
+}
+
+void
+PhysMem::markReclaimable(PageNum ppn)
+{
+    panicIfNot(ppn < numPages, "reclaimable out-of-range page ", ppn);
+    panicIfNot(!isFree[ppn], "reclaimable page ", ppn,
+               " is on a free list");
+    reclaimable[ppn % colors].push_back(ppn);
+    reclaimableCount++;
+}
+
+std::optional<PageNum>
+PhysMem::reclaim(Color preferred)
+{
+    if (reclaimableCount == 0)
+        return std::nullopt;
+    Color start = preferred == kNoColor ? 0 : preferred;
+    panicIfNot(start < colors, "reclaim color ", preferred,
+               " out of range");
+    for (std::uint64_t i = 0; i < colors; i++) {
+        Color c = static_cast<Color>((start + i) % colors);
+        if (!reclaimable[c].empty()) {
+            PageNum ppn = reclaimable[c].back();
+            reclaimable[c].pop_back();
+            reclaimableCount--;
+            stats_.reclaimed++;
+            return ppn;
+        }
+    }
+    panic("reclaimable count ", reclaimableCount,
+          " but all color lists empty");
 }
 
 Color

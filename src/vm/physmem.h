@@ -6,16 +6,24 @@
  * the same color iff they map to the same bins of a physically
  * indexed cache (paper, Section 2.1). The manager keeps one free
  * list per color so the VM layer can honor preferred-color requests,
- * and falls back to neighbouring colors under memory pressure —
- * mirroring how the paper's kernels treat CDPC output strictly as a
- * hint ("it may not be able to honor the hints if the machine is
- * under memory pressure", Section 5).
+ * and exposes exact-color/any-color allocation primitives the
+ * ColorFallbackPolicy layer (vm/fallback.h) composes under memory
+ * pressure — mirroring how the paper's kernels treat CDPC output
+ * strictly as a hint ("it may not be able to honor the hints if the
+ * machine is under memory pressure", Section 5).
+ *
+ * Pages pre-claimed by simulated competitor processes (vm/pressure.h)
+ * can be marked *reclaimable*: they stay allocated, but when every
+ * free list is empty the VM layer may reclaim them (the OS paging a
+ * background process out) instead of dying, so experiments remain
+ * runnable at arbitrarily high memory occupancy.
  */
 
 #ifndef CDPC_VM_PHYSMEM_H
 #define CDPC_VM_PHYSMEM_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
@@ -33,6 +41,8 @@ struct PhysMemStats
     std::uint64_t preferredDenied = 0;
     /** Requests that expressed no preference. */
     std::uint64_t noPreference = 0;
+    /** Competitor pages handed back to the application. */
+    std::uint64_t reclaimed = 0;
 };
 
 /**
@@ -62,8 +72,37 @@ class PhysMem
      */
     PageNum alloc(Color preferred = kNoColor);
 
-    /** Return a page to its color's free list. */
+    /**
+     * Allocate a page of exactly color @p c, or nullopt when that
+     * color's free list is empty. Does not touch the preference
+     * counters — degradation accounting lives in the VM layer.
+     */
+    std::optional<PageNum> tryAllocExact(Color c);
+
+    /**
+     * Allocate a page of whatever color the round-robin rotor lands
+     * on (scanning forward from it), or nullopt when memory is
+     * exhausted. The no-preference primitive.
+     */
+    std::optional<PageNum> tryAllocAny();
+
+    /** Return a page to its color's free list; panics on double free. */
     void free(PageNum ppn);
+
+    /**
+     * Flag an *allocated* page as belonging to a reclaimable
+     * competitor: reclaim() may later transfer it to a new owner.
+     */
+    void markReclaimable(PageNum ppn);
+
+    /**
+     * Transfer ownership of a reclaimable page, preferring color
+     * @p preferred (any color when that one has none, or when
+     * @p preferred is kNoColor). The page stays allocated; it simply
+     * stops being reclaimable. @return nullopt when no reclaimable
+     * pages remain.
+     */
+    std::optional<PageNum> reclaim(Color preferred);
 
     /** @return the color of physical page @p ppn. */
     Color colorOf(PageNum ppn) const;
@@ -72,15 +111,23 @@ class PhysMem
     std::uint64_t totalPages() const { return numPages; }
     std::uint64_t numColors() const { return colors; }
     std::uint64_t freePagesOfColor(Color c) const;
+    std::uint64_t reclaimablePages() const { return reclaimableCount; }
 
     const PhysMemStats &stats() const { return stats_; }
 
   private:
+    PageNum takeFrom(Color c);
+
     std::uint64_t numPages;
     std::uint64_t colors;
     std::uint64_t freeCount;
     /** freeLists[c] holds the free physical pages of color c. */
     std::vector<std::vector<PageNum>> freeLists;
+    /** reclaimable[c] holds competitor-owned pages of color c. */
+    std::vector<std::vector<PageNum>> reclaimable;
+    std::uint64_t reclaimableCount = 0;
+    /** isFree[p] is 1 iff page p sits on a free list. */
+    std::vector<std::uint8_t> isFree;
     /** Round-robin cursor for no-preference allocations. */
     Color rotor = 0;
     PhysMemStats stats_;

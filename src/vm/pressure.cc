@@ -1,0 +1,125 @@
+#include "vm/pressure.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace cdpc
+{
+
+const char *
+pressurePatternName(PressurePattern p)
+{
+    switch (p) {
+      case PressurePattern::LowHalf:
+        return "low-half";
+      case PressurePattern::Uniform:
+        return "uniform";
+      case PressurePattern::Fragmented:
+        return "fragmented";
+    }
+    return "unknown";
+}
+
+PressurePattern
+parsePressurePattern(const std::string &name)
+{
+    if (name == "low-half" || name == "lowhalf")
+        return PressurePattern::LowHalf;
+    if (name == "uniform")
+        return PressurePattern::Uniform;
+    if (name == "fragmented" || name == "fragment")
+        return PressurePattern::Fragmented;
+    fatal("unknown pressure pattern '", name,
+          "' (want low-half|uniform|fragmented)");
+}
+
+namespace
+{
+
+/** Claim one page of @p c (or the nearest forward color). */
+bool
+claimOne(PhysMem &phys, Color c, PressureStats &stats)
+{
+    std::uint64_t colors = phys.numColors();
+    for (std::uint64_t i = 0; i < colors; i++) {
+        Color cc = static_cast<Color>((c + i) % colors);
+        if (auto p = phys.tryAllocExact(cc)) {
+            phys.markReclaimable(*p);
+            stats.claimedPages++;
+            stats.perColor[cc]++;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+PressureStats
+applyMemoryPressure(PhysMem &phys, const MemPressureConfig &config)
+{
+    fatalIf(config.occupancy < 0.0 || config.occupancy >= 1.0,
+            "memory-pressure occupancy ", config.occupancy,
+            " out of [0, 1)");
+    std::uint64_t colors = phys.numColors();
+    PressureStats stats;
+    stats.perColor.assign(colors, 0);
+
+    std::uint64_t target = static_cast<std::uint64_t>(
+        config.occupancy * static_cast<double>(phys.totalPages()));
+    if (target == 0)
+        return stats;
+    // Leave the application at least one page per color to start
+    // from, matching the constructor's invariant.
+    target = std::min(target, phys.freePages() - std::min(
+        phys.freePages(), colors));
+
+    Rng rng(config.seed);
+    switch (config.pattern) {
+      case PressurePattern::LowHalf: {
+        std::uint64_t half = std::max<std::uint64_t>(colors / 2, 1);
+        for (std::uint64_t i = 0; i < target; i++) {
+            if (!claimOne(phys, static_cast<Color>(i % half), stats))
+                break;
+        }
+        break;
+      }
+      case PressurePattern::Uniform: {
+        for (std::uint64_t i = 0; i < target; i++) {
+            Color c = static_cast<Color>(rng.below(colors));
+            if (!claimOne(phys, c, stats))
+                break;
+        }
+        break;
+      }
+      case PressurePattern::Fragmented: {
+        // Walk the color space in random strides, draining a
+        // random-length run of colors nearly dry at each stop.
+        std::uint64_t claimed = 0;
+        Color cursor = static_cast<Color>(rng.below(colors));
+        while (claimed < target) {
+            std::uint64_t run = 1 + rng.below(std::max<std::uint64_t>(
+                colors / 16, 2));
+            for (std::uint64_t r = 0; r < run && claimed < target;
+                 r++) {
+                Color c = static_cast<Color>((cursor + r) % colors);
+                // Drain this color down to one free page.
+                while (claimed < target &&
+                       phys.freePagesOfColor(c) > 1) {
+                    if (!claimOne(phys, c, stats))
+                        return stats;
+                    claimed++;
+                }
+            }
+            cursor = static_cast<Color>(
+                (cursor + run + rng.below(colors)) % colors);
+        }
+        break;
+      }
+    }
+    return stats;
+}
+
+} // namespace cdpc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic memory-pressure generation: simulated competitor
+ * processes that pre-claim physical pages before the application
+ * runs, so the kernel genuinely cannot honor every CDPC hint.
+ *
+ * The paper evaluates CDPC on an unloaded machine but is explicit
+ * that hints survive only "when possible" under memory pressure
+ * (Sections 2.1, 5); related work (cache apportioning under
+ * co-runners, cloud color-pool fragmentation) shows loaded machines
+ * are the common case. applyMemoryPressure() claims a configurable
+ * fraction of physical memory in one of several color-occupancy
+ * patterns, fully determined by the seed, and marks every claimed
+ * page reclaimable — the last-ditch path that keeps experiments
+ * finishing at 95%+ occupancy instead of dying.
+ */
+
+#ifndef CDPC_VM_PRESSURE_H
+#define CDPC_VM_PRESSURE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "vm/physmem.h"
+
+namespace cdpc
+{
+
+/** How competitor pages are spread over the color space. */
+enum class PressurePattern
+{
+    /** Concentrated on the lower half of the colors (legacy model). */
+    LowHalf,
+    /** Seeded-uniform over all colors. */
+    Uniform,
+    /**
+     * Fragmented: random-length runs of whole colors are claimed
+     * nearly dry while others stay almost untouched — the
+     * color-pool fragmentation long-running systems accumulate.
+     */
+    Fragmented,
+};
+
+/** @return "low-half" | "uniform" | "fragmented". */
+const char *pressurePatternName(PressurePattern p);
+
+/** Parse a pattern name; fatal() on an unknown one. */
+PressurePattern parsePressurePattern(const std::string &name);
+
+/** Competitor-process configuration. */
+struct MemPressureConfig
+{
+    /** Fraction of physical pages to pre-claim, in [0, 1). */
+    double occupancy = 0.0;
+    PressurePattern pattern = PressurePattern::Fragmented;
+    std::uint64_t seed = 1;
+
+    bool enabled() const { return occupancy > 0.0; }
+};
+
+/** What applyMemoryPressure() actually claimed. */
+struct PressureStats
+{
+    std::uint64_t claimedPages = 0;
+    /** Pages claimed per color (the occupancy fingerprint). */
+    std::vector<std::uint64_t> perColor;
+};
+
+/**
+ * Claim occupancy * totalPages pages from @p phys according to the
+ * pattern, marking each claimed page reclaimable. Deterministic: the
+ * same (config, allocator state) always claims the same pages.
+ * fatal() when occupancy is out of [0, 1).
+ */
+PressureStats applyMemoryPressure(PhysMem &phys,
+                                  const MemPressureConfig &config);
+
+} // namespace cdpc
+
+#endif // CDPC_VM_PRESSURE_H

@@ -6,12 +6,67 @@ namespace cdpc
 {
 
 VirtualMemory::VirtualMemory(const MachineConfig &config, PhysMem &phys,
-                             PageMappingPolicy &policy)
-    : phys(phys), policy_(policy), pageSize(config.pageBytes)
+                             PageMappingPolicy &policy,
+                             ColorFallbackPolicy *fallback)
+    : phys(phys), policy_(policy), fallback_(fallback),
+      pageSize(config.pageBytes)
 {
     fatalIf(phys.numColors() != config.numColors(),
             "PhysMem colors (", phys.numColors(),
             ") disagree with machine config (", config.numColors(), ")");
+}
+
+PageNum
+VirtualMemory::allocWithFallback(Color preferred)
+{
+    if (preferred == kNoColor) {
+        stats_.noPreference++;
+        if (auto p = phys.tryAllocAny())
+            return *p;
+        if (auto p = phys.reclaim(kNoColor)) {
+            stats_.reclaimedPages++;
+            return *p;
+        }
+        stats_.hintDenied++;
+        fatal("physical memory exhausted");
+    }
+
+    if (auto p = phys.tryAllocExact(preferred)) {
+        stats_.hintHonored++;
+        return *p;
+    }
+
+    std::uint64_t reclaimed_before = phys.stats().reclaimed;
+    std::optional<PageNum> p;
+    if (fallback_) {
+        p = fallback_->allocFallback(phys, this, preferred);
+    } else {
+        // Legacy semantics: scan forward from the preferred color,
+        // then fall back to reclaiming a competitor page.
+        std::uint64_t colors = phys.numColors();
+        for (std::uint64_t i = 1; i < colors && !p; i++) {
+            p = phys.tryAllocExact(
+                static_cast<Color>((preferred + i) % colors));
+        }
+        if (!p)
+            p = phys.reclaim(preferred);
+    }
+    if (!p) {
+        stats_.hintDenied++;
+        fatal("physical memory exhausted (fault preferred color ",
+              preferred, ")");
+    }
+    bool reclaimed = phys.stats().reclaimed != reclaimed_before;
+    if (reclaimed)
+        stats_.reclaimedPages++;
+    if (phys.colorOf(*p) == preferred) {
+        stats_.hintHonored++;
+        if (!reclaimed)
+            stats_.hintStolen++;
+    } else {
+        stats_.hintFallback++;
+    }
+    return *p;
 }
 
 Translation
@@ -27,7 +82,7 @@ VirtualMemory::translate(VAddr va, CpuId cpu,
         ctx.cpu = cpu;
         ctx.concurrentFaults = concurrent_faults;
         Color preferred = policy_.preferredColor(ctx);
-        PageNum ppn = phys.alloc(preferred);
+        PageNum ppn = allocWithFallback(preferred);
         it = pageTable.emplace(vpn, ppn).first;
         stats_.pageFaults++;
         return {it->second * pageSize + va % pageSize, true};
@@ -77,6 +132,46 @@ VirtualMemory::remap(PageNum vpn, Color target)
     it->second = new_ppn;
     phys.free(old_ppn);
     return phys.colorOf(new_ppn);
+}
+
+std::optional<PageNum>
+VirtualMemory::stealMappedPage(Color color)
+{
+    // Donor: a free page of any other color, scanning forward.
+    std::optional<PageNum> donor;
+    std::uint64_t colors = phys.numColors();
+    for (std::uint64_t i = 1; i < colors && !donor; i++) {
+        donor = phys.tryAllocExact(
+            static_cast<Color>((color + i) % colors));
+    }
+    if (!donor)
+        return std::nullopt;
+
+    // Victim: the lowest-vpn mapping occupying the wanted color
+    // (lowest, not first-found, to stay hash-order independent).
+    auto victim = pageTable.end();
+    for (auto it = pageTable.begin(); it != pageTable.end(); ++it) {
+        if (phys.colorOf(it->second) != color)
+            continue;
+        if (victim == pageTable.end() || it->first < victim->first)
+            victim = it;
+    }
+    if (victim == pageTable.end()) {
+        phys.free(*donor);
+        return std::nullopt;
+    }
+
+    PageNum freed = victim->second;
+    victim->second = *donor;
+    if (remapObserver_)
+        remapObserver_(victim->first);
+    return freed;
+}
+
+void
+VirtualMemory::setRemapObserver(std::function<void(PageNum)> obs)
+{
+    remapObserver_ = std::move(obs);
 }
 
 void

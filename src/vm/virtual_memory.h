@@ -8,17 +8,24 @@
  * cache model. Also provides touch(), the serialized pre-faulting
  * primitive the paper uses to implement page coloring and CDPC on
  * top of Digital UNIX's native bin hopping (Section 5.3).
+ *
+ * Under memory pressure the preferred color may have no free page;
+ * an optional ColorFallbackPolicy then decides what the fault gets
+ * instead, and per-fault degradation statistics (hint honored /
+ * fallback / reclaimed / stolen) are recorded for the harness.
  */
 
 #ifndef CDPC_VM_VIRTUAL_MEMORY_H
 #define CDPC_VM_VIRTUAL_MEMORY_H
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
 #include "common/types.h"
 #include "machine/config.h"
+#include "vm/fallback.h"
 #include "vm/physmem.h"
 #include "vm/policy.h"
 
@@ -30,6 +37,18 @@ struct VmStats
 {
     std::uint64_t translations = 0;
     std::uint64_t pageFaults = 0;
+    /** Faults whose preferred color was free (hint honored). */
+    std::uint64_t hintHonored = 0;
+    /** Faults served a different color by the fallback policy. */
+    std::uint64_t hintFallback = 0;
+    /** Faults that could not be served at all (exhaustion). */
+    std::uint64_t hintDenied = 0;
+    /** Faults that expressed no color preference. */
+    std::uint64_t noPreference = 0;
+    /** Faults served by recoloring one of our own pages (steal). */
+    std::uint64_t hintStolen = 0;
+    /** Faults served by reclaiming a competitor page. */
+    std::uint64_t reclaimedPages = 0;
 };
 
 /** Result of a translation: physical address plus fault indicator. */
@@ -48,9 +67,12 @@ class VirtualMemory
      * @param config machine parameters (page size, colors)
      * @param phys physical allocator (not owned)
      * @param policy active page mapping policy (not owned)
+     * @param fallback pressure fallback, or nullptr for the legacy
+     *        forward scan (not owned; must outlive this object)
      */
     VirtualMemory(const MachineConfig &config, PhysMem &phys,
-                  PageMappingPolicy &policy);
+                  PageMappingPolicy &policy,
+                  ColorFallbackPolicy *fallback = nullptr);
 
     /**
      * Translate @p va, taking a page fault if needed.
@@ -84,6 +106,22 @@ class VirtualMemory
      */
     std::optional<Color> remap(PageNum vpn, Color target);
 
+    /**
+     * Steal a mapped page of @p color for a new allocation: move the
+     * lowest-vpn victim currently occupying that color onto a donor
+     * page of some free color, notify the remap observer (cache
+     * purge + TLB shootdown), and return the freed right-colored
+     * page. @return nullopt when there is no donor or no victim.
+     */
+    std::optional<PageNum> stealMappedPage(Color color);
+
+    /**
+     * Install (or clear, with nullptr) the hook called with the
+     * victim vpn whenever stealMappedPage() rewrites a mapping —
+     * the harness points it at MemorySystem::purgePage().
+     */
+    void setRemapObserver(std::function<void(PageNum)> obs);
+
     /** Unmap everything and return the pages to the allocator. */
     void unmapAll();
 
@@ -96,8 +134,12 @@ class VirtualMemory
     PageMappingPolicy &policy() { return policy_; }
 
   private:
+    PageNum allocWithFallback(Color preferred);
+
     PhysMem &phys;
     PageMappingPolicy &policy_;
+    ColorFallbackPolicy *fallback_;
+    std::function<void(PageNum)> remapObserver_;
     std::uint64_t pageSize;
     std::unordered_map<PageNum, PageNum> pageTable;
     VmStats stats_;

@@ -8,12 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "cdpc/runtime.h"
+#include "common/faultpoint.h"
 #include "common/random.h"
 #include "compiler/compiler.h"
+#include "compiler/summaries_io.h"
 #include "harness/experiment.h"
+#include "machine/tracefile.h"
 #include "workloads/builder.h"
 
 namespace cdpc
@@ -176,6 +183,257 @@ TEST_P(FuzzPipeline, SimulationConservesAndStaysCoherent)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// ---- Corrupt-input robustness ------------------------------------------
+//
+// The readers' contract under fuzzer-style mutations: load either
+// succeeds or throws a typed FatalError. A PanicError (or a crash,
+// which the sanitizer CI job would catch) is always a bug.
+
+/** Serialize the summaries of a small random program. */
+std::string
+summariesBytes(std::uint64_t seed)
+{
+    Program p = randomProgram(seed);
+    CompilerOptions copts;
+    MachineConfig m = MachineConfig::paperScaled(4);
+    copts.aligner.lineBytes = m.l2.lineBytes;
+    copts.aligner.l1SpanBytes = m.l1d.sizeBytes / m.l1d.assoc;
+    CompileResult compiled = compileProgram(p, copts);
+    std::ostringstream out;
+    saveSummaries(compiled.summaries, out);
+    return out.str();
+}
+
+/** loadSummaries() on @p bytes must succeed or be FatalError. */
+void
+expectGracefulSummaries(const std::string &bytes)
+{
+    std::istringstream in(bytes);
+    try {
+        loadSummaries(in);
+    } catch (const FatalError &) {
+        // Typed rejection is the expected failure mode.
+    }
+}
+
+TEST(CorruptSummaries, RoundTripBaseline)
+{
+    std::string bytes = summariesBytes(1);
+    std::istringstream in(bytes);
+    AccessSummaries s = loadSummaries(in);
+    EXPECT_EQ(s.programName, "fuzz-1");
+}
+
+TEST(CorruptSummaries, EveryTruncationIsGraceful)
+{
+    std::string bytes = summariesBytes(1);
+    for (std::size_t len = 0; len < bytes.size(); len++)
+        expectGracefulSummaries(bytes.substr(0, len));
+}
+
+TEST(CorruptSummaries, SingleByteMutationsAreGraceful)
+{
+    std::string bytes = summariesBytes(2);
+    Rng rng(7);
+    for (int i = 0; i < 512; i++) {
+        std::string mutated = bytes;
+        std::size_t pos = rng.below(mutated.size());
+        mutated[pos] = static_cast<char>(rng.below(256));
+        expectGracefulSummaries(mutated);
+    }
+}
+
+TEST(CorruptSummaries, HugeCountsAreRejectedNotAllocated)
+{
+    // Magic + empty name + an absurd array count: must be a typed
+    // error, not a multi-gigabyte allocation attempt.
+    std::string bytes(8, '\0');
+    std::memcpy(bytes.data(), "CDPCSUM1", 8);
+    std::uint64_t zero = 0, huge = ~0ull >> 1;
+    bytes.append(reinterpret_cast<char *>(&zero), 8);
+    bytes.append(reinterpret_cast<char *>(&huge), 8);
+    std::istringstream in(bytes);
+    EXPECT_THROW(loadSummaries(in), FatalError);
+}
+
+/** Write a tiny valid trace and return its path. */
+std::string
+writeSmallTrace(const std::string &name, std::uint32_t ncpus,
+                std::uint32_t records)
+{
+    std::string path = ::testing::TempDir() + name;
+    TraceWriter w(path, ncpus);
+    for (std::uint32_t i = 0; i < records; i++) {
+        TraceRecord rec;
+        rec.va = i * 64;
+        rec.insts = 4;
+        rec.wordMask = 1;
+        rec.elems = 1;
+        rec.cpu = static_cast<std::uint8_t>(i % ncpus);
+        w.append(rec);
+    }
+    w.close();
+    return path;
+}
+
+/** Reading @p path end to end must succeed or be FatalError. */
+void
+expectGracefulTrace(const std::string &path)
+{
+    try {
+        TraceReader r(path);
+        TraceRecord rec;
+        while (r.next(rec)) {
+        }
+    } catch (const FatalError &) {
+    }
+}
+
+TEST(CorruptTrace, EveryTruncationIsGraceful)
+{
+    std::string path = writeSmallTrace("fuzz_trace.bin", 4, 32);
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+
+    std::string cut = ::testing::TempDir() + "fuzz_trace_cut.bin";
+    for (std::size_t len = 0; len < bytes.size(); len += 3) {
+        std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(len));
+        out.close();
+        expectGracefulTrace(cut);
+    }
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(CorruptTrace, HeaderMutationsAreGraceful)
+{
+    std::string path = writeSmallTrace("fuzz_trace2.bin", 4, 16);
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+
+    std::string mut = ::testing::TempDir() + "fuzz_trace_mut.bin";
+    Rng rng(11);
+    for (int i = 0; i < 256; i++) {
+        std::string mutated = bytes;
+        // Bias mutations toward the header, where lying metadata
+        // (record counts, CPU counts) lives.
+        std::size_t pos = i % 2 == 0 ? rng.below(24)
+                                     : rng.below(mutated.size());
+        mutated[pos] = static_cast<char>(rng.below(256));
+        std::ofstream out(mut, std::ios::binary | std::ios::trunc);
+        out.write(mutated.data(),
+                  static_cast<std::streamsize>(mutated.size()));
+        out.close();
+        expectGracefulTrace(mut);
+    }
+    std::remove(path.c_str());
+    std::remove(mut.c_str());
+}
+
+TEST(CorruptTrace, LyingRecordCountIsFatalUpFront)
+{
+    std::string path = writeSmallTrace("fuzz_trace3.bin", 2, 8);
+    // Patch the header's record count to claim more than the file
+    // holds (offset 16, uint64).
+    std::fstream f(path, std::ios::binary | std::ios::in |
+                             std::ios::out);
+    std::uint64_t lie = 1u << 20;
+    f.seekp(16);
+    f.write(reinterpret_cast<char *>(&lie), 8);
+    f.close();
+    EXPECT_THROW(TraceReader r(path), FatalError);
+    std::remove(path.c_str());
+}
+
+// ---- Fault-point-driven failure paths ----------------------------------
+
+class FaultPoints : public ::testing::Test
+{
+  protected:
+    void TearDown() override { faultpoints::clear(); }
+};
+
+TEST_F(FaultPoints, PlanGrammarParses)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "physmem.alloc=fail*2@10,job.run#x=panic,io=hang250,"
+        "summaries.load=fatal");
+    ASSERT_EQ(plan.triggers().size(), 4u);
+    EXPECT_EQ(plan.triggers()[0].site, "physmem.alloc");
+    EXPECT_EQ(plan.triggers()[0].action, FaultAction::Fail);
+    EXPECT_EQ(plan.triggers()[0].count, 2u);
+    EXPECT_EQ(plan.triggers()[0].skip, 10u);
+    EXPECT_EQ(plan.triggers()[1].site, "job.run#x");
+    EXPECT_EQ(plan.triggers()[1].action, FaultAction::Panic);
+    EXPECT_EQ(plan.triggers()[2].action, FaultAction::Hang);
+    EXPECT_EQ(plan.triggers()[2].hangMs, 250u);
+    EXPECT_EQ(plan.triggers()[3].action, FaultAction::Fatal);
+}
+
+TEST_F(FaultPoints, MalformedPlansAreFatal)
+{
+    EXPECT_THROW(FaultPlan::parse("site=explode"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("=fail"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("site*0"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("site*x"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("site@x"), FatalError);
+}
+
+TEST_F(FaultPoints, SummariesLoadSiteFires)
+{
+    faultpoints::install(FaultPlan::parse("summaries.load=fail"));
+    std::string bytes = summariesBytes(1);
+    std::istringstream in(bytes);
+    EXPECT_THROW(loadSummaries(in), FaultInjectedError);
+    // One-shot: the second load goes through.
+    std::istringstream again(bytes);
+    EXPECT_EQ(loadSummaries(again).programName, "fuzz-1");
+}
+
+TEST_F(FaultPoints, TraceReadSiteFiresAfterSkip)
+{
+    std::string path = writeSmallTrace("fault_trace.bin", 2, 8);
+    faultpoints::install(FaultPlan::parse("tracefile.read=fail@3"));
+    TraceReader r(path);
+    TraceRecord rec;
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_THROW(r.next(rec), FaultInjectedError);
+    // Disarmed after one firing: the stream continues.
+    EXPECT_TRUE(r.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST_F(FaultPoints, PhysmemAllocSiteMakesExperimentsFail)
+{
+    faultpoints::install(
+        FaultPlan::parse("physmem.alloc=fail@16"));
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(1);
+    EXPECT_THROW(runProgram(randomProgram(1), cfg),
+                 FaultInjectedError);
+    faultpoints::clear();
+    // With the plan cleared the same experiment runs fine.
+    ExperimentResult r = runProgram(randomProgram(1), cfg);
+    EXPECT_GT(r.totals.insts, 0.0);
+}
+
+TEST_F(FaultPoints, InactivePlanCostsNothingAndFiresNothing)
+{
+    EXPECT_FALSE(faultpoints::active());
+    faultPoint("physmem.alloc"); // must be a no-op
+    faultpoints::install(FaultPlan::parse("other.site=panic"));
+    faultPoint("physmem.alloc"); // armed, but no match
+    faultpoints::clear();
+    EXPECT_FALSE(faultpoints::active());
+}
 
 } // namespace
 } // namespace cdpc

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the memory-pressure resilience layer: exact/any-color
+ * allocation primitives, reclaimable competitor pages, the fallback
+ * policies, the pressure fragmenter's determinism, and the VM-layer
+ * degradation accounting that feeds ExperimentStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "machine/config.h"
+#include "vm/fallback.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/pressure.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+namespace
+{
+
+// ---- PhysMem primitives ------------------------------------------------
+
+TEST(PhysMemPressure, TryAllocExactDrainsOneColorOnly)
+{
+    PhysMem pm(32, 16); // two pages per color
+    EXPECT_EQ(pm.freePagesOfColor(4), 2u);
+    auto a = pm.tryAllocExact(4);
+    auto b = pm.tryAllocExact(4);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(pm.colorOf(*a), 4u);
+    EXPECT_EQ(pm.colorOf(*b), 4u);
+    EXPECT_EQ(pm.freePagesOfColor(4), 0u);
+    // Exhausted color: exact allocation reports it instead of
+    // silently falling to a neighbor.
+    EXPECT_FALSE(pm.tryAllocExact(4).has_value());
+    // Every other color is untouched.
+    for (Color c = 0; c < 16; c++)
+        if (c != 4)
+            EXPECT_EQ(pm.freePagesOfColor(c), 2u);
+}
+
+TEST(PhysMemPressure, PerColorDepletionOrderIsAscending)
+{
+    PhysMem pm(48, 16); // three pages per color
+    // Allocation order within one color is ascending ppn: c, c+16,
+    // c+32 for color c.
+    for (Color c : {0u, 7u, 15u}) {
+        EXPECT_EQ(*pm.tryAllocExact(c), c);
+        EXPECT_EQ(*pm.tryAllocExact(c), c + 16u);
+        EXPECT_EQ(*pm.tryAllocExact(c), c + 32u);
+        EXPECT_FALSE(pm.tryAllocExact(c).has_value());
+    }
+}
+
+TEST(PhysMemPressure, FreePagesOfColorTracksAllocAndFree)
+{
+    PhysMem pm(32, 8); // four pages per color
+    std::uint64_t before = pm.freePages();
+    auto p = pm.tryAllocExact(3);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(pm.freePagesOfColor(3), 3u);
+    EXPECT_EQ(pm.freePages(), before - 1);
+    pm.free(*p);
+    EXPECT_EQ(pm.freePagesOfColor(3), 4u);
+    EXPECT_EQ(pm.freePages(), before);
+}
+
+TEST(PhysMemPressure, TrueDoubleFreeIsDetected)
+{
+    PhysMem pm(32, 8);
+    PageNum p = pm.alloc(2);
+    pm.free(p);
+    // The old implementation only counted frees; freeing the same
+    // page twice while other pages were still allocated slipped
+    // through. Now the page's own state is checked.
+    pm.alloc(5); // keep the allocator non-empty
+    EXPECT_THROW(pm.free(p), PanicError);
+    // Never-allocated pages are also double frees.
+    PhysMem fresh(16, 4);
+    EXPECT_THROW(fresh.free(0), PanicError);
+}
+
+TEST(PhysMemPressure, ReclaimTransfersCompetitorPages)
+{
+    PhysMem pm(16, 4);
+    auto held = pm.tryAllocExact(2);
+    ASSERT_TRUE(held);
+    pm.markReclaimable(*held);
+    EXPECT_EQ(pm.reclaimablePages(), 1u);
+
+    // Preferred color matches the reclaimable page's color.
+    auto got = pm.reclaim(2);
+    ASSERT_TRUE(got);
+    EXPECT_EQ(*got, *held);
+    EXPECT_EQ(pm.reclaimablePages(), 0u);
+    EXPECT_EQ(pm.stats().reclaimed, 1u);
+    // The pool is empty now.
+    EXPECT_FALSE(pm.reclaim(2).has_value());
+    // A reclaimed page is owned (not free): freeing it once is fine,
+    // twice is a double free.
+    pm.free(*got);
+    EXPECT_THROW(pm.free(*got), PanicError);
+}
+
+// ---- Fallback policies -------------------------------------------------
+
+TEST(Fallback, AnyColorScansForwardThenReclaims)
+{
+    PhysMem pm(16, 4); // four pages per color
+    // Drain colors 1 and 2 completely.
+    for (int i = 0; i < 4; i++) {
+        pm.tryAllocExact(1);
+        pm.tryAllocExact(2);
+    }
+    auto policy = makeFallbackPolicy(FallbackKind::AnyColor);
+    // Preferred 1 is empty; forward scan reaches 3 first (2 is also
+    // empty).
+    auto p = policy->allocFallback(pm, nullptr, 1);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(pm.colorOf(*p), 3u);
+
+    // Exhaust everything, leave one reclaimable competitor page.
+    while (pm.freePages() > 1)
+        pm.tryAllocAny();
+    auto last = pm.tryAllocAny();
+    ASSERT_TRUE(last);
+    pm.markReclaimable(*last);
+    auto reclaimed = policy->allocFallback(pm, nullptr, 0);
+    ASSERT_TRUE(reclaimed);
+    EXPECT_EQ(*reclaimed, *last);
+    // Now truly nothing is left.
+    EXPECT_FALSE(policy->allocFallback(pm, nullptr, 0).has_value());
+}
+
+TEST(Fallback, NearestColorMinimizesRingDistance)
+{
+    PhysMem pm(64, 16);
+    // Empty colors 5..8 except 7; nearest free to 6 should be 7
+    // (distance 1), not 9 (distance 3) or 4 (distance 2)... drain
+    // 5, 6, 8 fully and keep 7 free.
+    for (Color c : {5u, 6u, 8u}) {
+        while (pm.freePagesOfColor(c) > 0)
+            pm.tryAllocExact(c);
+    }
+    auto policy = makeFallbackPolicy(FallbackKind::NearestColor);
+    auto p = policy->allocFallback(pm, nullptr, 6);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(pm.colorOf(*p), 7u);
+
+    // With 7 also drained, distance 2 ties break upward: 8 is empty,
+    // so 4 (downward distance 2) wins.
+    while (pm.freePagesOfColor(7) > 0)
+        pm.tryAllocExact(7);
+    auto q = policy->allocFallback(pm, nullptr, 6);
+    ASSERT_TRUE(q);
+    EXPECT_EQ(pm.colorOf(*q), 4u);
+}
+
+TEST(Fallback, StealRecolorsAVictimAndReturnsPreferredColor)
+{
+    MachineConfig m = MachineConfig::paperScaled(1);
+    PhysMem pm(m.physPages, m.numColors());
+    PageColoringPolicy coloring(m.numColors());
+    auto policy = makeFallbackPolicy(FallbackKind::Steal);
+    VirtualMemory vm(m, pm, coloring, policy.get());
+
+    // Map one page, then drain its color completely.
+    vm.touch(0, 0); // vpn 0 -> preferred color 0
+    Color victim_color = vm.colorOf(0);
+    while (pm.freePagesOfColor(victim_color) > 0)
+        pm.tryAllocExact(victim_color);
+
+    std::uint64_t purges = 0;
+    PageNum purged_vpn = 12345;
+    vm.setRemapObserver([&](PageNum vpn) {
+        purges++;
+        purged_vpn = vpn;
+    });
+
+    // A fault preferring the drained color steals vpn 0's page: the
+    // fault still gets the preferred color and the victim moved.
+    auto p = vm.stealMappedPage(victim_color);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(pm.colorOf(*p), victim_color);
+    EXPECT_EQ(purges, 1u);
+    EXPECT_EQ(purged_vpn, 0u);
+    EXPECT_TRUE(vm.isMapped(0));
+    EXPECT_NE(vm.colorOf(0), victim_color);
+}
+
+TEST(Fallback, NamesRoundTrip)
+{
+    for (FallbackKind k :
+         {FallbackKind::AnyColor, FallbackKind::NearestColor,
+          FallbackKind::Steal}) {
+        EXPECT_EQ(parseFallback(fallbackName(k)), k);
+        EXPECT_STREQ(makeFallbackPolicy(k)->name(), fallbackName(k));
+    }
+    EXPECT_THROW(parseFallback("bogus"), FatalError);
+}
+
+// ---- Exhaustion with fallback policies ---------------------------------
+
+TEST(Fallback, ExhaustionDegradesToDenialNotCrash)
+{
+    MachineConfig m = MachineConfig::paperScaled(1);
+    for (FallbackKind kind :
+         {FallbackKind::AnyColor, FallbackKind::NearestColor,
+          FallbackKind::Steal}) {
+        PhysMem pm(m.numColors() * 2, m.numColors());
+        PageColoringPolicy coloring(m.numColors());
+        auto policy = makeFallbackPolicy(kind);
+        VirtualMemory vm(m, pm, coloring, policy.get());
+        // Faulting more pages than exist must end in FatalError
+        // (denial), never a PanicError or a crash.
+        std::uint64_t mapped = 0;
+        try {
+            for (PageNum vpn = 0; vpn < pm.totalPages() + 4; vpn++) {
+                vm.touch(vpn * m.pageBytes, 0);
+                mapped++;
+            }
+            FAIL() << "over-allocation should have been fatal";
+        } catch (const FatalError &) {
+            EXPECT_EQ(mapped, pm.totalPages());
+            EXPECT_EQ(vm.stats().hintDenied, 1u);
+        }
+    }
+}
+
+// ---- Pressure generator ------------------------------------------------
+
+TEST(Pressure, ClaimsRequestedFractionReclaimably)
+{
+    PhysMem pm(1024, 16);
+    MemPressureConfig cfg;
+    cfg.occupancy = 0.75;
+    cfg.pattern = PressurePattern::Uniform;
+    cfg.seed = 42;
+    PressureStats stats = applyMemoryPressure(pm, cfg);
+    EXPECT_EQ(stats.claimedPages, 768u);
+    EXPECT_EQ(pm.reclaimablePages(), 768u);
+    EXPECT_EQ(pm.freePages(), 1024u - 768u);
+    std::uint64_t sum = 0;
+    for (std::uint64_t n : stats.perColor)
+        sum += n;
+    EXPECT_EQ(sum, stats.claimedPages);
+}
+
+TEST(Pressure, LeavesOneFreePagePerColorHeadroom)
+{
+    PhysMem pm(64, 16);
+    MemPressureConfig cfg;
+    cfg.occupancy = 0.99; // would claim 63 of 64; clamped to 48
+    cfg.pattern = PressurePattern::LowHalf;
+    PressureStats stats = applyMemoryPressure(pm, cfg);
+    EXPECT_EQ(stats.claimedPages, 48u);
+    EXPECT_EQ(pm.freePages(), 16u);
+}
+
+TEST(Pressure, FragmenterIsDeterministicPerSeed)
+{
+    auto fingerprint = [](std::uint64_t seed) {
+        PhysMem pm(2048, 32);
+        MemPressureConfig cfg;
+        cfg.occupancy = 0.9;
+        cfg.pattern = PressurePattern::Fragmented;
+        cfg.seed = seed;
+        return applyMemoryPressure(pm, cfg).perColor;
+    };
+    // Same seed: bit-identical claim fingerprint.
+    EXPECT_EQ(fingerprint(7), fingerprint(7));
+    EXPECT_EQ(fingerprint(99), fingerprint(99));
+    // Different seeds: different fragmentation.
+    EXPECT_NE(fingerprint(7), fingerprint(8));
+}
+
+TEST(Pressure, FragmentedDrainsSomeColorsNearlyDry)
+{
+    PhysMem pm(2048, 32); // 64 pages per color
+    MemPressureConfig cfg;
+    cfg.occupancy = 0.5;
+    cfg.pattern = PressurePattern::Fragmented;
+    cfg.seed = 3;
+    applyMemoryPressure(pm, cfg);
+    // Fragmentation means inequality: some colors nearly empty,
+    // others nearly full.
+    std::uint64_t min_free = ~0ull, max_free = 0;
+    for (Color c = 0; c < 32; c++) {
+        min_free = std::min(min_free, pm.freePagesOfColor(c));
+        max_free = std::max(max_free, pm.freePagesOfColor(c));
+    }
+    EXPECT_LE(min_free, 1u);
+    EXPECT_GE(max_free, 32u);
+}
+
+TEST(Pressure, RejectsOutOfRangeOccupancy)
+{
+    PhysMem pm(64, 16);
+    MemPressureConfig cfg;
+    cfg.occupancy = 1.0;
+    EXPECT_THROW(applyMemoryPressure(pm, cfg), FatalError);
+    cfg.occupancy = -0.1;
+    EXPECT_THROW(applyMemoryPressure(pm, cfg), FatalError);
+}
+
+TEST(Pressure, PatternNamesRoundTrip)
+{
+    for (PressurePattern p :
+         {PressurePattern::LowHalf, PressurePattern::Uniform,
+          PressurePattern::Fragmented})
+        EXPECT_EQ(parsePressurePattern(pressurePatternName(p)), p);
+    EXPECT_THROW(parsePressurePattern("bogus"), FatalError);
+}
+
+// ---- Degradation accounting --------------------------------------------
+
+TEST(Degradation, HonoredFallbackReclaimCounted)
+{
+    MachineConfig m = MachineConfig::paperScaled(1);
+    PhysMem pm(m.numColors() * 2, m.numColors());
+    PageColoringPolicy coloring(m.numColors());
+    auto policy = makeFallbackPolicy(FallbackKind::AnyColor);
+    VirtualMemory vm(m, pm, coloring, policy.get());
+
+    // Fault every page twice over: the first totalPages faults are
+    // honored or fall back; after that competitor pages would be
+    // reclaimed (none here, so we stop at exhaustion).
+    for (PageNum vpn = 0; vpn < pm.totalPages(); vpn++)
+        vm.touch(vpn * m.pageBytes, 0);
+    const VmStats &s = vm.stats();
+    EXPECT_EQ(s.pageFaults, pm.totalPages());
+    EXPECT_EQ(s.hintHonored + s.hintFallback, pm.totalPages());
+    // Page coloring spreads vpns over colors evenly; with exactly
+    // 2 pages per color and 2 faults per color, every hint fits.
+    EXPECT_EQ(s.hintFallback, 0u);
+
+    // Now a pressured VM where half the memory is competitor-owned.
+    PhysMem pm2(m.numColors() * 2, m.numColors());
+    MemPressureConfig pcfg;
+    pcfg.occupancy = 0.45;
+    pcfg.pattern = PressurePattern::Uniform;
+    applyMemoryPressure(pm2, pcfg);
+    VirtualMemory vm2(m, pm2, coloring, policy.get());
+    for (PageNum vpn = 0; vpn < pm2.totalPages(); vpn++)
+        vm2.touch(vpn * m.pageBytes, 0);
+    const VmStats &s2 = vm2.stats();
+    EXPECT_EQ(s2.pageFaults, pm2.totalPages());
+    EXPECT_EQ(s2.hintHonored + s2.hintFallback + s2.hintDenied,
+              pm2.totalPages());
+    EXPECT_EQ(s2.hintDenied, 0u); // reclaim kept every fault alive
+    EXPECT_GT(s2.reclaimedPages, 0u);
+}
+
+} // namespace
+} // namespace cdpc

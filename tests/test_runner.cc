@@ -12,6 +12,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/faultpoint.h"
 #include "runner/runner.h"
 
 namespace cdpc::runner
@@ -312,6 +313,166 @@ TEST(ResultSink, ErrorJobsSerializeErrorField)
     EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
     EXPECT_NE(json.find("\"error\":\"boom\""), std::string::npos);
     EXPECT_EQ(json.find("\"totals\""), std::string::npos);
+}
+
+// ------------------------------------- self-healing: watchdog + retries
+
+class SelfHealing : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        faultpoints::clear();
+        joinAbandonedJobThreads();
+    }
+};
+
+JobSpec
+namedJob(const std::string &name)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    JobSpec spec = makeJob("107.mgrid", cfg);
+    spec.name = name;
+    return spec;
+}
+
+TEST_F(SelfHealing, TransientFailuresAreRetriedUntilSuccess)
+{
+    faultpoints::install(FaultPlan::parse("job.run#flaky=fail*2"));
+    RunPolicy policy;
+    policy.maxRetries = 3;
+    policy.backoffMs = 1;
+    JobResult r = runJobWithPolicy(namedJob("flaky"), 0, policy);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.outcome, JobOutcome::Ok);
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_FALSE(r.quarantined());
+}
+
+TEST_F(SelfHealing, RetriesExhaustedQuarantines)
+{
+    faultpoints::install(FaultPlan::parse("job.run#flaky=fail*10"));
+    RunPolicy policy;
+    policy.maxRetries = 2;
+    policy.backoffMs = 1;
+    JobResult r = runJobWithPolicy(namedJob("flaky"), 0, policy);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.outcome, JobOutcome::Failed);
+    EXPECT_EQ(r.errorKind, "transient");
+    EXPECT_EQ(r.attempts, 3u); // 1 try + 2 retries
+    EXPECT_TRUE(r.quarantined());
+}
+
+TEST_F(SelfHealing, PermanentErrorsAreNotRetried)
+{
+    faultpoints::install(FaultPlan::parse("job.run#bad=fatal"));
+    RunPolicy policy;
+    policy.maxRetries = 5;
+    policy.backoffMs = 1;
+    JobResult r = runJobWithPolicy(namedJob("bad"), 0, policy);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.outcome, JobOutcome::Failed);
+    EXPECT_EQ(r.errorKind, "fatal");
+    EXPECT_EQ(r.attempts, 1u);
+}
+
+TEST_F(SelfHealing, WatchdogTimesOutAHungJob)
+{
+    faultpoints::install(FaultPlan::parse("job.run#hanger=hang"));
+    RunPolicy policy;
+    policy.timeoutSeconds = 0.5;
+    JobResult r = runJobWithPolicy(namedJob("hanger"), 0, policy);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.outcome, JobOutcome::TimedOut);
+    EXPECT_EQ(r.errorKind, "timeout");
+    EXPECT_EQ(r.attempts, 1u);
+}
+
+/**
+ * The acceptance batch: jobs 1 and 3 crash/hang, job 6 needs two
+ * retries, the rest are healthy. Instance-qualified fault triggers
+ * make this deterministic whatever the worker count.
+ */
+std::vector<JobSpec>
+healingSpecs()
+{
+    std::vector<JobSpec> specs = smallSpecs();
+    specs.resize(4);
+    specs.insert(specs.begin() + 1, namedJob("crasher"));
+    specs.insert(specs.begin() + 3, namedJob("hanger"));
+    specs.push_back(namedJob("flaky"));
+    return specs;
+}
+
+void
+installHealingPlan()
+{
+    faultpoints::install(FaultPlan::parse(
+        "job.run#crasher=panic,job.run#hanger=hang,"
+        "job.run#flaky=fail*2"));
+}
+
+TEST_F(SelfHealing, BatchQuarantinesAndHealsDeterministically)
+{
+    QuietGuard quiet;
+    BatchOptions serial;
+    serial.jobs = 1;
+    serial.policy.timeoutSeconds = 2.0;
+    serial.policy.maxRetries = 3;
+    serial.policy.backoffMs = 1;
+    BatchOptions parallel = serial;
+    parallel.jobs = 4;
+
+    // Fresh trigger counters per run, so both executions see the
+    // identical fault schedule.
+    installHealingPlan();
+    std::vector<JobResult> a = runBatch(healingSpecs(), serial);
+    installHealingPlan();
+    std::vector<JobResult> b = runBatch(healingSpecs(), parallel);
+
+    ASSERT_EQ(a.size(), 7u);
+    ASSERT_EQ(b.size(), 7u);
+    for (const std::vector<JobResult> *run : {&a, &b}) {
+        const std::vector<JobResult> &r = *run;
+        EXPECT_EQ(r[1].outcome, JobOutcome::Failed);
+        EXPECT_EQ(r[1].errorKind, "panic");
+        EXPECT_EQ(r[1].attempts, 1u);
+        EXPECT_EQ(r[3].outcome, JobOutcome::TimedOut);
+        EXPECT_EQ(r[3].errorKind, "timeout");
+        EXPECT_TRUE(r[6].ok());
+        EXPECT_EQ(r[6].attempts, 3u);
+        for (std::size_t i : {0u, 2u, 4u, 5u}) {
+            EXPECT_TRUE(r[i].ok()) << "job " << i << ": "
+                                   << r[i].error;
+            EXPECT_EQ(r[i].attempts, 1u);
+        }
+    }
+    // Bit-identical serialization across worker counts — for every
+    // job: results carry no wall-clock fields and the fault schedule
+    // is instance-pinned.
+    for (std::size_t i = 0; i < a.size(); i++)
+        EXPECT_EQ(resultToJson(a[i]), resultToJson(b[i]))
+            << "job " << i << " diverged between serial and parallel";
+}
+
+TEST(ResultSink, QuarantineFieldsSerialized)
+{
+    JobResult r;
+    r.index = 2;
+    r.spec = makeJob("102.swim", ExperimentConfig{});
+    r.error = "attempt exceeded 2.0s timeout";
+    r.errorKind = "timeout";
+    r.outcome = JobOutcome::TimedOut;
+    r.attempts = 2;
+    std::string json = resultToJson(r);
+    EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"outcome\":\"timeout\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"attempts\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"errorKind\":\"timeout\""),
+              std::string::npos);
 }
 
 // ------------------------------------------------------------ progress

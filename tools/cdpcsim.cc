@@ -44,6 +44,18 @@
  *   --seed N        base seed for seed=auto jobs in a batch file
  *   --out FILE      output path (record trace, plan summaries,
  *                   batch results)
+ *   --mem-pressure PCT      pre-claim PCT% of physical memory with
+ *                           reclaimable competitor pages
+ *   --pressure-pattern P    low-half | uniform | fragmented
+ *   --fallback F            any | nearest | steal (what a fault gets
+ *                           when its preferred color is empty)
+ *   --fault-plan SPEC       arm deterministic fault injection, e.g.
+ *                           "physmem.alloc=fail*2@10,job.run#x=panic"
+ *   --timeout SEC           per-job watchdog for batch (0 = off)
+ *   --retries N             transient-error retries per batch job
+ *
+ * Exit codes: 0 success, 1 partial failure (quarantined batch
+ * jobs), 2 usage or fatal (user) error, 3 internal panic.
  */
 
 #include <cstdlib>
@@ -54,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "common/faultpoint.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "compiler/summaries_io.h"
@@ -90,6 +103,16 @@ struct CliOptions
     unsigned jobs = 0;
     /** Base seed for seed=auto jobs in a batch file. */
     std::uint64_t seed = 1;
+    /** Percent of physical memory pre-claimed by competitors. */
+    double memPressure = 0.0;
+    std::string pressurePattern = "fragmented";
+    std::string fallback = "any";
+    /** Fault-injection plan, armed process-wide before dispatch. */
+    std::string faultPlan;
+    /** Per-job watchdog timeout for batch jobs; 0 disables. */
+    double timeoutSec = 0.0;
+    /** Transient-error retries per batch job. */
+    std::uint32_t retries = 0;
 };
 
 [[noreturn]] void
@@ -105,7 +128,11 @@ usage(const char *msg = nullptr)
         "         --machine scaled|scaled-2way|scaled-4mb|alpha|full\n"
         "         --cache KB --assoc N --prefetch --dynamic\n"
         "         --unaligned --no-cyclic --no-greedy\n"
-        "         --jobs N --seed N --out FILE\n";
+        "         --jobs N --seed N --out FILE\n"
+        "         --mem-pressure PCT --pressure-pattern "
+        "low-half|uniform|fragmented\n"
+        "         --fallback any|nearest|steal --fault-plan SPEC\n"
+        "         --timeout SEC --retries N\n";
     std::exit(msg ? 2 : 0);
 }
 
@@ -174,6 +201,20 @@ parseArgs(int argc, char **argv)
         else if (a == "--seed")
             o.seed = static_cast<std::uint64_t>(
                 std::atoll(need_value("--seed").c_str()));
+        else if (a == "--mem-pressure")
+            o.memPressure = std::atof(need_value("--mem-pressure")
+                                          .c_str());
+        else if (a == "--pressure-pattern")
+            o.pressurePattern = need_value("--pressure-pattern");
+        else if (a == "--fallback")
+            o.fallback = need_value("--fallback");
+        else if (a == "--fault-plan")
+            o.faultPlan = need_value("--fault-plan");
+        else if (a == "--timeout")
+            o.timeoutSec = std::atof(need_value("--timeout").c_str());
+        else if (a == "--retries")
+            o.retries = static_cast<std::uint32_t>(
+                std::atoi(need_value("--retries").c_str()));
         else if (a == "--help" || a == "-h")
             usage();
         else
@@ -218,6 +259,10 @@ makeConfig(const CliOptions &o, std::uint32_t cpus,
     cfg.aligned = !o.unaligned;
     cfg.cdpcOptions.cyclicAssignment = !o.noCyclic;
     cfg.cdpcOptions.greedyOrdering = !o.noGreedy;
+    cfg.pressure.occupancy = o.memPressure / 100.0;
+    cfg.pressure.pattern = parsePressurePattern(o.pressurePattern);
+    cfg.pressure.seed = o.seed;
+    cfg.fallback = parseFallback(o.fallback);
     return cfg;
 }
 
@@ -509,9 +554,10 @@ cmdHints(const CliOptions &o)
  * Parse one batch-file line into a JobSpec. Grammar:
  *   <workload> [key=value]...
  * with keys cpus, policy, machine, cache, assoc, prefetch, dynamic,
- * aligned, racy, cyclic, greedy, seed (integer or "auto"), name and
- * tags (comma-separated). Unset keys inherit the command-line
- * defaults, so a spec file can be as terse as one workload per line.
+ * aligned, racy, cyclic, greedy, seed (integer or "auto"), pressure
+ * (percent), pattern, fallback, name and tags (comma-separated).
+ * Unset keys inherit the command-line defaults, so a spec file can
+ * be as terse as one workload per line.
  */
 runner::JobSpec
 parseBatchLine(const std::string &line, std::size_t index,
@@ -561,6 +607,12 @@ parseBatchLine(const std::string &line, std::size_t index,
             o.noCyclic = !flag("cyclic");
         else if (key == "greedy")
             o.noGreedy = !flag("greedy");
+        else if (key == "pressure")
+            o.memPressure = std::atof(value.c_str());
+        else if (key == "pattern")
+            o.pressurePattern = value;
+        else if (key == "fallback")
+            o.fallback = value;
         else if (key == "seed" && value == "auto")
             auto_seed = true;
         else if (key == "seed")
@@ -622,33 +674,40 @@ cmdBatch(const CliOptions &o)
     for (runner::JobSpec &spec : specs)
         batch.add(std::move(spec));
     runner::ProgressReporter progress(batch.size());
+    runner::RunPolicy policy;
+    policy.timeoutSeconds = o.timeoutSec;
+    policy.maxRetries = o.retries;
     std::vector<runner::JobResult> results =
-        batch.run(&progress, sink.get());
+        batch.run(&progress, sink.get(), policy);
     progress.finish();
+    runner::joinAbandonedJobThreads();
 
-    std::size_t failed = 0;
+    std::size_t quarantined = 0;
     for (const runner::JobResult &r : results)
-        if (!r.ok())
-            failed++;
+        if (r.quarantined())
+            quarantined++;
 
     if (!to_stdout) {
         TextTable t({"job", "name", "cpus", "combined (M)", "MCPI",
-                     "status"});
+                     "attempts", "status"});
         for (const runner::JobResult &r : results) {
+            std::string status = runner::jobOutcomeName(r.outcome);
+            if (r.quarantined())
+                status += " (" + r.errorKind + ": " + r.error + ")";
             t.addRow({std::to_string(r.index), r.spec.displayName(),
                       std::to_string(r.spec.config.machine.numCpus),
                       r.ok() ? fmtF(r.result->totals.combinedTime() /
                                         1e6, 0)
                              : "-",
                       r.ok() ? fmtF(r.result->totals.mcpi(), 2) : "-",
-                      r.ok() ? "ok" : r.error});
+                      std::to_string(r.attempts), status});
         }
         std::cout << t.render();
         std::cout << results.size() << " jobs on " << pool.workerCount()
-                  << " workers, " << failed << " failed; results in "
-                  << o.out << "\n";
+                  << " workers, " << quarantined
+                  << " quarantined; results in " << o.out << "\n";
     }
-    return failed == 0 ? 0 : 1;
+    return quarantined == 0 ? 0 : 1;
 }
 
 int
@@ -723,6 +782,8 @@ main(int argc, char **argv)
 {
     CliOptions o = parseArgs(argc, argv);
     try {
+        if (!o.faultPlan.empty())
+            faultpoints::install(FaultPlan::parse(o.faultPlan));
         if (o.command == "list")
             return cmdList();
         if (o.command == "run")
@@ -746,6 +807,13 @@ main(int argc, char **argv)
         usage(("unknown command " + o.command).c_str());
     } catch (const FatalError &e) {
         std::cerr << "cdpcsim: " << e.what() << "\n";
-        return 1;
+        return 2;
+    } catch (const PanicError &e) {
+        std::cerr << "cdpcsim: internal error: " << e.what() << "\n";
+        return 3;
+    } catch (const std::exception &e) {
+        std::cerr << "cdpcsim: unexpected error: " << e.what()
+                  << "\n";
+        return 3;
     }
 }
