@@ -1,14 +1,26 @@
 /**
  * @file
  * google-benchmark microbenchmarks: raw throughput of the simulator
- * substrate (cache lookups, full memory-system accesses, TLB, CDPC
- * plan computation, whole-experiment runs). These bound how much
- * paper-scale simulation the figure benches can afford.
+ * substrate (cache lookups, full memory-system accesses, TLB, VM
+ * translation, CDPC plan computation, whole-experiment runs). These
+ * bound how much paper-scale simulation the figure benches can
+ * afford.
  *
- * After the microbenchmarks, a fixed experiment battery runs through
- * the batch engine and its throughput is written to
- * BENCH_micro_throughput.json — a machine-readable baseline future
- * PRs can diff their own runs against.
+ * The per-reference benchmarks (BM_MemAccess, BM_Translate,
+ * BM_TlbAccess, BM_CacheAccess) are the guarded fast path: their
+ * per-iteration nanoseconds are recorded into
+ * BENCH_micro_throughput.json next to the batch-engine throughput
+ * baseline, and tools/bench_diff compares a fresh run against the
+ * committed baseline (CI fails on >25% regression). Workflow:
+ *
+ *   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+ *   cmake --build build -j
+ *   (cd build && ./bench/micro_throughput)   # writes the JSON
+ *   ./build/tools/bench_diff BENCH_micro_throughput.json \
+ *       build/BENCH_micro_throughput.json
+ *
+ * To re-baseline after an intentional change, copy the fresh JSON
+ * over the committed one at the repo root.
  */
 
 #include <benchmark/benchmark.h>
@@ -18,7 +30,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "cdpc/runtime.h"
 #include "common/logging.h"
@@ -68,8 +83,40 @@ BM_TlbAccess(benchmark::State &state)
 }
 BENCHMARK(BM_TlbAccess);
 
+/**
+ * Raw translation throughput over a pre-faulted footprint: the page
+ * walk the memory system performs whenever the translation
+ * micro-cache misses.
+ */
 void
-BM_MemSystemAccess(benchmark::State &state)
+BM_Translate(benchmark::State &state)
+{
+    MachineConfig m = MachineConfig::paperScaled(1);
+    PhysMem phys(m.physPages, m.numColors());
+    PageColoringPolicy policy(m.numColors());
+    VirtualMemory vm(m, phys, policy);
+
+    constexpr std::uint64_t kPages = 1024;
+    for (std::uint64_t p = 0; p < kPages; p++)
+        vm.touch(p * m.pageBytes, 0);
+
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        VAddr va = ((i * 7) % kPages) * m.pageBytes + (i & 63);
+        benchmark::DoNotOptimize(vm.translate(va, 0).pa);
+        i++;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Translate);
+
+/**
+ * The headline per-reference number: one full MemorySystem::access
+ * (TLB + translation + L1 + L2 + classification) per iteration,
+ * striding lines through a 4MB virtual footprint.
+ */
+void
+BM_MemAccess(benchmark::State &state)
 {
     auto ncpus = static_cast<std::uint32_t>(state.range(0));
     MachineConfig m = MachineConfig::paperScaled(ncpus);
@@ -91,7 +138,7 @@ BM_MemSystemAccess(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MemSystemAccess)->Arg(1)->Arg(8)->Arg(16);
+BENCHMARK(BM_MemAccess)->Arg(1)->Arg(8)->Arg(16);
 
 void
 BM_CdpcPlan(benchmark::State &state)
@@ -122,14 +169,45 @@ BM_FullExperiment(benchmark::State &state)
 BENCHMARK(BM_FullExperiment)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 /**
+ * ConsoleReporter that additionally records each benchmark's
+ * per-iteration real time in nanoseconds, keyed by a
+ * JSON-identifier-safe name ("BM_MemAccess/8" -> "BM_MemAccess_8"),
+ * so the results can be written into the machine-readable baseline.
+ */
+class RecordingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::map<std::string, double> nsPerIter;
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.error_occurred || r.run_type != Run::RT_Iteration)
+                continue;
+            std::string key = r.benchmark_name();
+            std::replace(key.begin(), key.end(), '/', '_');
+            double iters =
+                r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+            nsPerIter[key] = r.real_accumulated_time / iters * 1e9;
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+/**
  * The fixed batch baseline: a small representative battery (two
  * policy-sensitive workloads x {1, 8} CPUs x {PC, CDPC}) pushed
- * through the work-stealing runner at hardware concurrency. The
- * figure of merit is simulated references per host second — the
- * quantity every future batching/sharding PR must not regress.
+ * through the work-stealing runner at hardware concurrency, plus
+ * the per-iteration nanoseconds of every microbenchmark that ran.
+ * The figures of merit are simulated references per host second and
+ * the *_ns keys — the quantities every future fast-path PR must not
+ * regress (tools/bench_diff enforces this against the committed
+ * BENCH_micro_throughput.json).
  */
 void
-writeBatchBaseline(const char *path)
+writeBatchBaseline(const char *path,
+                   const std::map<std::string, double> &ns_per_iter)
 {
     std::vector<runner::JobSpec> specs;
     for (const char *app : {"101.tomcatv", "104.hydro2d"}) {
@@ -168,15 +246,22 @@ writeBatchBaseline(const char *path)
         "{\"bench\":\"micro_throughput\",\"jobs\":%zu,"
         "\"workers\":%u,\"wallSeconds\":%.6f,"
         "\"jobSecondsTotal\":%.6f,\"simulatedRefs\":%.0f,"
-        "\"refsPerSecond\":%.0f,\"parallelEfficiency\":%.3f}\n",
+        "\"refsPerSecond\":%.0f,\"parallelEfficiency\":%.3f",
         results.size(),
         std::max(1u, std::thread::hardware_concurrency()), wall,
         sim_seconds, refs, wall > 0 ? refs / wall : 0.0,
         wall > 0 ? sim_seconds / wall : 0.0);
     out << buf;
+    for (const auto &[name, ns] : ns_per_iter) {
+        std::snprintf(buf, sizeof(buf), ",\"%s_ns\":%.2f", name.c_str(),
+                      ns);
+        out << buf;
+    }
+    out << "}\n";
     std::cout << "batch baseline: " << results.size() << " jobs, "
               << fmtF(wall, 2) << "s wall, "
-              << fmtF(refs / 1e6, 1) << "M simulated refs -> " << path
+              << fmtF(refs / 1e6, 1) << "M simulated refs, "
+              << ns_per_iter.size() << " micro timings -> " << path
               << "\n";
 }
 
@@ -188,8 +273,9 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
-    benchmark::RunSpecifiedBenchmarks();
+    RecordingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
-    writeBatchBaseline("BENCH_micro_throughput.json");
+    writeBatchBaseline("BENCH_micro_throughput.json", reporter.nsPerIter);
     return 0;
 }

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * FlatHashMap: a small open-addressing hash table over 64-bit keys.
+ *
+ * The per-reference simulation fast path (mem/memsystem.cc) cannot
+ * afford std::unordered_map's node allocation and pointer chasing on
+ * every access, so the hot per-port indexes (L1 residence, in-flight
+ * prefetches, the LruShadow tag index) live in this flat table
+ * instead: one contiguous slot array, linear probing, backward-shift
+ * deletion (no tombstones), and amortized doubling at 70% load.
+ *
+ * Iteration order is unspecified (as with unordered_map); callers on
+ * the simulation path must only perform order-independent folds
+ * (min/erase-if) so results stay bit-identical across layouts.
+ */
+
+#ifndef CDPC_COMMON_FLAT_HASH_H
+#define CDPC_COMMON_FLAT_HASH_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cdpc
+{
+
+/** Open-addressing map from std::uint64_t keys to V values. */
+template <typename V>
+class FlatHashMap
+{
+  public:
+    explicit FlatHashMap(std::size_t expected = 16)
+    {
+        rehash(slotCountFor(expected));
+    }
+
+    /** @return pointer to the value for @p key, or nullptr. */
+    V *
+    find(std::uint64_t key)
+    {
+        std::size_t i = probe(key);
+        return i == kNotFound ? nullptr : &slots[i].value;
+    }
+
+    const V *
+    find(std::uint64_t key) const
+    {
+        std::size_t i = probe(key);
+        return i == kNotFound ? nullptr : &slots[i].value;
+    }
+
+    bool contains(std::uint64_t key) const
+    {
+        return probe(key) != kNotFound;
+    }
+
+    /** Insert or overwrite; @return reference to the stored value. */
+    V &
+    insertOrAssign(std::uint64_t key, V value)
+    {
+        V &v = (*this)[key];
+        v = std::move(value);
+        return v;
+    }
+
+    /** unordered_map-style access: default-constructs missing keys. */
+    V &
+    operator[](std::uint64_t key)
+    {
+        if ((count + 1) * 10 >= slots.size() * 7)
+            rehash(slots.size() * 2);
+        std::size_t i = home(key);
+        while (used[i]) {
+            if (slots[i].key == key)
+                return slots[i].value;
+            i = (i + 1) & mask;
+        }
+        used[i] = true;
+        slots[i].key = key;
+        slots[i].value = V{};
+        count++;
+        return slots[i].value;
+    }
+
+    /** Remove @p key; @return true when it was present. */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::size_t i = probe(key);
+        if (i == kNotFound)
+            return false;
+        eraseSlot(i);
+        return true;
+    }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    void
+    clear()
+    {
+        std::fill(used.begin(), used.end(), false);
+        count = 0;
+    }
+
+    /** Grow so @p expected entries fit without rehashing. */
+    void
+    reserve(std::size_t expected)
+    {
+        std::size_t want = slotCountFor(expected);
+        if (want > slots.size())
+            rehash(want);
+    }
+
+    /** Visit every entry; fn(key, value&). Order is unspecified. */
+    template <typename F>
+    void
+    forEach(F &&fn)
+    {
+        for (std::size_t i = 0; i < slots.size(); i++) {
+            if (used[i])
+                fn(slots[i].key, slots[i].value);
+        }
+    }
+
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (std::size_t i = 0; i < slots.size(); i++) {
+            if (used[i])
+                fn(slots[i].key, slots[i].value);
+        }
+    }
+
+    /** Erase every entry for which pred(key, value) holds. */
+    template <typename P>
+    void
+    eraseIf(P &&pred)
+    {
+        // Backward-shift deletion moves later slots into the hole, so
+        // restart the scan at the hole to not skip a shifted entry.
+        for (std::size_t i = 0; i < slots.size();) {
+            if (used[i] && pred(slots[i].key, slots[i].value))
+                eraseSlot(i);
+            else
+                i++;
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        V value{};
+    };
+
+    static constexpr std::size_t kNotFound = ~std::size_t{0};
+
+    static std::size_t
+    slotCountFor(std::size_t expected)
+    {
+        std::size_t n = 16;
+        // Keep load factor at/below 70% for the expected entry count.
+        while (n * 7 < (expected + 1) * 10)
+            n *= 2;
+        return n;
+    }
+
+    std::size_t
+    home(std::uint64_t key) const
+    {
+        // Fibonacci hashing: one multiply, good avalanche on the high
+        // bits, which the mask then selects via the shift.
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ULL) >> 32) &
+               mask;
+    }
+
+    std::size_t
+    probe(std::uint64_t key) const
+    {
+        std::size_t i = home(key);
+        while (used[i]) {
+            if (slots[i].key == key)
+                return i;
+            i = (i + 1) & mask;
+        }
+        return kNotFound;
+    }
+
+    void
+    eraseSlot(std::size_t hole)
+    {
+        std::size_t j = hole;
+        while (true) {
+            j = (j + 1) & mask;
+            if (!used[j])
+                break;
+            std::size_t h = home(slots[j].key);
+            // Slot j may fill the hole iff its home position lies at
+            // or cyclically before the hole.
+            if (((j - h) & mask) >= ((j - hole) & mask)) {
+                slots[hole] = std::move(slots[j]);
+                hole = j;
+            }
+        }
+        used[hole] = false;
+        count--;
+    }
+
+    void
+    rehash(std::size_t new_slots)
+    {
+        std::vector<Slot> old = std::move(slots);
+        std::vector<char> old_used = std::move(used);
+        slots.assign(new_slots, Slot{});
+        used.assign(new_slots, false);
+        mask = new_slots - 1;
+        count = 0;
+        for (std::size_t i = 0; i < old.size(); i++) {
+            if (old_used[i])
+                (*this)[old[i].key] = std::move(old[i].value);
+        }
+    }
+
+    std::vector<Slot> slots;
+    std::vector<char> used;
+    std::size_t mask = 0;
+    std::size_t count = 0;
+};
+
+/**
+ * Open-addressing set of std::uint64_t keys. Insert-only plus clear —
+ * exactly the shape of ColdTracker's seen-line set — so deletion
+ * machinery is omitted.
+ */
+class FlatHashSet
+{
+  public:
+    explicit FlatHashSet(std::size_t expected = 16)
+    {
+        rehash(slotCountFor(expected));
+    }
+
+    /** @return true when @p key was newly inserted. */
+    bool
+    insert(std::uint64_t key)
+    {
+        if ((count + 1) * 10 >= keys.size() * 7)
+            rehash(keys.size() * 2);
+        std::size_t i = home(key);
+        while (used[i]) {
+            if (keys[i] == key)
+                return false;
+            i = (i + 1) & mask;
+        }
+        used[i] = true;
+        keys[i] = key;
+        count++;
+        return true;
+    }
+
+    bool
+    contains(std::uint64_t key) const
+    {
+        std::size_t i = home(key);
+        while (used[i]) {
+            if (keys[i] == key)
+                return true;
+            i = (i + 1) & mask;
+        }
+        return false;
+    }
+
+    std::size_t size() const { return count; }
+
+    void
+    clear()
+    {
+        std::fill(used.begin(), used.end(), false);
+        count = 0;
+    }
+
+  private:
+    static std::size_t
+    slotCountFor(std::size_t expected)
+    {
+        std::size_t n = 16;
+        while (n * 7 < (expected + 1) * 10)
+            n *= 2;
+        return n;
+    }
+
+    std::size_t
+    home(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ULL) >> 32) &
+               mask;
+    }
+
+    void
+    rehash(std::size_t new_slots)
+    {
+        std::vector<std::uint64_t> old_keys = std::move(keys);
+        std::vector<char> old_used = std::move(used);
+        keys.assign(new_slots, 0);
+        used.assign(new_slots, false);
+        mask = new_slots - 1;
+        count = 0;
+        for (std::size_t i = 0; i < old_keys.size(); i++) {
+            if (old_used[i])
+                insert(old_keys[i]);
+        }
+    }
+
+    std::vector<std::uint64_t> keys;
+    std::vector<char> used;
+    std::size_t mask = 0;
+    std::size_t count = 0;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_FLAT_HASH_H

@@ -19,6 +19,13 @@ Cache::Cache(const CacheConfig &config)
 CacheLine *
 Cache::findInSet(std::uint64_t set, Addr phys_line)
 {
+    // Direct-mapped (the configuration of the paper's base external
+    // cache): one way, no scan.
+    if (config.assoc == 1) {
+        CacheLine &l = lines[set];
+        return mesiValid(l.state) && l.lineAddr == phys_line ? &l
+                                                            : nullptr;
+    }
     CacheLine *base = &lines[set * config.assoc];
     for (std::uint32_t w = 0; w < config.assoc; w++) {
         CacheLine &l = base[w];
@@ -63,18 +70,23 @@ Cache::insert(Addr index_addr, Addr phys_line, Mesi state,
     std::uint64_t set = setIndex(index_addr);
     panicIfNot(findInSet(set, phys_line) == nullptr,
                "inserting a line that is already present");
-    CacheLine *base = &lines[set * config.assoc];
-
-    // Prefer an invalid way; otherwise evict true-LRU.
-    CacheLine *slot = nullptr;
-    for (std::uint32_t w = 0; w < config.assoc; w++) {
-        CacheLine &l = base[w];
-        if (!mesiValid(l.state)) {
-            slot = &l;
-            break;
+    // Prefer an invalid way; otherwise evict true-LRU. Direct-mapped
+    // caches have exactly one candidate — no scan.
+    CacheLine *slot;
+    if (config.assoc == 1) {
+        slot = &lines[set];
+    } else {
+        CacheLine *base = &lines[set * config.assoc];
+        slot = nullptr;
+        for (std::uint32_t w = 0; w < config.assoc; w++) {
+            CacheLine &l = base[w];
+            if (!mesiValid(l.state)) {
+                slot = &l;
+                break;
+            }
+            if (!slot || l.lastUse < slot->lastUse)
+                slot = &l;
         }
-        if (!slot || l.lastUse < slot->lastUse)
-            slot = &l;
     }
 
     if (mesiValid(slot->state)) {

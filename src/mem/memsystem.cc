@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/intmath.h"
 #include "common/logging.h"
 
 namespace cdpc
@@ -16,9 +17,12 @@ MemorySystem::MemorySystem(const MachineConfig &config, VirtualMemory &vm)
     cfg.validate();
     fatalIf(cfg.numCpus > kMaxCpus, "at most ", kMaxCpus,
             " CPUs supported, got ", cfg.numCpus);
+    lineShift = floorLog2(cfg.l2.lineBytes);
+    pageMask = cfg.pageBytes - 1;
     ports.reserve(cfg.numCpus);
     for (std::uint32_t i = 0; i < cfg.numCpus; i++)
         ports.push_back(std::make_unique<Port>(cfg));
+    sharing.reserve(cfg.l2.numLines() * cfg.numCpus);
 }
 
 AccessOutcome
@@ -41,21 +45,42 @@ MemorySystem::access(CpuId cpu, const MemAccess &acc, Cycles now)
     }
 
     // --- TLB and translation ------------------------------------------
+    // Fast path: the per-CPU micro-cache memoizes vpn -> (page base,
+    // TLB slot). A usable entry means a guaranteed TLB hit on a
+    // mapped, unmoved page, so the whole leg collapses to one array
+    // probe, one TLB-slot revalidation and the same stat updates the
+    // slow path would make — zero hash lookups, no fault possible.
     PageNum vpn = vm.vpnOf(acc.va);
-    if (!p.tlb.access(vpn)) {
-        out.tlbMiss = true;
-        p.stats.tlbMisses++;
-        out.kernel += cfg.tlbMissCycles;
-    }
-    Translation tr = vm.translate(acc.va, cpu, acc.concurrentFaults);
-    if (tr.faulted) {
-        out.pageFault = true;
-        p.stats.pageFaults++;
-        out.kernel += cfg.pageFaultCycles;
+    PAddr pa;
+    TransEntry &te = p.tcache[vpn & (kTransCacheEntries - 1)];
+    if (te.vpn == vpn && te.gen == vm.generation() &&
+        p.tlb.hitAt(te.tlbSlot, vpn)) {
+        vm.noteMemoizedTranslation();
+        pa = te.paBase | (acc.va & pageMask);
+    } else {
+        std::uint32_t tlb_slot = 0;
+        if (!p.tlb.access(vpn, &tlb_slot)) {
+            out.tlbMiss = true;
+            p.stats.tlbMisses++;
+            out.kernel += cfg.tlbMissCycles;
+        }
+        Translation tr = vm.translate(acc.va, cpu, acc.concurrentFaults);
+        if (tr.faulted) {
+            out.pageFault = true;
+            p.stats.pageFaults++;
+            out.kernel += cfg.pageFaultCycles;
+        }
+        pa = tr.pa;
+        // Memoize after translate(): a fault may steal/recolor pages
+        // (bumping the generation), and the returned pa reflects it.
+        te.vpn = vpn;
+        te.paBase = pa & ~pageMask;
+        te.tlbSlot = tlb_slot;
+        te.gen = vm.generation();
     }
     p.stats.kernelStall += out.kernel;
     Cycles t = now + out.kernel;
-    Addr line = lineOf(tr.pa);
+    Addr line = lineOf(pa);
 
     // --- On-chip cache (virtually indexed, physically tagged) ---------
     bool is_write = acc.kind == AccessKind::Store;
@@ -106,7 +131,7 @@ MemorySystem::access(CpuId cpu, const MemAccess &acc, Cycles now)
             p.l1Residence.erase(victim.lineAddr);
             if (victim.dirty) {
                 // Write the dirty data down into the (inclusive) L2.
-                Addr vic_idx = victim.lineAddr * cfg.l2.lineBytes;
+                Addr vic_idx = victim.lineAddr << lineShift;
                 CacheLine *l2v = p.l2.probe(vic_idx, victim.lineAddr);
                 panicIfNot(l2v != nullptr,
                            "inclusion violated: dirty L1 victim absent "
@@ -114,14 +139,14 @@ MemorySystem::access(CpuId cpu, const MemAccess &acc, Cycles now)
                 l2v->state = Mesi::Modified;
             }
         }
-        p.l1Residence[line] = acc.va;
+        p.l1Residence.insertOrAssign(line, acc.va);
     }
 
     out.stall = out.kernel + r.latency;
 
     // Dynamic-policy hook: conflict misses may trigger a recoloring
     // whose kernel cost lands on this access.
-    if (conflictObserver && r.miss && r.kind == MissKind::Conflict) {
+    if (hasConflictObserver && r.miss && r.kind == MissKind::Conflict) {
         Cycles extra =
             conflictObserver(cpu, vpn, now + out.stall);
         out.kernel += extra;
@@ -135,6 +160,7 @@ void
 MemorySystem::setConflictObserver(ConflictObserver obs)
 {
     conflictObserver = std::move(obs);
+    hasConflictObserver = static_cast<bool>(conflictObserver);
 }
 
 void
@@ -143,13 +169,13 @@ MemorySystem::purgePage(VAddr va)
     auto pa = vm.translateIfMapped(va);
     if (!pa)
         return;
-    Addr first_line = *pa / cfg.l2.lineBytes;
+    Addr first_line = *pa >> lineShift;
     std::uint64_t lines = cfg.linesPerPage();
     PageNum vpn = vm.vpnOf(va);
 
     for (std::uint64_t i = 0; i < lines; i++) {
         Addr line = first_line + i;
-        Addr idx = line * cfg.l2.lineBytes;
+        Addr idx = line << lineShift;
         for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
             Port &p = *ports[q];
             if (CacheLine *l = p.l2.probe(idx, line)) {
@@ -162,8 +188,17 @@ MemorySystem::purgePage(VAddr va)
         }
         sharing.erase(line);
     }
-    for (std::uint32_t q = 0; q < cfg.numCpus; q++)
-        ports[q]->tlb.invalidate(vpn);
+    // Shoot the page down from every TLB and drop the memoized
+    // translation with it (the caller is about to change or retire
+    // the mapping; generation tagging would catch a remap anyway,
+    // but purge-without-remap must also kill the TLB-resident bit).
+    for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+        Port &p = *ports[q];
+        p.tlb.invalidate(vpn);
+        TransEntry &te = p.tcache[vpn & (kTransCacheEntries - 1)];
+        if (te.vpn == vpn)
+            te.vpn = ~PageNum{0};
+    }
 }
 
 MemorySystem::L2Result
@@ -172,7 +207,7 @@ MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
                        bool is_prefetch)
 {
     Port &p = *ports[cpu];
-    Addr idx = line * cfg.l2.lineBytes;
+    Addr idx = line << lineShift;
     L2Result r;
 
     CacheLine *l2l = p.l2.access(idx, line);
@@ -188,16 +223,16 @@ MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
         r.hit = true;
         // Was this line brought in by a prefetch that is still in
         // flight? If so the demand reference waits out the remainder.
-        auto pf = p.prefetches.find(line);
-        if (pf != p.prefetches.end() && !is_prefetch) {
+        Cycles *pf = p.prefetches.find(line);
+        if (pf && !is_prefetch) {
             p.stats.prefetchesUseful++;
-            if (pf->second > now) {
-                Cycles wait = pf->second - now;
+            if (*pf > now) {
+                Cycles wait = *pf - now;
                 r.latency += wait;
                 p.stats.prefetchLateStall += wait;
                 now += wait;
             }
-            p.prefetches.erase(pf);
+            p.prefetches.erase(line);
         }
 
         if (is_write && l2l->state == Mesi::Shared) {
@@ -250,10 +285,8 @@ MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
             if (rl->state == Mesi::Modified) {
                 dirty_owner = q;
             } else if (rl->state == Mesi::Exclusive) {
-                auto res = ports[q]->l1Residence.find(line);
-                if (res != ports[q]->l1Residence.end()) {
-                    CacheLine *c =
-                        ports[q]->l1d.probe(res->second, line);
+                if (const Addr *res = ports[q]->l1Residence.find(line)) {
+                    CacheLine *c = ports[q]->l1d.probe(*res, line);
                     if (c && c->dirty) {
                         rl->state = Mesi::Modified;
                         dirty_owner = q;
@@ -279,14 +312,13 @@ MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
             CacheLine *ol = ports[dirty_owner]->l2.probe(idx, line);
             ol->state = Mesi::Shared;
             // The owner's L1 copy loses write permission too.
-            auto res = ports[dirty_owner]->l1Residence.find(line);
-            if (res != ports[dirty_owner]->l1Residence.end()) {
+            if (const Addr *res =
+                    ports[dirty_owner]->l1Residence.find(line)) {
                 Port &op = *ports[dirty_owner];
-                if (CacheLine *c = op.l1d.probe(res->second, line)) {
+                if (CacheLine *c = op.l1d.probe(*res, line)) {
                     c->state = Mesi::Shared;
                     c->dirty = false;
-                } else if (CacheLine *c2 = op.l1i.probe(res->second,
-                                                        line)) {
+                } else if (CacheLine *c2 = op.l1i.probe(*res, line)) {
                     c2->state = Mesi::Shared;
                     c2->dirty = false;
                 }
@@ -331,19 +363,29 @@ MemorySystem::prefetch(CpuId cpu, VAddr va, Cycles now)
     p.stats.prefetchesIssued++;
 
     // R10000 semantics: prefetches for pages not mapped in the TLB are
-    // dropped and do not cause exceptions (Section 6.2).
+    // dropped and do not cause exceptions (Section 6.2). The micro-
+    // cache answers the common resident case without hashing; neither
+    // probe updates TLB stats or LRU (contains() never did).
     PageNum vpn = vm.vpnOf(va);
-    if (!p.tlb.contains(vpn)) {
-        p.stats.prefetchesDropped++;
-        return 0;
+    PAddr pa;
+    const TransEntry &te = p.tcache[vpn & (kTransCacheEntries - 1)];
+    if (te.vpn == vpn && te.gen == vm.generation() &&
+        p.tlb.residentAt(te.tlbSlot, vpn)) {
+        pa = te.paBase | (va & pageMask);
+    } else {
+        if (!p.tlb.contains(vpn)) {
+            p.stats.prefetchesDropped++;
+            return 0;
+        }
+        auto mapped = vm.translateIfMapped(va);
+        if (!mapped) {
+            p.stats.prefetchesDropped++;
+            return 0;
+        }
+        pa = *mapped;
     }
-    auto pa = vm.translateIfMapped(va);
-    if (!pa) {
-        p.stats.prefetchesDropped++;
-        return 0;
-    }
-    Addr line = lineOf(*pa);
-    Addr idx = line * cfg.l2.lineBytes;
+    Addr line = lineOf(pa);
+    Addr idx = line << lineShift;
 
     if (p.l2.probe(idx, line) || p.prefetches.contains(line))
         return 0; // already present or already in flight
@@ -353,13 +395,13 @@ MemorySystem::prefetch(CpuId cpu, VAddr va, Cycles now)
     Cycles stall = 0;
     std::uint32_t in_flight = 0;
     Cycles earliest = 0;
-    for (const auto &[l, ready] : p.prefetches) {
+    p.prefetches.forEach([&](Addr, Cycles ready) {
         if (ready > now) {
             in_flight++;
             if (in_flight == 1 || ready < earliest)
                 earliest = ready;
         }
-    }
+    });
     if (in_flight >= cfg.maxOutstandingPrefetches) {
         stall = earliest - now;
         p.stats.prefetchFullStall += stall;
@@ -367,17 +409,13 @@ MemorySystem::prefetch(CpuId cpu, VAddr va, Cycles now)
     }
 
     L2Result r = l2Access(cpu, line, false, 0, now, true);
-    p.prefetches[line] = now + r.latency;
+    p.prefetches.insertOrAssign(line, now + r.latency);
 
     // Keep the completion map from growing without bound when
     // prefetched lines are never demanded.
     if (p.prefetches.size() > 4096) {
-        for (auto it = p.prefetches.begin(); it != p.prefetches.end();) {
-            if (it->second <= now)
-                it = p.prefetches.erase(it);
-            else
-                ++it;
-        }
+        p.prefetches.eraseIf(
+            [&](Addr, Cycles ready) { return ready <= now; });
     }
     return stall;
 }
@@ -387,7 +425,7 @@ MemorySystem::invalidateOthers(CpuId writer, Addr line,
                                std::uint32_t word_mask, Cycles now)
 {
     (void)now;
-    Addr idx = line * cfg.l2.lineBytes;
+    Addr idx = line << lineShift;
     bool any = false;
     for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
         if (q == writer)
@@ -431,12 +469,13 @@ void
 MemorySystem::backInvalidateL1(CpuId cpu, Addr line)
 {
     Port &p = *ports[cpu];
-    auto it = p.l1Residence.find(line);
-    if (it == p.l1Residence.end())
+    const Addr *res = p.l1Residence.find(line);
+    if (!res)
         return;
-    if (!p.l1d.invalidate(it->second, line))
-        p.l1i.invalidate(it->second, line);
-    p.l1Residence.erase(it);
+    Addr index_addr = *res;
+    if (!p.l1d.invalidate(index_addr, line))
+        p.l1i.invalidate(index_addr, line);
+    p.l1Residence.erase(line);
 }
 
 MissKind
@@ -519,12 +558,12 @@ MemorySystem::auditInvariants() const
         // lines.
         auto audit_l1 = [&](const Cache &l1, const char *which) {
             l1.forEachValid([&](const CacheLine &l) {
-                auto res = p.l1Residence.find(l.lineAddr);
-                panicIfNot(res != p.l1Residence.end(),
+                const Addr *res = p.l1Residence.find(l.lineAddr);
+                panicIfNot(res != nullptr,
                            "audit: ", which, " line ", l.lineAddr,
                            " on cpu ", q, " missing from residence");
                 const CacheLine *l2l = p.l2.probe(
-                    l.lineAddr * cfg.l2.lineBytes, l.lineAddr);
+                    l.lineAddr << lineShift, l.lineAddr);
                 panicIfNot(l2l != nullptr, "audit: inclusion violated "
                            "for line ", l.lineAddr, " on cpu ", q);
                 if (l.dirty) {
@@ -567,6 +606,7 @@ MemorySystem::reset()
         p->cold.reset();
         p->l1Residence.clear();
         p->prefetches.clear();
+        std::fill(p->tcache.begin(), p->tcache.end(), TransEntry{});
         p->stats = CpuMemStats{};
     }
     bus.reset();

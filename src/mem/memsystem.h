@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/types.h"
 #include "machine/config.h"
 #include "mem/bus.h"
@@ -218,11 +219,33 @@ class MemorySystem
         std::array<std::uint32_t, kMaxCpus> writtenSince{};
     };
 
+    /**
+     * One entry of the per-CPU translation micro-cache: a memoized
+     * vpn -> (physical page base, TLB slot) pair. The entry is
+     * usable when (a) vpn matches, (b) gen matches the VM's mapping
+     * generation (no remap/steal/unmap since memoization), and
+     * (c) the TLB slot still holds vpn (so TLB hit/LRU/stat
+     * behaviour is identical to the slow path). The common case
+     * then performs zero hash lookups.
+     */
+    struct TransEntry
+    {
+        PageNum vpn = ~PageNum{0};
+        PAddr paBase = 0;
+        std::uint64_t gen = 0;
+        std::uint32_t tlbSlot = 0;
+    };
+
+    /** Translation micro-cache entries per CPU (power of two). */
+    static constexpr std::uint32_t kTransCacheEntries = 2048;
+
     struct Port
     {
         Port(const MachineConfig &c)
             : l1d(c.l1d), l1i(c.l1i), l2(c.l2), tlb(c.tlbEntries),
-              shadow(c.l2.numLines())
+              shadow(c.l2.numLines()),
+              l1Residence(c.l1d.numLines() + c.l1i.numLines()),
+              prefetches(1024), tcache(kTransCacheEntries)
         {}
 
         Cache l1d;
@@ -232,9 +255,11 @@ class MemorySystem
         LruShadow shadow;
         ColdTracker cold;
         /** phys line -> virtual index addr of its L1 residence. */
-        std::unordered_map<Addr, Addr> l1Residence;
+        FlatHashMap<Addr> l1Residence;
         /** phys line -> completion time of an issued prefetch. */
-        std::unordered_map<Addr, Cycles> prefetches;
+        FlatHashMap<Cycles> prefetches;
+        /** Direct-mapped translation micro-cache, indexed by vpn. */
+        std::vector<TransEntry> tcache;
         CpuMemStats stats;
     };
 
@@ -253,11 +278,18 @@ class MemorySystem
     VirtualMemory &vm;
     Bus bus;
     ConflictObserver conflictObserver;
+    /** Cached conflictObserver null-check, off the miss path. */
+    bool hasConflictObserver = false;
     std::vector<std::unique_ptr<Port>> ports;
     /** Per-line invalidation history for sharing classification. */
     std::unordered_map<Addr, SharingInfo> sharing;
 
-    Addr lineOf(PAddr pa) const { return pa / cfg.l2.lineBytes; }
+    /** log2(l2 line bytes); line sizes are validated powers of two. */
+    unsigned lineShift = 0;
+    /** pageBytes - 1; page sizes are validated powers of two. */
+    Addr pageMask = 0;
+
+    Addr lineOf(PAddr pa) const { return pa >> lineShift; }
 
     /** External-cache access including coherence and the bus. */
     L2Result l2Access(CpuId cpu, Addr line, bool is_write,

@@ -26,40 +26,79 @@ missKindName(MissKind k)
 }
 
 LruShadow::LruShadow(std::uint64_t capacity_lines)
-    : capacityLines(capacity_lines)
+    : capacityLines(capacity_lines),
+      slots(static_cast<std::size_t>(capacity_lines)),
+      index(static_cast<std::size_t>(capacity_lines))
 {
     fatalIf(capacity_lines == 0, "LruShadow needs nonzero capacity");
-    map.reserve(capacity_lines * 2);
+}
+
+void
+LruShadow::unlink(std::uint32_t s)
+{
+    Slot &e = slots[s];
+    if (e.prev != kNil)
+        slots[e.prev].next = e.next;
+    else
+        head = e.next;
+    if (e.next != kNil)
+        slots[e.next].prev = e.prev;
+    else
+        tail = e.prev;
+}
+
+void
+LruShadow::pushFront(std::uint32_t s)
+{
+    Slot &e = slots[s];
+    e.prev = kNil;
+    e.next = head;
+    if (head != kNil)
+        slots[head].prev = s;
+    head = s;
+    if (tail == kNil)
+        tail = s;
 }
 
 bool
 LruShadow::accessAndUpdate(Addr line)
 {
-    auto it = map.find(line);
-    if (it != map.end()) {
-        lru.splice(lru.begin(), lru, it->second);
+    if (std::uint32_t *s = index.find(line)) {
+        if (*s != head) {
+            unlink(*s);
+            pushFront(*s);
+        }
         return true;
     }
-    if (map.size() >= capacityLines) {
-        map.erase(lru.back());
-        lru.pop_back();
+
+    std::uint32_t s;
+    if (used < capacityLines) {
+        s = used++;
+    } else {
+        // Evict true-LRU: recycle the tail slot.
+        s = tail;
+        index.erase(slots[s].line);
+        unlink(s);
     }
-    lru.push_front(line);
-    map[line] = lru.begin();
+    slots[s].line = line;
+    pushFront(s);
+    index.insertOrAssign(line, s);
     return false;
 }
 
 bool
 LruShadow::contains(Addr line) const
 {
-    return map.contains(line);
+    return index.contains(line);
 }
 
 void
 LruShadow::reset()
 {
-    lru.clear();
-    map.clear();
+    index.clear();
+    used = 0;
+    head = kNil;
+    tail = kNil;
 }
 
 } // namespace cdpc

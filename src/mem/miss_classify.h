@@ -20,16 +20,22 @@
  *    line this CPU lost to an invalidation is true sharing when the
  *    words now accessed intersect the words written by the
  *    invalidating writer, and false sharing otherwise.
+ *
+ * LruShadow runs on every demand access to the external cache, so it
+ * is built flat: a fixed slot pool threaded into an intrusive LRU
+ * list by slot indexes, with a flat open-addressing index mapping
+ * line -> slot. Same true-LRU semantics as the previous
+ * list+unordered_map version (see tests/test_fastpath_equiv.cc), no
+ * per-access allocation.
  */
 
 #ifndef CDPC_MEM_MISS_CLASSIFY_H
 #define CDPC_MEM_MISS_CLASSIFY_H
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "common/flat_hash.h"
 #include "common/types.h"
 
 namespace cdpc
@@ -70,12 +76,29 @@ class LruShadow
     void reset();
 
     std::uint64_t capacity() const { return capacityLines; }
-    std::size_t size() const { return map.size(); }
+    std::size_t size() const { return index.size(); }
 
   private:
+    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+    /** One slot of the intrusive LRU list. */
+    struct Slot
+    {
+        Addr line = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    void unlink(std::uint32_t s);
+    void pushFront(std::uint32_t s);
+
     std::uint64_t capacityLines;
-    std::list<Addr> lru;
-    std::unordered_map<Addr, std::list<Addr>::iterator> map;
+    std::vector<Slot> slots;
+    /** Slots [used, capacity) have never held a line. */
+    std::uint32_t used = 0;
+    std::uint32_t head = kNil; ///< most recently used
+    std::uint32_t tail = kNil; ///< least recently used
+    FlatHashMap<std::uint32_t> index; ///< line -> slot
 };
 
 /**
@@ -85,18 +108,20 @@ class LruShadow
 class ColdTracker
 {
   public:
+    ColdTracker() : seen(4096) {}
+
     /** @return true when @p line was seen before (and record it). */
     bool
     seenBefore(Addr line)
     {
-        return !seen.insert(line).second;
+        return !seen.insert(line);
     }
 
     void reset() { seen.clear(); }
     std::size_t linesSeen() const { return seen.size(); }
 
   private:
-    std::unordered_set<Addr> seen;
+    FlatHashSet seen;
 };
 
 } // namespace cdpc

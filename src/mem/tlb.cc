@@ -5,53 +5,106 @@
 namespace cdpc
 {
 
-Tlb::Tlb(std::uint32_t entries) : entries(entries)
+Tlb::Tlb(std::uint32_t entries)
+    : entries(entries), slots(entries), index(entries)
 {
     fatalIf(entries == 0, "TLB needs at least one entry");
-    map.reserve(entries * 2);
+}
+
+void
+Tlb::unlink(std::uint32_t s)
+{
+    Slot &e = slots[s];
+    if (e.prev != kNil)
+        slots[e.prev].next = e.next;
+    else
+        head = e.next;
+    if (e.next != kNil)
+        slots[e.next].prev = e.prev;
+    else
+        tail = e.prev;
+}
+
+void
+Tlb::pushFront(std::uint32_t s)
+{
+    Slot &e = slots[s];
+    e.prev = kNil;
+    e.next = head;
+    if (head != kNil)
+        slots[head].prev = s;
+    head = s;
+    if (tail == kNil)
+        tail = s;
 }
 
 bool
-Tlb::access(PageNum vpn)
+Tlb::access(PageNum vpn, std::uint32_t *slot_out)
 {
     stats_.accesses++;
-    auto it = map.find(vpn);
-    if (it != map.end()) {
-        lru.splice(lru.begin(), lru, it->second);
+    if (std::uint32_t *s = index.find(vpn)) {
+        if (*s != head) {
+            unlink(*s);
+            pushFront(*s);
+        }
+        if (slot_out)
+            *slot_out = *s;
         return true;
     }
+
     stats_.misses++;
-    if (map.size() >= entries) {
-        map.erase(lru.back());
-        lru.pop_back();
+    std::uint32_t s;
+    if (freeHead != kNil) {
+        s = freeHead;
+        freeHead = slots[s].next;
+    } else if (used < entries) {
+        s = used++;
+    } else {
+        // Evict true-LRU: recycle the tail slot.
+        s = tail;
+        index.erase(slots[s].vpn);
+        unlink(s);
     }
-    lru.push_front(vpn);
-    map[vpn] = lru.begin();
+    slots[s].vpn = vpn;
+    slots[s].valid = true;
+    pushFront(s);
+    index.insertOrAssign(vpn, s);
+    if (slot_out)
+        *slot_out = s;
     return false;
 }
 
 bool
 Tlb::contains(PageNum vpn) const
 {
-    return map.contains(vpn);
+    return index.contains(vpn);
 }
 
 bool
 Tlb::invalidate(PageNum vpn)
 {
-    auto it = map.find(vpn);
-    if (it == map.end())
+    std::uint32_t *s = index.find(vpn);
+    if (!s)
         return false;
-    lru.erase(it->second);
-    map.erase(it);
+    std::uint32_t slot = *s;
+    index.erase(vpn);
+    unlink(slot);
+    slots[slot].valid = false;
+    slots[slot].next = freeHead;
+    freeHead = slot;
     return true;
 }
 
 void
 Tlb::flush()
 {
-    lru.clear();
-    map.clear();
+    for (Slot &e : slots)
+        e.valid = false;
+    index.clear();
+    used = 0;
+    head = kNil;
+    tail = kNil;
+    freeHead = kNil;
 }
 
 } // namespace cdpc

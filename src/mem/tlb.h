@@ -8,15 +8,27 @@
  * prefetches whose page is not mapped in the TLB — which is why
  * prefetching is ineffective for applu's large-stride accesses
  * (Section 6.2).
+ *
+ * The implementation is a fixed flat slot pool threaded into an
+ * intrusive LRU list by slot index, with a flat open-addressing
+ * index (vpn -> slot) for lookups: hits and refills are both O(1)
+ * with no allocation, and the true-LRU policy is identical to the
+ * previous list+unordered_map implementation (the equivalence suite
+ * in tests/test_fastpath_equiv.cc checks them against each other on
+ * randomized access/invalidate streams).
+ *
+ * Entries are addressed by slot so MemorySystem's translation
+ * micro-cache can revalidate a memoized (vpn -> slot) pair with one
+ * array read instead of any hash lookup (hitAt/residentAt).
  */
 
 #ifndef CDPC_MEM_TLB_H
 #define CDPC_MEM_TLB_H
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_hash.h"
 #include "common/types.h"
 
 namespace cdpc
@@ -43,10 +55,41 @@ class Tlb
 
     /**
      * Access the TLB for @p vpn; on a miss the entry is refilled
-     * (evicting LRU).
+     * (evicting true-LRU).
+     * @param[out] slot_out when non-null, receives the slot now
+     *             holding @p vpn (hit or refill) — the handle the
+     *             translation micro-cache memoizes.
      * @return true on hit, false on miss.
      */
-    bool access(PageNum vpn);
+    bool access(PageNum vpn, std::uint32_t *slot_out = nullptr);
+
+    /**
+     * Fast-path revalidation: when slot @p slot still holds @p vpn,
+     * count the access, touch LRU and return true; otherwise return
+     * false WITHOUT counting (the caller then runs the full
+     * access()). Equivalent to access() when it returns true.
+     */
+    bool
+    hitAt(std::uint32_t slot, PageNum vpn)
+    {
+        Slot &e = slots[slot];
+        if (!e.valid || e.vpn != vpn)
+            return false;
+        stats_.accesses++;
+        if (slot != head) {
+            unlink(slot);
+            pushFront(slot);
+        }
+        return true;
+    }
+
+    /** Stat-free presence probe of one slot (prefetch fast path). */
+    bool
+    residentAt(std::uint32_t slot, PageNum vpn) const
+    {
+        const Slot &e = slots[slot];
+        return e.valid && e.vpn == vpn;
+    }
 
     /** Check for presence without refilling or updating LRU. */
     bool contains(PageNum vpn) const;
@@ -58,14 +101,32 @@ class Tlb
     void flush();
 
     std::uint32_t capacity() const { return entries; }
-    std::size_t size() const { return map.size(); }
+    std::size_t size() const { return index.size(); }
     const TlbStats &stats() const { return stats_; }
 
   private:
+    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+    /** One TLB entry threaded into the intrusive LRU list. */
+    struct Slot
+    {
+        PageNum vpn = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+        bool valid = false;
+    };
+
+    void unlink(std::uint32_t s);
+    void pushFront(std::uint32_t s);
+
     std::uint32_t entries;
-    /** LRU order: front = most recent. */
-    std::list<PageNum> lru;
-    std::unordered_map<PageNum, std::list<PageNum>::iterator> map;
+    std::vector<Slot> slots;
+    /** Slots [used, entries) have never been filled. */
+    std::uint32_t used = 0;
+    std::uint32_t head = kNil; ///< most recently used
+    std::uint32_t tail = kNil; ///< least recently used
+    std::uint32_t freeHead = kNil; ///< chain of invalidated slots
+    FlatHashMap<std::uint32_t> index; ///< vpn -> slot
     TlbStats stats_;
 };
 

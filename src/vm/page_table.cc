@@ -1,0 +1,127 @@
+#include "vm/page_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cdpc
+{
+
+std::size_t
+PageTable::upperBound(PageNum vpn) const
+{
+    auto it = std::upper_bound(
+        segs.begin(), segs.end(), vpn,
+        [](PageNum v, const Segment &s) { return v < s.base; });
+    return static_cast<std::size_t>(it - segs.begin());
+}
+
+PageNum
+PageTable::lookupSlow(PageNum vpn) const
+{
+    std::size_t ub = upperBound(vpn);
+    if (ub == 0)
+        return kUnmapped;
+    const Segment &s = segs[ub - 1];
+    if (vpn - s.base >= s.ppns.size())
+        return kUnmapped;
+    lastSeg = ub - 1;
+    return s.ppns[vpn - s.base];
+}
+
+PageNum *
+PageTable::slotOf(PageNum vpn)
+{
+    std::size_t ub = upperBound(vpn);
+    if (ub == 0)
+        return nullptr;
+    Segment &s = segs[ub - 1];
+    if (vpn - s.base >= s.ppns.size() || s.ppns[vpn - s.base] == kUnmapped)
+        return nullptr;
+    return &s.ppns[vpn - s.base];
+}
+
+void
+PageTable::mergeForward(std::size_t i)
+{
+    while (i + 1 < segs.size()) {
+        Segment &a = segs[i];
+        const Segment &b = segs[i + 1];
+        PageNum a_end = a.base + a.ppns.size();
+        if (a_end < b.base)
+            break;
+        panicIfNot(a_end == b.base,
+                   "page table segments overlap at vpn ", b.base);
+        a.ppns.insert(a.ppns.end(), b.ppns.begin(), b.ppns.end());
+        segs.erase(segs.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    }
+    lastSeg = i;
+}
+
+void
+PageTable::insert(PageNum vpn, PageNum ppn)
+{
+    panicIfNot(ppn != kUnmapped, "mapping to the unmapped sentinel");
+    std::size_t ub = upperBound(vpn);
+
+    // Inside or shortly after the preceding segment?
+    if (ub > 0) {
+        Segment &p = segs[ub - 1];
+        PageNum off = vpn - p.base;
+        if (off < p.ppns.size()) {
+            panicIfNot(p.ppns[off] == kUnmapped,
+                       "double-mapping vpn ", vpn);
+            p.ppns[off] = ppn;
+            mapped_++;
+            lastSeg = ub - 1;
+            return;
+        }
+        if (off - p.ppns.size() < kMaxGap) {
+            p.ppns.resize(off + 1, kUnmapped);
+            p.ppns[off] = ppn;
+            mapped_++;
+            mergeForward(ub - 1);
+            return;
+        }
+    }
+
+    // Shortly before the following segment? Grow it backward, with
+    // extra front slack so descending fault order stays linear.
+    if (ub < segs.size() && segs[ub].base - vpn <= kMaxGap) {
+        Segment &n = segs[ub];
+        PageNum room = n.base; // distance to vpn 0
+        if (ub > 0)
+            room = n.base - (segs[ub - 1].base + segs[ub - 1].ppns.size());
+        PageNum need = n.base - vpn;
+        PageNum slack = std::min<PageNum>(
+            room, need + std::min<PageNum>(n.ppns.size(), 4096));
+        n.ppns.insert(n.ppns.begin(), slack, kUnmapped);
+        n.base -= slack;
+        n.ppns[vpn - n.base] = ppn;
+        mapped_++;
+        if (ub > 0)
+            mergeForward(ub - 1);
+        else
+            lastSeg = ub;
+        return;
+    }
+
+    // A genuinely new range.
+    Segment s;
+    s.base = vpn;
+    s.ppns.push_back(ppn);
+    segs.insert(segs.begin() + static_cast<std::ptrdiff_t>(ub),
+                std::move(s));
+    mapped_++;
+    lastSeg = ub;
+}
+
+void
+PageTable::clear()
+{
+    segs.clear();
+    mapped_ = 0;
+    lastSeg = 0;
+}
+
+} // namespace cdpc

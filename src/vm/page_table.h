@@ -1,0 +1,115 @@
+/**
+ * @file
+ * PageTable: a segment-aware dense page table.
+ *
+ * Workload address spaces in this reproduction are a handful of
+ * contiguous ranges (a text segment and one data segment of
+ * line-packed arrays — see ir/layout.h), so the vpn -> ppn map is
+ * stored as a short sorted list of dense segments, each a
+ * std::vector indexed by (vpn - base), instead of an unordered_map.
+ * A translation is then: one (cached) segment range check plus one
+ * vector load — no hashing, no node chasing — which is what the
+ * per-reference fast path in MemorySystem leans on.
+ *
+ * Faulting a vpn near an existing segment extends it (up to a gap
+ * threshold, holes filled with kUnmapped); a distant vpn starts a
+ * new segment; segments that grow into each other merge. Backward
+ * growth keeps amortized-constant front slack so descending-order
+ * fault patterns do not go quadratic.
+ */
+
+#ifndef CDPC_VM_PAGE_TABLE_H
+#define CDPC_VM_PAGE_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** Sorted-segment dense map from virtual to physical page numbers. */
+class PageTable
+{
+  public:
+    /** Sentinel for "no mapping". */
+    static constexpr PageNum kUnmapped = ~PageNum{0};
+
+    /** Largest hole (in pages) bridged by extending a segment. */
+    static constexpr PageNum kMaxGap = 256;
+
+    /** @return the ppn mapped at @p vpn, or kUnmapped. */
+    PageNum
+    lookup(PageNum vpn) const
+    {
+        // The last-hit segment catches nearly every translation: the
+        // simulated loops walk one or two ranges at a time.
+        if (lastSeg < segs.size()) {
+            const Segment &s = segs[lastSeg];
+            if (vpn >= s.base && vpn - s.base < s.ppns.size())
+                return s.ppns[vpn - s.base];
+        }
+        return lookupSlow(vpn);
+    }
+
+    bool mapped(PageNum vpn) const { return lookup(vpn) != kUnmapped; }
+
+    /**
+     * @return pointer to the mapping slot for @p vpn (for remap), or
+     *         nullptr when unmapped.
+     */
+    PageNum *slotOf(PageNum vpn);
+
+    /**
+     * Map @p vpn to @p ppn. @p vpn must currently be unmapped (the
+     * fault handler only inserts after a failed lookup).
+     */
+    void insert(PageNum vpn, PageNum ppn);
+
+    /** Number of live mappings. */
+    std::uint64_t size() const { return mapped_; }
+
+    /** Number of dense segments (observability/tests). */
+    std::size_t segmentCount() const { return segs.size(); }
+
+    /** Visit every mapping in ascending vpn order; fn(vpn, ppn). */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (const Segment &s : segs) {
+            for (std::size_t i = 0; i < s.ppns.size(); i++) {
+                if (s.ppns[i] != kUnmapped)
+                    fn(s.base + i, s.ppns[i]);
+            }
+        }
+    }
+
+    /** Drop every mapping. */
+    void clear();
+
+  private:
+    struct Segment
+    {
+        PageNum base = 0;            ///< vpn of ppns[0]
+        std::vector<PageNum> ppns;   ///< kUnmapped marks holes
+    };
+
+    PageNum lookupSlow(PageNum vpn) const;
+
+    /** Index of the first segment with base > vpn. */
+    std::size_t upperBound(PageNum vpn) const;
+
+    /** Merge segs[i] with segs[i+1] when they touch or overlap-gap. */
+    void mergeForward(std::size_t i);
+
+    std::vector<Segment> segs; ///< sorted by base, disjoint
+    std::uint64_t mapped_ = 0;
+    mutable std::size_t lastSeg = 0;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_VM_PAGE_TABLE_H

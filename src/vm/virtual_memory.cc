@@ -1,5 +1,6 @@
 #include "vm/virtual_memory.h"
 
+#include "common/intmath.h"
 #include "common/logging.h"
 
 namespace cdpc
@@ -9,8 +10,11 @@ VirtualMemory::VirtualMemory(const MachineConfig &config, PhysMem &phys,
                              PageMappingPolicy &policy,
                              ColorFallbackPolicy *fallback)
     : phys(phys), policy_(policy), fallback_(fallback),
-      pageSize(config.pageBytes)
+      pageSize(config.pageBytes),
+      pageShift(floorLog2(config.pageBytes))
 {
+    fatalIf(!isPowerOf2(config.pageBytes),
+            "page size must be a power of two");
     fatalIf(phys.numColors() != config.numColors(),
             "PhysMem colors (", phys.numColors(),
             ") disagree with machine config (", config.numColors(), ")");
@@ -74,30 +78,29 @@ VirtualMemory::translate(VAddr va, CpuId cpu,
                          std::uint32_t concurrent_faults)
 {
     stats_.translations++;
-    PageNum vpn = va / pageSize;
-    auto it = pageTable.find(vpn);
-    if (it == pageTable.end()) {
+    PageNum vpn = va >> pageShift;
+    PageNum ppn = pageTable.lookup(vpn);
+    if (ppn == PageTable::kUnmapped) {
         FaultContext ctx;
         ctx.vpn = vpn;
         ctx.cpu = cpu;
         ctx.concurrentFaults = concurrent_faults;
         Color preferred = policy_.preferredColor(ctx);
-        PageNum ppn = allocWithFallback(preferred);
-        it = pageTable.emplace(vpn, ppn).first;
+        ppn = allocWithFallback(preferred);
+        pageTable.insert(vpn, ppn);
         stats_.pageFaults++;
-        return {it->second * pageSize + va % pageSize, true};
+        return {(ppn << pageShift) + (va & (pageSize - 1)), true};
     }
-    return {it->second * pageSize + va % pageSize, false};
+    return {(ppn << pageShift) + (va & (pageSize - 1)), false};
 }
 
 std::optional<PAddr>
 VirtualMemory::translateIfMapped(VAddr va) const
 {
-    PageNum vpn = va / pageSize;
-    auto it = pageTable.find(vpn);
-    if (it == pageTable.end())
+    PageNum ppn = pageTable.lookup(va >> pageShift);
+    if (ppn == PageTable::kUnmapped)
         return std::nullopt;
-    return it->second * pageSize + va % pageSize;
+    return (ppn << pageShift) + (va & (pageSize - 1));
 }
 
 void
@@ -109,27 +112,28 @@ VirtualMemory::touch(VAddr va, CpuId cpu)
 bool
 VirtualMemory::isMapped(VAddr va) const
 {
-    return pageTable.contains(va / pageSize);
+    return pageTable.mapped(va >> pageShift);
 }
 
 Color
 VirtualMemory::colorOf(VAddr va) const
 {
-    auto it = pageTable.find(va / pageSize);
-    panicIfNot(it != pageTable.end(),
+    PageNum ppn = pageTable.lookup(va >> pageShift);
+    panicIfNot(ppn != PageTable::kUnmapped,
                "colorOf() on unmapped virtual address ", va);
-    return phys.colorOf(it->second);
+    return phys.colorOf(ppn);
 }
 
 std::optional<Color>
 VirtualMemory::remap(PageNum vpn, Color target)
 {
-    auto it = pageTable.find(vpn);
-    if (it == pageTable.end())
+    PageNum *slot = pageTable.slotOf(vpn);
+    if (!slot)
         return std::nullopt;
-    PageNum old_ppn = it->second;
+    PageNum old_ppn = *slot;
     PageNum new_ppn = phys.alloc(target);
-    it->second = new_ppn;
+    *slot = new_ppn;
+    generation_++;
     phys.free(old_ppn);
     return phys.colorOf(new_ppn);
 }
@@ -148,23 +152,25 @@ VirtualMemory::stealMappedPage(Color color)
         return std::nullopt;
 
     // Victim: the lowest-vpn mapping occupying the wanted color
-    // (lowest, not first-found, to stay hash-order independent).
-    auto victim = pageTable.end();
-    for (auto it = pageTable.begin(); it != pageTable.end(); ++it) {
-        if (phys.colorOf(it->second) != color)
-            continue;
-        if (victim == pageTable.end() || it->first < victim->first)
-            victim = it;
-    }
-    if (victim == pageTable.end()) {
+    // (forEach visits mappings in ascending vpn order).
+    PageNum victim_vpn = PageTable::kUnmapped;
+    pageTable.forEach([&](PageNum vpn, PageNum ppn) {
+        if (victim_vpn == PageTable::kUnmapped &&
+            phys.colorOf(ppn) == color) {
+            victim_vpn = vpn;
+        }
+    });
+    if (victim_vpn == PageTable::kUnmapped) {
         phys.free(*donor);
         return std::nullopt;
     }
 
-    PageNum freed = victim->second;
-    victim->second = *donor;
+    PageNum *slot = pageTable.slotOf(victim_vpn);
+    PageNum freed = *slot;
+    *slot = *donor;
+    generation_++;
     if (remapObserver_)
-        remapObserver_(victim->first);
+        remapObserver_(victim_vpn);
     return freed;
 }
 
@@ -177,9 +183,9 @@ VirtualMemory::setRemapObserver(std::function<void(PageNum)> obs)
 void
 VirtualMemory::unmapAll()
 {
-    for (const auto &[vpn, ppn] : pageTable)
-        phys.free(ppn);
+    pageTable.forEach([&](PageNum, PageNum ppn) { phys.free(ppn); });
     pageTable.clear();
+    generation_++;
 }
 
 } // namespace cdpc

@@ -13,6 +13,15 @@
  * an optional ColorFallbackPolicy then decides what the fault gets
  * instead, and per-fault degradation statistics (hint honored /
  * fallback / reclaimed / stolen) are recorded for the harness.
+ *
+ * The page table is a segment-aware dense PageTable (vm/page_table.h)
+ * rather than a hash map, and every mutation of an *existing*
+ * mapping (remap, steal, unmapAll) bumps a generation counter.
+ * MemorySystem's per-CPU translation micro-cache memoizes
+ * vpn -> physical-page-base tagged with that generation, so a
+ * memoized translation is valid exactly while the generation is
+ * unchanged — new mappings never invalidate other pages'
+ * translations and do not bump it.
  */
 
 #ifndef CDPC_VM_VIRTUAL_MEMORY_H
@@ -21,11 +30,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 
 #include "common/types.h"
 #include "machine/config.h"
 #include "vm/fallback.h"
+#include "vm/page_table.h"
 #include "vm/physmem.h"
 #include "vm/policy.h"
 
@@ -127,8 +136,24 @@ class VirtualMemory
 
     std::uint64_t pageBytes() const { return pageSize; }
     std::uint64_t numColors() const { return phys.numColors(); }
-    PageNum vpnOf(VAddr va) const { return va / pageSize; }
+    PageNum vpnOf(VAddr va) const { return va >> pageShift; }
     std::uint64_t mappedPages() const { return pageTable.size(); }
+
+    /**
+     * Mapping-mutation generation: bumped whenever an existing
+     * vpn -> ppn binding changes or disappears (remap, steal,
+     * unmapAll). A memoized translation made at generation G is
+     * valid exactly while generation() == G.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+    /**
+     * Account one translation served from a caller-side memo (the
+     * MemorySystem micro-cache) so stats stay identical to calling
+     * translate(). Memoized translations are by construction mapped
+     * and fault-free.
+     */
+    void noteMemoizedTranslation() { stats_.translations++; }
 
     const VmStats &stats() const { return stats_; }
     PageMappingPolicy &policy() { return policy_; }
@@ -141,7 +166,9 @@ class VirtualMemory
     ColorFallbackPolicy *fallback_;
     std::function<void(PageNum)> remapObserver_;
     std::uint64_t pageSize;
-    std::unordered_map<PageNum, PageNum> pageTable;
+    unsigned pageShift;
+    PageTable pageTable;
+    std::uint64_t generation_ = 0;
     VmStats stats_;
 };
 

@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Equivalence suite for the flat fast-path data structures.
+ *
+ * The per-reference fast path (flat translation/TLB/residence
+ * structures) re-implemented the TLB, the LruShadow and the page
+ * table on flat arrays. Experiment output must stay bit-identical,
+ * so each flat structure is driven here in lockstep with a
+ * straightforward reference model (the shape of the previous
+ * implementation: std::list LRU + std::unordered_map index) on
+ * randomized streams, asserting identical hit/miss/eviction
+ * behaviour at every step. A final set of tests exercises the
+ * MemorySystem translation micro-cache against purgePage/recolor
+ * interleavings, including auditInvariants() sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "common/flat_hash.h"
+#include "common/random.h"
+#include "machine/config.h"
+#include "mem/memsystem.h"
+#include "mem/miss_classify.h"
+#include "mem/recolor.h"
+#include "mem/tlb.h"
+#include "vm/page_table.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+namespace
+{
+
+/**
+ * Reference true-LRU cache over u64 keys: front of the list is most
+ * recent — the exact structure the old Tlb/LruShadow used.
+ */
+class RefLru
+{
+  public:
+    explicit RefLru(std::size_t capacity) : cap(capacity) {}
+
+    bool
+    accessAndUpdate(std::uint64_t key)
+    {
+        auto it = map.find(key);
+        if (it != map.end()) {
+            lru.splice(lru.begin(), lru, it->second);
+            return true;
+        }
+        if (map.size() >= cap) {
+            map.erase(lru.back());
+            lru.pop_back();
+        }
+        lru.push_front(key);
+        map[key] = lru.begin();
+        return false;
+    }
+
+    bool contains(std::uint64_t key) const { return map.contains(key); }
+
+    bool
+    invalidate(std::uint64_t key)
+    {
+        auto it = map.find(key);
+        if (it == map.end())
+            return false;
+        lru.erase(it->second);
+        map.erase(it);
+        return true;
+    }
+
+    void
+    flush()
+    {
+        lru.clear();
+        map.clear();
+    }
+
+    std::size_t size() const { return map.size(); }
+
+  private:
+    std::size_t cap;
+    std::list<std::uint64_t> lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        map;
+};
+
+// ---- Tlb vs reference --------------------------------------------------
+
+TEST(FastPathEquiv, TlbMatchesReferenceOnRandomStream)
+{
+    constexpr std::uint32_t kEntries = 16;
+    constexpr PageNum kVpnSpace = 64; // 4x capacity: heavy eviction
+    Tlb tlb(kEntries);
+    RefLru ref(kEntries);
+    Rng rng(0xfa570001);
+
+    for (int step = 0; step < 20000; step++) {
+        PageNum vpn = rng.below(kVpnSpace);
+        std::uint64_t op = rng.below(100);
+        if (op < 80) {
+            ASSERT_EQ(tlb.access(vpn), ref.accessAndUpdate(vpn))
+                << "step " << step << " vpn " << vpn;
+        } else if (op < 90) {
+            ASSERT_EQ(tlb.contains(vpn), ref.contains(vpn));
+        } else if (op < 99) {
+            ASSERT_EQ(tlb.invalidate(vpn), ref.invalidate(vpn));
+        } else {
+            tlb.flush();
+            ref.flush();
+        }
+        ASSERT_EQ(tlb.size(), ref.size()) << "step " << step;
+        // Same resident set => same eviction decisions so far.
+        if (step % 97 == 0) {
+            for (PageNum v = 0; v < kVpnSpace; v++)
+                ASSERT_EQ(tlb.contains(v), ref.contains(v))
+                    << "step " << step << " vpn " << v;
+        }
+    }
+}
+
+TEST(FastPathEquiv, TlbHitAtIsEquivalentToAccessOnHit)
+{
+    Tlb fast(8);
+    Tlb slow(8);
+    Rng rng(0xfa570002);
+    // Track the slot each vpn was last installed in for the fast
+    // copy, exactly like the MemorySystem micro-cache does.
+    std::unordered_map<PageNum, std::uint32_t> memo;
+
+    for (int step = 0; step < 20000; step++) {
+        PageNum vpn = rng.below(24);
+        if (rng.below(20) == 0) {
+            fast.invalidate(vpn);
+            slow.invalidate(vpn);
+            continue;
+        }
+        bool slow_hit = slow.access(vpn);
+        auto it = memo.find(vpn);
+        bool fast_hit = it != memo.end() && fast.hitAt(it->second, vpn);
+        if (!fast_hit) {
+            std::uint32_t slot = 0;
+            fast_hit = fast.access(vpn, &slot);
+            memo[vpn] = slot;
+        }
+        ASSERT_EQ(fast_hit, slow_hit) << "step " << step;
+        ASSERT_EQ(fast.stats().accesses, slow.stats().accesses);
+        ASSERT_EQ(fast.stats().misses, slow.stats().misses);
+    }
+}
+
+// ---- LruShadow vs reference --------------------------------------------
+
+TEST(FastPathEquiv, LruShadowMatchesReferenceOnRandomStream)
+{
+    constexpr std::uint64_t kCap = 32;
+    constexpr Addr kLineSpace = 128;
+    LruShadow shadow(kCap);
+    RefLru ref(kCap);
+    Rng rng(0xfa570003);
+
+    for (int step = 0; step < 30000; step++) {
+        // Mix uniform lines with short sequential bursts (the shape
+        // cache fills actually produce).
+        Addr line = rng.below(kLineSpace);
+        std::uint64_t burst = 1 + rng.below(4);
+        for (std::uint64_t b = 0; b < burst; b++) {
+            Addr l = (line + b) % kLineSpace;
+            ASSERT_EQ(shadow.accessAndUpdate(l), ref.accessAndUpdate(l))
+                << "step " << step << " line " << l;
+        }
+        ASSERT_EQ(shadow.size(), ref.size());
+        if (step % 101 == 0) {
+            for (Addr l = 0; l < kLineSpace; l++)
+                ASSERT_EQ(shadow.contains(l), ref.contains(l))
+                    << "step " << step << " line " << l;
+        }
+    }
+}
+
+// ---- PageTable vs reference --------------------------------------------
+
+TEST(FastPathEquiv, PageTableMatchesUnorderedMap)
+{
+    PageTable pt;
+    std::unordered_map<PageNum, PageNum> ref;
+    Rng rng(0xfa570004);
+
+    // Two far-apart bases (text/data-like), plus a sparse far range:
+    // ascending runs, descending runs, random pokes and remaps.
+    const PageNum bases[] = {0x2000, 0x80000, 0x500000000ULL};
+    PageNum next_ppn = 1;
+    for (int step = 0; step < 20000; step++) {
+        PageNum base = bases[rng.below(3)];
+        PageNum vpn = base + rng.below(2000);
+        std::uint64_t op = rng.below(100);
+        if (op < 70) { // fault-if-unmapped, then translate
+            if (!ref.contains(vpn)) {
+                pt.insert(vpn, next_ppn);
+                ref[vpn] = next_ppn;
+                next_ppn++;
+            }
+            ASSERT_EQ(pt.lookup(vpn), ref.at(vpn));
+        } else if (op < 90) { // lookup (possibly unmapped)
+            auto it = ref.find(vpn);
+            ASSERT_EQ(pt.lookup(vpn), it == ref.end()
+                                          ? PageTable::kUnmapped
+                                          : it->second)
+                << "vpn " << vpn;
+        } else { // remap in place
+            PageNum *slot = pt.slotOf(vpn);
+            auto it = ref.find(vpn);
+            ASSERT_EQ(slot != nullptr, it != ref.end());
+            if (slot) {
+                *slot = next_ppn;
+                it->second = next_ppn;
+                next_ppn++;
+            }
+        }
+        ASSERT_EQ(pt.size(), ref.size());
+    }
+
+    // forEach must visit exactly the reference pairs, ascending.
+    PageNum prev_vpn = 0;
+    bool first = true;
+    std::size_t visited = 0;
+    pt.forEach([&](PageNum vpn, PageNum ppn) {
+        if (!first) {
+            EXPECT_GT(vpn, prev_vpn) << "forEach not ascending";
+        }
+        first = false;
+        prev_vpn = vpn;
+        auto it = ref.find(vpn);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(ppn, it->second);
+        visited++;
+    });
+    EXPECT_EQ(visited, ref.size());
+
+    pt.clear();
+    EXPECT_EQ(pt.size(), 0u);
+    EXPECT_EQ(pt.lookup(bases[0]), PageTable::kUnmapped);
+}
+
+TEST(FastPathEquiv, PageTableDescendingFaultsStayDense)
+{
+    PageTable pt;
+    // Fault 4096 pages in strictly descending order; the backward
+    // growth slack must keep this from fragmenting into thousands of
+    // segments (and from going quadratic).
+    for (PageNum i = 0; i < 4096; i++)
+        pt.insert(0x100000 - i, i + 1);
+    EXPECT_EQ(pt.size(), 4096u);
+    EXPECT_LE(pt.segmentCount(), 2u);
+    for (PageNum i = 0; i < 4096; i++)
+        EXPECT_EQ(pt.lookup(0x100000 - i), i + 1);
+}
+
+TEST(FastPathEquiv, PageTableMergesAdjacentRanges)
+{
+    PageTable pt;
+    pt.insert(100, 1);
+    pt.insert(300, 2); // within kMaxGap: same segment, hole between
+    EXPECT_EQ(pt.segmentCount(), 1u);
+    pt.insert(200, 3);
+    EXPECT_EQ(pt.lookup(100), 1u);
+    EXPECT_EQ(pt.lookup(200), 3u);
+    EXPECT_EQ(pt.lookup(300), 2u);
+    EXPECT_EQ(pt.lookup(150), PageTable::kUnmapped);
+    // A distant range starts its own segment.
+    pt.insert(100000, 4);
+    EXPECT_EQ(pt.segmentCount(), 2u);
+}
+
+// ---- MemorySystem micro-cache vs TLB/translation semantics -------------
+
+class FastPathMemTest : public ::testing::Test
+{
+  protected:
+    FastPathMemTest()
+        : cfg(MachineConfig::paperScaled(2)),
+          phys(cfg.physPages, cfg.numColors()),
+          policy(cfg.numColors()), vm(cfg, phys, policy), mem(cfg, vm)
+    {}
+
+    MachineConfig cfg;
+    PhysMem phys;
+    PageColoringPolicy policy;
+    VirtualMemory vm;
+    MemorySystem mem;
+};
+
+/**
+ * The micro-cache must leave TLB statistics exactly as a standalone
+ * reference TLB fed the same vpn stream (with the same shootdowns)
+ * — that is what keeps kernel-time figures bit-identical.
+ */
+TEST_F(FastPathMemTest, TlbStatsMatchReferenceUnderPurges)
+{
+    RefLru ref(cfg.tlbEntries);
+    std::uint64_t ref_accesses = 0, ref_misses = 0;
+    Rng rng(0xfa570005);
+
+    for (int step = 0; step < 30000; step++) {
+        VAddr va =
+            rng.below(512) * cfg.pageBytes + rng.below(cfg.pageBytes);
+        if (rng.below(50) == 0 && vm.isMapped(va)) {
+            // A recolor-style purge: shootdown on every CPU.
+            mem.purgePage(va);
+            ref.invalidate(vm.vpnOf(va));
+            continue;
+        }
+        MemAccess a;
+        a.va = va;
+        a.kind = rng.below(4) == 0 ? AccessKind::Store : AccessKind::Load;
+        a.wordMask = 1;
+        AccessOutcome out =
+            mem.access(0, a, static_cast<Cycles>(step) * 7);
+        ref_accesses++;
+        bool ref_hit = ref.accessAndUpdate(vm.vpnOf(va));
+        if (!ref_hit)
+            ref_misses++;
+        ASSERT_EQ(out.tlbMiss, !ref_hit) << "step " << step;
+    }
+    EXPECT_EQ(mem.tlb(0).stats().accesses, ref_accesses);
+    EXPECT_EQ(mem.tlb(0).stats().misses, ref_misses);
+    EXPECT_EQ(mem.cpuStats(0).tlbMisses, ref_misses);
+}
+
+/**
+ * Purge-then-remap (the recolorer's contract) interleaved with
+ * accesses from two CPUs: the micro-cache must never serve a stale
+ * translation, which auditInvariants() would flag as residence /
+ * sharing entries the caches do not actually hold.
+ */
+TEST_F(FastPathMemTest, MicroCacheSurvivesPurgeRemapInterleaving)
+{
+    Rng rng(0xfa570006);
+    constexpr PageNum kPages = 64;
+
+    for (int step = 0; step < 20000; step++) {
+        VAddr va = rng.below(kPages) * cfg.pageBytes;
+        if (rng.below(40) == 0 && vm.isMapped(va)) {
+            PageNum vpn = vm.vpnOf(va);
+            Color target = static_cast<Color>(rng.below(vm.numColors()));
+            mem.purgePage(va);
+            vm.remap(vpn, target);
+            continue;
+        }
+        MemAccess a;
+        a.va = va + rng.below(cfg.pageBytes / 2);
+        a.kind = AccessKind::Load;
+        mem.access(static_cast<CpuId>(rng.below(2)), a,
+                   static_cast<Cycles>(step) * 3);
+        if (step % 1024 == 0)
+            mem.auditInvariants();
+    }
+    mem.auditInvariants();
+}
+
+/**
+ * auditInvariants() after purgePage and after dynamic recoloring
+ * with the translation micro-cache active (satellite requirement).
+ */
+TEST_F(FastPathMemTest, AuditCleanAfterPurgeAndRecolor)
+{
+    Rng rng(0xfa570007);
+
+    RecolorConfig rc;
+    rc.missThreshold = 4; // recolor eagerly
+    DynamicRecolorer recolorer(vm, phys, mem, rc);
+    mem.setConflictObserver(
+        [&](CpuId cpu, PageNum vpn, Cycles now) {
+            return recolorer.onConflictMiss(cpu, vpn, now);
+        });
+
+    // Hammer a conflict-prone footprint: many pages aliasing the
+    // same color so the recolorer fires while accesses stream.
+    std::uint64_t colors = vm.numColors();
+    for (int step = 0; step < 40000; step++) {
+        PageNum page = rng.below(16) * colors; // one color class
+        MemAccess a;
+        a.va = page * cfg.pageBytes + rng.below(cfg.pageBytes);
+        a.kind = rng.below(3) == 0 ? AccessKind::Store : AccessKind::Load;
+        a.wordMask = 1;
+        mem.access(static_cast<CpuId>(rng.below(2)), a,
+                   static_cast<Cycles>(step) * 5);
+        if (step % 4096 == 0)
+            mem.auditInvariants();
+    }
+    EXPECT_GT(recolorer.stats().recolorings, 0u);
+    mem.auditInvariants();
+
+    // Explicit purges on top, then audit again.
+    for (PageNum p = 0; p < 16; p++)
+        mem.purgePage(p * colors * cfg.pageBytes);
+    mem.auditInvariants();
+}
+
+// ---- FlatHashMap/FlatHashSet unit coverage -----------------------------
+
+TEST(FlatHash, MapMatchesUnorderedMapOnRandomOps)
+{
+    FlatHashMap<std::uint64_t> map(4);
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(0xfa570008);
+
+    for (int step = 0; step < 50000; step++) {
+        std::uint64_t key = rng.below(512);
+        switch (rng.below(4)) {
+          case 0:
+            map.insertOrAssign(key, step);
+            ref[key] = static_cast<std::uint64_t>(step);
+            break;
+          case 1: {
+            std::uint64_t *v = map.find(key);
+            auto it = ref.find(key);
+            ASSERT_EQ(v != nullptr, it != ref.end()) << "key " << key;
+            if (v) {
+                ASSERT_EQ(*v, it->second);
+            }
+            break;
+          }
+          case 2:
+            ASSERT_EQ(map.erase(key), ref.erase(key) > 0);
+            break;
+          default:
+            ASSERT_EQ(map.contains(key), ref.contains(key));
+            break;
+        }
+        ASSERT_EQ(map.size(), ref.size());
+    }
+
+    std::size_t seen = 0;
+    map.forEach([&](std::uint64_t k, std::uint64_t &v) {
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end());
+        ASSERT_EQ(v, it->second);
+        seen++;
+    });
+    ASSERT_EQ(seen, ref.size());
+
+    map.eraseIf([](std::uint64_t k, std::uint64_t) { return k % 2 == 0; });
+    std::erase_if(ref, [](const auto &kv) { return kv.first % 2 == 0; });
+    ASSERT_EQ(map.size(), ref.size());
+    map.forEach([&](std::uint64_t k, std::uint64_t &) {
+        ASSERT_TRUE(ref.contains(k));
+    });
+}
+
+TEST(FlatHash, SetInsertContains)
+{
+    FlatHashSet set(2);
+    EXPECT_TRUE(set.insert(7));
+    EXPECT_FALSE(set.insert(7));
+    for (std::uint64_t i = 1; i <= 1000; i++)
+        set.insert(i * 31);
+    EXPECT_EQ(set.size(), 1001u); // 7 plus the 1000 multiples of 31
+    for (std::uint64_t i = 1; i <= 1000; i++)
+        EXPECT_TRUE(set.contains(i * 31));
+    EXPECT_FALSE(set.contains(5));
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_FALSE(set.contains(7));
+}
+
+} // namespace
+} // namespace cdpc

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * bench_diff: compare a fresh BENCH_micro_throughput.json against the
+ * committed baseline and fail on regression.
+ *
+ *   bench_diff <baseline.json> <current.json> [--threshold PCT]
+ *
+ * Both files are the flat one-object JSON micro_throughput writes:
+ * string and numeric fields only, no nesting. Comparison rules:
+ *
+ *  - keys ending in "_ns" are per-iteration latencies: lower is
+ *    better; current > baseline * (1 + threshold) is a regression.
+ *  - "refsPerSecond" is throughput: higher is better; current <
+ *    baseline * (1 - threshold) is a regression.
+ *  - every other numeric key is reported for context only.
+ *
+ * Keys present in only one file are listed but never fail the run
+ * (benchmark filters and battery changes would otherwise break CI
+ * spuriously). Exit status: 0 clean, 1 regression, 2 usage/parse
+ * error.
+ *
+ * The parser is deliberately hand-rolled: the repo has no JSON
+ * dependency and this format is a single flat object produced by a
+ * snprintf a few lines long.
+ */
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+/** Flat {"key":value,...} -> numeric fields. Strings are skipped. */
+bool
+parseFlatJson(const std::string &path, std::map<std::string, double> &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "bench_diff: cannot open " << path << "\n";
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    std::size_t i = 0;
+    auto skipWs = [&] {
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i])))
+            i++;
+    };
+    auto fail = [&](const char *what) {
+        std::cerr << "bench_diff: " << path << ": expected " << what
+                  << " at offset " << i << "\n";
+        return false;
+    };
+
+    skipWs();
+    if (i >= text.size() || text[i] != '{')
+        return fail("'{'");
+    i++;
+    skipWs();
+    if (i < text.size() && text[i] == '}')
+        return true; // empty object
+    while (true) {
+        skipWs();
+        if (i >= text.size() || text[i] != '"')
+            return fail("'\"' starting a key");
+        std::size_t end = text.find('"', i + 1);
+        if (end == std::string::npos)
+            return fail("closing '\"' of a key");
+        std::string key = text.substr(i + 1, end - i - 1);
+        i = end + 1;
+        skipWs();
+        if (i >= text.size() || text[i] != ':')
+            return fail("':'");
+        i++;
+        skipWs();
+        if (i < text.size() && text[i] == '"') {
+            // String value: skip (no escapes in our output).
+            end = text.find('"', i + 1);
+            if (end == std::string::npos)
+                return fail("closing '\"' of a value");
+            i = end + 1;
+        } else {
+            char *num_end = nullptr;
+            double v = std::strtod(text.c_str() + i, &num_end);
+            if (num_end == text.c_str() + i)
+                return fail("a number");
+            out[key] = v;
+            i = static_cast<std::size_t>(num_end - text.c_str());
+        }
+        skipWs();
+        if (i < text.size() && text[i] == ',') {
+            i++;
+            continue;
+        }
+        if (i < text.size() && text[i] == '}')
+            return true;
+        return fail("',' or '}'");
+    }
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double threshold_pct = 25.0;
+    const char *baseline_path = nullptr;
+    const char *current_path = nullptr;
+    for (int a = 1; a < argc; a++) {
+        std::string arg = argv[a];
+        if (arg == "--threshold" && a + 1 < argc) {
+            threshold_pct = std::atof(argv[++a]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: bench_diff <baseline.json> "
+                         "<current.json> [--threshold PCT]\n";
+            return 0;
+        } else if (!baseline_path) {
+            baseline_path = argv[a];
+        } else if (!current_path) {
+            current_path = argv[a];
+        } else {
+            std::cerr << "bench_diff: unexpected argument " << arg << "\n";
+            return 2;
+        }
+    }
+    if (!baseline_path || !current_path || threshold_pct <= 0) {
+        std::cerr << "usage: bench_diff <baseline.json> <current.json> "
+                     "[--threshold PCT]\n";
+        return 2;
+    }
+
+    std::map<std::string, double> base, cur;
+    if (!parseFlatJson(baseline_path, base) ||
+        !parseFlatJson(current_path, cur))
+        return 2;
+
+    const double slack = threshold_pct / 100.0;
+    int regressions = 0;
+    int compared = 0;
+
+    std::cout << "bench_diff: threshold " << threshold_pct << "%  ("
+              << baseline_path << " -> " << current_path << ")\n";
+    for (const auto &[key, base_v] : base) {
+        auto it = cur.find(key);
+        if (it == cur.end()) {
+            std::cout << "  [skip] " << key << ": only in baseline\n";
+            continue;
+        }
+        double cur_v = it->second;
+        bool lower_better = endsWith(key, "_ns");
+        bool higher_better = key == "refsPerSecond";
+        if (!lower_better && !higher_better)
+            continue; // informational field
+        compared++;
+        double delta_pct =
+            base_v != 0 ? 100.0 * (cur_v - base_v) / base_v : 0.0;
+        bool bad = lower_better ? cur_v > base_v * (1.0 + slack)
+                                : cur_v < base_v * (1.0 - slack);
+        std::printf("  [%s] %-28s base %12.2f  cur %12.2f  %+7.1f%%\n",
+                    bad ? "FAIL" : " ok ", key.c_str(), base_v, cur_v,
+                    delta_pct);
+        if (bad)
+            regressions++;
+    }
+    for (const auto &[key, v] : cur) {
+        if (!base.contains(key) &&
+            (endsWith(key, "_ns") || key == "refsPerSecond"))
+            std::cout << "  [new ] " << key << " = " << v
+                      << " (no baseline)\n";
+    }
+
+    if (compared == 0) {
+        std::cerr << "bench_diff: no comparable keys — baseline stale?\n";
+        return 2;
+    }
+    if (regressions > 0) {
+        std::cerr << "bench_diff: " << regressions << " of " << compared
+                  << " metrics regressed beyond " << threshold_pct
+                  << "%\n";
+        return 1;
+    }
+    std::cout << "bench_diff: " << compared << " metrics within "
+              << threshold_pct << "%\n";
+    return 0;
+}
