@@ -21,6 +21,8 @@ struct ArmedTrigger
 std::mutex gMutex;
 std::vector<ArmedTrigger> gTriggers;
 
+std::atomic<faultpoints::FireObserver> gFireObserver{nullptr};
+
 thread_local const std::atomic<bool> *tCancelFlag = nullptr;
 
 /** @return true when @p trigger applies to a hit on @p site. */
@@ -115,6 +117,12 @@ hit(const std::string &site)
     }
     if (!fire)
         return;
+    // Make every fire auditable before the action takes effect: a
+    // hang or a swallowed retry would otherwise leave no record.
+    warn("fault point '", site, "' fired");
+    if (FireObserver obs =
+            gFireObserver.load(std::memory_order_relaxed))
+        obs(site);
     if (action == FaultAction::Hang)
         hang(hang_ms, site);
     else
@@ -125,6 +133,12 @@ void
 setCancelFlag(const std::atomic<bool> *flag)
 {
     tCancelFlag = flag;
+}
+
+void
+setFireObserver(FireObserver observer)
+{
+    gFireObserver.store(observer, std::memory_order_relaxed);
 }
 
 } // namespace faultpoints

@@ -119,6 +119,16 @@ void hit(const std::string &site);
  */
 void setCancelFlag(const std::atomic<bool> *flag);
 
+/**
+ * Process-wide observer invoked on every armed-site fire, before the
+ * action (throw/hang) takes effect. The observability layer hooks
+ * this to turn fires into trace events; faultpoints itself cannot
+ * call up into obs (obs links against common). Pass nullptr to
+ * clear. The observer must not throw.
+ */
+using FireObserver = void (*)(const std::string &site);
+void setFireObserver(FireObserver observer);
+
 } // namespace faultpoints
 
 /**

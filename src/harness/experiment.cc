@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "mem/memsystem.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vm/hints.h"
 #include "vm/physmem.h"
 #include "vm/policy.h"
@@ -45,7 +47,9 @@ runProgram(Program program, const ExperimentConfig &config)
     copts.prefetcher.lineBytes = m.l2.lineBytes;
     copts.prefetcher.targetLatency = m.memLatencyCycles;
     copts.prefetcher.minArrayBytes = m.l2.sizeBytes / 2;
+    obs::PhaseSpan compile_span("compile");
     CompileResult compiled = compileProgram(program, copts);
+    compile_span.end();
 
     // --- Operating system ---------------------------------------------
     PhysMem phys(m.physPages, m.numColors());
@@ -98,6 +102,7 @@ runProgram(Program program, const ExperimentConfig &config)
     ExperimentResult res;
     res.summaries = compiled.summaries;
     if (use_cdpc) {
+        obs::PhaseSpan coloring_span("coloring");
         CdpcPlan plan = computeCdpcPlan(compiled.summaries,
                                         cdpcParams(m),
                                         config.cdpcOptions);
@@ -125,9 +130,16 @@ runProgram(Program program, const ExperimentConfig &config)
             });
     }
     MpSimulator sim(m, mem);
-    res.totals = sim.run(program, config.sim);
+    SimOptions simopts = config.sim;
+    if (simopts.statsInterval && !simopts.snapshots)
+        simopts.snapshots = &res.snapshots;
+    {
+        obs::SimSpan sim_span("simulate");
+        res.totals = sim.run(program, simopts);
+    }
     if (recolorer)
         res.recolorStats = recolorer->stats();
+    CDPC_METRIC_COUNT("harness.experiments", 1);
 
     res.workload = program.name;
     res.policy = mappingName(config.mapping);

@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cdpc/runtime.h"
 #include "compiler/compiler.h"
@@ -19,6 +20,7 @@
 #include "machine/simulator.h"
 #include "machine/stats.h"
 #include "mem/recolor.h"
+#include "obs/snapshot.h"
 #include "vm/fallback.h"
 #include "vm/pressure.h"
 #include "vm/virtual_memory.h"
@@ -113,6 +115,12 @@ struct ExperimentResult
     std::uint64_t dataSetBytes = 0;
     /** Dynamic-recoloring statistics (when the extension ran). */
     RecolorStats recolorStats;
+    /**
+     * Interval snapshots (sim.statsInterval > 0): the per-CPU
+     * miss-rate / miss-class / color-occupancy time series. Pure
+     * simulation data, deterministic across worker counts.
+     */
+    std::vector<obs::IntervalSnapshot> snapshots;
 };
 
 /** Compile and run @p program under @p config. */

@@ -5,6 +5,7 @@
 
 #include "common/intmath.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace cdpc
 {
@@ -112,6 +113,12 @@ MpSimulator::executeLine(const Program &program, CpuId cpu,
         opts.record->append(rec);
     }
 
+    // Keep the trace clock on simulated time so sim-level events
+    // fired inside mem.access (recolor, steal, bus stall) carry this
+    // reference's stamp. One relaxed load + branch when not tracing.
+    if (obs::traceActive())
+        obs::setSimCycles(clock[cpu]);
+
     MemAccess a;
     a.va = la.va;
     a.kind = la.isWrite ? AccessKind::Store : AccessKind::Load;
@@ -124,6 +131,11 @@ MpSimulator::executeLine(const Program &program, CpuId cpu,
 
     if (opts.trace)
         opts.trace->note(cpu, la.va / cfg.pageBytes);
+
+    if (opts.statsInterval && ++sinceSnapshot >= opts.statsInterval) {
+        sinceSnapshot = 0;
+        captureSnapshot(opts);
+    }
 }
 
 void
@@ -242,6 +254,55 @@ MpSimulator::runPhase(const Program &program, const Phase &phase,
     }
 }
 
+void
+MpSimulator::captureSnapshot(const SimOptions &opts)
+{
+    if (!opts.snapshots)
+        return;
+    obs::IntervalSnapshot snap;
+    snap.seq = opts.snapshots->size();
+    snap.cycles = *std::max_element(clock.begin(), clock.end());
+    snap.cpus.reserve(ncpus);
+    for (CpuId c = 0; c < ncpus; c++) {
+        const CpuMemStats &s = mem.cpuStats(c);
+        obs::CpuSnapshot cs;
+        cs.refs = s.totalRefs();
+        cs.l1Misses = s.l1Misses;
+        cs.l2Misses = s.l2Misses;
+        cs.missCount = s.missCount;
+        snap.refs += cs.refs;
+        snap.cpus.push_back(cs);
+    }
+    snap.colorPages = mem.addressSpace().mappedPagesPerColor();
+
+    // Mirror the sample into the trace as counter tracks: per-CPU
+    // external-cache miss rate over the interval just ended.
+    if (obs::traceActive() && obs::traceContext().simEvents) {
+        const obs::IntervalSnapshot *prev =
+            opts.snapshots->empty() ? nullptr
+                                    : &opts.snapshots->back();
+        obs::TraceArgs args;
+        for (CpuId c = 0; c < ncpus; c++) {
+            const obs::CpuSnapshot &cs = snap.cpus[c];
+            std::uint64_t refs = cs.refs;
+            std::uint64_t misses = cs.l2Misses;
+            if (prev && c < prev->cpus.size()) {
+                refs -= prev->cpus[c].refs;
+                misses -= prev->cpus[c].l2Misses;
+            }
+            args.emplace_back(("cpu" + std::to_string(c)).c_str(),
+                              refs ? static_cast<double>(misses) /
+                                         static_cast<double>(refs)
+                                   : 0.0);
+        }
+        obs::setSimCycles(snap.cycles);
+        obs::counterEvent("l2MissRate", obs::traceContext().pid,
+                          obs::traceContext().simNowUs, args);
+    }
+
+    opts.snapshots->push_back(std::move(snap));
+}
+
 RunTotals
 MpSimulator::snapshot() const
 {
@@ -291,6 +352,7 @@ MpSimulator::resetExecState()
     std::fill(ifetchDebt.begin(), ifetchDebt.end(), 0);
     std::fill(textCursor.begin(), textCursor.end(), 0);
     barriers = 0;
+    sinceSnapshot = 0;
 }
 
 } // namespace cdpc

@@ -36,6 +36,7 @@
 #include "machine/trace.h"
 #include "machine/tracefile.h"
 #include "mem/memsystem.h"
+#include "obs/snapshot.h"
 
 namespace cdpc
 {
@@ -84,6 +85,14 @@ struct SimOptions
      * global execution order; software prefetches are not recorded.
      */
     TraceWriter *record = nullptr;
+    /**
+     * Capture an interval snapshot every this many demand line
+     * accesses (0 = off). Snapshots are simulation data — stamped
+     * with simulated cycles, independent of host scheduling.
+     */
+    std::uint32_t statsInterval = 0;
+    /** Where captured snapshots go; required when statsInterval. */
+    std::vector<obs::IntervalSnapshot> *snapshots = nullptr;
 };
 
 /** Execution-driven multiprocessor simulator. */
@@ -130,6 +139,9 @@ class MpSimulator
     std::vector<CpuExecStats> exec;
     std::uint64_t barriers = 0;
 
+    /** Demand line accesses since the last interval snapshot. */
+    std::uint64_t sinceSnapshot = 0;
+
     /** Instruction-fetch modeling state. */
     std::vector<Insts> ifetchDebt;
     std::vector<std::uint64_t> textCursor;
@@ -153,6 +165,9 @@ class MpSimulator
     /** Synchronize every CPU to @p t, attributing the wait. */
     void idleUntil(Cycles t, Cycles CpuExecStats::*category,
                    CpuId except);
+
+    /** Append one interval snapshot to opts.snapshots. */
+    void captureSnapshot(const SimOptions &opts);
 };
 
 } // namespace cdpc

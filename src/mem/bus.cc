@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace cdpc
 {
@@ -39,6 +40,10 @@ Bus::acquire(BusKind kind, Cycles now)
     }
     stats_.queueing += start - now;
     nextFree = start + occ;
+    if (start > now && obs::traceActive())
+        obs::simInstantSampled(
+            "busStall", 1024,
+            {{"waitCycles", static_cast<std::uint64_t>(start - now)}});
     return start;
 }
 

@@ -172,6 +172,8 @@ class MemorySystem
 
     const Cache &l2Cache(CpuId cpu) const { return ports[cpu]->l2; }
     const Tlb &tlb(CpuId cpu) const { return ports[cpu]->tlb; }
+    /** The address space this hierarchy translates through. */
+    const VirtualMemory &addressSpace() const { return vm; }
     std::uint32_t lineBytes() const { return cfg.l2.lineBytes; }
     std::uint32_t numCpus() const { return cfg.numCpus; }
 

@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "mem/memsystem.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vm/physmem.h"
 #include "vm/virtual_memory.h"
 
@@ -58,7 +60,6 @@ DynamicRecolorer::decay()
 Cycles
 DynamicRecolorer::onConflictMiss(CpuId cpu, PageNum vpn, Cycles now)
 {
-    (void)cpu;
     (void)now;
     stats_.conflictsObserved++;
 
@@ -90,6 +91,12 @@ DynamicRecolorer::onConflictMiss(CpuId cpu, PageNum vpn, Cycles now)
         return 0;
     }
     stats_.recolorings++;
+    CDPC_METRIC_COUNT("recolor.moves", 1);
+    if (obs::traceActive())
+        obs::simInstant("recolor", {{"vpn", vpn},
+                                    {"from", current},
+                                    {"to", target},
+                                    {"cpu", cpu}});
     if (cfg.decayEvery && stats_.recolorings % cfg.decayEvery == 0)
         decay();
 

@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace cdpc::obs
+{
+
+std::atomic<bool> gMetricsEnabled{false};
+
+void
+setMetricsEnabled(bool enabled)
+{
+    gMetricsEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(std::uint64_t v)
+{
+    unsigned b = v == 0 ? 0 : 64 - std::countl_zero(v);
+    if (b >= kBuckets)
+        b = kBuckets - 1;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Lock-free running max.
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+/**
+ * Metric storage: std::deque gives stable addresses under growth, so
+ * handles returned by counter()/gauge()/histogram() survive later
+ * registrations; std::map keeps the JSON output name-sorted for
+ * free.
+ */
+struct MetricsRegistry::Impl
+{
+    mutable std::mutex mutex;
+    std::deque<Counter> counters;
+    std::deque<Gauge> gauges;
+    std::deque<Histogram> histograms;
+    std::map<std::string, Counter *> counterByName;
+    std::map<std::string, Gauge *> gaugeByName;
+    std::map<std::string, Histogram *> histogramByName;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry::~MetricsRegistry()
+{
+    delete impl_;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->counterByName.find(name);
+    if (it != impl_->counterByName.end())
+        return *it->second;
+    impl_->counters.emplace_back();
+    Counter *c = &impl_->counters.back();
+    impl_->counterByName.emplace(name, c);
+    return *c;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->gaugeByName.find(name);
+    if (it != impl_->gaugeByName.end())
+        return *it->second;
+    impl_->gauges.emplace_back();
+    Gauge *g = &impl_->gauges.back();
+    impl_->gaugeByName.emplace(name, g);
+    return *g;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->histogramByName.find(name);
+    if (it != impl_->histogramByName.end())
+        return *it->second;
+    impl_->histograms.emplace_back();
+    Histogram *h = &impl_->histograms.back();
+    impl_->histogramByName.emplace(name, h);
+    return *h;
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (Counter &c : impl_->counters)
+        c.reset();
+    for (Gauge &g : impl_->gauges)
+        g.reset();
+    for (Histogram &h : impl_->histograms)
+        h.reset();
+}
+
+namespace
+{
+
+std::string
+jsonQuoted(const std::string &s)
+{
+    // Metric names are identifiers ("runner.job_ms"); escape the two
+    // characters that could break the quoting anyway.
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeJson(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : impl_->counterByName) {
+        out << (first ? "\n" : ",\n") << "    " << jsonQuoted(name)
+            << ": " << c->value();
+        first = false;
+    }
+    out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : impl_->gaugeByName) {
+        out << (first ? "\n" : ",\n") << "    " << jsonQuoted(name)
+            << ": " << g->value();
+        first = false;
+    }
+    out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : impl_->histogramByName) {
+        out << (first ? "\n" : ",\n") << "    " << jsonQuoted(name)
+            << ": {\"count\": " << h->count()
+            << ", \"sum\": " << h->sum() << ", \"max\": " << h->max()
+            << ", \"buckets\": {";
+        bool bfirst = true;
+        for (unsigned b = 0; b < Histogram::kBuckets; b++) {
+            std::uint64_t n = h->bucket(b);
+            if (n == 0)
+                continue;
+            // Key: exclusive upper bound of the bucket ("lt").
+            std::uint64_t bound = b == 0 ? 1 : (1ull << b);
+            if (!bfirst)
+                out << ", ";
+            out << "\"" << bound << "\": " << n;
+            bfirst = false;
+        }
+        out << "}}";
+        first = false;
+    }
+    out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+void
+MetricsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    fatalIf(!out, "cannot open metrics file ", path);
+    writeJson(out);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked on purpose: instrumented library code caches handles in
+    // function-local statics whose last use can be arbitrarily late
+    // in process shutdown.
+    static MetricsRegistry *reg = new MetricsRegistry;
+    return *reg;
+}
+
+} // namespace cdpc::obs

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The metrics registry: named counters, gauges and histograms with
+ * O(1) hot-path updates, shared by the simulator, the VM layer and
+ * the batch runner.
+ *
+ * Design constraints (DESIGN.md §10):
+ *
+ *  - Hot-path cost when disabled must be one relaxed atomic load and
+ *    a predictable branch — the same contract faultPoint() honors —
+ *    so instrumentation can live on the per-reference fast path
+ *    without moving the PR 3 perf baseline.
+ *  - Updates when enabled are lock-free relaxed atomic adds on a
+ *    handle the site obtained once (function-local static), so a
+ *    counter increment never takes the registry mutex.
+ *  - Instrument sites are *observers*: they must never change
+ *    simulation results. Everything in this header is side-effect
+ *    free with respect to experiment state.
+ *
+ * Runtime gating: metrics are OFF by default; cdpcsim --metrics (or
+ * a test) turns them on with setMetricsEnabled(true). Compile-time
+ * gating: building with -DCDPC_OBS_ENABLED=0 turns every helper into
+ * a no-op that the optimizer deletes entirely.
+ */
+
+#ifndef CDPC_OBS_METRICS_H
+#define CDPC_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#ifndef CDPC_OBS_ENABLED
+#define CDPC_OBS_ENABLED 1
+#endif
+
+namespace cdpc::obs
+{
+
+/** Turn runtime metric collection on or off (default: off). */
+void setMetricsEnabled(bool enabled);
+
+/** @return whether metric updates are currently collected. */
+inline bool
+metricsEnabled()
+{
+#if CDPC_OBS_ENABLED
+    extern std::atomic<bool> gMetricsEnabled;
+    return gMetricsEnabled.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    /** Unconditional add; callers gate on metricsEnabled(). */
+    void
+    inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-writer-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Power-of-two-bucket histogram of non-negative integer samples.
+ * Bucket b counts samples whose value v satisfies
+ * 2^(b-1) <= v < 2^b (bucket 0 counts v == 0), so observe() is a
+ * bit-scan plus one relaxed add — no allocation, no locking.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 64;
+
+    void observe(std::uint64_t v);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t bucket(unsigned b) const
+    {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/**
+ * Name -> metric directory. Registration (counter()/gauge()/
+ * histogram()) takes a mutex and is meant to happen once per site —
+ * cache the returned reference in a function-local static. Handles
+ * are stable for the registry's lifetime; the global() registry is
+ * never destroyed, so cached references in instrumented library code
+ * outlive every experiment.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Find-or-create; the reference stays valid forever. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Zero every registered metric (names stay registered). */
+    void resetAll();
+
+    /**
+     * Serialize every metric as one JSON object:
+     * {"counters":{...},"gauges":{...},"histograms":{...}}.
+     * Names are emitted in sorted order; loadable by python's
+     * json.load (the CI validation contract).
+     */
+    void writeJson(std::ostream &out) const;
+
+    /** writeJson() to @p path; fatal() when unopenable. */
+    void writeJsonFile(const std::string &path) const;
+
+    /** The process-wide registry used by instrumented library code. */
+    static MetricsRegistry &global();
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+} // namespace cdpc::obs
+
+/**
+ * Hot-path helpers: runtime gate + one-time registration + O(1)
+ * update in one statement. The function-local static handle is
+ * resolved on the first *enabled* hit of the site and reused
+ * afterwards, so the steady state is one relaxed load, one branch
+ * and one relaxed add. With CDPC_OBS_ENABLED=0 the statements (and
+ * their arguments) vanish at compile time.
+ */
+#if CDPC_OBS_ENABLED
+#define CDPC_METRIC_COUNT(name, n)                                    \
+    do {                                                              \
+        if (::cdpc::obs::metricsEnabled()) {                          \
+            static ::cdpc::obs::Counter &cdpc_metric_ =               \
+                ::cdpc::obs::MetricsRegistry::global().counter(name); \
+            cdpc_metric_.inc(n);                                      \
+        }                                                             \
+    } while (0)
+#define CDPC_METRIC_OBSERVE(name, v)                                  \
+    do {                                                              \
+        if (::cdpc::obs::metricsEnabled()) {                          \
+            static ::cdpc::obs::Histogram &cdpc_metric_ =             \
+                ::cdpc::obs::MetricsRegistry::global().histogram(     \
+                    name);                                            \
+            cdpc_metric_.observe(v);                                  \
+        }                                                             \
+    } while (0)
+#define CDPC_METRIC_GAUGE_SET(name, v)                                \
+    do {                                                              \
+        if (::cdpc::obs::metricsEnabled()) {                          \
+            static ::cdpc::obs::Gauge &cdpc_metric_ =                 \
+                ::cdpc::obs::MetricsRegistry::global().gauge(name);   \
+            cdpc_metric_.set(v);                                      \
+        }                                                             \
+    } while (0)
+#else
+#define CDPC_METRIC_COUNT(name, n)                                    \
+    do {                                                              \
+    } while (0)
+#define CDPC_METRIC_OBSERVE(name, v)                                  \
+    do {                                                              \
+    } while (0)
+#define CDPC_METRIC_GAUGE_SET(name, v)                                \
+    do {                                                              \
+    } while (0)
+#endif
+
+#endif // CDPC_OBS_METRICS_H

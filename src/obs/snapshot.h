@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Interval snapshots: the per-CPU miss-rate / miss-class /
+ * color-occupancy time series sampled every N simulated references
+ * (cdpcsim --stats-interval N).
+ *
+ * Snapshots are *pure simulation data*: captured inside the
+ * deterministic simulation loop, stamped with simulated cycles, and
+ * stored in the ExperimentResult. They are therefore bit-identical
+ * across worker counts (--jobs 1 vs --jobs 8) and across reruns —
+ * unlike trace files, whose runner spans carry wall-clock times.
+ *
+ * Counters are cumulative at the capture instant; consumers diff
+ * adjacent snapshots to get per-interval rates.
+ */
+
+#ifndef CDPC_OBS_SNAPSHOT_H
+#define CDPC_OBS_SNAPSHOT_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpc::obs
+{
+
+/** Cumulative per-CPU memory counters at one capture instant. */
+struct CpuSnapshot
+{
+    std::uint64_t refs = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+    /** Demand-miss counts per MissKind (6 kinds, by enum value). */
+    std::array<std::uint64_t, 6> missCount{};
+};
+
+/** One sample of the interval time series. */
+struct IntervalSnapshot
+{
+    /** 0-based capture index within the run. */
+    std::uint64_t seq = 0;
+    /** Simulated wall time (max per-CPU local time) at capture. */
+    Cycles cycles = 0;
+    /** Total references across all CPUs at capture. */
+    std::uint64_t refs = 0;
+    std::vector<CpuSnapshot> cpus;
+    /** Mapped pages per cache color (color-occupancy profile). */
+    std::vector<std::uint32_t> colorPages;
+};
+
+} // namespace cdpc::obs
+
+#endif // CDPC_OBS_SNAPSHOT_H

@@ -1,0 +1,338 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "common/faultpoint.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace cdpc::obs
+{
+
+namespace
+{
+
+/** Width of one setup-phase slot on the logical time axis. */
+constexpr double kPhaseWidthUs = 1000.0;
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * The JSON file behind the global tracer. All emission funnels
+ * through event() under one mutex: concurrent jobs interleave whole
+ * lines, never partial ones.
+ */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path)
+        : out_(path, std::ios::trunc)
+    {
+        fatalIf(!out_, "cannot open trace file ", path);
+        out_ << "{\"traceEvents\": [";
+    }
+
+    void
+    event(char ph, const std::string &name, int pid, int tid,
+          double ts_us, const std::vector<TraceArg> &args)
+    {
+        char stamp[32];
+        std::snprintf(stamp, sizeof(stamp), "%.3f", ts_us);
+        std::lock_guard<std::mutex> lock(mutex_);
+        out_ << (first_ ? "\n" : ",\n");
+        first_ = false;
+        out_ << "{\"name\": " << jsonString(name) << ", \"ph\": \""
+             << ph << "\", \"pid\": " << pid << ", \"tid\": " << tid
+             << ", \"ts\": " << stamp;
+        if (ph == 'i')
+            out_ << ", \"s\": \"t\"";
+        if (!args.empty()) {
+            out_ << ", \"args\": {";
+            bool afirst = true;
+            for (const TraceArg &a : args) {
+                if (!afirst)
+                    out_ << ", ";
+                out_ << jsonString(a.key) << ": " << a.json;
+                afirst = false;
+            }
+            out_ << "}";
+        }
+        out_ << "}";
+    }
+
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out_ << "\n]}\n";
+        out_.close();
+    }
+
+  private:
+    std::ofstream out_;
+    std::mutex mutex_;
+    bool first_ = true;
+};
+
+std::atomic<bool> gTraceActive{false};
+std::mutex gWriterMutex;
+TraceWriter *gWriter = nullptr;
+
+thread_local JobTraceContext *tCtx = nullptr;
+
+void
+emit(char ph, const std::string &name, int pid, int tid, double ts_us,
+     const std::vector<TraceArg> &args = {})
+{
+    std::lock_guard<std::mutex> lock(gWriterMutex);
+    if (gWriter)
+        gWriter->event(ph, name, pid, tid, ts_us, args);
+}
+
+/** Whether the calling thread should emit sim-lane events now. */
+bool
+simLaneActive()
+{
+    return traceActive() && traceContext().simEvents;
+}
+
+void
+onFaultFire(const std::string &site)
+{
+    CDPC_METRIC_COUNT("fault.fires", 1);
+    if (!traceActive())
+        return;
+    JobTraceContext &ctx = traceContext();
+    // A fire is interesting even for jobs that opted out of sim
+    // events — fault-plan runs must be auditable.
+    emit('i', "faultFire", ctx.pid, kSimTid, ctx.simNowUs,
+         {TraceArg{"site", site}});
+}
+
+} // namespace
+
+TraceArg::TraceArg(const char *k, const char *v)
+    : key(k), json(jsonString(v))
+{}
+
+TraceArg::TraceArg(const char *k, const std::string &v)
+    : key(k), json(jsonString(v))
+{}
+
+TraceArg::TraceArg(const char *k, double v) : key(k)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    json = buf;
+}
+
+TraceArg::TraceArg(const char *k, std::uint64_t v)
+    : key(k), json(std::to_string(v))
+{}
+
+TraceArg::TraceArg(const char *k, std::int64_t v)
+    : key(k), json(std::to_string(v))
+{}
+
+bool
+traceActive()
+{
+    return gTraceActive.load(std::memory_order_relaxed);
+}
+
+void
+installTraceWriter(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(gWriterMutex);
+    fatalIf(gWriter != nullptr, "trace writer already installed");
+    gWriter = new TraceWriter(path);
+    faultpoints::setFireObserver(&onFaultFire);
+    gTraceActive.store(true, std::memory_order_relaxed);
+}
+
+void
+finalizeTrace()
+{
+    gTraceActive.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(gWriterMutex);
+    if (!gWriter)
+        return;
+    faultpoints::setFireObserver(nullptr);
+    gWriter->close();
+    delete gWriter;
+    gWriter = nullptr;
+}
+
+double
+wallUs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     epoch)
+        .count();
+}
+
+JobTraceContext &
+traceContext()
+{
+    // Threads outside a ScopedJobTrace (cdpcsim run, tests, benches)
+    // get a default context on the process track.
+    thread_local JobTraceContext def;
+    return tCtx ? *tCtx : def;
+}
+
+ScopedJobTrace::ScopedJobTrace(int pid, bool sim_events,
+                               const std::string &name)
+    : prev_(tCtx)
+{
+    ctx_.pid = pid;
+    ctx_.simEvents = sim_events;
+    tCtx = &ctx_;
+    if (traceActive())
+        emit('M', "process_name", pid, kRunnerTid, 0,
+             {TraceArg{"name", name}});
+}
+
+ScopedJobTrace::~ScopedJobTrace()
+{
+    tCtx = prev_;
+}
+
+PhaseSpan::PhaseSpan(const char *name) : name_(name)
+{
+    if (!simLaneActive())
+        return;
+    JobTraceContext &ctx = traceContext();
+    emit('B', name_, ctx.pid, kSimTid, ctx.cursorUs);
+    open_ = true;
+}
+
+void
+PhaseSpan::end()
+{
+    if (!open_)
+        return;
+    open_ = false;
+    JobTraceContext &ctx = traceContext();
+    ctx.cursorUs += kPhaseWidthUs;
+    emit('E', name_, ctx.pid, kSimTid, ctx.cursorUs);
+}
+
+SimSpan::SimSpan(const char *name) : name_(name)
+{
+    if (!simLaneActive())
+        return;
+    JobTraceContext &ctx = traceContext();
+    ctx.simUsBase = ctx.cursorUs;
+    ctx.simNowUs = ctx.cursorUs;
+    emit('B', name_, ctx.pid, kSimTid, ctx.cursorUs);
+    open_ = true;
+}
+
+void
+SimSpan::end()
+{
+    if (!open_)
+        return;
+    open_ = false;
+    JobTraceContext &ctx = traceContext();
+    // Close at the last simulated stamp, then park the cursor after
+    // it so any later phase starts to the right of the sim span.
+    emit('E', name_, ctx.pid, kSimTid, ctx.simNowUs);
+    ctx.cursorUs = ctx.simNowUs + kPhaseWidthUs;
+}
+
+void
+setSimCycles(Cycles c)
+{
+    JobTraceContext &ctx = traceContext();
+    double ts = ctx.simUsBase + static_cast<double>(c) / 1000.0;
+    if (ts > ctx.simNowUs)
+        ctx.simNowUs = ts;
+}
+
+void
+simInstant(const char *name, const TraceArgs &args)
+{
+    if (!simLaneActive())
+        return;
+    JobTraceContext &ctx = traceContext();
+    emit('i', name, ctx.pid, kSimTid, ctx.simNowUs, args);
+}
+
+void
+simInstantSampled(const char *name, std::uint64_t every,
+                  const TraceArgs &args)
+{
+    if (!simLaneActive())
+        return;
+    JobTraceContext &ctx = traceContext();
+    if (ctx.busStallTick++ % every != 0)
+        return;
+    emit('i', name, ctx.pid, kSimTid, ctx.simNowUs, args);
+}
+
+void
+counterEvent(const char *name, int pid, double ts_us, const TraceArgs &args)
+{
+    if (!traceActive())
+        return;
+    emit('C', name, pid, kSimTid, ts_us, args);
+}
+
+void
+runnerBegin(const char *name, int pid, const TraceArgs &args)
+{
+    if (!traceActive())
+        return;
+    emit('B', name, pid, kRunnerTid, wallUs(), args);
+}
+
+void
+runnerEnd(const char *name, int pid)
+{
+    if (!traceActive())
+        return;
+    emit('E', name, pid, kRunnerTid, wallUs());
+}
+
+void
+runnerSpan(const char *name, int pid, double begin_us, double end_us,
+           const TraceArgs &args)
+{
+    if (!traceActive())
+        return;
+    emit('B', name, pid, kRunnerTid, begin_us, args);
+    emit('E', name, pid, kRunnerTid,
+         end_us < begin_us ? begin_us : end_us);
+}
+
+void
+runnerInstant(const char *name, int pid, const TraceArgs &args)
+{
+    if (!traceActive())
+        return;
+    emit('i', name, pid, kRunnerTid, wallUs(), args);
+}
+
+} // namespace cdpc::obs

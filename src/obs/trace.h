@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Event tracer: Chrome trace_event JSON output, loadable in Perfetto
+ * (ui.perfetto.dev) or chrome://tracing.
+ *
+ * Two time domains keep traces useful without breaking determinism:
+ *
+ *  - Experiment/sim events are stamped with *simulated* time. Each
+ *    job gets a logical microsecond axis: fixed-width spans for the
+ *    setup phases (summaries, coloring, ...), then the simulate span
+ *    whose interior timestamps are simulated cycles / 1000. These
+ *    stamps are a pure function of the job spec, so the events a job
+ *    emits are identical no matter which worker runs it.
+ *  - Runner events (queue wait, attempts, retry/quarantine) are
+ *    stamped with wall-clock microseconds — they describe host
+ *    behaviour, which is the one thing sim time cannot show.
+ *
+ * Within a trace, pid identifies the job (pid 0 = the process
+ * itself, pid j+1 = batch job j); tid separates the domains
+ * (kRunnerTid = wall-clock runner lane, kSimTid = sim-time lane).
+ *
+ * Tracing is process-global and off unless installTraceWriter() ran;
+ * every emit helper starts with the same relaxed-load gate the
+ * metrics macros use, so instrumentation sites are free when no
+ * trace is requested.
+ */
+
+#ifndef CDPC_OBS_TRACE_H
+#define CDPC_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpc::obs
+{
+
+/** tid of the wall-clock runner lane of a job's trace track. */
+inline constexpr int kRunnerTid = 0;
+/** tid of the simulated-time experiment lane. */
+inline constexpr int kSimTid = 1;
+
+/** One "key": value pair of a trace event's args object. */
+struct TraceArg
+{
+    TraceArg(const char *k, const char *v);
+    TraceArg(const char *k, const std::string &v);
+    TraceArg(const char *k, double v);
+    TraceArg(const char *k, std::uint64_t v);
+    TraceArg(const char *k, std::int64_t v);
+    TraceArg(const char *k, std::uint32_t v)
+        : TraceArg(k, static_cast<std::uint64_t>(v))
+    {}
+    TraceArg(const char *k, int v)
+        : TraceArg(k, static_cast<std::int64_t>(v))
+    {}
+
+    std::string key;
+    /** Pre-rendered JSON value (quoted/escaped for strings). */
+    std::string json;
+};
+
+/** Args list; brace-init at call sites, dynamic for counters. */
+using TraceArgs = std::vector<TraceArg>;
+
+/** @return whether a trace writer is installed (one relaxed load). */
+bool traceActive();
+
+/**
+ * Open @p path and start collecting events process-wide; also
+ * registers the fault-point fire observer so armed-site fires appear
+ * as instants. fatal() when the file cannot be opened.
+ */
+void installTraceWriter(const std::string &path);
+
+/** Flush the footer, close the file, stop collecting. Idempotent. */
+void finalizeTrace();
+
+/** Wall-clock µs since the first call (process-local epoch). */
+double wallUs();
+
+/**
+ * The per-thread trace context: which job's track (pid) events land
+ * on, whether sim-level events are wanted for this job, and the
+ * job's logical clock.
+ */
+struct JobTraceContext
+{
+    int pid = 0;
+    /** Emit sim/experiment events (batch jobs opt in per spec). */
+    bool simEvents = true;
+    /** Logical cursor for fixed-width setup-phase spans (µs). */
+    double cursorUs = 0;
+    /** µs of simulated-cycle zero within the active SimSpan. */
+    double simUsBase = 0;
+    /** Latest sim-time stamp (µs); instants are emitted here. */
+    double simNowUs = 0;
+    /** Sampling tick for high-frequency bus-stall events. */
+    std::uint64_t busStallTick = 0;
+};
+
+/** The calling thread's context (a default pid-0 one if none set). */
+JobTraceContext &traceContext();
+
+/**
+ * RAII: route the calling thread's events to job @p pid until scope
+ * exit, and name the track after the job. Installed by the runner
+ * around each attempt; works on watchdog executor threads too since
+ * the context is thread-local.
+ */
+class ScopedJobTrace
+{
+  public:
+    ScopedJobTrace(int pid, bool sim_events, const std::string &name);
+    ~ScopedJobTrace();
+
+    ScopedJobTrace(const ScopedJobTrace &) = delete;
+    ScopedJobTrace &operator=(const ScopedJobTrace &) = delete;
+
+  private:
+    JobTraceContext ctx_;
+    JobTraceContext *prev_;
+};
+
+/**
+ * RAII span for a setup phase (summaries, coloring, plan, ...) on
+ * the sim lane. Occupies a fixed 1000 µs logical slot so phases
+ * stack left-to-right regardless of host speed. Exception-safe: the
+ * destructor closes the span, keeping B/E balanced even when a
+ * fault-injected phase throws.
+ */
+class PhaseSpan
+{
+  public:
+    explicit PhaseSpan(const char *name);
+    ~PhaseSpan() { end(); }
+    void end();
+
+    PhaseSpan(const PhaseSpan &) = delete;
+    PhaseSpan &operator=(const PhaseSpan &) = delete;
+
+  private:
+    const char *name_;
+    bool open_ = false;
+};
+
+/**
+ * RAII span for the simulation itself. Interior timestamps advance
+ * with setSimCycles(); the span closes at the last simulated stamp.
+ */
+class SimSpan
+{
+  public:
+    explicit SimSpan(const char *name);
+    ~SimSpan() { end(); }
+    void end();
+
+    SimSpan(const SimSpan &) = delete;
+    SimSpan &operator=(const SimSpan &) = delete;
+
+  private:
+    const char *name_;
+    bool open_ = false;
+};
+
+/** Advance the sim-time stamp to simulated cycle @p c (monotonic). */
+void setSimCycles(Cycles c);
+
+/** Instant event on the sim lane at the current sim-time stamp. */
+void simInstant(const char *name, const TraceArgs &args);
+
+/**
+ * simInstant() for high-frequency sites (bus stalls): emits every
+ * @p every-th call per job context, so files stay small and the
+ * subset emitted is deterministic.
+ */
+void simInstantSampled(const char *name, std::uint64_t every,
+                       const TraceArgs &args);
+
+/** Counter ('C') event on job @p pid's sim lane. */
+void counterEvent(const char *name, int pid, double ts_us,
+                  const TraceArgs &args);
+
+/** Wall-clock B on job @p pid's runner lane. */
+void runnerBegin(const char *name, int pid, const TraceArgs &args);
+
+/** Wall-clock E matching runnerBegin(). */
+void runnerEnd(const char *name, int pid);
+
+/** Wall-clock span with explicit bounds (e.g. queue wait). */
+void runnerSpan(const char *name, int pid, double begin_us,
+                double end_us, const TraceArgs &args);
+
+/** Wall-clock instant on the runner lane (retry, quarantine). */
+void runnerInstant(const char *name, int pid, const TraceArgs &args);
+
+} // namespace cdpc::obs
+
+#endif // CDPC_OBS_TRACE_H

@@ -1,6 +1,7 @@
 #include "runner/batch.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace cdpc::runner
 {
@@ -27,12 +28,18 @@ Batch::run(ProgressReporter *progress, ResultSink *sink,
     std::size_t remaining = specs_.size();
 
     for (std::size_t i = 0; i < specs_.size(); i++) {
-        pool_.submit([&, i] {
+        const double submit_us =
+            obs::traceActive() ? obs::wallUs() : 0.0;
+        pool_.submit([&, i, submit_us] {
+            if (obs::traceActive())
+                obs::runnerSpan("queued", static_cast<int>(i) + 1,
+                                submit_us, obs::wallUs(), {});
             JobResult r = runJobWithPolicy(specs_[i], i, policy);
             if (sink)
                 sink->write(r);
             if (progress)
-                progress->jobDone(r.ok());
+                progress->jobDone(r.ok(), r.attempts,
+                                  r.quarantined());
             results[i] = std::move(r);
             {
                 std::lock_guard<std::mutex> lock(mutex);

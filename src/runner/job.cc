@@ -9,6 +9,8 @@
 
 #include "common/faultpoint.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cdpc::runner
 {
@@ -66,6 +68,10 @@ runJob(const JobSpec &spec, std::size_t index)
     JobResult res;
     res.index = index;
     res.spec = spec;
+    // Route this thread's trace events (including the executor
+    // thread's, under a watchdog) to the job's track.
+    obs::ScopedJobTrace job_trace(static_cast<int>(index) + 1,
+                                  spec.trace, spec.displayName());
     auto start = std::chrono::steady_clock::now();
     try {
         faultPoint("job.run#" + spec.displayName());
@@ -211,21 +217,46 @@ JobResult
 runJobWithPolicy(const JobSpec &spec, std::size_t index,
                  const RunPolicy &policy)
 {
+    const int pid = static_cast<int>(index) + 1;
     double total_seconds = 0.0;
     for (std::uint32_t attempt = 1;; attempt++) {
+        // The attempt span is emitted from this (watchdog) thread so
+        // B/E stay balanced even when the executor is abandoned.
+        obs::runnerBegin("attempt", pid,
+                         {{"attempt", attempt},
+                          {"job", spec.displayName()}});
         JobResult r = policy.timeoutSeconds > 0.0
                           ? runAttemptWatched(spec, index,
                                               policy.timeoutSeconds)
                           : runJob(spec, index);
+        obs::runnerEnd("attempt", pid);
         total_seconds += r.hostSeconds;
         r.attempts = attempt;
         r.hostSeconds = total_seconds;
         bool retryable = !r.ok() && r.errorKind == "transient";
-        if (!retryable || attempt > policy.maxRetries)
+        if (!retryable || attempt > policy.maxRetries) {
+            CDPC_METRIC_COUNT("runner.jobs", 1);
+            CDPC_METRIC_COUNT("runner.attempts", attempt);
+            CDPC_METRIC_OBSERVE(
+                "runner.job_ms",
+                static_cast<std::uint64_t>(total_seconds * 1000.0));
+            if (r.quarantined()) {
+                CDPC_METRIC_COUNT("runner.quarantined", 1);
+                obs::runnerInstant(
+                    "quarantine", pid,
+                    {{"outcome", jobOutcomeName(r.outcome)},
+                     {"errorKind", r.errorKind}});
+            }
             return r;
+        }
         std::uint64_t backoff = static_cast<std::uint64_t>(
             policy.backoffMs) << (attempt - 1);
         backoff = std::min<std::uint64_t>(backoff, policy.maxBackoffMs);
+        CDPC_METRIC_COUNT("runner.retries", 1);
+        obs::runnerInstant("retry", pid,
+                           {{"attempt", attempt},
+                            {"backoffMs", backoff},
+                            {"error", r.error}});
         if (backoff)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(backoff));

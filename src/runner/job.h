@@ -42,6 +42,14 @@ struct JobSpec
     ExperimentConfig config;
     /** Free-form labels carried through to the result sink. */
     std::vector<std::string> tags;
+    /**
+     * Emit sim-level trace events for this job when a trace writer
+     * is installed. Runner spans (queue/attempt/retry) are always
+     * emitted; this gates the much chattier experiment lane. Batch
+     * specs default it off (opt back in with trace=1); programmatic
+     * and single-run jobs default on.
+     */
+    bool trace = true;
 
     /** @return name, or the default derived display name. */
     std::string displayName() const;

@@ -15,12 +15,17 @@ ProgressReporter::ProgressReporter(std::size_t total, std::ostream *out,
 {}
 
 void
-ProgressReporter::jobDone(bool ok)
+ProgressReporter::jobDone(bool ok, std::uint32_t attempts,
+                          bool quarantined)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     done_++;
     if (!ok)
         failed_++;
+    if (attempts > 1)
+        retries_ += attempts - 1;
+    if (quarantined)
+        quarantined_++;
     if (isQuiet())
         return;
     auto now = Clock::now();
@@ -49,6 +54,10 @@ ProgressReporter::emitLocked(bool final)
     *out_ << "batch: " << done_ << "/" << total_ << " jobs";
     if (failed_)
         *out_ << " (" << failed_ << " failed)";
+    if (quarantined_)
+        *out_ << ", " << quarantined_ << " quarantined";
+    if (retries_)
+        *out_ << ", " << retries_ << " retries";
     if (rate > 0)
         *out_ << ", " << fmtF(rate, 1) << " jobs/s";
     if (final || done_ == total_) {
@@ -76,6 +85,20 @@ ProgressReporter::failed() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return failed_;
+}
+
+std::size_t
+ProgressReporter::retries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retries_;
+}
+
+std::size_t
+ProgressReporter::quarantined() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantined_;
 }
 
 } // namespace cdpc::runner

@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <ostream>
 
@@ -30,14 +31,23 @@ class ProgressReporter
                               std::ostream *out = nullptr,
                               double min_interval = 0.5);
 
-    /** Record one finished job; prints when the rate limit allows. */
-    void jobDone(bool ok);
+    /**
+     * Record one finished job; prints when the rate limit allows.
+     *
+     * @param ok          whether the job produced a result
+     * @param attempts    starts the job took (retries = attempts - 1)
+     * @param quarantined whether the batch gave up on the job
+     */
+    void jobDone(bool ok, std::uint32_t attempts = 1,
+                 bool quarantined = false);
 
     /** Print the final summary line unless jobDone() already did. */
     void finish();
 
     std::size_t done() const;
     std::size_t failed() const;
+    std::size_t retries() const;
+    std::size_t quarantined() const;
 
   private:
     void emitLocked(bool final);
@@ -49,6 +59,8 @@ class ProgressReporter
     std::size_t total_;
     std::size_t done_ = 0;
     std::size_t failed_ = 0;
+    std::size_t retries_ = 0;
+    std::size_t quarantined_ = 0;
     double minInterval_;
     Clock::time_point start_;
     Clock::time_point lastEmit_;

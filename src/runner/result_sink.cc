@@ -168,6 +168,54 @@ degradationJson(const VmStats &vs)
 }
 
 std::string
+snapshotsJson(const std::vector<obs::IntervalSnapshot> &snaps)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < snaps.size(); i++) {
+        const obs::IntervalSnapshot &s = snaps[i];
+        if (i)
+            out += ',';
+        ObjectWriter obj(out);
+        obj.field("seq", std::to_string(s.seq));
+        obj.field("cycles", std::to_string(s.cycles));
+        obj.field("refs", std::to_string(s.refs));
+        std::string cpus = "[";
+        for (std::size_t c = 0; c < s.cpus.size(); c++) {
+            const obs::CpuSnapshot &cs = s.cpus[c];
+            if (c)
+                cpus += ',';
+            ObjectWriter cpu(cpus);
+            cpu.field("refs", std::to_string(cs.refs));
+            cpu.field("l1Misses", std::to_string(cs.l1Misses));
+            cpu.field("l2Misses", std::to_string(cs.l2Misses));
+            std::string kinds;
+            {
+                ObjectWriter k(kinds);
+                for (std::size_t m = 0; m < cs.missCount.size(); m++)
+                    k.field(missKindName(static_cast<MissKind>(m)),
+                            std::to_string(cs.missCount[m]));
+                k.close();
+            }
+            cpu.field("missCount", kinds);
+            cpu.close();
+        }
+        cpus += ']';
+        obj.field("cpus", cpus);
+        std::string colors = "[";
+        for (std::size_t c = 0; c < s.colorPages.size(); c++) {
+            if (c)
+                colors += ',';
+            colors += std::to_string(s.colorPages[c]);
+        }
+        colors += ']';
+        obj.field("colorPages", colors);
+        obj.close();
+    }
+    out += ']';
+    return out;
+}
+
+std::string
 tagsJson(const std::vector<std::string> &tags)
 {
     std::string out = "[";
@@ -247,6 +295,10 @@ resultToJson(const JobResult &r)
     obj.field("pressurePages",
               jsonNumber(static_cast<double>(res.pressurePages)));
     obj.field("totals", totalsJson(res.totals));
+    // Only runs that asked for interval snapshots carry the field,
+    // keeping every pre-existing output byte-identical.
+    if (!res.snapshots.empty())
+        obj.field("snapshots", snapshotsJson(res.snapshots));
     std::string derived;
     {
         ObjectWriter d(derived);

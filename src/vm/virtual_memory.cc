@@ -2,6 +2,8 @@
 
 #include "common/intmath.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cdpc
 {
@@ -61,14 +63,21 @@ VirtualMemory::allocWithFallback(Color preferred)
               preferred, ")");
     }
     bool reclaimed = phys.stats().reclaimed != reclaimed_before;
-    if (reclaimed)
+    if (reclaimed) {
         stats_.reclaimedPages++;
+        CDPC_METRIC_COUNT("vm.reclaims", 1);
+    }
     if (phys.colorOf(*p) == preferred) {
         stats_.hintHonored++;
         if (!reclaimed)
             stats_.hintStolen++;
     } else {
         stats_.hintFallback++;
+        CDPC_METRIC_COUNT("vm.fallbacks", 1);
+        if (obs::traceActive())
+            obs::simInstant("fallback",
+                            {{"preferred", preferred},
+                             {"got", phys.colorOf(*p)}});
     }
     return *p;
 }
@@ -171,7 +180,21 @@ VirtualMemory::stealMappedPage(Color color)
     generation_++;
     if (remapObserver_)
         remapObserver_(victim_vpn);
+    CDPC_METRIC_COUNT("vm.steals", 1);
+    if (obs::traceActive())
+        obs::simInstant("colorSteal", {{"color", color},
+                                       {"victimVpn", victim_vpn}});
     return freed;
+}
+
+std::vector<std::uint32_t>
+VirtualMemory::mappedPagesPerColor() const
+{
+    std::vector<std::uint32_t> counts(phys.numColors(), 0);
+    pageTable.forEach([&](PageNum, PageNum ppn) {
+        counts[phys.colorOf(ppn)]++;
+    });
+    return counts;
 }
 
 void

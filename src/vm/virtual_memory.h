@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "common/types.h"
 #include "machine/config.h"
@@ -138,6 +139,12 @@ class VirtualMemory
     std::uint64_t numColors() const { return phys.numColors(); }
     PageNum vpnOf(VAddr va) const { return va >> pageShift; }
     std::uint64_t mappedPages() const { return pageTable.size(); }
+
+    /**
+     * Mapped-page count per cache color — the color-occupancy
+     * profile of this address space (interval snapshots; O(mapped)).
+     */
+    std::vector<std::uint32_t> mappedPagesPerColor() const;
 
     /**
      * Mapping-mutation generation: bumped whenever an existing

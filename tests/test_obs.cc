@@ -1,0 +1,299 @@
+/**
+ * @file
+ * The observability layer: metric exactness under the work-stealing
+ * pool, the runtime gates, trace well-formedness (balanced B/E),
+ * snapshot determinism across worker counts, and the cardinal rule
+ * that observers never perturb simulation results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/faultpoint.h"
+#include "harness/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runner/runner.h"
+
+namespace cdpc
+{
+namespace
+{
+
+class QuietGuard
+{
+  public:
+    QuietGuard() { setQuiet(true); }
+    ~QuietGuard() { setQuiet(false); }
+};
+
+/** RAII: metrics on for the test body, reset + off afterwards. */
+class MetricsGuard
+{
+  public:
+    MetricsGuard()
+    {
+        obs::MetricsRegistry::global().resetAll();
+        obs::setMetricsEnabled(true);
+    }
+    ~MetricsGuard()
+    {
+        obs::setMetricsEnabled(false);
+        obs::MetricsRegistry::global().resetAll();
+    }
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle);
+         pos != std::string::npos; pos = text.find(needle, pos + 1))
+        n++;
+    return n;
+}
+
+ExperimentConfig
+smallConfig(std::uint32_t stats_interval = 0)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    cfg.mapping = MappingPolicy::Cdpc;
+    cfg.sim.statsInterval = stats_interval;
+    return cfg;
+}
+
+// ------------------------------------------------------------ metrics
+
+TEST(Metrics, ConcurrentCountsAreExact)
+{
+    MetricsGuard metrics;
+    runner::ThreadPool pool(8);
+    constexpr int kTasks = 64;
+    constexpr int kIncsPerTask = 10000;
+    for (int t = 0; t < kTasks; t++) {
+        pool.submit([] {
+            for (int i = 0; i < kIncsPerTask; i++)
+                CDPC_METRIC_COUNT("test.concurrent", 1);
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                  .counter("test.concurrent")
+                  .value(),
+              static_cast<std::uint64_t>(kTasks) * kIncsPerTask);
+}
+
+TEST(Metrics, RuntimeGateDropsUpdatesWhenOff)
+{
+    obs::MetricsRegistry::global().resetAll();
+    obs::setMetricsEnabled(false);
+    CDPC_METRIC_COUNT("test.gated", 1);
+    CDPC_METRIC_OBSERVE("test.gated_hist", 42);
+    EXPECT_EQ(
+        obs::MetricsRegistry::global().counter("test.gated").value(),
+        0u);
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                  .histogram("test.gated_hist")
+                  .count(),
+              0u);
+}
+
+TEST(Metrics, HistogramBucketsByPowerOfTwo)
+{
+    obs::Histogram h;
+    h.observe(0);    // bucket 0
+    h.observe(1);    // bucket 1: [1, 2)
+    h.observe(3);    // bucket 2: [2, 4)
+    h.observe(8);    // bucket 4: [8, 16)
+    h.observe(1000); // bucket 10: [512, 1024)
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1012u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(Metrics, WriteJsonCoversAllThreeKinds)
+{
+    MetricsGuard metrics;
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    reg.counter("test.c").inc(3);
+    reg.gauge("test.g").set(-7);
+    reg.histogram("test.h").observe(5);
+    std::ostringstream out;
+    reg.writeJson(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.c\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"test.g\": -7"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '\n');
+}
+
+// -------------------------------------------------------------- trace
+
+TEST(Trace, ExperimentTraceIsBalancedAndWellFormed)
+{
+    const std::string path =
+        ::testing::TempDir() + "cdpc_obs_trace.json";
+    obs::installTraceWriter(path);
+    runWorkload("107.mgrid", smallConfig(20000));
+    obs::finalizeTrace();
+
+    const std::string text = readFile(path);
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(text.find("]}"), std::string::npos);
+    std::size_t begins = countOccurrences(text, "\"ph\": \"B\"");
+    std::size_t ends = countOccurrences(text, "\"ph\": \"E\"");
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+    // The setup phases and the simulation appear as spans; interval
+    // snapshots feed the miss-rate counter series.
+    EXPECT_NE(text.find("\"compile\""), std::string::npos);
+    EXPECT_NE(text.find("\"simulate\""), std::string::npos);
+    EXPECT_NE(text.find("\"l2MissRate\""), std::string::npos);
+}
+
+TEST(Trace, InactiveWithoutWriter)
+{
+    EXPECT_FALSE(obs::traceActive());
+    // All emit helpers must be safe no-ops with no writer installed.
+    obs::simInstant("noop", {{"k", 1}});
+    obs::runnerInstant("noop", 0, {});
+    obs::setSimCycles(123);
+}
+
+// ---------------------------------------------------- interval stats
+
+std::vector<std::string>
+batchResultJson(unsigned workers, std::uint32_t stats_interval)
+{
+    std::vector<runner::JobSpec> specs;
+    specs.push_back(
+        runner::makeJob("107.mgrid", smallConfig(stats_interval)));
+    specs.push_back(
+        runner::makeJob("104.hydro2d", smallConfig(stats_interval)));
+    specs.push_back(runner::makeJob(
+        "107.mgrid", smallConfig(stats_interval ? stats_interval * 2
+                                                : 0)));
+    runner::BatchOptions opts;
+    opts.jobs = workers;
+    std::vector<runner::JobResult> results =
+        runner::runBatch(std::move(specs), opts);
+    std::vector<std::string> json;
+    for (const runner::JobResult &r : results)
+        json.push_back(runner::resultToJson(r));
+    return json;
+}
+
+TEST(Snapshots, CapturedAtRequestedInterval)
+{
+    ExperimentResult r = runWorkload("107.mgrid", smallConfig(10000));
+    ASSERT_FALSE(r.snapshots.empty());
+    const obs::IntervalSnapshot &first = r.snapshots.front();
+    EXPECT_EQ(first.seq, 0u);
+    EXPECT_EQ(first.refs, 10000u);
+    EXPECT_EQ(first.cpus.size(), 2u);
+    EXPECT_FALSE(first.colorPages.empty());
+    // Cumulative counters are monotone across snapshots.
+    for (std::size_t i = 1; i < r.snapshots.size(); i++) {
+        EXPECT_GE(r.snapshots[i].refs, r.snapshots[i - 1].refs);
+        EXPECT_GE(r.snapshots[i].cycles, r.snapshots[i - 1].cycles);
+    }
+}
+
+TEST(Snapshots, DeterministicAcrossWorkerCounts)
+{
+    QuietGuard quiet;
+    std::vector<std::string> serial = batchResultJson(1, 5000);
+    std::vector<std::string> parallel = batchResultJson(8, 5000);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); i++)
+        EXPECT_EQ(serial[i], parallel[i]) << "job " << i;
+    EXPECT_NE(serial[0].find("\"snapshots\""), std::string::npos);
+}
+
+TEST(Snapshots, ObserversDoNotPerturbResults)
+{
+    QuietGuard quiet;
+    // Baseline: observability fully off, no snapshot request.
+    std::vector<std::string> plain = batchResultJson(2, 0);
+
+    // Same jobs with metrics collected and a trace being written:
+    // the result JSON must stay byte-identical.
+    const std::string path =
+        ::testing::TempDir() + "cdpc_obs_perturb.json";
+    std::vector<std::string> observed;
+    {
+        MetricsGuard metrics;
+        obs::installTraceWriter(path);
+        observed = batchResultJson(2, 0);
+        obs::finalizeTrace();
+    }
+    ASSERT_EQ(plain.size(), observed.size());
+    for (std::size_t i = 0; i < plain.size(); i++)
+        EXPECT_EQ(plain[i], observed[i]) << "job " << i;
+    // And without a snapshot request the field is absent entirely.
+    EXPECT_EQ(plain[0].find("\"snapshots\""), std::string::npos);
+}
+
+// -------------------------------------------------------- faultpoint
+
+TEST(FaultPoints, FiresAreObservable)
+{
+    QuietGuard quiet;
+    MetricsGuard metrics;
+    const std::string path =
+        ::testing::TempDir() + "cdpc_obs_fault.json";
+    obs::installTraceWriter(path);
+    faultpoints::install(FaultPlan::parse("obs.test=fail"));
+    EXPECT_THROW(faultPoint("obs.test"), FaultInjectedError);
+    faultpoints::clear();
+    obs::finalizeTrace();
+
+    EXPECT_EQ(
+        obs::MetricsRegistry::global().counter("fault.fires").value(),
+        1u);
+    const std::string text = readFile(path);
+    EXPECT_NE(text.find("\"faultFire\""), std::string::npos);
+    EXPECT_NE(text.find("\"site\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- runner
+
+TEST(Progress, ReportsRetriesAndQuarantines)
+{
+    std::ostringstream out;
+    runner::ProgressReporter progress(3, &out, 0.0);
+    progress.jobDone(true);
+    progress.jobDone(true, 3, false);  // two retries, then ok
+    progress.jobDone(false, 2, true);  // quarantined after a retry
+    progress.finish();
+    EXPECT_EQ(progress.retries(), 3u);
+    EXPECT_EQ(progress.quarantined(), 1u);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("1 quarantined"), std::string::npos);
+    EXPECT_NE(text.find("3 retries"), std::string::npos);
+}
+
+} // namespace
+} // namespace cdpc

@@ -4,6 +4,7 @@
  * committed baseline and fail on regression.
  *
  *   bench_diff <baseline.json> <current.json> [--threshold PCT]
+ *              [--strict-keys]
  *
  * Both files are the flat one-object JSON micro_throughput writes:
  * string and numeric fields only, no nesting. Comparison rules:
@@ -14,10 +15,12 @@
  *    baseline * (1 - threshold) is a regression.
  *  - every other numeric key is reported for context only.
  *
- * Keys present in only one file are listed but never fail the run
- * (benchmark filters and battery changes would otherwise break CI
- * spuriously). Exit status: 0 clean, 1 regression, 2 usage/parse
- * error.
+ * Keys present in only one file are listed but by default never fail
+ * the run (benchmark filters and battery changes would otherwise
+ * break CI spuriously); --strict-keys turns any one-sided key into a
+ * failure, for pipelines that pin the battery and want to catch a
+ * silently dropped benchmark. Exit status: 0 clean, 1 regression or
+ * strict-key mismatch, 2 usage/parse error.
  *
  * The parser is deliberately hand-rolled: the repo has no JSON
  * dependency and this format is a single flat object produced by a
@@ -120,15 +123,19 @@ int
 main(int argc, char **argv)
 {
     double threshold_pct = 25.0;
+    bool strict_keys = false;
     const char *baseline_path = nullptr;
     const char *current_path = nullptr;
     for (int a = 1; a < argc; a++) {
         std::string arg = argv[a];
         if (arg == "--threshold" && a + 1 < argc) {
             threshold_pct = std::atof(argv[++a]);
+        } else if (arg == "--strict-keys") {
+            strict_keys = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: bench_diff <baseline.json> "
-                         "<current.json> [--threshold PCT]\n";
+                         "<current.json> [--threshold PCT] "
+                         "[--strict-keys]\n";
             return 0;
         } else if (!baseline_path) {
             baseline_path = argv[a];
@@ -153,6 +160,7 @@ main(int argc, char **argv)
     const double slack = threshold_pct / 100.0;
     int regressions = 0;
     int compared = 0;
+    int one_sided = 0;
 
     std::cout << "bench_diff: threshold " << threshold_pct << "%  ("
               << baseline_path << " -> " << current_path << ")\n";
@@ -160,6 +168,7 @@ main(int argc, char **argv)
         auto it = cur.find(key);
         if (it == cur.end()) {
             std::cout << "  [skip] " << key << ": only in baseline\n";
+            one_sided++;
             continue;
         }
         double cur_v = it->second;
@@ -180,9 +189,11 @@ main(int argc, char **argv)
     }
     for (const auto &[key, v] : cur) {
         if (!base.contains(key) &&
-            (endsWith(key, "_ns") || key == "refsPerSecond"))
+            (endsWith(key, "_ns") || key == "refsPerSecond")) {
             std::cout << "  [new ] " << key << " = " << v
                       << " (no baseline)\n";
+            one_sided++;
+        }
     }
 
     if (compared == 0) {
@@ -193,6 +204,11 @@ main(int argc, char **argv)
         std::cerr << "bench_diff: " << regressions << " of " << compared
                   << " metrics regressed beyond " << threshold_pct
                   << "%\n";
+        return 1;
+    }
+    if (strict_keys && one_sided > 0) {
+        std::cerr << "bench_diff: " << one_sided
+                  << " keys present in only one file (--strict-keys)\n";
         return 1;
     }
     std::cout << "bench_diff: " << compared << " metrics within "

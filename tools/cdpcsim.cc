@@ -53,6 +53,12 @@
  *                           "physmem.alloc=fail*2@10,job.run#x=panic"
  *   --timeout SEC           per-job watchdog for batch (0 = off)
  *   --retries N             transient-error retries per batch job
+ *   --trace FILE            write a Chrome trace_event JSON trace
+ *                           (load in Perfetto or chrome://tracing)
+ *   --metrics FILE          collect the metrics registry and write
+ *                           it as JSON on exit
+ *   --stats-interval N      capture per-CPU interval snapshots every
+ *                           N demand references (0 = off)
  *
  * Exit codes: 0 success, 1 partial failure (quarantined batch
  * jobs), 2 usage or fatal (user) error, 3 internal panic.
@@ -74,6 +80,8 @@
 #include "harness/experiment.h"
 #include "harness/spec.h"
 #include "machine/tracefile.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/runner.h"
 #include "vm/physmem.h"
 #include "vm/policy.h"
@@ -113,11 +121,20 @@ struct CliOptions
     double timeoutSec = 0.0;
     /** Transient-error retries per batch job. */
     std::uint32_t retries = 0;
+    /** Chrome trace_event JSON output path; empty disables tracing. */
+    std::string traceFile;
+    /** Metrics-registry JSON output path; empty leaves metrics off. */
+    std::string metricsFile;
+    /** Interval-snapshot period in demand references; 0 disables. */
+    std::uint32_t statsInterval = 0;
 };
 
 [[noreturn]] void
 usage(const char *msg = nullptr)
 {
+    // A half-written trace is worse than none: close the JSON
+    // footer before exiting on a usage error.
+    obs::finalizeTrace();
     if (msg)
         std::cerr << "cdpcsim: " << msg << "\n\n";
     std::cerr <<
@@ -132,7 +149,8 @@ usage(const char *msg = nullptr)
         "         --mem-pressure PCT --pressure-pattern "
         "low-half|uniform|fragmented\n"
         "         --fallback any|nearest|steal --fault-plan SPEC\n"
-        "         --timeout SEC --retries N\n";
+        "         --timeout SEC --retries N\n"
+        "         --trace FILE --metrics FILE --stats-interval N\n";
     std::exit(msg ? 2 : 0);
 }
 
@@ -215,6 +233,13 @@ parseArgs(int argc, char **argv)
         else if (a == "--retries")
             o.retries = static_cast<std::uint32_t>(
                 std::atoi(need_value("--retries").c_str()));
+        else if (a == "--trace")
+            o.traceFile = need_value("--trace");
+        else if (a == "--metrics")
+            o.metricsFile = need_value("--metrics");
+        else if (a == "--stats-interval")
+            o.statsInterval = static_cast<std::uint32_t>(
+                std::atoi(need_value("--stats-interval").c_str()));
         else if (a == "--help" || a == "-h")
             usage();
         else
@@ -263,6 +288,7 @@ makeConfig(const CliOptions &o, std::uint32_t cpus,
     cfg.pressure.pattern = parsePressurePattern(o.pressurePattern);
     cfg.pressure.seed = o.seed;
     cfg.fallback = parseFallback(o.fallback);
+    cfg.sim.statsInterval = o.statsInterval;
     return cfg;
 }
 
@@ -555,9 +581,15 @@ cmdHints(const CliOptions &o)
  *   <workload> [key=value]...
  * with keys cpus, policy, machine, cache, assoc, prefetch, dynamic,
  * aligned, racy, cyclic, greedy, seed (integer or "auto"), pressure
- * (percent), pattern, fallback, name and tags (comma-separated).
- * Unset keys inherit the command-line defaults, so a spec file can
- * be as terse as one workload per line.
+ * (percent), pattern, fallback, interval (snapshot period), trace
+ * (0|1 sim-event opt-in under --trace), name and tags
+ * (comma-separated). Unset keys inherit the command-line defaults,
+ * so a spec file can be as terse as one workload per line.
+ *
+ * Batch jobs default trace=0 — with hundreds of jobs the per-access
+ * sim events would swamp the file — so a spec opts the interesting
+ * jobs back in. Runner spans (queue/attempt/retry) are always
+ * emitted for every job when --trace is given.
  */
 runner::JobSpec
 parseBatchLine(const std::string &line, std::size_t index,
@@ -569,6 +601,7 @@ parseBatchLine(const std::string &line, std::size_t index,
 
     CliOptions o = defaults;
     runner::JobSpec spec;
+    spec.trace = false;
     bool auto_seed = false;
     std::uint64_t seed = defaults.seed;
     std::string kv;
@@ -613,6 +646,11 @@ parseBatchLine(const std::string &line, std::size_t index,
             o.pressurePattern = value;
         else if (key == "fallback")
             o.fallback = value;
+        else if (key == "interval")
+            o.statsInterval =
+                static_cast<std::uint32_t>(std::atoi(value.c_str()));
+        else if (key == "trace")
+            spec.trace = flag("trace");
         else if (key == "seed" && value == "auto")
             auto_seed = true;
         else if (key == "seed")
@@ -775,45 +813,71 @@ cmdReplay(const CliOptions &o)
     return 0;
 }
 
+int
+dispatch(const CliOptions &o)
+{
+    if (o.command == "list")
+        return cmdList();
+    if (o.command == "run")
+        return cmdRun(o);
+    if (o.command == "compare")
+        return cmdCompare(o);
+    if (o.command == "sweep")
+        return cmdSweep(o);
+    if (o.command == "plan")
+        return cmdPlan(o);
+    if (o.command == "record")
+        return cmdRecord(o);
+    if (o.command == "attribute")
+        return cmdAttribute(o);
+    if (o.command == "hints")
+        return cmdHints(o);
+    if (o.command == "replay")
+        return cmdReplay(o);
+    if (o.command == "batch")
+        return cmdBatch(o);
+    usage(("unknown command " + o.command).c_str());
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     CliOptions o = parseArgs(argc, argv);
+    int rc;
     try {
+        if (!o.traceFile.empty())
+            obs::installTraceWriter(o.traceFile);
+        if (!o.metricsFile.empty())
+            obs::setMetricsEnabled(true);
         if (!o.faultPlan.empty())
             faultpoints::install(FaultPlan::parse(o.faultPlan));
-        if (o.command == "list")
-            return cmdList();
-        if (o.command == "run")
-            return cmdRun(o);
-        if (o.command == "compare")
-            return cmdCompare(o);
-        if (o.command == "sweep")
-            return cmdSweep(o);
-        if (o.command == "plan")
-            return cmdPlan(o);
-        if (o.command == "record")
-            return cmdRecord(o);
-        if (o.command == "attribute")
-            return cmdAttribute(o);
-        if (o.command == "hints")
-            return cmdHints(o);
-        if (o.command == "replay")
-            return cmdReplay(o);
-        if (o.command == "batch")
-            return cmdBatch(o);
-        usage(("unknown command " + o.command).c_str());
+        rc = dispatch(o);
     } catch (const FatalError &e) {
         std::cerr << "cdpcsim: " << e.what() << "\n";
-        return 2;
+        rc = 2;
     } catch (const PanicError &e) {
         std::cerr << "cdpcsim: internal error: " << e.what() << "\n";
-        return 3;
+        rc = 3;
     } catch (const std::exception &e) {
         std::cerr << "cdpcsim: unexpected error: " << e.what()
                   << "\n";
-        return 3;
+        rc = 3;
     }
+    // Finalization runs on the error paths too: a failed batch still
+    // leaves a loadable trace and a metrics file describing how far
+    // it got.
+    obs::finalizeTrace();
+    if (!o.metricsFile.empty()) {
+        try {
+            obs::MetricsRegistry::global().writeJsonFile(
+                o.metricsFile);
+        } catch (const std::exception &e) {
+            std::cerr << "cdpcsim: " << e.what() << "\n";
+            if (rc == 0)
+                rc = 2;
+        }
+    }
+    return rc;
 }

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * trace_summarize: fold a cdpcsim --trace file (Chrome trace_event
+ * JSON) into a profile table on stdout.
+ *
+ *   trace_summarize <trace.json> [--strict]
+ *
+ * Reports, per track (pid), the begin/end spans aggregated by name
+ * (count, total and mean duration), the instant-event counts
+ * (recolor, colorSteal, fallback, faultFire, busStall, retry,
+ * quarantine, ...) and the counter-series sample counts. Also
+ * verifies span integrity: every 'E' must match the innermost open
+ * 'B' of its (pid, tid) lane, and nothing may remain open at EOF.
+ * With --strict an unbalanced trace exits 1 — CI uses this to prove
+ * the tracer's RAII discipline survives faults and timeouts.
+ *
+ * The JSON parser below is a deliberately small recursive-descent
+ * one: the repo takes no JSON dependency, and the subset the tracer
+ * emits (objects, arrays, strings, numbers, bools) is all it needs
+ * to accept. Exit status: 0 clean, 1 unbalanced under --strict,
+ * 2 usage/parse error.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+using cdpc::TextTable;
+using cdpc::fmtF;
+
+namespace
+{
+
+/** A parsed JSON value; only what the tracer's output uses. */
+struct Json
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Json> array;
+    std::map<std::string, Json> object;
+
+    const Json *
+    find(const std::string &key) const
+    {
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(Json &out, std::string &error)
+    {
+        bool ok = value(out) && (skipWs(), pos_ == text_.size());
+        if (!ok)
+            error = "parse error at offset " + std::to_string(pos_);
+        return ok;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            pos_++;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value(Json &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.type = Json::Type::String;
+            return string(out.string);
+        }
+        if (c == 't') {
+            out.type = Json::Type::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.type = Json::Type::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.type = Json::Type::Null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    bool
+    string(std::string &out)
+    {
+        pos_++; // opening quote
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return false;
+                // The tracer only escapes controls; a replacement
+                // char keeps the summary readable either way.
+                pos_ += 4;
+                out += '?';
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        if (pos_ >= text_.size())
+            return false;
+        pos_++; // closing quote
+        return true;
+    }
+
+    bool
+    number(Json &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        out.type = Json::Type::Number;
+        out.number = v;
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool
+    array(Json &out)
+    {
+        out.type = Json::Type::Array;
+        pos_++; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            Json elem;
+            if (!value(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                pos_++;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(Json &out)
+    {
+        out.type = Json::Type::Object;
+        pos_++; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return false;
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return false;
+            pos_++;
+            Json val;
+            if (!value(val))
+                return false;
+            out.object.emplace(std::move(key), std::move(val));
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                pos_++;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+struct SpanStats
+{
+    std::uint64_t count = 0;
+    double totalUs = 0.0;
+};
+
+struct OpenSpan
+{
+    std::string name;
+    double ts = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = nullptr;
+    bool strict = false;
+    for (int a = 1; a < argc; a++) {
+        std::string arg = argv[a];
+        if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: trace_summarize <trace.json> [--strict]\n";
+            return 0;
+        } else if (!path) {
+            path = argv[a];
+        } else {
+            std::cerr << "trace_summarize: unexpected argument " << arg
+                      << "\n";
+            return 2;
+        }
+    }
+    if (!path) {
+        std::cerr << "usage: trace_summarize <trace.json> [--strict]\n";
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "trace_summarize: cannot open " << path << "\n";
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    Json root;
+    std::string error;
+    if (!Parser(text).parse(root, error)) {
+        std::cerr << "trace_summarize: " << path << ": " << error
+                  << "\n";
+        return 2;
+    }
+    const Json *events = root.find("traceEvents");
+    if (!events || events->type != Json::Type::Array) {
+        std::cerr << "trace_summarize: " << path
+                  << ": no traceEvents array\n";
+        return 2;
+    }
+
+    // (pid, tid) -> stack of open spans; per-name aggregates.
+    std::map<std::pair<int, int>, std::vector<OpenSpan>> open;
+    std::map<std::string, SpanStats> spans;
+    std::map<std::string, std::uint64_t> instants;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<int, std::string> tracks;
+    std::size_t unbalanced = 0;
+
+    for (const Json &ev : events->array) {
+        const Json *ph = ev.find("ph");
+        const Json *name = ev.find("name");
+        if (!ph || !name)
+            continue;
+        const Json *pid_f = ev.find("pid");
+        const Json *tid_f = ev.find("tid");
+        const Json *ts_f = ev.find("ts");
+        int pid = pid_f ? static_cast<int>(pid_f->number) : 0;
+        int tid = tid_f ? static_cast<int>(tid_f->number) : 0;
+        double ts = ts_f ? ts_f->number : 0.0;
+        const std::string &n = name->string;
+        const std::string &p = ph->string;
+
+        if (p == "M") {
+            if (n == "process_name") {
+                const Json *args = ev.find("args");
+                const Json *label = args ? args->find("name") : nullptr;
+                if (label)
+                    tracks[pid] = label->string;
+            }
+        } else if (p == "B") {
+            open[{pid, tid}].push_back({n, ts});
+        } else if (p == "E") {
+            auto &stack = open[{pid, tid}];
+            if (stack.empty() || stack.back().name != n) {
+                std::cerr << "trace_summarize: 'E' \"" << n
+                          << "\" (pid " << pid << ", tid " << tid
+                          << ") does not match the innermost open "
+                             "span\n";
+                unbalanced++;
+                if (!stack.empty())
+                    stack.pop_back();
+                continue;
+            }
+            SpanStats &s = spans[n];
+            s.count++;
+            s.totalUs += ts - stack.back().ts;
+            stack.pop_back();
+        } else if (p == "i") {
+            instants[n]++;
+        } else if (p == "C") {
+            counters[n]++;
+        }
+    }
+    for (const auto &[lane, stack] : open) {
+        for (const OpenSpan &s : stack) {
+            std::cerr << "trace_summarize: span \"" << s.name
+                      << "\" (pid " << lane.first << ", tid "
+                      << lane.second << ") never closed\n";
+            unbalanced++;
+        }
+    }
+
+    std::cout << path << ": " << events->array.size() << " events, "
+              << tracks.size() << " named tracks\n";
+    if (!spans.empty()) {
+        TextTable t({"span", "count", "total ms", "mean ms"});
+        for (const auto &[n, s] : spans)
+            t.addRow({n, std::to_string(s.count),
+                      fmtF(s.totalUs / 1e3, 3),
+                      fmtF(s.totalUs / 1e3 / s.count, 3)});
+        std::cout << "\n" << t.render();
+    }
+    if (!instants.empty()) {
+        TextTable t({"instant", "count"});
+        for (const auto &[n, c] : instants)
+            t.addRow({n, std::to_string(c)});
+        std::cout << "\n" << t.render();
+    }
+    if (!counters.empty()) {
+        TextTable t({"counter series", "samples"});
+        for (const auto &[n, c] : counters)
+            t.addRow({n, std::to_string(c)});
+        std::cout << "\n" << t.render();
+    }
+
+    if (unbalanced) {
+        std::cerr << "trace_summarize: " << unbalanced
+                  << " unbalanced span events\n";
+        return strict ? 1 : 0;
+    }
+    std::cout << "\nall begin/end spans balanced\n";
+    return 0;
+}
