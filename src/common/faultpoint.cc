@@ -143,6 +143,12 @@ setFireObserver(FireObserver observer)
 
 } // namespace faultpoints
 
+/** Appended to every parse diagnostic so the caller sees the
+ *  grammar without digging through docs. */
+static const char kPlanUsage[] =
+    " (expected site[=action][*count][@skip], e.g. "
+    "vm.fault=fail*2@1; action one of fail|fatal|panic|hangN)";
+
 FaultPlan
 FaultPlan::parse(const std::string &spec)
 {
@@ -165,11 +171,19 @@ FaultPlan::parse(const std::string &spec)
             if (at == std::string::npos)
                 return false;
             const std::string digits = item.substr(at + 1);
+            // Call out the common mistake — suffixes in the wrong
+            // order — before the generic bad-number complaint.
+            for (char other : {'=', '*', '@'}) {
+                fatalIf(other != sep &&
+                            digits.find(other) != std::string::npos,
+                        "fault plan: '", other, "' must come before '",
+                        sep, "' in '", item, "'", kPlanUsage);
+            }
             fatalIf(digits.empty() ||
                         digits.find_first_not_of("0123456789") !=
                             std::string::npos,
                     "fault plan: bad number after '", sep, "' in '",
-                    item, "'");
+                    item, "'", kPlanUsage);
             out = std::stoull(digits);
             item.resize(at);
             return true;
@@ -180,7 +194,7 @@ FaultPlan::parse(const std::string &spec)
         if (number_after('*', n))
             t.count = static_cast<std::uint32_t>(n);
         fatalIf(t.count == 0, "fault plan: zero count in '", item,
-                "'");
+                "'", kPlanUsage);
 
         auto eq = item.find('=');
         if (eq != std::string::npos) {
@@ -199,17 +213,17 @@ FaultPlan::parse(const std::string &spec)
                     fatalIf(ms.find_first_not_of("0123456789") !=
                                 std::string::npos,
                             "fault plan: bad hang duration '", action,
-                            "'");
+                            "'", kPlanUsage);
                     t.hangMs = static_cast<std::uint32_t>(
                         std::stoull(ms));
                 }
             } else {
-                fatal("fault plan: unknown action '", action,
-                      "' (want fail|fatal|panic|hangN)");
+                fatal("fault plan: unknown action '", action, "' in '",
+                      item, "'", kPlanUsage);
             }
         }
         fatalIf(item.empty(), "fault plan: empty site in spec '", spec,
-                "'");
+                "'", kPlanUsage);
         t.site = item;
         plan.add(t);
     }

@@ -41,6 +41,10 @@ formatBytes(std::uint64_t bytes)
 std::string
 formatPercent(double fraction, int precision)
 {
+    // A zero-reference run can hand us NaN/Inf ratios; render them as
+    // 0 rather than leaking "nan%" into a table.
+    if (!std::isfinite(fraction))
+        fraction = 0.0;
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
     return buf;

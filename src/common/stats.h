@@ -109,6 +109,22 @@ class Histogram
     std::uint64_t total_ = 0;
 };
 
+/**
+ * @return num / den, or @p fallback when the denominator is zero or
+ * the quotient is not finite. Every derived metric that can see a
+ * zero-reference run (empty workload phase, quarantined job partial
+ * results) must divide through here so NaN/Inf never reaches a
+ * report or a JSONL sink.
+ */
+inline double
+safeDiv(double num, double den, double fallback = 0.0)
+{
+    if (den == 0.0)
+        return fallback;
+    double q = num / den;
+    return std::isfinite(q) ? q : fallback;
+}
+
 /** @return the geometric mean of @p values (all must be > 0). */
 double geometricMean(const std::vector<double> &values);
 

@@ -1,9 +1,11 @@
 #include "harness/experiment.h"
 
 #include "common/logging.h"
+#include "common/stats.h"
 #include "mem/memsystem.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "verify/differential.h"
 #include "vm/hints.h"
 #include "vm/physmem.h"
 #include "vm/policy.h"
@@ -129,6 +131,17 @@ runProgram(Program program, const ExperimentConfig &config)
                 return recolorer->onConflictMiss(cpu, vpn, now);
             });
     }
+    // Lockstep differential verification and cadence auditing: both
+    // observe the optimized path without changing any result it
+    // produces, so they can ride along under any policy/workload.
+    std::unique_ptr<verify::DifferentialVerifier> verifier;
+    if (config.verifyEvery) {
+        verifier = std::make_unique<verify::DifferentialVerifier>(
+            m, mem, vm, config.verifyEvery);
+        mem.setMemObserver(verifier.get());
+    }
+    if (config.auditEvery)
+        mem.setAuditEvery(config.auditEvery);
     MpSimulator sim(m, mem);
     SimOptions simopts = config.sim;
     if (simopts.statsInterval && !simopts.snapshots)
@@ -139,6 +152,11 @@ runProgram(Program program, const ExperimentConfig &config)
     }
     if (recolorer)
         res.recolorStats = recolorer->stats();
+    if (verifier) {
+        res.verifiedRefs = verifier->stats().refsChecked;
+        res.verifiedDeepCompares = verifier->stats().deepCompares;
+    }
+    res.auditsRun = mem.auditsRun();
     CDPC_METRIC_COUNT("harness.experiments", 1);
 
     res.workload = program.name;
@@ -150,9 +168,8 @@ runProgram(Program program, const ExperimentConfig &config)
     const VmStats &vs = res.degradation;
     std::uint64_t expressed =
         vs.hintHonored + vs.hintFallback + vs.hintDenied;
-    res.hintsHonored =
-        expressed ? static_cast<double>(vs.hintHonored) / expressed
-                  : 1.0;
+    res.hintsHonored = safeDiv(static_cast<double>(vs.hintHonored),
+                               static_cast<double>(expressed), 1.0);
     return res;
 }
 

@@ -89,6 +89,17 @@ struct ExperimentConfig
     MemPressureConfig pressure;
     /** What a fault gets when its preferred color has no free page. */
     FallbackKind fallback = FallbackKind::AnyColor;
+    /**
+     * Lockstep-verify every reference against the simple reference
+     * memory system (src/verify/), deep-comparing the full structural
+     * state every this many references. 0 disables verification.
+     */
+    std::uint64_t verifyEvery = 0;
+    /**
+     * Run the runtime structural auditors (cache/LRU/MESI/page-table
+     * invariants) every this many references. 0 disables.
+     */
+    std::uint64_t auditEvery = 0;
 };
 
 /** Everything one experiment produced. */
@@ -121,6 +132,11 @@ struct ExperimentResult
      * simulation data, deterministic across worker counts.
      */
     std::vector<obs::IntervalSnapshot> snapshots;
+    /** Lockstep-verification counters (config.verifyEvery > 0). */
+    std::uint64_t verifiedRefs = 0;
+    std::uint64_t verifiedDeepCompares = 0;
+    /** Cadence audits that ran (config.auditEvery > 0). */
+    std::uint64_t auditsRun = 0;
 };
 
 /** Compile and run @p program under @p config. */

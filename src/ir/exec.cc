@@ -170,8 +170,11 @@ RunCursor::next(LineAccess &out)
     std::uint32_t elems = 0;
 
     auto add_word_bits = [&](VAddr addr) {
-        std::uint64_t off = addr % lineBytes;
-        mask |= 1u << (off / 8);
+        // The mask has one bit per 8-byte word; clamp so a >256B line
+        // (rejected by MachineConfig::validate, but reachable through
+        // a hand-built config) degrades instead of shifting by >=32.
+        std::uint64_t word = (addr % lineBytes) / 8;
+        mask |= std::uint32_t{1} << (word < 32 ? word : 31);
     };
 
     if (run.strideBytes == 0 && run.wrapModBytes == 0) {

@@ -21,6 +21,11 @@ MachineConfig::validate() const
                 "cache size must be a multiple of assoc * line size");
         fatalIf(!isPowerOf2(c->numSets()),
                 "number of cache sets must be a power of two");
+        // Word masks track 8-byte words of a line in a 32-bit mask;
+        // a wider line would silently alias false-sharing state.
+        fatalIf(c->lineBytes > 256,
+                "cache line size above 256B overflows the 32-bit "
+                "word mask");
     }
     fatalIf(l2.sizeBytes % (pageBytes * l2.assoc) != 0,
             "external cache size must be a multiple of page size * assoc");

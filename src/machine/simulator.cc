@@ -60,7 +60,10 @@ MpSimulator::executeLine(const Program &program, CpuId cpu,
             MemAccess ia;
             ia.va = program.textBase + textCursor[cpu];
             ia.kind = AccessKind::Ifetch;
-            ia.wordMask = (1u << (cfg.l2.lineBytes / 8)) - 1;
+            // lineBytes = 256 would shift a u32 by 32 (UB); saturate.
+            const std::uint32_t words = cfg.l2.lineBytes / 8;
+            ia.wordMask = words >= 32 ? ~std::uint32_t{0}
+                                      : (std::uint32_t{1} << words) - 1;
             if (opts.record) {
                 TraceRecord rec;
                 rec.va = ia.va;

@@ -100,6 +100,9 @@ MemorySystem::access(CpuId cpu, const MemAccess &acc, Cycles now)
         out.l1Hit = true;
         p.stats.l1Hits++;
         out.stall = out.kernel;
+        if (observer_)
+            observer_->onAccess(cpu, acc, now, out, pa);
+        maybeAudit();
         return out;
     }
 
@@ -144,6 +147,13 @@ MemorySystem::access(CpuId cpu, const MemAccess &acc, Cycles now)
 
     out.stall = out.kernel + r.latency;
 
+    // The verification observer sees the pure memory-system outcome,
+    // before any dynamic-policy cycles land on it — and before a
+    // recoloring purge mutates the state it is about to mirror.
+    if (observer_)
+        observer_->onAccess(cpu, acc, now, out, pa);
+    maybeAudit();
+
     // Dynamic-policy hook: conflict misses may trigger a recoloring
     // whose kernel cost lands on this access.
     if (hasConflictObserver && r.miss && r.kind == MissKind::Conflict) {
@@ -164,11 +174,43 @@ MemorySystem::setConflictObserver(ConflictObserver obs)
 }
 
 void
+MemorySystem::setAuditEvery(std::uint64_t every)
+{
+    auditEvery_ = every;
+    untilAudit_ = every;
+}
+
+void
+MemorySystem::auditFull() const
+{
+    auditInvariants();
+    vm.auditPageTable();
+    for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+        const Port &p = *ports[q];
+        p.tlb.audit();
+        p.shadow.audit();
+        // Every micro-cache entry stamped with the current mapping
+        // generation must agree with the page table; stale-generation
+        // entries are unreachable by construction and need no check.
+        for (const TransEntry &te : p.tcache) {
+            if (te.vpn == ~PageNum{0} || te.gen != vm.generation())
+                continue;
+            auto mapped = vm.translateIfMapped(te.vpn * cfg.pageBytes);
+            panicIfNot(mapped && *mapped == te.paBase,
+                       "audit: stale translation micro-cache entry "
+                       "for vpn ", te.vpn, " on cpu ", q);
+        }
+    }
+}
+
+void
 MemorySystem::purgePage(VAddr va)
 {
     auto pa = vm.translateIfMapped(va);
     if (!pa)
         return;
+    if (observer_)
+        observer_->onPurge(va, *pa);
     Addr first_line = *pa >> lineShift;
     std::uint64_t lines = cfg.linesPerPage();
     PageNum vpn = vm.vpnOf(va);
@@ -179,8 +221,12 @@ MemorySystem::purgePage(VAddr va)
         for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
             Port &p = *ports[q];
             if (CacheLine *l = p.l2.probe(idx, line)) {
-                if (l->state == Mesi::Modified)
-                    bus.acquire(BusKind::Writeback, 0);
+                if (l->state == Mesi::Modified) {
+                    // Charge the writeback where the bus actually is:
+                    // acquiring "at cycle 0" would book the entire
+                    // absolute bus time as phantom queueing delay.
+                    bus.acquire(BusKind::Writeback, bus.freeAt());
+                }
                 p.l2.invalidate(idx, line);
                 backInvalidateL1(q, line);
             }
@@ -357,6 +403,15 @@ MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
 
 Cycles
 MemorySystem::prefetch(CpuId cpu, VAddr va, Cycles now)
+{
+    Cycles stall = prefetchImpl(cpu, va, now);
+    if (observer_)
+        observer_->onPrefetch(cpu, va, now, stall);
+    return stall;
+}
+
+Cycles
+MemorySystem::prefetchImpl(CpuId cpu, VAddr va, Cycles now)
 {
     panicIfNot(cpu < ports.size(), "prefetch from out-of-range CPU ", cpu);
     Port &p = *ports[cpu];

@@ -43,6 +43,14 @@ namespace cdpc
 /** Upper bound on CPUs (paper evaluates up to 16). */
 inline constexpr std::uint32_t kMaxCpus = 32;
 
+// The sharing classifier keeps per-line CPU sets in 32-bit masks, and
+// physical addresses/line numbers must be 64-bit so >4 GiB footprints
+// never truncate in shift-based line/page math.
+static_assert(kMaxCpus <= 32, "sharing/holder masks are 32-bit");
+static_assert(sizeof(Addr) == 8 && sizeof(PAddr) == 8 &&
+                  sizeof(VAddr) == 8 && sizeof(PageNum) == 8,
+              "address and page-number types must be 64-bit");
+
 /** What kind of reference a CPU is making. */
 enum class AccessKind : unsigned char
 {
@@ -131,6 +139,34 @@ struct CpuMemStats
     }
 };
 
+/**
+ * Observation interface for lockstep verification: a registered
+ * observer sees every completed demand reference, prefetch and page
+ * purge with enough context to drive an independent model of the
+ * hierarchy (src/verify/). Hooks fire after the optimized path has
+ * fully updated its state for the event, and before any dynamic-
+ * policy (conflict observer) cycles are charged on top — so the
+ * reported outcome is the pure memory-system outcome.
+ */
+class MemObserver
+{
+  public:
+    virtual ~MemObserver() = default;
+
+    /** One demand reference completed with @p out; @p pa is the
+     *  translated physical address (post-fault). */
+    virtual void onAccess(CpuId cpu, const MemAccess &acc, Cycles now,
+                          const AccessOutcome &out, PAddr pa) = 0;
+
+    /** One software prefetch was issued at @p now, stalling the CPU
+     *  for @p stall cycles (0 covers the dropped cases too). */
+    virtual void onPrefetch(CpuId cpu, VAddr va, Cycles now,
+                            Cycles stall) = 0;
+
+    /** purgePage(@p va) resolved to @p pa and is about to purge. */
+    virtual void onPurge(VAddr va, PAddr pa) = 0;
+};
+
 /** The complete multiprocessor memory hierarchy. */
 class MemorySystem
 {
@@ -171,7 +207,17 @@ class MemorySystem
     }
 
     const Cache &l2Cache(CpuId cpu) const { return ports[cpu]->l2; }
+    const Cache &l1dCache(CpuId cpu) const { return ports[cpu]->l1d; }
+    const Cache &l1iCache(CpuId cpu) const { return ports[cpu]->l1i; }
     const Tlb &tlb(CpuId cpu) const { return ports[cpu]->tlb; }
+    /** The conflict/capacity LRU shadow fed by this CPU's demand
+     *  stream (deep structural comparison in verify mode). */
+    const LruShadow &missShadow(CpuId cpu) const
+    {
+        return ports[cpu]->shadow;
+    }
+    /** First cycle at which the bus will next be free. */
+    Cycles busFreeAt() const { return bus.freeAt(); }
     /** The address space this hierarchy translates through. */
     const VirtualMemory &addressSpace() const { return vm; }
     std::uint32_t lineBytes() const { return cfg.l2.lineBytes; }
@@ -187,6 +233,31 @@ class MemorySystem
 
     /** Install (or clear, with nullptr) the conflict observer. */
     void setConflictObserver(ConflictObserver obs);
+
+    /**
+     * Install (or clear, with nullptr) the lockstep verification
+     * observer. Not owned; must outlive the registration. Costs one
+     * pointer null-check per reference when absent.
+     */
+    void setMemObserver(MemObserver *obs) { observer_ = obs; }
+
+    /**
+     * Run auditFull() every @p every demand references (0 disables) —
+     * the cadence-driven runtime promotion of the test-only auditors.
+     */
+    void setAuditEvery(std::uint64_t every);
+
+    /** How many cadence audits have run so far. */
+    std::uint64_t auditsRun() const { return auditsRun_; }
+
+    /**
+     * Full structural audit: auditInvariants() plus the intrusive-LRU
+     * consistency of every TLB and miss shadow, the page table's
+     * segment ordering, and the validity of every current-generation
+     * translation micro-cache entry against the page table. panic()s
+     * on the first violation.
+     */
+    void auditFull() const;
 
     /**
      * Purge one virtual page everywhere: invalidate its lines from
@@ -282,6 +353,13 @@ class MemorySystem
     ConflictObserver conflictObserver;
     /** Cached conflictObserver null-check, off the miss path. */
     bool hasConflictObserver = false;
+    /** Lockstep verification observer; null when verification is off. */
+    MemObserver *observer_ = nullptr;
+    /** Cadence of the runtime auditor; 0 disables. */
+    std::uint64_t auditEvery_ = 0;
+    /** References until the next cadence audit fires. */
+    std::uint64_t untilAudit_ = 0;
+    std::uint64_t auditsRun_ = 0;
     std::vector<std::unique_ptr<Port>> ports;
     /** Per-line invalidation history for sharing classification. */
     std::unordered_map<Addr, SharingInfo> sharing;
@@ -297,6 +375,9 @@ class MemorySystem
     L2Result l2Access(CpuId cpu, Addr line, bool is_write,
                       std::uint32_t word_mask, Cycles now,
                       bool is_prefetch);
+
+    /** prefetch() minus the observation hook. */
+    Cycles prefetchImpl(CpuId cpu, VAddr va, Cycles now);
 
     /** Invalidate all other copies of @p line on behalf of a writer. */
     void invalidateOthers(CpuId writer, Addr line,
@@ -314,6 +395,17 @@ class MemorySystem
     /** Classify an external-cache demand miss. */
     MissKind classifyMiss(CpuId cpu, Addr line, std::uint32_t word_mask,
                           bool seen_before, bool shadow_hit);
+
+    /** Count down to the next cadence audit; one branch when off. */
+    void
+    maybeAudit()
+    {
+        if (auditEvery_ && --untilAudit_ == 0) {
+            untilAudit_ = auditEvery_;
+            auditsRun_++;
+            auditFull();
+        }
+    }
 };
 
 } // namespace cdpc

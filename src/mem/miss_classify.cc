@@ -93,6 +93,33 @@ LruShadow::contains(Addr line) const
 }
 
 void
+LruShadow::audit() const
+{
+    // The shadow never invalidates single lines, so every ever-used
+    // slot is on the LRU list and indexed at its own position.
+    std::uint64_t listed = 0;
+    std::uint32_t prev = kNil;
+    for (std::uint32_t s = head; s != kNil; s = slots[s].next) {
+        panicIfNot(s < used, "shadow audit: list slot ", s,
+                   " beyond used range ", used);
+        const Slot &e = slots[s];
+        panicIfNot(e.prev == prev,
+                   "shadow audit: asymmetric links at slot ", s);
+        const std::uint32_t *idx = index.find(e.line);
+        panicIfNot(idx && *idx == s, "shadow audit: line ", e.line,
+                   " in slot ", s, " not indexed there");
+        listed++;
+        panicIfNot(listed <= used, "shadow audit: LRU list cycles");
+        prev = s;
+    }
+    panicIfNot(tail == prev,
+               "shadow audit: tail does not end the list");
+    panicIfNot(listed == used && listed == index.size(),
+               "shadow audit: ", listed, " listed slots, ", used,
+               " used, ", index.size(), " indexed lines");
+}
+
+void
 LruShadow::reset()
 {
     index.clear();

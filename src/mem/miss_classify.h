@@ -78,6 +78,13 @@ class LruShadow
     std::uint64_t capacity() const { return capacityLines; }
     std::size_t size() const { return index.size(); }
 
+    /**
+     * Audit the intrusive-LRU structure: list and index must agree on
+     * the resident set, links must be symmetric, and every ever-used
+     * slot must sit on the list exactly once. panic()s on violation.
+     */
+    void audit() const;
+
   private:
     static constexpr std::uint32_t kNil = ~std::uint32_t{0};
 

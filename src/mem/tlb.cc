@@ -96,6 +96,48 @@ Tlb::invalidate(PageNum vpn)
 }
 
 void
+Tlb::audit() const
+{
+    // Walk the LRU list head -> tail checking link symmetry and that
+    // every listed slot is valid and indexed at its own position.
+    std::uint64_t listed = 0;
+    std::uint32_t prev = kNil;
+    for (std::uint32_t s = head; s != kNil; s = slots[s].next) {
+        panicIfNot(s < entries, "tlb audit: list slot ", s,
+                   " out of range");
+        const Slot &e = slots[s];
+        panicIfNot(e.valid, "tlb audit: invalid slot ", s,
+                   " on the LRU list");
+        panicIfNot(e.prev == prev, "tlb audit: asymmetric links at "
+                   "slot ", s);
+        const std::uint32_t *idx = index.find(e.vpn);
+        panicIfNot(idx && *idx == s, "tlb audit: vpn ", e.vpn,
+                   " in slot ", s, " not indexed there");
+        listed++;
+        panicIfNot(listed <= entries, "tlb audit: LRU list cycles");
+        prev = s;
+    }
+    panicIfNot(tail == prev, "tlb audit: tail does not end the list");
+    panicIfNot(listed == index.size(), "tlb audit: ", listed,
+               " listed slots but ", index.size(), " indexed vpns");
+
+    // Free-chain slots must be invalid, and together with the listed
+    // and never-used slots account for every slot exactly once.
+    std::uint64_t freed = 0;
+    for (std::uint32_t s = freeHead; s != kNil; s = slots[s].next) {
+        panicIfNot(s < entries, "tlb audit: free slot ", s,
+                   " out of range");
+        panicIfNot(!slots[s].valid, "tlb audit: valid slot ", s,
+                   " on the free chain");
+        freed++;
+        panicIfNot(freed <= entries, "tlb audit: free chain cycles");
+    }
+    panicIfNot(used <= entries && listed + freed == used,
+               "tlb audit: slot accounting broken (", listed,
+               " listed + ", freed, " free != ", used, " used)");
+}
+
+void
 Tlb::flush()
 {
     for (Slot &e : slots)

@@ -104,6 +104,14 @@ class Tlb
     std::size_t size() const { return index.size(); }
     const TlbStats &stats() const { return stats_; }
 
+    /**
+     * Audit the intrusive-LRU structure: the lru list and the flat
+     * index must describe the same resident set, list links must be
+     * symmetric, free-chain slots must be invalid, and every slot
+     * must be accounted for exactly once. panic()s on violation.
+     */
+    void audit() const;
+
   private:
     static constexpr std::uint32_t kNil = ~std::uint32_t{0};
 

@@ -109,6 +109,14 @@ MetricsRegistry::histogram(const std::string &name)
     return *h;
 }
 
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->counterByName.find(name);
+    return it == impl_->counterByName.end() ? nullptr : it->second;
+}
+
 void
 MetricsRegistry::resetAll()
 {

@@ -166,6 +166,13 @@ class MetricsRegistry
     Gauge &gauge(const std::string &name);
     Histogram &histogram(const std::string &name);
 
+    /**
+     * Look up a counter without registering it: nullptr when no site
+     * has created @p name yet. Lets tests and reporting code ask
+     * "did this event ever fire?" without perturbing the registry.
+     */
+    const Counter *findCounter(const std::string &name) const;
+
     /** Zero every registered metric (names stay registered). */
     void resetAll();
 

@@ -1,9 +1,11 @@
 #include "runner/result_sink.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.h"
 #include "mem/miss_classify.h"
+#include "obs/metrics.h"
 
 namespace cdpc::runner
 {
@@ -15,6 +17,14 @@ namespace
 std::string
 jsonNumber(double v)
 {
+    // Bare nan/inf are not valid JSON; a reader would reject the
+    // whole line. Clamp to 0 and count, so the corruption is visible
+    // in the metrics instead of in a parse error downstream.
+    if (!std::isfinite(v)) {
+        CDPC_METRIC_COUNT("sink.nonFinite", 1);
+        warn("result sink: clamped non-finite value to 0");
+        v = 0.0;
+    }
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     // Prefer the shorter %.15g / %.16g form when it round-trips.

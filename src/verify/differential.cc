@@ -1,0 +1,294 @@
+#include "verify/differential.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cdpc::verify
+{
+
+namespace
+{
+
+std::string
+hex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+const char *
+kindName(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::Load:
+        return "load";
+      case AccessKind::Store:
+        return "store";
+      case AccessKind::Ifetch:
+        return "ifetch";
+    }
+    return "?";
+}
+
+std::string
+outcomeLine(Cycles stall, Cycles kernel, bool l1, bool l2, bool tlbm,
+            bool fault, bool l2m, MissKind kind, PAddr pa)
+{
+    std::ostringstream os;
+    os << "stall=" << stall << " kernel=" << kernel << " l1Hit=" << l1
+       << " l2Hit=" << l2 << " tlbMiss=" << tlbm << " pageFault="
+       << fault << " l2Miss=" << l2m << " missKind="
+       << missKindName(kind) << " pa=" << hex(pa);
+    return os.str();
+}
+
+} // namespace
+
+DifferentialVerifier::DifferentialVerifier(const MachineConfig &config,
+                                           const MemorySystem &mem,
+                                           const VirtualMemory &vm,
+                                           std::uint64_t deep_every)
+    : mem(mem), vm(vm), ref(config, vm), deepEvery(deep_every),
+      untilDeep(deep_every)
+{}
+
+void
+DifferentialVerifier::diverge(const std::string &what) const
+{
+    CDPC_METRIC_COUNT("verify.divergences", 1);
+    throw DivergenceError("divergence: " + what);
+}
+
+void
+DifferentialVerifier::onAccess(CpuId cpu, const MemAccess &acc,
+                               Cycles now, const AccessOutcome &out,
+                               PAddr pa)
+{
+    RefOutcome r = ref.access(cpu, acc, now, pa);
+    stats_.refsChecked++;
+    CDPC_METRIC_COUNT("verify.refs", 1);
+
+    PageNum vpn = acc.va / vm.pageBytes();
+    auto repro = [&](const std::string &field) {
+        std::ostringstream os;
+        os << field << " mismatch at reference #" << stats_.refsChecked
+           << ": cpu=" << cpu << " " << kindName(acc.kind) << " va="
+           << hex(acc.va) << " vpn=" << vpn << " now=" << now
+           << "\n  optimized: "
+           << outcomeLine(out.stall, out.kernel, out.l1Hit, out.l2Hit,
+                          out.tlbMiss, out.pageFault, out.l2Miss,
+                          out.missKind, pa)
+           << "\n  reference: "
+           << outcomeLine(r.stall, r.kernel, r.l1Hit, r.l2Hit,
+                          r.tlbMiss, r.pageFault, r.l2Miss, r.missKind,
+                          r.pa);
+        diverge(os.str());
+    };
+
+    if (r.pa != pa)
+        repro("physical address");
+    if (r.pageFault != out.pageFault)
+        repro("pageFault");
+    if (r.tlbMiss != out.tlbMiss)
+        repro("tlbMiss");
+    if (r.kernel != out.kernel)
+        repro("kernel cycles");
+    if (r.l1Hit != out.l1Hit)
+        repro("l1Hit");
+    if (r.l2Hit != out.l2Hit)
+        repro("l2Hit");
+    if (r.l2Miss != out.l2Miss)
+        repro("l2Miss");
+    if (r.missKind != out.missKind)
+        repro("missKind");
+    if (r.stall != out.stall)
+        repro("stall cycles");
+
+    // Color relation: the physical page's cache color must match what
+    // the VM layer reports for the virtual page.
+    std::uint64_t colors = vm.numColors();
+    if ((pa / vm.pageBytes()) % colors != vm.colorOf(acc.va))
+        repro("page color");
+
+    // MESI cross-check of the line just touched. Inclusion puts every
+    // L1-resident line in the external cache, and a missing line was
+    // just inserted, so both models must hold it (the reference
+    // reports absence as Invalid in RefOutcome::l2State).
+    Addr line = pa / mem.lineBytes();
+    Addr idx = line * mem.lineBytes();
+    const CacheLine *ol = mem.l2Cache(cpu).probe(idx, line);
+    if (!ol || r.l2State == Mesi::Invalid || ol->state != r.l2State) {
+        std::ostringstream os;
+        os << "MESI state of line " << hex(line)
+           << " after reference #" << stats_.refsChecked << ": cpu="
+           << cpu << " va=" << hex(acc.va) << " vpn=" << vpn
+           << " optimized="
+           << (ol ? mesiName(ol->state) : "<absent>") << " reference="
+           << (r.l2State != Mesi::Invalid ? mesiName(r.l2State)
+                                          : "<absent>");
+        diverge(os.str());
+    }
+
+    if (deepEvery && --untilDeep == 0) {
+        untilDeep = deepEvery;
+        deepCompare();
+    }
+}
+
+void
+DifferentialVerifier::onPrefetch(CpuId cpu, VAddr va, Cycles now,
+                                 Cycles stall)
+{
+    Cycles predicted = ref.prefetch(cpu, va, now);
+    stats_.prefetchesChecked++;
+    if (predicted != stall) {
+        std::ostringstream os;
+        os << "prefetch stall after reference #" << stats_.refsChecked
+           << ": cpu=" << cpu << " va=" << hex(va) << " now=" << now
+           << " optimized=" << stall << " reference=" << predicted;
+        diverge(os.str());
+    }
+}
+
+void
+DifferentialVerifier::onPurge(VAddr va, PAddr pa)
+{
+    PAddr predicted = ref.purgePage(va);
+    stats_.purgesChecked++;
+    if (predicted != pa) {
+        std::ostringstream os;
+        os << "purge translation after reference #"
+           << stats_.refsChecked << ": va=" << hex(va) << " optimized="
+           << hex(pa) << " reference=" << hex(predicted);
+        diverge(os.str());
+    }
+}
+
+void
+DifferentialVerifier::compareCaches(CpuId cpu, const char *which,
+                                    const Cache &opt,
+                                    const RefCache &model,
+                                    std::uint64_t phys_line_bytes) const
+{
+    // A line address appears at most once per cache, so the contents
+    // are equal iff every optimized line is found in the model with
+    // the same state and dirty bit, and the totals match. For
+    // physically indexed caches the model can be probed directly —
+    // no snapshot, no sort.
+    if (phys_line_bytes) {
+        std::size_t opt_count = 0;
+        bool mismatch = false;
+        opt.forEachValid([&](const CacheLine &l) {
+            opt_count++;
+            const RefLine *rl =
+                model.probe(l.lineAddr * phys_line_bytes, l.lineAddr);
+            if (!rl || rl->state != l.state || rl->dirty != l.dirty)
+                mismatch = true;
+        });
+        if (!mismatch && opt_count == model.validCount())
+            return;
+    }
+
+    // Sorted-snapshot comparison: the only option for virtually
+    // indexed caches, and the diagnostic path for probe mismatches.
+    using Triple = std::tuple<Addr, Mesi, bool>;
+    std::vector<Triple> a;
+    opt.forEachValid([&](const CacheLine &l) {
+        a.emplace_back(l.lineAddr, l.state, l.dirty);
+    });
+    std::sort(a.begin(), a.end());
+    std::size_t matched = 0;
+    bool missing = false;
+    model.forEachValid([&](const RefLine &l) {
+        if (std::binary_search(a.begin(), a.end(),
+                               Triple{l.line, l.state, l.dirty}))
+            matched++;
+        else
+            missing = true;
+    });
+    if (!missing && matched == a.size())
+        return;
+
+    std::vector<Triple> b;
+    model.forEachValid([&](const RefLine &l) {
+        b.emplace_back(l.line, l.state, l.dirty);
+    });
+    std::sort(b.begin(), b.end());
+
+    std::ostringstream os;
+    os << "deep compare: " << which << " contents on cpu " << cpu
+       << " after reference #" << stats_.refsChecked << " ("
+       << a.size() << " vs " << b.size() << " valid lines)";
+    for (const Triple &t : a) {
+        if (!std::binary_search(b.begin(), b.end(), t)) {
+            os << "\n  only optimized: line=" << hex(std::get<0>(t))
+               << " state=" << mesiName(std::get<1>(t)) << " dirty="
+               << std::get<2>(t);
+        }
+    }
+    for (const Triple &t : b) {
+        if (!std::binary_search(a.begin(), a.end(), t)) {
+            os << "\n  only reference: line=" << hex(std::get<0>(t))
+               << " state=" << mesiName(std::get<1>(t)) << " dirty="
+               << std::get<2>(t);
+        }
+    }
+    diverge(os.str());
+}
+
+void
+DifferentialVerifier::deepCompare() const
+{
+    stats_.deepCompares++;
+    CDPC_METRIC_COUNT("verify.deepCompares", 1);
+
+    for (std::uint32_t q = 0; q < ref.numCpus(); q++) {
+        compareCaches(q, "L1D", mem.l1dCache(q), ref.l1d(q), 0);
+        compareCaches(q, "L1I", mem.l1iCache(q), ref.l1i(q), 0);
+        compareCaches(q, "L2", mem.l2Cache(q), ref.l2(q),
+                      mem.lineBytes());
+
+        const Tlb &tlb = mem.tlb(q);
+        if (tlb.size() != ref.tlbOf(q).size()) {
+            diverge(detail::concat(
+                "deep compare: TLB size on cpu ", q, ": optimized=",
+                tlb.size(), " reference=", ref.tlbOf(q).size()));
+        }
+        ref.tlbOf(q).forEach([&](std::uint64_t vpn) {
+            if (!tlb.contains(vpn)) {
+                diverge(detail::concat(
+                    "deep compare: vpn ", vpn,
+                    " resident in reference TLB only, cpu ", q));
+            }
+        });
+
+        const LruShadow &shadow = mem.missShadow(q);
+        if (shadow.size() != ref.shadowOf(q).size()) {
+            diverge(detail::concat(
+                "deep compare: miss-shadow size on cpu ", q,
+                ": optimized=", shadow.size(), " reference=",
+                ref.shadowOf(q).size()));
+        }
+        ref.shadowOf(q).forEach([&](std::uint64_t line) {
+            if (!shadow.contains(line)) {
+                diverge(detail::concat(
+                    "deep compare: line ", line,
+                    " resident in reference miss shadow only, cpu ",
+                    q));
+            }
+        });
+    }
+
+    if (mem.busFreeAt() != ref.busFreeAt()) {
+        diverge(detail::concat(
+            "deep compare: bus clock: optimized free at ",
+            mem.busFreeAt(), ", reference free at ", ref.busFreeAt()));
+    }
+}
+
+} // namespace cdpc::verify

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * DifferentialVerifier: runs the reference memory system in lockstep
+ * with the optimized hierarchy via the MemObserver hooks and throws a
+ * DivergenceError with a minimal repro on the first disagreement
+ * (DESIGN.md §11).
+ *
+ * Per-event checks compare the complete AccessOutcome (stall cycles,
+ * kernel cycles, hit levels, miss classification), the physical
+ * translation, the page color relation, and the MESI state of the
+ * accessed external-cache line. Every --verify-every N events a deep
+ * structural comparison additionally walks all caches, TLBs, miss
+ * shadows and the bus clock of both models.
+ */
+
+#ifndef CDPC_VERIFY_DIFFERENTIAL_H
+#define CDPC_VERIFY_DIFFERENTIAL_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "mem/memsystem.h"
+#include "verify/ref_memsystem.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc::verify
+{
+
+/**
+ * The optimized path and the reference model disagreed. Derived from
+ * PanicError so the batch runner treats a divergence like any other
+ * simulator-invariant violation (permanent quarantine, never retried).
+ */
+class DivergenceError : public PanicError
+{
+  public:
+    explicit DivergenceError(const std::string &what)
+        : PanicError(what)
+    {}
+};
+
+/** Lockstep-verification progress counters. */
+struct VerifyStats
+{
+    std::uint64_t refsChecked = 0;
+    std::uint64_t prefetchesChecked = 0;
+    std::uint64_t purgesChecked = 0;
+    std::uint64_t deepCompares = 0;
+};
+
+/** MemObserver that cross-checks every event against RefMemorySystem. */
+class DifferentialVerifier : public MemObserver
+{
+  public:
+    /**
+     * @param config machine parameters (same as the system under test)
+     * @param mem the optimized hierarchy under test (read only)
+     * @param vm the shared address space
+     * @param deep_every run a deep structural comparison every this
+     *        many demand references (0 = per-event checks only)
+     */
+    DifferentialVerifier(const MachineConfig &config,
+                         const MemorySystem &mem,
+                         const VirtualMemory &vm,
+                         std::uint64_t deep_every);
+
+    void onAccess(CpuId cpu, const MemAccess &acc, Cycles now,
+                  const AccessOutcome &out, PAddr pa) override;
+    void onPrefetch(CpuId cpu, VAddr va, Cycles now,
+                    Cycles stall) override;
+    void onPurge(VAddr va, PAddr pa) override;
+
+    /**
+     * Compare the full structural state of both models: every valid
+     * line (address, MESI state, dirty bit) of every cache, TLB and
+     * miss-shadow contents, and the bus clock. Throws DivergenceError
+     * on the first mismatch.
+     */
+    void deepCompare() const;
+
+    const VerifyStats &stats() const { return stats_; }
+    RefMemorySystem &model() { return ref; }
+
+  private:
+    [[noreturn]] void diverge(const std::string &what) const;
+    /**
+     * Structural comparison of one cache pair. @p phys_line_bytes is
+     * nonzero for physically indexed caches (the L2), enabling a
+     * probe-based membership check that skips the sorted-snapshot
+     * path; virtually indexed L1s (set chosen by VA, unknowable from
+     * the line address) pass 0 and always take the sorted path.
+     */
+    void compareCaches(CpuId cpu, const char *which, const Cache &opt,
+                       const RefCache &model,
+                       std::uint64_t phys_line_bytes) const;
+
+    const MemorySystem &mem;
+    const VirtualMemory &vm;
+    RefMemorySystem ref;
+    std::uint64_t deepEvery;
+    std::uint64_t untilDeep;
+    /** Mutable so the externally callable deepCompare() counts too. */
+    mutable VerifyStats stats_;
+};
+
+} // namespace cdpc::verify
+
+#endif // CDPC_VERIFY_DIFFERENTIAL_H

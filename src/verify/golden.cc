@@ -1,0 +1,324 @@
+#include "verify/golden.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cdpc::verify
+{
+
+namespace
+{
+
+/** %.17g: enough digits to round-trip any double exactly. */
+std::string
+metric(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+MachineConfig
+machineNamed(const std::string &name, std::uint32_t cpus)
+{
+    if (name == "scaled")
+        return MachineConfig::paperScaled(cpus);
+    if (name == "scaled-2way")
+        return MachineConfig::paperScaledTwoWay(cpus);
+    if (name == "scaled-4mb")
+        return MachineConfig::paperScaledBig(cpus);
+    if (name == "alpha")
+        return MachineConfig::alphaScaled(cpus);
+    panic("unknown golden machine preset ", name);
+}
+
+const char *
+policyTag(MappingPolicy p)
+{
+    switch (p) {
+      case MappingPolicy::PageColoring:
+        return "pc";
+      case MappingPolicy::BinHopping:
+        return "bh";
+      case MappingPolicy::Cdpc:
+        return "cdpc";
+      case MappingPolicy::CdpcTouchOrder:
+        return "cdpc-touch";
+      default:
+        return "other";
+    }
+}
+
+GoldenJob
+makeGoldenJob(const std::string &workload, MappingPolicy policy,
+              std::uint32_t cpus, const std::string &machine,
+              bool prefetch = false)
+{
+    GoldenJob job;
+    job.workload = workload;
+    job.config.machine = machineNamed(machine, cpus);
+    job.config.mapping = policy;
+    job.config.prefetch = prefetch;
+    std::ostringstream label;
+    label << workload << "/" << policyTag(policy) << "/cpus=" << cpus
+          << "/" << machine;
+    if (prefetch)
+        label << "/prefetch";
+    job.label = label.str();
+    return job;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+goldenFigures()
+{
+    static const std::vector<std::string> figures = {
+        "fig6", "fig7", "fig8", "table2"};
+    return figures;
+}
+
+std::vector<GoldenJob>
+goldenJobs(const std::string &figure)
+{
+    std::vector<GoldenJob> jobs;
+
+    if (figure == "fig6") {
+        // Combined execution time, page coloring vs CDPC, 1..16 CPUs.
+        const char *apps[] = {"tomcatv", "swim",  "su2cor", "hydro2d",
+                              "mgrid",   "applu", "turb3d", "wave5"};
+        const std::uint32_t cpus[] = {1, 2, 4, 8, 16};
+        for (const char *app : apps) {
+            for (std::uint32_t p : cpus) {
+                jobs.push_back(makeGoldenJob(
+                    app, MappingPolicy::PageColoring, p, "scaled"));
+                jobs.push_back(makeGoldenJob(app, MappingPolicy::Cdpc,
+                                             p, "scaled"));
+            }
+        }
+        return jobs;
+    }
+
+    if (figure == "fig7") {
+        // Cache-architecture sensitivity: 2-way and 4 MB external
+        // caches at 8 CPUs.
+        const char *apps[] = {"tomcatv", "swim",  "su2cor",
+                              "hydro2d", "mgrid", "applu"};
+        const char *machines[] = {"scaled-2way", "scaled-4mb"};
+        for (const char *app : apps) {
+            for (const char *m : machines) {
+                jobs.push_back(makeGoldenJob(
+                    app, MappingPolicy::PageColoring, 8, m));
+                jobs.push_back(
+                    makeGoldenJob(app, MappingPolicy::Cdpc, 8, m));
+            }
+        }
+        return jobs;
+    }
+
+    if (figure == "fig8") {
+        // Interaction with compiler prefetching at 8 CPUs.
+        const char *apps[] = {"tomcatv", "swim", "hydro2d", "mgrid",
+                              "applu"};
+        for (const char *app : apps) {
+            for (bool prefetch : {false, true}) {
+                jobs.push_back(
+                    makeGoldenJob(app, MappingPolicy::PageColoring, 8,
+                                  "scaled", prefetch));
+                jobs.push_back(makeGoldenJob(app, MappingPolicy::Cdpc,
+                                             8, "scaled", prefetch));
+            }
+        }
+        return jobs;
+    }
+
+    if (figure == "table2") {
+        // The Digital UNIX implementation: bin hopping vs page
+        // coloring vs touch-order CDPC on the Alpha-like machine.
+        const std::uint32_t cpus[] = {1, 4, 8};
+        for (const WorkloadInfo &w : allWorkloads()) {
+            auto dot = w.name.find('.');
+            std::string app = dot == std::string::npos
+                                  ? w.name
+                                  : w.name.substr(dot + 1);
+            for (std::uint32_t p : cpus) {
+                jobs.push_back(makeGoldenJob(
+                    app, MappingPolicy::BinHopping, p, "alpha"));
+                jobs.push_back(makeGoldenJob(
+                    app, MappingPolicy::PageColoring, p, "alpha"));
+                jobs.push_back(makeGoldenJob(
+                    app, MappingPolicy::CdpcTouchOrder, p, "alpha"));
+            }
+        }
+        return jobs;
+    }
+
+    fatal("unknown golden figure '", figure, "' (have: fig6 fig7 fig8 "
+          "table2)");
+}
+
+std::string
+goldenRecord(const std::string &label, const ExperimentResult &r)
+{
+    const WeightedTotals &t = r.totals;
+    std::ostringstream os;
+    os << label << " combined=" << metric(t.combinedTime())
+       << " wall=" << metric(t.wall) << " mcpi=" << metric(t.mcpi())
+       << " l2Misses=" << metric(t.l2Misses)
+       << " cold=" << metric(t.missCountOf(MissKind::Cold))
+       << " capacity=" << metric(t.missCountOf(MissKind::Capacity))
+       << " conflict=" << metric(t.missCountOf(MissKind::Conflict))
+       << " trueSharing="
+       << metric(t.missCountOf(MissKind::TrueSharing))
+       << " falseSharing="
+       << metric(t.missCountOf(MissKind::FalseSharing))
+       << " upgrade=" << metric(t.missCountOf(MissKind::Upgrade))
+       << " busQueueing=" << metric(t.busQueueing)
+       << " hintsHonored=" << metric(r.hintsHonored);
+    return os.str();
+}
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace
+{
+
+std::map<std::string, std::string>
+parseFields(std::istringstream &in, const std::string &context)
+{
+    std::map<std::string, std::string> fields;
+    std::string kv;
+    while (in >> kv) {
+        auto eq = kv.find('=');
+        fatalIf(eq == std::string::npos, context,
+                ": expected key=value, got '", kv, "'");
+        fields[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+    fatalIf(fields.empty(), context, ": record has no fields");
+    return fields;
+}
+
+} // namespace
+
+GoldenData
+goldenFromRecords(const std::vector<std::string> &lines)
+{
+    GoldenData data;
+    std::string all;
+    for (const std::string &line : lines) {
+        all += line;
+        all += '\n';
+        std::istringstream in(line);
+        std::string label;
+        in >> label;
+        data.records[label] =
+            parseFields(in, "golden record '" + label + "'");
+    }
+    data.digest = fnv1a(all);
+    return data;
+}
+
+std::string
+renderGolden(const std::string &figure,
+             const std::vector<std::string> &lines)
+{
+    std::string all;
+    for (const std::string &line : lines) {
+        all += line;
+        all += '\n';
+    }
+    std::ostringstream os;
+    os << "# cdpc golden results for " << figure
+       << "; regenerate: golden_check " << figure << " --update\n";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(fnv1a(all)));
+    os << "digest " << buf << "\n" << all;
+    return os.str();
+}
+
+GoldenData
+parseGolden(std::istream &in, const std::string &name)
+{
+    GoldenData data;
+    bool have_digest = false;
+    std::string all;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string head;
+        ls >> head;
+        if (head == "digest") {
+            fatalIf(have_digest, name, ":", lineno,
+                    ": duplicate digest line");
+            std::string hex;
+            ls >> hex;
+            fatalIf(hex.empty(), name, ":", lineno,
+                    ": digest line has no value");
+            data.digest = std::strtoull(hex.c_str(), nullptr, 16);
+            have_digest = true;
+            continue;
+        }
+        std::ostringstream ctx;
+        ctx << name << ":" << lineno;
+        data.records[head] = parseFields(ls, ctx.str());
+        all += line;
+        all += '\n';
+    }
+    fatalIf(!have_digest, name, ": no digest line");
+    fatalIf(data.records.empty(), name, ": no records");
+    fatalIf(fnv1a(all) != data.digest, name,
+            ": digest does not match records — file edited by hand "
+            "or truncated; regenerate with golden_check --update");
+    return data;
+}
+
+std::vector<GoldenDiff>
+diffGolden(const GoldenData &golden, const GoldenData &actual)
+{
+    std::vector<GoldenDiff> diffs;
+    for (const auto &[label, gfields] : golden.records) {
+        auto ait = actual.records.find(label);
+        if (ait == actual.records.end()) {
+            diffs.push_back({label, "", "<record>", "<absent>"});
+            continue;
+        }
+        for (const auto &[field, gval] : gfields) {
+            auto fit = ait->second.find(field);
+            if (fit == ait->second.end()) {
+                diffs.push_back({label, field, gval, "<absent>"});
+            } else if (fit->second != gval) {
+                diffs.push_back({label, field, gval, fit->second});
+            }
+        }
+        for (const auto &[field, aval] : ait->second) {
+            if (!gfields.contains(field))
+                diffs.push_back({label, field, "<absent>", aval});
+        }
+    }
+    for (const auto &[label, afields] : actual.records) {
+        if (!golden.records.contains(label))
+            diffs.push_back({label, "", "<absent>", "<record>"});
+    }
+    return diffs;
+}
+
+} // namespace cdpc::verify

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Golden-output registry (DESIGN.md §11): the committed per-figure
+ * result digests under tests/golden/ and the machinery to regenerate
+ * and check them.
+ *
+ * Each figure (fig6/fig7/fig8/table2) is a fixed grid of experiment
+ * jobs. Running the grid yields one canonical record line per job —
+ * key metrics printed with %.17g so the text round-trips doubles
+ * exactly — plus an FNV-1a digest over all record lines. The files
+ * are plain text, diffable, and regenerated only by an explicit
+ * `golden_check <figure> --update`.
+ */
+
+#ifndef CDPC_VERIFY_GOLDEN_H
+#define CDPC_VERIFY_GOLDEN_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace cdpc::verify
+{
+
+/** One cell of a golden figure grid. */
+struct GoldenJob
+{
+    /** Stable record key, e.g. "swim/cdpc/cpus=4/scaled". */
+    std::string label;
+    std::string workload;
+    ExperimentConfig config;
+};
+
+/** The registered figures, in canonical order. */
+const std::vector<std::string> &goldenFigures();
+
+/** The job grid of one figure; fatal() on an unknown name. */
+std::vector<GoldenJob> goldenJobs(const std::string &figure);
+
+/** Canonical record line (no newline) for one finished job. */
+std::string goldenRecord(const std::string &label,
+                         const ExperimentResult &result);
+
+/** 64-bit FNV-1a over @p text. */
+std::uint64_t fnv1a(const std::string &text);
+
+/** Parsed golden data: digest plus label -> (field -> value). */
+struct GoldenData
+{
+    std::uint64_t digest = 0;
+    /** Record lines in file order, keyed by label. */
+    std::map<std::string, std::map<std::string, std::string>> records;
+};
+
+/** Build GoldenData from canonical record lines. */
+GoldenData goldenFromRecords(const std::vector<std::string> &lines);
+
+/** Render a committed golden file (header, digest, records). */
+std::string renderGolden(const std::string &figure,
+                         const std::vector<std::string> &lines);
+
+/** Parse a golden file; fatal() on malformed content. */
+GoldenData parseGolden(std::istream &in, const std::string &name);
+
+/** One disagreement between golden and actual data. */
+struct GoldenDiff
+{
+    std::string label;
+    /** Empty when a whole record is missing on one side. */
+    std::string field;
+    std::string golden; ///< "<absent>" when only actual has it
+    std::string actual; ///< "<absent>" when only golden has it
+};
+
+/** Field-by-field comparison; empty result means identical. */
+std::vector<GoldenDiff> diffGolden(const GoldenData &golden,
+                                   const GoldenData &actual);
+
+} // namespace cdpc::verify
+
+#endif // CDPC_VERIFY_GOLDEN_H

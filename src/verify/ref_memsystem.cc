@@ -1,0 +1,512 @@
+#include "verify/ref_memsystem.h"
+
+#include "common/logging.h"
+
+namespace cdpc::verify
+{
+
+// --------------------------------------------------------------------
+// RefCache
+
+RefLine *
+RefCache::access(Addr index_addr, Addr line)
+{
+    std::list<RefLine> &lines = sets[setOf(index_addr)];
+    for (auto li = lines.begin(); li != lines.end(); ++li) {
+        if (li->line == line) {
+            lines.splice(lines.begin(), lines, li);
+            return &lines.front();
+        }
+    }
+    return nullptr;
+}
+
+RefLine *
+RefCache::probe(Addr index_addr, Addr line)
+{
+    for (RefLine &l : sets[setOf(index_addr)]) {
+        if (l.line == line)
+            return &l;
+    }
+    return nullptr;
+}
+
+const RefLine *
+RefCache::probe(Addr index_addr, Addr line) const
+{
+    for (const RefLine &l : sets[setOf(index_addr)]) {
+        if (l.line == line)
+            return &l;
+    }
+    return nullptr;
+}
+
+RefLine *
+RefCache::insert(Addr index_addr, Addr line, Mesi state,
+                 RefLine *victim, bool *evicted)
+{
+    std::list<RefLine> &lines = sets[setOf(index_addr)];
+    for (const RefLine &l : lines) {
+        panicIfNot(l.line != line,
+                   "ref cache: inserting an already-present line ",
+                   line);
+    }
+    *evicted = false;
+    if (lines.size() >= cfg.assoc) {
+        *victim = lines.back();
+        *evicted = true;
+        // Recycle the evicted node: splice it to the MRU slot and
+        // overwrite. Same list semantics, no per-miss allocation.
+        lines.splice(lines.begin(), lines, std::prev(lines.end()));
+        lines.front() = RefLine{line, state, false};
+        return &lines.front();
+    }
+    lines.push_front(RefLine{line, state, false});
+    return &lines.front();
+}
+
+bool
+RefCache::invalidate(Addr index_addr, Addr line)
+{
+    std::list<RefLine> &lines = sets[setOf(index_addr)];
+    for (auto li = lines.begin(); li != lines.end(); ++li) {
+        if (li->line == line) {
+            lines.erase(li);
+            return true;
+        }
+    }
+    return false;
+}
+
+// --------------------------------------------------------------------
+// RefMemorySystem
+
+RefMemorySystem::RefMemorySystem(const MachineConfig &config,
+                                 const VirtualMemory &vm)
+    : cfg(config), vm(vm)
+{
+    cfg.validate();
+    fatalIf(cfg.numCpus > kMaxCpus, "at most ", kMaxCpus,
+            " CPUs supported");
+    bus.dataCycles = cfg.busDataCycles;
+    bus.wbCycles = cfg.busWritebackCycles;
+    bus.upgradeCycles = cfg.busUpgradeCycles;
+    ports.reserve(cfg.numCpus);
+    for (std::uint32_t i = 0; i < cfg.numCpus; i++)
+        ports.emplace_back(cfg);
+    // Adopt mappings that predate the verifier (touch-order
+    // pre-faulting); later faults are learned from observations.
+    mirrorGen = vm.generation();
+    vm.forEachMapping([&](PageNum vpn, PageNum ppn) {
+        mirror[vpn] = ppn * cfg.pageBytes;
+    });
+}
+
+bool
+RefMemorySystem::resyncIfStale()
+{
+    if (vm.generation() == mirrorGen)
+        return false;
+    mirror.clear();
+    vm.forEachMapping([&](PageNum vpn, PageNum ppn) {
+        mirror[vpn] = ppn * cfg.pageBytes;
+    });
+    mirrorGen = vm.generation();
+    return true;
+}
+
+RefOutcome
+RefMemorySystem::access(CpuId cpu, const MemAccess &acc, Cycles now,
+                        PAddr observed_pa)
+{
+    RefPort &p = ports[cpu];
+    RefOutcome out;
+
+    PageNum vpn = acc.va / cfg.pageBytes;
+    VAddr offset = acc.va % cfg.pageBytes;
+
+    // Fault prediction uses the mirror as of the *previous*
+    // observation: remaps and steals never change which vpns are
+    // mapped, so membership is accurate even before a resync — and
+    // predicting before resyncing is what keeps a steal triggered by
+    // this very fault from leaking the new mapping back in time.
+    auto mit = mirror.find(vpn);
+    out.pageFault = mit == mirror.end();
+
+    if (!p.tlb.accessAndUpdate(vpn)) {
+        out.tlbMiss = true;
+        out.kernel += cfg.tlbMissCycles;
+    }
+    if (out.pageFault)
+        out.kernel += cfg.pageFaultCycles;
+
+    // Now fold in whatever the fault did to the mapping: a steal or
+    // recolor bumps the generation (full resync), a plain allocation
+    // is adopted from the observed physical address.
+    if (resyncIfStale())
+        mit = mirror.find(vpn);
+    if (mit == mirror.end())
+        mit = mirror.emplace(vpn, observed_pa - offset).first;
+    out.pa = mit->second + offset;
+
+    Cycles t = now + out.kernel;
+    Addr line = out.pa / cfg.l2.lineBytes;
+
+    bool is_write = acc.kind == AccessKind::Store;
+    RefCache &l1 = acc.kind == AccessKind::Ifetch ? p.l1i : p.l1d;
+    RefLine *l1l = l1.access(acc.va, line);
+    bool l1_data_hit = l1l != nullptr;
+    bool need_l2 = !l1l || (is_write && !mesiWritable(l1l->state));
+
+    if (!need_l2) {
+        if (is_write) {
+            l1l->state = Mesi::Modified;
+            l1l->dirty = true;
+            recordWrite(cpu, line, acc.wordMask);
+        }
+        out.l1Hit = true;
+        out.stall = out.kernel;
+        // Inclusion keeps every L1-resident line in the L2; a pure
+        // L1 hit leaves its L2 state untouched, so report it as-is.
+        if (const RefLine *inc = p.l2.probe(indexOf(line), line))
+            out.l2State = inc->state;
+        return out;
+    }
+
+    RefL2Result r = l2Access(cpu, line, is_write, acc.wordMask, t,
+                             false);
+    out.l2Hit = r.hit;
+    out.l2Miss = r.miss;
+    out.missKind = r.kind;
+    out.l2State = r.state;
+
+    if (l1_data_hit) {
+        l1l->state = Mesi::Modified;
+        l1l->dirty = true;
+    } else {
+        Mesi fill_state;
+        if (is_write)
+            fill_state = Mesi::Modified;
+        else
+            fill_state = r.writable ? Mesi::Exclusive : Mesi::Shared;
+        RefLine victim;
+        bool evicted = false;
+        RefLine *nl = l1.insert(acc.va, line, fill_state, &victim,
+                                &evicted);
+        nl->dirty = is_write;
+        if (evicted) {
+            if (victim.dirty) {
+                RefLine *l2v = p.l2.probe(indexOf(victim.line),
+                                          victim.line);
+                panicIfNot(l2v != nullptr,
+                           "ref model: inclusion violated for dirty "
+                           "L1 victim ", victim.line);
+                l2v->state = Mesi::Modified;
+            }
+            // Recycle the victim's residence node for the new line.
+            auto node = p.l1Residence.extract(victim.line);
+            if (!node.empty()) {
+                node.key() = line;
+                node.mapped() = acc.va;
+                auto ins = p.l1Residence.insert(std::move(node));
+                if (!ins.inserted)
+                    ins.position->second = acc.va;
+            } else {
+                p.l1Residence[line] = acc.va;
+            }
+        } else {
+            p.l1Residence[line] = acc.va;
+        }
+    }
+
+    out.stall = out.kernel + r.latency;
+    return out;
+}
+
+RefMemorySystem::RefL2Result
+RefMemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
+                          std::uint32_t word_mask, Cycles now,
+                          bool is_prefetch)
+{
+    RefPort &p = ports[cpu];
+    Addr idx = indexOf(line);
+    RefL2Result r;
+
+    RefLine *l2l = p.l2.access(idx, line);
+
+    bool shadow_hit = false;
+    bool seen = false;
+    if (!is_prefetch) {
+        shadow_hit = p.shadow.accessAndUpdate(line);
+        seen = !p.cold.insert(line).second;
+    }
+
+    if (l2l) {
+        r.hit = true;
+        auto pf = p.prefetches.find(line);
+        if (pf != p.prefetches.end() && !is_prefetch) {
+            if (pf->second > now) {
+                Cycles wait = pf->second - now;
+                r.latency += wait;
+                now += wait;
+            }
+            p.prefetches.erase(pf);
+        }
+
+        if (is_write && l2l->state == Mesi::Shared) {
+            Cycles start = bus.acquire(BusKind::Upgrade, now);
+            Cycles lat = (start - now) + cfg.busUpgradeCycles;
+            invalidateOthers(cpu, line, word_mask);
+            l2l->state = Mesi::Modified;
+            r.latency += lat;
+            r.kind = MissKind::Upgrade;
+        } else {
+            if (is_write) {
+                l2l->state = Mesi::Modified;
+                recordWrite(cpu, line, word_mask);
+            }
+            if (!is_prefetch)
+                r.latency += cfg.l2HitCycles;
+        }
+        r.writable = mesiWritable(l2l->state);
+        r.state = l2l->state;
+        return r;
+    }
+
+    r.miss = true;
+    if (!is_prefetch)
+        r.kind = classifyMiss(cpu, line, word_mask, seen, shadow_hit);
+
+    bool shared_elsewhere = false;
+    CpuId dirty_owner = kNoCpu;
+    for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+        if (q == cpu)
+            continue;
+        RefLine *rl = ports[q].l2.probe(idx, line);
+        if (rl) {
+            shared_elsewhere = true;
+            if (rl->state == Mesi::Modified) {
+                dirty_owner = q;
+            } else if (rl->state == Mesi::Exclusive) {
+                auto res = ports[q].l1Residence.find(line);
+                if (res != ports[q].l1Residence.end()) {
+                    RefLine *c = ports[q].l1d.probe(res->second, line);
+                    if (c && c->dirty) {
+                        rl->state = Mesi::Modified;
+                        dirty_owner = q;
+                    }
+                }
+            }
+        }
+    }
+
+    Cycles start = bus.acquire(BusKind::Data, now);
+    Cycles service = dirty_owner != kNoCpu
+                         ? cfg.remoteDirtyLatencyCycles
+                         : cfg.memLatencyCycles;
+    r.latency += (start - now) + service;
+
+    Mesi new_state;
+    if (is_write) {
+        invalidateOthers(cpu, line, word_mask);
+        new_state = Mesi::Modified;
+    } else {
+        if (dirty_owner != kNoCpu) {
+            RefLine *ol = ports[dirty_owner].l2.probe(idx, line);
+            ol->state = Mesi::Shared;
+            auto res = ports[dirty_owner].l1Residence.find(line);
+            if (res != ports[dirty_owner].l1Residence.end()) {
+                RefPort &op = ports[dirty_owner];
+                if (RefLine *c = op.l1d.probe(res->second, line)) {
+                    c->state = Mesi::Shared;
+                    c->dirty = false;
+                } else if (RefLine *c2 =
+                               op.l1i.probe(res->second, line)) {
+                    c2->state = Mesi::Shared;
+                    c2->dirty = false;
+                }
+            }
+        } else if (shared_elsewhere) {
+            for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+                if (q == cpu)
+                    continue;
+                if (RefLine *rl = ports[q].l2.probe(idx, line)) {
+                    if (rl->state == Mesi::Exclusive)
+                        rl->state = Mesi::Shared;
+                }
+            }
+        }
+        new_state = shared_elsewhere ? Mesi::Shared : Mesi::Exclusive;
+    }
+
+    RefLine victim;
+    bool evicted = false;
+    p.l2.insert(idx, line, new_state, &victim, &evicted);
+    if (evicted) {
+        backInvalidateL1(cpu, victim.line);
+        if (victim.state == Mesi::Modified)
+            bus.acquire(BusKind::Writeback, now);
+    }
+
+    if (is_write)
+        recordWrite(cpu, line, word_mask);
+
+    r.writable = mesiWritable(new_state);
+    r.state = new_state;
+    return r;
+}
+
+Cycles
+RefMemorySystem::prefetch(CpuId cpu, VAddr va, Cycles now)
+{
+    resyncIfStale();
+    RefPort &p = ports[cpu];
+    PageNum vpn = va / cfg.pageBytes;
+
+    if (!p.tlb.contains(vpn))
+        return 0; // dropped: page not mapped in the TLB
+    auto mit = mirror.find(vpn);
+    if (mit == mirror.end())
+        return 0; // dropped: page unmapped
+    PAddr pa = mit->second + va % cfg.pageBytes;
+    Addr line = pa / cfg.l2.lineBytes;
+
+    if (p.l2.probe(indexOf(line), line) || p.prefetches.count(line))
+        return 0;
+
+    Cycles stall = 0;
+    std::uint32_t in_flight = 0;
+    Cycles earliest = 0;
+    for (const auto &[l, ready] : p.prefetches) {
+        if (ready > now) {
+            in_flight++;
+            if (in_flight == 1 || ready < earliest)
+                earliest = ready;
+        }
+    }
+    if (in_flight >= cfg.maxOutstandingPrefetches) {
+        stall = earliest - now;
+        now = earliest;
+    }
+
+    RefL2Result r = l2Access(cpu, line, false, 0, now, true);
+    p.prefetches[line] = now + r.latency;
+
+    if (p.prefetches.size() > 4096) {
+        for (auto it = p.prefetches.begin();
+             it != p.prefetches.end();) {
+            if (it->second <= now)
+                it = p.prefetches.erase(it);
+            else
+                ++it;
+        }
+    }
+    return stall;
+}
+
+PAddr
+RefMemorySystem::purgePage(VAddr va)
+{
+    // Purges fire before the mapping mutates (both in stealMappedPage
+    // and in the recolorer), so the mirror still holds the old page.
+    resyncIfStale();
+    PageNum vpn = va / cfg.pageBytes;
+    auto mit = mirror.find(vpn);
+    panicIfNot(mit != mirror.end(),
+               "ref model: purge of a page the mirror never saw, "
+               "vpn ", vpn);
+    PAddr pa = mit->second + va % cfg.pageBytes;
+
+    Addr first_line = pa / cfg.l2.lineBytes;
+    std::uint64_t lines = cfg.linesPerPage();
+    for (std::uint64_t i = 0; i < lines; i++) {
+        Addr line = first_line + i;
+        for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+            RefPort &p = ports[q];
+            if (RefLine *l = p.l2.probe(indexOf(line), line)) {
+                if (l->state == Mesi::Modified)
+                    bus.acquire(BusKind::Writeback, bus.freeAt());
+                p.l2.invalidate(indexOf(line), line);
+                backInvalidateL1(q, line);
+            }
+            p.prefetches.erase(line);
+        }
+        sharing.erase(line);
+    }
+    for (std::uint32_t q = 0; q < cfg.numCpus; q++)
+        ports[q].tlb.invalidate(vpn);
+    return pa;
+}
+
+void
+RefMemorySystem::invalidateOthers(CpuId writer, Addr line,
+                                  std::uint32_t word_mask)
+{
+    Addr idx = indexOf(line);
+    bool any = false;
+    for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+        if (q == writer)
+            continue;
+        if (ports[q].l2.invalidate(idx, line)) {
+            any = true;
+            backInvalidateL1(q, line);
+            RefSharing &info = sharing[line];
+            info.invalidatedMask |= 1u << q;
+            info.writtenSince[q] = 0;
+        }
+    }
+    if (any || sharing.count(line))
+        recordWrite(writer, line, word_mask);
+}
+
+void
+RefMemorySystem::recordWrite(CpuId writer, Addr line,
+                             std::uint32_t word_mask)
+{
+    (void)writer;
+    auto it = sharing.find(line);
+    if (it == sharing.end() || it->second.invalidatedMask == 0)
+        return;
+    std::uint32_t mask = it->second.invalidatedMask;
+    for (std::uint32_t q = 0; mask; q++, mask >>= 1) {
+        if (mask & 1)
+            it->second.writtenSince[q] |= word_mask;
+    }
+}
+
+void
+RefMemorySystem::backInvalidateL1(CpuId cpu, Addr line)
+{
+    RefPort &p = ports[cpu];
+    auto res = p.l1Residence.find(line);
+    if (res == p.l1Residence.end())
+        return;
+    VAddr index_addr = res->second;
+    if (!p.l1d.invalidate(index_addr, line))
+        p.l1i.invalidate(index_addr, line);
+    p.l1Residence.erase(line);
+}
+
+MissKind
+RefMemorySystem::classifyMiss(CpuId cpu, Addr line,
+                              std::uint32_t word_mask,
+                              bool seen_before, bool shadow_hit)
+{
+    auto it = sharing.find(line);
+    if (it != sharing.end() &&
+        (it->second.invalidatedMask & (1u << cpu))) {
+        bool is_true =
+            (word_mask & it->second.writtenSince[cpu]) != 0;
+        it->second.invalidatedMask &= ~(1u << cpu);
+        it->second.writtenSince[cpu] = 0;
+        if (it->second.invalidatedMask == 0)
+            sharing.erase(it);
+        return is_true ? MissKind::TrueSharing
+                       : MissKind::FalseSharing;
+    }
+    if (!seen_before)
+        return MissKind::Cold;
+    return shadow_hit ? MissKind::Conflict : MissKind::Capacity;
+}
+
+} // namespace cdpc::verify

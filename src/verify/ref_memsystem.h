@@ -1,0 +1,342 @@
+/**
+ * @file
+ * RefMemorySystem: a deliberately simple reference model of the
+ * multiprocessor memory hierarchy, for differential verification of
+ * the optimized per-reference fast path (DESIGN.md §11).
+ *
+ * Everything here is built from the most obvious data structure that
+ * can express the semantics — std::list + std::unordered_map LRUs,
+ * per-set lists of MESI lines, a plain unordered_map shadow page
+ * table — and all line/page/set math is done with division and
+ * modulo instead of shifts and masks, so the reference shares no
+ * clever machinery (and therefore no correlated bugs) with
+ * mem/memsystem.cc: no intrusive slot pools, no flat hashing, no
+ * translation micro-cache, no generation short-circuits.
+ *
+ * The model is driven in lockstep by DifferentialVerifier through
+ * MemorySystem's MemObserver hooks. It never consults the optimized
+ * hierarchy's state; the only inputs it takes from the real run are
+ * the observed physical address of each event, used to (a) adopt
+ * allocation decisions the OS layer makes at fault time (page
+ * placement is policy, not memory-hierarchy behaviour) and (b) be
+ * cross-checked against the model's own shadow page table.
+ */
+
+#ifndef CDPC_VERIFY_REF_MEMSYSTEM_H
+#define CDPC_VERIFY_REF_MEMSYSTEM_H
+
+#include <cstdint>
+#include <iterator>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "machine/config.h"
+#include "mem/memsystem.h"
+#include "mem/mesi.h"
+#include "mem/miss_classify.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc::verify
+{
+
+/** What the reference model predicts for one demand reference. */
+struct RefOutcome
+{
+    Cycles stall = 0;
+    Cycles kernel = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool tlbMiss = false;
+    bool pageFault = false;
+    MissKind missKind = MissKind::Cold;
+    bool l2Miss = false;
+    /** The model's own translation of the reference. */
+    PAddr pa = 0;
+    /**
+     * Post-access MESI state of the touched line in this CPU's L2
+     * (Invalid = absent, which inclusion forbids after a demand
+     * access). Lets the verifier cross-check coherence state without
+     * re-probing the model.
+     */
+    Mesi l2State = Mesi::Invalid;
+};
+
+/** Textbook LRU set: std::list (front = MRU) + iterator map. */
+class RefLru
+{
+  public:
+    explicit RefLru(std::uint64_t capacity) : capacity_(capacity) {}
+
+    /** Touch @p key; @return true on hit. Misses evict true-LRU. */
+    bool
+    accessAndUpdate(std::uint64_t key)
+    {
+        auto it = pos.find(key);
+        if (it != pos.end()) {
+            lru.splice(lru.begin(), lru, it->second);
+            return true;
+        }
+        if (lru.size() >= capacity_) {
+            // Recycle the LRU node instead of freeing and
+            // reallocating: splice it to the front and rekey it.
+            // Same list + map semantics, no per-miss allocation.
+            auto node = pos.extract(lru.back());
+            lru.splice(lru.begin(), lru, std::prev(lru.end()));
+            lru.front() = key;
+            node.key() = key;
+            node.mapped() = lru.begin();
+            pos.insert(std::move(node));
+            return false;
+        }
+        lru.push_front(key);
+        pos[key] = lru.begin();
+        return false;
+    }
+
+    bool contains(std::uint64_t key) const { return pos.count(key) > 0; }
+
+    bool
+    invalidate(std::uint64_t key)
+    {
+        auto it = pos.find(key);
+        if (it == pos.end())
+            return false;
+        lru.erase(it->second);
+        pos.erase(it);
+        return true;
+    }
+
+    void
+    flush()
+    {
+        lru.clear();
+        pos.clear();
+    }
+
+    std::size_t size() const { return pos.size(); }
+
+    /** Visit every resident key (order unspecified). */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (std::uint64_t k : lru)
+            fn(k);
+    }
+
+  private:
+    std::uint64_t capacity_;
+    std::list<std::uint64_t> lru;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        pos;
+};
+
+/** One valid line of the reference cache. */
+struct RefLine
+{
+    Addr line = 0;
+    Mesi state = Mesi::Invalid;
+    bool dirty = false;
+};
+
+/**
+ * Set-associative cache as an array of sets, each a list of valid
+ * lines in MRU order. Equivalent to the optimized Cache's monotone
+ * lastUse-clock LRU: the clock is strictly increasing so there are
+ * never LRU ties, and insert-into-an-invalid-way corresponds exactly
+ * to a list shorter than the associativity.
+ */
+class RefCache
+{
+  public:
+    explicit RefCache(const CacheConfig &config)
+        : cfg(config), sets(config.numSets())
+    {}
+
+    /** Look up and touch LRU; @return the line or nullptr. */
+    RefLine *access(Addr index_addr, Addr line);
+
+    /** Look up without touching LRU. */
+    RefLine *probe(Addr index_addr, Addr line);
+    const RefLine *probe(Addr index_addr, Addr line) const;
+
+    /**
+     * Insert after a miss. When the set is full the LRU line is
+     * copied into @p victim and @p *evicted set; otherwise *evicted
+     * is false. @return the inserted line.
+     */
+    RefLine *insert(Addr index_addr, Addr line, Mesi state,
+                    RefLine *victim, bool *evicted);
+
+    /** Remove a line if present; @return true when it was. */
+    bool invalidate(Addr index_addr, Addr line);
+
+    /** Visit every valid line. */
+    template <typename F>
+    void
+    forEachValid(F &&fn) const
+    {
+        for (const std::list<RefLine> &lines : sets) {
+            for (const RefLine &l : lines)
+                fn(l);
+        }
+    }
+
+    std::size_t
+    validCount() const
+    {
+        std::size_t n = 0;
+        for (const std::list<RefLine> &lines : sets)
+            n += lines.size();
+        return n;
+    }
+
+  private:
+    /** Division/modulo set selection — no shifts, no masks. */
+    std::uint64_t
+    setOf(Addr index_addr) const
+    {
+        return (index_addr / cfg.lineBytes) % cfg.numSets();
+    }
+
+    CacheConfig cfg;
+    std::vector<std::list<RefLine>> sets;
+};
+
+/** Straight-line replica of the split-transaction bus timing. */
+struct RefBus
+{
+    Cycles dataCycles = 0;
+    Cycles wbCycles = 0;
+    Cycles upgradeCycles = 0;
+    Cycles nextFree = 0;
+
+    Cycles
+    acquire(BusKind kind, Cycles now)
+    {
+        Cycles start = now > nextFree ? now : nextFree;
+        Cycles occ = kind == BusKind::Data        ? dataCycles
+                     : kind == BusKind::Writeback ? wbCycles
+                                                  : upgradeCycles;
+        nextFree = start + occ;
+        return start;
+    }
+
+    Cycles freeAt() const { return nextFree; }
+};
+
+/** The reference hierarchy, driven in lockstep by the verifier. */
+class RefMemorySystem
+{
+  public:
+    /**
+     * @param config machine parameters (same as the optimized system)
+     * @param vm the real address space; read only to resynchronize
+     *        the shadow page table after remap/steal generations
+     */
+    RefMemorySystem(const MachineConfig &config,
+                    const VirtualMemory &vm);
+
+    /**
+     * Replay one demand reference. @p observed_pa is the physical
+     * address the optimized path translated to; the model uses it
+     * only to adopt fault-time placement (see file comment) — the
+     * returned RefOutcome::pa is the model's own translation and may
+     * legitimately be compared against @p observed_pa.
+     */
+    RefOutcome access(CpuId cpu, const MemAccess &acc, Cycles now,
+                      PAddr observed_pa);
+
+    /** Replay one software prefetch; @return predicted stall. */
+    Cycles prefetch(CpuId cpu, VAddr va, Cycles now);
+
+    /**
+     * Replay a page purge. @return the model's own translation of
+     * @p va (page base + offset) for cross-checking.
+     */
+    PAddr purgePage(VAddr va);
+
+    // --- deep-comparison accessors ---------------------------------
+    const RefCache &l1d(CpuId cpu) const { return ports[cpu].l1d; }
+    const RefCache &l1i(CpuId cpu) const { return ports[cpu].l1i; }
+    const RefCache &l2(CpuId cpu) const { return ports[cpu].l2; }
+    const RefLru &tlbOf(CpuId cpu) const { return ports[cpu].tlb; }
+    const RefLru &shadowOf(CpuId cpu) const
+    {
+        return ports[cpu].shadow;
+    }
+    Cycles busFreeAt() const { return bus.freeAt(); }
+    std::uint32_t numCpus() const { return cfg.numCpus; }
+
+  private:
+    struct RefL2Result
+    {
+        Cycles latency = 0;
+        bool hit = false;
+        bool miss = false;
+        bool writable = false;
+        MissKind kind = MissKind::Cold;
+        /** Post-access state of the touched L2 line. */
+        Mesi state = Mesi::Invalid;
+    };
+
+    struct RefPort
+    {
+        RefPort(const MachineConfig &c)
+            : l1d(c.l1d), l1i(c.l1i), l2(c.l2), tlb(c.tlbEntries),
+              shadow(c.l2.numLines())
+        {}
+
+        RefCache l1d;
+        RefCache l1i;
+        RefCache l2;
+        RefLru tlb;
+        RefLru shadow;
+        std::unordered_set<Addr> cold;
+        /** phys line -> virtual index addr of its L1 residence. */
+        std::unordered_map<Addr, VAddr> l1Residence;
+        /** phys line -> completion time of an issued prefetch. */
+        std::unordered_map<Addr, Cycles> prefetches;
+    };
+
+    struct RefSharing
+    {
+        std::uint32_t invalidatedMask = 0;
+        std::array<std::uint32_t, kMaxCpus> writtenSince{};
+    };
+
+    /**
+     * Rebuild the shadow page table when the VM generation moved.
+     * @return true when a rebuild happened (iterators invalidated).
+     */
+    bool resyncIfStale();
+
+    RefL2Result l2Access(CpuId cpu, Addr line, bool is_write,
+                         std::uint32_t word_mask, Cycles now,
+                         bool is_prefetch);
+    void invalidateOthers(CpuId writer, Addr line,
+                          std::uint32_t word_mask);
+    void recordWrite(CpuId writer, Addr line, std::uint32_t word_mask);
+    void backInvalidateL1(CpuId cpu, Addr line);
+    MissKind classifyMiss(CpuId cpu, Addr line, std::uint32_t word_mask,
+                          bool seen_before, bool shadow_hit);
+
+    Addr indexOf(Addr line) const { return line * cfg.l2.lineBytes; }
+
+    MachineConfig cfg;
+    const VirtualMemory &vm;
+    RefBus bus;
+    std::vector<RefPort> ports;
+    std::unordered_map<Addr, RefSharing> sharing;
+    /** Shadow page table: vpn -> physical page base. */
+    std::unordered_map<PageNum, PAddr> mirror;
+    /** VM generation the mirror was last synchronized against. */
+    std::uint64_t mirrorGen = 0;
+};
+
+} // namespace cdpc::verify
+
+#endif // CDPC_VERIFY_REF_MEMSYSTEM_H

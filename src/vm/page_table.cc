@@ -124,4 +124,28 @@ PageTable::clear()
     lastSeg = 0;
 }
 
+void
+PageTable::audit() const
+{
+    std::uint64_t live = 0;
+    for (std::size_t i = 0; i < segs.size(); i++) {
+        const Segment &s = segs[i];
+        panicIfNot(!s.ppns.empty(),
+                   "page table audit: empty segment at index ", i);
+        if (i > 0) {
+            const Segment &prev = segs[i - 1];
+            PageNum prev_end = prev.base + prev.ppns.size();
+            panicIfNot(prev_end < s.base,
+                       "page table audit: segments not strictly "
+                       "disjoint/sorted at vpn ", s.base);
+        }
+        for (PageNum ppn : s.ppns) {
+            if (ppn != kUnmapped)
+                live++;
+        }
+    }
+    panicIfNot(live == mapped_, "page table audit: mapped count ",
+               mapped_, " but ", live, " live entries");
+}
+
 } // namespace cdpc

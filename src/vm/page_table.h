@@ -90,6 +90,14 @@ class PageTable
     /** Drop every mapping. */
     void clear();
 
+    /**
+     * Audit structural invariants: segments sorted by base, strictly
+     * disjoint, non-empty, and the live-mapping count consistent with
+     * the dense arrays. panic()s on the first violation; used by the
+     * cadence-driven runtime auditor (--audit-every).
+     */
+    void audit() const;
+
   private:
     struct Segment
     {

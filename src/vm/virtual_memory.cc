@@ -176,10 +176,17 @@ VirtualMemory::stealMappedPage(Color color)
 
     PageNum *slot = pageTable.slotOf(victim_vpn);
     PageNum freed = *slot;
-    *slot = *donor;
-    generation_++;
+    // Purge/shootdown must run while the victim still maps its old
+    // physical page: the observer (MemorySystem::purgePage) translates
+    // the vpn to find the lines to invalidate. Firing it after the
+    // rewrite would purge the *donor* page and leave stale — possibly
+    // dirty — lines of the freed page alive in the caches while the
+    // page is handed to a different vpn. purgePage never mutates the
+    // page table, so the slot pointer stays valid across the call.
     if (remapObserver_)
         remapObserver_(victim_vpn);
+    *slot = *donor;
+    generation_++;
     CDPC_METRIC_COUNT("vm.steals", 1);
     if (obs::traceActive())
         obs::simInstant("colorSteal", {{"color", color},

@@ -147,6 +147,24 @@ class VirtualMemory
     std::vector<std::uint32_t> mappedPagesPerColor() const;
 
     /**
+     * Visit every mapping in ascending vpn order; fn(vpn, ppn). The
+     * differential verifier uses this to resynchronize its shadow
+     * page table whenever generation() moves.
+     */
+    template <typename F>
+    void
+    forEachMapping(F &&fn) const
+    {
+        pageTable.forEach(std::forward<F>(fn));
+    }
+
+    /**
+     * Audit the page table's structural invariants (segment order,
+     * disjointness, mapped count); panic()s on violation.
+     */
+    void auditPageTable() const { pageTable.audit(); }
+
+    /**
      * Mapping-mutation generation: bumped whenever an existing
      * vpn -> ppn binding changes or disappears (remap, steal,
      * unmapAll). A memoized translation made at generation G is

@@ -181,6 +181,34 @@ TEST_P(FuzzPipeline, SimulationConservesAndStaysCoherent)
     EXPECT_NEAR(r2.totals.insts, t.insts, tolerance);
 }
 
+/**
+ * Lockstep differential verification over random programs: the
+ * reference memory system re-executes every reference of every
+ * configuration the fuzzer generates; any fast-path shortcut that
+ * changes observable behaviour throws a DivergenceError (a
+ * PanicError) and fails the test.
+ */
+TEST_P(FuzzPipeline, FastPathMatchesReferenceModelInLockstep)
+{
+    std::uint32_t ncpus = 1u << (GetParam() % 4);
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(ncpus);
+    cfg.mapping = (GetParam() % 3 == 0)
+                      ? MappingPolicy::Cdpc
+                      : (GetParam() % 3 == 1)
+                            ? MappingPolicy::BinHopping
+                            : MappingPolicy::PageColoring;
+    cfg.prefetch = GetParam() % 2 == 0;
+    cfg.dynamicRecolor = GetParam() % 5 == 0;
+    if (GetParam() % 4 == 0)
+        cfg.pressure.occupancy = 0.5;
+    // Per-event outcome checks run on every reference; the deep
+    // structural compare is sampled to keep the fuzz suite fast.
+    cfg.verifyEvery = 8192;
+    ExperimentResult r = runProgram(randomProgram(GetParam()), cfg);
+    EXPECT_GT(r.verifiedRefs, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
                          ::testing::Range<std::uint64_t>(1, 25));
 
@@ -380,9 +408,28 @@ TEST_F(FaultPoints, MalformedPlansAreFatal)
 {
     EXPECT_THROW(FaultPlan::parse("site=explode"), FatalError);
     EXPECT_THROW(FaultPlan::parse("=fail"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("*2"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("@1"), FatalError);
     EXPECT_THROW(FaultPlan::parse("site*0"), FatalError);
     EXPECT_THROW(FaultPlan::parse("site*x"), FatalError);
     EXPECT_THROW(FaultPlan::parse("site@x"), FatalError);
+    // Suffixes in the wrong order: skip before count, action last.
+    EXPECT_THROW(FaultPlan::parse("site@1*2"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("site*2=fail"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("site@1=fail"), FatalError);
+}
+
+TEST_F(FaultPoints, ParseErrorsCarryUsageHint)
+{
+    try {
+        FaultPlan::parse("site@1*2");
+        FAIL() << "swapped suffixes must not parse";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "site[=action][*count][@skip]"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST_F(FaultPoints, SummariesLoadSiteFires)

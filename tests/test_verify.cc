@@ -1,0 +1,355 @@
+/**
+ * @file
+ * The differential-verification subsystem: the reference model's
+ * primitive structures against hand-computed LRU/MESI sequences, the
+ * DifferentialVerifier in lockstep with the real hierarchy, and the
+ * golden-output registry's render/parse/diff round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+#include "mem/memsystem.h"
+#include "obs/metrics.h"
+#include "verify/differential.h"
+#include "verify/golden.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+namespace
+{
+
+using verify::DifferentialVerifier;
+using verify::DivergenceError;
+using verify::GoldenData;
+using verify::GoldenDiff;
+using verify::RefCache;
+using verify::RefLine;
+using verify::RefLru;
+
+// ---- Reference primitives vs hand-computed sequences -------------------
+
+TEST(RefLru, HandComputedPromoteAndEvict)
+{
+    RefLru lru(2);
+    EXPECT_FALSE(lru.accessAndUpdate(10)); // [10]
+    EXPECT_FALSE(lru.accessAndUpdate(20)); // [20 10]
+    EXPECT_TRUE(lru.accessAndUpdate(10));  // [10 20], 10 promoted
+    EXPECT_FALSE(lru.accessAndUpdate(30)); // evicts 20, the true LRU
+    EXPECT_TRUE(lru.contains(10));
+    EXPECT_FALSE(lru.contains(20));
+    EXPECT_TRUE(lru.contains(30));
+    EXPECT_EQ(lru.size(), 2u);
+
+    EXPECT_TRUE(lru.invalidate(10));
+    EXPECT_FALSE(lru.invalidate(10));
+    EXPECT_EQ(lru.size(), 1u);
+    lru.flush();
+    EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(RefCacheTest, HandComputedLruEvictionOrder)
+{
+    // 256B, 2-way, 32B lines -> 4 sets; set 0 holds index addresses
+    // 0, 128, 256, ... (multiples of numSets * lineBytes).
+    RefCache c(CacheConfig{256, 2, 32});
+    RefLine victim;
+    bool evicted = false;
+
+    c.insert(0, 0, Mesi::Exclusive, &victim, &evicted);
+    EXPECT_FALSE(evicted);
+    c.insert(128, 4, Mesi::Shared, &victim, &evicted);
+    EXPECT_FALSE(evicted);
+    EXPECT_EQ(c.validCount(), 2u);
+
+    // Set full: the next insert evicts line 0 (inserted first, never
+    // re-touched, hence LRU).
+    c.insert(256, 8, Mesi::Exclusive, &victim, &evicted);
+    ASSERT_TRUE(evicted);
+    EXPECT_EQ(victim.line, 0u);
+    EXPECT_EQ(victim.state, Mesi::Exclusive);
+    EXPECT_EQ(c.probe(0, 0), nullptr);
+
+    // Touch line 4 so line 8 becomes LRU, then insert again.
+    ASSERT_NE(c.access(128, 4), nullptr);
+    c.insert(384, 12, Mesi::Modified, &victim, &evicted);
+    ASSERT_TRUE(evicted);
+    EXPECT_EQ(victim.line, 8u);
+    ASSERT_NE(c.probe(128, 4), nullptr);
+    EXPECT_EQ(c.probe(128, 4)->state, Mesi::Shared);
+    ASSERT_NE(c.probe(384, 12), nullptr);
+    EXPECT_EQ(c.probe(384, 12)->state, Mesi::Modified);
+
+    EXPECT_TRUE(c.invalidate(384, 12));
+    EXPECT_FALSE(c.invalidate(384, 12));
+    EXPECT_EQ(c.validCount(), 1u);
+}
+
+// ---- Lockstep verification against the real hierarchy ------------------
+
+/** A two-CPU hierarchy with the verifier attached as observer. */
+class Lockstep : public ::testing::Test
+{
+  protected:
+    Lockstep()
+        : m(MachineConfig::paperScaled(2)),
+          phys(m.physPages, m.numColors()), policy(m.numColors()),
+          vm(m, phys, policy), mem(m, vm),
+          verifier(m, mem, vm, /*deep_every=*/1)
+    {
+        mem.setMemObserver(&verifier);
+    }
+
+    AccessOutcome
+    access(CpuId cpu, VAddr va, AccessKind kind)
+    {
+        MemAccess acc;
+        acc.va = va;
+        acc.kind = kind;
+        acc.wordMask = std::uint32_t{1}
+                       << (va % m.l2.lineBytes / 8 % 32);
+        AccessOutcome out = mem.access(cpu, acc, clock[cpu]);
+        clock[cpu] += out.stall + 1;
+        return out;
+    }
+
+    MachineConfig m;
+    PhysMem phys;
+    PageColoringPolicy policy;
+    VirtualMemory vm;
+    MemorySystem mem;
+    DifferentialVerifier verifier;
+    Cycles clock[2] = {0, 0};
+};
+
+TEST_F(Lockstep, HandComputedMesiSequence)
+{
+    // cpu1 reads the line first: a cold miss, filled Exclusive.
+    AccessOutcome a = access(1, 0x1000, AccessKind::Load);
+    EXPECT_TRUE(a.l2Miss);
+    EXPECT_EQ(a.missKind, MissKind::Cold);
+
+    // cpu0 stores the same word: its own cold miss; the write
+    // invalidates cpu1's copy.
+    AccessOutcome b = access(0, 0x1000, AccessKind::Store);
+    EXPECT_TRUE(b.l2Miss);
+    EXPECT_EQ(b.missKind, MissKind::Cold);
+
+    // cpu1 re-reads the word it lost to cpu0's write: true sharing.
+    AccessOutcome c = access(1, 0x1000, AccessKind::Load);
+    EXPECT_TRUE(c.l2Miss);
+    EXPECT_EQ(c.missKind, MissKind::TrueSharing);
+
+    // The cache-to-cache transfer left cpu0's copy Shared, so its
+    // next store is an ownership upgrade, not a miss.
+    AccessOutcome u = access(0, 0x1000, AccessKind::Store);
+    EXPECT_TRUE(u.l2Hit);
+    EXPECT_FALSE(u.l2Miss);
+    EXPECT_EQ(u.missKind, MissKind::Upgrade);
+
+    // cpu1 stores a *different* word of the line it just lost again:
+    // the Dubois classification calls that false sharing.
+    AccessOutcome f = access(1, 0x1008, AccessKind::Store);
+    EXPECT_TRUE(f.l2Miss);
+    EXPECT_EQ(f.missKind, MissKind::FalseSharing);
+
+    // Every event above was cross-checked per-reference AND deep
+    // compared (deep_every = 1); do a final explicit pass as well.
+    verifier.deepCompare();
+    EXPECT_EQ(verifier.stats().refsChecked, 5u);
+    EXPECT_GE(verifier.stats().deepCompares, 5u);
+}
+
+TEST_F(Lockstep, StridingSurvivesDeepCompareEveryEvent)
+{
+    // Walk several pages from both CPUs with a mix of loads and
+    // stores; every reference is deep-compared.
+    for (int i = 0; i < 512; i++) {
+        VAddr va = static_cast<VAddr>(i) * 40; // crosses lines/pages
+        access(i % 2, va, i % 3 ? AccessKind::Load : AccessKind::Store);
+    }
+    EXPECT_EQ(verifier.stats().refsChecked, 512u);
+    verifier.deepCompare();
+}
+
+TEST_F(Lockstep, IfetchesVerifyThroughTheL1i)
+{
+    for (int i = 0; i < 64; i++)
+        access(0, 0x8000 + static_cast<VAddr>(i) * 32,
+               AccessKind::Ifetch);
+    verifier.deepCompare();
+}
+
+TEST_F(Lockstep, MissedEventIsReportedAsDivergence)
+{
+    access(0, 0x2000, AccessKind::Store);
+    // Let the real hierarchy advance while the model is blind: the
+    // next access to the same line must then diverge (real L1 hit,
+    // model cold miss).
+    mem.setMemObserver(nullptr);
+    access(0, 0x3000, AccessKind::Store);
+    mem.setMemObserver(&verifier);
+    EXPECT_THROW(access(0, 0x3000, AccessKind::Store),
+                 DivergenceError);
+}
+
+// ---- End-to-end verified experiment runs -------------------------------
+
+TEST(VerifyExperiment, LockstepRunMatchesAndCounts)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    cfg.mapping = MappingPolicy::Cdpc;
+    cfg.verifyEvery = 4096;
+    cfg.auditEvery = 100000;
+    ExperimentResult r = runWorkload("107.mgrid", cfg);
+    EXPECT_GT(r.verifiedRefs, 0u);
+    EXPECT_GT(r.verifiedDeepCompares, 0u);
+    EXPECT_GT(r.auditsRun, 0u);
+    EXPECT_GT(r.totals.combinedTime(), 0.0);
+}
+
+TEST(VerifyExperiment, VerifiesUnderRecolorAndPressure)
+{
+    // Dynamic recoloring remaps pages and memory pressure steals
+    // them; both mutate translations mid-run, which is exactly what
+    // the mirror resynchronization must absorb.
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    cfg.mapping = MappingPolicy::Cdpc;
+    cfg.dynamicRecolor = true;
+    cfg.pressure.occupancy = 0.5;
+    cfg.verifyEvery = 4096;
+    ExperimentResult r = runWorkload("107.mgrid", cfg);
+    EXPECT_GT(r.verifiedRefs, 0u);
+}
+
+// ---- Golden-output registry --------------------------------------------
+
+TEST(Golden, RegistryListsTheFourFigures)
+{
+    EXPECT_EQ(verify::goldenFigures().size(), 4u);
+    EXPECT_EQ(verify::goldenJobs("fig6").size(), 80u);
+    EXPECT_EQ(verify::goldenJobs("fig7").size(), 24u);
+    EXPECT_EQ(verify::goldenJobs("fig8").size(), 20u);
+    EXPECT_FALSE(verify::goldenJobs("table2").empty());
+    EXPECT_THROW(verify::goldenJobs("fig9"), FatalError);
+}
+
+std::vector<std::string>
+sampleRecords()
+{
+    return {"app/pc/cpus=2/scaled combined=100 mcpi=0.5",
+            "app/cdpc/cpus=2/scaled combined=80 mcpi=0.25"};
+}
+
+TEST(Golden, RenderParseRoundTrips)
+{
+    std::string text = verify::renderGolden("figX", sampleRecords());
+    std::istringstream in(text);
+    GoldenData parsed = verify::parseGolden(in, "figX.golden");
+    GoldenData direct = verify::goldenFromRecords(sampleRecords());
+    EXPECT_EQ(parsed.digest, direct.digest);
+    EXPECT_EQ(parsed.records, direct.records);
+    EXPECT_TRUE(verify::diffGolden(parsed, direct).empty());
+}
+
+TEST(Golden, HandEditedFileIsFatal)
+{
+    std::string text = verify::renderGolden("figX", sampleRecords());
+    // Tamper with a metric value without updating the digest.
+    auto at = text.find("combined=100");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 12, "combined=999");
+    std::istringstream in(text);
+    EXPECT_THROW(verify::parseGolden(in, "tampered"), FatalError);
+}
+
+TEST(Golden, TruncatedAndEmptyFilesAreFatal)
+{
+    std::istringstream no_digest(
+        "# comment\napp combined=1 mcpi=0.5\n");
+    EXPECT_THROW(verify::parseGolden(no_digest, "t"), FatalError);
+    std::istringstream no_records("digest 0x0\n");
+    EXPECT_THROW(verify::parseGolden(no_records, "t"), FatalError);
+    std::istringstream bad_field("digest 0x0\napp combined\n");
+    EXPECT_THROW(verify::parseGolden(bad_field, "t"), FatalError);
+}
+
+TEST(Golden, DiffReportsValueAndPresenceMismatches)
+{
+    GoldenData a = verify::goldenFromRecords(
+        {"r1 x=1 y=2", "r2 x=3"});
+    GoldenData b = verify::goldenFromRecords(
+        {"r1 x=1 y=9 z=5", "r3 x=3"});
+    std::vector<GoldenDiff> diffs = verify::diffGolden(a, b);
+    // y changed, z only in actual, r2 missing, r3 unexpected.
+    ASSERT_EQ(diffs.size(), 4u);
+    bool saw_y = false, saw_z = false, saw_r2 = false, saw_r3 = false;
+    for (const GoldenDiff &d : diffs) {
+        if (d.label == "r1" && d.field == "y") {
+            EXPECT_EQ(d.golden, "2");
+            EXPECT_EQ(d.actual, "9");
+            saw_y = true;
+        }
+        if (d.label == "r1" && d.field == "z") {
+            EXPECT_EQ(d.golden, "<absent>");
+            saw_z = true;
+        }
+        if (d.label == "r2")
+            saw_r2 = true;
+        if (d.label == "r3")
+            saw_r3 = true;
+    }
+    EXPECT_TRUE(saw_y && saw_z && saw_r2 && saw_r3);
+}
+
+TEST(Golden, DigestIsOrderAndContentSensitive)
+{
+    std::uint64_t h1 = verify::fnv1a("a b=1\n");
+    std::uint64_t h2 = verify::fnv1a("a b=2\n");
+    EXPECT_NE(h1, h2);
+    GoldenData fwd = verify::goldenFromRecords({"a x=1", "b x=2"});
+    GoldenData rev = verify::goldenFromRecords({"b x=2", "a x=1"});
+    EXPECT_NE(fwd.digest, rev.digest);
+}
+
+// ---- Satellite guards ---------------------------------------------------
+
+TEST(SafeDiv, GuardsZeroAndNonFinite)
+{
+    EXPECT_DOUBLE_EQ(safeDiv(10.0, 4.0), 2.5);
+    EXPECT_DOUBLE_EQ(safeDiv(10.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeDiv(10.0, 0.0, 1.0), 1.0);
+    double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DOUBLE_EQ(safeDiv(inf, 2.0, -1.0), -1.0);
+    EXPECT_DOUBLE_EQ(safeDiv(std::nan(""), 1.0, -1.0), -1.0);
+}
+
+TEST(FormatPercent, ClampsNonFinite)
+{
+    EXPECT_EQ(formatPercent(0.423), "42.3%");
+    EXPECT_EQ(formatPercent(std::nan("")), "0.0%");
+    EXPECT_EQ(formatPercent(std::numeric_limits<double>::infinity()),
+              "0.0%");
+}
+
+TEST(Metrics, FindCounterDoesNotRegister)
+{
+    obs::MetricsRegistry reg;
+    EXPECT_EQ(reg.findCounter("verify.nothere"), nullptr);
+    reg.counter("verify.here").inc(3);
+    const obs::Counter *c = reg.findCounter("verify.here");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), 3u);
+}
+
+} // namespace
+} // namespace cdpc

@@ -27,6 +27,11 @@
  *       Run a file of job specs (one per line: workload key=value
  *       ...) through the work-stealing batch engine; JSON-lines
  *       results to --out FILE or stdout.
+ *   cdpcsim verify <figure|workload> [options]
+ *       Run with the reference memory system in lockstep and report
+ *       the verification counters; any divergence aborts with a
+ *       minimal repro. A figure name (fig6 fig7 fig8 table2) runs
+ *       that golden grid under verification.
  *
  * Options:
  *   --cpus N        processors (default 8)
@@ -59,11 +64,18 @@
  *                           it as JSON on exit
  *   --stats-interval N      capture per-CPU interval snapshots every
  *                           N demand references (0 = off)
+ *   --verify-every N        lockstep-verify against the reference
+ *                           memory system, deep-comparing the full
+ *                           structural state every N references
+ *                           (any command; implied by verify)
+ *   --audit-every N         run the runtime structural auditors
+ *                           every N references (0 = off)
  *
  * Exit codes: 0 success, 1 partial failure (quarantined batch
  * jobs), 2 usage or fatal (user) error, 3 internal panic.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -83,6 +95,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runner/runner.h"
+#include "verify/golden.h"
 #include "vm/physmem.h"
 #include "vm/policy.h"
 #include "vm/virtual_memory.h"
@@ -127,6 +140,10 @@ struct CliOptions
     std::string metricsFile;
     /** Interval-snapshot period in demand references; 0 disables. */
     std::uint32_t statsInterval = 0;
+    /** Lockstep-verification deep-compare cadence; 0 disables. */
+    std::uint64_t verifyEvery = 0;
+    /** Runtime structural-audit cadence; 0 disables. */
+    std::uint64_t auditEvery = 0;
 };
 
 [[noreturn]] void
@@ -140,7 +157,7 @@ usage(const char *msg = nullptr)
     std::cerr <<
         "usage: cdpcsim <command> [workload|file] [options]\n"
         "commands: list | run | compare | sweep | plan | record |\n"
-        "          replay | attribute | hints | batch\n"
+        "          replay | attribute | hints | batch | verify\n"
         "options: --cpus N --policy pc|bh|cdpc|cdpc-touch\n"
         "         --machine scaled|scaled-2way|scaled-4mb|alpha|full\n"
         "         --cache KB --assoc N --prefetch --dynamic\n"
@@ -150,7 +167,8 @@ usage(const char *msg = nullptr)
         "low-half|uniform|fragmented\n"
         "         --fallback any|nearest|steal --fault-plan SPEC\n"
         "         --timeout SEC --retries N\n"
-        "         --trace FILE --metrics FILE --stats-interval N\n";
+        "         --trace FILE --metrics FILE --stats-interval N\n"
+        "         --verify-every N --audit-every N\n";
     std::exit(msg ? 2 : 0);
 }
 
@@ -240,6 +258,12 @@ parseArgs(int argc, char **argv)
         else if (a == "--stats-interval")
             o.statsInterval = static_cast<std::uint32_t>(
                 std::atoi(need_value("--stats-interval").c_str()));
+        else if (a == "--verify-every")
+            o.verifyEvery = static_cast<std::uint64_t>(
+                std::atoll(need_value("--verify-every").c_str()));
+        else if (a == "--audit-every")
+            o.auditEvery = static_cast<std::uint64_t>(
+                std::atoll(need_value("--audit-every").c_str()));
         else if (a == "--help" || a == "-h")
             usage();
         else
@@ -289,6 +313,8 @@ makeConfig(const CliOptions &o, std::uint32_t cpus,
     cfg.pressure.seed = o.seed;
     cfg.fallback = parseFallback(o.fallback);
     cfg.sim.statsInterval = o.statsInterval;
+    cfg.verifyEvery = o.verifyEvery;
+    cfg.auditEvery = o.auditEvery;
     return cfg;
 }
 
@@ -749,6 +775,58 @@ cmdBatch(const CliOptions &o)
 }
 
 int
+cmdVerify(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("verify needs a figure (fig6 fig7 fig8 table2) or a "
+              "workload");
+    // Per-reference lockstep checks always run in verify mode; the
+    // cadence only controls the expensive full-structure compares.
+    const std::uint64_t deep_every =
+        o.verifyEvery ? o.verifyEvery : 4096;
+
+    const std::vector<std::string> &figures = verify::goldenFigures();
+    bool is_figure = std::find(figures.begin(), figures.end(),
+                               o.workload) != figures.end();
+
+    std::vector<std::string> labels;
+    std::vector<runner::JobSpec> specs;
+    if (is_figure) {
+        for (verify::GoldenJob &j : verify::goldenJobs(o.workload)) {
+            j.config.verifyEvery = deep_every;
+            j.config.auditEvery = o.auditEvery;
+            runner::JobSpec spec =
+                runner::makeJob(j.workload, j.config);
+            spec.trace = false;
+            labels.push_back(j.label);
+            specs.push_back(std::move(spec));
+        }
+    } else {
+        ExperimentConfig cfg = makeConfig(o, o.cpus, o.policy);
+        cfg.verifyEvery = deep_every;
+        labels.push_back(o.workload);
+        specs.push_back(runner::makeJob(o.workload, cfg));
+    }
+
+    runner::BatchOptions bopts;
+    bopts.jobs = o.jobs;
+    std::vector<ExperimentResult> results =
+        runner::runBatchOrThrow(std::move(specs), bopts);
+
+    std::uint64_t refs = 0, deeps = 0, audits = 0;
+    for (const ExperimentResult &r : results) {
+        refs += r.verifiedRefs;
+        deeps += r.verifiedDeepCompares;
+        audits += r.auditsRun;
+    }
+    std::cout << o.workload << ": " << results.size() << " run(s), "
+              << fmtI(refs) << " references verified in lockstep, "
+              << fmtI(deeps) << " deep compares, " << fmtI(audits)
+              << " audits, 0 divergences\n";
+    return 0;
+}
+
+int
 cmdRecord(const CliOptions &o)
 {
     if (o.workload.empty())
@@ -836,6 +914,8 @@ dispatch(const CliOptions &o)
         return cmdReplay(o);
     if (o.command == "batch")
         return cmdBatch(o);
+    if (o.command == "verify")
+        return cmdVerify(o);
     usage(("unknown command " + o.command).c_str());
 }
 

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * golden_check — regenerate and verify the committed golden result
+ * digests under tests/golden/ (DESIGN.md §11).
+ *
+ *   golden_check [figure...] [options]
+ *       Run each figure's job grid and compare the canonical records
+ *       against the committed golden file; a structured diff table is
+ *       printed for every mismatching field. No figures = all
+ *       registered figures (fig6 fig7 fig8 table2).
+ *   golden_check <figure...> --update
+ *       Rewrite the golden files from the freshly computed results.
+ *   golden_check --diff FILE1 FILE2
+ *       Compare two golden files without running any simulation.
+ *
+ * Options:
+ *   --dir DIR   golden file directory (default tests/golden)
+ *   --jobs N    worker threads for the figure grid (default: cores)
+ *
+ * Exit codes: 0 match, 1 mismatch (diff printed), 2 usage/user error,
+ * 3 internal panic.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "runner/runner.h"
+#include "verify/golden.h"
+
+using namespace cdpc;
+using namespace cdpc::verify;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::cerr << "golden_check: " << msg << "\n\n";
+    std::cerr
+        << "usage: golden_check [figure...] [--update] [--dir DIR] "
+           "[--jobs N]\n"
+           "       golden_check --diff FILE1 FILE2\n"
+           "figures: fig6 fig7 fig8 table2 (default: all)\n";
+    std::exit(2);
+}
+
+GoldenData
+loadGoldenFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open golden file ", path,
+            " (generate it with golden_check --update)");
+    return parseGolden(in, path);
+}
+
+/** Numeric delta column when both sides parse as doubles. */
+std::string
+deltaOf(const std::string &golden, const std::string &actual)
+{
+    char *end = nullptr;
+    double g = std::strtod(golden.c_str(), &end);
+    if (end == golden.c_str())
+        return "-";
+    double a = std::strtod(actual.c_str(), &end);
+    if (end == actual.c_str())
+        return "-";
+    std::ostringstream os;
+    os.precision(6);
+    os << a - g;
+    return os.str();
+}
+
+int
+reportDiffs(const std::string &what,
+            const std::vector<GoldenDiff> &diffs)
+{
+    if (diffs.empty()) {
+        std::cout << what << ": OK\n";
+        return 0;
+    }
+    TextTable t({"record", "field", "golden", "actual", "delta"});
+    for (const GoldenDiff &d : diffs) {
+        t.addRow({d.label, d.field.empty() ? "-" : d.field, d.golden,
+                  d.actual, deltaOf(d.golden, d.actual)});
+    }
+    std::cout << what << ": " << diffs.size()
+              << " mismatching field(s)\n"
+              << t.render();
+    return 1;
+}
+
+int
+checkFigure(const std::string &figure, const std::string &dir,
+            unsigned jobs, bool update)
+{
+    std::vector<GoldenJob> grid = goldenJobs(figure);
+    std::vector<runner::JobSpec> specs;
+    specs.reserve(grid.size());
+    for (const GoldenJob &j : grid) {
+        runner::JobSpec spec = runner::makeJob(j.workload, j.config);
+        spec.trace = false;
+        specs.push_back(std::move(spec));
+    }
+    runner::BatchOptions bopts;
+    bopts.jobs = jobs;
+    std::vector<ExperimentResult> results =
+        runner::runBatchOrThrow(std::move(specs), bopts);
+
+    std::vector<std::string> lines;
+    lines.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); i++)
+        lines.push_back(goldenRecord(grid[i].label, results[i]));
+
+    std::string path = dir + "/" + figure + ".golden";
+    if (update) {
+        std::ofstream out(path, std::ios::trunc);
+        fatalIf(!out, "cannot write golden file ", path);
+        out << renderGolden(figure, lines);
+        std::cout << figure << ": wrote " << lines.size()
+                  << " records to " << path << "\n";
+        return 0;
+    }
+
+    GoldenData golden = loadGoldenFile(path);
+    GoldenData actual = goldenFromRecords(lines);
+    return reportDiffs(figure + " vs " + path,
+                       diffGolden(golden, actual));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> figures;
+    std::string dir = "tests/golden";
+    std::vector<std::string> diffFiles;
+    unsigned jobs = 0;
+    bool update = false;
+
+    int i = 1;
+    auto need_value = [&](const char *flag) -> std::string {
+        if (i >= argc)
+            usage((std::string(flag) + " needs a value").c_str());
+        return argv[i++];
+    };
+    while (i < argc) {
+        std::string a = argv[i++];
+        if (a == "--update")
+            update = true;
+        else if (a == "--dir")
+            dir = need_value("--dir");
+        else if (a == "--jobs")
+            jobs = static_cast<unsigned>(
+                std::atoi(need_value("--jobs").c_str()));
+        else if (a == "--diff") {
+            diffFiles.push_back(need_value("--diff"));
+            diffFiles.push_back(need_value("--diff"));
+        } else if (a == "--help" || a == "-h")
+            usage();
+        else if (!a.empty() && a[0] == '-')
+            usage(("unknown option " + a).c_str());
+        else
+            figures.push_back(a);
+    }
+
+    int rc = 0;
+    try {
+        if (!diffFiles.empty()) {
+            if (!figures.empty() || update)
+                usage("--diff does not combine with figures or "
+                      "--update");
+            GoldenData a = loadGoldenFile(diffFiles[0]);
+            GoldenData b = loadGoldenFile(diffFiles[1]);
+            return reportDiffs(diffFiles[0] + " vs " + diffFiles[1],
+                               diffGolden(a, b));
+        }
+        if (figures.empty())
+            figures = goldenFigures();
+        for (const std::string &f : figures)
+            rc |= checkFigure(f, dir, jobs, update);
+    } catch (const FatalError &e) {
+        std::cerr << "golden_check: " << e.what() << "\n";
+        return 2;
+    } catch (const PanicError &e) {
+        std::cerr << "golden_check: internal error: " << e.what()
+                  << "\n";
+        return 3;
+    }
+    return rc;
+}
