@@ -247,6 +247,71 @@ MemorySystem::purgePage(VAddr va)
     }
 }
 
+std::vector<std::uint8_t>
+MemorySystem::colorFootprint(CpuId cpu) const
+{
+    panicIfNot(cpu < ports.size(), "footprint of out-of-range CPU ",
+               cpu);
+    std::vector<std::uint8_t> mask(cfg.numColors(), 0);
+    // A line's color is its physical page's color: reconstruct the
+    // physical address from the line number and divide down.
+    ports[cpu]->l2.forEachValid([&](const CacheLine &l) {
+        PageNum page = (l.lineAddr << lineShift) / cfg.pageBytes;
+        mask[page % cfg.numColors()] = 1;
+    });
+    return mask;
+}
+
+std::uint64_t
+MemorySystem::evictColors(CpuId cpu,
+                          const std::vector<std::uint8_t> &mask)
+{
+    panicIfNot(cpu < ports.size(), "evict on out-of-range CPU ", cpu);
+    panicIfNot(mask.size() == cfg.numColors(),
+               "evictColors mask has ", mask.size(), " entries, want ",
+               cfg.numColors());
+    Port &p = *ports[cpu];
+
+    // Collect first: invalidation mutates the structure forEachValid
+    // is walking.
+    std::vector<Addr> doomed;
+    p.l2.forEachValid([&](const CacheLine &l) {
+        PageNum page = (l.lineAddr << lineShift) / cfg.pageBytes;
+        if (mask[page % cfg.numColors()])
+            doomed.push_back(l.lineAddr);
+    });
+
+    for (Addr line : doomed) {
+        Addr idx = line << lineShift;
+        CacheLine *l = p.l2.probe(idx, line);
+        if (!l)
+            continue;
+        if (l->state == Mesi::Modified) {
+            // Same accounting as purgePage: charge the writeback from
+            // where the bus actually is, not from cycle 0.
+            bus.acquire(BusKind::Writeback, bus.freeAt());
+        }
+        p.l2.invalidate(idx, line);
+        backInvalidateL1(cpu, line);
+        p.prefetches.erase(line);
+        // Replacement, not coherence: the line was displaced by a
+        // competitor's data, it did not change owners. The sharing
+        // history and the miss shadow stay, so refetching it
+        // classifies as a conflict/capacity miss rather than cold.
+    }
+    return doomed.size();
+}
+
+void
+MemorySystem::flushTlb(CpuId cpu)
+{
+    panicIfNot(cpu < ports.size(), "TLB flush on out-of-range CPU ",
+               cpu);
+    ports[cpu]->tlb.flush();
+    // The translation micro-cache needs no sweep: an entry is only
+    // usable while hitAt() confirms its TLB slot still holds the vpn.
+}
+
 MemorySystem::L2Result
 MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
                        std::uint32_t word_mask, Cycles now,

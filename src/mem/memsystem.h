@@ -269,6 +269,35 @@ class MemorySystem
     void purgePage(VAddr va);
 
     /**
+     * Per-color presence of @p cpu's external cache: mask[c] != 0
+     * iff at least one valid line of a page with color c is
+     * resident. The multi-tenant scenario layer uses this to ask
+     * "which cache bins would a context switch onto this CPU's
+     * physical slot collide with". mask.size() == numColors.
+     */
+    std::vector<std::uint8_t> colorFootprint(CpuId cpu) const;
+
+    /**
+     * Model a context switch stealing @p cpu's external-cache real
+     * estate: invalidate every valid L2 line whose page color is set
+     * in @p mask (Modified lines are written back on the bus), back-
+     * invalidate the L1s for inclusion, and drop in-flight
+     * prefetches to the evicted lines. Replacement, not coherence:
+     * the sharing history and miss shadow are left alone, so the
+     * refetch of an evicted line classifies as a conflict/capacity
+     * miss, never as cold. @return lines evicted.
+     */
+    std::uint64_t evictColors(CpuId cpu,
+                              const std::vector<std::uint8_t> &mask);
+
+    /**
+     * Drop every entry of @p cpu's TLB (context-switch shootdown).
+     * Memoized translations self-invalidate: a micro-cache entry is
+     * only usable while its TLB slot still holds the vpn.
+     */
+    void flushTlb(CpuId cpu);
+
+    /**
      * Audit the coherence invariants across the whole hierarchy:
      *  - single-writer: a line Modified (or dirty in an L1) in one
      *    cache is not valid anywhere else;

@@ -1,0 +1,233 @@
+#include "tenant/broker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cdpc::tenant
+{
+
+bool
+ColorLease::contains(Color c) const
+{
+    return std::binary_search(colors.begin(), colors.end(), c);
+}
+
+Color
+ColorLease::project(Color c) const
+{
+    if (unlimited || colors.empty() || contains(c))
+        return c;
+    return colors[c % colors.size()];
+}
+
+namespace
+{
+
+ColorLease
+fullLease(std::uint64_t colors)
+{
+    ColorLease l;
+    l.colors.resize(colors);
+    for (std::uint64_t c = 0; c < colors; c++)
+        l.colors[c] = static_cast<Color>(c);
+    l.unlimited = true;
+    return l;
+}
+
+/** Carve @p count colors starting at @p cursor, wrapping. */
+ColorLease
+carve(std::uint64_t colors, std::uint64_t &cursor,
+      std::uint64_t count)
+{
+    if (count >= colors)
+        return fullLease(colors);
+    ColorLease l;
+    l.colors.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++)
+        l.colors.push_back(
+            static_cast<Color>((cursor + i) % colors));
+    cursor = (cursor + count) % colors;
+    std::sort(l.colors.begin(), l.colors.end());
+    return l;
+}
+
+/**
+ * Largest-remainder division of @p colors by tenant weight: every
+ * tenant gets at least one color, the shares sum exactly to the
+ * color count, and ties break toward the lower tenant index so the
+ * partition is deterministic.
+ */
+std::vector<std::uint64_t>
+proportionalShares(const ScenarioSpec &spec, std::uint64_t colors)
+{
+    const std::size_t n = spec.tenants.size();
+    double totalWeight = 0;
+    for (const TenantSpec &t : spec.tenants)
+        totalWeight += t.weight;
+
+    std::vector<std::uint64_t> share(n, 1);
+    std::vector<double> remainder(n, 0.0);
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < n; i++) {
+        double exact = static_cast<double>(colors) *
+                       spec.tenants[i].weight / totalWeight;
+        share[i] = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(exact));
+        remainder[i] = exact - std::floor(exact);
+        assigned += share[i];
+    }
+    // Hand out the leftover colors by descending remainder,
+    // low index first on ties.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; i++)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return remainder[a] > remainder[b];
+                     });
+    std::size_t k = 0;
+    while (assigned < colors) {
+        share[order[k % n]]++;
+        assigned++;
+        k++;
+    }
+    // More tenants than colors would underflow here; the parser
+    // bounds tenants by cpus <= 32 and every machine has >= 64
+    // colors, but guard the invariant anyway.
+    while (assigned > colors) {
+        std::size_t victim = order[n - 1 - (k % n)];
+        if (share[victim] > 1) {
+            share[victim]--;
+            assigned--;
+        }
+        k++;
+    }
+    return share;
+}
+
+} // namespace
+
+ColorBroker::ColorBroker(const ScenarioSpec &spec)
+    : colors_(spec.machine.numColors())
+{
+    leases_.reserve(spec.tenants.size());
+    std::uint64_t cursor = 0;
+    switch (spec.budget) {
+      case BudgetPolicy::Hard:
+      case BudgetPolicy::BestEffort:
+        // Requested budgets, carved sequentially. colors=0 means
+        // unlimited. Oversubscription (sum of budgets > colors)
+        // wraps, so late tenants overlap early ones — contention,
+        // not an error.
+        for (const TenantSpec &t : spec.tenants) {
+            leases_.push_back(t.colors == 0
+                                  ? fullLease(colors_)
+                                  : carve(colors_, cursor, t.colors));
+        }
+        break;
+      case BudgetPolicy::Proportional: {
+        std::vector<std::uint64_t> share =
+            proportionalShares(spec, colors_);
+        for (std::size_t i = 0; i < spec.tenants.size(); i++)
+            leases_.push_back(carve(colors_, cursor, share[i]));
+        break;
+      }
+    }
+}
+
+const ColorLease &
+ColorBroker::lease(std::size_t tenant) const
+{
+    panicIfNot(tenant < leases_.size(), "broker: no tenant ", tenant);
+    return leases_[tenant];
+}
+
+void
+ColorBroker::reclaim(std::size_t tenant)
+{
+    panicIfNot(tenant < leases_.size(), "broker: no tenant ", tenant);
+    ColorLease &l = leases_[tenant];
+    if (l.released)
+        return;
+    l.released = true;
+    releasedColors_ += l.colors.size();
+}
+
+LeasedMappingPolicy::LeasedMappingPolicy(PageMappingPolicy &inner,
+                                         const ColorLease &lease,
+                                         bool hard)
+    : inner_(inner), lease_(lease), hard_(hard)
+{
+}
+
+Color
+LeasedMappingPolicy::preferredColor(const FaultContext &ctx)
+{
+    Color c = inner_.preferredColor(ctx);
+    if (c == kNoColor) {
+        if (!hard_ || lease_.colors.empty())
+            return c;
+        // A hard budget turns "no preference" into "anywhere in my
+        // lease": cycle by vpn for spread without new RNG state.
+        return lease_.colors[ctx.vpn % lease_.colors.size()];
+    }
+    return lease_.project(c);
+}
+
+std::string
+LeasedMappingPolicy::name() const
+{
+    return "leased(" + inner_.name() + ")";
+}
+
+LeasedFallbackPolicy::LeasedFallbackPolicy(
+    std::unique_ptr<ColorFallbackPolicy> base,
+    const ColorLease &lease, bool hard)
+    : base_(std::move(base)), lease_(lease), hard_(hard)
+{
+}
+
+std::optional<PageNum>
+LeasedFallbackPolicy::allocFallback(PhysMem &phys, VirtualMemory *vm,
+                                    Color preferred)
+{
+    // Scan the lease ring-wise from the preferred color.
+    const std::vector<Color> &lc = lease_.colors;
+    if (!lc.empty()) {
+        auto start = std::lower_bound(lc.begin(), lc.end(),
+                                      preferred) -
+                     lc.begin();
+        for (std::size_t i = 0; i < lc.size(); i++) {
+            Color c = lc[(start + i) % lc.size()];
+            if (auto page = phys.tryAllocExact(c)) {
+                leaseAllocs_++;
+                return page;
+            }
+        }
+        // Lease physically dry: reclaim a competitor page of a
+        // lease color before leaving the budget.
+        for (std::size_t i = 0; i < lc.size(); i++) {
+            Color c = lc[(start + i) % lc.size()];
+            if (phys.freePagesOfColor(c) == 0) {
+                if (auto page = phys.reclaim(c)) {
+                    if (phys.colorOf(*page) == c) {
+                        leaseAllocs_++;
+                        return page;
+                    }
+                    // reclaim() roamed outside the lease; give the
+                    // page back rather than silently overflowing.
+                    phys.markReclaimable(*page);
+                }
+            }
+        }
+    }
+    // Budget exhausted. Liveness beats isolation: fall through to
+    // the scenario's base policy on the whole machine.
+    if (hard_)
+        overflows_++;
+    return base_->allocFallback(phys, vm, preferred);
+}
+
+} // namespace cdpc::tenant

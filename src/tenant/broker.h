@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ColorBroker: partitions and leases the machine's page-color space
+ * among tenants (DESIGN.md §12).
+ *
+ * The broker is the scenario-level analogue of a cgroup colormask:
+ * each tenant receives a ColorLease — an ordered set of colors it
+ * may occupy — computed once from the scenario's budget policy, and
+ * returns it when the tenant exits. Enforcement happens through the
+ * existing VM machinery, not a new allocator: LeasedMappingPolicy
+ * projects every preferred color into the lease before the page
+ * fault reaches PhysMem, and LeasedFallbackPolicy constrains the
+ * pressure path (scan, reclaim, steal) to lease colors, overflowing
+ * to the base fallback only when the lease is physically dry — a
+ * simulated process must never deadlock on its own budget.
+ *
+ * A lease covering the whole color space is *unlimited*: the
+ * scenario runner installs no wrappers at all, so an unlimited
+ * tenant takes the exact allocation path of a plain experiment
+ * (the 1-tenant degeneracy contract).
+ */
+
+#ifndef CDPC_TENANT_BROKER_H
+#define CDPC_TENANT_BROKER_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "tenant/spec.h"
+#include "vm/fallback.h"
+#include "vm/policy.h"
+
+namespace cdpc::tenant
+{
+
+/** The colors one tenant may occupy, in ascending order. */
+struct ColorLease
+{
+    std::vector<Color> colors;
+    /** Lease covers every machine color: no enforcement needed. */
+    bool unlimited = false;
+    /** Returned to the broker (tenant exited). */
+    bool released = false;
+
+    bool contains(Color c) const;
+    /** Deterministic projection of any color into the lease. */
+    Color project(Color c) const;
+};
+
+/**
+ * Grants one lease per tenant according to the scenario's budget
+ * policy. Leases are computed deterministically from the spec alone
+ * (no RNG), so a scenario's color partition is reproducible and
+ * printable before anything runs.
+ */
+class ColorBroker
+{
+  public:
+    /** Compute every tenant's lease up front. */
+    ColorBroker(const ScenarioSpec &spec);
+
+    const ColorLease &lease(std::size_t tenant) const;
+
+    /**
+     * Return tenant @p tenant's colors to the pool (the tenant
+     * exited). Idempotent. The freed colors are visible through
+     * releasedColors() — under hard budgets a real kernel would
+     * re-lease them; this model just stops the exited tenant from
+     * polluting anyone.
+     */
+    void reclaim(std::size_t tenant);
+
+    /** Colors currently held by no live lease. */
+    std::uint64_t releasedColors() const { return releasedColors_; }
+
+    std::uint64_t numColors() const { return colors_; }
+
+  private:
+    std::uint64_t colors_;
+    std::vector<ColorLease> leases_;
+    std::uint64_t releasedColors_ = 0;
+};
+
+/**
+ * Budget enforcement, policy side: wraps the tenant's active mapping
+ * policy and projects every preferred color into the lease, so the
+ * page-fault path below (PhysMem exact-alloc, then fallback) only
+ * ever chases colors the tenant owns. kNoColor preferences stay
+ * unconstrained under best-effort semantics but are pinned to the
+ * lease under a hard budget.
+ */
+class LeasedMappingPolicy : public PageMappingPolicy
+{
+  public:
+    /**
+     * @param inner the tenant's native policy (not owned)
+     * @param lease the tenant's colors (not owned; must outlive)
+     * @param hard pin even no-preference faults to the lease
+     */
+    LeasedMappingPolicy(PageMappingPolicy &inner,
+                        const ColorLease &lease, bool hard);
+
+    Color preferredColor(const FaultContext &ctx) override;
+    std::string name() const override;
+    void reset() override { inner_.reset(); }
+
+  private:
+    PageMappingPolicy &inner_;
+    const ColorLease &lease_;
+    bool hard_;
+};
+
+/**
+ * Budget enforcement, pressure side: when the preferred (leased)
+ * color is empty, scan the rest of the lease, then reclaim
+ * competitor pages within the lease, then delegate to the base
+ * fallback policy (counted as a budget overflow under hard
+ * budgets — the escape hatch that trades isolation for liveness).
+ */
+class LeasedFallbackPolicy : public ColorFallbackPolicy
+{
+  public:
+    /**
+     * @param base the scenario's fallback policy (owned)
+     * @param lease the tenant's colors (not owned; must outlive)
+     * @param hard exhaust the lease before touching foreign colors
+     */
+    LeasedFallbackPolicy(std::unique_ptr<ColorFallbackPolicy> base,
+                         const ColorLease &lease, bool hard);
+
+    std::optional<PageNum> allocFallback(PhysMem &phys,
+                                         VirtualMemory *vm,
+                                         Color preferred) override;
+    const char *name() const override { return "leased"; }
+
+    /** Allocations served from within the lease. */
+    std::uint64_t leaseAllocs() const { return leaseAllocs_; }
+    /** Hard-budget allocations that had to leave the lease. */
+    std::uint64_t overflows() const { return overflows_; }
+
+  private:
+    std::unique_ptr<ColorFallbackPolicy> base_;
+    const ColorLease &lease_;
+    bool hard_;
+    std::uint64_t leaseAllocs_ = 0;
+    std::uint64_t overflows_ = 0;
+};
+
+} // namespace cdpc::tenant
+
+#endif // CDPC_TENANT_BROKER_H

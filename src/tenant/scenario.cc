@@ -1,0 +1,725 @@
+#include "tenant/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "mem/memsystem.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runner/thread_pool.h"
+#include "tenant/broker.h"
+#include "verify/differential.h"
+#include "vm/hints.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/pressure.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc::tenant
+{
+
+std::optional<AloneOutcome>
+AloneCache::find(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+AloneCache::store(const std::string &key, const AloneOutcome &outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(key, outcome);
+}
+
+std::size_t
+AloneCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::string
+aloneKey(const ScenarioSpec &spec, std::size_t idx)
+{
+    const TenantSpec &t = spec.tenants[idx];
+    const ExperimentConfig &c = t.base;
+    std::ostringstream os;
+    os << t.workload << "/" << mappingName(c.mapping)
+       << "/vcpus=" << t.vcpus << "/machine=" << spec.machineName
+       << "/aligned=" << c.aligned << "/prefetch=" << c.prefetch
+       << "/racy=" << c.binHopRacy << "/seed=" << c.seed
+       << "/fallback=" << static_cast<int>(c.fallback)
+       << "/press=" << c.pressure.occupancy << ","
+       << static_cast<int>(c.pressure.pattern) << ","
+       << c.pressure.seed << "/prealloc=" << spec.preallocatedPages
+       << "/pages=" << spec.sharedPhysPages()
+       << "/warm=" << c.sim.warmupRounds
+       << "/meas=" << c.sim.measureRounds
+       << "/init=" << c.sim.runInit;
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * One tenant's full stack — everything runProgram() keeps on its
+ * stack frame, built in the same order, with two deliberate
+ * deviations: physical memory is the scenario's shared allocator
+ * (injected, with the hog/pressure steps hoisted to scenario scope),
+ * and a non-unlimited lease interposes the broker's enforcement
+ * wrappers between the native policy/fallback and the VM.
+ */
+struct TenantRig
+{
+    Program program;
+    CompileResult compiled;
+    std::unique_ptr<RandomPolicy> random;
+    std::unique_ptr<HashPolicy> hash;
+    std::unique_ptr<ColorFallbackPolicy> fallback;
+    std::unique_ptr<PageColoringPolicy> coloring;
+    std::unique_ptr<BinHoppingPolicy> binhop;
+    std::unique_ptr<CdpcHintPolicy> hints;
+    PageMappingPolicy *active = nullptr;
+    std::unique_ptr<LeasedMappingPolicy> leasedMapping;
+    std::unique_ptr<LeasedFallbackPolicy> leasedFallback;
+    std::unique_ptr<VirtualMemory> vm;
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<DynamicRecolorer> recolorer;
+    std::unique_ptr<verify::DifferentialVerifier> verifier;
+    std::unique_ptr<MpSimulator> sim;
+    /** Partial result; plan/summaries land here at build time. */
+    ExperimentResult res;
+    SimOptions simopts;
+};
+
+std::unique_ptr<TenantRig>
+buildRig(const TenantSpec &t, PhysMem &phys, const ColorLease &lease,
+         bool hard)
+{
+    const ExperimentConfig &config = t.base;
+    const MachineConfig &m = config.machine;
+    m.validate();
+
+    auto rig = std::make_unique<TenantRig>();
+    rig->program = buildWorkload(t.workload);
+
+    // --- Compile (mirrors runProgram step for step) -------------------
+    CompilerOptions copts;
+    copts.align = config.aligned;
+    copts.prefetch = config.prefetch;
+    copts.aligner.lineBytes = m.l2.lineBytes;
+    copts.aligner.l1SpanBytes = m.l1d.sizeBytes / m.l1d.assoc;
+    copts.prefetcher.lineBytes = m.l2.lineBytes;
+    copts.prefetcher.targetLatency = m.memLatencyCycles;
+    copts.prefetcher.minArrayBytes = m.l2.sizeBytes / 2;
+    obs::PhaseSpan compile_span("compile");
+    rig->compiled = compileProgram(rig->program, copts);
+    compile_span.end();
+
+    // --- Operating system (phys is shared; hog/pressure already
+    // applied by the scenario) -----------------------------------------
+    rig->random =
+        std::make_unique<RandomPolicy>(m.numColors(), config.seed);
+    rig->hash = std::make_unique<HashPolicy>(m.numColors());
+    rig->fallback = makeFallbackPolicy(config.fallback);
+    rig->coloring = std::make_unique<PageColoringPolicy>(m.numColors());
+    rig->binhop = std::make_unique<BinHoppingPolicy>(
+        m.numColors(), config.binHopRacy, config.seed);
+
+    PageMappingPolicy *base = nullptr;
+    switch (config.mapping) {
+      case MappingPolicy::PageColoring:
+      case MappingPolicy::Cdpc:
+        base = rig->coloring.get();
+        break;
+      case MappingPolicy::BinHopping:
+      case MappingPolicy::CdpcTouchOrder:
+        base = rig->binhop.get();
+        break;
+      case MappingPolicy::Random:
+        base = rig->random.get();
+        break;
+      case MappingPolicy::Hash:
+        base = rig->hash.get();
+        break;
+    }
+    rig->hints = std::make_unique<CdpcHintPolicy>(*base);
+
+    bool use_cdpc = config.mapping == MappingPolicy::Cdpc ||
+                    config.mapping == MappingPolicy::CdpcTouchOrder;
+    rig->active = config.mapping == MappingPolicy::Cdpc
+                      ? static_cast<PageMappingPolicy *>(rig->hints.get())
+                      : base;
+
+    // Budget enforcement: only a real (non-unlimited) lease changes
+    // the stack. An unlimited tenant gets the exact runProgram()
+    // wiring — the degeneracy contract depends on this.
+    PageMappingPolicy *policy = rig->active;
+    ColorFallbackPolicy *fb = rig->fallback.get();
+    if (!lease.unlimited) {
+        rig->leasedMapping = std::make_unique<LeasedMappingPolicy>(
+            *rig->active, lease, hard);
+        rig->leasedFallback = std::make_unique<LeasedFallbackPolicy>(
+            std::move(rig->fallback), lease, hard);
+        policy = rig->leasedMapping.get();
+        fb = rig->leasedFallback.get();
+    }
+
+    rig->vm = std::make_unique<VirtualMemory>(m, phys, *policy, fb);
+
+    // --- CDPC run-time library ----------------------------------------
+    rig->res.summaries = rig->compiled.summaries;
+    if (use_cdpc) {
+        obs::PhaseSpan coloring_span("coloring");
+        CdpcPlan plan = computeCdpcPlan(rig->compiled.summaries,
+                                        cdpcParams(m),
+                                        config.cdpcOptions);
+        if (config.mapping == MappingPolicy::Cdpc)
+            applyHints(plan, *rig->hints);
+        else
+            applyByTouchOrder(plan, *rig->vm);
+        rig->res.plan = std::move(plan);
+    }
+
+    // --- Simulator ------------------------------------------------------
+    rig->mem = std::make_unique<MemorySystem>(m, *rig->vm);
+    MemorySystem *mem = rig->mem.get();
+    std::uint64_t page_bytes = m.pageBytes;
+    rig->vm->setRemapObserver([mem, page_bytes](PageNum vpn) {
+        mem->purgePage(vpn * page_bytes);
+    });
+    if (config.dynamicRecolor) {
+        rig->recolorer = std::make_unique<DynamicRecolorer>(
+            *rig->vm, phys, *rig->mem, config.recolor);
+        DynamicRecolorer *rc = rig->recolorer.get();
+        rig->mem->setConflictObserver(
+            [rc](CpuId cpu, PageNum vpn, Cycles now) {
+                return rc->onConflictMiss(cpu, vpn, now);
+            });
+    }
+    if (config.verifyEvery) {
+        rig->verifier =
+            std::make_unique<verify::DifferentialVerifier>(
+                m, *rig->mem, *rig->vm, config.verifyEvery);
+        rig->mem->setMemObserver(rig->verifier.get());
+    }
+    if (config.auditEvery)
+        rig->mem->setAuditEvery(config.auditEvery);
+    rig->sim = std::make_unique<MpSimulator>(m, *rig->mem);
+    rig->simopts = config.sim;
+    if (rig->simopts.statsInterval && !rig->simopts.snapshots)
+        rig->simopts.snapshots = &rig->res.snapshots;
+    return rig;
+}
+
+/**
+ * Finish a tenant's bookkeeping exactly the way runProgram() ends:
+ * same fields, same formulas, so the degenerate scenario's result is
+ * indistinguishable from the plain harness's.
+ */
+void
+finalizeRig(TenantRig &rig, const TenantSpec &t,
+            const WeightedTotals &totals,
+            std::uint64_t pressure_pages)
+{
+    ExperimentResult &res = rig.res;
+    res.totals = totals;
+    if (rig.recolorer)
+        res.recolorStats = rig.recolorer->stats();
+    if (rig.verifier) {
+        res.verifiedRefs = rig.verifier->stats().refsChecked;
+        res.verifiedDeepCompares = rig.verifier->stats().deepCompares;
+    }
+    res.auditsRun = rig.mem->auditsRun();
+    res.workload = rig.program.name;
+    res.policy = mappingName(t.base.mapping);
+    res.ncpus = t.base.machine.numCpus;
+    res.dataSetBytes = rig.program.dataSetBytes();
+    res.degradation = rig.vm->stats();
+    res.pressurePages = pressure_pages;
+    const VmStats &vs = res.degradation;
+    std::uint64_t expressed =
+        vs.hintHonored + vs.hintFallback + vs.hintDenied;
+    res.hintsHonored = safeDiv(static_cast<double>(vs.hintHonored),
+                               static_cast<double>(expressed), 1.0);
+}
+
+/**
+ * Resumable replica of MpSimulator::run(): the whole warmup/measure
+ * schedule is flattened into quanta of one phase-round each, so the
+ * co-scheduler can interleave tenants at phase-round granularity
+ * while each tenant still executes the exact round sequence — and
+ * accumulates the exact occurrence-weighted totals — that run()
+ * would produce.
+ */
+class TenantStepper
+{
+  public:
+    explicit TenantStepper(TenantRig &rig) : rig_(rig)
+    {
+        const SimOptions &opts = rig.simopts;
+        fatalIf(opts.measureRounds == 0,
+                "measureRounds must be at least 1");
+        if (opts.runInit)
+            sched_.push_back({Kind::Init, &rig.program.init, false,
+                              false});
+        for (const Phase &phase : rig.program.steady) {
+            for (std::uint32_t w = 0; w < opts.warmupRounds; w++)
+                sched_.push_back({Kind::Warmup, &phase, false, false});
+            for (std::uint32_t m = 0; m < opts.measureRounds; m++)
+                sched_.push_back({Kind::Measure, &phase, m == 0,
+                                  m + 1 == opts.measureRounds});
+        }
+    }
+
+    bool done() const { return cursor_ == sched_.size(); }
+
+    /** Execute one quantum (one phase-round). */
+    void
+    step()
+    {
+        panicIfNot(!done(), "stepping a finished tenant");
+        const Quantum &q = sched_[cursor_++];
+        MpSimulator &sim = *rig_.sim;
+        switch (q.kind) {
+          case Kind::Init:
+          case Kind::Warmup: {
+            // run() nulls the page trace for init and warmup rounds
+            // (Figures 3/5 plot steady state only).
+            SimOptions o = rig_.simopts;
+            o.trace = nullptr;
+            sim.runPhase(rig_.program, *q.phase, o);
+            break;
+          }
+          case Kind::Measure: {
+            if (q.firstRound) {
+                before_ = sim.snapshot();
+                lastWall_ = before_.wall;
+            }
+            sim.runPhase(rig_.program, *q.phase, rig_.simopts);
+            RunTotals now = sim.snapshot();
+            roundWalls_.push_back(
+                static_cast<double>(now.wall - lastWall_));
+            lastWall_ = now.wall;
+            if (q.lastRound) {
+                double weight =
+                    static_cast<double>(q.phase->occurrences) /
+                    rig_.simopts.measureRounds;
+                totals_.add(before_, now, weight);
+            }
+            break;
+          }
+        }
+    }
+
+    const WeightedTotals &totals() const { return totals_; }
+    const std::vector<double> &roundWalls() const { return roundWalls_; }
+
+  private:
+    enum class Kind
+    {
+        Init,
+        Warmup,
+        Measure
+    };
+    struct Quantum
+    {
+        Kind kind;
+        const Phase *phase;
+        bool firstRound;
+        bool lastRound;
+    };
+
+    TenantRig &rig_;
+    std::vector<Quantum> sched_;
+    std::size_t cursor_ = 0;
+    RunTotals before_;
+    Cycles lastWall_ = 0;
+    WeightedTotals totals_;
+    std::vector<double> roundWalls_;
+};
+
+/**
+ * Predicted pages-per-color footprint: for CDPC tenants the plan's
+ * hints (projected through the lease the broker actually granted);
+ * for everyone else a uniform spread of the data set over the lease.
+ */
+TenantFootprint
+predictFootprint(const TenantRig &rig, const ColorLease &lease,
+                 std::uint64_t num_colors, std::uint64_t page_bytes)
+{
+    TenantFootprint fp;
+    fp.weight.assign(num_colors, 0.0);
+    if (rig.res.plan && !rig.res.plan->coloring.hints.empty()) {
+        for (const ColorHint &h : rig.res.plan->coloring.hints)
+            fp.weight[lease.project(h.color) % num_colors] += 1.0;
+        return fp;
+    }
+    double pages = static_cast<double>(rig.program.dataSetBytes()) /
+                   static_cast<double>(page_bytes);
+    if (lease.colors.empty())
+        return fp;
+    double per = pages / static_cast<double>(lease.colors.size());
+    for (Color c : lease.colors)
+        fp.weight[c % num_colors] += per;
+    return fp;
+}
+
+double
+sumWalls(const std::vector<double> &walls)
+{
+    double s = 0;
+    for (double w : walls)
+        s += w;
+    return s;
+}
+
+/** Nearest-rank p99 of the per-round slowdown samples. */
+double
+p99Of(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(samples.size())));
+    rank = std::min(std::max<std::size_t>(rank, 1), samples.size());
+    return samples[rank - 1];
+}
+
+AloneOutcome
+runTenantAlone(const ScenarioSpec &spec, std::size_t idx)
+{
+    const TenantSpec &t = spec.tenants[idx];
+    // Same machine-wide environment as the shared run — hog pages,
+    // competitor pressure — minus the other tenants, so slowdown
+    // isolates exactly the co-residency effect.
+    PhysMem phys(spec.sharedPhysPages(), spec.machine.numColors());
+    std::uint64_t half =
+        std::max<std::uint64_t>(spec.machine.numColors() / 2, 1);
+    for (std::uint64_t i = 0; i < spec.preallocatedPages; i++)
+        phys.alloc(static_cast<Color>(i % half));
+    PressureStats pressure = applyMemoryPressure(phys, spec.pressure);
+
+    ColorLease all;
+    all.colors.resize(spec.machine.numColors());
+    for (std::uint64_t c = 0; c < spec.machine.numColors(); c++)
+        all.colors[c] = static_cast<Color>(c);
+    all.unlimited = true;
+
+    std::unique_ptr<TenantRig> rig = buildRig(t, phys, all, false);
+    TenantStepper stepper(*rig);
+    while (!stepper.done())
+        stepper.step();
+    finalizeRig(*rig, t, stepper.totals(), pressure.claimedPages);
+
+    AloneOutcome out;
+    out.result = std::move(rig->res);
+    out.roundWalls = stepper.roundWalls();
+    out.wall = sumWalls(out.roundWalls);
+    return out;
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const ScenarioSpec &spec, const ScenarioOptions &opts)
+{
+    spec.machine.validate();
+    fatalIf(spec.tenants.empty(), "scenario has no tenants");
+    const std::size_t n = spec.tenants.size();
+    const std::uint64_t phys_pages = spec.sharedPhysPages();
+    fatalIf(spec.preallocatedPages >= phys_pages,
+            "preallocatedPages leaves no memory for the tenants");
+
+    // --- Shared physical memory (one allocator, all tenants) ----------
+    PhysMem phys(phys_pages, spec.machine.numColors());
+    std::uint64_t half =
+        std::max<std::uint64_t>(spec.machine.numColors() / 2, 1);
+    for (std::uint64_t i = 0; i < spec.preallocatedPages; i++)
+        phys.alloc(static_cast<Color>(i % half));
+    PressureStats pressure = applyMemoryPressure(phys, spec.pressure);
+
+    // --- Leases and per-tenant stacks ---------------------------------
+    ColorBroker broker(spec);
+    bool hard = spec.budget != BudgetPolicy::BestEffort;
+    std::vector<std::unique_ptr<TenantRig>> rigs;
+    rigs.reserve(n);
+    for (std::size_t i = 0; i < n; i++)
+        rigs.push_back(
+            buildRig(spec.tenants[i], phys, broker.lease(i), hard));
+
+    // --- Placement ----------------------------------------------------
+    std::vector<TenantFootprint> footprints;
+    if (spec.scheduler == SchedulerKind::LocalityAware) {
+        footprints.reserve(n);
+        for (std::size_t i = 0; i < n; i++)
+            footprints.push_back(predictFootprint(
+                *rigs[i], broker.lease(i), spec.machine.numColors(),
+                spec.machine.pageBytes));
+    }
+    Placement placement = placeTenants(spec, footprints,
+                                       spec.scheduler, spec.cpus);
+
+    ScenarioResult out;
+    out.name = spec.name;
+    out.cpus = spec.cpus;
+    out.budget = spec.budget;
+    out.scheduler = spec.scheduler;
+    out.placement = placement;
+    out.tenants.resize(n);
+    for (std::size_t i = 0; i < n; i++) {
+        TenantResult &tr = out.tenants[i];
+        tr.name = spec.tenants[i].name;
+        tr.leaseSize = broker.lease(i).colors.size();
+        tr.unlimited = broker.lease(i).unlimited;
+    }
+
+    // --- Co-schedule --------------------------------------------------
+    std::vector<std::unique_ptr<TenantStepper>> steppers;
+    steppers.reserve(n);
+    for (std::size_t i = 0; i < n; i++)
+        steppers.push_back(std::make_unique<TenantStepper>(*rigs[i]));
+
+    std::size_t live = 0;
+    std::uint64_t round = 0;
+    auto retire = [&](std::size_t t) {
+        finalizeRig(*rigs[t], spec.tenants[t], steppers[t]->totals(),
+                    pressure.claimedPages);
+        out.tenants[t].exitRound = round;
+        // Process exit: pages go back to the shared pool, the lease
+        // goes back to the broker, and (via the done() check in the
+        // pollution pass) the tenant stops costing anyone evictions.
+        rigs[t]->vm->unmapAll();
+        broker.reclaim(t);
+        out.leasesReclaimed++;
+    };
+    for (std::size_t i = 0; i < n; i++) {
+        if (steppers[i]->done())
+            retire(i); // empty program; keep the loop below finite
+        else
+            live++;
+    }
+
+    while (live > 0) {
+        for (std::size_t t = 0; t < n; t++) {
+            if (steppers[t]->done())
+                continue;
+            // Context-switch interference: before this tenant's
+            // quantum, every vcpu sharing a physical CPU with a live
+            // foreign tenant loses the cache bins that tenant
+            // occupies, plus its TLB contents.
+            TenantRig &rig = *rigs[t];
+            for (CpuId v = 0; v < spec.tenants[t].vcpus; v++) {
+                CpuId pc = placement.cpuOf[t][v];
+                bool foreign = false;
+                for (const auto &[u, uv] : placement.residents[pc]) {
+                    if (u == t || steppers[u]->done())
+                        continue;
+                    foreign = true;
+                    std::uint64_t evicted = rig.mem->evictColors(
+                        v, rigs[u]->mem->colorFootprint(uv));
+                    out.tenants[t].crossTenantEvictions += evicted;
+                    out.tenants[u].evictionsInflicted += evicted;
+                }
+                if (foreign) {
+                    rig.mem->flushTlb(v);
+                    out.tenants[t].tlbFlushes++;
+                }
+            }
+            steppers[t]->step();
+            if (steppers[t]->done()) {
+                retire(t);
+                live--;
+            }
+        }
+        round++;
+    }
+    out.rounds = round;
+
+    // --- Per-tenant accounting ----------------------------------------
+    for (std::size_t i = 0; i < n; i++) {
+        TenantResult &tr = out.tenants[i];
+        tr.result = std::move(rigs[i]->res);
+        if (rigs[i]->leasedFallback) {
+            tr.leaseAllocs = rigs[i]->leasedFallback->leaseAllocs();
+            tr.budgetOverflows = rigs[i]->leasedFallback->overflows();
+        }
+        tr.roundWalls = steppers[i]->roundWalls();
+        tr.wall = sumWalls(tr.roundWalls);
+        const WeightedTotals &wt = tr.result.totals;
+        tr.missRate = safeDiv(wt.l2Misses, wt.refs, 0.0);
+        out.totalCrossEvictions += tr.crossTenantEvictions;
+    }
+
+    double mean = 0;
+    for (const TenantResult &tr : out.tenants)
+        mean += tr.missRate;
+    mean /= static_cast<double>(n);
+    for (const TenantResult &tr : out.tenants) {
+        double d = tr.missRate - mean;
+        out.missRateVariance += d * d;
+    }
+    out.missRateVariance /= static_cast<double>(n);
+
+    // --- Alone baselines (slowdown metrics) ---------------------------
+    if (opts.computeAlone) {
+        std::vector<std::optional<AloneOutcome>> alone(n);
+        std::vector<std::string> keys(n);
+        std::vector<std::size_t> missing;
+        for (std::size_t i = 0; i < n; i++) {
+            keys[i] = aloneKey(spec, i);
+            if (opts.aloneCache)
+                alone[i] = opts.aloneCache->find(keys[i]);
+            if (!alone[i])
+                missing.push_back(i);
+        }
+        if (!missing.empty()) {
+            // Fan the baseline simulations out over the
+            // work-stealing runner; each writes its own slot, so
+            // the join is deterministic regardless of job count.
+            runner::ThreadPool pool(opts.jobs);
+            for (std::size_t i : missing) {
+                pool.submit([&spec, &alone, i] {
+                    alone[i] = runTenantAlone(spec, i);
+                });
+            }
+            pool.waitIdle();
+            if (opts.aloneCache) {
+                for (std::size_t i : missing)
+                    opts.aloneCache->store(keys[i], *alone[i]);
+            }
+        }
+        for (std::size_t i = 0; i < n; i++) {
+            TenantResult &tr = out.tenants[i];
+            const AloneOutcome &base = *alone[i];
+            tr.aloneWall = base.wall;
+            tr.aloneMissRate = safeDiv(base.result.totals.l2Misses,
+                                       base.result.totals.refs, 0.0);
+            tr.slowdown = safeDiv(tr.wall, base.wall, 1.0);
+            std::vector<double> ratios;
+            std::size_t rounds = std::min(tr.roundWalls.size(),
+                                          base.roundWalls.size());
+            ratios.reserve(rounds);
+            for (std::size_t r = 0; r < rounds; r++) {
+                if (base.roundWalls[r] > 0)
+                    ratios.push_back(tr.roundWalls[r] /
+                                     base.roundWalls[r]);
+            }
+            tr.p99Slowdown = p99Of(std::move(ratios));
+            out.maxSlowdown = std::max(out.maxSlowdown, tr.slowdown);
+        }
+    }
+
+    // --- Observability ------------------------------------------------
+    if (obs::metricsEnabled()) {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        reg.counter("tenant.scenarios").inc();
+        for (const TenantResult &tr : out.tenants) {
+            std::string p = "tenant." + tr.name + ".";
+            reg.counter(p + "crossEvictions")
+                .inc(tr.crossTenantEvictions);
+            reg.counter(p + "tlbFlushes").inc(tr.tlbFlushes);
+            reg.counter(p + "budgetOverflows").inc(tr.budgetOverflows);
+            reg.counter(p + "leaseAllocs").inc(tr.leaseAllocs);
+            reg.counter(p + "hintHonored")
+                .inc(tr.result.degradation.hintHonored);
+            reg.counter(p + "hintFallback")
+                .inc(tr.result.degradation.hintFallback);
+        }
+    }
+    CDPC_METRIC_COUNT("tenant.runs", 1);
+    return out;
+}
+
+ExperimentResult
+runSingleTenant(const std::string &workload,
+                const ExperimentConfig &config)
+{
+    ScenarioSpec spec = singleTenantSpec(workload, config);
+    ScenarioOptions opts;
+    opts.computeAlone = false;
+    ScenarioResult res = runScenario(spec, opts);
+    return std::move(res.tenants[0].result);
+}
+
+namespace
+{
+
+std::string
+g17(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+canonicalScenario(const ScenarioResult &res)
+{
+    std::ostringstream os;
+    os << "scenario " << res.name << " cpus=" << res.cpus
+       << " budget=" << budgetPolicyName(res.budget)
+       << " scheduler=" << schedulerName(res.scheduler)
+       << " rounds=" << res.rounds
+       << " crossEvictions=" << res.totalCrossEvictions
+       << " reclaimed=" << res.leasesReclaimed
+       << " missVar=" << g17(res.missRateVariance)
+       << " maxSlowdown=" << g17(res.maxSlowdown) << "\n";
+    for (std::size_t t = 0; t < res.tenants.size(); t++) {
+        os << "placement " << res.tenants[t].name;
+        for (CpuId cpu : res.placement.cpuOf[t])
+            os << " " << cpu;
+        os << "\n";
+    }
+    for (const TenantResult &tr : res.tenants) {
+        const WeightedTotals &wt = tr.result.totals;
+        const VmStats &vs = tr.result.degradation;
+        os << "tenant " << tr.name << " workload=" << tr.result.workload
+           << " policy=" << tr.result.policy
+           << " ncpus=" << tr.result.ncpus
+           << " lease=" << tr.leaseSize
+           << " unlimited=" << (tr.unlimited ? 1 : 0)
+           << " exitRound=" << tr.exitRound
+           << " crossEvictions=" << tr.crossTenantEvictions
+           << " inflicted=" << tr.evictionsInflicted
+           << " tlbFlushes=" << tr.tlbFlushes
+           << " leaseAllocs=" << tr.leaseAllocs
+           << " overflows=" << tr.budgetOverflows
+           << " refs=" << g17(wt.refs)
+           << " l1Misses=" << g17(wt.l1Misses)
+           << " l2Misses=" << g17(wt.l2Misses)
+           << " tlbMisses=" << g17(wt.tlbMisses)
+           << " pageFaults=" << g17(wt.pageFaults)
+           << " wall=" << g17(wt.wall)
+           << " combined=" << g17(wt.combinedTime())
+           << " missRate=" << g17(tr.missRate)
+           << " measuredWall=" << g17(tr.wall)
+           << " hintsHonored=" << g17(tr.result.hintsHonored)
+           << " honored=" << vs.hintHonored
+           << " fallback=" << vs.hintFallback
+           << " denied=" << vs.hintDenied
+           << " steals=" << vs.hintStolen
+           << " aloneWall=" << g17(tr.aloneWall)
+           << " slowdown=" << g17(tr.slowdown)
+           << " p99Slowdown=" << g17(tr.p99Slowdown);
+        os << " roundWalls=";
+        for (std::size_t r = 0; r < tr.roundWalls.size(); r++)
+            os << (r ? "," : "") << g17(tr.roundWalls[r]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cdpc::tenant

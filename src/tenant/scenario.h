@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The multi-tenant scenario runner (DESIGN.md §12).
+ *
+ * runScenario() co-schedules N tenants — each an independent process
+ * with its own address space, caches and simulator, built exactly
+ * the way runProgram() builds a plain experiment — over one shared
+ * physical memory and one set of physical CPUs:
+ *
+ *  - the ColorBroker leases each tenant a slice of the color space
+ *    (budget enforcement rides the existing VM policy/fallback
+ *    machinery; an unlimited lease installs no wrappers at all);
+ *  - placeTenants() maps tenant vcpus onto physical CPUs
+ *    (round-robin baseline vs locality-aware greedy placement);
+ *  - a round-robin co-scheduler hands each live tenant one quantum
+ *    (one phase-round of its program) per scheduling round. Before a
+ *    tenant's quantum, every vcpu that shares a physical CPU with a
+ *    foreign tenant suffers a context-switch: all cache lines whose
+ *    page colors are resident in the foreign tenant's external cache
+ *    are evicted (dirty ones written back), and the TLB is flushed.
+ *    Cross-tenant conflict pressure therefore scales with how much
+ *    of the color space co-resident tenants share — exactly what the
+ *    broker's budgets and the locality-aware placement reduce.
+ *
+ * Isolation metrics: per-tenant miss rates and their population
+ * variance, per-tenant slowdown vs running alone on the same machine
+ * (total and p99 over per-phase-round wall-clock samples,
+ * nearest-rank), cross-tenant eviction and budget-overflow counts.
+ * Alone baselines run through the work-stealing runner::ThreadPool
+ * and are join-ordered, so results are independent of the job count
+ * (the serial==parallel identity locked by tests/test_tenant.cc).
+ *
+ * Degeneracy contract: a 1-tenant unlimited-budget scenario takes
+ * the exact code path of a plain experiment — same construction
+ * order, same phase-round sequence, no wrappers, no pollution — and
+ * reproduces runWorkload() byte-for-byte (the tenant1 golden).
+ */
+
+#ifndef CDPC_TENANT_SCENARIO_H
+#define CDPC_TENANT_SCENARIO_H
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "tenant/scheduler.h"
+#include "tenant/spec.h"
+
+namespace cdpc::tenant
+{
+
+/** One tenant's run-alone baseline (no co-residents, no budget). */
+struct AloneOutcome
+{
+    ExperimentResult result;
+    /** Wall-clock cycles of each measured phase-round. */
+    std::vector<double> roundWalls;
+    /** Total measured wall (sum of roundWalls). */
+    double wall = 0;
+};
+
+/**
+ * Memoizes alone baselines across scenarios (the bench sweeps many
+ * cells that share tenants). Thread-safe; keys come from aloneKey().
+ */
+class AloneCache
+{
+  public:
+    std::optional<AloneOutcome> find(const std::string &key) const;
+    void store(const std::string &key, const AloneOutcome &outcome);
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, AloneOutcome> entries_;
+};
+
+/**
+ * Cache key of tenant @p idx's alone baseline: every knob that can
+ * change the baseline (workload, vcpus, mapping flags, seeds, the
+ * shared machine and its scenario-global pressure) and nothing that
+ * cannot (budget policy, scheduler, the other tenants).
+ */
+std::string aloneKey(const ScenarioSpec &spec, std::size_t idx);
+
+/** Everything one tenant's shared run produced. */
+struct TenantResult
+{
+    std::string name;
+    /** Assembled exactly like runProgram()'s result. */
+    ExperimentResult result;
+    /** Colors leased (== machine colors when unlimited). */
+    std::uint64_t leaseSize = 0;
+    bool unlimited = false;
+    /** Fallback allocations served from within the lease. */
+    std::uint64_t leaseAllocs = 0;
+    /** Hard-budget allocations that had to leave the lease. */
+    std::uint64_t budgetOverflows = 0;
+    /** L2 lines this tenant lost to co-resident tenants. */
+    std::uint64_t crossTenantEvictions = 0;
+    /** L2 lines this tenant's residency evicted from others. */
+    std::uint64_t evictionsInflicted = 0;
+    /** Context-switch TLB flushes suffered. */
+    std::uint64_t tlbFlushes = 0;
+    /** Scheduling round in which the tenant finished. */
+    std::uint64_t exitRound = 0;
+    /** l2Misses / refs over the measured window. */
+    double missRate = 0;
+    /** Measured wall-clock cycles (shared run). */
+    double wall = 0;
+    /** Wall-clock cycles of each measured phase-round (shared). */
+    std::vector<double> roundWalls;
+
+    // Populated only when the alone baseline ran:
+    double aloneWall = 0;
+    double aloneMissRate = 0;
+    /** wall / aloneWall (1.0 = perfect isolation). */
+    double slowdown = 0;
+    /** Nearest-rank p99 of per-round wall ratios. */
+    double p99Slowdown = 0;
+};
+
+/** A whole scenario's outcome. */
+struct ScenarioResult
+{
+    std::string name;
+    std::uint32_t cpus = 0;
+    BudgetPolicy budget = BudgetPolicy::Hard;
+    SchedulerKind scheduler = SchedulerKind::RoundRobin;
+    std::vector<TenantResult> tenants;
+    Placement placement;
+    /** Scheduling rounds until the last tenant exited. */
+    std::uint64_t rounds = 0;
+    /** Sum of per-tenant crossTenantEvictions. */
+    std::uint64_t totalCrossEvictions = 0;
+    /** Leases returned to the broker (== tenant count at the end). */
+    std::uint64_t leasesReclaimed = 0;
+    /** Population variance of per-tenant miss rates. */
+    double missRateVariance = 0;
+    /** Max per-tenant slowdown (0 when baselines were skipped). */
+    double maxSlowdown = 0;
+};
+
+/** Controls orthogonal to the spec. */
+struct ScenarioOptions
+{
+    /** Worker threads for the alone-baseline fan-out. */
+    unsigned jobs = 1;
+    /** Compute run-alone baselines (slowdown metrics). */
+    bool computeAlone = true;
+    /** Optional cross-scenario baseline memo. */
+    AloneCache *aloneCache = nullptr;
+};
+
+/** Run @p spec to completion. Deterministic for a given spec. */
+ScenarioResult runScenario(const ScenarioSpec &spec,
+                           const ScenarioOptions &opts = {});
+
+/**
+ * The degeneracy path: run the 1-tenant unlimited-budget scenario
+ * for (@p workload, @p config) and return the tenant's result. The
+ * tenant1 golden and tests compare this byte-for-byte against
+ * runWorkload(workload, config).
+ */
+ExperimentResult runSingleTenant(const std::string &workload,
+                                 const ExperimentConfig &config);
+
+/**
+ * Canonical text serialization of a scenario result: every numeric
+ * field rendered with %.17g, so two results are equal iff their
+ * serializations are equal (the serial==parallel identity test and
+ * `cdpcsim tenants --out` both use it).
+ */
+std::string canonicalScenario(const ScenarioResult &res);
+
+} // namespace cdpc::tenant
+
+#endif // CDPC_TENANT_SCENARIO_H

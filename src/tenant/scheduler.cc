@@ -1,0 +1,90 @@
+#include "tenant/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cdpc::tenant
+{
+
+double
+footprintOverlap(const TenantFootprint &a, const TenantFootprint &b)
+{
+    std::size_t n = std::min(a.weight.size(), b.weight.size());
+    double overlap = 0;
+    for (std::size_t c = 0; c < n; c++)
+        overlap += std::min(a.weight[c], b.weight[c]);
+    return overlap;
+}
+
+std::vector<std::size_t>
+Placement::coResidents(std::size_t tenant, CpuId vcpu) const
+{
+    std::vector<std::size_t> out;
+    CpuId cpu = cpuOf[tenant][vcpu];
+    for (const auto &[t, v] : residents[cpu]) {
+        if (t != tenant &&
+            std::find(out.begin(), out.end(), t) == out.end())
+            out.push_back(t);
+    }
+    return out;
+}
+
+Placement
+placeTenants(const ScenarioSpec &spec,
+             const std::vector<TenantFootprint> &footprints,
+             SchedulerKind kind, std::uint32_t physCpus)
+{
+    fatalIf(physCpus == 0, "placement: zero physical CPUs");
+    const std::size_t n = spec.tenants.size();
+    Placement p;
+    p.cpuOf.resize(n);
+    p.residents.resize(physCpus);
+
+    if (kind == SchedulerKind::RoundRobin) {
+        CpuId next = 0;
+        for (std::size_t t = 0; t < n; t++) {
+            for (CpuId v = 0; v < spec.tenants[t].vcpus; v++) {
+                CpuId cpu = next % physCpus;
+                next++;
+                p.cpuOf[t].push_back(cpu);
+                p.residents[cpu].emplace_back(t, v);
+            }
+        }
+        return p;
+    }
+
+    fatalIf(footprints.size() != n,
+            "placement: need one footprint per tenant");
+    // Greedy: tenants in declaration order, each vcpu onto the CPU
+    // with the least accumulated overlap against its residents.
+    // Same-tenant residents count with full self-overlap, which
+    // spreads a tenant's own vcpus before it doubles anyone up.
+    for (std::size_t t = 0; t < n; t++) {
+        for (CpuId v = 0; v < spec.tenants[t].vcpus; v++) {
+            CpuId best = 0;
+            double bestCost = -1;
+            std::size_t bestLoad = 0;
+            for (CpuId cpu = 0; cpu < physCpus; cpu++) {
+                double cost = 0;
+                for (const auto &[rt, rv] : p.residents[cpu])
+                    cost += footprintOverlap(footprints[t],
+                                             footprints[rt]);
+                std::size_t load = p.residents[cpu].size();
+                // Strictly cheaper wins; ties go to the emptier
+                // CPU, then the lower CPU id (loop order).
+                if (bestCost < 0 || cost < bestCost ||
+                    (cost == bestCost && load < bestLoad)) {
+                    best = cpu;
+                    bestCost = cost;
+                    bestLoad = load;
+                }
+            }
+            p.cpuOf[t].push_back(best);
+            p.residents[best].emplace_back(t, v);
+        }
+    }
+    return p;
+}
+
+} // namespace cdpc::tenant

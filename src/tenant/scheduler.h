@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tenant co-scheduler: maps every tenant's virtual CPUs onto the
+ * scenario's physical CPUs (DESIGN.md §12).
+ *
+ * Two placement policies:
+ *
+ *  - round-robin: vcpus take physical CPUs cyclically in tenant
+ *    declaration order — the naive baseline, blind to what each
+ *    tenant's pages will do to its neighbors' caches;
+ *  - locality-aware: greedy minimization of predicted cross-tenant
+ *    color conflicts. Each tenant's compiler summaries (and, for
+ *    CDPC tenants, the computed hint plan) yield a per-color page
+ *    footprint; the pairwise conflict cost of two tenants is the
+ *    elementwise-min overlap of their footprints, i.e. how many page
+ *    pairs would fight over the same external-cache bins if their
+ *    vcpus time-share a physical CPU. Greedy placement assigns each
+ *    vcpu to the CPU with the lowest accumulated overlap against
+ *    the vcpus already resident there, breaking ties toward the
+ *    emptier CPU and then the lower CPU id — fully deterministic,
+ *    which the placement-stability test locks.
+ *
+ * Co-residency is what makes placement matter: the scenario runner
+ * models a context switch onto a physical CPU by evicting (from the
+ * incoming vcpu's external cache) every color currently resident in
+ * a co-located foreign vcpu's cache, plus a TLB flush.
+ */
+
+#ifndef CDPC_TENANT_SCHEDULER_H
+#define CDPC_TENANT_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "tenant/spec.h"
+
+namespace cdpc::tenant
+{
+
+/** Predicted pages-per-color footprint of one tenant. */
+struct TenantFootprint
+{
+    /** weight[c] ~ pages the tenant will map at color c. */
+    std::vector<double> weight;
+};
+
+/** Predicted conflict cost of co-locating tenants @p a and @p b. */
+double footprintOverlap(const TenantFootprint &a,
+                        const TenantFootprint &b);
+
+/** Where every tenant's vcpus landed. */
+struct Placement
+{
+    /** cpuOf[tenant][vcpu] = physical CPU. */
+    std::vector<std::vector<CpuId>> cpuOf;
+    /** residents[cpu] = (tenant, vcpu) pairs sharing that CPU. */
+    std::vector<std::vector<std::pair<std::size_t, CpuId>>> residents;
+
+    /** Foreign tenants co-resident with (tenant, vcpu). */
+    std::vector<std::size_t> coResidents(std::size_t tenant,
+                                         CpuId vcpu) const;
+};
+
+/**
+ * Place every tenant's vcpus on @p physCpus physical CPUs.
+ * @p footprints must have one entry per tenant (used only by the
+ * locality-aware policy; pass empty footprints for round-robin).
+ * Deterministic for a given (spec, footprints) input.
+ */
+Placement placeTenants(const ScenarioSpec &spec,
+                       const std::vector<TenantFootprint> &footprints,
+                       SchedulerKind kind, std::uint32_t physCpus);
+
+} // namespace cdpc::tenant
+
+#endif // CDPC_TENANT_SCHEDULER_H

@@ -1,0 +1,380 @@
+#include "tenant/spec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "mem/memsystem.h"
+#include "workloads/workload.h"
+
+namespace cdpc::tenant
+{
+
+namespace
+{
+
+/** Appended to every parse diagnostic so the caller sees the
+ *  grammar without digging through docs (FaultPlan style). */
+const char kSpecUsage[] =
+    " (expected 'scenario [key=value]...' then one 'tenant <name> "
+    "[key=value]...' per tenant; scenario keys cpus|machine|"
+    "scheduler|budget|fallback|pressure|pattern|physpages|prealloc|"
+    "seed|interval|warmup|rounds, tenant keys workload|vcpus|colors|"
+    "weight|policy|prefetch|aligned|racy|seed)";
+
+MachineConfig
+machinePreset(const std::string &name, std::uint32_t cpus,
+              std::size_t lineno)
+{
+    if (name == "scaled")
+        return MachineConfig::paperScaled(cpus);
+    if (name == "scaled-2way")
+        return MachineConfig::paperScaledTwoWay(cpus);
+    if (name == "scaled-4mb")
+        return MachineConfig::paperScaledBig(cpus);
+    if (name == "alpha")
+        return MachineConfig::alphaScaled(cpus);
+    if (name == "full")
+        return MachineConfig::paperFull(cpus);
+    fatal("tenant spec line ", lineno, ": unknown machine preset '",
+          name, "'", kSpecUsage);
+}
+
+MappingPolicy
+parseMapping(const std::string &s, std::size_t lineno)
+{
+    if (s == "pc" || s == "page-coloring")
+        return MappingPolicy::PageColoring;
+    if (s == "bh" || s == "bin-hopping")
+        return MappingPolicy::BinHopping;
+    if (s == "cdpc")
+        return MappingPolicy::Cdpc;
+    if (s == "cdpc-touch")
+        return MappingPolicy::CdpcTouchOrder;
+    if (s == "random")
+        return MappingPolicy::Random;
+    if (s == "hash")
+        return MappingPolicy::Hash;
+    fatal("tenant spec line ", lineno, ": unknown policy '", s, "'",
+          kSpecUsage);
+}
+
+bool
+parseFlag(const std::string &value, const std::string &key,
+          std::size_t lineno)
+{
+    fatalIf(value != "0" && value != "1", "tenant spec line ", lineno,
+            ": ", key, " wants 0 or 1, got '", value, "'", kSpecUsage);
+    return value == "1";
+}
+
+std::uint64_t
+parseU64(const std::string &value, const std::string &key,
+         std::size_t lineno)
+{
+    fatalIf(value.empty() ||
+                value.find_first_not_of("0123456789") !=
+                    std::string::npos,
+            "tenant spec line ", lineno, ": ", key,
+            " wants a non-negative integer, got '", value, "'",
+            kSpecUsage);
+    return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+/** Split one "key=value" token; fatal on a bare word. */
+void
+splitKv(const std::string &kv, std::size_t lineno, std::string &key,
+        std::string &value)
+{
+    auto eq = kv.find('=');
+    fatalIf(eq == std::string::npos || eq == 0, "tenant spec line ",
+            lineno, ": expected key=value, got '", kv, "'",
+            kSpecUsage);
+    key = kv.substr(0, eq);
+    value = kv.substr(eq + 1);
+    fatalIf(value.empty(), "tenant spec line ", lineno, ": key '",
+            key, "' has an empty value (truncated line?)", kSpecUsage);
+}
+
+struct ScenarioDefaults
+{
+    double pressurePct = 0.0;
+    std::string pattern = "fragmented";
+};
+
+void
+parseScenarioLine(std::istringstream &in, std::size_t lineno,
+                  ScenarioSpec &spec, ScenarioDefaults &defs)
+{
+    std::string kv;
+    while (in >> kv) {
+        std::string key, value;
+        splitKv(kv, lineno, key, value);
+        if (key == "cpus")
+            spec.cpus = static_cast<std::uint32_t>(
+                parseU64(value, key, lineno));
+        else if (key == "machine")
+            spec.machineName = value;
+        else if (key == "scheduler")
+            spec.scheduler = parseScheduler(value);
+        else if (key == "budget")
+            spec.budget = parseBudgetPolicy(value);
+        else if (key == "fallback")
+            spec.fallback = parseFallback(value);
+        else if (key == "pressure")
+            defs.pressurePct = std::atof(value.c_str());
+        else if (key == "pattern")
+            defs.pattern = value;
+        else if (key == "physpages")
+            spec.physPages = parseU64(value, key, lineno);
+        else if (key == "prealloc")
+            spec.preallocatedPages = parseU64(value, key, lineno);
+        else if (key == "seed")
+            spec.seed = parseU64(value, key, lineno);
+        else if (key == "interval")
+            spec.sim.statsInterval = static_cast<std::uint32_t>(
+                parseU64(value, key, lineno));
+        else if (key == "warmup")
+            spec.sim.warmupRounds = static_cast<std::uint32_t>(
+                parseU64(value, key, lineno));
+        else if (key == "rounds")
+            spec.sim.measureRounds = static_cast<std::uint32_t>(
+                parseU64(value, key, lineno));
+        else
+            fatal("tenant spec line ", lineno,
+                  ": unknown scenario key '", key, "'", kSpecUsage);
+    }
+}
+
+TenantSpec
+parseTenantLine(std::istringstream &in, std::size_t lineno,
+                const ScenarioSpec &scenario)
+{
+    TenantSpec t;
+    in >> t.name;
+    fatalIf(t.name.empty() || t.name.find('=') != std::string::npos,
+            "tenant spec line ", lineno,
+            ": tenant needs a name before its keys", kSpecUsage);
+
+    bool racy = t.base.binHopRacy;
+    std::string kv;
+    while (in >> kv) {
+        std::string key, value;
+        splitKv(kv, lineno, key, value);
+        if (key == "workload")
+            t.workload = value;
+        else if (key == "vcpus")
+            t.vcpus = static_cast<std::uint32_t>(
+                parseU64(value, key, lineno));
+        else if (key == "colors")
+            t.colors = parseU64(value, key, lineno);
+        else if (key == "weight")
+            t.weight = std::atof(value.c_str());
+        else if (key == "policy")
+            t.base.mapping = parseMapping(value, lineno);
+        else if (key == "prefetch")
+            t.base.prefetch = parseFlag(value, key, lineno);
+        else if (key == "aligned")
+            t.base.aligned = parseFlag(value, key, lineno);
+        else if (key == "racy")
+            racy = parseFlag(value, key, lineno);
+        else if (key == "seed")
+            t.base.seed = parseU64(value, key, lineno);
+        else
+            fatal("tenant spec line ", lineno,
+                  ": unknown tenant key '", key, "'", kSpecUsage);
+    }
+    fatalIf(t.workload.empty(), "tenant spec line ", lineno,
+            ": tenant '", t.name, "' has no workload= key",
+            kSpecUsage);
+    // Resolve the registry name now so a typo dies at parse time,
+    // not mid-scenario.
+    t.workload = findWorkload(t.workload).name;
+    fatalIf(t.vcpus == 0, "tenant spec line ", lineno, ": tenant '",
+            t.name, "' has vcpus=0 (zero-CPU placement)", kSpecUsage);
+    fatalIf(t.weight <= 0.0, "tenant spec line ", lineno,
+            ": tenant '", t.name, "' has a non-positive weight",
+            kSpecUsage);
+
+    t.base.machine = machinePreset(scenario.machineName, t.vcpus,
+                                   lineno);
+    t.base.binHopRacy = racy;
+    t.base.fallback = scenario.fallback;
+    t.base.sim = scenario.sim;
+    return t;
+}
+
+} // namespace
+
+const char *
+budgetPolicyName(BudgetPolicy p)
+{
+    switch (p) {
+      case BudgetPolicy::Hard:
+        return "hard";
+      case BudgetPolicy::Proportional:
+        return "proportional";
+      case BudgetPolicy::BestEffort:
+        return "best-effort";
+    }
+    return "unknown";
+}
+
+BudgetPolicy
+parseBudgetPolicy(const std::string &name)
+{
+    if (name == "hard")
+        return BudgetPolicy::Hard;
+    if (name == "proportional" || name == "prop")
+        return BudgetPolicy::Proportional;
+    if (name == "best-effort" || name == "besteffort")
+        return BudgetPolicy::BestEffort;
+    fatal("unknown budget policy '", name,
+          "' (have: hard proportional best-effort)");
+}
+
+const char *
+schedulerName(SchedulerKind k)
+{
+    switch (k) {
+      case SchedulerKind::RoundRobin:
+        return "round-robin";
+      case SchedulerKind::LocalityAware:
+        return "locality";
+    }
+    return "unknown";
+}
+
+SchedulerKind
+parseScheduler(const std::string &name)
+{
+    if (name == "rr" || name == "round-robin")
+        return SchedulerKind::RoundRobin;
+    if (name == "locality" || name == "la" ||
+        name == "locality-aware")
+        return SchedulerKind::LocalityAware;
+    fatal("unknown scheduler '", name,
+          "' (have: rr|round-robin locality|locality-aware)");
+}
+
+ScenarioSpec
+parseScenario(std::istream &in, const std::string &name)
+{
+    ScenarioSpec spec;
+    spec.name = name;
+    ScenarioDefaults defs;
+    bool sawScenario = false;
+
+    // First pass: the scenario header must come first because every
+    // tenant line resolves its machine preset against it.
+    std::string line;
+    std::size_t lineno = 0;
+    std::vector<std::pair<std::size_t, std::string>> tenantLines;
+    while (std::getline(in, line)) {
+        lineno++;
+        auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::istringstream ls(line.substr(first));
+        std::string head;
+        ls >> head;
+        if (head == "scenario") {
+            fatalIf(sawScenario, "tenant spec line ", lineno,
+                    ": duplicate scenario header", kSpecUsage);
+            fatalIf(!tenantLines.empty(), "tenant spec line ", lineno,
+                    ": scenario header must precede every tenant",
+                    kSpecUsage);
+            sawScenario = true;
+            parseScenarioLine(ls, lineno, spec, defs);
+        } else if (head == "tenant") {
+            fatalIf(!sawScenario, "tenant spec line ", lineno,
+                    ": tenant before the scenario header",
+                    kSpecUsage);
+            std::string rest;
+            std::getline(ls, rest);
+            tenantLines.emplace_back(lineno, rest);
+        } else {
+            fatal("tenant spec line ", lineno,
+                  ": expected 'scenario' or 'tenant', got '", head,
+                  "'", kSpecUsage);
+        }
+    }
+    fatalIf(!sawScenario, "tenant spec '", name,
+            "': no scenario header (empty or truncated file?)",
+            kSpecUsage);
+    fatalIf(spec.cpus == 0, "tenant spec '", name,
+            "': scenario has cpus=0", kSpecUsage);
+    fatalIf(spec.cpus > kMaxCpus, "tenant spec '", name,
+            "': scenario cpus=", spec.cpus, " exceeds the ", kMaxCpus,
+            "-CPU simulator limit", kSpecUsage);
+
+    spec.machine = machinePreset(spec.machineName, spec.cpus, 1);
+    spec.pressure.occupancy = defs.pressurePct / 100.0;
+    spec.pressure.pattern = parsePressurePattern(defs.pattern);
+    spec.pressure.seed = spec.seed;
+
+    const std::uint64_t colors = spec.machine.numColors();
+    for (auto &[tlineno, rest] : tenantLines) {
+        std::istringstream ls(rest);
+        TenantSpec t = parseTenantLine(ls, tlineno, spec);
+        t.base.pressure = spec.pressure;
+        for (const TenantSpec &prev : spec.tenants)
+            fatalIf(prev.name == t.name, "tenant spec line ", tlineno,
+                    ": duplicate tenant name '", t.name, "'",
+                    kSpecUsage);
+        fatalIf(t.colors > colors, "tenant spec line ", tlineno,
+                ": tenant '", t.name, "' wants colors=", t.colors,
+                " but machine '", spec.machineName, "' has only ",
+                colors, " colors", kSpecUsage);
+        fatalIf(t.vcpus > spec.cpus, "tenant spec line ", tlineno,
+                ": tenant '", t.name, "' has vcpus=", t.vcpus,
+                " but the scenario machine has only ", spec.cpus,
+                " CPUs", kSpecUsage);
+        spec.tenants.push_back(std::move(t));
+    }
+    fatalIf(spec.tenants.empty(), "tenant spec '", name,
+            "': no tenants declared", kSpecUsage);
+    return spec;
+}
+
+ScenarioSpec
+parseScenarioFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open tenant spec ", path);
+    auto slash = path.find_last_of('/');
+    return parseScenario(
+        in, slash == std::string::npos ? path
+                                       : path.substr(slash + 1));
+}
+
+ScenarioSpec
+singleTenantSpec(const std::string &workload,
+                 const ExperimentConfig &config)
+{
+    ScenarioSpec spec;
+    spec.name = "single:" + workload;
+    spec.cpus = config.machine.numCpus;
+    spec.machineName = config.machine.name;
+    spec.machine = config.machine;
+    spec.budget = BudgetPolicy::BestEffort;
+    spec.scheduler = SchedulerKind::RoundRobin;
+    spec.fallback = config.fallback;
+    spec.pressure = config.pressure;
+    spec.preallocatedPages = config.preallocatedPages;
+    spec.physPages = config.machine.physPages;
+    spec.seed = config.seed;
+    spec.sim = config.sim;
+
+    TenantSpec t;
+    t.name = "solo";
+    t.workload = findWorkload(workload).name;
+    t.vcpus = config.machine.numCpus;
+    t.colors = 0; // unlimited
+    t.base = config;
+    spec.tenants.push_back(std::move(t));
+    return spec;
+}
+
+} // namespace cdpc::tenant

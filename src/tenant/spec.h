@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Multi-tenant scenario specification (DESIGN.md §12).
+ *
+ * A scenario describes N concurrent *tenants* — independent
+ * processes, each running one workload from the registry in its own
+ * address space — co-scheduled on one simulated machine and fighting
+ * over the same physically indexed external cache. The spec grammar
+ * is line-oriented and reuses the batch-file key=value vocabulary:
+ *
+ *   # comment
+ *   scenario cpus=8 machine=scaled scheduler=locality budget=hard
+ *   tenant web workload=101.tomcatv vcpus=2 colors=64 policy=cdpc
+ *   tenant db  workload=102.swim    vcpus=2 colors=64 weight=2
+ *
+ * The first non-comment line must be the `scenario` header; every
+ * following line declares one tenant. Scenario keys: cpus, machine,
+ * scheduler (rr|locality), budget (hard|proportional|best-effort),
+ * fallback, pressure (percent), pattern, physpages, prealloc, seed,
+ * interval, warmup, rounds. Tenant keys: workload (required), vcpus,
+ * colors (color budget; 0 = unlimited), weight (proportional share),
+ * policy, prefetch, aligned, racy, seed. Parse errors are typed
+ * fatals that name the offending line and append the grammar, in the
+ * FaultPlan parser's style.
+ */
+
+#ifndef CDPC_TENANT_SPEC_H
+#define CDPC_TENANT_SPEC_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace cdpc::tenant
+{
+
+/** How the ColorBroker divides the color space among tenants. */
+enum class BudgetPolicy
+{
+    /** Each tenant gets exactly its requested colors, carved
+     *  sequentially; enforcement is strict (see broker.h). */
+    Hard,
+    /** The whole color space is partitioned by tenant weight
+     *  (largest-remainder division, deterministic ties). */
+    Proportional,
+    /** Requested colors are preferred but never enforced: the
+     *  fallback may roam the whole machine. */
+    BestEffort,
+};
+
+/** @return "hard" | "proportional" | "best-effort". */
+const char *budgetPolicyName(BudgetPolicy p);
+
+/** Parse a budget policy name; fatal() on an unknown one. */
+BudgetPolicy parseBudgetPolicy(const std::string &name);
+
+/** How tenant vcpus are placed on the physical CPUs. */
+enum class SchedulerKind
+{
+    /** Naive baseline: vcpus take physical CPUs cyclically in
+     *  declaration order. */
+    RoundRobin,
+    /** Greedy placement minimizing predicted cross-tenant color
+     *  overlap between co-resident vcpus (scheduler.h). */
+    LocalityAware,
+};
+
+/** @return "round-robin" | "locality". */
+const char *schedulerName(SchedulerKind k);
+
+/** Parse a scheduler name ("rr", "round-robin", "locality", "la"). */
+SchedulerKind parseScheduler(const std::string &name);
+
+/** One tenant: a process running one workload in its own VM. */
+struct TenantSpec
+{
+    /** Unique display name (the spec line's first token). */
+    std::string name;
+    /** Workload registry name. */
+    std::string workload;
+    /** Virtual CPUs this tenant's program is parallelized across. */
+    std::uint32_t vcpus = 1;
+    /** Color budget in colors; 0 means unlimited. */
+    std::uint64_t colors = 0;
+    /** Share weight under the proportional budget policy. */
+    double weight = 1.0;
+    /**
+     * Fully resolved per-tenant experiment configuration. The
+     * scenario runner builds each tenant's stack from this exactly
+     * the way runProgram() would, which is what makes the 1-tenant
+     * unlimited-budget scenario byte-identical to a plain
+     * experiment. machine.numCpus equals vcpus; pressure and
+     * preallocatedPages are scenario-global and applied once to the
+     * shared allocator, never per tenant.
+     */
+    ExperimentConfig base;
+};
+
+/** A whole scenario: the machine plus its tenants. */
+struct ScenarioSpec
+{
+    /** Display name (spec file stem or "scenario"). */
+    std::string name = "scenario";
+    /** Physical CPUs of the shared machine. */
+    std::uint32_t cpus = 8;
+    std::string machineName = "scaled";
+    /** Resolved machine preset with numCpus = cpus. */
+    MachineConfig machine;
+    BudgetPolicy budget = BudgetPolicy::Hard;
+    SchedulerKind scheduler = SchedulerKind::LocalityAware;
+    FallbackKind fallback = FallbackKind::AnyColor;
+    /** Competitor pressure on the *shared* physical memory. */
+    MemPressureConfig pressure;
+    /** Non-reclaimable hog pages on the shared allocator. */
+    std::uint64_t preallocatedPages = 0;
+    /** Shared physical pages; 0 means machine.physPages. */
+    std::uint64_t physPages = 0;
+    std::uint64_t seed = 1;
+    /** Per-tenant simulation controls (warmup/measure/interval). */
+    SimOptions sim;
+    std::vector<TenantSpec> tenants;
+
+    /** Shared physical pages after defaulting. */
+    std::uint64_t
+    sharedPhysPages() const
+    {
+        return physPages ? physPages : machine.physPages;
+    }
+};
+
+/**
+ * Parse a scenario spec from @p in. @p name labels diagnostics (the
+ * file path). fatal() on any grammar or semantic violation:
+ * truncated lines, unknown keys, duplicate tenant names, a color
+ * budget exceeding the machine's colors, zero-vcpu tenants, more
+ * vcpus than physical CPUs, or an empty scenario.
+ */
+ScenarioSpec parseScenario(std::istream &in, const std::string &name);
+
+/** parseScenario() on a file; fatal() when unopenable. */
+ScenarioSpec parseScenarioFile(const std::string &path);
+
+/**
+ * The 1-tenant unlimited-budget scenario equivalent to a plain
+ * experiment: tenant "solo" runs @p workload under exactly
+ * @p config on a machine with config.machine.numCpus CPUs. The
+ * degeneracy contract (locked by the tenant1 golden figure) is that
+ * running this scenario reproduces runWorkload(workload, config)
+ * byte-for-byte.
+ */
+ScenarioSpec singleTenantSpec(const std::string &workload,
+                              const ExperimentConfig &config);
+
+} // namespace cdpc::tenant
+
+#endif // CDPC_TENANT_SPEC_H

@@ -78,7 +78,7 @@ const std::vector<std::string> &
 goldenFigures()
 {
     static const std::vector<std::string> figures = {
-        "fig6", "fig7", "fig8", "table2"};
+        "fig6", "fig7", "fig8", "table2", "tenant1"};
     return figures;
 }
 
@@ -157,8 +157,20 @@ goldenJobs(const std::string &figure)
         return jobs;
     }
 
+    if (figure == "tenant1") {
+        // The multi-tenant degeneracy contract: golden_check runs
+        // each of these jobs both as a plain experiment and as a
+        // 1-tenant unlimited-budget scenario, fatals unless the two
+        // agree byte-for-byte, and records the (shared) results.
+        jobs.push_back(
+            makeGoldenJob("tomcatv", MappingPolicy::Cdpc, 4, "scaled"));
+        jobs.push_back(makeGoldenJob(
+            "mgrid", MappingPolicy::PageColoring, 2, "scaled"));
+        return jobs;
+    }
+
     fatal("unknown golden figure '", figure, "' (have: fig6 fig7 fig8 "
-          "table2)");
+          "table2 tenant1)");
 }
 
 std::string

@@ -21,6 +21,7 @@
 #include "compiler/summaries_io.h"
 #include "harness/experiment.h"
 #include "machine/tracefile.h"
+#include "tenant/spec.h"
 #include "workloads/builder.h"
 
 namespace cdpc
@@ -480,6 +481,111 @@ TEST_F(FaultPoints, InactivePlanCostsNothingAndFiresNothing)
     faultPoint("physmem.alloc"); // armed, but no match
     faultpoints::clear();
     EXPECT_FALSE(faultpoints::active());
+}
+
+// ---- Corrupt tenant-scenario specs -------------------------------------
+
+const char kValidScenario[] =
+    "# a comment\n"
+    "scenario cpus=4 machine=scaled scheduler=locality budget=hard "
+    "pressure=25 pattern=fragmented seed=3\n"
+    "tenant web workload=tomcatv vcpus=2 colors=128 policy=cdpc\n"
+    "tenant db workload=107.mgrid vcpus=2 colors=64 weight=2\n";
+
+tenant::ScenarioSpec
+parseSpecText(const std::string &text)
+{
+    std::istringstream in(text);
+    return tenant::parseScenario(in, "fuzz.spec");
+}
+
+TEST(CorruptTenantSpec, ValidSpecBaseline)
+{
+    tenant::ScenarioSpec spec = parseSpecText(kValidScenario);
+    EXPECT_EQ(spec.cpus, 4u);
+    EXPECT_EQ(spec.tenants.size(), 2u);
+    EXPECT_EQ(spec.tenants[0].name, "web");
+    EXPECT_EQ(spec.tenants[1].colors, 64u);
+}
+
+TEST(CorruptTenantSpec, EveryTruncationIsGraceful)
+{
+    // Every prefix must either parse or throw the typed FatalError —
+    // never a panic, a crash, or an unbounded allocation.
+    const std::string text = kValidScenario;
+    for (std::size_t len = 0; len < text.size(); len++) {
+        try {
+            parseSpecText(text.substr(0, len));
+        } catch (const FatalError &) {
+            // expected for most prefixes
+        }
+    }
+}
+
+TEST(CorruptTenantSpec, DiagnosticsNameTheGrammar)
+{
+    try {
+        parseSpecText("scenario cpus=4\n"
+                      "tenant a workload=mgrid frobnicate=1\n");
+        FAIL() << "unknown key must be fatal";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("tenant keys"),
+                  std::string::npos)
+            << "diagnostic must carry the grammar: " << e.what();
+    }
+}
+
+TEST(CorruptTenantSpec, TenantBeforeScenarioHeaderIsFatal)
+{
+    EXPECT_THROW(parseSpecText("tenant a workload=mgrid vcpus=1\n"),
+                 FatalError);
+}
+
+TEST(CorruptTenantSpec, EmptyAndTenantlessSpecsAreFatal)
+{
+    EXPECT_THROW(parseSpecText(""), FatalError);
+    EXPECT_THROW(parseSpecText("scenario cpus=4\n"), FatalError);
+    EXPECT_THROW(parseSpecText("# only comments\n\n"), FatalError);
+}
+
+TEST(CorruptTenantSpec, DuplicateTenantNamesAreFatal)
+{
+    EXPECT_THROW(
+        parseSpecText("scenario cpus=4\n"
+                      "tenant a workload=mgrid vcpus=1\n"
+                      "tenant a workload=swim vcpus=1\n"),
+        FatalError);
+}
+
+TEST(CorruptTenantSpec, BudgetExceedingMachineColorsIsFatal)
+{
+    EXPECT_THROW(
+        parseSpecText("scenario cpus=4 machine=scaled\n"
+                      "tenant a workload=mgrid vcpus=1 colors=9999\n"),
+        FatalError);
+}
+
+TEST(CorruptTenantSpec, ZeroCpuPlacementIsFatal)
+{
+    EXPECT_THROW(
+        parseSpecText("scenario cpus=4\n"
+                      "tenant a workload=mgrid vcpus=0\n"),
+        FatalError);
+    EXPECT_THROW( // more vcpus than the machine has CPUs
+        parseSpecText("scenario cpus=2\n"
+                      "tenant a workload=mgrid vcpus=4\n"),
+        FatalError);
+}
+
+TEST(CorruptTenantSpec, UnknownWorkloadAndMissingWorkloadAreFatal)
+{
+    EXPECT_THROW(
+        parseSpecText("scenario cpus=4\n"
+                      "tenant a workload=nope vcpus=1\n"),
+        FatalError);
+    EXPECT_THROW(parseSpecText("scenario cpus=4\n"
+                               "tenant a vcpus=1\n"),
+                 FatalError);
 }
 
 } // namespace

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * The multi-tenant scenario layer: broker lease arithmetic, budget
+ * enforcement through the VM wrappers, placement determinism, the
+ * context-switch pollution primitives in MemorySystem, and the two
+ * contracts the subsystem stakes its correctness on — the 1-tenant
+ * degeneracy (scenario == plain experiment, byte for byte) and the
+ * serial==parallel identity of the alone-baseline fan-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "mem/memsystem.h"
+#include "tenant/broker.h"
+#include "tenant/scenario.h"
+#include "tenant/scheduler.h"
+#include "tenant/spec.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+
+namespace cdpc
+{
+namespace
+{
+
+using tenant::AloneCache;
+using tenant::BudgetPolicy;
+using tenant::ColorBroker;
+using tenant::ColorLease;
+using tenant::LeasedFallbackPolicy;
+using tenant::LeasedMappingPolicy;
+using tenant::Placement;
+using tenant::ScenarioOptions;
+using tenant::ScenarioResult;
+using tenant::ScenarioSpec;
+using tenant::SchedulerKind;
+using tenant::TenantFootprint;
+
+ScenarioSpec
+parseSpecText(const std::string &text)
+{
+    std::istringstream in(text);
+    return tenant::parseScenario(in, "test.spec");
+}
+
+// ---- ColorBroker -------------------------------------------------------
+
+TEST(ColorBroker, HardBudgetsCarveDisjointLeases)
+{
+    ScenarioSpec spec = parseSpecText(
+        "scenario cpus=8 machine=scaled budget=hard\n"
+        "tenant a workload=mgrid vcpus=2 colors=64\n"
+        "tenant b workload=swim vcpus=2 colors=64\n"
+        "tenant c workload=tomcatv vcpus=2 colors=64\n");
+    ColorBroker broker(spec);
+    EXPECT_EQ(broker.numColors(), 256u);
+    std::vector<bool> seen(256, false);
+    for (std::size_t t = 0; t < 3; t++) {
+        const ColorLease &l = broker.lease(t);
+        EXPECT_EQ(l.colors.size(), 64u);
+        EXPECT_FALSE(l.unlimited);
+        for (Color c : l.colors) {
+            EXPECT_FALSE(seen[c]) << "color " << c
+                                  << " leased twice";
+            seen[c] = true;
+        }
+    }
+}
+
+TEST(ColorBroker, ZeroColorsMeansUnlimited)
+{
+    ScenarioSpec spec = parseSpecText(
+        "scenario cpus=4 machine=scaled budget=best-effort\n"
+        "tenant a workload=mgrid vcpus=2 colors=0\n");
+    ColorBroker broker(spec);
+    const ColorLease &l = broker.lease(0);
+    EXPECT_TRUE(l.unlimited);
+    EXPECT_EQ(l.colors.size(), 256u);
+}
+
+TEST(ColorBroker, OversubscribedCarveWrapsAround)
+{
+    // 3 x 96 colors on a 256-color machine: the last lease wraps
+    // past color 255 and overlaps the first — contention by design.
+    ScenarioSpec spec = parseSpecText(
+        "scenario cpus=8 machine=scaled budget=best-effort\n"
+        "tenant a workload=mgrid vcpus=2 colors=96\n"
+        "tenant b workload=swim vcpus=2 colors=96\n"
+        "tenant c workload=tomcatv vcpus=2 colors=96\n");
+    ColorBroker broker(spec);
+    EXPECT_EQ(broker.lease(2).colors.size(), 96u);
+    // c owns [192,256) + [0,32): overlaps a's [0,96).
+    EXPECT_TRUE(broker.lease(2).contains(0));
+    EXPECT_TRUE(broker.lease(0).contains(0));
+    EXPECT_FALSE(broker.lease(1).contains(0));
+}
+
+TEST(ColorBroker, ProportionalSharesPartitionByWeight)
+{
+    ScenarioSpec spec = parseSpecText(
+        "scenario cpus=8 machine=scaled budget=proportional\n"
+        "tenant a workload=mgrid vcpus=2 weight=1\n"
+        "tenant b workload=swim vcpus=2 weight=3\n");
+    ColorBroker broker(spec);
+    EXPECT_EQ(broker.lease(0).colors.size(), 64u);
+    EXPECT_EQ(broker.lease(1).colors.size(), 192u);
+    // A partition: disjoint and exhaustive.
+    std::vector<bool> seen(256, false);
+    for (std::size_t t = 0; t < 2; t++)
+        for (Color c : broker.lease(t).colors) {
+            EXPECT_FALSE(seen[c]);
+            seen[c] = true;
+        }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(ColorBroker, ReclaimIsIdempotent)
+{
+    ScenarioSpec spec = parseSpecText(
+        "scenario cpus=4 machine=scaled budget=hard\n"
+        "tenant a workload=mgrid vcpus=2 colors=32\n"
+        "tenant b workload=swim vcpus=2 colors=32\n");
+    ColorBroker broker(spec);
+    EXPECT_EQ(broker.releasedColors(), 0u);
+    broker.reclaim(0);
+    EXPECT_EQ(broker.releasedColors(), 32u);
+    broker.reclaim(0);
+    EXPECT_EQ(broker.releasedColors(), 32u);
+    broker.reclaim(1);
+    EXPECT_EQ(broker.releasedColors(), 64u);
+}
+
+TEST(ColorLeaseTest, ProjectIsIdentityInsideDeterministicOutside)
+{
+    ColorLease lease;
+    lease.colors = {8, 9, 10, 11};
+    EXPECT_TRUE(lease.contains(9));
+    EXPECT_FALSE(lease.contains(12));
+    EXPECT_EQ(lease.project(10), 10u);
+    Color out = lease.project(100);
+    EXPECT_TRUE(lease.contains(out));
+    EXPECT_EQ(lease.project(100), out); // deterministic
+}
+
+// ---- Budget enforcement through the VM wrappers ------------------------
+
+/** A policy with no opinion, for exercising the kNoColor path. */
+class NoPreferencePolicy : public PageMappingPolicy
+{
+  public:
+    Color
+    preferredColor(const FaultContext &) override
+    {
+        return kNoColor;
+    }
+    std::string name() const override { return "none"; }
+};
+
+TEST(LeasedMapping, ProjectsEveryPreferenceIntoTheLease)
+{
+    PageColoringPolicy inner(256);
+    ColorLease lease;
+    lease.colors = {8, 9, 10, 11, 12, 13, 14, 15};
+    LeasedMappingPolicy hard(inner, lease, true);
+    for (PageNum vpn = 0; vpn < 512; vpn++) {
+        FaultContext ctx;
+        ctx.vpn = vpn;
+        EXPECT_TRUE(lease.contains(hard.preferredColor(ctx)));
+    }
+    // In-lease preferences pass through unchanged.
+    FaultContext ctx;
+    ctx.vpn = 10;
+    EXPECT_EQ(hard.preferredColor(ctx), 10u);
+}
+
+TEST(LeasedMapping, HardPinsNoPreferenceSoftLeavesIt)
+{
+    NoPreferencePolicy inner;
+    ColorLease lease;
+    lease.colors = {4, 5};
+    LeasedMappingPolicy hard(inner, lease, true);
+    LeasedMappingPolicy soft(inner, lease, false);
+    FaultContext ctx;
+    ctx.vpn = 7;
+    EXPECT_TRUE(lease.contains(hard.preferredColor(ctx)));
+    EXPECT_EQ(soft.preferredColor(ctx), kNoColor);
+}
+
+TEST(LeasedFallback, ExhaustsLeaseThenOverflowsCounted)
+{
+    // 8 colors x 2 pages each; lease = {0, 1} -> 4 lease pages.
+    PhysMem phys(16, 8);
+    ColorLease lease;
+    lease.colors = {0, 1};
+    LeasedFallbackPolicy fb(makeFallbackPolicy(FallbackKind::AnyColor),
+                            lease, true);
+    for (int i = 0; i < 4; i++) {
+        auto page = fb.allocFallback(phys, nullptr, 0);
+        ASSERT_TRUE(page.has_value());
+        EXPECT_TRUE(lease.contains(phys.colorOf(*page)));
+    }
+    EXPECT_EQ(fb.leaseAllocs(), 4u);
+    EXPECT_EQ(fb.overflows(), 0u);
+
+    // The lease is physically dry: liveness wins, the overflow is
+    // counted, and the page comes from outside the budget.
+    auto page = fb.allocFallback(phys, nullptr, 0);
+    ASSERT_TRUE(page.has_value());
+    EXPECT_FALSE(lease.contains(phys.colorOf(*page)));
+    EXPECT_EQ(fb.overflows(), 1u);
+}
+
+TEST(LeasedFallback, ReclaimsCompetitorPagesWithinTheLease)
+{
+    PhysMem phys(16, 8);
+    ColorLease lease;
+    lease.colors = {2};
+    // Competitors hold both color-2 pages, reclaimable.
+    for (int i = 0; i < 2; i++) {
+        auto page = phys.tryAllocExact(2);
+        ASSERT_TRUE(page.has_value());
+        phys.markReclaimable(*page);
+    }
+    LeasedFallbackPolicy fb(makeFallbackPolicy(FallbackKind::AnyColor),
+                            lease, true);
+    auto page = fb.allocFallback(phys, nullptr, 2);
+    ASSERT_TRUE(page.has_value());
+    EXPECT_EQ(phys.colorOf(*page), 2u);
+    EXPECT_EQ(fb.overflows(), 0u);
+}
+
+// ---- Placement ---------------------------------------------------------
+
+ScenarioSpec
+placementSpec(std::size_t tenants)
+{
+    std::ostringstream text;
+    text << "scenario cpus=8 machine=scaled budget=best-effort\n";
+    const char *workloads[] = {"mgrid", "swim", "tomcatv", "hydro2d"};
+    for (std::size_t i = 0; i < tenants; i++)
+        text << "tenant t" << i << " workload=" << workloads[i % 4]
+             << " vcpus=1\n";
+    return parseSpecText(text.str());
+}
+
+TEST(PlaceTenants, RoundRobinCyclesDeclarationOrder)
+{
+    ScenarioSpec spec = placementSpec(3);
+    Placement p = placeTenants(spec, {}, SchedulerKind::RoundRobin, 2);
+    EXPECT_EQ(p.cpuOf[0][0], 0u);
+    EXPECT_EQ(p.cpuOf[1][0], 1u);
+    EXPECT_EQ(p.cpuOf[2][0], 0u);
+    EXPECT_EQ(p.residents[0].size(), 2u);
+    EXPECT_EQ(p.residents[1].size(), 1u);
+}
+
+TEST(PlaceTenants, LocalityTieBreaksTowardEmptierThenLowerCpu)
+{
+    // All-zero footprints: every CPU costs the same, so placement is
+    // decided purely by the documented tie-break. Twice, to lock
+    // determinism.
+    ScenarioSpec spec = placementSpec(3);
+    std::vector<TenantFootprint> fp(3);
+    for (TenantFootprint &f : fp)
+        f.weight.assign(8, 0.0);
+    Placement a =
+        placeTenants(spec, fp, SchedulerKind::LocalityAware, 2);
+    Placement b =
+        placeTenants(spec, fp, SchedulerKind::LocalityAware, 2);
+    EXPECT_EQ(a.cpuOf, b.cpuOf);
+    EXPECT_EQ(a.cpuOf[0][0], 0u); // empty tie -> lower id
+    EXPECT_EQ(a.cpuOf[1][0], 1u); // emptier CPU
+    EXPECT_EQ(a.cpuOf[2][0], 0u); // load tie -> lower id
+}
+
+TEST(PlaceTenants, LocalityAvoidsPredictedOverlap)
+{
+    // t0/t2 share colors, t1/t3 share colors, the pairs are
+    // disjoint. Round-robin on 2 CPUs co-locates the conflicting
+    // pairs; locality-aware must not.
+    ScenarioSpec spec = placementSpec(4);
+    std::vector<TenantFootprint> fp(4);
+    fp[0].weight = {1, 0};
+    fp[2].weight = {1, 0};
+    fp[1].weight = {0, 1};
+    fp[3].weight = {0, 1};
+
+    Placement rr = placeTenants(spec, {}, SchedulerKind::RoundRobin, 2);
+    EXPECT_EQ(rr.cpuOf[0][0], rr.cpuOf[2][0]); // the bad pairing
+
+    Placement la =
+        placeTenants(spec, fp, SchedulerKind::LocalityAware, 2);
+    EXPECT_NE(la.cpuOf[0][0], la.cpuOf[2][0]);
+    EXPECT_NE(la.cpuOf[1][0], la.cpuOf[3][0]);
+}
+
+TEST(FootprintOverlapTest, ElementwiseMin)
+{
+    TenantFootprint a, b;
+    a.weight = {2, 0, 5};
+    b.weight = {1, 7, 3};
+    EXPECT_DOUBLE_EQ(tenant::footprintOverlap(a, b), 1 + 0 + 3);
+}
+
+// ---- MemorySystem context-switch primitives ----------------------------
+
+class TenantMemTest : public ::testing::Test
+{
+  protected:
+    TenantMemTest()
+        : config(MachineConfig::paperScaled(2)),
+          phys(config.physPages, config.numColors()),
+          policy(config.numColors()), vm(config, phys, policy),
+          mem(config, vm)
+    {}
+
+    void
+    load(CpuId cpu, VAddr va)
+    {
+        MemAccess a;
+        a.va = va;
+        a.kind = AccessKind::Load;
+        mem.access(cpu, a, 0);
+    }
+
+    VAddr
+    coloredVa(Color c)
+    {
+        return static_cast<VAddr>(c) * config.pageBytes;
+    }
+
+    MachineConfig config;
+    PhysMem phys;
+    PageColoringPolicy policy;
+    VirtualMemory vm;
+    MemorySystem mem;
+};
+
+TEST_F(TenantMemTest, ColorFootprintTracksResidentColors)
+{
+    load(0, coloredVa(5));
+    load(0, coloredVa(9));
+    std::vector<std::uint8_t> fp = mem.colorFootprint(0);
+    ASSERT_EQ(fp.size(), config.numColors());
+    EXPECT_TRUE(fp[5]);
+    EXPECT_TRUE(fp[9]);
+    EXPECT_FALSE(fp[6]);
+    // The other CPU's cache is untouched.
+    std::vector<std::uint8_t> other = mem.colorFootprint(1);
+    EXPECT_FALSE(other[5]);
+}
+
+TEST_F(TenantMemTest, EvictColorsInvalidatesOnlyMaskedColors)
+{
+    load(0, coloredVa(5));
+    load(0, coloredVa(9));
+    std::vector<std::uint8_t> mask(config.numColors(), 0);
+    mask[5] = 1;
+    std::uint64_t evicted = mem.evictColors(0, mask);
+    EXPECT_GT(evicted, 0u);
+    std::vector<std::uint8_t> fp = mem.colorFootprint(0);
+    EXPECT_FALSE(fp[5]);
+    EXPECT_TRUE(fp[9]);
+    mem.auditInvariants(); // structure stays coherent
+}
+
+TEST_F(TenantMemTest, FlushTlbForcesRefillsNotReloads)
+{
+    load(0, coloredVa(3));
+    std::uint64_t missesBefore = mem.cpuStats(0).tlbMisses;
+    mem.flushTlb(0);
+    load(0, coloredVa(3));
+    EXPECT_EQ(mem.cpuStats(0).tlbMisses, missesBefore + 1);
+    mem.auditInvariants();
+}
+
+// ---- Scenario integration ----------------------------------------------
+
+TEST(Scenario, SingleTenantDegeneratesToPlainExperiment)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    cfg.mapping = MappingPolicy::Cdpc;
+    ExperimentResult plain = runWorkload("107.mgrid", cfg);
+    ExperimentResult viaTenant =
+        tenant::runSingleTenant("107.mgrid", cfg);
+
+    EXPECT_EQ(plain.totals.wall, viaTenant.totals.wall);
+    EXPECT_EQ(plain.totals.combinedTime(),
+              viaTenant.totals.combinedTime());
+    EXPECT_EQ(plain.totals.l2Misses, viaTenant.totals.l2Misses);
+    EXPECT_EQ(plain.hintsHonored, viaTenant.hintsHonored);
+    EXPECT_EQ(plain.degradation.pageFaults,
+              viaTenant.degradation.pageFaults);
+    EXPECT_EQ(plain.degradation.hintHonored,
+              viaTenant.degradation.hintHonored);
+    EXPECT_EQ(plain.degradation.hintFallback,
+              viaTenant.degradation.hintFallback);
+}
+
+const char *kTwoTenantSpec =
+    "scenario cpus=1 machine=scaled budget=hard scheduler=rr\n"
+    "tenant a workload=mgrid vcpus=1 colors=128\n"
+    "tenant b workload=swim vcpus=1 colors=128\n";
+
+TEST(Scenario, HardDisjointBudgetsIsolateCoResidentTenants)
+{
+    // Both tenants time-share the single CPU, so pollution would be
+    // maximal — but the leases are disjoint, so the context-switch
+    // eviction mask never matches and isolation holds.
+    ScenarioSpec spec = parseSpecText(kTwoTenantSpec);
+    ScenarioOptions opts;
+    opts.computeAlone = false;
+    ScenarioResult res = runScenario(spec, opts);
+    ASSERT_EQ(res.tenants.size(), 2u);
+    EXPECT_EQ(res.totalCrossEvictions, 0u);
+    EXPECT_EQ(res.tenants[0].leaseSize, 128u);
+    EXPECT_FALSE(res.tenants[0].unlimited);
+    EXPECT_GT(res.tenants[0].result.totals.wall, 0.0);
+}
+
+TEST(Scenario, OverlappingTenantsSufferSymmetricEvictions)
+{
+    ScenarioSpec spec = parseSpecText(
+        "scenario cpus=1 machine=scaled budget=best-effort\n"
+        "tenant a workload=mgrid vcpus=1 colors=0\n"
+        "tenant b workload=swim vcpus=1 colors=0\n");
+    ScenarioOptions opts;
+    opts.computeAlone = false;
+    ScenarioResult res = runScenario(spec, opts);
+    EXPECT_GT(res.totalCrossEvictions, 0u);
+    std::uint64_t suffered = 0, inflicted = 0;
+    for (const tenant::TenantResult &t : res.tenants) {
+        suffered += t.crossTenantEvictions;
+        inflicted += t.evictionsInflicted;
+        EXPECT_GT(t.tlbFlushes, 0u);
+    }
+    EXPECT_EQ(suffered, inflicted);
+    EXPECT_EQ(res.totalCrossEvictions, suffered);
+}
+
+TEST(Scenario, BudgetEnforcementUnderPressure)
+{
+    ScenarioSpec spec = parseSpecText(
+        "scenario cpus=2 machine=scaled budget=hard pressure=60 "
+        "pattern=fragmented\n"
+        "tenant a workload=mgrid vcpus=1 colors=64\n"
+        "tenant b workload=swim vcpus=1 colors=64\n");
+    ScenarioOptions opts;
+    opts.computeAlone = false;
+    ScenarioResult res = runScenario(spec, opts);
+    // The pressure pushes allocations off their preferred colors and
+    // into the leased fallback path, which must stay in-lease.
+    std::uint64_t leaseAllocs = 0;
+    for (const tenant::TenantResult &t : res.tenants)
+        leaseAllocs += t.leaseAllocs;
+    EXPECT_GT(leaseAllocs, 0u);
+    EXPECT_EQ(res.totalCrossEvictions, 0u); // leases stay disjoint
+}
+
+TEST(Scenario, ExitingTenantsReclaimTheirLeases)
+{
+    ScenarioSpec spec = parseSpecText(kTwoTenantSpec);
+    ScenarioOptions opts;
+    opts.computeAlone = false;
+    ScenarioResult res = runScenario(spec, opts);
+    EXPECT_EQ(res.leasesReclaimed, 2u);
+    for (const tenant::TenantResult &t : res.tenants) {
+        EXPECT_GE(t.exitRound, 1u);
+        EXPECT_LE(t.exitRound, res.rounds);
+    }
+}
+
+TEST(Scenario, SerialEqualsParallelThroughTheRunner)
+{
+    // The alone-baseline fan-out rides the work-stealing ThreadPool;
+    // the canonical serialization must not depend on the job count.
+    ScenarioSpec spec = parseSpecText(kTwoTenantSpec);
+    ScenarioOptions serial;
+    serial.jobs = 1;
+    ScenarioOptions parallel;
+    parallel.jobs = 4;
+    std::string a = canonicalScenario(runScenario(spec, serial));
+    std::string b = canonicalScenario(runScenario(spec, parallel));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("slowdown="), std::string::npos);
+}
+
+TEST(Scenario, AloneCacheIsSharedAcrossRuns)
+{
+    ScenarioSpec spec = parseSpecText(kTwoTenantSpec);
+    AloneCache cache;
+    ScenarioOptions opts;
+    opts.jobs = 2;
+    opts.aloneCache = &cache;
+    ScenarioResult first = runScenario(spec, opts);
+    EXPECT_EQ(cache.size(), 2u);
+    ScenarioResult second = runScenario(spec, opts);
+    EXPECT_EQ(cache.size(), 2u); // hits, no growth
+    EXPECT_EQ(canonicalScenario(first), canonicalScenario(second));
+}
+
+} // namespace
+} // namespace cdpc

@@ -233,13 +233,14 @@ TEST(VerifyExperiment, VerifiesUnderRecolorAndPressure)
 
 // ---- Golden-output registry --------------------------------------------
 
-TEST(Golden, RegistryListsTheFourFigures)
+TEST(Golden, RegistryListsTheFiveFigures)
 {
-    EXPECT_EQ(verify::goldenFigures().size(), 4u);
+    EXPECT_EQ(verify::goldenFigures().size(), 5u);
     EXPECT_EQ(verify::goldenJobs("fig6").size(), 80u);
     EXPECT_EQ(verify::goldenJobs("fig7").size(), 24u);
     EXPECT_EQ(verify::goldenJobs("fig8").size(), 20u);
     EXPECT_FALSE(verify::goldenJobs("table2").empty());
+    EXPECT_EQ(verify::goldenJobs("tenant1").size(), 2u);
     EXPECT_THROW(verify::goldenJobs("fig9"), FatalError);
 }
 

@@ -13,14 +13,20 @@
  *    better; current > baseline * (1 + threshold) is a regression.
  *  - "refsPerSecond" is throughput: higher is better; current <
  *    baseline * (1 - threshold) is a regression.
+ *  - keys starting with "mt." are per-cell multi-tenant isolation
+ *    metrics from BENCH_ext_multitenant.json; the ".missvar",
+ *    ".p99slowdown" and ".crossevict" suffixes are lower-is-better,
+ *    the rest are context.
  *  - every other numeric key is reported for context only.
  *
  * Keys present in only one file are listed but by default never fail
  * the run (benchmark filters and battery changes would otherwise
  * break CI spuriously); --strict-keys turns any one-sided key into a
  * failure, for pipelines that pin the battery and want to catch a
- * silently dropped benchmark. Exit status: 0 clean, 1 regression or
- * strict-key mismatch, 2 usage/parse error.
+ * silently dropped benchmark. "mt." keys are exempt from
+ * --strict-keys: baselines captured before the multi-tenant bench
+ * existed stay usable under strict pipelines. Exit status: 0 clean,
+ * 1 regression or strict-key mismatch, 2 usage/parse error.
  *
  * The parser is deliberately hand-rolled: the repo has no JSON
  * dependency and this format is a single flat object produced by a
@@ -117,6 +123,23 @@ endsWith(const std::string &s, const char *suffix)
     return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+/** Multi-tenant isolation metric (BENCH_ext_multitenant.json)? */
+bool
+isMultiTenantKey(const std::string &key)
+{
+    return key.compare(0, 3, "mt.") == 0;
+}
+
+/** Lower-is-better multi-tenant metric? */
+bool
+isMultiTenantRegression(const std::string &key)
+{
+    return isMultiTenantKey(key) &&
+           (endsWith(key, ".missvar") ||
+            endsWith(key, ".p99slowdown") ||
+            endsWith(key, ".crossevict"));
+}
+
 } // namespace
 
 int
@@ -168,11 +191,15 @@ main(int argc, char **argv)
         auto it = cur.find(key);
         if (it == cur.end()) {
             std::cout << "  [skip] " << key << ": only in baseline\n";
-            one_sided++;
+            // mt.* cells come and go with the sweep grid; they never
+            // count against --strict-keys.
+            if (!isMultiTenantKey(key))
+                one_sided++;
             continue;
         }
         double cur_v = it->second;
-        bool lower_better = endsWith(key, "_ns");
+        bool lower_better =
+            endsWith(key, "_ns") || isMultiTenantRegression(key);
         bool higher_better = key == "refsPerSecond";
         if (!lower_better && !higher_better)
             continue; // informational field
@@ -188,11 +215,17 @@ main(int argc, char **argv)
             regressions++;
     }
     for (const auto &[key, v] : cur) {
-        if (!base.contains(key) &&
-            (endsWith(key, "_ns") || key == "refsPerSecond")) {
+        if (base.contains(key))
+            continue;
+        if (endsWith(key, "_ns") || key == "refsPerSecond") {
             std::cout << "  [new ] " << key << " = " << v
                       << " (no baseline)\n";
             one_sided++;
+        } else if (isMultiTenantRegression(key)) {
+            // New isolation metrics vs an older baseline: visible but
+            // exempt from --strict-keys.
+            std::cout << "  [new ] " << key << " = " << v
+                      << " (no baseline)\n";
         }
     }
 

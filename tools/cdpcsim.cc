@@ -30,8 +30,14 @@
  *   cdpcsim verify <figure|workload> [options]
  *       Run with the reference memory system in lockstep and report
  *       the verification counters; any divergence aborts with a
- *       minimal repro. A figure name (fig6 fig7 fig8 table2) runs
- *       that golden grid under verification.
+ *       minimal repro. A figure name (fig6 fig7 fig8 table2 tenant1)
+ *       runs that golden grid under verification.
+ *   cdpcsim tenants <spec-file> [options]
+ *       Run a multi-tenant scenario (DESIGN.md §12): N workloads
+ *       co-scheduled over one machine under per-tenant color
+ *       budgets, with per-tenant isolation metrics (miss rates,
+ *       cross-tenant evictions, slowdown vs running alone); --out
+ *       FILE saves the canonical scenario serialization.
  *
  * Options:
  *   --cpus N        processors (default 8)
@@ -95,6 +101,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runner/runner.h"
+#include "tenant/scenario.h"
+#include "tenant/spec.h"
 #include "verify/golden.h"
 #include "vm/physmem.h"
 #include "vm/policy.h"
@@ -156,8 +164,24 @@ usage(const char *msg = nullptr)
         std::cerr << "cdpcsim: " << msg << "\n\n";
     std::cerr <<
         "usage: cdpcsim <command> [workload|file] [options]\n"
-        "commands: list | run | compare | sweep | plan | record |\n"
-        "          replay | attribute | hints | batch | verify\n"
+        "commands:\n"
+        "  list                 the bundled SPEC95fp workloads\n"
+        "  run <workload>       one experiment, full breakdown\n"
+        "  compare <workload>   all four mapping policies side by "
+        "side\n"
+        "  sweep <workload>     one policy across 1..16 CPUs\n"
+        "  plan <workload>      compiler summaries + CDPC plan, no "
+        "simulation\n"
+        "  record <workload>    capture a demand reference trace "
+        "(--out)\n"
+        "  replay <trace>       replay a recorded trace\n"
+        "  attribute <workload> per-array reference/miss "
+        "attribution\n"
+        "  hints <summaries>    CDPC plan from saved summaries\n"
+        "  batch <spec-file>    job specs through the batch engine\n"
+        "  verify <fig|wkld>    lockstep differential verification\n"
+        "  tenants <spec-file>  multi-tenant scenario with isolation "
+        "metrics\n"
         "options: --cpus N --policy pc|bh|cdpc|cdpc-touch\n"
         "         --machine scaled|scaled-2way|scaled-4mb|alpha|full\n"
         "         --cache KB --assoc N --prefetch --dynamic\n"
@@ -778,8 +802,8 @@ int
 cmdVerify(const CliOptions &o)
 {
     if (o.workload.empty())
-        usage("verify needs a figure (fig6 fig7 fig8 table2) or a "
-              "workload");
+        usage("verify needs a figure (fig6 fig7 fig8 table2 tenant1) "
+              "or a workload");
     // Per-reference lockstep checks always run in verify mode; the
     // cadence only controls the expensive full-structure compares.
     const std::uint64_t deep_every =
@@ -823,6 +847,66 @@ cmdVerify(const CliOptions &o)
               << fmtI(refs) << " references verified in lockstep, "
               << fmtI(deeps) << " deep compares, " << fmtI(audits)
               << " audits, 0 divergences\n";
+    return 0;
+}
+
+int
+cmdTenants(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("tenants needs a scenario spec file");
+    tenant::ScenarioSpec spec =
+        tenant::parseScenarioFile(o.workload);
+    tenant::ScenarioOptions topts;
+    topts.jobs = o.jobs;
+    tenant::AloneCache cache;
+    topts.aloneCache = &cache;
+    tenant::ScenarioResult res = tenant::runScenario(spec, topts);
+
+    std::cout << res.name << ": " << res.tenants.size()
+              << " tenant(s) on " << res.cpus << " CPUs ("
+              << spec.machineName << "), budget="
+              << tenant::budgetPolicyName(res.budget)
+              << ", scheduler="
+              << tenant::schedulerName(res.scheduler) << "\n\n";
+
+    TextTable t({"tenant", "workload", "vcpus", "lease", "miss rate",
+                 "cross-evict", "inflicted", "overflow", "slowdown",
+                 "p99", "exit round"});
+    for (std::size_t i = 0; i < res.tenants.size(); i++) {
+        const tenant::TenantResult &tr = res.tenants[i];
+        t.addRow({tr.name, tr.result.workload,
+                  std::to_string(spec.tenants[i].vcpus),
+                  tr.unlimited ? "all"
+                               : std::to_string(tr.leaseSize),
+                  fmtF(tr.missRate * 100.0, 2) + "%",
+                  fmtI(tr.crossTenantEvictions),
+                  fmtI(tr.evictionsInflicted),
+                  fmtI(tr.budgetOverflows),
+                  tr.slowdown > 0 ? fmtF(tr.slowdown, 3) + "x" : "-",
+                  tr.p99Slowdown > 0 ? fmtF(tr.p99Slowdown, 3) + "x"
+                                     : "-",
+                  std::to_string(tr.exitRound)});
+    }
+    std::cout << t.render() << "\n";
+
+    std::cout << res.rounds << " scheduling rounds, "
+              << fmtI(res.totalCrossEvictions)
+              << " cross-tenant evictions, " << res.leasesReclaimed
+              << " leases reclaimed, miss-rate variance "
+              << fmtF(res.missRateVariance * 1e4, 3) << "e-4";
+    if (res.maxSlowdown > 0)
+        std::cout << ", max slowdown "
+                  << fmtF(res.maxSlowdown, 3) << "x";
+    std::cout << "\n";
+
+    if (!o.out.empty()) {
+        std::ofstream out(o.out, std::ios::trunc);
+        fatalIf(!out, "cannot write scenario result to ", o.out);
+        out << tenant::canonicalScenario(res);
+        std::cout << "canonical scenario written to " << o.out
+                  << "\n";
+    }
     return 0;
 }
 
@@ -916,6 +1000,8 @@ dispatch(const CliOptions &o)
         return cmdBatch(o);
     if (o.command == "verify")
         return cmdVerify(o);
+    if (o.command == "tenants")
+        return cmdTenants(o);
     usage(("unknown command " + o.command).c_str());
 }
 

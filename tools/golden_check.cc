@@ -7,7 +7,13 @@
  *       Run each figure's job grid and compare the canonical records
  *       against the committed golden file; a structured diff table is
  *       printed for every mismatching field. No figures = all
- *       registered figures (fig6 fig7 fig8 table2).
+ *       registered figures (fig6 fig7 fig8 table2 tenant1).
+ *
+ * The tenant1 figure is special: each of its jobs runs twice — once
+ * as a plain experiment and once as a 1-tenant unlimited-budget
+ * scenario through the multi-tenant layer — and golden_check fatals
+ * unless the two agree byte-for-byte (the degeneracy contract of
+ * DESIGN.md §12) before checking the records against the file.
  *   golden_check <figure...> --update
  *       Rewrite the golden files from the freshly computed results.
  *   golden_check --diff FILE1 FILE2
@@ -32,6 +38,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "runner/runner.h"
+#include "tenant/scenario.h"
 #include "verify/golden.h"
 
 using namespace cdpc;
@@ -49,7 +56,7 @@ usage(const char *msg = nullptr)
         << "usage: golden_check [figure...] [--update] [--dir DIR] "
            "[--jobs N]\n"
            "       golden_check --diff FILE1 FILE2\n"
-           "figures: fig6 fig7 fig8 table2 (default: all)\n";
+           "figures: fig6 fig7 fig8 table2 tenant1 (default: all)\n";
     std::exit(2);
 }
 
@@ -98,6 +105,25 @@ reportDiffs(const std::string &what,
     return 1;
 }
 
+/**
+ * Everything the degeneracy check compares: the golden record's
+ * metrics plus the VM-layer degradation counters. Two results with
+ * equal dumps took the same allocation decisions and produced the
+ * same timing, byte for byte.
+ */
+std::string
+degeneracyDump(const std::string &label, const ExperimentResult &r)
+{
+    const VmStats &vs = r.degradation;
+    std::ostringstream os;
+    os << goldenRecord(label, r) << " faults=" << vs.pageFaults
+       << " honored=" << vs.hintHonored
+       << " fallback=" << vs.hintFallback << " denied=" << vs.hintDenied
+       << " noPref=" << vs.noPreference << " stolen=" << vs.hintStolen
+       << " reclaimed=" << vs.reclaimedPages;
+    return os.str();
+}
+
 int
 checkFigure(const std::string &figure, const std::string &dir,
             unsigned jobs, bool update)
@@ -114,6 +140,25 @@ checkFigure(const std::string &figure, const std::string &dir,
     bopts.jobs = jobs;
     std::vector<ExperimentResult> results =
         runner::runBatchOrThrow(std::move(specs), bopts);
+
+    if (figure == "tenant1") {
+        // Degeneracy gate: the same job through the tenant layer
+        // must be indistinguishable from the plain harness run.
+        for (std::size_t i = 0; i < results.size(); i++) {
+            ExperimentResult viaTenant = tenant::runSingleTenant(
+                grid[i].workload, grid[i].config);
+            std::string plain =
+                degeneracyDump(grid[i].label, results[i]);
+            std::string scenario =
+                degeneracyDump(grid[i].label, viaTenant);
+            fatalIf(plain != scenario,
+                    "tenant1 degeneracy violated for ", grid[i].label,
+                    "\n  plain:    ", plain, "\n  scenario: ",
+                    scenario);
+        }
+        std::cout << "tenant1: degeneracy OK (" << results.size()
+                  << " job(s) identical through the tenant layer)\n";
+    }
 
     std::vector<std::string> lines;
     lines.reserve(results.size());
