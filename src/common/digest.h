@@ -1,0 +1,55 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing, shared by the golden-output registry
+ * (src/verify/golden) and the crash-safe batch journal
+ * (src/runner/journal). Header-only so low layers can digest without
+ * linking against the verification library.
+ */
+
+#ifndef CDPC_COMMON_DIGEST_H
+#define CDPC_COMMON_DIGEST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace cdpc
+{
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+/** 64-bit FNV-1a over @p n bytes, continuing from @p h. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t n,
+      std::uint64_t h = kFnv1aOffsetBasis)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; i++) {
+        h ^= p[i];
+        h *= kFnv1aPrime;
+    }
+    return h;
+}
+
+/** 64-bit FNV-1a over @p text. */
+inline std::uint64_t
+fnv1a(const std::string &text)
+{
+    return fnv1a(text.data(), text.size());
+}
+
+/** Canonical 16-digit lowercase hex rendering of a digest. */
+inline std::string
+digestHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_DIGEST_H

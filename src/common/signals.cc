@@ -1,0 +1,76 @@
+#include "common/signals.h"
+
+#include <csignal>
+
+namespace cdpc::signals
+{
+
+namespace
+{
+
+std::atomic<int> g_drain_signal{0};
+
+CancelToken &
+token()
+{
+    static CancelToken t;
+    return t;
+}
+
+extern "C" void
+drainHandler(int sig)
+{
+    // First signal: record it, raise the cooperative flag, and hand
+    // the disposition back to the default action so a second signal
+    // is an immediate kill rather than a queued request.
+    g_drain_signal.store(sig, std::memory_order_relaxed);
+    token().cancel();
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+void
+installDrainHandlers()
+{
+    g_drain_signal.store(0, std::memory_order_relaxed);
+    token().reset();
+    std::signal(SIGINT, drainHandler);
+    std::signal(SIGTERM, drainHandler);
+}
+
+void
+resetDrainHandlers()
+{
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_drain_signal.store(0, std::memory_order_relaxed);
+    token().reset();
+}
+
+CancelToken &
+drainToken()
+{
+    return token();
+}
+
+int
+drainSignal()
+{
+    return g_drain_signal.load(std::memory_order_relaxed);
+}
+
+const char *
+drainSignalName()
+{
+    switch (drainSignal()) {
+      case SIGINT:
+        return "SIGINT";
+      case SIGTERM:
+        return "SIGTERM";
+      default:
+        return "none";
+    }
+}
+
+} // namespace cdpc::signals

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cooperative cancellation and graceful signal drain.
+ *
+ * A CancelToken is a process-visible flag that long-running loops
+ * poll: setting it never interrupts anything by force, it only asks
+ * politely. The signals::installDrainHandlers() layer converts the
+ * first SIGINT/SIGTERM into exactly that — the batch engine stops
+ * dequeuing new jobs, lets in-flight jobs finish under the existing
+ * watchdog, flushes the journal, and exits with the documented
+ * "interrupted, resumable" exit code (4). A *second* signal restores
+ * the default disposition first, so an impatient operator's repeat
+ * Ctrl-C still kills the process immediately.
+ *
+ * Everything the handler touches is a lock-free atomic store, keeping
+ * the handler async-signal-safe.
+ */
+
+#ifndef CDPC_COMMON_SIGNALS_H
+#define CDPC_COMMON_SIGNALS_H
+
+#include <atomic>
+
+namespace cdpc
+{
+
+/** A cooperative cancellation flag shared between threads. */
+class CancelToken
+{
+  public:
+    /** Request cancellation (idempotent, async-signal-safe). */
+    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+    /** @return whether cancellation has been requested. */
+    bool cancelled() const
+    {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+    /** Clear the flag (tests and handler re-installation only). */
+    void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+namespace signals
+{
+
+/**
+ * Route the first SIGINT/SIGTERM into drainToken().cancel() and
+ * restore the default disposition so a second signal terminates
+ * immediately. Safe to call more than once (also clears any stale
+ * token/signal state from a previous installation).
+ */
+void installDrainHandlers();
+
+/** Restore SIG_DFL for SIGINT/SIGTERM and clear the drain state. */
+void resetDrainHandlers();
+
+/** The process-wide token the drain handlers fire. */
+CancelToken &drainToken();
+
+/** The signal number that triggered the drain, or 0. */
+int drainSignal();
+
+/** "SIGINT" | "SIGTERM" | "none". */
+const char *drainSignalName();
+
+} // namespace signals
+
+} // namespace cdpc
+
+#endif // CDPC_COMMON_SIGNALS_H

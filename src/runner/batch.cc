@@ -1,5 +1,7 @@
 #include "runner/batch.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 #include "obs/trace.h"
 
@@ -15,7 +17,7 @@ Batch::add(JobSpec spec)
 
 std::vector<JobResult>
 Batch::run(ProgressReporter *progress, ResultSink *sink,
-           const RunPolicy &policy)
+           const RunPolicy &policy, const BatchControl *control)
 {
     std::vector<JobResult> results(specs_.size());
     if (specs_.empty())
@@ -25,18 +27,68 @@ Batch::run(ProgressReporter *progress, ResultSink *sink,
     // pool with other batches without waiting on their work.
     std::mutex mutex;
     std::condition_variable done_cv;
-    std::size_t remaining = specs_.size();
+    std::size_t remaining = 0;
+    // First sink-write failure; set once, the batch then drains
+    // (running jobs finish, queued jobs cancel) and the error is
+    // rethrown after the wait instead of unwinding a pool worker.
+    std::string sink_error;
+    std::atomic<bool> sink_failed{false};
+
+    auto skipped = [&](std::size_t i) {
+        return control && i < control->skip.size() &&
+               control->skip[i];
+    };
+    for (std::size_t i = 0; i < specs_.size(); i++)
+        if (!skipped(i))
+            remaining++;
 
     for (std::size_t i = 0; i < specs_.size(); i++) {
+        if (skipped(i)) {
+            // Already committed in the journal: report it without
+            // running and without a sink write (the durable sink
+            // holds its line from the resume load).
+            JobResult &r = results[i];
+            r.index = i;
+            r.spec = specs_[i];
+            r.outcome = JobOutcome::Skipped;
+            r.attempts = 0;
+            continue;
+        }
         const double submit_us =
             obs::traceActive() ? obs::wallUs() : 0.0;
         pool_.submit([&, i, submit_us] {
-            if (obs::traceActive())
-                obs::runnerSpan("queued", static_cast<int>(i) + 1,
-                                submit_us, obs::wallUs(), {});
-            JobResult r = runJobWithPolicy(specs_[i], i, policy);
-            if (sink)
-                sink->write(r);
+            JobResult r;
+            const bool cancelled =
+                (control && control->cancel &&
+                 control->cancel->cancelled()) ||
+                sink_failed.load(std::memory_order_relaxed);
+            if (cancelled) {
+                // Drain: never started, so nothing is committed and
+                // a --resume re-runs it.
+                r.index = i;
+                r.spec = specs_[i];
+                r.outcome = JobOutcome::Cancelled;
+                r.attempts = 0;
+                r.errorKind = "cancelled";
+                r.error = "batch drained before this job started";
+            } else {
+                if (obs::traceActive())
+                    obs::runnerSpan("queued",
+                                    static_cast<int>(i) + 1,
+                                    submit_us, obs::wallUs(), {});
+                r = runJobWithPolicy(specs_[i], i, policy);
+                if (sink) {
+                    try {
+                        sink->write(r);
+                    } catch (const std::exception &e) {
+                        std::lock_guard<std::mutex> lock(mutex);
+                        if (sink_error.empty())
+                            sink_error = e.what();
+                        sink_failed.store(
+                            true, std::memory_order_relaxed);
+                    }
+                }
+            }
             if (progress)
                 progress->jobDone(r.ok(), r.attempts,
                                   r.quarantined());
@@ -49,8 +101,12 @@ Batch::run(ProgressReporter *progress, ResultSink *sink,
         });
     }
 
-    std::unique_lock<std::mutex> lock(mutex);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        done_cv.wait(lock, [&] { return remaining == 0; });
+        fatalIf(!sink_error.empty(), "result sink failed: ",
+                sink_error);
+    }
     return results;
 }
 
@@ -63,12 +119,13 @@ runBatch(std::vector<JobSpec> specs, const BatchOptions &options)
         batch.add(std::move(spec));
     if (options.progress) {
         ProgressReporter reporter(batch.size());
-        auto results =
-            batch.run(&reporter, options.sink, options.policy);
+        auto results = batch.run(&reporter, options.sink,
+                                 options.policy, options.control);
         reporter.finish();
         return results;
     }
-    return batch.run(nullptr, options.sink, options.policy);
+    return batch.run(nullptr, options.sink, options.policy,
+                     options.control);
 }
 
 std::vector<ExperimentResult>

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/signals.h"
 #include "runner/job.h"
 #include "runner/progress.h"
 #include "runner/result_sink.h"
@@ -30,6 +31,24 @@
 
 namespace cdpc::runner
 {
+
+/** Crash-safety hooks for one Batch::run (DESIGN.md §13). */
+struct BatchControl
+{
+    /**
+     * Cooperative cancellation (graceful drain): once the token is
+     * cancelled, queued jobs that have not started report
+     * JobOutcome::Cancelled without running; jobs already in flight
+     * finish and commit normally.
+     */
+    const CancelToken *cancel = nullptr;
+    /**
+     * skip[i]: job i is already committed (resume); it is reported
+     * as JobOutcome::Skipped without running and without a sink
+     * write — the durable sink already holds its line.
+     */
+    std::vector<bool> skip;
+};
 
 /** A group of jobs submitted together over a (possibly shared) pool. */
 class Batch
@@ -45,13 +64,18 @@ class Batch
     /**
      * Execute every queued spec and block until all finish.
      * @param progress optional per-job completion reporting
-     * @param sink     optional streaming sink (completion order)
+     * @param sink     optional streaming sink (completion order);
+     *                 a sink write failure drains the batch and is
+     *                 rethrown as FatalError after in-flight jobs
+     *                 finish
      * @param policy   watchdog/retry knobs applied to every job
+     * @param control  optional cancel token + resume skip mask
      * @return one JobResult per spec, in submission order
      */
     std::vector<JobResult> run(ProgressReporter *progress = nullptr,
                                ResultSink *sink = nullptr,
-                               const RunPolicy &policy = RunPolicy{});
+                               const RunPolicy &policy = RunPolicy{},
+                               const BatchControl *control = nullptr);
 
   private:
     ThreadPool &pool_;
@@ -69,6 +93,8 @@ struct BatchOptions
     ResultSink *sink = nullptr;
     /** Per-job timeout watchdog and transient-error retry knobs. */
     RunPolicy policy;
+    /** Optional cancel token + resume skip mask. */
+    const BatchControl *control = nullptr;
 };
 
 /** Create a pool, run @p specs through a Batch, tear the pool down. */

@@ -5,8 +5,10 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "common/digest.h"
 #include "common/faultpoint.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -22,6 +24,36 @@ JobSpec::displayName() const
         return name;
     return workload + "/" + mappingName(config.mapping) + "/" +
            std::to_string(config.machine.numCpus) + "cpu";
+}
+
+std::string
+JobSpec::canonicalKey() const
+{
+    // Everything that determines the job's output line goes into the
+    // blob; the key is its digest, so adding a field later changes
+    // every key (forcing a fresh run) rather than mis-skipping.
+    std::ostringstream os;
+    const ExperimentConfig &c = config;
+    const MachineConfig &m = c.machine;
+    os << "workload=" << workload << ";mapping="
+       << mappingName(c.mapping) << ";machine=" << m.name << ";cpus="
+       << m.numCpus << ";l2=" << m.l2.sizeBytes << "/" << m.l2.assoc
+       << "/" << m.l2.lineBytes << ";l1d=" << m.l1d.sizeBytes << "/"
+       << m.l1d.assoc << "/" << m.l1d.lineBytes << ";page="
+       << m.pageBytes << ";phys=" << m.physPages << ";aligned="
+       << c.aligned << ";prefetch=" << c.prefetch << ";racy="
+       << c.binHopRacy << ";cyclic=" << c.cdpcOptions.cyclicAssignment
+       << ";greedy=" << c.cdpcOptions.greedyOrdering << ";seed="
+       << c.seed << ";prealloc=" << c.preallocatedPages << ";dynamic="
+       << c.dynamicRecolor << ";pressure=" << c.pressure.occupancy
+       << "/" << pressurePatternName(c.pressure.pattern) << "/"
+       << c.pressure.seed << ";fallback=" << fallbackName(c.fallback)
+       << ";interval=" << c.sim.statsInterval << ";verify="
+       << c.verifyEvery << ";audit=" << c.auditEvery << ";trace="
+       << trace << ";tags=";
+    for (const std::string &tag : tags)
+        os << tag << ",";
+    return displayName() + "@" + digestHex(fnv1a(os.str()));
 }
 
 JobSpec
@@ -45,6 +77,10 @@ jobOutcomeName(JobOutcome outcome)
         return "failed";
       case JobOutcome::TimedOut:
         return "timeout";
+      case JobOutcome::Skipped:
+        return "skipped";
+      case JobOutcome::Cancelled:
+        return "cancelled";
     }
     return "unknown";
 }

@@ -53,6 +53,17 @@ struct JobSpec
 
     /** @return name, or the default derived display name. */
     std::string displayName() const;
+
+    /**
+     * Stable identity of this spec for the durable journal:
+     * "<displayName>@<16-hex fnv1a of the spec's semantic fields>".
+     * Two specs with the same key produce the same result line, so a
+     * resume may skip the job; any drift in workload, machine,
+     * policy, seed, pressure, or the other output-determining knobs
+     * changes the key and turns a stale resume into a typed fatal
+     * instead of a silent mis-skip.
+     */
+    std::string canonicalKey() const;
 };
 
 /** Convenience builder with the default display name. */
@@ -62,12 +73,14 @@ JobSpec makeJob(std::string workload, ExperimentConfig config,
 /** How one job ended, after all retries. */
 enum class JobOutcome
 {
-    Ok,       ///< produced a result
-    Failed,   ///< quarantined: permanent error or retries exhausted
-    TimedOut, ///< quarantined: the watchdog gave up on it
+    Ok,        ///< produced a result
+    Failed,    ///< quarantined: permanent error or retries exhausted
+    TimedOut,  ///< quarantined: the watchdog gave up on it
+    Skipped,   ///< already committed in the journal (resume)
+    Cancelled, ///< never ran: batch drained on SIGINT/SIGTERM
 };
 
-/** @return "ok" | "failed" | "timeout". */
+/** @return "ok" | "failed" | "timeout" | "skipped" | "cancelled". */
 const char *jobOutcomeName(JobOutcome outcome);
 
 /** Watchdog + retry knobs for one batch run. */
@@ -101,8 +114,14 @@ struct JobResult
     double hostSeconds = 0.0;
 
     bool ok() const { return result.has_value(); }
-    /** A job the batch gave up on (failed or timed out). */
-    bool quarantined() const { return outcome != JobOutcome::Ok; }
+    /** A job the batch gave up on (failed or timed out). Skipped
+     *  and cancelled jobs are not quarantined: a skip is a prior
+     *  success, a cancel is resumable work, not a job fault. */
+    bool quarantined() const
+    {
+        return outcome == JobOutcome::Failed ||
+               outcome == JobOutcome::TimedOut;
+    }
 };
 
 /**

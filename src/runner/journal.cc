@@ -1,0 +1,320 @@
+#include "runner/journal.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/digest.h"
+#include "common/logging.h"
+
+namespace cdpc::runner
+{
+
+const char kJournalHeader[] = "cdpc-journal v1";
+
+namespace detail
+{
+
+void
+writeFd(int fd, const std::string &path, const char *data,
+        std::size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(path, ": write failed: ", std::strerror(errno));
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+}
+
+} // namespace detail
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+recordPayload(const JournalRecord &rec)
+{
+    std::ostringstream os;
+    os << "job=" << rec.job << " digest=" << digestHex(rec.digest)
+       << " outcome=" << rec.outcome << " key=" << rec.key;
+    return os.str();
+}
+
+/** Parse one framed record line (no newline); false = malformed. */
+bool
+parseRecordLine(const std::string &line, JournalRecord &out,
+                std::string &why)
+{
+    if (line.rfind("R ", 0) != 0) {
+        why = "missing record marker";
+        return false;
+    }
+    std::string::size_type at = 2;
+    std::string::size_type len_end = at;
+    while (len_end < line.size() && std::isdigit(
+               static_cast<unsigned char>(line[len_end])))
+        len_end++;
+    if (len_end == at || len_end >= line.size() ||
+        line[len_end] != ' ') {
+        why = "bad length field";
+        return false;
+    }
+    std::uint64_t len =
+        std::strtoull(line.substr(at, len_end - at).c_str(), nullptr,
+                      10);
+    std::string::size_type cksum_at = len_end + 1;
+    if (cksum_at + 16 >= line.size() || line[cksum_at + 16] != ' ') {
+        why = "bad checksum field";
+        return false;
+    }
+    std::string cksum_hex = line.substr(cksum_at, 16);
+    for (char c : cksum_hex) {
+        if (!std::isxdigit(static_cast<unsigned char>(c))) {
+            why = "bad checksum field";
+            return false;
+        }
+    }
+    std::string payload = line.substr(cksum_at + 17);
+    if (payload.size() != len) {
+        why = "payload length mismatch";
+        return false;
+    }
+    std::uint64_t cksum =
+        std::strtoull(cksum_hex.c_str(), nullptr, 16);
+    if (fnv1a(payload) != cksum) {
+        why = "payload checksum mismatch";
+        return false;
+    }
+
+    // payload: job=<dec> digest=<16hex> outcome=<word> key=<rest>
+    std::istringstream pin(payload);
+    std::string job_kv, digest_kv, outcome_kv;
+    if (!(pin >> job_kv >> digest_kv >> outcome_kv) ||
+        job_kv.rfind("job=", 0) != 0 ||
+        digest_kv.rfind("digest=", 0) != 0 ||
+        outcome_kv.rfind("outcome=", 0) != 0) {
+        why = "malformed payload fields";
+        return false;
+    }
+    std::string::size_type key_at = payload.find(" key=");
+    if (key_at == std::string::npos) {
+        why = "payload missing key";
+        return false;
+    }
+    out.job = std::strtoull(job_kv.c_str() + 4, nullptr, 10);
+    out.digest = std::strtoull(digest_kv.c_str() + 7, nullptr, 16);
+    out.outcome = outcome_kv.substr(8);
+    out.key = payload.substr(key_at + 5);
+    return true;
+}
+
+} // namespace
+
+std::string
+renderJournalRecord(const JournalRecord &rec)
+{
+    std::string payload = recordPayload(rec);
+    std::ostringstream os;
+    os << "R " << payload.size() << ' ' << digestHex(fnv1a(payload))
+       << ' ' << payload << '\n';
+    return os.str();
+}
+
+JournalLoad
+loadJournal(const std::string &path)
+{
+    JournalLoad load;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return load;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    if (text.empty())
+        return load;
+
+    // Header line. An incomplete first line is a crash during journal
+    // creation: nothing was committed, treat as empty.
+    std::string::size_type eol = text.find('\n');
+    if (eol == std::string::npos) {
+        load.tornTail = true;
+        load.tornReason = "torn header line";
+        return load;
+    }
+    fatalIf(text.substr(0, eol) != kJournalHeader, "journal ", path,
+            ": unrecognized header '", text.substr(0, eol), "'");
+    load.headerBytes = eol + 1;
+
+    std::string::size_type at = load.headerBytes;
+    while (at < text.size()) {
+        std::string::size_type end = text.find('\n', at);
+        bool last = end == std::string::npos ||
+                    text.find('\n', end + 1) == std::string::npos;
+        if (end == std::string::npos) {
+            // No newline: an append torn mid-record. Drop it.
+            load.tornTail = true;
+            load.tornReason = "torn tail record (no newline)";
+            break;
+        }
+        std::string line = text.substr(at, end - at);
+        JournalRecord rec;
+        std::string why;
+        if (!parseRecordLine(line, rec, why)) {
+            // Only the final record may be torn; anything earlier is
+            // corruption, and silently skipping it could mis-skip a
+            // job on resume.
+            fatalIf(!last, "journal ", path, ": record ",
+                    load.records.size(), " is corrupt (", why, ")");
+            load.tornTail = true;
+            load.tornReason = "torn tail record (" + why + ")";
+            break;
+        }
+        load.records.push_back(std::move(rec));
+        load.recordEnds.push_back(end + 1);
+        at = end + 1;
+    }
+    return load;
+}
+
+JournalWriter::JournalWriter(const std::string &path, bool truncate,
+                             bool fsyncEach)
+    : path_(path), fsync_(fsyncEach)
+{
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    fd_ = ::open(path.c_str(), flags, 0644);
+    fatalIf(fd_ < 0, "cannot open journal ", path, ": ",
+            std::strerror(errno));
+    if (truncate) {
+        std::string header = std::string(kJournalHeader) + "\n";
+        detail::writeFd(fd_, "journal " + path_, header.data(), header.size());
+        if (fsync_)
+            ::fsync(fd_);
+    }
+}
+
+JournalWriter::~JournalWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+JournalWriter::append(const JournalRecord &rec)
+{
+    std::string line = renderJournalRecord(rec);
+    detail::writeFd(fd_, "journal " + path_, line.data(), line.size());
+    if (fsync_)
+        ::fsync(fd_);
+}
+
+ResumePlan
+loadResumePlan(const std::string &outPath,
+               const std::vector<JobSpec> &specs)
+{
+    ResumePlan plan;
+    plan.committed.assign(specs.size(), false);
+
+    const std::string journal_path = outPath + ".journal";
+    const std::string part_path = outPath + ".part";
+    std::error_code ec;
+    if (!fs::exists(journal_path, ec))
+        return plan;
+
+    JournalLoad journal = loadJournal(journal_path);
+    plan.repairedTail = journal.tornTail;
+
+    // Split the part file into complete lines; a final line without
+    // its newline is a torn append and drops with its record.
+    std::vector<std::string> lines;
+    std::vector<std::uint64_t> line_ends;
+    {
+        std::ifstream in(part_path, std::ios::binary);
+        std::string text;
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            text = buf.str();
+        }
+        std::string::size_type at = 0;
+        while (at < text.size()) {
+            std::string::size_type end = text.find('\n', at);
+            if (end == std::string::npos) {
+                plan.repairedTail = true;
+                break;
+            }
+            lines.push_back(text.substr(at, end - at));
+            line_ends.push_back(end + 1);
+            at = end + 1;
+        }
+    }
+
+    // A job is committed only when record and line are both intact
+    // and agree; the shorter side bounds the committed prefix.
+    std::size_t usable = std::min(journal.records.size(), lines.size());
+    if (usable != journal.records.size() || usable != lines.size())
+        plan.repairedTail = true;
+    for (std::size_t i = 0; i < usable; i++) {
+        if (fnv1a(lines[i]) == journal.records[i].digest)
+            continue;
+        // A mismatch on the very last intact pair is a tail torn
+        // across both files; anything earlier means the output no
+        // longer matches what the journal committed.
+        fatalIf(i + 1 < usable, "resume: ", outPath + ".part",
+                " line ", i, " does not match journal ", journal_path,
+                " record for job ", journal.records[i].job,
+                " (digest mismatch)");
+        usable = i;
+        plan.repairedTail = true;
+    }
+
+    for (std::size_t i = 0; i < usable; i++) {
+        const JournalRecord &rec = journal.records[i];
+        fatalIf(rec.job >= specs.size(), "resume: journal ",
+                journal_path, " record ", i, " names job ", rec.job,
+                " but the batch has only ", specs.size(), " jobs");
+        const JobSpec &spec = specs[rec.job];
+        fatalIf(spec.canonicalKey() != rec.key,
+                "resume: spec drift at job ", rec.job, " (",
+                spec.displayName(), "): journal ", journal_path,
+                " committed key ", rec.key, " but the spec is now ",
+                spec.canonicalKey());
+        fatalIf(plan.committed[rec.job], "journal ", journal_path,
+                ": duplicate record for job ", rec.job, " (",
+                spec.displayName(), ")");
+        plan.committed[rec.job] = true;
+        plan.lines.emplace_back(static_cast<std::size_t>(rec.job),
+                                lines[i]);
+    }
+    plan.committedCount = usable;
+
+    // Heal: truncate both files back to the committed prefix so the
+    // resumed run appends from a clean boundary.
+    if (usable == 0) {
+        fs::remove(journal_path, ec);
+        fs::remove(part_path, ec);
+        return plan;
+    }
+    fs::resize_file(journal_path, journal.recordEnds[usable - 1], ec);
+    fatalIf(static_cast<bool>(ec), "resume: cannot truncate journal ",
+            journal_path, ": ", ec.message());
+    fs::resize_file(part_path, line_ends[usable - 1], ec);
+    fatalIf(static_cast<bool>(ec), "resume: cannot truncate ",
+            part_path, ": ", ec.message());
+    return plan;
+}
+
+} // namespace cdpc::runner

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The durable job journal behind crash-safe batches (DESIGN.md §13).
+ *
+ * While a batch with durability enabled runs, every committed job
+ * appends two things under one lock: its JSON result line to
+ * `<out>.part`, then one framed record to `<out>.journal`. A record
+ * carries the job's submission index, the canonical spec key (so a
+ * resume against a *different* spec file is a typed fatal, not a
+ * silent mis-skip), the FNV-1a digest of the committed JSONL line,
+ * and the job outcome. Records are framed as
+ *
+ *     R <payload-length> <fnv1a-of-payload, 16 hex digits> <payload>
+ *
+ * one per line after a fixed header line, which makes a crash torn
+ * mid-append detectable: the torn tail record simply fails its
+ * length/checksum/newline check and is dropped, while corruption
+ * anywhere *before* the tail is a typed fatal naming the journal.
+ *
+ * loadResumePlan() joins the journal against the part file: a job is
+ * considered committed only when its journal record AND its output
+ * line are both intact and agree on the digest — so whatever a
+ * SIGKILL tears (line without record, record without line, half of
+ * either), resume re-runs the job instead of mis-skipping it. The
+ * loader then truncates both files back to the committed prefix,
+ * healing the torn tail in place before the batch appends again.
+ */
+
+#ifndef CDPC_RUNNER_JOURNAL_H
+#define CDPC_RUNNER_JOURNAL_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/job.h"
+
+namespace cdpc::runner
+{
+
+/** First line of every journal file. */
+extern const char kJournalHeader[];
+
+namespace detail
+{
+/** write(2) the whole buffer to @p fd; fatal() naming @p path. */
+void writeFd(int fd, const std::string &path, const char *data,
+             std::size_t n);
+} // namespace detail
+
+/** One committed job, as recorded in the sidecar journal. */
+struct JournalRecord
+{
+    /** Submission index within the batch. */
+    std::uint64_t job = 0;
+    /** FNV-1a digest of the committed JSONL line (no newline). */
+    std::uint64_t digest = 0;
+    /** jobOutcomeName() at commit time ("ok" | "failed" | ...). */
+    std::string outcome;
+    /** JobSpec::canonicalKey() of the job that produced the line. */
+    std::string key;
+};
+
+/** Render one framed record line (with trailing newline). */
+std::string renderJournalRecord(const JournalRecord &rec);
+
+/** What loadJournal() recovered from a (possibly torn) journal. */
+struct JournalLoad
+{
+    std::vector<JournalRecord> records;
+    /** Byte offset just past record i (for healing truncation). */
+    std::vector<std::uint64_t> recordEnds;
+    /** Byte length of the header line. */
+    std::uint64_t headerBytes = 0;
+    /** A torn tail record was detected and dropped. */
+    bool tornTail = false;
+    std::string tornReason;
+};
+
+/**
+ * Parse @p path. A missing or empty file loads as zero records; a
+ * torn final record (truncated, checksum mismatch, missing newline)
+ * is dropped and reported via tornTail; any malformed content before
+ * the final record is a typed fatal naming the journal.
+ */
+JournalLoad loadJournal(const std::string &path);
+
+/** Append-only journal writer over a raw fd (optionally fsynced). */
+class JournalWriter
+{
+  public:
+    /**
+     * Open @p path for appending; when @p truncate, start a fresh
+     * journal (header written). fatal() if the file cannot be opened
+     * or the header cannot be written.
+     */
+    JournalWriter(const std::string &path, bool truncate,
+                  bool fsyncEach);
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Durably append @p rec; fatal() on any write failure. */
+    void append(const JournalRecord &rec);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    bool fsync_;
+};
+
+/** The committed state a resumed batch starts from. */
+struct ResumePlan
+{
+    /** committed[i]: job i is already committed, skip it. */
+    std::vector<bool> committed;
+    /** Committed (job index, JSONL line) pairs in commit order. */
+    std::vector<std::pair<std::size_t, std::string>> lines;
+    std::size_t committedCount = 0;
+    /** A torn tail (journal or part file) was dropped and healed. */
+    bool repairedTail = false;
+};
+
+/**
+ * Load `<outPath>.journal` + `<outPath>.part`, validate every record
+ * against @p specs (index in range, canonical key matches — a
+ * mismatch is spec drift and a typed fatal naming the divergent job)
+ * and against the part file (line present, digest matches), then
+ * truncate both files back to the committed prefix. A missing
+ * journal yields an empty plan (fresh start).
+ */
+ResumePlan loadResumePlan(const std::string &outPath,
+                          const std::vector<JobSpec> &specs);
+
+} // namespace cdpc::runner
+
+#endif // CDPC_RUNNER_JOURNAL_H

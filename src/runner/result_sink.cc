@@ -1,8 +1,17 @@
 #include "runner/result_sink.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/digest.h"
 #include "common/logging.h"
 #include "mem/miss_classify.h"
 #include "obs/metrics.h"
@@ -10,10 +19,6 @@
 namespace cdpc::runner
 {
 
-namespace
-{
-
-/** Shortest representation that round-trips a double exactly. */
 std::string
 jsonNumber(double v)
 {
@@ -25,19 +30,31 @@ jsonNumber(double v)
         warn("result sink: clamped non-finite value to 0");
         v = 0.0;
     }
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    // Prefer the shorter %.15g / %.16g form when it round-trips.
+    // std::to_chars/from_chars render and parse in the C locale
+    // whatever LC_NUMERIC says; the old snprintf/sscanf pair would
+    // silently fail the round-trip check under a comma-decimal
+    // locale and fall back to the long %.17g form.
+    char buf[64];
+    auto render = [&](int prec) {
+        auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, prec);
+        return std::string(buf, res.ptr);
+    };
+    // Prefer the shorter 15/16-digit form when it round-trips.
     for (int prec = 15; prec <= 16; prec++) {
-        char shorter[32];
-        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        std::string s = render(prec);
         double back = 0.0;
-        std::sscanf(shorter, "%lf", &back);
-        if (back == v)
-            return shorter;
+        auto [ptr, ec] =
+            std::from_chars(s.data(), s.data() + s.size(), back);
+        if (ec == std::errc() && ptr == s.data() + s.size() &&
+            back == v)
+            return s;
     }
-    return buf;
+    return render(17);
 }
+
+namespace
+{
 
 std::string
 jsonString(const std::string &s)
@@ -339,6 +356,13 @@ JsonlResultSink::write(const JobResult &r)
     std::lock_guard<std::mutex> lock(mutex_);
     *out_ << line << "\n";
     out_->flush();
+    // A full disk or closed fd must not lose result lines silently:
+    // surface it as a typed fatal the batch engine can report.
+    if (!out_->good()) {
+        CDPC_METRIC_COUNT("sink.writeFailed", 1);
+        fatal("result sink: stream write failed after ", lines_,
+              " lines (disk full or stream closed?)");
+    }
     lines_++;
 }
 
@@ -347,6 +371,175 @@ JsonlResultSink::lines() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return lines_;
+}
+
+// ------------------------------------------------- DurableJsonlSink
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Write @p content to @p path via a raw fd, fsync, close. */
+void
+writeFileSynced(const std::string &path, const std::string &content)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    fatalIf(fd < 0, "cannot open ", path, ": ",
+            std::strerror(errno));
+    detail::writeFd(fd, path, content.data(), content.size());
+    ::fsync(fd);
+    ::close(fd);
+}
+
+/** rename(2) with a typed fatal on failure. */
+void
+renameOrFatal(const std::string &from, const std::string &to)
+{
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    fatalIf(static_cast<bool>(ec), "cannot rename ", from, " to ", to,
+            ": ", ec.message());
+}
+
+} // namespace
+
+std::string
+DurableJsonlSink::partPath(const std::string &outPath)
+{
+    return outPath + ".part";
+}
+
+std::string
+DurableJsonlSink::journalPath(const std::string &outPath)
+{
+    return outPath + ".journal";
+}
+
+std::string
+DurableJsonlSink::manifestPath(const std::string &outPath)
+{
+    return outPath + ".manifest";
+}
+
+bool
+DurableJsonlSink::manifestComplete(const std::string &outPath)
+{
+    std::error_code ec;
+    return fs::exists(manifestPath(outPath), ec);
+}
+
+DurableJsonlSink::DurableJsonlSink(std::string outPath,
+                                   const std::vector<JobSpec> &specs,
+                                   const Options &opts)
+    : outPath_(std::move(outPath)), fsync_(opts.fsyncEach)
+{
+    std::error_code ec;
+    committed_.assign(specs.size(), false);
+    // This run is about to (re)produce the output, so a stale
+    // completion manifest must not outlive a crash of the new run.
+    fs::remove(manifestPath(outPath_), ec);
+
+    bool fresh = true;
+    if (opts.resume) {
+        ResumePlan plan = loadResumePlan(outPath_, specs);
+        committed_ = std::move(plan.committed);
+        lines_ = std::move(plan.lines);
+        resumedCount_ = plan.committedCount;
+        repairedTail_ = plan.repairedTail;
+        fresh = resumedCount_ == 0;
+    } else {
+        fs::remove(journalPath(outPath_), ec);
+        fs::remove(partPath(outPath_), ec);
+    }
+
+    int flags = O_WRONLY | O_CREAT | (fresh ? O_TRUNC : O_APPEND);
+    partFd_ = ::open(partPath(outPath_).c_str(), flags, 0644);
+    fatalIf(partFd_ < 0, "cannot open ", partPath(outPath_), ": ",
+            std::strerror(errno));
+    journal_ = std::make_unique<JournalWriter>(journalPath(outPath_),
+                                               fresh, fsync_);
+}
+
+DurableJsonlSink::~DurableJsonlSink()
+{
+    if (partFd_ >= 0)
+        ::close(partFd_);
+}
+
+void
+DurableJsonlSink::write(const JobResult &r)
+{
+    std::string line = resultToJson(r);
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Commit order: the line becomes durable first, then its journal
+    // record. A crash between the two leaves an uncommitted trailing
+    // line, which resume truncates away.
+    std::string framed = line + "\n";
+    try {
+        detail::writeFd(partFd_, "result sink " + partPath(outPath_),
+                        framed.data(), framed.size());
+    } catch (const FatalError &) {
+        CDPC_METRIC_COUNT("sink.writeFailed", 1);
+        throw;
+    }
+    if (fsync_)
+        ::fsync(partFd_);
+    JournalRecord rec;
+    rec.job = r.index;
+    rec.digest = fnv1a(line);
+    rec.outcome = jobOutcomeName(r.outcome);
+    rec.key = r.spec.canonicalKey();
+    journal_->append(rec);
+    lines_.emplace_back(r.index, std::move(line));
+    if (r.index < committed_.size())
+        committed_[r.index] = true;
+}
+
+std::size_t
+DurableJsonlSink::lines() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_.size();
+}
+
+void
+DurableJsonlSink::finalize()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finalized_)
+        return;
+    // Submission order is the canonical order of the final artifact:
+    // it is what a serial run writes naturally, and it is what makes
+    // an interrupted-then-resumed output byte-identical to an
+    // uninterrupted one regardless of completion interleaving.
+    std::sort(lines_.begin(), lines_.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::string content;
+    for (const auto &[job, line] : lines_) {
+        content += line;
+        content += '\n';
+    }
+    const std::string tmp = outPath_ + ".tmp";
+    writeFileSynced(tmp, content);
+    renameOrFatal(tmp, outPath_);
+
+    std::string manifest = "cdpc-batch-manifest v1\n";
+    manifest += "jobs=" + std::to_string(lines_.size()) + "\n";
+    manifest += "digest=" + digestHex(fnv1a(content)) + "\n";
+    const std::string manifest_part = manifestPath(outPath_) + ".part";
+    writeFileSynced(manifest_part, manifest);
+    renameOrFatal(manifest_part, manifestPath(outPath_));
+
+    ::close(partFd_);
+    partFd_ = -1;
+    journal_.reset();
+    std::error_code ec;
+    fs::remove(partPath(outPath_), ec);
+    fs::remove(journalPath(outPath_), ec);
+    finalized_ = true;
 }
 
 } // namespace cdpc::runner

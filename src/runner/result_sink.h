@@ -12,23 +12,46 @@
  * the Batch API returns — recovers submission order. Doubles are
  * printed with round-trip precision, which is what lets a test diff
  * the serialized form of a parallel batch against a serial one.
+ *
+ * Two sinks exist:
+ *  - JsonlResultSink: the classic streaming sink (stream or
+ *    truncated file), with write-failure detection — a full disk or
+ *    closed fd is a typed fatal plus a sink.writeFailed metric, not
+ *    a silently lost line.
+ *  - DurableJsonlSink: the crash-safe sink (DESIGN.md §13). During
+ *    the run it appends committed lines to `<out>.part` paired with
+ *    framed records in `<out>.journal` (see runner/journal.h); on
+ *    successful completion finalize() writes `<out>` in submission
+ *    order (making interrupted-then-resumed byte-identical to
+ *    uninterrupted), then atomically renames a manifest into place
+ *    so readers can tell a complete output from an interrupted one.
  */
 
 #ifndef CDPC_RUNNER_RESULT_SINK_H
 #define CDPC_RUNNER_RESULT_SINK_H
 
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "runner/job.h"
+#include "runner/journal.h"
 
 namespace cdpc::runner
 {
 
 /** JSON-escape the contents of @p s (no surrounding quotes). */
 std::string jsonEscape(const std::string &s);
+
+/**
+ * Shortest decimal form of @p v that round-trips exactly, rendered
+ * and checked locale-independently (std::to_chars/from_chars), so
+ * output bytes never depend on LC_NUMERIC.
+ */
+std::string jsonNumber(double v);
 
 /** @return one JSON object (no trailing newline) for @p r. */
 std::string resultToJson(const JobResult &r);
@@ -50,6 +73,7 @@ class JsonlResultSink : public ResultSink
     /** Write to @p path (truncates; fatal() if unopenable). */
     explicit JsonlResultSink(const std::string &path);
 
+    /** Append one line; fatal() if the stream rejects the write. */
     void write(const JobResult &r) override;
 
     std::size_t lines() const;
@@ -59,6 +83,72 @@ class JsonlResultSink : public ResultSink
     std::ostream *out_;
     mutable std::mutex mutex_;
     std::size_t lines_ = 0;
+};
+
+/** Crash-safe journaled sink with atomic-commit finalization. */
+class DurableJsonlSink : public ResultSink
+{
+  public:
+    struct Options
+    {
+        /** Start from an existing journal's committed prefix. */
+        bool resume = false;
+        /** fsync(2) the part file and journal after every commit
+         *  (survives OS crashes, not just process kills). */
+        bool fsyncEach = false;
+    };
+
+    /**
+     * Open the durable sink for @p outPath. With opts.resume, load
+     * and validate `<outPath>.journal` against @p specs (typed fatal
+     * on spec drift or mid-file corruption; torn tails healed) and
+     * skip-mask the committed jobs; otherwise start fresh, removing
+     * any stale part/journal/manifest.
+     */
+    DurableJsonlSink(std::string outPath,
+                     const std::vector<JobSpec> &specs,
+                     const Options &opts);
+    ~DurableJsonlSink() override;
+
+    /** Append the line to the part file, then journal the commit. */
+    void write(const JobResult &r) override;
+
+    /** committed()[i]: job i was already committed (resume skip). */
+    const std::vector<bool> &committed() const { return committed_; }
+    /** Jobs loaded from the journal at construction. */
+    std::size_t resumedCount() const { return resumedCount_; }
+    /** Total committed lines (resumed + written this run). */
+    std::size_t lines() const;
+    /** A torn journal/part tail was detected and healed on load. */
+    bool repairedTail() const { return repairedTail_; }
+
+    /**
+     * All jobs committed: write `<out>` in submission order via a
+     * temp-file rename, publish the manifest atomically, and remove
+     * the part file and journal. Without this call (crash, drain)
+     * the part/journal pair stays behind for --resume.
+     */
+    void finalize();
+
+    const std::string &outPath() const { return outPath_; }
+    static std::string partPath(const std::string &outPath);
+    static std::string journalPath(const std::string &outPath);
+    static std::string manifestPath(const std::string &outPath);
+    /** @return whether a completed-run manifest exists for @p out. */
+    static bool manifestComplete(const std::string &outPath);
+
+  private:
+    std::string outPath_;
+    int partFd_ = -1;
+    bool fsync_ = false;
+    std::unique_ptr<JournalWriter> journal_;
+    /** Committed (job index, line) pairs, resumed + this run. */
+    std::vector<std::pair<std::size_t, std::string>> lines_;
+    std::vector<bool> committed_;
+    std::size_t resumedCount_ = 0;
+    bool repairedTail_ = false;
+    bool finalized_ = false;
+    mutable std::mutex mutex_;
 };
 
 } // namespace cdpc::runner

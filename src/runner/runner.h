@@ -2,8 +2,9 @@
  * @file
  * Umbrella header for the batch-execution subsystem (src/runner/):
  * JobSpec/JobResult, the work-stealing ThreadPool, the in-order
- * Batch API, rate-limited progress reporting and the JSON-lines
- * result sink. See DESIGN.md, "Batch runner".
+ * Batch API, rate-limited progress reporting, the JSON-lines result
+ * sinks (streaming and crash-safe durable), and the resumable job
+ * journal. See DESIGN.md, "Batch runner" and §13.
  */
 
 #ifndef CDPC_RUNNER_RUNNER_H
@@ -11,6 +12,7 @@
 
 #include "runner/batch.h"
 #include "runner/job.h"
+#include "runner/journal.h"
 #include "runner/progress.h"
 #include "runner/result_sink.h"
 #include "runner/thread_pool.h"

@@ -5,6 +5,7 @@
 #include <istream>
 #include <sstream>
 
+#include "common/digest.h"
 #include "common/logging.h"
 
 namespace cdpc::verify
@@ -197,12 +198,7 @@ goldenRecord(const std::string &label, const ExperimentResult &r)
 std::uint64_t
 fnv1a(const std::string &text)
 {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : text) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    return cdpc::fnv1a(text);
 }
 
 namespace

@@ -15,12 +15,14 @@
 #include <sstream>
 
 #include "cdpc/runtime.h"
+#include "common/digest.h"
 #include "common/faultpoint.h"
 #include "common/random.h"
 #include "compiler/compiler.h"
 #include "compiler/summaries_io.h"
 #include "harness/experiment.h"
 #include "machine/tracefile.h"
+#include "runner/runner.h"
 #include "tenant/spec.h"
 #include "workloads/builder.h"
 
@@ -586,6 +588,276 @@ TEST(CorruptTenantSpec, UnknownWorkloadAndMissingWorkloadAreFatal)
     EXPECT_THROW(parseSpecText("scenario cpus=4\n"
                                "tenant a vcpus=1\n"),
                  FatalError);
+}
+
+// ---- Corrupt batch journals --------------------------------------------
+//
+// The resume loader's contract under fuzzer-style damage: either it
+// recovers cleanly (dropping ONLY a torn tail) or it throws a typed
+// FatalError naming the journal — and in no case may it mark a job
+// as committed whose intact record+line pair it cannot verify.
+
+/** A tiny batch of synthetic specs (never executed, just keyed). */
+std::vector<runner::JobSpec>
+journalSpecs(std::size_t n)
+{
+    std::vector<runner::JobSpec> specs;
+    for (std::size_t i = 0; i < n; i++) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(2);
+        cfg.seed = 100 + i;
+        runner::JobSpec s = runner::makeJob("107.mgrid", cfg);
+        s.name = "fuzzjob" + std::to_string(i);
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+/** Write a consistent journal + part pair for the first @p n jobs. */
+void
+writeCommitted(const std::string &out,
+               const std::vector<runner::JobSpec> &specs,
+               std::size_t n)
+{
+    std::ofstream part(out + ".part",
+                       std::ios::binary | std::ios::trunc);
+    runner::JournalWriter w(out + ".journal", true, false);
+    for (std::size_t i = 0; i < n; i++) {
+        std::string line =
+            "{\"job\":" + std::to_string(i) + ",\"fuzz\":true}";
+        part << line << "\n";
+        part.flush();
+        runner::JournalRecord rec;
+        rec.job = i;
+        rec.digest = fnv1a(line);
+        rec.outcome = "ok";
+        rec.key = specs[i].canonicalKey();
+        w.append(rec);
+    }
+}
+
+void
+removeBatchArtifacts(const std::string &out)
+{
+    for (const std::string &p :
+         {out, out + ".part", out + ".journal", out + ".manifest"})
+        std::remove(p.c_str());
+}
+
+/**
+ * loadResumePlan() on the (possibly damaged) pair must either
+ * succeed or throw FatalError; on success, no job beyond what
+ * writeCommitted() really committed may be marked committed, and
+ * every committed job's line must carry the digest it was journaled
+ * with.
+ */
+void
+expectGracefulResume(const std::string &out,
+                     const std::vector<runner::JobSpec> &specs,
+                     std::size_t truly_committed)
+{
+    try {
+        runner::ResumePlan plan =
+            runner::loadResumePlan(out, specs);
+        EXPECT_LE(plan.committedCount, truly_committed);
+        for (const auto &[job, line] : plan.lines) {
+            ASSERT_LT(job, specs.size());
+            EXPECT_TRUE(plan.committed[job]);
+        }
+    } catch (const FatalError &e) {
+        // Typed rejection must name the journal so the operator
+        // knows which file to inspect or delete.
+        EXPECT_NE(std::string(e.what()).find("journal"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(CorruptJournal, ConsistentPairLoadsFully)
+{
+    std::string out = ::testing::TempDir() + "cj_ok.jsonl";
+    auto specs = journalSpecs(4);
+    writeCommitted(out, specs, 3);
+    runner::ResumePlan plan = runner::loadResumePlan(out, specs);
+    EXPECT_EQ(plan.committedCount, 3u);
+    EXPECT_TRUE(plan.committed[0]);
+    EXPECT_TRUE(plan.committed[2]);
+    EXPECT_FALSE(plan.committed[3]);
+    EXPECT_FALSE(plan.repairedTail);
+    removeBatchArtifacts(out);
+}
+
+TEST(CorruptJournal, EveryTruncationRecoversOrIsFatal)
+{
+    std::string out = ::testing::TempDir() + "cj_trunc.jsonl";
+    auto specs = journalSpecs(4);
+    writeCommitted(out, specs, 4);
+    std::ifstream in(out + ".journal", std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    in.close();
+
+    for (std::size_t len = 0; len <= bytes.size(); len++) {
+        // Rebuild the pair: full part file, journal cut at len. The
+        // loader heals by truncating, so each iteration rewrites.
+        writeCommitted(out, specs, 4);
+        std::ofstream cut(out + ".journal",
+                          std::ios::binary | std::ios::trunc);
+        cut.write(bytes.data(), static_cast<std::streamsize>(len));
+        cut.close();
+        expectGracefulResume(out, specs, 4);
+    }
+    removeBatchArtifacts(out);
+}
+
+TEST(CorruptJournal, SingleByteMutationsNeverMisSkip)
+{
+    std::string out = ::testing::TempDir() + "cj_flip.jsonl";
+    auto specs = journalSpecs(3);
+    writeCommitted(out, specs, 3);
+    std::ifstream in(out + ".journal", std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    in.close();
+
+    for (std::size_t pos = 0; pos < bytes.size(); pos += 2) {
+        writeCommitted(out, specs, 3);
+        std::string mutated = bytes;
+        mutated[pos] ^= 0x20; // also hits newlines: merges records
+        std::ofstream mut(out + ".journal",
+                          std::ios::binary | std::ios::trunc);
+        mut.write(mutated.data(),
+                  static_cast<std::streamsize>(mutated.size()));
+        mut.close();
+        expectGracefulResume(out, specs, 3);
+    }
+    removeBatchArtifacts(out);
+}
+
+TEST(CorruptJournal, MidFileCorruptionIsFatalNotSkipped)
+{
+    std::string out = ::testing::TempDir() + "cj_mid.jsonl";
+    auto specs = journalSpecs(4);
+    writeCommitted(out, specs, 4);
+    // Break record 1 of 4 (not the tail): silent recovery here could
+    // mis-skip job 1, so it must be fatal.
+    std::ifstream in(out + ".journal", std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    in.close();
+    std::size_t first = bytes.find('\n') + 1;
+    std::size_t second = bytes.find('\n', first) + 1;
+    bytes[second + 5] ^= 0xff;
+    std::ofstream mut(out + ".journal",
+                      std::ios::binary | std::ios::trunc);
+    mut.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    mut.close();
+    EXPECT_THROW(runner::loadResumePlan(out, specs), FatalError);
+    removeBatchArtifacts(out);
+}
+
+TEST(CorruptJournal, DuplicateRecordIsFatal)
+{
+    std::string out = ::testing::TempDir() + "cj_dup.jsonl";
+    auto specs = journalSpecs(3);
+    {
+        std::ofstream part(out + ".part",
+                           std::ios::binary | std::ios::trunc);
+        runner::JournalWriter w(out + ".journal", true, false);
+        for (int rep = 0; rep < 2; rep++) {
+            std::string line = "{\"job\":0,\"fuzz\":true}";
+            part << line << "\n";
+            runner::JournalRecord rec;
+            rec.job = 0;
+            rec.digest = fnv1a(line);
+            rec.outcome = "ok";
+            rec.key = specs[0].canonicalKey();
+            w.append(rec);
+        }
+    }
+    EXPECT_THROW(runner::loadResumePlan(out, specs), FatalError);
+    removeBatchArtifacts(out);
+}
+
+TEST(CorruptJournal, RecordBeyondSpecListIsFatal)
+{
+    std::string out = ::testing::TempDir() + "cj_range.jsonl";
+    auto specs = journalSpecs(4);
+    writeCommitted(out, specs, 2);
+    // The journal was written for a larger batch than the spec file
+    // now describes.
+    EXPECT_THROW(
+        runner::loadResumePlan(out, journalSpecs(1)), FatalError);
+    removeBatchArtifacts(out);
+}
+
+TEST(CorruptJournal, DriftedSpecKeyIsFatalAndNamesTheJob)
+{
+    std::string out = ::testing::TempDir() + "cj_drift.jsonl";
+    auto specs = journalSpecs(3);
+    writeCommitted(out, specs, 3);
+    specs[1].config.seed ^= 0xdead;
+    try {
+        runner::loadResumePlan(out, specs);
+        FAIL() << "spec drift must be fatal";
+    } catch (const FatalError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("spec drift"), std::string::npos);
+        EXPECT_NE(what.find("job 1"), std::string::npos) << what;
+    }
+    removeBatchArtifacts(out);
+}
+
+TEST(CorruptJournal, WrongHeaderIsFatal)
+{
+    std::string out = ::testing::TempDir() + "cj_hdr.jsonl";
+    auto specs = journalSpecs(2);
+    writeCommitted(out, specs, 2);
+    std::ofstream mut(out + ".journal",
+                      std::ios::binary | std::ios::trunc);
+    mut << "not-a-journal v9\n";
+    mut.close();
+    EXPECT_THROW(runner::loadResumePlan(out, specs), FatalError);
+    removeBatchArtifacts(out);
+}
+
+TEST(CorruptJournal, MissingJournalIsAFreshStart)
+{
+    std::string out = ::testing::TempDir() + "cj_none.jsonl";
+    auto specs = journalSpecs(3);
+    removeBatchArtifacts(out);
+    runner::ResumePlan plan = runner::loadResumePlan(out, specs);
+    EXPECT_EQ(plan.committedCount, 0u);
+    EXPECT_FALSE(plan.repairedTail);
+    for (std::size_t i = 0; i < specs.size(); i++)
+        EXPECT_FALSE(plan.committed[i]);
+}
+
+TEST(CorruptJournal, PartLineDigestMismatchMidFileIsFatal)
+{
+    std::string out = ::testing::TempDir() + "cj_digest.jsonl";
+    auto specs = journalSpecs(4);
+    writeCommitted(out, specs, 4);
+    // Flip a byte in part line 1 (journal intact): the output no
+    // longer matches what was committed.
+    std::ifstream in(out + ".part", std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    in.close();
+    std::size_t second = bytes.find('\n') + 1;
+    bytes[second + 2] ^= 0x01;
+    std::ofstream mut(out + ".part",
+                      std::ios::binary | std::ios::trunc);
+    mut.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    mut.close();
+    EXPECT_THROW(runner::loadResumePlan(out, specs), FatalError);
+    removeBatchArtifacts(out);
 }
 
 } // namespace

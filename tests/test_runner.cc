@@ -8,11 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <clocale>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <thread>
 
+#include "common/digest.h"
 #include "common/faultpoint.h"
+#include "common/signals.h"
 #include "runner/runner.h"
 
 namespace cdpc::runner
@@ -507,6 +514,424 @@ TEST(Progress, QuietSuppressesOutput)
     progress.finish();
     EXPECT_TRUE(out.str().empty());
     EXPECT_EQ(progress.done(), 2u);
+}
+
+// -------------------------------------------------------- jsonNumber
+
+TEST(ResultSink, JsonNumberShortestFormRoundTrips)
+{
+    // Shortest form preferred: values with short exact decimals must
+    // not pick up %.17g noise digits.
+    EXPECT_EQ(jsonNumber(0.1), "0.1");
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(1e300), "1e+300");
+    // And whatever form is chosen must round-trip bit-exactly.
+    for (double v : {1.0 / 3.0, 2.0 / 7.0, 3.14159265358979,
+                     1.0000000000000002, 123456789.123456789}) {
+        std::string s = jsonNumber(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+TEST(ResultSink, JsonNumberIsLocaleIndependent)
+{
+    // Under a comma-decimal locale the old snprintf/sscanf pair
+    // rendered "0,1" or silently failed its round-trip check; the
+    // to_chars path must not care about LC_NUMERIC at all.
+    const char *applied = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+    if (!applied)
+        applied = std::setlocale(LC_NUMERIC, "de_DE.utf8");
+    if (!applied)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    std::string got = jsonNumber(0.1);
+    std::string got_big = jsonNumber(123456789.123456789);
+    std::setlocale(LC_NUMERIC, "C");
+    EXPECT_EQ(got, "0.1");
+    EXPECT_EQ(got_big.find(','), std::string::npos) << got_big;
+}
+
+/** A minimal failed-job result (cheap: no simulation needed). */
+JobResult
+errorResult(std::size_t index)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    JobResult r;
+    r.index = index;
+    r.spec = makeJob("107.mgrid", cfg);
+    r.outcome = JobOutcome::Failed;
+    r.error = "synthetic";
+    r.errorKind = "fatal";
+    return r;
+}
+
+TEST(ResultSink, StreamWriteFailureIsTypedFatal)
+{
+    QuietGuard quiet;
+    std::ostringstream out;
+    JsonlResultSink sink(out);
+    out.setstate(std::ios::badbit);
+    EXPECT_THROW(sink.write(errorResult(0)), FatalError);
+}
+
+// ------------------------------------------------------ canonicalKey
+
+TEST(Job, CanonicalKeyIsStable)
+{
+    std::vector<JobSpec> a = smallSpecs();
+    std::vector<JobSpec> b = smallSpecs();
+    for (std::size_t i = 0; i < a.size(); i++)
+        EXPECT_EQ(a[i].canonicalKey(), b[i].canonicalKey());
+    // displayName prefix + "@" + 16-hex digest.
+    std::string key = a[0].canonicalKey();
+    ASSERT_NE(key.find('@'), std::string::npos);
+    EXPECT_EQ(key.substr(0, key.find('@')), a[0].displayName());
+    EXPECT_EQ(key.size() - key.find('@') - 1, 16u);
+}
+
+TEST(Job, CanonicalKeySeesSemanticDrift)
+{
+    JobSpec base = smallSpecs()[0];
+    auto key = [](JobSpec s) { return s.canonicalKey(); };
+    JobSpec seed = base;
+    seed.config.seed++;
+    EXPECT_NE(key(base), key(seed));
+    JobSpec wl = base;
+    wl.workload = "102.swim";
+    EXPECT_NE(key(base), key(wl));
+    JobSpec policy = base;
+    policy.config.mapping = MappingPolicy::Hash;
+    EXPECT_NE(key(base), key(policy));
+    JobSpec pressure = base;
+    pressure.config.pressure.occupancy = 0.5;
+    EXPECT_NE(key(base), key(pressure));
+    JobSpec cpus = base;
+    cpus.config.machine = MachineConfig::paperScaled(8);
+    EXPECT_NE(key(base), key(cpus));
+}
+
+// ----------------------------------------------------------- journal
+
+TEST(Journal, RecordRoundTrips)
+{
+    std::string path = ::testing::TempDir() + "journal_rt.journal";
+    {
+        JournalWriter w(path, true, false);
+        for (std::uint64_t i = 0; i < 3; i++) {
+            JournalRecord rec;
+            rec.job = i * 7;
+            rec.digest = fnv1a("line " + std::to_string(i));
+            rec.outcome = i == 1 ? "failed" : "ok";
+            rec.key = "name with spaces@0123456789abcdef";
+            w.append(rec);
+        }
+    }
+    JournalLoad load = loadJournal(path);
+    ASSERT_EQ(load.records.size(), 3u);
+    EXPECT_FALSE(load.tornTail);
+    for (std::uint64_t i = 0; i < 3; i++) {
+        EXPECT_EQ(load.records[i].job, i * 7);
+        EXPECT_EQ(load.records[i].digest,
+                  fnv1a("line " + std::to_string(i)));
+        EXPECT_EQ(load.records[i].key,
+                  "name with spaces@0123456789abcdef");
+    }
+    EXPECT_EQ(load.records[1].outcome, "failed");
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsDroppedCleanly)
+{
+    std::string path = ::testing::TempDir() + "journal_torn.journal";
+    {
+        JournalWriter w(path, true, false);
+        JournalRecord rec;
+        rec.job = 0;
+        rec.digest = 1;
+        rec.outcome = "ok";
+        rec.key = "k";
+        w.append(rec);
+    }
+    // A crash mid-append: half a record, no newline.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << "R 999 0123";
+    }
+    JournalLoad load = loadJournal(path);
+    EXPECT_EQ(load.records.size(), 1u);
+    EXPECT_TRUE(load.tornTail);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ durable sink
+
+/** Remove every artifact the durable sink may leave for @p out. */
+void
+cleanArtifacts(const std::string &out)
+{
+    for (const std::string &p :
+         {out, out + ".part", out + ".journal", out + ".manifest",
+          out + ".manifest.part", out + ".tmp"})
+        std::remove(p.c_str());
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+TEST(DurableSink, FinalizeWritesCanonicalOrderAndManifest)
+{
+    QuietGuard quiet;
+    std::string out = ::testing::TempDir() + "durable_clean.jsonl";
+    cleanArtifacts(out);
+    std::vector<JobSpec> specs = smallSpecs();
+
+    DurableJsonlSink::Options dopts;
+    auto sink =
+        std::make_unique<DurableJsonlSink>(out, specs, dopts);
+    BatchOptions options;
+    options.jobs = 4;
+    options.sink = sink.get();
+    std::vector<JobResult> results = runBatch(specs, options);
+    EXPECT_TRUE(fileExists(out + ".part"));
+    EXPECT_TRUE(fileExists(out + ".journal"));
+    EXPECT_FALSE(DurableJsonlSink::manifestComplete(out));
+    sink->finalize();
+
+    // Final artifact: submission order, bytes equal to the in-order
+    // result vector's serialization; manifest present, scratch gone.
+    std::string expect;
+    for (const JobResult &r : results)
+        expect += resultToJson(r) + "\n";
+    EXPECT_EQ(fileBytes(out), expect);
+    EXPECT_TRUE(DurableJsonlSink::manifestComplete(out));
+    EXPECT_FALSE(fileExists(out + ".part"));
+    EXPECT_FALSE(fileExists(out + ".journal"));
+    std::string manifest = fileBytes(out + ".manifest");
+    EXPECT_NE(manifest.find("cdpc-batch-manifest v1"),
+              std::string::npos);
+    EXPECT_NE(manifest.find("jobs=" +
+                            std::to_string(results.size())),
+              std::string::npos);
+    cleanArtifacts(out);
+}
+
+/** Forwarding sink that cancels @p token after N writes. */
+class CancelAfterSink : public ResultSink
+{
+  public:
+    CancelAfterSink(ResultSink &next, CancelToken &token,
+                    std::size_t after)
+        : next_(next), token_(token), after_(after)
+    {}
+
+    void write(const JobResult &r) override
+    {
+        next_.write(r);
+        if (++written_ >= after_)
+            token_.cancel();
+    }
+
+  private:
+    ResultSink &next_;
+    CancelToken &token_;
+    std::size_t after_;
+    std::atomic<std::size_t> written_{0};
+};
+
+TEST(DurableSink, InterruptedThenResumedIsByteIdentical)
+{
+    QuietGuard quiet;
+    std::vector<JobSpec> specs = smallSpecs();
+    std::string clean = ::testing::TempDir() + "durable_ref.jsonl";
+    std::string out = ::testing::TempDir() + "durable_resume.jsonl";
+    cleanArtifacts(clean);
+    cleanArtifacts(out);
+
+    // Uninterrupted golden run.
+    DurableJsonlSink::Options dopts;
+    {
+        DurableJsonlSink sink(clean, specs, dopts);
+        BatchOptions options;
+        options.jobs = 2;
+        options.sink = &sink;
+        runBatch(specs, options);
+        sink.finalize();
+    }
+    std::string golden = fileBytes(clean);
+    ASSERT_FALSE(golden.empty());
+
+    // Interrupted run: drain via the cancel token after 3 commits,
+    // then tear the tails the way a SIGKILL would.
+    {
+        auto sink =
+            std::make_unique<DurableJsonlSink>(out, specs, dopts);
+        CancelToken token;
+        CancelAfterSink canceller(*sink, token, 3);
+        BatchControl control;
+        control.cancel = &token;
+        BatchOptions options;
+        options.jobs = 2;
+        options.sink = &canceller;
+        options.control = &control;
+        std::vector<JobResult> results = runBatch(specs, options);
+        std::size_t cancelled = 0;
+        for (const JobResult &r : results)
+            if (r.outcome == JobOutcome::Cancelled)
+                cancelled++;
+        EXPECT_GT(cancelled, 0u);
+        EXPECT_GE(sink->lines(), 3u);
+        // No finalize: the drain leaves part + journal behind.
+    }
+    {
+        std::ofstream part(out + ".part",
+                           std::ios::binary | std::ios::app);
+        part << "{\"job\":torn";
+        std::ofstream journal(out + ".journal",
+                              std::ios::binary | std::ios::app);
+        journal << "R 57 0123456789";
+    }
+
+    // Resume: committed jobs skipped, the rest re-run, merged output
+    // byte-identical to the uninterrupted run.
+    {
+        DurableJsonlSink::Options ropts;
+        ropts.resume = true;
+        auto sink =
+            std::make_unique<DurableJsonlSink>(out, specs, ropts);
+        EXPECT_GE(sink->resumedCount(), 3u);
+        EXPECT_LT(sink->resumedCount(), specs.size());
+        EXPECT_TRUE(sink->repairedTail());
+        BatchControl control;
+        control.skip = sink->committed();
+        BatchOptions options;
+        options.jobs = 2;
+        options.sink = sink.get();
+        options.control = &control;
+        std::vector<JobResult> results = runBatch(specs, options);
+        std::size_t skipped = 0;
+        for (const JobResult &r : results)
+            if (r.outcome == JobOutcome::Skipped)
+                skipped++;
+        EXPECT_EQ(skipped, sink->resumedCount());
+        sink->finalize();
+    }
+    EXPECT_EQ(fileBytes(out), golden);
+    EXPECT_TRUE(DurableJsonlSink::manifestComplete(out));
+    cleanArtifacts(clean);
+    cleanArtifacts(out);
+}
+
+TEST(DurableSink, ResumeAgainstDriftedSpecIsTypedFatal)
+{
+    QuietGuard quiet;
+    std::string out = ::testing::TempDir() + "durable_drift.jsonl";
+    cleanArtifacts(out);
+    std::vector<JobSpec> specs = smallSpecs();
+
+    DurableJsonlSink::Options dopts;
+    {
+        DurableJsonlSink sink(out, specs, dopts);
+        BatchOptions options;
+        options.jobs = 2;
+        options.sink = &sink;
+        runBatch(specs, options);
+        // No finalize: keep the journal for the resume attempt.
+    }
+    // The spec file changed out from under the journal.
+    specs[0].config.seed += 1000;
+    DurableJsonlSink::Options ropts;
+    ropts.resume = true;
+    try {
+        DurableJsonlSink sink(out, specs, ropts);
+        FAIL() << "spec drift must be fatal";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("spec drift"),
+                  std::string::npos);
+    }
+    cleanArtifacts(out);
+}
+
+// -------------------------------------------------- cancel and drain
+
+TEST(Batch, PreCancelledTokenRunsNothing)
+{
+    QuietGuard quiet;
+    std::vector<JobSpec> specs = smallSpecs();
+    CancelToken token;
+    token.cancel();
+    BatchControl control;
+    control.cancel = &token;
+    std::ostringstream json;
+    JsonlResultSink sink(json);
+    BatchOptions options;
+    options.jobs = 2;
+    options.sink = &sink;
+    options.control = &control;
+    std::vector<JobResult> results = runBatch(specs, options);
+    ASSERT_EQ(results.size(), specs.size());
+    for (const JobResult &r : results) {
+        EXPECT_EQ(r.outcome, JobOutcome::Cancelled);
+        EXPECT_FALSE(r.quarantined());
+        EXPECT_EQ(r.attempts, 0u);
+    }
+    // Cancelled jobs never reach the sink: nothing committed.
+    EXPECT_EQ(sink.lines(), 0u);
+}
+
+TEST(Batch, SkipMaskReportsSkippedWithoutRunning)
+{
+    QuietGuard quiet;
+    std::vector<JobSpec> specs = smallSpecs();
+    BatchControl control;
+    control.skip.assign(specs.size(), false);
+    control.skip[0] = control.skip[5] = true;
+    std::ostringstream json;
+    JsonlResultSink sink(json);
+    BatchOptions options;
+    options.jobs = 2;
+    options.sink = &sink;
+    options.control = &control;
+    std::vector<JobResult> results = runBatch(specs, options);
+    EXPECT_EQ(results[0].outcome, JobOutcome::Skipped);
+    EXPECT_EQ(results[5].outcome, JobOutcome::Skipped);
+    EXPECT_FALSE(results[0].quarantined());
+    std::size_t ran = 0;
+    for (const JobResult &r : results)
+        if (r.outcome == JobOutcome::Ok)
+            ran++;
+    EXPECT_EQ(ran, specs.size() - 2);
+    EXPECT_EQ(sink.lines(), specs.size() - 2);
+}
+
+TEST(Signals, DrainTokenLifecycle)
+{
+    signals::installDrainHandlers();
+    EXPECT_FALSE(signals::drainToken().cancelled());
+    EXPECT_EQ(signals::drainSignal(), 0);
+    EXPECT_STREQ(signals::drainSignalName(), "none");
+    // raise() delivers synchronously: the handler must cancel the
+    // token, record the signal, and re-arm the default disposition
+    // (so this raise must NOT re-enter the handler path next time —
+    // which is exactly why we reset below before any second raise).
+    std::raise(SIGTERM);
+    EXPECT_TRUE(signals::drainToken().cancelled());
+    EXPECT_EQ(signals::drainSignal(), SIGTERM);
+    EXPECT_STREQ(signals::drainSignalName(), "SIGTERM");
+    signals::resetDrainHandlers();
+    EXPECT_FALSE(signals::drainToken().cancelled());
 }
 
 } // namespace

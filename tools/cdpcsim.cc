@@ -26,7 +26,13 @@
  *   cdpcsim batch <spec-file> [options]
  *       Run a file of job specs (one per line: workload key=value
  *       ...) through the work-stealing batch engine; JSON-lines
- *       results to --out FILE or stdout.
+ *       results to --out FILE or stdout. With --journal every
+ *       committed job is recorded in a sidecar journal
+ *       (<out>.journal) so a killed batch can be continued with
+ *       --resume, skipping committed jobs and producing a merged
+ *       output byte-identical to an uninterrupted run; the first
+ *       SIGINT/SIGTERM drains gracefully (in-flight jobs finish,
+ *       exit code 4 = interrupted, resumable).
  *   cdpcsim verify <figure|workload> [options]
  *       Run with the reference memory system in lockstep and report
  *       the verification counters; any divergence aborts with a
@@ -64,6 +70,13 @@
  *                           "physmem.alloc=fail*2@10,job.run#x=panic"
  *   --timeout SEC           per-job watchdog for batch (0 = off)
  *   --retries N             transient-error retries per batch job
+ *   --journal               batch: keep a durable job journal next
+ *                           to --out for crash-safe resumption
+ *   --resume                batch: skip jobs already committed in
+ *                           the journal (implies --journal)
+ *   --fsync                 batch: fsync the journal and part file
+ *                           after every commit (survives OS crashes,
+ *                           not just process kills)
  *   --trace FILE            write a Chrome trace_event JSON trace
  *                           (load in Perfetto or chrome://tracing)
  *   --metrics FILE          collect the metrics registry and write
@@ -78,7 +91,9 @@
  *                           every N references (0 = off)
  *
  * Exit codes: 0 success, 1 partial failure (quarantined batch
- * jobs), 2 usage or fatal (user) error, 3 internal panic.
+ * jobs), 2 usage or fatal (user) error, 3 internal panic,
+ * 4 interrupted by SIGINT/SIGTERM after a graceful drain — with
+ * --journal the batch is resumable via --resume.
  */
 
 #include <algorithm>
@@ -91,6 +106,7 @@
 #include <vector>
 
 #include "common/faultpoint.h"
+#include "common/signals.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "compiler/summaries_io.h"
@@ -142,6 +158,12 @@ struct CliOptions
     double timeoutSec = 0.0;
     /** Transient-error retries per batch job. */
     std::uint32_t retries = 0;
+    /** Keep a durable job journal next to --out (crash-safe). */
+    bool journal = false;
+    /** Resume from the journal's committed prefix. */
+    bool resume = false;
+    /** fsync the journal/part file after every commit. */
+    bool fsyncEach = false;
     /** Chrome trace_event JSON output path; empty disables tracing. */
     std::string traceFile;
     /** Metrics-registry JSON output path; empty leaves metrics off. */
@@ -191,8 +213,12 @@ usage(const char *msg = nullptr)
         "low-half|uniform|fragmented\n"
         "         --fallback any|nearest|steal --fault-plan SPEC\n"
         "         --timeout SEC --retries N\n"
+        "         --journal --resume --fsync (crash-safe batches)\n"
         "         --trace FILE --metrics FILE --stats-interval N\n"
-        "         --verify-every N --audit-every N\n";
+        "         --verify-every N --audit-every N\n"
+        "exit codes: 0 success, 1 quarantined jobs, 2 usage/fatal,\n"
+        "            3 internal panic, 4 interrupted (resumable "
+        "with --resume)\n";
     std::exit(msg ? 2 : 0);
 }
 
@@ -275,6 +301,12 @@ parseArgs(int argc, char **argv)
         else if (a == "--retries")
             o.retries = static_cast<std::uint32_t>(
                 std::atoi(need_value("--retries").c_str()));
+        else if (a == "--journal")
+            o.journal = true;
+        else if (a == "--resume")
+            o.resume = o.journal = true;
+        else if (a == "--fsync")
+            o.fsyncEach = true;
         else if (a == "--trace")
             o.traceFile = need_value("--trace");
         else if (a == "--metrics")
@@ -750,12 +782,41 @@ cmdBatch(const CliOptions &o)
 
     // JSONL goes to --out FILE (summary table to stdout), or to
     // stdout itself (summary suppressed) for piping into jq & co.
-    std::unique_ptr<runner::JsonlResultSink> sink;
     bool to_stdout = o.out.empty();
-    if (to_stdout)
+    fatalIf(o.journal && to_stdout,
+            "--journal/--resume need --out FILE (the journal lives "
+            "next to the output file)");
+
+    if (o.resume &&
+        runner::DurableJsonlSink::manifestComplete(o.out)) {
+        std::cout << "batch already complete (manifest present); "
+                  << "results in " << o.out << "\n";
+        return 0;
+    }
+
+    std::unique_ptr<runner::ResultSink> sink;
+    runner::DurableJsonlSink *durable = nullptr;
+    if (o.journal) {
+        runner::DurableJsonlSink::Options dopts;
+        dopts.resume = o.resume;
+        dopts.fsyncEach = o.fsyncEach;
+        auto d = std::make_unique<runner::DurableJsonlSink>(
+            o.out, specs, dopts);
+        durable = d.get();
+        sink = std::move(d);
+    } else if (to_stdout) {
         sink = std::make_unique<runner::JsonlResultSink>(std::cout);
-    else
+    } else {
         sink = std::make_unique<runner::JsonlResultSink>(o.out);
+    }
+    if (durable && durable->resumedCount() > 0 && !to_stdout) {
+        std::cout << "resuming: " << durable->resumedCount() << " of "
+                  << specs.size() << " jobs already committed"
+                  << (durable->repairedTail()
+                          ? " (healed a torn journal tail)"
+                          : "")
+                  << "\n";
+    }
 
     runner::ThreadPool pool(o.jobs);
     runner::Batch batch(pool);
@@ -765,15 +826,37 @@ cmdBatch(const CliOptions &o)
     runner::RunPolicy policy;
     policy.timeoutSeconds = o.timeoutSec;
     policy.maxRetries = o.retries;
+
+    // First SIGINT/SIGTERM drains: queued jobs cancel, in-flight
+    // jobs finish and commit, then exit 4 (resumable). A second
+    // signal falls through to the default disposition and kills.
+    signals::installDrainHandlers();
+    runner::BatchControl control;
+    control.cancel = &signals::drainToken();
+    if (durable)
+        control.skip = durable->committed();
+
     std::vector<runner::JobResult> results =
-        batch.run(&progress, sink.get(), policy);
+        batch.run(&progress, sink.get(), policy, &control);
     progress.finish();
     runner::joinAbandonedJobThreads();
+    const bool drained = signals::drainToken().cancelled();
+    const std::string drain_signal = signals::drainSignalName();
+    signals::resetDrainHandlers();
 
-    std::size_t quarantined = 0;
-    for (const runner::JobResult &r : results)
+    std::size_t quarantined = 0, cancelled = 0;
+    for (const runner::JobResult &r : results) {
         if (r.quarantined())
             quarantined++;
+        if (r.outcome == runner::JobOutcome::Cancelled)
+            cancelled++;
+    }
+
+    // Only a run that committed every job publishes the final
+    // output + manifest; a drained run leaves the part/journal
+    // pair behind for --resume.
+    if (durable && !drained)
+        durable->finalize();
 
     if (!to_stdout) {
         TextTable t({"job", "name", "cpus", "combined (M)", "MCPI",
@@ -794,6 +877,13 @@ cmdBatch(const CliOptions &o)
         std::cout << results.size() << " jobs on " << pool.workerCount()
                   << " workers, " << quarantined
                   << " quarantined; results in " << o.out << "\n";
+    }
+    if (drained) {
+        std::cerr << "cdpcsim: batch interrupted (" << drain_signal
+                  << "): " << cancelled << " jobs not run"
+                  << (durable ? "; continue with --resume" : "")
+                  << "\n";
+        return 4;
     }
     return quarantined == 0 ? 0 : 1;
 }

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * chaos_batch — crash-recovery harness for `cdpcsim batch --journal`
+ * (DESIGN.md §13).
+ *
+ *   chaos_batch <cdpcsim> <spec-file> <workdir> [options]
+ *
+ * The harness first runs one clean journaled batch to produce the
+ * golden output, then repeatedly launches `cdpcsim batch --journal
+ * --resume`, kills the child at a deterministic, seeded progress
+ * point (after the journal reaches a chosen number of newly
+ * committed jobs), and resumes — alternating SIGKILL (no chance to
+ * clean up; exercises torn-tail healing) with SIGTERM (graceful
+ * drain; exercises the cancel path and exit code 4). After the
+ * configured kills it lets the batch run to completion and asserts
+ * that the merged output is byte-identical to the clean run and that
+ * the completion manifest was published.
+ *
+ * Options:
+ *   --kills N    chaos rounds before convergence (default 5)
+ *   --seed S     seed for the kill-point sequence (default 1)
+ *   --jobs N     worker threads per child (default 2)
+ *   --keep       keep the workdir files on success
+ *
+ * Exit codes: 0 converged byte-identical, 1 divergence or a child
+ * misbehaving, 2 usage error.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "common/digest.h"
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "chaos_batch: %s\n\n", msg);
+    std::fprintf(stderr,
+                 "usage: chaos_batch <cdpcsim> <spec-file> <workdir>"
+                 " [--kills N] [--seed S] [--jobs N] [--keep]\n");
+    std::exit(2);
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "chaos_batch: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Complete (newline-terminated) lines in @p path. */
+std::size_t
+completeLines(const std::string &path)
+{
+    std::string text = readFile(path);
+    std::size_t n = 0;
+    for (char c : text)
+        if (c == '\n')
+            n++;
+    return n;
+}
+
+/** Journal records committed so far (complete lines minus header). */
+std::size_t
+journalRecords(const std::string &journal)
+{
+    std::size_t lines = completeLines(journal);
+    return lines > 0 ? lines - 1 : 0;
+}
+
+void
+sleepMs(long ms)
+{
+    struct timespec ts;
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = (ms % 1000) * 1000000L;
+    nanosleep(&ts, nullptr);
+}
+
+struct Child
+{
+    pid_t pid = -1;
+};
+
+Child
+spawnBatch(const std::string &cdpcsim, const std::string &spec,
+           const std::string &out, const std::string &jobs)
+{
+    Child c;
+    c.pid = fork();
+    if (c.pid < 0)
+        die(std::string("fork failed: ") + std::strerror(errno));
+    if (c.pid == 0) {
+        std::vector<std::string> args = {
+            cdpcsim, "batch", spec,    "--out",    out,
+            "--jobs", jobs,   "--journal", "--resume",
+        };
+        std::vector<char *> argv;
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        execv(cdpcsim.c_str(), argv.data());
+        std::fprintf(stderr, "chaos_batch: execv %s: %s\n",
+                     cdpcsim.c_str(), std::strerror(errno));
+        _exit(127);
+    }
+    return c;
+}
+
+/** waitpid and render how the child ended. */
+std::string
+reap(pid_t pid, int &exit_code, int &term_signal)
+{
+    int status = 0;
+    exit_code = -1;
+    term_signal = 0;
+    if (waitpid(pid, &status, 0) < 0)
+        die(std::string("waitpid failed: ") + std::strerror(errno));
+    if (WIFEXITED(status)) {
+        exit_code = WEXITSTATUS(status);
+        return "exit " + std::to_string(exit_code);
+    }
+    if (WIFSIGNALED(status)) {
+        term_signal = WTERMSIG(status);
+        return std::string("killed by ") +
+               (term_signal == SIGKILL ? "SIGKILL"
+                : term_signal == SIGTERM ? "SIGTERM"
+                                         : "signal") +
+               " (" + std::to_string(term_signal) + ")";
+    }
+    return "unknown status";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 4)
+        usage();
+    const std::string cdpcsim = argv[1];
+    const std::string spec = argv[2];
+    const std::string workdir = argv[3];
+    int kills = 5;
+    std::uint64_t seed = 1;
+    std::string jobs = "2";
+    bool keep = false;
+    for (int i = 4; i < argc; i++) {
+        std::string a = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage((a + " needs a value").c_str());
+            return argv[++i];
+        };
+        if (a == "--kills")
+            kills = std::atoi(value().c_str());
+        else if (a == "--seed")
+            seed = static_cast<std::uint64_t>(
+                std::strtoull(value().c_str(), nullptr, 10));
+        else if (a == "--jobs")
+            jobs = value();
+        else if (a == "--keep")
+            keep = true;
+        else
+            usage(("unknown option " + a).c_str());
+    }
+
+    const std::string ref = workdir + "/chaos_ref.jsonl";
+    const std::string out = workdir + "/chaos_out.jsonl";
+    const std::string journal = out + ".journal";
+    const std::string manifest = out + ".manifest";
+    // Stale state from a previous (possibly aborted) harness run
+    // must not leak into this one.
+    for (const std::string &p :
+         {ref, ref + ".journal", ref + ".part", ref + ".manifest",
+          out, journal, out + ".part", manifest})
+        std::remove(p.c_str());
+
+    // Clean golden run (also exercises the journaled uninterrupted
+    // path: journal created, then removed by finalize).
+    {
+        Child c = spawnBatch(cdpcsim, spec, ref, jobs);
+        int code = -1, sig = 0;
+        std::string how = reap(c.pid, code, sig);
+        if (code != 0)
+            die("clean reference run failed (" + how + ")");
+    }
+    const std::string golden = readFile(ref);
+    if (golden.empty())
+        die("clean reference run produced no output");
+    const std::size_t num_jobs = completeLines(ref);
+    std::printf("chaos_batch: golden run: %zu jobs, digest %s\n",
+                num_jobs, cdpc::digestHex(cdpc::fnv1a(golden)).c_str());
+
+    // Chaos rounds: kill at seeded progress points, resume.
+    std::uint64_t rng = seed;
+    int performed = 0;
+    for (int round = 0; round < kills; round++) {
+        const std::size_t before = journalRecords(journal);
+        if (before >= num_jobs)
+            break; // already fully committed; nothing left to kill
+        // Kill after 1..3 *new* commits so several rounds fit into
+        // one batch even when kills outnumber jobs.
+        const std::size_t span = 1 + splitmix64(rng) % 3;
+        const std::size_t target = before + span;
+        const int sig = (round % 2 == 0) ? SIGKILL : SIGTERM;
+
+        Child c = spawnBatch(cdpcsim, spec, out, jobs);
+        bool sent = false;
+        for (int waited = 0; waited < 120000; waited += 5) {
+            if (journalRecords(journal) >= target) {
+                kill(c.pid, sig);
+                sent = true;
+                break;
+            }
+            // Child finished early (all jobs committed)?
+            int status = 0;
+            pid_t r = waitpid(c.pid, &status, WNOHANG);
+            if (r == c.pid) {
+                if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+                    die("child ended unexpectedly mid-round");
+                c.pid = -1;
+                break;
+            }
+            sleepMs(5);
+        }
+        if (c.pid < 0) {
+            std::printf("chaos_batch: round %d: batch completed "
+                        "before the kill point\n", round);
+            break;
+        }
+        if (!sent)
+            kill(c.pid, SIGKILL); // watchdog: never hang the harness
+        int code = -1, term = 0;
+        std::string how = reap(c.pid, code, term);
+        // SIGTERM may land after the last job: the drain then turns
+        // into a normal completion (exit 0). SIGKILL always shows as
+        // a signal death; SIGTERM as exit 4 (drain), exit 0, or a
+        // signal death when it hit before the handler was installed.
+        if (sig == SIGTERM && code != 4 && code != 0 && term == 0)
+            die("SIGTERM round ended oddly (" + how + ")");
+        performed++;
+        std::printf("chaos_batch: round %d: killed with %s at >=%zu "
+                    "commits -> %s (journal now %zu/%zu)\n",
+                    round, sig == SIGKILL ? "SIGKILL" : "SIGTERM",
+                    target, how.c_str(), journalRecords(journal),
+                    num_jobs);
+    }
+
+    // Convergence: resume until the batch completes.
+    int final_code = -1;
+    for (int attempt = 0; attempt < kills + 2; attempt++) {
+        Child c = spawnBatch(cdpcsim, spec, out, jobs);
+        int code = -1, sig = 0;
+        std::string how = reap(c.pid, code, sig);
+        if (code == 0) {
+            final_code = 0;
+            break;
+        }
+        die("convergence run failed (" + how + ")");
+    }
+    if (final_code != 0)
+        die("batch never converged");
+
+    const std::string merged = readFile(out);
+    std::printf("chaos_batch: %d kills, merged digest %s\n",
+                performed,
+                cdpc::digestHex(cdpc::fnv1a(merged)).c_str());
+    if (merged != golden)
+        die("merged output differs from the clean run");
+    if (readFile(manifest).empty())
+        die("completion manifest missing after convergence");
+    std::printf("chaos_batch: PASS — merged output byte-identical "
+                "to the clean run\n");
+    if (!keep) {
+        for (const std::string &p :
+             {ref, ref + ".manifest", out, manifest})
+            std::remove(p.c_str());
+    }
+    return 0;
+}
