@@ -204,18 +204,36 @@ BM_CdpcPlan(benchmark::State &state)
 BENCHMARK(BM_CdpcPlan);
 
 void
-BM_FullExperiment(benchmark::State &state)
+BM_FullExperiment(benchmark::State &state, std::uint32_t ncpus,
+                  std::uint32_t sim_threads)
 {
-    auto ncpus = static_cast<std::uint32_t>(state.range(0));
     for (auto _ : state) {
         ExperimentConfig cfg;
         cfg.machine = MachineConfig::paperScaled(ncpus);
         cfg.mapping = MappingPolicy::Cdpc;
+        cfg.sim.simThreads = sim_threads;
         ExperimentResult r = runWorkload("104.hydro2d", cfg);
         benchmark::DoNotOptimize(r.totals.wall);
     }
 }
-BENCHMARK(BM_FullExperiment)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullExperiment, 1, 1u, 1u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullExperiment, 8, 8u, 1u)
+    ->Unit(benchmark::kMillisecond);
+// The epoch-parallel scaling ladder (DESIGN.md §14): the same
+// 8-CPU experiment sharded over 1/2/4/8 host threads. Outputs are
+// bit-identical; only the host time may change. The t1 variant
+// measures the engine's bookkeeping overhead against the plain
+// serial interleave above; simdParallelEfficiency in the baseline
+// JSON is derived from t1 vs t8.
+BENCHMARK_CAPTURE(BM_FullExperiment, 8_t1, 8u, 1u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullExperiment, 8_t2, 8u, 2u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullExperiment, 8_t4, 8u, 4u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullExperiment, 8_t8, 8u, 8u)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * ConsoleReporter that additionally records each benchmark's
@@ -306,6 +324,20 @@ writeBatchBaseline(const char *path,
         sim_seconds, refs, wall > 0 ? refs / wall : 0.0,
         wall > 0 ? sim_seconds / wall : 0.0);
     out << buf;
+    // Epoch-engine intra-experiment scaling: serial-equivalent time
+    // over the widest sharded variant, normalized by the thread
+    // count the host can actually run. 1.0 = perfect scaling.
+    auto t1 = ns_per_iter.find("BM_FullExperiment_8_t1");
+    auto t8 = ns_per_iter.find("BM_FullExperiment_8_t8");
+    if (t1 != ns_per_iter.end() && t8 != ns_per_iter.end() &&
+        t8->second > 0) {
+        double threads = static_cast<double>(std::min(
+            8u, std::max(1u, std::thread::hardware_concurrency())));
+        std::snprintf(buf, sizeof(buf),
+                      ",\"simdParallelEfficiency\":%.3f",
+                      (t1->second / t8->second) / threads);
+        out << buf;
+    }
     for (const auto &[name, ns] : ns_per_iter) {
         std::snprintf(buf, sizeof(buf), ",\"%s_ns\":%.2f", name.c_str(),
                       ns);

@@ -1,7 +1,12 @@
 #include "machine/simulator.h"
 
 #include <algorithm>
+#include <bit>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
 #include <queue>
+#include <thread>
 
 #include "common/intmath.h"
 #include "common/logging.h"
@@ -10,6 +15,96 @@
 namespace cdpc
 {
 
+/**
+ * Persistent worker gang for the epoch engine: T-1 parked threads
+ * plus the calling thread as worker 0. Each parallel phase is one
+ * run() — the generation counter releases the workers, the done
+ * counter collects them, and the mutex hand-offs give every phase a
+ * happens-before edge around the workers' per-CPU state writes (the
+ * single-threaded boundary code may then read them freely).
+ */
+class EpochGang
+{
+  public:
+    explicit EpochGang(std::uint32_t nthreads) : size_(nthreads)
+    {
+        threads_.reserve(nthreads > 0 ? nthreads - 1 : 0);
+        for (std::uint32_t w = 1; w < nthreads; w++)
+            threads_.emplace_back([this, w] { workerLoop(w); });
+    }
+
+    ~EpochGang()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    std::uint32_t size() const { return size_; }
+
+    /** Run fn(worker) on every worker; the caller runs worker 0. */
+    void
+    run(const std::function<void(std::uint32_t)> &fn)
+    {
+        if (size_ <= 1) {
+            fn(0);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            job_ = &fn;
+            pending_ = size_ - 1;
+            gen_++;
+        }
+        cv_.notify_all();
+        fn(0);
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            doneCv_.wait(lock, [this] { return pending_ == 0; });
+            job_ = nullptr;
+        }
+    }
+
+  private:
+    void
+    workerLoop(std::uint32_t w)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(std::uint32_t)> *job = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(m_);
+                cv_.wait(lock,
+                         [&] { return stop_ || gen_ != seen; });
+                if (stop_)
+                    return;
+                seen = gen_;
+                job = job_;
+            }
+            (*job)(w);
+            {
+                std::lock_guard<std::mutex> lock(m_);
+                if (--pending_ == 0)
+                    doneCv_.notify_one();
+            }
+        }
+    }
+
+    std::uint32_t size_;
+    std::vector<std::thread> threads_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::condition_variable doneCv_;
+    const std::function<void(std::uint32_t)> *job_ = nullptr;
+    std::uint64_t gen_ = 0;
+    std::uint32_t pending_ = 0;
+    bool stop_ = false;
+};
+
 MpSimulator::MpSimulator(const MachineConfig &config, MemorySystem &mem)
     : cfg(config), mem(mem), ncpus(config.numCpus),
       clock(config.numCpus, 0), exec(config.numCpus),
@@ -17,6 +112,28 @@ MpSimulator::MpSimulator(const MachineConfig &config, MemorySystem &mem)
 {
     fatalIf(mem.numCpus() != ncpus,
             "memory system CPU count disagrees with machine config");
+}
+
+MpSimulator::~MpSimulator() = default;
+
+std::uint32_t
+MpSimulator::effectiveSimThreads(std::uint32_t requested,
+                                 std::uint32_t ncpus)
+{
+    std::uint32_t t = requested;
+    if (t == 0) {
+        t = std::thread::hardware_concurrency();
+        if (t == 0)
+            t = 1;
+    }
+    return std::clamp<std::uint32_t>(t, 1, ncpus);
+}
+
+void
+MpSimulator::ensureGang(std::uint32_t nthreads)
+{
+    if (!gang_ || gang_->size() != nthreads)
+        gang_ = std::make_unique<EpochGang>(nthreads);
 }
 
 void
@@ -146,6 +263,20 @@ MpSimulator::runParallelNest(const Program &program, const LoopNest &nest,
                              const SimOptions &opts,
                              const std::string &phase_name)
 {
+    std::uint32_t nthreads =
+        effectiveSimThreads(opts.simThreads, ncpus);
+    if (nthreads > 1) {
+        if (epochEligible(program, opts)) {
+            runParallelNestEpoch(program, nest, opts, phase_name,
+                                 nthreads);
+            return;
+        }
+        // A hook that needs the global reference order is active:
+        // run this nest on the classic serial interleave (identical
+        // output by construction, just no sharding).
+        epochStats_.serialNests++;
+    }
+
     NestTimelineEntry entry;
     if (opts.timeline) {
         entry.phase = phase_name;
@@ -192,6 +323,413 @@ MpSimulator::runParallelNest(const Program &program, const LoopNest &nest,
 
     // Barrier: the spread of arrival times is load imbalance; the
     // barrier episode itself is synchronization cost.
+    Cycles latest = *std::max_element(arrival.begin(), arrival.end());
+    for (CpuId c = 0; c < ncpus; c++) {
+        exec[c].imbalance += latest - arrival[c];
+        clock[c] = latest + cfg.barrierCycles;
+        exec[c].sync += cfg.barrierCycles;
+    }
+    barriers++;
+
+    if (opts.timeline) {
+        entry.cpuEnd = arrival;
+        entry.end = clock[0];
+        opts.timeline->push_back(std::move(entry));
+    }
+}
+
+bool
+MpSimulator::epochEligible(const Program &program,
+                           const SimOptions &opts) const
+{
+    // Every exclusion here names a hook whose semantics depend on
+    // the global (clock, cpu) reference order, which only the serial
+    // interleave materializes ref-by-ref:
+    //  - batchLines > 1 changes the serial interleave itself;
+    //  - record writes demand references in global order;
+    //  - statsInterval counts references globally between snapshots;
+    //  - ifetch modeling streams every CPU through the shared text
+    //    pages (never private, and the debt accounting is ordered);
+    //  - an active Chrome trace stamps sim time per global event;
+    //  - mem.parallelSafe() covers the lockstep observer, dynamic
+    //    recoloring, cadence audits, and the page-stealing fallback.
+    return ncpus > 1 && opts.batchLines <= 1 && !opts.record &&
+           opts.statsInterval == 0 && !program.modelIfetch &&
+           !obs::traceActive() && mem.parallelSafe();
+}
+
+const MpSimulator::NestFootprint &
+MpSimulator::footprintFor(const Program &program, const LoopNest &nest)
+{
+    NestFootprint &fp = footprints_[&nest];
+    if (fp.nest == &nest && fp.program == &program)
+        return fp;
+
+    fp.nest = &nest;
+    fp.program = &program;
+    fp.priv.assign(ncpus, {});
+
+    // Over-approximate each CPU's touchable pages from its Run
+    // records: the linear span (or wrap window) of every run,
+    // widened by one line for coalescing slack and by the prefetch
+    // distance for software-pipelined prefetch targets. Soundness
+    // needs supersets — a page outside every other CPU's cover that
+    // is inside mine is provably mine alone; widening can only
+    // demote pages from private to shared (slower, never wrong).
+    const std::uint64_t page_bytes = cfg.pageBytes;
+    const std::int64_t line_slack = cfg.l2.lineBytes;
+    std::vector<std::vector<PageInterval>> cover(ncpus);
+    for (CpuId c = 0; c < ncpus; c++) {
+        RunGenerator gen(program, nest, c, ncpus);
+        Run run;
+        while (gen.next(run)) {
+            if (run.ref == nullptr || run.count == 0)
+                continue; // compute-only: touches no memory
+            std::int64_t lo, hi;
+            if (run.wrapModBytes != 0) {
+                std::int64_t mod = run.wrapModBytes < 0
+                                       ? -run.wrapModBytes
+                                       : run.wrapModBytes;
+                lo = static_cast<std::int64_t>(run.wrapBase);
+                hi = lo + mod;
+            } else {
+                auto first = static_cast<std::int64_t>(run.start);
+                std::int64_t last =
+                    first + run.strideBytes *
+                                static_cast<std::int64_t>(run.count - 1);
+                lo = std::min(first, last);
+                hi = std::max(first, last);
+            }
+            std::int64_t slack = line_slack;
+            if (run.ref->prefetchDistLines)
+                slack += static_cast<std::int64_t>(
+                             run.ref->prefetchDistLines) *
+                         cfg.l2.lineBytes;
+            lo -= slack;
+            hi += slack;
+            if (lo < 0)
+                lo = 0;
+            PageInterval pi;
+            pi.lo = static_cast<PageNum>(lo) / page_bytes;
+            pi.hi = static_cast<PageNum>(hi) / page_bytes + 1;
+            cover[c].push_back(pi);
+        }
+        // Merge into sorted disjoint intervals.
+        std::vector<PageInterval> &v = cover[c];
+        std::sort(v.begin(), v.end(),
+                  [](const PageInterval &a, const PageInterval &b) {
+                      return a.lo < b.lo;
+                  });
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < v.size(); i++) {
+            if (out > 0 && v[i].lo <= v[out - 1].hi)
+                v[out - 1].hi = std::max(v[out - 1].hi, v[i].hi);
+            else
+                v[out++] = v[i];
+        }
+        v.resize(out);
+    }
+
+    // Sweep all CPUs' covers together; segments covered by exactly
+    // one CPU become that CPU's exclusive intervals.
+    struct Event
+    {
+        PageNum page;
+        CpuId cpu;
+        std::int8_t delta;
+    };
+    std::vector<Event> events;
+    for (CpuId c = 0; c < ncpus; c++) {
+        for (const PageInterval &pi : cover[c]) {
+            events.push_back({pi.lo, c, +1});
+            events.push_back({pi.hi, c, -1});
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.page < b.page;
+              });
+    std::uint32_t active_mask = 0;
+    unsigned active_count = 0;
+    PageNum prev = 0;
+    for (std::size_t i = 0; i < events.size();) {
+        PageNum page = events[i].page;
+        if (active_count == 1 && page > prev) {
+            auto owner = static_cast<CpuId>(
+                std::countr_zero(active_mask));
+            std::vector<PageInterval> &v = fp.priv[owner];
+            if (!v.empty() && v.back().hi == prev)
+                v.back().hi = page;
+            else
+                v.push_back({prev, page});
+        }
+        while (i < events.size() && events[i].page == page) {
+            if (events[i].delta > 0) {
+                active_mask |= 1u << events[i].cpu;
+                active_count++;
+            } else {
+                active_mask &= ~(1u << events[i].cpu);
+                active_count--;
+            }
+            i++;
+        }
+        prev = page;
+    }
+    return fp;
+}
+
+bool
+MpSimulator::pagePrivateTo(const NestFootprint &fp, CpuId cpu,
+                           VAddr va) const
+{
+    const std::vector<PageInterval> &v = fp.priv[cpu];
+    PageNum page = va / cfg.pageBytes;
+    auto it = std::upper_bound(
+        v.begin(), v.end(), page,
+        [](PageNum p, const PageInterval &pi) { return p < pi.lo; });
+    return it != v.begin() && page < (it - 1)->hi;
+}
+
+bool
+MpSimulator::lineIsLocal(const NestFootprint &fp, CpuId cpu,
+                         const LineAccess &la,
+                         MemorySystem::PrefetchLocality *pf) const
+{
+    *pf = MemorySystem::PrefetchLocality::No;
+    if (la.elems == 0 || la.ref == nullptr)
+        return true; // compute-only record: touches no memory
+
+    if (!pagePrivateTo(fp, cpu, la.va))
+        return false;
+    MemAccess a;
+    a.va = la.va;
+    a.kind = la.isWrite ? AccessKind::Store : AccessKind::Load;
+    a.wordMask = la.wordMask;
+    if (!mem.isLocalAccess(cpu, a))
+        return false;
+
+    if (la.ref->prefetchDistLines) {
+        std::uint64_t off = static_cast<std::uint64_t>(
+                                la.ref->prefetchDistLines) *
+                            cfg.l2.lineBytes;
+        if (la.ref->prefetchLate)
+            off = 0;
+        VAddr pva = la.backward ? la.va - off : la.va + off;
+        MemorySystem::PrefetchLocality k =
+            mem.classifyLocalPrefetch(cpu, pva);
+        if (k == MemorySystem::PrefetchLocality::No)
+            return false;
+        if (k == MemorySystem::PrefetchLocality::Present &&
+            !pagePrivateTo(fp, cpu, pva))
+            return false;
+        *pf = k;
+    }
+    return true;
+}
+
+void
+MpSimulator::commitLocalLine(CpuId cpu, const LineAccess &la,
+                             MemorySystem::PrefetchLocality pf,
+                             const SimOptions &opts)
+{
+    CpuExecStats &e = exec[cpu];
+
+    Insts ni = la.insts + la.elems;
+    if (ni) {
+        clock[cpu] += ni;
+        e.busy += ni;
+        e.insts += ni;
+    }
+
+    if (la.elems == 0 || la.ref == nullptr)
+        return; // compute-only record
+
+    if (la.ref->prefetchDistLines) {
+        // One issue slot for the prefetch instruction; a Drop or
+        // Present prefetch never stalls (proof guaranteed).
+        clock[cpu] += 1;
+        e.busy += 1;
+        e.insts += 1;
+        mem.prefetchLocal(cpu, pf);
+    }
+
+    MemAccess a;
+    a.va = la.va;
+    a.kind = la.isWrite ? AccessKind::Store : AccessKind::Load;
+    a.wordMask = la.wordMask;
+    a.concurrentFaults = ncpus;
+    AccessOutcome out = mem.accessLocal(cpu, a, clock[cpu]);
+    clock[cpu] += out.stall;
+    e.memStall += out.stall - out.kernel;
+    e.kernel += out.kernel;
+
+    if (opts.trace)
+        opts.trace->note(cpu, la.va / cfg.pageBytes);
+}
+
+void
+MpSimulator::runParallelNestEpoch(const Program &program,
+                                  const LoopNest &nest,
+                                  const SimOptions &opts,
+                                  const std::string &phase_name,
+                                  std::uint32_t nthreads)
+{
+    epochStats_.parallelNests++;
+    ensureGang(nthreads);
+    const NestFootprint &fp = footprintFor(program, nest);
+
+    NestTimelineEntry entry;
+    if (opts.timeline) {
+        entry.phase = phase_name;
+        entry.label = nest.label;
+        entry.kind = NestKind::Parallel;
+        entry.start = clock[0];
+    }
+
+    // Fork/dispatch cost on every CPU.
+    for (CpuId c = 0; c < ncpus; c++) {
+        clock[c] += cfg.forkCycles;
+        exec[c].sync += cfg.forkCycles;
+    }
+
+    std::vector<RunCursor> cursors;
+    cursors.reserve(ncpus);
+    for (CpuId c = 0; c < ncpus; c++)
+        cursors.emplace_back(program, nest, c, ncpus, cfg.l2.lineBytes);
+
+    Cycles window = opts.epochWindow;
+    if (window == 0)
+        window = std::max<Cycles>(
+            4096, 256 * mem.busMinTransactionCycles());
+
+    // Per-CPU execution state. A CPU is Local while its next line
+    // access is (believed) provably local, Deferred while that
+    // access waits in the boundary queue, Done when its stream is
+    // exhausted. Program order per CPU is absolute: a CPU never runs
+    // past an unproven reference.
+    enum class St : unsigned char
+    {
+        Local,
+        Deferred,
+        Done,
+    };
+    std::vector<St> state(ncpus, St::Local);
+    std::vector<LineAccess> pending(ncpus);
+    std::vector<Cycles> arrival(ncpus, 0);
+    std::vector<std::uint8_t> inPq(ncpus, 0);
+    std::vector<std::uint64_t> localByCpu(ncpus, 0);
+
+    for (CpuId c = 0; c < ncpus; c++) {
+        if (!cursors[c].next(pending[c])) {
+            state[c] = St::Done;
+            arrival[c] = clock[c];
+        }
+    }
+
+    using QEntry = std::pair<Cycles, CpuId>;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>>
+        pq;
+
+    auto jobFor = [&](std::uint32_t worker, Cycles epoch_end) {
+        for (CpuId c = worker; c < ncpus; c += nthreads) {
+            if (state[c] != St::Local)
+                continue;
+            while (clock[c] < epoch_end) {
+                MemorySystem::PrefetchLocality pf;
+                if (!lineIsLocal(fp, c, pending[c], &pf)) {
+                    state[c] = St::Deferred;
+                    break;
+                }
+                commitLocalLine(c, pending[c], pf, opts);
+                localByCpu[c]++;
+                if (!cursors[c].next(pending[c])) {
+                    state[c] = St::Done;
+                    arrival[c] = clock[c];
+                    break;
+                }
+            }
+        }
+    };
+
+    for (;;) {
+        // ---- Parallel phase: every Local CPU runs its provably-
+        // local prefix inside the epoch window. ----
+        Cycles horizon = 0;
+        bool has_local = false;
+        for (CpuId c = 0; c < ncpus; c++) {
+            if (state[c] == St::Local) {
+                horizon = has_local ? std::min(horizon, clock[c])
+                                    : clock[c];
+                has_local = true;
+            }
+        }
+        if (has_local) {
+            Cycles epoch_end = horizon + window;
+            epochStats_.epochs++;
+            gang_->run([&](std::uint32_t w) { jobFor(w, epoch_end); });
+        }
+
+        // ---- Boundary (single-threaded): reconcile. ----
+        for (CpuId c = 0; c < ncpus; c++) {
+            if (state[c] == St::Deferred && !inPq[c]) {
+                pq.emplace(clock[c], c);
+                inPq[c] = 1;
+            }
+        }
+        horizon = 0;
+        has_local = false;
+        for (CpuId c = 0; c < ncpus; c++) {
+            if (state[c] == St::Local) {
+                horizon = has_local ? std::min(horizon, clock[c])
+                                    : clock[c];
+                has_local = true;
+            }
+        }
+        if (pq.empty() && !has_local)
+            break; // every stream exhausted
+
+        // Drain deferred references in exact serial (clock, cpu)
+        // order, but only strictly below the horizon: a Local CPU
+        // parked at clock H may still defer a future reference at
+        // (H, cpu), which must precede any queued (H, cpu') with
+        // cpu' > cpu — strict < sidesteps the tie entirely.
+        while (!pq.empty() &&
+               (!has_local || pq.top().first < horizon)) {
+            auto [t, c] = pq.top();
+            pq.pop();
+            inPq[c] = 0;
+            panicIfNot(t == clock[c],
+                       "boundary queue clock drifted for cpu ", c);
+            executeLine(program, c, pending[c], ncpus, opts);
+            epochStats_.deferredLines++;
+            if (!cursors[c].next(pending[c])) {
+                state[c] = St::Done;
+                arrival[c] = clock[c];
+                continue;
+            }
+            MemorySystem::PrefetchLocality pf;
+            if (lineIsLocal(fp, c, pending[c], &pf)) {
+                // Back to the fast path next phase. Its clock may
+                // undercut the horizon — tighten it, or queued refs
+                // above this CPU's future deferrals could jump the
+                // serial order.
+                state[c] = St::Local;
+                horizon = has_local ? std::min(horizon, clock[c])
+                                    : clock[c];
+                has_local = true;
+            } else {
+                state[c] = St::Deferred;
+                pq.emplace(clock[c], c);
+                inPq[c] = 1;
+            }
+        }
+    }
+
+    for (CpuId c = 0; c < ncpus; c++)
+        epochStats_.localLines += localByCpu[c];
+    mem.commitMemoNotes();
+
+    // Barrier: identical accounting to the serial engine.
     Cycles latest = *std::max_element(arrival.begin(), arrival.end());
     for (CpuId c = 0; c < ncpus; c++) {
         exec[c].imbalance += latest - arrival[c];
@@ -356,6 +894,8 @@ MpSimulator::resetExecState()
     std::fill(textCursor.begin(), textCursor.end(), 0);
     barriers = 0;
     sinceSnapshot = 0;
+    epochStats_ = EpochStats{};
+    footprints_.clear();
 }
 
 } // namespace cdpc

@@ -26,6 +26,8 @@
 #define CDPC_MACHINE_SIMULATOR_H
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -93,7 +95,45 @@ struct SimOptions
     std::uint32_t statsInterval = 0;
     /** Where captured snapshots go; required when statsInterval. */
     std::vector<obs::IntervalSnapshot> *snapshots = nullptr;
+    /**
+     * Host threads sharding one experiment's per-CPU reference
+     * streams (the epoch-parallel engine, DESIGN.md §14). 1 = the
+     * classic serial interleave; 0 = auto (hardware concurrency);
+     * N > 1 runs parallel nests in bounded local-time epochs with
+     * bus/MESI reconciliation at epoch boundaries. Outputs are
+     * bit-identical at every value — nests whose active hooks need
+     * the global reference order (lockstep verification, dynamic
+     * recoloring, cadence audits, trace recording, interval
+     * snapshots, ifetch modeling, steal fallback) degrade to serial
+     * automatically.
+     */
+    std::uint32_t simThreads = 1;
+    /**
+     * Epoch window in simulated cycles; 0 = auto, derived from the
+     * bus's minimum transaction occupancy. Pacing only: any value
+     * >= 1 produces identical outputs (the window bounds how far a
+     * CPU may run past the slowest peer between reconciliations, not
+     * what it may touch).
+     */
+    Cycles epochWindow = 0;
 };
+
+/** Counters describing how the epoch engine executed (tests/metrics). */
+struct EpochStats
+{
+    /** Parallel phases executed (gang dispatches). */
+    std::uint64_t epochs = 0;
+    /** Line accesses committed on the provably-local fast path. */
+    std::uint64_t localLines = 0;
+    /** Line accesses executed serially at epoch boundaries. */
+    std::uint64_t deferredLines = 0;
+    /** Parallel nests run by the epoch engine. */
+    std::uint64_t parallelNests = 0;
+    /** Parallel nests that degraded to serial despite simThreads>1. */
+    std::uint64_t serialNests = 0;
+};
+
+class EpochGang;
 
 /** Execution-driven multiprocessor simulator. */
 class MpSimulator
@@ -104,6 +144,7 @@ class MpSimulator
      * @param mem memory hierarchy (not owned; shares the config)
      */
     MpSimulator(const MachineConfig &config, MemorySystem &mem);
+    ~MpSimulator();
 
     /**
      * Run @p program: init phase once, then each steady phase
@@ -130,6 +171,17 @@ class MpSimulator
     /** Reset CPU clocks and execution counters (not the caches). */
     void resetExecState();
 
+    /** How the epoch engine executed since the last reset. */
+    const EpochStats &epochStats() const { return epochStats_; }
+
+    /**
+     * Resolve opts.simThreads against auto-detection and the CPU
+     * count: 0 maps to hardware concurrency, and more threads than
+     * simulated CPUs are pointless (static cpu -> thread partition).
+     */
+    static std::uint32_t effectiveSimThreads(std::uint32_t requested,
+                                             std::uint32_t ncpus);
+
   private:
     MachineConfig cfg;
     MemorySystem &mem;
@@ -146,9 +198,72 @@ class MpSimulator
     std::vector<Insts> ifetchDebt;
     std::vector<std::uint64_t> textCursor;
 
+    /**
+     * Per-CPU exclusive page intervals for one nest: a page appears
+     * in priv[c] iff c's reference stream (demand and prefetch
+     * targets, conservatively over-approximated from the nest's Run
+     * records) can touch it and no other CPU's stream can. Exclusive
+     * pages are the privacy half of the local-execution proof; the
+     * footprint is a pure function of (program, nest) and is cached
+     * across rounds.
+     */
+    struct PageInterval
+    {
+        PageNum lo = 0; ///< first page (inclusive)
+        PageNum hi = 0; ///< last page + 1 (exclusive)
+    };
+    struct NestFootprint
+    {
+        const LoopNest *nest = nullptr;
+        const Program *program = nullptr;
+        /** Per CPU: sorted disjoint exclusively-owned page ranges. */
+        std::vector<std::vector<PageInterval>> priv;
+    };
+
     void runParallelNest(const Program &program, const LoopNest &nest,
                          const SimOptions &opts,
                          const std::string &phase_name);
+
+    /** Epoch-parallel execution of one parallel nest. */
+    void runParallelNestEpoch(const Program &program,
+                              const LoopNest &nest,
+                              const SimOptions &opts,
+                              const std::string &phase_name,
+                              std::uint32_t nthreads);
+
+    /** True when this run's hooks permit the epoch engine at all. */
+    bool epochEligible(const Program &program,
+                       const SimOptions &opts) const;
+
+    /** Build (or fetch the cached) footprint for @p nest. */
+    const NestFootprint &footprintFor(const Program &program,
+                                      const LoopNest &nest);
+
+    /** Is @p va's page exclusively @p cpu's within @p fp? */
+    bool pagePrivateTo(const NestFootprint &fp, CpuId cpu,
+                       VAddr va) const;
+
+    /**
+     * Pure proof that @p la can execute entirely on @p cpu's local
+     * state: page privacy plus the memory system's hit-only proof
+     * for the demand leg and the prefetch leg (whose classification
+     * is returned for the commit).
+     */
+    bool lineIsLocal(const NestFootprint &fp, CpuId cpu,
+                     const LineAccess &la,
+                     MemorySystem::PrefetchLocality *pf) const;
+
+    /**
+     * Commit one proven-local line access: the exact clock and stat
+     * transitions of executeLine() minus the hooks the eligibility
+     * check guarantees are off.
+     */
+    void commitLocalLine(CpuId cpu, const LineAccess &la,
+                         MemorySystem::PrefetchLocality pf,
+                         const SimOptions &opts);
+
+    /** Lazily (re)create the worker gang for @p nthreads. */
+    void ensureGang(std::uint32_t nthreads);
     void runMasterNest(const Program &program, const LoopNest &nest,
                        const SimOptions &opts, bool suppressed,
                        const std::string &phase_name);
@@ -168,6 +283,13 @@ class MpSimulator
 
     /** Append one interval snapshot to opts.snapshots. */
     void captureSnapshot(const SimOptions &opts);
+
+    /** Persistent epoch worker gang (lazily created, sized to the
+     *  last effective simThreads). */
+    std::unique_ptr<EpochGang> gang_;
+    EpochStats epochStats_;
+    /** Per-nest footprint cache: rounds re-run identical nests. */
+    std::unordered_map<const void *, NestFootprint> footprints_;
 };
 
 } // namespace cdpc

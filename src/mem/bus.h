@@ -77,6 +77,23 @@ class Bus
     /** The first cycle at which the bus will next be free. */
     Cycles freeAt() const { return nextFree; }
 
+    /**
+     * The shortest occupancy of any transaction category: a lower
+     * bound on how quickly one CPU's bus activity can become visible
+     * to another. The epoch-parallel engine derives its epoch window
+     * from this (DESIGN.md §14); it paces the barriers and never
+     * affects simulated output.
+     */
+    Cycles minTransactionCycles() const
+    {
+        Cycles m = dataCycles;
+        if (wbCycles < m)
+            m = wbCycles;
+        if (upgradeCycles < m)
+            m = upgradeCycles;
+        return m;
+    }
+
     const BusStats &stats() const { return stats_; }
 
     /**

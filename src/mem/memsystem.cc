@@ -23,6 +23,7 @@ MemorySystem::MemorySystem(const MachineConfig &config, VirtualMemory &vm)
     for (std::uint32_t i = 0; i < cfg.numCpus; i++)
         ports.push_back(std::make_unique<Port>(cfg));
     sharing.reserve(cfg.l2.numLines() * cfg.numCpus);
+    holders_.reserve(cfg.l2.numLines() * cfg.numCpus);
 }
 
 AccessOutcome
@@ -166,6 +167,170 @@ MemorySystem::access(CpuId cpu, const MemAccess &acc, Cycles now)
     return out;
 }
 
+bool
+MemorySystem::isLocalAccess(CpuId cpu, const MemAccess &acc) const
+{
+    const Port &p = *ports[cpu];
+    // Translation must come entirely from the micro-cache over a
+    // still-resident TLB slot — anything else can refill the TLB,
+    // fault, or move a page, all of which need the serial order.
+    PageNum vpn = vm.vpnOf(acc.va);
+    const TransEntry &te = p.tcache[vpn & (kTransCacheEntries - 1)];
+    if (te.vpn != vpn || te.gen != vm.generation() ||
+        !p.tlb.residentAt(te.tlbSlot, vpn))
+        return false;
+    PAddr pa = te.paBase | (acc.va & pageMask);
+    Addr line = lineOf(pa);
+    bool is_write = acc.kind == AccessKind::Store;
+    const Cache &l1 = acc.kind == AccessKind::Ifetch ? p.l1i : p.l1d;
+    if (const CacheLine *l1l = l1.probe(acc.va, line)) {
+        if (!is_write || mesiWritable(l1l->state))
+            return true;
+    }
+    // L1 miss (or write-permission upgrade): the external cache must
+    // hit without an ownership upgrade, or the access needs the bus.
+    const CacheLine *l2l = p.l2.probe(line << lineShift, line);
+    return l2l && !(is_write && l2l->state == Mesi::Shared);
+}
+
+AccessOutcome
+MemorySystem::accessLocal(CpuId cpu, const MemAccess &acc, Cycles now)
+{
+    Port &p = *ports[cpu];
+    AccessOutcome out;
+
+    switch (acc.kind) {
+      case AccessKind::Load:
+        p.stats.loads++;
+        break;
+      case AccessKind::Store:
+        p.stats.stores++;
+        break;
+      case AccessKind::Ifetch:
+        p.stats.ifetches++;
+        break;
+    }
+
+    // The proof pinned a valid micro-cache entry: commit the TLB hit
+    // (slot LRU + stats) exactly as the serial fast path does, but
+    // stage the shared VM translation counter for the next barrier.
+    PageNum vpn = vm.vpnOf(acc.va);
+    TransEntry &te = p.tcache[vpn & (kTransCacheEntries - 1)];
+    panicIfNot(p.tlb.hitAt(te.tlbSlot, vpn),
+               "accessLocal without a resident TLB slot");
+    p.pendingMemoNotes++;
+    PAddr pa = te.paBase | (acc.va & pageMask);
+    Addr line = lineOf(pa);
+
+    bool is_write = acc.kind == AccessKind::Store;
+    Cache &l1 = acc.kind == AccessKind::Ifetch ? p.l1i : p.l1d;
+    CacheLine *l1l = l1.access(acc.va, line);
+    bool l1_data_hit = l1l != nullptr;
+    bool need_l2 = !l1l || (is_write && !mesiWritable(l1l->state));
+
+    if (!need_l2) {
+        if (is_write) {
+            l1l->state = Mesi::Modified;
+            l1l->dirty = true;
+            recordWrite(cpu, line, acc.wordMask);
+        }
+        out.l1Hit = true;
+        p.stats.l1Hits++;
+        return out;
+    }
+
+    if (l1_data_hit)
+        p.stats.l1Hits++; // write-permission upgrade, data was present
+    else
+        p.stats.l1Misses++;
+
+    L2Result r = l2Access(cpu, line, is_write, acc.wordMask, now, false);
+    panicIfNot(r.hit && r.kind != MissKind::Upgrade,
+               "accessLocal proof violated: bus transaction on line ",
+               line);
+    out.l2Hit = r.hit;
+    out.l2Miss = r.miss;
+    out.missKind = r.kind;
+
+    if (l1_data_hit) {
+        l1l->state = Mesi::Modified;
+        l1l->dirty = true;
+    } else {
+        Mesi fill_state;
+        if (is_write)
+            fill_state = Mesi::Modified;
+        else
+            fill_state = r.writable ? Mesi::Exclusive : Mesi::Shared;
+        CacheLine victim;
+        CacheLine *nl = l1.insert(acc.va, line, fill_state, &victim);
+        nl->dirty = is_write;
+        if (mesiValid(victim.state)) {
+            p.l1Residence.erase(victim.lineAddr);
+            if (victim.dirty) {
+                // Write the dirty data down into the (inclusive) L2.
+                Addr vic_idx = victim.lineAddr << lineShift;
+                CacheLine *l2v = p.l2.probe(vic_idx, victim.lineAddr);
+                panicIfNot(l2v != nullptr,
+                           "inclusion violated: dirty L1 victim absent "
+                           "from L2");
+                l2v->state = Mesi::Modified;
+            }
+        }
+        p.l1Residence.insertOrAssign(line, acc.va);
+    }
+
+    out.stall = r.latency;
+    return out;
+}
+
+MemorySystem::PrefetchLocality
+MemorySystem::classifyLocalPrefetch(CpuId cpu, VAddr va) const
+{
+    const Port &p = *ports[cpu];
+    PageNum vpn = vm.vpnOf(va);
+    PAddr pa;
+    const TransEntry &te = p.tcache[vpn & (kTransCacheEntries - 1)];
+    if (te.vpn == vpn && te.gen == vm.generation() &&
+        p.tlb.residentAt(te.tlbSlot, vpn)) {
+        pa = te.paBase | (va & pageMask);
+    } else {
+        // The drop decisions read only this CPU's TLB and the (frozen
+        // during a parallel phase) page table, so they are local even
+        // for non-private target pages.
+        if (!p.tlb.contains(vpn))
+            return PrefetchLocality::Drop;
+        auto mapped = vm.translateIfMapped(va);
+        if (!mapped)
+            return PrefetchLocality::Drop;
+        pa = *mapped;
+    }
+    Addr line = lineOf(pa);
+    if (p.l2.probe(line << lineShift, line) ||
+        p.prefetches.contains(line))
+        return PrefetchLocality::Present;
+    return PrefetchLocality::No;
+}
+
+void
+MemorySystem::prefetchLocal(CpuId cpu, PrefetchLocality kind)
+{
+    Port &p = *ports[cpu];
+    p.stats.prefetchesIssued++;
+    if (kind == PrefetchLocality::Drop)
+        p.stats.prefetchesDropped++;
+}
+
+void
+MemorySystem::commitMemoNotes()
+{
+    for (auto &p : ports) {
+        if (p->pendingMemoNotes != 0) {
+            vm.noteMemoizedTranslations(p->pendingMemoNotes);
+            p->pendingMemoNotes = 0;
+        }
+    }
+}
+
 void
 MemorySystem::setConflictObserver(ConflictObserver obs)
 {
@@ -218,20 +383,27 @@ MemorySystem::purgePage(VAddr va)
     for (std::uint64_t i = 0; i < lines; i++) {
         Addr line = first_line + i;
         Addr idx = line << lineShift;
-        for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
+        for (std::uint32_t m = holderMask(line); m != 0; m &= m - 1) {
+            auto q = static_cast<CpuId>(std::countr_zero(m));
             Port &p = *ports[q];
-            if (CacheLine *l = p.l2.probe(idx, line)) {
-                if (l->state == Mesi::Modified) {
-                    // Charge the writeback where the bus actually is:
-                    // acquiring "at cycle 0" would book the entire
-                    // absolute bus time as phantom queueing delay.
-                    bus.acquire(BusKind::Writeback, bus.freeAt());
-                }
-                p.l2.invalidate(idx, line);
-                backInvalidateL1(q, line);
+            CacheLine *l = p.l2.probe(idx, line);
+            panicIfNot(l != nullptr, "directory names cpu ", q,
+                       " as holder of absent line ", line);
+            if (l->state == Mesi::Modified) {
+                // Charge the writeback where the bus actually is:
+                // acquiring "at cycle 0" would book the entire
+                // absolute bus time as phantom queueing delay.
+                bus.acquire(BusKind::Writeback, bus.freeAt());
             }
-            p.prefetches.erase(line);
+            p.l2.invalidate(idx, line);
+            dropHolder(line, q);
+            backInvalidateL1(q, line);
         }
+        // In-flight prefetch completions are tracked independently of
+        // residency (an invalidated prefetched line keeps its entry),
+        // so the drop must visit every CPU, not just holders.
+        for (std::uint32_t q = 0; q < cfg.numCpus; q++)
+            ports[q]->prefetches.erase(line);
         sharing.erase(line);
     }
     // Shoot the page down from every TLB and drop the memoized
@@ -292,6 +464,7 @@ MemorySystem::evictColors(CpuId cpu,
             bus.acquire(BusKind::Writeback, bus.freeAt());
         }
         p.l2.invalidate(idx, line);
+        dropHolder(line, cpu);
         backInvalidateL1(cpu, line);
         p.prefetches.erase(line);
         // Replacement, not coherence: the line was displaced by a
@@ -381,27 +554,27 @@ MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
         r.kind = classifyMiss(cpu, line, word_mask, seen, shadow_hit);
     }
 
-    // Snoop the other external caches. A line that is Exclusive in a
-    // remote L2 may still be dirty in that CPU's on-chip cache (the
-    // silent E->M upgrade happens above the L2), so the snoop must
-    // probe the L1 as well.
-    bool shared_elsewhere = false;
+    // Snoop the other external caches — the directory names the
+    // holders, so this walks actual sharers instead of every CPU. A
+    // line that is Exclusive in a remote L2 may still be dirty in
+    // that CPU's on-chip cache (the silent E->M upgrade happens
+    // above the L2), so the snoop must probe the L1 as well.
+    std::uint32_t remote = holderMask(line) & ~(1u << cpu);
+    bool shared_elsewhere = remote != 0;
     CpuId dirty_owner = kNoCpu;
-    for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
-        if (q == cpu)
-            continue;
+    for (std::uint32_t m = remote; m != 0; m &= m - 1) {
+        auto q = static_cast<CpuId>(std::countr_zero(m));
         CacheLine *rl = ports[q]->l2.probe(idx, line);
-        if (rl) {
-            shared_elsewhere = true;
-            if (rl->state == Mesi::Modified) {
-                dirty_owner = q;
-            } else if (rl->state == Mesi::Exclusive) {
-                if (const Addr *res = ports[q]->l1Residence.find(line)) {
-                    CacheLine *c = ports[q]->l1d.probe(*res, line);
-                    if (c && c->dirty) {
-                        rl->state = Mesi::Modified;
-                        dirty_owner = q;
-                    }
+        panicIfNot(rl != nullptr, "directory names cpu ", q,
+                   " as holder of absent line ", line);
+        if (rl->state == Mesi::Modified) {
+            dirty_owner = q;
+        } else if (rl->state == Mesi::Exclusive) {
+            if (const Addr *res = ports[q]->l1Residence.find(line)) {
+                CacheLine *c = ports[q]->l1d.probe(*res, line);
+                if (c && c->dirty) {
+                    rl->state = Mesi::Modified;
+                    dirty_owner = q;
                 }
             }
         }
@@ -437,9 +610,8 @@ MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
         } else if (shared_elsewhere) {
             // Clean remote copies can be downgraded E->S lazily; all
             // that matters is that we must insert as Shared.
-            for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
-                if (q == cpu)
-                    continue;
+            for (std::uint32_t m = remote; m != 0; m &= m - 1) {
+                auto q = static_cast<CpuId>(std::countr_zero(m));
                 if (CacheLine *rl = ports[q]->l2.probe(idx, line)) {
                     if (rl->state == Mesi::Exclusive)
                         rl->state = Mesi::Shared;
@@ -451,6 +623,7 @@ MemorySystem::l2Access(CpuId cpu, Addr line, bool is_write,
 
     CacheLine victim;
     p.l2.insert(idx, line, new_state, &victim);
+    addHolder(line, cpu);
     if (mesiValid(victim.state))
         evictL2Victim(cpu, victim, now);
 
@@ -547,11 +720,12 @@ MemorySystem::invalidateOthers(CpuId writer, Addr line,
     (void)now;
     Addr idx = line << lineShift;
     bool any = false;
-    for (std::uint32_t q = 0; q < cfg.numCpus; q++) {
-        if (q == writer)
-            continue;
+    std::uint32_t others = holderMask(line) & ~(1u << writer);
+    for (std::uint32_t m = others; m != 0; m &= m - 1) {
+        auto q = static_cast<CpuId>(std::countr_zero(m));
         if (ports[q]->l2.invalidate(idx, line)) {
             any = true;
+            dropHolder(line, q);
             backInvalidateL1(q, line);
             SharingInfo &info = sharing[line];
             info.invalidatedMask |= 1u << q;
@@ -580,6 +754,7 @@ MemorySystem::recordWrite(CpuId writer, Addr line, std::uint32_t word_mask)
 void
 MemorySystem::evictL2Victim(CpuId cpu, const CacheLine &victim, Cycles now)
 {
+    dropHolder(victim.lineAddr, cpu);
     backInvalidateL1(cpu, victim.lineAddr);
     if (victim.state == Mesi::Modified)
         bus.acquire(BusKind::Writeback, now);
@@ -698,6 +873,20 @@ MemorySystem::auditInvariants() const
         audit_l1(p.l1i, "L1I");
     }
 
+    // The incremental MESI directory must agree exactly with the
+    // holder sets reconstructed from the caches themselves.
+    std::size_t directory_entries = 0;
+    holders_.forEach([&](Addr line, std::uint32_t mask) {
+        directory_entries++;
+        auto it = holder_mask.find(line);
+        panicIfNot(it != holder_mask.end() && it->second == mask,
+                   "audit: directory mask ", mask, " for line ", line,
+                   " disagrees with caches");
+    });
+    panicIfNot(directory_entries == holder_mask.size(),
+               "audit: directory has ", directory_entries,
+               " lines, caches hold ", holder_mask.size());
+
     for (const auto &[line, mask] : holder_mask) {
         unsigned holders = std::popcount(mask);
         std::uint32_t dirty = dirty_mask.contains(line)
@@ -727,10 +916,12 @@ MemorySystem::reset()
         p->l1Residence.clear();
         p->prefetches.clear();
         std::fill(p->tcache.begin(), p->tcache.end(), TransEntry{});
+        p->pendingMemoNotes = 0;
         p->stats = CpuMemStats{};
     }
     bus.reset();
     sharing.clear();
+    holders_.clear();
 }
 
 } // namespace cdpc

@@ -185,6 +185,84 @@ class MemorySystem
     AccessOutcome access(CpuId cpu, const MemAccess &acc, Cycles now);
 
     /**
+     * Pure proof (zero mutation, safe to call concurrently from
+     * per-CPU epoch workers) that access(cpu, acc, now) would take a
+     * hit-only path touching nothing outside @p cpu's port: a valid
+     * translation micro-cache entry over a resident TLB slot, and
+     * either an L1 hit with sufficient permission or an external-
+     * cache hit that needs no ownership upgrade. A proven access
+     * never faults, never arbitrates for the bus, never inserts or
+     * evicts an external-cache line, and never changes another CPU's
+     * MESI state.
+     *
+     * The *page-privacy* half of the locality argument (no other CPU
+     * touches this line's page inside the current nest, so remote
+     * activity cannot invalidate this proof before the commit) is
+     * the caller's obligation — the simulator proves it from the
+     * nest's per-CPU footprint intervals (DESIGN.md §14).
+     */
+    bool isLocalAccess(CpuId cpu, const MemAccess &acc) const;
+
+    /**
+     * Execute one demand reference for which isLocalAccess() held,
+     * replicating exactly the state and stat transitions the serial
+     * access() would make (TLB LRU/stat commit, L1/L2 LRU, silent
+     * E->M, dirty-victim write-down, sharing-word accounting), minus
+     * the observer/audit hooks — the epoch engine only runs when
+     * parallelSafe() says those are absent. Memoized-translation
+     * counts are staged per port; commitMemoNotes() folds them into
+     * the shared VM stats at the next barrier.
+     */
+    AccessOutcome accessLocal(CpuId cpu, const MemAccess &acc,
+                              Cycles now);
+
+    /** How prefetch(cpu, va, now) would behave, proven purely. */
+    enum class PrefetchLocality : unsigned char
+    {
+        /** Would transfer on the bus (or the proof failed): defer. */
+        No,
+        /** Dropped on a TLB miss or unmapped page: local, and —
+         *  because a CPU's own TLB is program-ordered — local even
+         *  without page privacy. */
+        Drop,
+        /** Line already resident or in flight: local zero-cost issue,
+         *  valid only with target-page privacy (a remote fill could
+         *  otherwise race the residency probe). */
+        Present,
+    };
+
+    /** Pure classification of one software prefetch; see above. */
+    PrefetchLocality classifyLocalPrefetch(CpuId cpu, VAddr va) const;
+
+    /**
+     * Commit a prefetch classified Drop or Present: the exact stat
+     * deltas of the serial prefetch(), which for these two cases
+     * never stall and touch only @p cpu's counters.
+     */
+    void prefetchLocal(CpuId cpu, PrefetchLocality kind);
+
+    /**
+     * True when no registered hook requires the global reference
+     * order (lockstep observer, dynamic-recolor conflict observer,
+     * cadence auditor) and no fallback policy can steal mapped pages
+     * out from under a privacy proof — the memory-system half of the
+     * epoch engine's eligibility check.
+     */
+    bool parallelSafe() const
+    {
+        return !observer_ && !hasConflictObserver && auditEvery_ == 0 &&
+               !vm.fallbackMaySteal();
+    }
+
+    /**
+     * Fold the per-port staged memoized-translation counts into the
+     * shared VmStats. Called at epoch barriers (single-threaded);
+     * the end-of-run value is identical to serial because the serial
+     * path bumps the same counter once per memo hit.
+     */
+    void commitMemoNotes();
+
+    /**
      * Issue a (non-binding) software prefetch of the line holding
      * @p va. Returns the cycles the CPU stalls, which is zero unless
      * the prefetch queue is full. Prefetches never take page faults:
@@ -218,6 +296,11 @@ class MemorySystem
     }
     /** First cycle at which the bus will next be free. */
     Cycles busFreeAt() const { return bus.freeAt(); }
+    /** Shortest bus transaction — the epoch-window derivation input. */
+    Cycles busMinTransactionCycles() const
+    {
+        return bus.minTransactionCycles();
+    }
     /** The address space this hierarchy translates through. */
     const VirtualMemory &addressSpace() const { return vm; }
     std::uint32_t lineBytes() const { return cfg.l2.lineBytes; }
@@ -362,6 +445,8 @@ class MemorySystem
         FlatHashMap<Cycles> prefetches;
         /** Direct-mapped translation micro-cache, indexed by vpn. */
         std::vector<TransEntry> tcache;
+        /** Memo-hit translations staged during a parallel phase. */
+        std::uint64_t pendingMemoNotes = 0;
         CpuMemStats stats;
     };
 
@@ -392,6 +477,16 @@ class MemorySystem
     std::vector<std::unique_ptr<Port>> ports;
     /** Per-line invalidation history for sharing classification. */
     std::unordered_map<Addr, SharingInfo> sharing;
+    /**
+     * MESI directory: line -> bitmask of CPUs whose external cache
+     * holds a valid copy. Snoops and invalidations walk the holder
+     * bits instead of probing every CPU's cache, so their cost
+     * scales with actual sharers, not with numCpus. Mutated only on
+     * L2 insert/invalidate/evict — never on the hit-only local fast
+     * path, which is what makes it safe to leave unlocked during a
+     * parallel epoch phase.
+     */
+    FlatHashMap<std::uint32_t> holders_;
 
     /** log2(l2 line bytes); line sizes are validated powers of two. */
     unsigned lineShift = 0;
@@ -399,6 +494,31 @@ class MemorySystem
     Addr pageMask = 0;
 
     Addr lineOf(PAddr pa) const { return pa >> lineShift; }
+
+    /** Directory maintenance at L2 insert/invalidate sites. */
+    void
+    addHolder(Addr line, CpuId cpu)
+    {
+        if (std::uint32_t *m = holders_.find(line))
+            *m |= 1u << cpu;
+        else
+            holders_.insertOrAssign(line, 1u << cpu);
+    }
+    void
+    dropHolder(Addr line, CpuId cpu)
+    {
+        if (std::uint32_t *m = holders_.find(line)) {
+            *m &= ~(1u << cpu);
+            if (*m == 0)
+                holders_.erase(line);
+        }
+    }
+    std::uint32_t
+    holderMask(Addr line) const
+    {
+        const std::uint32_t *m = holders_.find(line);
+        return m ? *m : 0;
+    }
 
     /** External-cache access including coherence and the bus. */
     L2Result l2Access(CpuId cpu, Addr line, bool is_write,

@@ -20,7 +20,8 @@ const char kSpecUsage[] =
     " (expected 'scenario [key=value]...' then one 'tenant <name> "
     "[key=value]...' per tenant; scenario keys cpus|machine|"
     "scheduler|budget|fallback|pressure|pattern|physpages|prealloc|"
-    "seed|interval|warmup|rounds, tenant keys workload|vcpus|colors|"
+    "seed|interval|warmup|rounds|simthreads, tenant keys "
+    "workload|vcpus|colors|"
     "weight|policy|prefetch|aligned|racy|seed)";
 
 MachineConfig
@@ -141,6 +142,12 @@ parseScenarioLine(std::istringstream &in, std::size_t lineno,
         else if (key == "rounds")
             spec.sim.measureRounds = static_cast<std::uint32_t>(
                 parseU64(value, key, lineno));
+        else if (key == "simthreads")
+            spec.sim.simThreads =
+                value == "auto"
+                    ? 0
+                    : static_cast<std::uint32_t>(
+                          parseU64(value, key, lineno));
         else
             fatal("tenant spec line ", lineno,
                   ": unknown scenario key '", key, "'", kSpecUsage);

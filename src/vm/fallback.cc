@@ -87,6 +87,8 @@ class StealPolicy : public ColorFallbackPolicy
     }
 
     const char *name() const override { return "steal"; }
+
+    bool mayStealMappedPages() const override { return true; }
 };
 
 } // namespace

@@ -79,6 +79,17 @@ class ColorFallbackPolicy
                                                  Color preferred) = 0;
 
     virtual const char *name() const = 0;
+
+    /**
+     * True when a fallback allocation may remap (recolor) pages the
+     * application already has mapped, invalidating cached lines and
+     * translations for addresses *other* than the faulting one. The
+     * epoch-parallel engine must know: a policy that can steal makes
+     * every boundary fault a potential cross-CPU purge, so page
+     * privacy proofs cannot be trusted across a fault and the nest
+     * degrades to the serial interleave.
+     */
+    virtual bool mayStealMappedPages() const { return false; }
 };
 
 /** @return a fresh policy instance of @p kind. */

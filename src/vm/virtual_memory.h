@@ -180,6 +180,28 @@ class VirtualMemory
      */
     void noteMemoizedTranslation() { stats_.translations++; }
 
+    /**
+     * Bulk form of noteMemoizedTranslation(): the epoch-parallel
+     * engine counts memo hits per CPU during a parallel phase and
+     * commits them at the barrier, in one call, so the shared counter
+     * is never touched concurrently yet ends at the same value the
+     * serial interleave produces.
+     */
+    void noteMemoizedTranslations(std::uint64_t n)
+    {
+        stats_.translations += n;
+    }
+
+    /**
+     * True when the installed fallback policy may remap pages the
+     * application already has mapped (FallbackKind::Steal). See
+     * ColorFallbackPolicy::mayStealMappedPages().
+     */
+    bool fallbackMaySteal() const
+    {
+        return fallback_ && fallback_->mayStealMappedPages();
+    }
+
     const VmStats &stats() const { return stats_; }
     PageMappingPolicy &policy() { return policy_; }
 

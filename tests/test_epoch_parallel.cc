@@ -1,0 +1,601 @@
+/**
+ * @file
+ * Epoch-parallel engine tests: every configuration must produce
+ * output bit-identical to the serial interleave at any --sim-threads
+ * value, runs whose hooks need the global reference order must
+ * degrade to serial, and the epoch statistics must account for every
+ * committed line.
+ *
+ * Identity is checked on a full fingerprint: occurrence-weighted
+ * totals (doubles printed as hexfloat — no tolerance), per-CPU
+ * clocks, per-CPU memory statistics, bus statistics and VM
+ * statistics. Any divergence in interleaving, MESI traffic or stat
+ * accounting shows up as a byte difference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "ir/layout.h"
+#include "machine/simulator.h"
+#include "vm/physmem.h"
+#include "vm/policy.h"
+#include "vm/virtual_memory.h"
+#include "workloads/builder.h"
+
+namespace cdpc
+{
+namespace
+{
+
+struct Rig
+{
+    explicit Rig(std::uint32_t ncpus)
+        : config(MachineConfig::paperScaled(ncpus)),
+          phys(config.physPages, config.numColors()),
+          policy(config.numColors()), vm(config, phys, policy),
+          mem(config, vm), sim(config, mem)
+    {}
+
+    MachineConfig config;
+    PhysMem phys;
+    PageColoringPolicy policy;
+    VirtualMemory vm;
+    MemorySystem mem;
+    MpSimulator sim;
+};
+
+void
+put(std::ostream &os, double v)
+{
+    os << std::hexfloat << v << '|';
+}
+
+void
+put(std::ostream &os, std::uint64_t v)
+{
+    os << v << '|';
+}
+
+std::string
+fpTotals(const WeightedTotals &t)
+{
+    std::ostringstream os;
+    put(os, t.insts);
+    put(os, t.busy);
+    put(os, t.memStall);
+    put(os, t.kernel);
+    put(os, t.imbalance);
+    put(os, t.sequential);
+    put(os, t.suppressed);
+    put(os, t.sync);
+    put(os, t.wall);
+    put(os, t.barriers);
+    put(os, t.refs);
+    put(os, t.l1Misses);
+    put(os, t.l2Hits);
+    put(os, t.l2Misses);
+    put(os, t.pageFaults);
+    put(os, t.tlbMisses);
+    put(os, t.l2HitStall);
+    put(os, t.prefetchLateStall);
+    put(os, t.prefetchFullStall);
+    for (double v : t.missCount)
+        put(os, v);
+    for (double v : t.missStall)
+        put(os, v);
+    put(os, t.busDataBusy);
+    put(os, t.busWritebackBusy);
+    put(os, t.busUpgradeBusy);
+    put(os, t.busQueueing);
+    put(os, t.prefetchesIssued);
+    put(os, t.prefetchesDropped);
+    put(os, t.prefetchesUseful);
+    return os.str();
+}
+
+void
+fpMem(std::ostream &os, const CpuMemStats &m)
+{
+    put(os, m.loads);
+    put(os, m.stores);
+    put(os, m.ifetches);
+    put(os, m.l1Hits);
+    put(os, m.l1Misses);
+    put(os, m.l2Hits);
+    put(os, m.l2Misses);
+    put(os, m.tlbMisses);
+    put(os, m.pageFaults);
+    for (std::uint64_t v : m.missCount)
+        put(os, v);
+    for (Cycles v : m.missStall)
+        put(os, v);
+    put(os, m.l2HitStall);
+    put(os, m.kernelStall);
+    put(os, m.prefetchLateStall);
+    put(os, m.prefetchFullStall);
+    put(os, m.prefetchesIssued);
+    put(os, m.prefetchesDropped);
+    put(os, m.prefetchesUseful);
+}
+
+std::string
+fpRig(Rig &rig, std::uint32_t ncpus)
+{
+    std::ostringstream os;
+    for (CpuId c = 0; c < ncpus; c++) {
+        put(os, rig.sim.cpuClock(c));
+        fpMem(os, rig.mem.cpuStats(c));
+        os << '\n';
+    }
+    const BusStats &b = rig.mem.busStats();
+    put(os, b.dataTxns);
+    put(os, b.writebackTxns);
+    put(os, b.upgradeTxns);
+    put(os, b.dataBusy);
+    put(os, b.writebackBusy);
+    put(os, b.upgradeBusy);
+    put(os, b.queueing);
+    os << '\n';
+    const VmStats &v = rig.vm.stats();
+    put(os, v.translations);
+    put(os, v.pageFaults);
+    put(os, v.hintHonored);
+    put(os, v.hintFallback);
+    put(os, v.hintDenied);
+    put(os, v.noPreference);
+    put(os, v.hintStolen);
+    put(os, v.reclaimedPages);
+    return os.str();
+}
+
+/** A perfectly partitioned write sweep: the fast-path poster child. */
+Program
+privateSweep(std::uint64_t rows = 32, std::uint64_t cols = 256)
+{
+    ProgramBuilder b("epoch-private");
+    std::uint32_t a = b.array2d("a", rows, cols);
+    b.initNest(interleavedInit2d(b, {a}, rows, cols));
+    Phase ph;
+    ph.name = "p";
+    ph.occurrences = 2;
+    LoopNest nest;
+    nest.label = "sweep";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {rows, cols};
+    nest.instsPerIter = 10;
+    nest.refs = {b.at2(a, 0, 1, 0, 0, true)};
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    return p;
+}
+
+/**
+ * A row stencil (a[i-1], a[i], a[i+1] read; w[i] written): partition
+ * boundary rows are genuinely shared, so both the fast path and the
+ * deferred boundary path must run — and their interleaving must
+ * still be bit-identical to serial.
+ */
+Program
+stencilSweep(std::uint64_t rows = 32, std::uint64_t cols = 128)
+{
+    ProgramBuilder b("epoch-stencil");
+    std::uint32_t a = b.array2d("a", rows, cols);
+    std::uint32_t w = b.array2d("w", rows, cols);
+    b.initNest(interleavedInit2d(b, {a, w}, rows, cols));
+    Phase ph;
+    ph.name = "p";
+    ph.occurrences = 1;
+    LoopNest nest;
+    nest.label = "stencil";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {rows - 2, cols};
+    nest.instsPerIter = 6;
+    nest.refs = {b.at2(a, 0, 1, 0, 0, false),
+                 b.at2(a, 0, 1, 1, 0, false),
+                 b.at2(a, 0, 1, 2, 0, false),
+                 b.at2(w, 0, 1, 1, 0, true)};
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    return p;
+}
+
+/**
+ * Every CPU reads the same small shared vector (plus a private
+ * write): nothing is provably local for the shared array, so nearly
+ * everything defers — the engine must still match serial exactly.
+ */
+Program
+sharedVector(std::uint64_t rows = 16, std::uint64_t cols = 64)
+{
+    ProgramBuilder b("epoch-shared");
+    std::uint32_t a = b.array2d("a", rows, cols);
+    std::uint32_t s = b.array1d("s", cols);
+    LoopNest init = interleavedInit2d(b, {a}, rows, cols);
+    init.refs.push_back(b.at1(s, 1, 1, 0, true));
+    b.initNest(init);
+    Phase ph;
+    ph.name = "p";
+    ph.occurrences = 1;
+    LoopNest nest;
+    nest.label = "shared";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {rows, cols};
+    nest.instsPerIter = 8;
+    nest.refs = {b.at2(a, 0, 1, 0, 0, true), b.at1(s, 1, 1, 0, false)};
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    return p;
+}
+
+/** Unanalyzable wrapped strides defeat the footprint prescan. */
+Program
+wrappedSweep(std::uint64_t rows = 16, std::uint64_t cols = 64)
+{
+    ProgramBuilder b("epoch-wrap");
+    std::uint32_t a = b.array2d("a", rows, cols);
+    b.markUnanalyzable(a);
+    b.initNest(interleavedInit2d(b, {a}, rows, cols));
+    Phase ph;
+    ph.name = "p";
+    ph.occurrences = 1;
+    LoopNest nest;
+    nest.label = "wrap";
+    nest.kind = NestKind::Parallel;
+    nest.parallelDim = 0;
+    nest.bounds = {rows, cols};
+    nest.instsPerIter = 5;
+    AffineRef r = b.at2(a, 0, 1, 0, 0, true);
+    r.wrapModElems = static_cast<std::int64_t>(rows * cols / 2);
+    nest.refs = {r};
+    ph.nests.push_back(nest);
+    b.phase(ph);
+    Program p = b.build();
+    assignAddresses(p, LayoutOptions{});
+    return p;
+}
+
+/** privateSweep with compiler prefetches (one scheduled, one late). */
+Program
+prefetchedSweep()
+{
+    Program p = privateSweep(32, 256);
+    for (Phase &ph : p.steady)
+        for (LoopNest &nest : ph.nests)
+            for (std::size_t i = 0; i < nest.refs.size(); i++) {
+                nest.refs[i].prefetchDistLines = 4;
+                nest.refs[i].prefetchLate = (i % 2) == 1;
+            }
+    return p;
+}
+
+/**
+ * Run @p make()'s program serially and at each thread count and
+ * expect bit-identical fingerprints everywhere.
+ */
+void
+expectIdentity(Program (*make)(), std::uint32_t ncpus,
+               const SimOptions &base, bool expect_parallel = true)
+{
+    SimOptions serial = base;
+    serial.simThreads = 1;
+    Rig ref(ncpus);
+    WeightedTotals st = ref.sim.run(make(), serial);
+    std::string sfp = fpTotals(st) + fpRig(ref, ncpus);
+
+    for (std::uint32_t threads : {2u, 4u, 8u}) {
+        SimOptions par = base;
+        par.simThreads = threads;
+        Rig rig(ncpus);
+        WeightedTotals pt = rig.sim.run(make(), par);
+        std::string pfp = fpTotals(pt) + fpRig(rig, ncpus);
+        EXPECT_EQ(sfp, pfp) << "simThreads=" << threads;
+        if (expect_parallel) {
+            EXPECT_GT(rig.sim.epochStats().parallelNests, 0u)
+                << "simThreads=" << threads;
+        }
+    }
+}
+
+TEST(EpochParallel, EffectiveSimThreadsClamps)
+{
+    EXPECT_EQ(MpSimulator::effectiveSimThreads(1, 8), 1u);
+    EXPECT_EQ(MpSimulator::effectiveSimThreads(3, 8), 3u);
+    EXPECT_EQ(MpSimulator::effectiveSimThreads(16, 8), 8u);
+    EXPECT_GE(MpSimulator::effectiveSimThreads(0, 8), 1u);
+    EXPECT_LE(MpSimulator::effectiveSimThreads(0, 8), 8u);
+    EXPECT_EQ(MpSimulator::effectiveSimThreads(4, 1), 1u);
+}
+
+TEST(EpochParallel, PrivateSweepBitIdentical)
+{
+    expectIdentity(+[] { return privateSweep(); }, 8, SimOptions{});
+}
+
+TEST(EpochParallel, PrivateSweepMostlyLocal)
+{
+    SimOptions opts;
+    opts.simThreads = 4;
+    // The cold warmup round correctly defers (those lines need the
+    // bus); warm rounds must run on the fast path, so with enough
+    // measured rounds local commits dominate.
+    opts.measureRounds = 4;
+    Rig rig(8);
+    rig.sim.run(privateSweep(), opts);
+    const EpochStats &es = rig.sim.epochStats();
+    EXPECT_GT(es.parallelNests, 0u);
+    EXPECT_GT(es.epochs, 0u);
+    EXPECT_GT(es.localLines, 0u);
+    EXPECT_GT(es.localLines, es.deferredLines);
+}
+
+TEST(EpochParallel, StencilSharingBitIdentical)
+{
+    expectIdentity(+[] { return stencilSweep(); }, 8, SimOptions{});
+
+    // Boundary rows are shared: the deferred path must actually run.
+    SimOptions opts;
+    opts.simThreads = 4;
+    Rig rig(8);
+    rig.sim.run(stencilSweep(), opts);
+    EXPECT_GT(rig.sim.epochStats().deferredLines, 0u);
+    EXPECT_GT(rig.sim.epochStats().localLines, 0u);
+}
+
+TEST(EpochParallel, SharedVectorBitIdentical)
+{
+    expectIdentity(+[] { return sharedVector(); }, 8, SimOptions{});
+}
+
+TEST(EpochParallel, WrappedUnanalyzableBitIdentical)
+{
+    expectIdentity(+[] { return wrappedSweep(); }, 8, SimOptions{});
+}
+
+TEST(EpochParallel, PrefetchedSweepBitIdentical)
+{
+    expectIdentity(+[] { return prefetchedSweep(); }, 8,
+                   SimOptions{});
+
+    SimOptions opts;
+    opts.simThreads = 4;
+    Rig rig(8);
+    WeightedTotals t = rig.sim.run(prefetchedSweep(), opts);
+    EXPECT_GT(t.prefetchesIssued, 0.0);
+}
+
+TEST(EpochParallel, ColdFaultsAtBoundariesBitIdentical)
+{
+    // Without the init phase every page faults inside the parallel
+    // nest; faults happen on deferred refs at epoch boundaries and
+    // must land in the same order as serial.
+    SimOptions opts;
+    opts.runInit = false;
+    expectIdentity(+[] { return privateSweep(); }, 8, opts);
+}
+
+TEST(EpochParallel, MultiRoundPhasesBitIdentical)
+{
+    SimOptions opts;
+    opts.warmupRounds = 2;
+    opts.measureRounds = 3;
+    expectIdentity(+[] { return stencilSweep(); }, 8, opts);
+}
+
+TEST(EpochParallel, FewerCpusThanThreadsBitIdentical)
+{
+    expectIdentity(+[] { return privateSweep(); }, 4, SimOptions{});
+    expectIdentity(+[] { return stencilSweep(); }, 2, SimOptions{});
+}
+
+TEST(EpochParallel, EpochWindowIsPacingOnly)
+{
+    SimOptions serial;
+    Rig ref(8);
+    WeightedTotals st = ref.sim.run(privateSweep(), serial);
+    std::string sfp = fpTotals(st) + fpRig(ref, 8);
+    for (Cycles window : {Cycles(1), Cycles(64), Cycles(100000)}) {
+        SimOptions par;
+        par.simThreads = 4;
+        par.epochWindow = window;
+        Rig rig(8);
+        WeightedTotals pt = rig.sim.run(privateSweep(), par);
+        EXPECT_EQ(sfp, fpTotals(pt) + fpRig(rig, 8))
+            << "window=" << window;
+    }
+}
+
+TEST(EpochParallel, UnsafeHooksDegradeToSerial)
+{
+    // statsInterval needs the global reference order: the engine
+    // must refuse to shard and count the degrade.
+    SimOptions opts;
+    opts.simThreads = 4;
+    opts.statsInterval = 64;
+    std::vector<obs::IntervalSnapshot> snaps;
+    opts.snapshots = &snaps;
+    Rig rig(8);
+    rig.sim.run(privateSweep(), opts);
+    EXPECT_EQ(rig.sim.epochStats().parallelNests, 0u);
+    EXPECT_GT(rig.sim.epochStats().serialNests, 0u);
+
+    // batchLines > 1 already changes the serial interleave; the
+    // epoch engine's identity target is batchLines <= 1 only.
+    SimOptions batched;
+    batched.simThreads = 4;
+    batched.batchLines = 8;
+    Rig rig2(8);
+    rig2.sim.run(privateSweep(), batched);
+    EXPECT_EQ(rig2.sim.epochStats().parallelNests, 0u);
+}
+
+TEST(EpochParallel, TraceSinkStaysEligibleAndIdentical)
+{
+    // Page traces are per-CPU sets (order-free): allowed in epoch
+    // mode and must come out identical.
+    auto collect = [](std::uint32_t threads) {
+        Rig rig(8);
+        PageTraceCollector trace(8);
+        SimOptions opts;
+        opts.simThreads = threads;
+        opts.trace = &trace;
+        rig.sim.run(privateSweep(), opts);
+        std::ostringstream os;
+        for (CpuId c = 0; c < 8; c++) {
+            for (PageNum p : trace.pagesOf(c))
+                os << p << ',';
+            os << '\n';
+        }
+        return os.str();
+    };
+    EXPECT_EQ(collect(1), collect(4));
+}
+
+TEST(EpochParallel, HarnessWorkloadBitIdentical)
+{
+    // Full harness path (compiler, CDPC plan, faults, barrier
+    // totals) on a real workload.
+    auto fingerprint = [](std::uint32_t threads) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(8);
+        cfg.mapping = MappingPolicy::Cdpc;
+        cfg.prefetch = true;
+        cfg.sim.simThreads = threads;
+        ExperimentResult r = runWorkload("101.tomcatv", cfg);
+        std::ostringstream os;
+        os << fpTotals(r.totals);
+        put(os, r.degradation.translations);
+        put(os, r.degradation.pageFaults);
+        put(os, r.degradation.hintHonored);
+        put(os, r.degradation.hintFallback);
+        put(os, r.hintsHonored);
+        put(os, static_cast<std::uint64_t>(r.dataSetBytes));
+        return os.str();
+    };
+    std::string serial = fingerprint(1);
+    EXPECT_EQ(serial, fingerprint(2));
+    EXPECT_EQ(serial, fingerprint(8));
+}
+
+TEST(EpochParallel, HarnessPressureFallbackBitIdentical)
+{
+    // Memory pressure + reclaim fallback: faults degrade, but the
+    // fallback never rewrites existing mappings, so the engine stays
+    // eligible and must match serial bit-for-bit.
+    auto fingerprint = [](std::uint32_t threads) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(8);
+        cfg.mapping = MappingPolicy::Cdpc;
+        cfg.pressure.occupancy = 0.5;
+        cfg.pressure.pattern = PressurePattern::Fragmented;
+        cfg.fallback = FallbackKind::NearestColor;
+        cfg.sim.simThreads = threads;
+        ExperimentResult r = runWorkload("102.swim", cfg);
+        std::ostringstream os;
+        os << fpTotals(r.totals);
+        put(os, r.degradation.hintHonored);
+        put(os, r.degradation.hintFallback);
+        put(os, r.degradation.reclaimedPages);
+        put(os, static_cast<std::uint64_t>(r.pressurePages));
+        return os.str();
+    };
+    EXPECT_EQ(fingerprint(1), fingerprint(4));
+}
+
+TEST(EpochParallel, HarnessDynamicRecolorBitIdentical)
+{
+    // Dynamic recoloring installs a conflict observer: the engine
+    // must degrade (recoloring needs the global order) and still
+    // produce identical output.
+    auto fingerprint = [](std::uint32_t threads) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(4);
+        cfg.mapping = MappingPolicy::PageColoring;
+        cfg.dynamicRecolor = true;
+        cfg.sim.simThreads = threads;
+        ExperimentResult r = runWorkload("101.tomcatv", cfg);
+        std::ostringstream os;
+        os << fpTotals(r.totals);
+        put(os, r.recolorStats.conflictsObserved);
+        put(os, r.recolorStats.recolorings);
+        return os.str();
+    };
+    EXPECT_EQ(fingerprint(1), fingerprint(4));
+}
+
+TEST(EpochParallel, HarnessStealFallbackBitIdentical)
+{
+    // The steal fallback may rewrite existing mappings mid-nest,
+    // which would invalidate the footprint privacy proof — the
+    // engine must degrade (vm.fallbackMaySteal()) yet stay
+    // bit-identical.
+    auto fingerprint = [](std::uint32_t threads) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(4);
+        cfg.mapping = MappingPolicy::Cdpc;
+        cfg.pressure.occupancy = 0.6;
+        cfg.fallback = FallbackKind::Steal;
+        cfg.sim.simThreads = threads;
+        ExperimentResult r = runWorkload("101.tomcatv", cfg);
+        std::ostringstream os;
+        os << fpTotals(r.totals);
+        put(os, r.degradation.hintStolen);
+        return os.str();
+    };
+    EXPECT_EQ(fingerprint(1), fingerprint(4));
+}
+
+TEST(EpochParallel, HarnessLockstepVerifyBitIdentical)
+{
+    // verifyEvery installs a MemObserver: parallelSafe() is false,
+    // the run degrades to serial, and the verifier still sees every
+    // reference.
+    auto run = [](std::uint32_t threads) {
+        ExperimentConfig cfg;
+        cfg.machine = MachineConfig::paperScaled(4);
+        cfg.verifyEvery = 50000;
+        cfg.sim.simThreads = threads;
+        return runWorkload("101.tomcatv", cfg);
+    };
+    ExperimentResult a = run(1);
+    ExperimentResult b = run(4);
+    EXPECT_EQ(fpTotals(a.totals), fpTotals(b.totals));
+    EXPECT_GT(b.verifiedRefs, 0u);
+    EXPECT_EQ(a.verifiedRefs, b.verifiedRefs);
+}
+
+TEST(EpochParallel, LineAccountingConsistent)
+{
+    // local + deferred must equal the demand lines the serial run
+    // executes in the steady (and warmup) parallel nests.
+    SimOptions opts;
+    opts.simThreads = 4;
+    Rig rig(8);
+    rig.sim.run(stencilSweep(), opts);
+    const EpochStats &es = rig.sim.epochStats();
+
+    Rig ref(8);
+    ref.sim.run(stencilSweep(), SimOptions{});
+    // Total demand loads+stores match (init runs serially in both).
+    std::uint64_t par_refs = rig.mem.totalStats().loads +
+                             rig.mem.totalStats().stores;
+    std::uint64_t ser_refs = ref.mem.totalStats().loads +
+                             ref.mem.totalStats().stores;
+    EXPECT_EQ(par_refs, ser_refs);
+    EXPECT_GT(es.localLines + es.deferredLines, 0u);
+}
+
+} // namespace
+} // namespace cdpc

@@ -11,8 +11,9 @@
  *
  *  - keys ending in "_ns" are per-iteration latencies: lower is
  *    better; current > baseline * (1 + threshold) is a regression.
- *  - "refsPerSecond" is throughput: higher is better; current <
- *    baseline * (1 - threshold) is a regression.
+ *  - "refsPerSecond" is throughput and "simdParallelEfficiency"
+ *    is the epoch-engine intra-experiment scaling factor: higher is
+ *    better; current < baseline * (1 - threshold) is a regression.
  *  - keys starting with "mt." are per-cell multi-tenant isolation
  *    metrics from BENCH_ext_multitenant.json; the ".missvar",
  *    ".p99slowdown" and ".crossevict" suffixes are lower-is-better,
@@ -200,7 +201,8 @@ main(int argc, char **argv)
         double cur_v = it->second;
         bool lower_better =
             endsWith(key, "_ns") || isMultiTenantRegression(key);
-        bool higher_better = key == "refsPerSecond";
+        bool higher_better = key == "refsPerSecond" ||
+                             key == "simdParallelEfficiency";
         if (!lower_better && !higher_better)
             continue; // informational field
         compared++;

@@ -58,6 +58,16 @@
  *   --no-greedy     disable CDPC Steps 2-3 ordering (ablation)
  *   --jobs N        worker threads for compare/sweep/batch
  *                   (default: hardware concurrency)
+ *   --sim-threads N|auto    host threads sharding each experiment's
+ *                   per-CPU reference streams (the epoch-parallel
+ *                   engine, DESIGN.md §14); output is bit-identical
+ *                   at every value. "auto" = hardware concurrency.
+ *                   In batch mode the per-job thread budget is
+ *                   capped at hardware_concurrency / --jobs so
+ *                   nested parallelism never oversubscribes the
+ *                   host. verify with N>1 runs each job twice —
+ *                   lockstep-verified serial and sharded — and
+ *                   byte-compares the canonical records.
  *   --seed N        base seed for seed=auto jobs in a batch file
  *   --out FILE      output path (record trace, plan summaries,
  *                   batch results)
@@ -103,6 +113,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/faultpoint.h"
@@ -174,6 +185,8 @@ struct CliOptions
     std::uint64_t verifyEvery = 0;
     /** Runtime structural-audit cadence; 0 disables. */
     std::uint64_t auditEvery = 0;
+    /** Epoch-engine host threads per experiment; 0 = auto. */
+    std::uint32_t simThreads = 1;
 };
 
 [[noreturn]] void
@@ -216,6 +229,8 @@ usage(const char *msg = nullptr)
         "         --journal --resume --fsync (crash-safe batches)\n"
         "         --trace FILE --metrics FILE --stats-interval N\n"
         "         --verify-every N --audit-every N\n"
+        "         --sim-threads N|auto (epoch-parallel engine; "
+        "bit-identical output)\n"
         "exit codes: 0 success, 1 quarantined jobs, 2 usage/fatal,\n"
         "            3 internal panic, 4 interrupted (resumable "
         "with --resume)\n";
@@ -320,6 +335,13 @@ parseArgs(int argc, char **argv)
         else if (a == "--audit-every")
             o.auditEvery = static_cast<std::uint64_t>(
                 std::atoll(need_value("--audit-every").c_str()));
+        else if (a == "--sim-threads") {
+            std::string v = need_value("--sim-threads");
+            o.simThreads =
+                v == "auto"
+                    ? 0
+                    : static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        }
         else if (a == "--help" || a == "-h")
             usage();
         else
@@ -369,6 +391,7 @@ makeConfig(const CliOptions &o, std::uint32_t cpus,
     cfg.pressure.seed = o.seed;
     cfg.fallback = parseFallback(o.fallback);
     cfg.sim.statsInterval = o.statsInterval;
+    cfg.sim.simThreads = o.simThreads;
     cfg.verifyEvery = o.verifyEvery;
     cfg.auditEvery = o.auditEvery;
     return cfg;
@@ -663,7 +686,9 @@ cmdHints(const CliOptions &o)
  *   <workload> [key=value]...
  * with keys cpus, policy, machine, cache, assoc, prefetch, dynamic,
  * aligned, racy, cyclic, greedy, seed (integer or "auto"), pressure
- * (percent), pattern, fallback, interval (snapshot period), trace
+ * (percent), pattern, fallback, interval (snapshot period),
+ * simthreads (epoch-engine threads, integer or "auto"; capped at
+ * hardware_concurrency / --jobs at dispatch), trace
  * (0|1 sim-event opt-in under --trace), name and tags
  * (comma-separated). Unset keys inherit the command-line defaults,
  * so a spec file can be as terse as one workload per line.
@@ -731,6 +756,12 @@ parseBatchLine(const std::string &line, std::size_t index,
         else if (key == "interval")
             o.statsInterval =
                 static_cast<std::uint32_t>(std::atoi(value.c_str()));
+        else if (key == "simthreads")
+            o.simThreads =
+                value == "auto"
+                    ? 0
+                    : static_cast<std::uint32_t>(
+                          std::atoi(value.c_str()));
         else if (key == "trace")
             spec.trace = flag("trace");
         else if (key == "seed" && value == "auto")
@@ -779,6 +810,40 @@ cmdBatch(const CliOptions &o)
             parseBatchLine(line.substr(first), specs.size(), o));
     }
     fatalIf(specs.empty(), "batch file ", o.workload, " has no jobs");
+
+    // Nested-parallelism budget: each batch worker may itself shard
+    // its experiment with the epoch engine (simthreads=), but the
+    // product of the two levels must never oversubscribe the host.
+    // Cap per-job threads at hardware_concurrency / workers; the
+    // clamp is output-neutral (results are bit-identical at every
+    // simThreads value), so the same spec file produces the same
+    // bytes on any machine.
+    {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        const unsigned workers = o.jobs ? std::max(1u, o.jobs) : hw;
+        const std::uint32_t budget = std::max(1u, hw / workers);
+        std::size_t clamped = 0;
+        for (runner::JobSpec &spec : specs) {
+            std::uint32_t req = spec.config.sim.simThreads;
+            if (req == 0)
+                req = hw; // auto resolves before the cap
+            if (req > budget) {
+                spec.config.sim.simThreads = budget;
+                clamped++;
+            } else {
+                spec.config.sim.simThreads = req;
+            }
+        }
+        if (clamped > 0) {
+            CDPC_METRIC_COUNT("runner.simThreadsClamped",
+                              static_cast<std::int64_t>(clamped));
+            std::cerr << "cdpcsim: capped sim-threads to " << budget
+                      << " on " << clamped << " job(s) ("
+                      << workers << " batch workers on " << hw
+                      << " host threads)\n";
+        }
+    }
 
     // JSONL goes to --out FILE (summary table to stdout), or to
     // stdout itself (summary suppressed) for piping into jq & co.
@@ -922,10 +987,45 @@ cmdVerify(const CliOptions &o)
         specs.push_back(runner::makeJob(o.workload, cfg));
     }
 
+    // The lockstep observer needs the global reference order, so a
+    // verified run always executes serially. With --sim-threads N>1
+    // we therefore run every job twice — verified serial and
+    // sharded unverified — and byte-compare the canonical records,
+    // extending the lockstep guarantee to the epoch engine.
+    std::vector<runner::JobSpec> sharded;
+    const bool dual_run = o.simThreads != 1;
+    if (dual_run) {
+        for (const runner::JobSpec &s : specs) {
+            runner::JobSpec p = s;
+            p.config.verifyEvery = 0;
+            p.config.auditEvery = 0;
+            p.config.sim.simThreads = o.simThreads;
+            sharded.push_back(std::move(p));
+        }
+    }
+
     runner::BatchOptions bopts;
     bopts.jobs = o.jobs;
     std::vector<ExperimentResult> results =
         runner::runBatchOrThrow(std::move(specs), bopts);
+
+    std::size_t shard_diverged = 0;
+    if (dual_run) {
+        std::vector<ExperimentResult> shard_results =
+            runner::runBatchOrThrow(std::move(sharded), bopts);
+        for (std::size_t i = 0; i < results.size(); i++) {
+            std::string a =
+                verify::goldenRecord(labels[i], results[i]);
+            std::string b =
+                verify::goldenRecord(labels[i], shard_results[i]);
+            if (a != b) {
+                shard_diverged++;
+                std::cerr << "cdpcsim: sharded run diverges on "
+                          << labels[i] << "\n  serial:  " << a
+                          << "\n  sharded: " << b << "\n";
+            }
+        }
+    }
 
     std::uint64_t refs = 0, deeps = 0, audits = 0;
     for (const ExperimentResult &r : results) {
@@ -936,8 +1036,14 @@ cmdVerify(const CliOptions &o)
     std::cout << o.workload << ": " << results.size() << " run(s), "
               << fmtI(refs) << " references verified in lockstep, "
               << fmtI(deeps) << " deep compares, " << fmtI(audits)
-              << " audits, 0 divergences\n";
-    return 0;
+              << " audits, 0 divergences";
+    if (dual_run)
+        std::cout << "; sharded re-run at sim-threads="
+                  << (o.simThreads ? std::to_string(o.simThreads)
+                                   : std::string("auto"))
+                  << ": " << shard_diverged << " record divergences";
+    std::cout << "\n";
+    return shard_diverged == 0 ? 0 : 1;
 }
 
 int

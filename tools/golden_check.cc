@@ -22,11 +22,15 @@
  * Options:
  *   --dir DIR   golden file directory (default tests/golden)
  *   --jobs N    worker threads for the figure grid (default: cores)
+ *   --sim-threads N|auto  run every grid job through the
+ *               epoch-parallel engine (DESIGN.md §14); the committed
+ *               goldens must stay byte-identical at every value
  *
  * Exit codes: 0 match, 1 mismatch (diff printed), 2 usage/user error,
  * 3 internal panic.
  */
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -54,7 +58,7 @@ usage(const char *msg = nullptr)
         std::cerr << "golden_check: " << msg << "\n\n";
     std::cerr
         << "usage: golden_check [figure...] [--update] [--dir DIR] "
-           "[--jobs N]\n"
+           "[--jobs N] [--sim-threads N|auto]\n"
            "       golden_check --diff FILE1 FILE2\n"
            "figures: fig6 fig7 fig8 table2 tenant1 (default: all)\n";
     std::exit(2);
@@ -126,9 +130,11 @@ degeneracyDump(const std::string &label, const ExperimentResult &r)
 
 int
 checkFigure(const std::string &figure, const std::string &dir,
-            unsigned jobs, bool update)
+            unsigned jobs, bool update, std::uint32_t sim_threads)
 {
     std::vector<GoldenJob> grid = goldenJobs(figure);
+    for (GoldenJob &j : grid)
+        j.config.sim.simThreads = sim_threads;
     std::vector<runner::JobSpec> specs;
     specs.reserve(grid.size());
     for (const GoldenJob &j : grid) {
@@ -191,6 +197,7 @@ main(int argc, char **argv)
     std::vector<std::string> diffFiles;
     unsigned jobs = 0;
     bool update = false;
+    std::uint32_t simThreads = 1;
 
     int i = 1;
     auto need_value = [&](const char *flag) -> std::string {
@@ -207,7 +214,13 @@ main(int argc, char **argv)
         else if (a == "--jobs")
             jobs = static_cast<unsigned>(
                 std::atoi(need_value("--jobs").c_str()));
-        else if (a == "--diff") {
+        else if (a == "--sim-threads") {
+            std::string v = need_value("--sim-threads");
+            simThreads =
+                v == "auto"
+                    ? 0
+                    : static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        } else if (a == "--diff") {
             diffFiles.push_back(need_value("--diff"));
             diffFiles.push_back(need_value("--diff"));
         } else if (a == "--help" || a == "-h")
@@ -232,7 +245,7 @@ main(int argc, char **argv)
         if (figures.empty())
             figures = goldenFigures();
         for (const std::string &f : figures)
-            rc |= checkFigure(f, dir, jobs, update);
+            rc |= checkFigure(f, dir, jobs, update, simThreads);
     } catch (const FatalError &e) {
         std::cerr << "golden_check: " << e.what() << "\n";
         return 2;
