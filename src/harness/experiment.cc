@@ -97,6 +97,10 @@ runProgram(Program program, const ExperimentConfig &config)
         config.mapping == MappingPolicy::Cdpc
             ? static_cast<PageMappingPolicy *>(&hints)
             : base;
+    // Advisor-validation overrides ride the hint policy whatever the
+    // base mapping is; unhinted pages still fall through to it.
+    if (!config.colorOverrides.empty())
+        active = &hints;
 
     VirtualMemory vm(m, phys, *active, fallback.get());
 
@@ -114,6 +118,10 @@ runProgram(Program program, const ExperimentConfig &config)
             applyByTouchOrder(plan, vm);
         res.plan = std::move(plan);
     }
+    // Installed after the plan's hints so the overrides win (later
+    // madviseColors installs overwrite earlier ones per page).
+    if (!config.colorOverrides.empty())
+        hints.madviseColors(config.colorOverrides);
 
     // --- Simulate --------------------------------------------------------
     MemorySystem mem(m, vm);
@@ -142,13 +150,35 @@ runProgram(Program program, const ExperimentConfig &config)
     }
     if (config.auditEvery)
         mem.setAuditEvery(config.auditEvery);
+    // Conflict attribution: entities are the program's arrays, the
+    // same segments harness/attribution resolves owners against.
+    std::unique_ptr<obs::ConflictProfiler> profiler;
+    if (config.profile) {
+        obs::ConflictProfiler::Config pc;
+        pc.numCpus = m.numCpus;
+        pc.numColors = static_cast<std::uint32_t>(m.numColors());
+        pc.pageBytes = m.pageBytes;
+        pc.lineBytes = m.l2.lineBytes;
+        pc.colorCapacityBytes = m.l2.sizeBytes / m.numColors();
+        for (const ArrayDecl &a : program.arrays)
+            pc.entities.push_back({a.name, a.base, a.sizeBytes()});
+        profiler = std::make_unique<obs::ConflictProfiler>(pc);
+        mem.setConflictProfiler(profiler.get());
+    }
     MpSimulator sim(m, mem);
     SimOptions simopts = config.sim;
     if (simopts.statsInterval && !simopts.snapshots)
         simopts.snapshots = &res.snapshots;
+    simopts.profiler = profiler.get();
     {
         obs::SimSpan sim_span("simulate");
         res.totals = sim.run(program, simopts);
+    }
+    if (profiler) {
+        res.profile = profiler->result(mem.colorOccupancy());
+        res.profile.classifiedConflicts =
+            mem.totalStats().missCount[static_cast<std::size_t>(
+                MissKind::Conflict)];
     }
     if (recolorer)
         res.recolorStats = recolorer->stats();

@@ -20,8 +20,10 @@
 #include "machine/simulator.h"
 #include "machine/stats.h"
 #include "mem/recolor.h"
+#include "obs/profile.h"
 #include "obs/snapshot.h"
 #include "vm/fallback.h"
+#include "vm/hints.h"
 #include "vm/pressure.h"
 #include "vm/virtual_memory.h"
 #include "workloads/workload.h"
@@ -100,6 +102,22 @@ struct ExperimentConfig
      * invariants) every this many references. 0 disables.
      */
     std::uint64_t auditEvery = 0;
+    /**
+     * Attach the conflict-attribution profiler (DESIGN.md §15): an
+     * evictor→victim matrix per color, per-color occupancy snapshot
+     * rows, and the recoloring advisor's proposals land in
+     * ExperimentResult::profile. Forces parallel nests serial, like
+     * every order-sensitive observer; off by default so figure
+     * outputs stay byte-identical.
+     */
+    bool profile = false;
+    /**
+     * Preferred-color overrides installed over the base policy (and
+     * over any CDPC hints — later installs win). The advisor's
+     * validation re-runs use this to apply a proposed move while
+     * keeping everything else identical.
+     */
+    std::vector<ColorHint> colorOverrides;
 };
 
 /** Everything one experiment produced. */
@@ -137,6 +155,11 @@ struct ExperimentResult
     std::uint64_t verifiedDeepCompares = 0;
     /** Cadence audits that ran (config.auditEvery > 0). */
     std::uint64_t auditsRun = 0;
+    /**
+     * Conflict attribution and advice (config.profile); enabled is
+     * false on unprofiled runs and nothing is rendered for them.
+     */
+    obs::ProfileResult profile;
 };
 
 /** Compile and run @p program under @p config. */

@@ -10,6 +10,7 @@
 
 #include "common/intmath.h"
 #include "common/logging.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace cdpc
@@ -815,6 +816,13 @@ MpSimulator::captureSnapshot(const SimOptions &opts)
         snap.cpus.push_back(cs);
     }
     snap.colorPages = mem.addressSpace().mappedPagesPerColor();
+    // Per-color set pressure and conflict attribution ride the same
+    // cadence when a profiler is attached; unprofiled runs keep the
+    // rows empty so their rendered output is unchanged.
+    if (opts.profiler) {
+        snap.colorOccupancy = mem.colorOccupancy();
+        snap.colorConflicts = opts.profiler->colorConflicts();
+    }
 
     // Mirror the sample into the trace as counter tracks: per-CPU
     // external-cache miss rate over the interval just ended.

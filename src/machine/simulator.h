@@ -43,6 +43,11 @@
 namespace cdpc
 {
 
+namespace obs
+{
+class ConflictProfiler;
+}
+
 /**
  * One nest's execution record: when it started (all CPUs are
  * synchronized at nest boundaries), when each CPU finished its part,
@@ -95,6 +100,13 @@ struct SimOptions
     std::uint32_t statsInterval = 0;
     /** Where captured snapshots go; required when statsInterval. */
     std::vector<obs::IntervalSnapshot> *snapshots = nullptr;
+    /**
+     * The run's conflict-attribution profiler (null = off). Only the
+     * snapshot capturer reads it — per-color occupancy/conflict rows
+     * are sampled when present; the serial degrade itself comes from
+     * MemorySystem::parallelSafe() seeing the installed hook.
+     */
+    const obs::ConflictProfiler *profiler = nullptr;
     /**
      * Host threads sharding one experiment's per-CPU reference
      * streams (the epoch-parallel engine, DESIGN.md §14). 1 = the

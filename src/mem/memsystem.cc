@@ -113,10 +113,17 @@ MemorySystem::access(CpuId cpu, const MemAccess &acc, Cycles now)
         p.stats.l1Misses++;
 
     // --- External cache leg -------------------------------------------
+    if (profiler_)
+        profiler_->onRefStart(cpu, acc.va);
     L2Result r = l2Access(cpu, line, is_write, acc.wordMask, t, false);
     out.l2Hit = r.hit;
     out.l2Miss = r.miss;
     out.missKind = r.kind;
+    // Attribution fires on exactly the misses miss_classify counted
+    // as conflicts (demand only; prefetches never classify), so the
+    // profiler's per-color totals reconcile with missCount[Conflict].
+    if (profiler_ && r.miss && r.kind == MissKind::Conflict)
+        profiler_->onConflictMiss(cpu, acc.va, pa, t);
 
     // --- L1 fill / upgrade --------------------------------------------
     if (l1_data_hit) {
@@ -398,6 +405,8 @@ MemorySystem::purgePage(VAddr va)
             p.l2.invalidate(idx, line);
             dropHolder(line, q);
             backInvalidateL1(q, line);
+            if (profiler_)
+                profiler_->onEvict(q, line, EvictCause::Recolor);
         }
         // In-flight prefetch completions are tracked independently of
         // residency (an invalidated prefetched line keeps its entry),
@@ -467,6 +476,8 @@ MemorySystem::evictColors(CpuId cpu,
         dropHolder(line, cpu);
         backInvalidateL1(cpu, line);
         p.prefetches.erase(line);
+        if (profiler_)
+            profiler_->onEvict(cpu, line, EvictCause::ContextSwitch);
         // Replacement, not coherence: the line was displaced by a
         // competitor's data, it did not change owners. The sharing
         // history and the miss shadow stay, so refetching it
@@ -701,6 +712,10 @@ MemorySystem::prefetchImpl(CpuId cpu, VAddr va, Cycles now)
         now = earliest;
     }
 
+    // Prefetch fills evict like demand fills; the eviction is
+    // attributed to the prefetched address's entity.
+    if (profiler_)
+        profiler_->onRefStart(cpu, va);
     L2Result r = l2Access(cpu, line, false, 0, now, true);
     p.prefetches.insertOrAssign(line, now + r.latency);
 
@@ -754,6 +769,8 @@ MemorySystem::recordWrite(CpuId writer, Addr line, std::uint32_t word_mask)
 void
 MemorySystem::evictL2Victim(CpuId cpu, const CacheLine &victim, Cycles now)
 {
+    if (profiler_)
+        profiler_->onEvict(cpu, victim.lineAddr, EvictCause::Replace);
     dropHolder(victim.lineAddr, cpu);
     backInvalidateL1(cpu, victim.lineAddr);
     if (victim.state == Mesi::Modified)
@@ -922,6 +939,21 @@ MemorySystem::reset()
     bus.reset();
     sharing.clear();
     holders_.clear();
+    if (profiler_)
+        profiler_->onReset();
+}
+
+std::vector<std::uint64_t>
+MemorySystem::colorOccupancy() const
+{
+    std::vector<std::uint64_t> counts(cfg.numColors(), 0);
+    for (const auto &p : ports) {
+        p->l2.forEachValid([&](const CacheLine &l) {
+            PageNum page = (l.lineAddr << lineShift) / cfg.pageBytes;
+            counts[page % cfg.numColors()]++;
+        });
+    }
+    return counts;
 }
 
 } // namespace cdpc

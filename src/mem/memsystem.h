@@ -34,6 +34,7 @@
 #include "mem/bus.h"
 #include "mem/cache.h"
 #include "mem/miss_classify.h"
+#include "mem/profile_hook.h"
 #include "mem/tlb.h"
 #include "vm/virtual_memory.h"
 
@@ -244,14 +245,15 @@ class MemorySystem
     /**
      * True when no registered hook requires the global reference
      * order (lockstep observer, dynamic-recolor conflict observer,
-     * cadence auditor) and no fallback policy can steal mapped pages
-     * out from under a privacy proof — the memory-system half of the
-     * epoch engine's eligibility check.
+     * conflict-attribution profiler, cadence auditor) and no
+     * fallback policy can steal mapped pages out from under a
+     * privacy proof — the memory-system half of the epoch engine's
+     * eligibility check.
      */
     bool parallelSafe() const
     {
-        return !observer_ && !hasConflictObserver && auditEvery_ == 0 &&
-               !vm.fallbackMaySteal();
+        return !observer_ && !hasConflictObserver && !profiler_ &&
+               auditEvery_ == 0 && !vm.fallbackMaySteal();
     }
 
     /**
@@ -323,6 +325,23 @@ class MemorySystem
      * pointer null-check per reference when absent.
      */
     void setMemObserver(MemObserver *obs) { observer_ = obs; }
+
+    /**
+     * Install (or clear, with nullptr) the conflict-attribution
+     * profiler. Not owned; must outlive the registration. Costs one
+     * pointer null-check per external-cache leg when absent. While
+     * installed, parallelSafe() turns false: last-evictor tracking
+     * needs the global reference order, so the epoch engine degrades
+     * profiled nests to serial exactly like the other observers.
+     */
+    void setConflictProfiler(ConflictProfilerHook *p) { profiler_ = p; }
+
+    /**
+     * Valid external-cache lines per page color, summed over every
+     * CPU — the profiler's set-occupancy/pressure sample (interval
+     * snapshots and the end-of-run report). size() == numColors.
+     */
+    std::vector<std::uint64_t> colorOccupancy() const;
 
     /**
      * Run auditFull() every @p every demand references (0 disables) —
@@ -469,6 +488,8 @@ class MemorySystem
     bool hasConflictObserver = false;
     /** Lockstep verification observer; null when verification is off. */
     MemObserver *observer_ = nullptr;
+    /** Conflict-attribution profiler; null when profiling is off. */
+    ConflictProfilerHook *profiler_ = nullptr;
     /** Cadence of the runtime auditor; 0 disables. */
     std::uint64_t auditEvery_ = 0;
     /** References until the next cadence audit fires. */

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ConflictProfilerHook: the memory system's half of the streaming
+ * conflict-attribution profiler (src/obs/profile.h implements it).
+ *
+ * The hierarchy reports the raw events attribution needs — which
+ * reference is driving the external-cache leg, which lines that leg
+ * (or a recoloring purge, or a tenant context switch) evicted, and
+ * which demand misses classified as conflicts — and the profiler
+ * turns them into per-color evictor→victim matrices. The interface
+ * is deliberately header-only and depends on nothing but the common
+ * types, so src/obs can implement it without linking src/mem.
+ *
+ * Timing honesty: none of these hooks return cycles; a profiled run
+ * charges exactly the stalls an unprofiled run would. The profiler
+ * does need the global reference order (last-evictor tracking is
+ * order-sensitive), so installing one turns
+ * MemorySystem::parallelSafe() false and the epoch engine degrades
+ * profiled nests to serial, like every other order-sensitive hook.
+ */
+
+#ifndef CDPC_MEM_PROFILE_HOOK_H
+#define CDPC_MEM_PROFILE_HOOK_H
+
+#include "common/types.h"
+
+namespace cdpc
+{
+
+/** Why a valid external-cache line left a CPU's cache. */
+enum class EvictCause : unsigned char
+{
+    /** Replacement by a fill (set pressure — the conflict source). */
+    Replace,
+    /** Recoloring remap purge (MemorySystem::purgePage). */
+    Recolor,
+    /** Multi-tenant context switch (MemorySystem::evictColors). */
+    ContextSwitch,
+};
+
+/** Observation interface for conflict attribution. */
+class ConflictProfilerHook
+{
+  public:
+    virtual ~ConflictProfilerHook() = default;
+
+    /**
+     * A reference (demand or software prefetch) by @p cpu to @p va
+     * is about to run its external-cache leg; any replacement
+     * evictions that leg causes are attributed to @p va's entity.
+     */
+    virtual void onRefStart(CpuId cpu, VAddr va) = 0;
+
+    /**
+     * @p cpu's external cache dropped valid line @p victim_line for
+     * @p cause. Coherence invalidations are deliberately not
+     * reported: their re-misses classify as sharing, never conflict.
+     */
+    virtual void onEvict(CpuId cpu, Addr victim_line,
+                         EvictCause cause) = 0;
+
+    /**
+     * A demand reference by @p cpu to @p va (physical @p pa) missed
+     * and classified MissKind::Conflict at local time @p now. Fires
+     * exactly once per classified conflict miss, so the profiler's
+     * per-color totals reconcile exactly with the miss_classify
+     * counters.
+     */
+    virtual void onConflictMiss(CpuId cpu, VAddr va, PAddr pa,
+                                Cycles now) = 0;
+
+    /** The hierarchy was reset(); drop all per-line state. */
+    virtual void onReset() = 0;
+};
+
+} // namespace cdpc
+
+#endif // CDPC_MEM_PROFILE_HOOK_H

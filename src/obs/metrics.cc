@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <array>
 #include <bit>
 #include <deque>
 #include <fstream>
@@ -170,13 +171,41 @@ MetricsRegistry::writeJson(std::ostream &out) const
     out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
     first = true;
     for (const auto &[name, h] : impl_->histogramByName) {
+        // One consistent copy of the buckets: the quantiles and the
+        // rendered buckets must agree even while observers run.
+        std::array<std::uint64_t, Histogram::kBuckets> counts{};
+        std::uint64_t total = 0;
+        for (unsigned b = 0; b < Histogram::kBuckets; b++) {
+            counts[b] = h->bucket(b);
+            total += counts[b];
+        }
+        // Nearest-rank quantile over the power-of-two bucket bounds:
+        // the reported value is the exclusive upper bound of the
+        // bucket holding the rank-th observation.
+        auto quantile = [&](double q) -> std::uint64_t {
+            if (total == 0)
+                return 0;
+            auto rank = static_cast<std::uint64_t>(
+                q * static_cast<double>(total) + 0.9999999);
+            if (rank < 1)
+                rank = 1;
+            std::uint64_t cum = 0;
+            for (unsigned b = 0; b < Histogram::kBuckets; b++) {
+                cum += counts[b];
+                if (cum >= rank)
+                    return b == 0 ? 1 : (1ull << b);
+            }
+            return 1ull << (Histogram::kBuckets - 1);
+        };
         out << (first ? "\n" : ",\n") << "    " << jsonQuoted(name)
             << ": {\"count\": " << h->count()
             << ", \"sum\": " << h->sum() << ", \"max\": " << h->max()
-            << ", \"buckets\": {";
+            << ", \"p50\": " << quantile(0.50)
+            << ", \"p95\": " << quantile(0.95)
+            << ", \"p99\": " << quantile(0.99) << ", \"buckets\": {";
         bool bfirst = true;
         for (unsigned b = 0; b < Histogram::kBuckets; b++) {
-            std::uint64_t n = h->bucket(b);
+            std::uint64_t n = counts[b];
             if (n == 0)
                 continue;
             // Key: exclusive upper bound of the bucket ("lt").

@@ -1,0 +1,370 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+
+#include "common/intmath.h"
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace cdpc::obs
+{
+
+namespace
+{
+
+/** Sampling period for conflict instants on the trace's sim lane. */
+constexpr std::uint64_t kConflictTraceEvery = 256;
+
+} // namespace
+
+ConflictProfiler::ConflictProfiler(const Config &cfg) : cfg_(cfg)
+{
+    fatalIf(cfg_.numCpus == 0 || cfg_.numColors == 0,
+            "profiler needs at least one CPU and one color");
+    lineShift_ = floorLog2(cfg_.lineBytes);
+
+    for (const ProfileEntity &e : cfg_.entities) {
+        auto id = static_cast<std::uint32_t>(names_.size());
+        names_.push_back(e.name);
+        entityBytes_.push_back(e.bytes);
+        if (e.bytes > 0)
+            ranges_.push_back({e.base, e.base + e.bytes, id});
+    }
+    otherId_ = static_cast<std::uint32_t>(names_.size());
+    names_.push_back("(other)");
+    entityBytes_.push_back(0);
+    recolorId_ = static_cast<std::uint32_t>(names_.size());
+    names_.push_back("(recolor)");
+    entityBytes_.push_back(0);
+    externId_ = static_cast<std::uint32_t>(names_.size());
+    names_.push_back("(extern)");
+    entityBytes_.push_back(0);
+
+    std::sort(ranges_.begin(), ranges_.end(),
+              [](const Range &a, const Range &b) {
+                  return a.base < b.base;
+              });
+
+    ctxEvictorId_ = externId_;
+    currentRef_.assign(cfg_.numCpus, externId_);
+    currentRefVa_.assign(cfg_.numCpus, 0);
+    lastEvictor_.resize(cfg_.numCpus);
+    std::size_t n = names_.size();
+    matrix_.assign(static_cast<std::size_t>(cfg_.numColors) * n * n, 0);
+    colorConflicts_.assign(cfg_.numColors, 0);
+}
+
+std::uint32_t
+ConflictProfiler::entityOf(VAddr va) const
+{
+    if (selfId_ != ~0u)
+        return selfId_;
+    // Same rule as harness/attribution's owner(): the array whose
+    // [base, end) range holds the address, else the catch-all.
+    auto it = std::upper_bound(ranges_.begin(), ranges_.end(), va,
+                               [](VAddr v, const Range &r) {
+                                   return v < r.base;
+                               });
+    if (it != ranges_.begin()) {
+        const Range &r = *std::prev(it);
+        if (va >= r.base && va < r.end)
+            return r.id;
+    }
+    return otherId_;
+}
+
+void
+ConflictProfiler::onRefStart(CpuId cpu, VAddr va)
+{
+    currentRef_[cpu] = entityOf(va);
+    currentRefVa_[cpu] = va;
+}
+
+void
+ConflictProfiler::onEvict(CpuId cpu, Addr victim_line, EvictCause cause)
+{
+    EvictRec rec;
+    switch (cause) {
+      case EvictCause::Replace:
+        rec.id = currentRef_[cpu];
+        rec.vpn = currentRefVa_[cpu] / cfg_.pageBytes;
+        rec.hasPage = true;
+        break;
+      case EvictCause::Recolor:
+        rec.id = recolorId_;
+        break;
+      case EvictCause::ContextSwitch:
+        rec.id = ctxEvictorId_;
+        break;
+      default:
+        rec.id = externId_;
+        break;
+    }
+    lastEvictor_[cpu][victim_line] = rec;
+}
+
+void
+ConflictProfiler::onConflictMiss(CpuId cpu, VAddr va, PAddr pa,
+                                 Cycles now)
+{
+    (void)now;
+    std::uint32_t victim = entityOf(va);
+    auto color = static_cast<std::uint32_t>((pa / cfg_.pageBytes) %
+                                            cfg_.numColors);
+    std::uint32_t evictor = externId_;
+    Addr line = pa >> lineShift_;
+    auto &evictors = lastEvictor_[cpu];
+    auto it = evictors.find(line);
+    if (it != evictors.end()) {
+        evictor = it->second.id;
+        // Evictor-side page evidence: a set conflict implies the
+        // displacing page shares the victim's color.
+        if (it->second.hasPage)
+            pageConflicts_[it->second.vpn * cfg_.numColors + color]++;
+        evictors.erase(it);
+    }
+    pageConflicts_[(va / cfg_.pageBytes) * cfg_.numColors + color]++;
+
+    std::size_t n = names_.size();
+    matrix_[(static_cast<std::size_t>(color) * n + evictor) * n +
+            victim]++;
+    colorConflicts_[color]++;
+    totalConflicts_++;
+
+    if (traceActive()) {
+        simInstantSampled("conflict", "profile", kConflictTraceEvery,
+                          {TraceArg{"color", color},
+                           TraceArg{"evictor", names_[evictor]},
+                           TraceArg{"victim", names_[victim]},
+                           TraceArg{"cpu", static_cast<std::uint32_t>(
+                                               cpu)}});
+    }
+}
+
+void
+ConflictProfiler::onReset()
+{
+    // reset() wipes the caches *and* the stats; the matrix mirrors
+    // the miss counters, so it goes with them.
+    for (auto &m : lastEvictor_)
+        m.clear();
+    std::fill(currentRef_.begin(), currentRef_.end(),
+              selfId_ != ~0u ? selfId_ : externId_);
+    std::fill(currentRefVa_.begin(), currentRefVa_.end(), 0);
+    std::fill(matrix_.begin(), matrix_.end(), 0);
+    std::fill(colorConflicts_.begin(), colorConflicts_.end(), 0);
+    totalConflicts_ = 0;
+    pageConflicts_.clear();
+}
+
+void
+ConflictProfiler::setSelfEntity(std::uint32_t id)
+{
+    panicIfNot(id < names_.size(), "self entity ", id, " out of range");
+    selfId_ = id;
+    std::fill(currentRef_.begin(), currentRef_.end(), id);
+}
+
+void
+ConflictProfiler::setContextEvictor(std::uint32_t id)
+{
+    panicIfNot(id < names_.size(), "context evictor ", id,
+               " out of range");
+    ctxEvictorId_ = id;
+}
+
+void
+ConflictProfiler::clearContextEvictor()
+{
+    ctxEvictorId_ = externId_;
+}
+
+bool
+ConflictProfiler::movable(std::uint32_t id) const
+{
+    // Only a real va range can be remapped; tenants and the
+    // sentinels (bytes == 0) cannot. Size is no obstacle — the
+    // advisor moves the entity's conflicting-page slice, not the
+    // whole entity.
+    return entityBytes_[id] > 0;
+}
+
+ProfileResult
+ConflictProfiler::result(std::vector<std::uint64_t> occupancy,
+                         std::size_t max_advice) const
+{
+    ProfileResult r;
+    r.enabled = true;
+    r.numColors = cfg_.numColors;
+    r.entities = names_;
+    r.matrix = matrix_;
+    r.colorConflicts = colorConflicts_;
+    r.occupancy = std::move(occupancy);
+    r.totalConflicts = totalConflicts_;
+
+    // --- Rank the contested cells -------------------------------------
+    struct CellRef
+    {
+        std::uint32_t color, evictor, victim;
+        std::uint64_t count;
+    };
+    std::size_t n = names_.size();
+    std::vector<CellRef> cells;
+    for (std::uint32_t c = 0; c < cfg_.numColors; c++) {
+        for (std::uint32_t e = 0; e < n; e++) {
+            for (std::uint32_t v = 0; v < n; v++) {
+                std::uint64_t count =
+                    matrix_[(static_cast<std::size_t>(c) * n + e) * n +
+                            v];
+                if (count)
+                    cells.push_back({c, e, v, count});
+            }
+        }
+    }
+    std::sort(cells.begin(), cells.end(),
+              [](const CellRef &a, const CellRef &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  if (a.color != b.color)
+                      return a.color < b.color;
+                  if (a.evictor != b.evictor)
+                      return a.evictor < b.evictor;
+                  return a.victim < b.victim;
+              });
+
+    // Load measure for "least-loaded legal color": conflict
+    // pressure, not occupancy — a warm cache is uniformly full per
+    // color, but conflicts concentrate where working sets collide,
+    // and that concentration is exactly what a move can escape.
+    const std::vector<std::uint64_t> &load = colorConflicts_;
+
+    // An entity that conflicts on (almost) every color is capacity-
+    // like pressure, not a placement accident: its conflicts follow
+    // the mover to any destination, so they must not count as
+    // removable when predicting a move's payoff.
+    std::vector<std::uint32_t> coverage(n, 0);
+    for (std::uint32_t c = 0; c < cfg_.numColors; c++) {
+        for (std::uint32_t e = 0; e < n; e++) {
+            for (std::uint32_t x = 0; x < n; x++) {
+                std::size_t row =
+                    (static_cast<std::size_t>(c) * n + e) * n;
+                if (matrix_[row + x] ||
+                    matrix_[(static_cast<std::size_t>(c) * n + x) * n +
+                            e]) {
+                    coverage[e]++;
+                    break;
+                }
+            }
+        }
+    }
+    auto ubiquitous = [&](std::uint32_t e) {
+        return static_cast<std::uint64_t>(coverage[e]) * 2 >
+               cfg_.numColors;
+    };
+
+    std::vector<bool> advised(n, false);
+    for (const CellRef &cell : cells) {
+        if (r.advice.size() >= max_advice)
+            break;
+
+        // The cheaper entity of the pair moves: fewer pages to remap.
+        std::uint32_t mover;
+        bool em = movable(cell.evictor), vm = movable(cell.victim);
+        if (em && vm)
+            mover = entityBytes_[cell.victim] <= entityBytes_[cell.evictor]
+                        ? cell.victim
+                        : cell.evictor;
+        else if (vm)
+            mover = cell.victim;
+        else if (em)
+            mover = cell.evictor;
+        else
+            continue;
+        if (advised[mover])
+            continue; // one move per entity; top cell decides it
+
+        // The concrete slice: the mover's pages the profiler saw
+        // conflicting at the contested color. No evidence, no move.
+        std::vector<PageNum> pages;
+        for (const auto &[key, count] : pageConflicts_) {
+            if (static_cast<std::uint32_t>(key % cfg_.numColors) !=
+                cell.color)
+                continue;
+            PageNum vpn = key / cfg_.numColors;
+            if (entityOf(vpn * cfg_.pageBytes) == mover)
+                pages.push_back(vpn);
+        }
+        if (pages.empty())
+            continue;
+        std::sort(pages.begin(), pages.end());
+        // A slice bigger than the cache behind one color would just
+        // recreate the conflict at the destination.
+        if (cfg_.colorCapacityBytes > 0 &&
+            static_cast<std::uint64_t>(pages.size()) * cfg_.pageBytes >
+                cfg_.colorCapacityBytes)
+            continue;
+
+        // Least-loaded legal color (any color but the contested one;
+        // ties break low for determinism).
+        std::uint32_t to = cell.color;
+        for (std::uint32_t k = 0; k < cfg_.numColors; k++) {
+            if (k == cell.color)
+                continue;
+            if (to == cell.color || load[k] < load[to])
+                to = k;
+        }
+        if (to == cell.color)
+            continue; // single-color machine: nowhere to go
+
+        // Predicted delta: the mover's removable conflict involvement
+        // at the contested color disappears, and a fraction of it —
+        // scaled by the destination's relative load — reappears
+        // there. Involvement with ubiquitous partners is not
+        // removable (it follows the mover) and is excluded.
+        std::uint64_t removed = 0;
+        for (std::uint32_t x = 0; x < n; x++) {
+            if (ubiquitous(x))
+                continue;
+            removed +=
+                matrix_[(static_cast<std::size_t>(cell.color) * n +
+                         mover) *
+                            n +
+                        x];
+            removed +=
+                matrix_[(static_cast<std::size_t>(cell.color) * n + x) *
+                            n +
+                        mover];
+        }
+        if (!ubiquitous(mover))
+            removed -= matrix_[(static_cast<std::size_t>(cell.color) *
+                                    n +
+                                mover) *
+                                   n +
+                               mover];
+        double scale =
+            load[cell.color] == 0
+                ? 0.0
+                : static_cast<double>(load[to]) /
+                      static_cast<double>(load[cell.color]);
+        double added = static_cast<double>(removed) * scale;
+        double delta = added - static_cast<double>(removed);
+        if (delta >= 0)
+            continue; // no predicted improvement: not advice
+
+        ProfileAdvice a;
+        a.color = cell.color;
+        a.evictor = cell.evictor;
+        a.victim = cell.victim;
+        a.conflicts = cell.count;
+        a.moveEntity = mover;
+        a.toColor = to;
+        a.movePages = pages.size();
+        a.movePageList = std::move(pages);
+        a.predictedDelta = delta;
+        r.advice.push_back(a);
+        advised[mover] = true;
+    }
+    return r;
+}
+
+} // namespace cdpc::obs

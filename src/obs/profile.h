@@ -1,0 +1,236 @@
+/**
+ * @file
+ * ConflictProfiler: streaming conflict-attribution engine and
+ * recoloring advisor (DESIGN.md §15).
+ *
+ * The memory system reports raw events through ConflictProfilerHook
+ * (mem/profile_hook.h); this class turns them into an answer to the
+ * question the paper's argument hinges on but the repro could not
+ * previously ask: *who evicted whom on which color*. An entity is an
+ * array segment of the running workload (the same owner-lookup rule
+ * harness/attribution uses) or a tenant in multi-tenant scenarios.
+ *
+ * Attribution model: every eviction of a valid external-cache line
+ * records (cpu, line) → evictor entity, where the evictor is the
+ * entity of the reference whose fill displaced the line (replacement),
+ * the recolor sentinel (purge), or the foreign tenant (context
+ * switch). When a later demand miss on that line classifies as a
+ * conflict, the faulting address *is* the displaced data, so the
+ * victim entity comes from the faulting va, the color from the
+ * physical page, and the matrix cell
+ * matrix[color][evictor][victim] increments — exactly once per
+ * classified conflict miss, which is what makes the per-color totals
+ * reconcile exactly with miss_classify's counters. Lines whose last
+ * eviction predates profiling (or was consumed) attribute to the
+ * "(extern)" sentinel; totals still reconcile.
+ */
+
+#ifndef CDPC_OBS_PROFILE_H
+#define CDPC_OBS_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/profile_hook.h"
+
+namespace cdpc::obs
+{
+
+/** One va-range → entity binding (an array segment, or a tenant
+ *  with bytes == 0, which makes it unaddressable and immovable). */
+struct ProfileEntity
+{
+    std::string name;
+    VAddr base = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** One advised recoloring move, derived from a ranked matrix cell. */
+struct ProfileAdvice
+{
+    /** The contested cell: entity ids index ProfileResult::entities. */
+    std::uint32_t color = 0;
+    std::uint32_t evictor = 0;
+    std::uint32_t victim = 0;
+    std::uint64_t conflicts = 0;
+
+    /**
+     * The proposal: remap @c moveEntity's conflicting pages at
+     * @c color (exactly @c movePageList, the pages the profiler saw
+     * conflict there) to @c toColor. Moving the slice rather than
+     * the whole entity keeps the move legal for entities far larger
+     * than the cache behind one color.
+     */
+    std::uint32_t moveEntity = 0;
+    std::uint32_t toColor = 0;
+    /** Pages the move remaps (== movePageList.size()). */
+    std::uint64_t movePages = 0;
+    /** The mover's vpns with observed conflicts at @c color. */
+    std::vector<PageNum> movePageList;
+    /**
+     * Predicted conflict-miss change (negative = improvement):
+     * −(mover's conflict involvement at the contested color) scaled
+     * back up by the destination color's relative load.
+     */
+    double predictedDelta = 0;
+    /**
+     * Measured conflict-miss change of the validation re-run
+     * (after − before); meaningful only when @c validated.
+     */
+    double measuredDelta = 0;
+    bool validated = false;
+};
+
+/** Everything a profiled run learned, ready for rendering. */
+struct ProfileResult
+{
+    bool enabled = false;
+    std::uint32_t numColors = 0;
+    std::vector<std::string> entities;
+    /** Dense [color][evictor][victim] conflict counts. */
+    std::vector<std::uint64_t> matrix;
+    /** Per-color conflict totals (row sums of the matrix). */
+    std::vector<std::uint64_t> colorConflicts;
+    /** End-of-run resident external-cache lines per color. */
+    std::vector<std::uint64_t> occupancy;
+    std::uint64_t totalConflicts = 0;
+    /** miss_classify's conflict count on the same run (harness
+     *  fills this; reconciled() must hold by construction). */
+    std::uint64_t classifiedConflicts = 0;
+    /** Ranked advice, best predicted improvement first. */
+    std::vector<ProfileAdvice> advice;
+
+    std::uint64_t
+    cell(std::uint32_t color, std::uint32_t evictor,
+         std::uint32_t victim) const
+    {
+        std::size_t n = entities.size();
+        return matrix[(color * n + evictor) * n + victim];
+    }
+
+    bool reconciled() const
+    {
+        return totalConflicts == classifiedConflicts;
+    }
+};
+
+/** The streaming engine; see the file comment for the model. */
+class ConflictProfiler final : public ConflictProfilerHook
+{
+  public:
+    struct Config
+    {
+        std::uint32_t numCpus = 1;
+        std::uint32_t numColors = 1;
+        std::uint64_t pageBytes = 4096;
+        std::uint32_t lineBytes = 64;
+        /**
+         * Cache bytes behind one page color (l2 size / colors): a
+         * conflicting-page slice larger than this would overflow its
+         * destination color, so the advisor refuses the move.
+         */
+        std::uint64_t colorCapacityBytes = 0;
+        /** Application arrays (or tenants, with bytes == 0). */
+        std::vector<ProfileEntity> entities;
+    };
+
+    explicit ConflictProfiler(const Config &cfg);
+
+    // --- ConflictProfilerHook ----------------------------------------
+    void onRefStart(CpuId cpu, VAddr va) override;
+    void onEvict(CpuId cpu, Addr victim_line, EvictCause cause) override;
+    void onConflictMiss(CpuId cpu, VAddr va, PAddr pa,
+                        Cycles now) override;
+    void onReset() override;
+
+    // --- Tenant mode --------------------------------------------------
+    /** Attribute every reference/victim of this rig to one tenant. */
+    void setSelfEntity(std::uint32_t id);
+    /** Entity charged for ContextSwitch evictions until cleared. */
+    void setContextEvictor(std::uint32_t id);
+    void clearContextEvictor();
+
+    // --- Introspection -------------------------------------------------
+    /** Entity of @p va: its array segment, or the "(other)" id. */
+    std::uint32_t entityOf(VAddr va) const;
+    std::size_t numEntities() const { return names_.size(); }
+    std::uint32_t otherEntity() const { return otherId_; }
+    std::uint32_t recolorEntity() const { return recolorId_; }
+    std::uint32_t externEntity() const { return externId_; }
+
+    /** Cumulative per-color conflict totals (snapshot sampling). */
+    const std::vector<std::uint64_t> &colorConflicts() const
+    {
+        return colorConflicts_;
+    }
+    std::uint64_t totalConflicts() const { return totalConflicts_; }
+
+    /**
+     * Freeze the accumulated matrix into a renderable result and run
+     * the advisor over it. @p occupancy is the end-of-run per-color
+     * occupancy sample (MemorySystem::colorOccupancy()); empty falls
+     * back to conflict totals as the load measure.
+     */
+    ProfileResult result(std::vector<std::uint64_t> occupancy,
+                         std::size_t max_advice = 16) const;
+
+  private:
+    struct Range
+    {
+        VAddr base = 0;
+        VAddr end = 0;
+        std::uint32_t id = 0;
+    };
+
+    bool movable(std::uint32_t id) const;
+
+    Config cfg_;
+    std::vector<std::string> names_;
+    std::vector<std::uint64_t> entityBytes_;
+    /** Sorted, disjoint va ranges for entityOf(). */
+    std::vector<Range> ranges_;
+    std::uint32_t otherId_ = 0;
+    std::uint32_t recolorId_ = 0;
+    std::uint32_t externId_ = 0;
+    /** Tenant mode: every local reference resolves to this id. */
+    std::uint32_t selfId_ = ~0u;
+    std::uint32_t ctxEvictorId_ = 0;
+    unsigned lineShift_ = 0;
+
+    /** Who last evicted a line, and from which of its own pages. */
+    struct EvictRec
+    {
+        std::uint32_t id = 0;
+        PageNum vpn = 0;
+        /** Replace evictions know the evictor's faulting page;
+         *  recolor/context-switch evictions do not. */
+        bool hasPage = false;
+    };
+
+    /** Entity of the reference currently in its external-cache leg. */
+    std::vector<std::uint32_t> currentRef_;
+    /** Its va (the evictor-page evidence for Replace evictions). */
+    std::vector<VAddr> currentRefVa_;
+    /** Per CPU: line → record of the last eviction of that line. */
+    std::vector<std::unordered_map<Addr, EvictRec>> lastEvictor_;
+
+    std::vector<std::uint64_t> matrix_;
+    std::vector<std::uint64_t> colorConflicts_;
+    std::uint64_t totalConflicts_ = 0;
+    /**
+     * (vpn * numColors + color) → conflicts that page was involved in
+     * at that color (victim side from the faulting va; evictor side
+     * from the displacing reference's va — a set conflict implies the
+     * same page color, so both pages live on the contested color).
+     * This is what turns a matrix cell into a concrete page list the
+     * advisor can remap.
+     */
+    std::unordered_map<std::uint64_t, std::uint64_t> pageConflicts_;
+};
+
+} // namespace cdpc::obs
+
+#endif // CDPC_OBS_PROFILE_H

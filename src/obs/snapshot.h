@@ -48,6 +48,15 @@ struct IntervalSnapshot
     std::vector<CpuSnapshot> cpus;
     /** Mapped pages per cache color (color-occupancy profile). */
     std::vector<std::uint32_t> colorPages;
+    /**
+     * Resident external-cache lines per color, summed over CPUs —
+     * the profiler's set-pressure sample. Empty unless the run has a
+     * conflict profiler installed, so profile-off output is
+     * unchanged.
+     */
+    std::vector<std::uint64_t> colorOccupancy;
+    /** Cumulative conflict misses per color (profiled runs only). */
+    std::vector<std::uint64_t> colorConflicts;
 };
 
 } // namespace cdpc::obs

@@ -53,7 +53,8 @@ class TraceWriter
 
     void
     event(char ph, const std::string &name, int pid, int tid,
-          double ts_us, const std::vector<TraceArg> &args)
+          double ts_us, const std::vector<TraceArg> &args,
+          const char *cat = nullptr)
     {
         char stamp[32];
         std::snprintf(stamp, sizeof(stamp), "%.3f", ts_us);
@@ -63,6 +64,8 @@ class TraceWriter
         out_ << "{\"name\": " << jsonString(name) << ", \"ph\": \""
              << ph << "\", \"pid\": " << pid << ", \"tid\": " << tid
              << ", \"ts\": " << stamp;
+        if (cat)
+            out_ << ", \"cat\": " << jsonString(cat);
         if (ph == 'i')
             out_ << ", \"s\": \"t\"";
         if (!args.empty()) {
@@ -101,11 +104,11 @@ thread_local JobTraceContext *tCtx = nullptr;
 
 void
 emit(char ph, const std::string &name, int pid, int tid, double ts_us,
-     const std::vector<TraceArg> &args = {})
+     const std::vector<TraceArg> &args = {}, const char *cat = nullptr)
 {
     std::lock_guard<std::mutex> lock(gWriterMutex);
     if (gWriter)
-        gWriter->event(ph, name, pid, tid, ts_us, args);
+        gWriter->event(ph, name, pid, tid, ts_us, args, cat);
 }
 
 /** Whether the calling thread should emit sim-lane events now. */
@@ -125,7 +128,7 @@ onFaultFire(const std::string &site)
     // A fire is interesting even for jobs that opted out of sim
     // events — fault-plan runs must be auditable.
     emit('i', "faultFire", ctx.pid, kSimTid, ctx.simNowUs,
-         {TraceArg{"site", site}});
+         {TraceArg{"site", site}}, "fault");
 }
 
 } // namespace
@@ -223,7 +226,7 @@ PhaseSpan::PhaseSpan(const char *name) : name_(name)
     if (!simLaneActive())
         return;
     JobTraceContext &ctx = traceContext();
-    emit('B', name_, ctx.pid, kSimTid, ctx.cursorUs);
+    emit('B', name_, ctx.pid, kSimTid, ctx.cursorUs, {}, "phase");
     open_ = true;
 }
 
@@ -235,7 +238,7 @@ PhaseSpan::end()
     open_ = false;
     JobTraceContext &ctx = traceContext();
     ctx.cursorUs += kPhaseWidthUs;
-    emit('E', name_, ctx.pid, kSimTid, ctx.cursorUs);
+    emit('E', name_, ctx.pid, kSimTid, ctx.cursorUs, {}, "phase");
 }
 
 SimSpan::SimSpan(const char *name) : name_(name)
@@ -245,7 +248,7 @@ SimSpan::SimSpan(const char *name) : name_(name)
     JobTraceContext &ctx = traceContext();
     ctx.simUsBase = ctx.cursorUs;
     ctx.simNowUs = ctx.cursorUs;
-    emit('B', name_, ctx.pid, kSimTid, ctx.cursorUs);
+    emit('B', name_, ctx.pid, kSimTid, ctx.cursorUs, {}, "sim");
     open_ = true;
 }
 
@@ -258,7 +261,7 @@ SimSpan::end()
     JobTraceContext &ctx = traceContext();
     // Close at the last simulated stamp, then park the cursor after
     // it so any later phase starts to the right of the sim span.
-    emit('E', name_, ctx.pid, kSimTid, ctx.simNowUs);
+    emit('E', name_, ctx.pid, kSimTid, ctx.simNowUs, {}, "sim");
     ctx.cursorUs = ctx.simNowUs + kPhaseWidthUs;
 }
 
@@ -274,22 +277,35 @@ setSimCycles(Cycles c)
 void
 simInstant(const char *name, const TraceArgs &args)
 {
+    simInstant(name, "sim", args);
+}
+
+void
+simInstant(const char *name, const char *cat, const TraceArgs &args)
+{
     if (!simLaneActive())
         return;
     JobTraceContext &ctx = traceContext();
-    emit('i', name, ctx.pid, kSimTid, ctx.simNowUs, args);
+    emit('i', name, ctx.pid, kSimTid, ctx.simNowUs, args, cat);
 }
 
 void
 simInstantSampled(const char *name, std::uint64_t every,
                   const TraceArgs &args)
 {
+    simInstantSampled(name, "sim", every, args);
+}
+
+void
+simInstantSampled(const char *name, const char *cat,
+                  std::uint64_t every, const TraceArgs &args)
+{
     if (!simLaneActive())
         return;
     JobTraceContext &ctx = traceContext();
     if (ctx.busStallTick++ % every != 0)
         return;
-    emit('i', name, ctx.pid, kSimTid, ctx.simNowUs, args);
+    emit('i', name, ctx.pid, kSimTid, ctx.simNowUs, args, cat);
 }
 
 void
@@ -297,7 +313,7 @@ counterEvent(const char *name, int pid, double ts_us, const TraceArgs &args)
 {
     if (!traceActive())
         return;
-    emit('C', name, pid, kSimTid, ts_us, args);
+    emit('C', name, pid, kSimTid, ts_us, args, "counter");
 }
 
 void
@@ -305,7 +321,7 @@ runnerBegin(const char *name, int pid, const TraceArgs &args)
 {
     if (!traceActive())
         return;
-    emit('B', name, pid, kRunnerTid, wallUs(), args);
+    emit('B', name, pid, kRunnerTid, wallUs(), args, "runner");
 }
 
 void
@@ -313,7 +329,7 @@ runnerEnd(const char *name, int pid)
 {
     if (!traceActive())
         return;
-    emit('E', name, pid, kRunnerTid, wallUs());
+    emit('E', name, pid, kRunnerTid, wallUs(), {}, "runner");
 }
 
 void
@@ -322,9 +338,9 @@ runnerSpan(const char *name, int pid, double begin_us, double end_us,
 {
     if (!traceActive())
         return;
-    emit('B', name, pid, kRunnerTid, begin_us, args);
+    emit('B', name, pid, kRunnerTid, begin_us, args, "runner");
     emit('E', name, pid, kRunnerTid,
-         end_us < begin_us ? begin_us : end_us);
+         end_us < begin_us ? begin_us : end_us, {}, "runner");
 }
 
 void
@@ -332,7 +348,7 @@ runnerInstant(const char *name, int pid, const TraceArgs &args)
 {
     if (!traceActive())
         return;
-    emit('i', name, pid, kRunnerTid, wallUs(), args);
+    emit('i', name, pid, kRunnerTid, wallUs(), args, "runner");
 }
 
 } // namespace cdpc::obs

@@ -173,6 +173,10 @@ void setSimCycles(Cycles c);
 /** Instant event on the sim lane at the current sim-time stamp. */
 void simInstant(const char *name, const TraceArgs &args);
 
+/** simInstant() with an explicit event category ("cat" field). */
+void simInstant(const char *name, const char *cat,
+                const TraceArgs &args);
+
 /**
  * simInstant() for high-frequency sites (bus stalls): emits every
  * @p every-th call per job context, so files stay small and the
@@ -180,6 +184,10 @@ void simInstant(const char *name, const TraceArgs &args);
  */
 void simInstantSampled(const char *name, std::uint64_t every,
                        const TraceArgs &args);
+
+/** simInstantSampled() with an explicit event category. */
+void simInstantSampled(const char *name, const char *cat,
+                       std::uint64_t every, const TraceArgs &args);
 
 /** Counter ('C') event on job @p pid's sim lane. */
 void counterEvent(const char *name, int pid, double ts_us,

@@ -195,6 +195,19 @@ degradationJson(const VmStats &vs)
 }
 
 std::string
+u64ArrayJson(const std::vector<std::uint64_t> &values)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); i++) {
+        if (i)
+            out += ',';
+        out += std::to_string(values[i]);
+    }
+    out += ']';
+    return out;
+}
+
+std::string
 snapshotsJson(const std::vector<obs::IntervalSnapshot> &snaps)
 {
     std::string out = "[";
@@ -236,9 +249,82 @@ snapshotsJson(const std::vector<obs::IntervalSnapshot> &snaps)
         }
         colors += ']';
         obj.field("colorPages", colors);
+        // Profiled runs only — absent otherwise, keeping profile-off
+        // snapshot output byte-identical.
+        if (!s.colorOccupancy.empty())
+            obj.field("colorOccupancy", u64ArrayJson(s.colorOccupancy));
+        if (!s.colorConflicts.empty())
+            obj.field("colorConflicts", u64ArrayJson(s.colorConflicts));
         obj.close();
     }
     out += ']';
+    return out;
+}
+
+std::string
+profileJson(const obs::ProfileResult &p)
+{
+    std::string out;
+    ObjectWriter obj(out);
+    std::string entities = "[";
+    for (std::size_t i = 0; i < p.entities.size(); i++) {
+        if (i)
+            entities += ',';
+        entities += jsonString(p.entities[i]);
+    }
+    entities += ']';
+    obj.field("entities", entities);
+    obj.field("totalConflicts", std::to_string(p.totalConflicts));
+    obj.field("classifiedConflicts",
+              std::to_string(p.classifiedConflicts));
+    obj.field("reconciled", jsonBool(p.reconciled()));
+    obj.field("colorConflicts", u64ArrayJson(p.colorConflicts));
+    obj.field("occupancy", u64ArrayJson(p.occupancy));
+    // The matrix is sparse in practice; only non-zero cells go out.
+    std::string cells = "[";
+    bool first = true;
+    std::size_t n = p.entities.size();
+    for (std::uint32_t c = 0; c < p.numColors; c++) {
+        for (std::uint32_t e = 0; e < n; e++) {
+            for (std::uint32_t v = 0; v < n; v++) {
+                std::uint64_t count = p.cell(c, e, v);
+                if (!count)
+                    continue;
+                if (!first)
+                    cells += ',';
+                first = false;
+                ObjectWriter cell(cells);
+                cell.field("color", std::to_string(c));
+                cell.field("evictor", jsonString(p.entities[e]));
+                cell.field("victim", jsonString(p.entities[v]));
+                cell.field("count", std::to_string(count));
+                cell.close();
+            }
+        }
+    }
+    cells += ']';
+    obj.field("cells", cells);
+    std::string advice = "[";
+    for (std::size_t i = 0; i < p.advice.size(); i++) {
+        const obs::ProfileAdvice &a = p.advice[i];
+        if (i)
+            advice += ',';
+        ObjectWriter adv(advice);
+        adv.field("color", std::to_string(a.color));
+        adv.field("evictor", jsonString(p.entities[a.evictor]));
+        adv.field("victim", jsonString(p.entities[a.victim]));
+        adv.field("conflicts", std::to_string(a.conflicts));
+        adv.field("move", jsonString(p.entities[a.moveEntity]));
+        adv.field("toColor", std::to_string(a.toColor));
+        adv.field("movePages", std::to_string(a.movePages));
+        adv.field("predictedDelta", jsonNumber(a.predictedDelta));
+        adv.field("measuredDelta", jsonNumber(a.measuredDelta));
+        adv.field("validated", jsonBool(a.validated));
+        adv.close();
+    }
+    advice += ']';
+    obj.field("advice", advice);
+    obj.close();
     return out;
 }
 
@@ -256,6 +342,12 @@ tagsJson(const std::vector<std::string> &tags)
 }
 
 } // namespace
+
+std::string
+profileToJson(const obs::ProfileResult &p)
+{
+    return profileJson(p);
+}
 
 std::string
 jsonEscape(const std::string &s)
@@ -326,6 +418,10 @@ resultToJson(const JobResult &r)
     // keeping every pre-existing output byte-identical.
     if (!res.snapshots.empty())
         obj.field("snapshots", snapshotsJson(res.snapshots));
+    // Same contract for the conflict profiler: absent unless the run
+    // asked for it, so profile-off outputs never change.
+    if (res.profile.enabled)
+        obj.field("profile", profileJson(res.profile));
     std::string derived;
     {
         ObjectWriter d(derived);

@@ -40,11 +40,23 @@
 #include "runner/job.h"
 #include "runner/journal.h"
 
+namespace cdpc::obs
+{
+struct ProfileResult;
+}
+
 namespace cdpc::runner
 {
 
 /** JSON-escape the contents of @p s (no surrounding quotes). */
 std::string jsonEscape(const std::string &s);
+
+/**
+ * One JSON object for a run's conflict-attribution profile (entities,
+ * per-color totals, sparse matrix cells, advice). The same renderer
+ * resultToJson embeds; exposed for `cdpcsim profile --out`.
+ */
+std::string profileToJson(const obs::ProfileResult &p);
 
 /**
  * Shortest decimal form of @p v that round-trips exactly, rendered

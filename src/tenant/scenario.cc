@@ -95,6 +95,7 @@ struct TenantRig
     std::unique_ptr<MemorySystem> mem;
     std::unique_ptr<DynamicRecolorer> recolorer;
     std::unique_ptr<verify::DifferentialVerifier> verifier;
+    std::unique_ptr<obs::ConflictProfiler> profiler;
     std::unique_ptr<MpSimulator> sim;
     /** Partial result; plan/summaries land here at build time. */
     ExperimentResult res;
@@ -103,7 +104,8 @@ struct TenantRig
 
 std::unique_ptr<TenantRig>
 buildRig(const TenantSpec &t, PhysMem &phys, const ColorLease &lease,
-         bool hard)
+         bool hard, const std::vector<std::string> &tenant_names,
+         std::size_t self)
 {
     const ExperimentConfig &config = t.base;
     const MachineConfig &m = config.machine;
@@ -214,10 +216,30 @@ buildRig(const TenantSpec &t, PhysMem &phys, const ColorLease &lease,
     }
     if (config.auditEvery)
         rig->mem->setAuditEvery(config.auditEvery);
+    // Conflict attribution in tenant mode: entities are the
+    // co-resident tenants themselves (immovable — the advisor has no
+    // array to remap), every miss of this rig is "us", and the
+    // context-switch evictor is stamped by the co-scheduler right
+    // before each cross-tenant eviction pass.
+    if (config.profile) {
+        obs::ConflictProfiler::Config pc;
+        pc.numCpus = m.numCpus;
+        pc.numColors = static_cast<std::uint32_t>(m.numColors());
+        pc.pageBytes = m.pageBytes;
+        pc.lineBytes = m.l2.lineBytes;
+        pc.colorCapacityBytes = m.l2.sizeBytes / m.numColors();
+        for (const std::string &name : tenant_names)
+            pc.entities.push_back({name, 0, 0});
+        rig->profiler = std::make_unique<obs::ConflictProfiler>(pc);
+        rig->profiler->setSelfEntity(
+            static_cast<std::uint32_t>(self));
+        rig->mem->setConflictProfiler(rig->profiler.get());
+    }
     rig->sim = std::make_unique<MpSimulator>(m, *rig->mem);
     rig->simopts = config.sim;
     if (rig->simopts.statsInterval && !rig->simopts.snapshots)
         rig->simopts.snapshots = &rig->res.snapshots;
+    rig->simopts.profiler = rig->profiler.get();
     return rig;
 }
 
@@ -240,6 +262,12 @@ finalizeRig(TenantRig &rig, const TenantSpec &t,
         res.verifiedDeepCompares = rig.verifier->stats().deepCompares;
     }
     res.auditsRun = rig.mem->auditsRun();
+    if (rig.profiler) {
+        res.profile = rig.profiler->result(rig.mem->colorOccupancy());
+        res.profile.classifiedConflicts =
+            rig.mem->totalStats().missCount[static_cast<std::size_t>(
+                MissKind::Conflict)];
+    }
     res.workload = rig.program.name;
     res.policy = mappingName(t.base.mapping);
     res.ncpus = t.base.machine.numCpus;
@@ -416,7 +444,8 @@ runTenantAlone(const ScenarioSpec &spec, std::size_t idx)
         all.colors[c] = static_cast<Color>(c);
     all.unlimited = true;
 
-    std::unique_ptr<TenantRig> rig = buildRig(t, phys, all, false);
+    std::unique_ptr<TenantRig> rig =
+        buildRig(t, phys, all, false, {t.name}, 0);
     TenantStepper stepper(*rig);
     while (!stepper.done())
         stepper.step();
@@ -452,11 +481,16 @@ runScenario(const ScenarioSpec &spec, const ScenarioOptions &opts)
     // --- Leases and per-tenant stacks ---------------------------------
     ColorBroker broker(spec);
     bool hard = spec.budget != BudgetPolicy::BestEffort;
+    std::vector<std::string> tenant_names;
+    tenant_names.reserve(n);
+    for (const TenantSpec &t : spec.tenants)
+        tenant_names.push_back(t.name);
     std::vector<std::unique_ptr<TenantRig>> rigs;
     rigs.reserve(n);
     for (std::size_t i = 0; i < n; i++)
-        rigs.push_back(
-            buildRig(spec.tenants[i], phys, broker.lease(i), hard));
+        rigs.push_back(buildRig(spec.tenants[i], phys,
+                                broker.lease(i), hard, tenant_names,
+                                i));
 
     // --- Placement ----------------------------------------------------
     std::vector<TenantFootprint> footprints;
@@ -526,11 +560,18 @@ runScenario(const ScenarioSpec &spec, const ScenarioOptions &opts)
                     if (u == t || steppers[u]->done())
                         continue;
                     foreign = true;
+                    // Attribute the lines this pass evicts to the
+                    // foreign tenant that owns the colors.
+                    if (rig.profiler)
+                        rig.profiler->setContextEvictor(
+                            static_cast<std::uint32_t>(u));
                     std::uint64_t evicted = rig.mem->evictColors(
                         v, rigs[u]->mem->colorFootprint(uv));
                     out.tenants[t].crossTenantEvictions += evicted;
                     out.tenants[u].evictionsInflicted += evicted;
                 }
+                if (rig.profiler)
+                    rig.profiler->clearContextEvictor();
                 if (foreign) {
                     rig.mem->flushTlb(v);
                     out.tenants[t].tlbFlushes++;
@@ -718,6 +759,33 @@ canonicalScenario(const ScenarioResult &res)
         for (std::size_t r = 0; r < tr.roundWalls.size(); r++)
             os << (r ? "," : "") << g17(tr.roundWalls[r]);
         os << "\n";
+        // Both blocks below are emitted only when the run asked for
+        // them (--stats-interval / --profile), so every pre-existing
+        // serialization — including the tenant1 golden — is
+        // byte-identical.
+        for (const obs::IntervalSnapshot &s : tr.result.snapshots) {
+            double refs = 0, l1 = 0, l2 = 0;
+            for (const obs::CpuSnapshot &cs : s.cpus) {
+                refs += static_cast<double>(cs.refs);
+                l1 += static_cast<double>(cs.l1Misses);
+                l2 += static_cast<double>(cs.l2Misses);
+            }
+            os << "snapshot " << tr.name << " seq=" << s.seq
+               << " cycles=" << s.cycles << " refs=" << g17(refs)
+               << " l1Misses=" << g17(l1) << " l2Misses=" << g17(l2)
+               << "\n";
+        }
+        if (tr.result.profile.enabled) {
+            const obs::ProfileResult &p = tr.result.profile;
+            os << "profile " << tr.name
+               << " conflicts=" << p.totalConflicts
+               << " classified=" << p.classifiedConflicts
+               << " reconciled=" << (p.reconciled() ? 1 : 0)
+               << " colorConflicts=";
+            for (std::size_t c = 0; c < p.colorConflicts.size(); c++)
+                os << (c ? "," : "") << p.colorConflicts[c];
+            os << "\n";
+        }
     }
     return os.str();
 }

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Conflict-attribution profiler tests (DESIGN.md §15): synthetic
+ * event-stream attribution, advisor behavior, exact reconciliation
+ * of the matrix against miss_classify's conflict counter in a real
+ * run, and byte-identity of profiler-off figure records across
+ * epoch-engine thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "harness/experiment.h"
+#include "obs/profile.h"
+#include "verify/golden.h"
+
+namespace cdpc
+{
+namespace
+{
+
+using obs::ConflictProfiler;
+using obs::ProfileResult;
+
+ConflictProfiler::Config
+syntheticConfig()
+{
+    ConflictProfiler::Config cfg;
+    cfg.numCpus = 1;
+    cfg.numColors = 4;
+    cfg.pageBytes = 4096;
+    cfg.lineBytes = 64;
+    cfg.colorCapacityBytes = 0; // no slice-size gate in unit tests
+    cfg.entities.push_back({"A", 0, 4 * 4096});
+    cfg.entities.push_back({"B", 4 * 4096, 4 * 4096});
+    return cfg;
+}
+
+TEST(ConflictProfilerUnit, AttributesEvictorAndVictim)
+{
+    ConflictProfiler prof(syntheticConfig());
+    std::uint32_t a = prof.entityOf(0);
+    std::uint32_t b = prof.entityOf(4 * 4096);
+    ASSERT_NE(a, b);
+    ASSERT_NE(a, prof.otherEntity());
+    ASSERT_NE(b, prof.otherEntity());
+
+    // B's reference displaces a line; A later conflict-misses on it.
+    PAddr pa = 2 * 4096; // page color 2
+    Addr line = pa >> 6;
+    prof.onRefStart(0, 4 * 4096);
+    prof.onEvict(0, line, EvictCause::Replace);
+    prof.onRefStart(0, 0);
+    prof.onConflictMiss(0, 0, pa, 100);
+
+    ProfileResult r = prof.result({});
+    EXPECT_EQ(r.totalConflicts, 1u);
+    EXPECT_EQ(r.cell(2, b, a), 1u);
+    EXPECT_EQ(r.colorConflicts[2], 1u);
+    EXPECT_EQ(r.colorConflicts[0], 0u);
+
+    // A second miss on the same line has no recorded evictor left
+    // (the record was consumed): it attributes to "(extern)".
+    prof.onConflictMiss(0, 0, pa, 200);
+    ProfileResult r2 = prof.result({});
+    EXPECT_EQ(r2.cell(2, prof.externEntity(), a), 1u);
+    EXPECT_EQ(r2.totalConflicts, 2u);
+}
+
+TEST(ConflictProfilerUnit, AdvisorMovesConflictingPageSlice)
+{
+    ConflictProfiler prof(syntheticConfig());
+    std::uint32_t a = prof.entityOf(0);
+    std::uint32_t b = prof.entityOf(4 * 4096);
+
+    PAddr pa = 2 * 4096;
+    Addr line = pa >> 6;
+    prof.onRefStart(0, 4 * 4096);
+    prof.onEvict(0, line, EvictCause::Replace);
+    prof.onConflictMiss(0, 0, pa, 100);
+
+    ProfileResult r = prof.result({});
+    ASSERT_EQ(r.advice.size(), 1u);
+    const obs::ProfileAdvice &adv = r.advice[0];
+    EXPECT_EQ(adv.color, 2u);
+    EXPECT_EQ(adv.evictor, b);
+    EXPECT_EQ(adv.victim, a);
+    // Equal-sized pair: the tie breaks to the victim, and the slice
+    // is the victim's one observed conflicting page.
+    EXPECT_EQ(adv.moveEntity, a);
+    ASSERT_EQ(adv.movePageList.size(), 1u);
+    EXPECT_EQ(adv.movePageList[0], 0u);
+    EXPECT_NE(adv.toColor, 2u);
+    EXPECT_LT(adv.predictedDelta, 0.0);
+}
+
+TEST(ConflictProfilerUnit, ContextSwitchChargesForeignTenant)
+{
+    ConflictProfiler::Config cfg = syntheticConfig();
+    ConflictProfiler prof(cfg);
+    std::uint32_t a = prof.entityOf(0);
+    std::uint32_t b = prof.entityOf(4 * 4096);
+
+    prof.setContextEvictor(b);
+    PAddr pa = 3 * 4096;
+    prof.onEvict(0, pa >> 6, EvictCause::ContextSwitch);
+    prof.clearContextEvictor();
+    prof.onConflictMiss(0, 0, pa, 50);
+
+    ProfileResult r = prof.result({});
+    EXPECT_EQ(r.cell(3, b, a), 1u);
+    // Context-switch evictions carry no evictor-page evidence, so no
+    // advice can propose moving the immaterial "evictor page"; the
+    // victim's page still contributes to its own slice.
+    for (const obs::ProfileAdvice &adv : r.advice)
+        EXPECT_EQ(adv.moveEntity, a);
+}
+
+TEST(ConflictProfilerUnit, ResetClearsWithStats)
+{
+    ConflictProfiler prof(syntheticConfig());
+    prof.onRefStart(0, 0);
+    prof.onEvict(0, 32, EvictCause::Replace);
+    prof.onConflictMiss(0, 0, 2 * 4096, 10);
+    EXPECT_EQ(prof.totalConflicts(), 1u);
+    prof.onReset();
+    EXPECT_EQ(prof.totalConflicts(), 0u);
+    ProfileResult r = prof.result({});
+    EXPECT_EQ(r.totalConflicts, 0u);
+    for (std::uint64_t v : r.colorConflicts)
+        EXPECT_EQ(v, 0u);
+}
+
+/** The lockstep reconciliation contract: matrix per-color totals sum
+ *  to exactly what miss_classify counted as conflicts. */
+TEST(ProfileExperiment, MatrixReconcilesWithMissClassify)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(2);
+    cfg.mapping = MappingPolicy::Cdpc;
+    cfg.profile = true;
+    ExperimentResult res = runWorkload("107.mgrid", cfg);
+
+    ASSERT_TRUE(res.profile.enabled);
+    // classifiedConflicts is the raw miss_classify counter the
+    // harness read back from the memory system (WeightedTotals
+    // extrapolates by phase weights, so it is not comparable); the
+    // matrix must match it event for event.
+    EXPECT_TRUE(res.profile.reconciled());
+    EXPECT_GT(res.profile.totalConflicts, 0u);
+    EXPECT_EQ(res.profile.totalConflicts,
+              res.profile.classifiedConflicts);
+
+    // Per-color: every color's matrix cells sum to colorConflicts[c],
+    // and the colors sum to the total.
+    std::size_t n = res.profile.entities.size();
+    std::uint64_t grand = 0;
+    for (std::uint32_t c = 0; c < res.profile.numColors; c++) {
+        std::uint64_t color_total = 0;
+        for (std::uint32_t e = 0; e < n; e++)
+            for (std::uint32_t v = 0; v < n; v++)
+                color_total += res.profile.cell(c, e, v);
+        EXPECT_EQ(color_total, res.profile.colorConflicts[c])
+            << "color " << c;
+        grand += color_total;
+    }
+    EXPECT_EQ(grand, res.profile.totalConflicts);
+}
+
+TEST(ProfileExperiment, OffByDefaultAndDisabledInResult)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::paperScaled(1);
+    ExperimentResult res = runWorkload("101.tomcatv", cfg);
+    EXPECT_FALSE(res.profile.enabled);
+    EXPECT_TRUE(res.profile.advice.empty());
+}
+
+/** Profiler-off fig6 records must be byte-identical whether the
+ *  epoch engine runs serial or with 4 shards — the golden registry
+ *  depends on it. */
+TEST(ProfileGolden, OffIsBitIdenticalAcrossSimThreads)
+{
+    std::size_t checked = 0;
+    for (const verify::GoldenJob &j : verify::goldenJobs("fig6")) {
+        if (j.label.find("cpus=2/") == std::string::npos)
+            continue;
+        ExperimentConfig serial = j.config;
+        serial.sim.simThreads = 1;
+        ExperimentConfig sharded = j.config;
+        sharded.sim.simThreads = 4;
+        std::string a =
+            verify::goldenRecord(j.label, runWorkload(j.workload, serial));
+        std::string b = verify::goldenRecord(j.label,
+                                             runWorkload(j.workload,
+                                                         sharded));
+        EXPECT_EQ(a, b) << j.label;
+        checked++;
+    }
+    EXPECT_GE(checked, 2u);
+}
+
+/** Profiled runs degrade parallel nests to serial: the figure record
+ *  and the matrix must not depend on simThreads. */
+TEST(ProfileGolden, ProfiledRunDegradesDeterministically)
+{
+    verify::GoldenJob job;
+    for (const verify::GoldenJob &j : verify::goldenJobs("fig6")) {
+        if (j.label.find("cpus=2/") != std::string::npos) {
+            job = j;
+            break;
+        }
+    }
+    ASSERT_FALSE(job.workload.empty());
+
+    ExperimentConfig serial = job.config;
+    serial.profile = true;
+    serial.sim.simThreads = 1;
+    ExperimentConfig sharded = serial;
+    sharded.sim.simThreads = 4;
+
+    ExperimentResult ra = runWorkload(job.workload, serial);
+    ExperimentResult rb = runWorkload(job.workload, sharded);
+    EXPECT_EQ(verify::goldenRecord(job.label, ra),
+              verify::goldenRecord(job.label, rb));
+    ASSERT_TRUE(ra.profile.enabled);
+    ASSERT_TRUE(rb.profile.enabled);
+    EXPECT_EQ(ra.profile.totalConflicts, rb.profile.totalConflicts);
+    EXPECT_EQ(ra.profile.matrix, rb.profile.matrix);
+}
+
+} // namespace
+} // namespace cdpc

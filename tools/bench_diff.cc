@@ -18,15 +18,18 @@
  *    metrics from BENCH_ext_multitenant.json; the ".missvar",
  *    ".p99slowdown" and ".crossevict" suffixes are lower-is-better,
  *    the rest are context.
+ *  - keys starting with "prof." are conflict-profiler metrics from
+ *    the profile-smoke job; the ".conflicts" suffix is lower-is-
+ *    better, the rest are context.
  *  - every other numeric key is reported for context only.
  *
  * Keys present in only one file are listed but by default never fail
  * the run (benchmark filters and battery changes would otherwise
  * break CI spuriously); --strict-keys turns any one-sided key into a
  * failure, for pipelines that pin the battery and want to catch a
- * silently dropped benchmark. "mt." keys are exempt from
- * --strict-keys: baselines captured before the multi-tenant bench
- * existed stay usable under strict pipelines. Exit status: 0 clean,
+ * silently dropped benchmark. "mt." and "prof." keys are exempt from
+ * --strict-keys: baselines captured before the multi-tenant bench or
+ * the conflict profiler existed stay usable under strict pipelines. Exit status: 0 clean,
  * 1 regression or strict-key mismatch, 2 usage/parse error.
  *
  * The parser is deliberately hand-rolled: the repo has no JSON
@@ -141,6 +144,20 @@ isMultiTenantRegression(const std::string &key)
             endsWith(key, ".crossevict"));
 }
 
+/** Conflict-profiler metric (profile-smoke's prof_summary.json)? */
+bool
+isProfileKey(const std::string &key)
+{
+    return key.compare(0, 5, "prof.") == 0;
+}
+
+/** Lower-is-better conflict-profiler metric? */
+bool
+isProfileRegression(const std::string &key)
+{
+    return isProfileKey(key) && endsWith(key, ".conflicts");
+}
+
 } // namespace
 
 int
@@ -192,15 +209,17 @@ main(int argc, char **argv)
         auto it = cur.find(key);
         if (it == cur.end()) {
             std::cout << "  [skip] " << key << ": only in baseline\n";
-            // mt.* cells come and go with the sweep grid; they never
-            // count against --strict-keys.
-            if (!isMultiTenantKey(key))
+            // mt.* cells come and go with the sweep grid, and prof.*
+            // keys with the smoke figure; neither counts against
+            // --strict-keys.
+            if (!isMultiTenantKey(key) && !isProfileKey(key))
                 one_sided++;
             continue;
         }
         double cur_v = it->second;
-        bool lower_better =
-            endsWith(key, "_ns") || isMultiTenantRegression(key);
+        bool lower_better = endsWith(key, "_ns") ||
+                            isMultiTenantRegression(key) ||
+                            isProfileRegression(key);
         bool higher_better = key == "refsPerSecond" ||
                              key == "simdParallelEfficiency";
         if (!lower_better && !higher_better)
@@ -223,9 +242,10 @@ main(int argc, char **argv)
             std::cout << "  [new ] " << key << " = " << v
                       << " (no baseline)\n";
             one_sided++;
-        } else if (isMultiTenantRegression(key)) {
-            // New isolation metrics vs an older baseline: visible but
-            // exempt from --strict-keys.
+        } else if (isMultiTenantRegression(key) ||
+                   isProfileRegression(key)) {
+            // New isolation/profiler metrics vs an older baseline:
+            // visible but exempt from --strict-keys.
             std::cout << "  [new ] " << key << " = " << v
                       << " (no baseline)\n";
         }

@@ -38,6 +38,16 @@
  *       the verification counters; any divergence aborts with a
  *       minimal repro. A figure name (fig6 fig7 fig8 table2 tenant1)
  *       runs that golden grid under verification.
+ *   cdpcsim profile <figure|workload> [options]
+ *       Conflict-attribution profiling (DESIGN.md §15): run with the
+ *       streaming profiler attached, print the per-color
+ *       evictor→victim conflict matrix, per-color occupancy and
+ *       pressure, and the recoloring advisor's ranked proposals;
+ *       the best-predicted move is validated by re-running with the
+ *       proposed preferred-color overrides and reporting the
+ *       measured conflict-miss delta. --top N bounds the cells and
+ *       advice shown; --out FILE writes one JSON object per run for
+ *       tools/color_report.
  *   cdpcsim tenants <spec-file> [options]
  *       Run a multi-tenant scenario (DESIGN.md §12): N workloads
  *       co-scheduled over one machine under per-tenant color
@@ -187,6 +197,10 @@ struct CliOptions
     std::uint64_t auditEvery = 0;
     /** Epoch-engine host threads per experiment; 0 = auto. */
     std::uint32_t simThreads = 1;
+    /** Matrix cells / advice entries shown by `profile`. */
+    std::uint32_t top = 10;
+    /** Attach the conflict profiler (tenants runs). */
+    bool profile = false;
 };
 
 [[noreturn]] void
@@ -215,8 +229,15 @@ usage(const char *msg = nullptr)
         "  hints <summaries>    CDPC plan from saved summaries\n"
         "  batch <spec-file>    job specs through the batch engine\n"
         "  verify <fig|wkld>    lockstep differential verification\n"
+        "  profile <fig|wkld>   conflict attribution: evictor->victim "
+        "matrix,\n"
+        "                       per-color pressure, recoloring advice "
+        "(--top N,\n"
+        "                       --out FILE for tools/color_report)\n"
         "  tenants <spec-file>  multi-tenant scenario with isolation "
         "metrics\n"
+        "                       (--profile attributes cross-tenant "
+        "conflicts)\n"
         "options: --cpus N --policy pc|bh|cdpc|cdpc-touch\n"
         "         --machine scaled|scaled-2way|scaled-4mb|alpha|full\n"
         "         --cache KB --assoc N --prefetch --dynamic\n"
@@ -231,6 +252,8 @@ usage(const char *msg = nullptr)
         "         --verify-every N --audit-every N\n"
         "         --sim-threads N|auto (epoch-parallel engine; "
         "bit-identical output)\n"
+        "         --top N (profile: cells/advice shown) --profile "
+        "(tenants)\n"
         "exit codes: 0 success, 1 quarantined jobs, 2 usage/fatal,\n"
         "            3 internal panic, 4 interrupted (resumable "
         "with --resume)\n";
@@ -335,6 +358,11 @@ parseArgs(int argc, char **argv)
         else if (a == "--audit-every")
             o.auditEvery = static_cast<std::uint64_t>(
                 std::atoll(need_value("--audit-every").c_str()));
+        else if (a == "--top")
+            o.top = static_cast<std::uint32_t>(
+                std::atoi(need_value("--top").c_str()));
+        else if (a == "--profile")
+            o.profile = true;
         else if (a == "--sim-threads") {
             std::string v = need_value("--sim-threads");
             o.simThreads =
@@ -1047,12 +1075,231 @@ cmdVerify(const CliOptions &o)
 }
 
 int
+cmdProfile(const CliOptions &o)
+{
+    if (o.workload.empty())
+        usage("profile needs a figure (fig6 fig7 fig8 table2 "
+              "tenant1) or a workload");
+
+    const std::vector<std::string> &figures = verify::goldenFigures();
+    bool is_figure = std::find(figures.begin(), figures.end(),
+                               o.workload) != figures.end();
+
+    std::vector<std::string> labels;
+    std::vector<runner::JobSpec> specs;
+    if (is_figure) {
+        for (verify::GoldenJob &j : verify::goldenJobs(o.workload)) {
+            j.config.profile = true;
+            runner::JobSpec spec =
+                runner::makeJob(j.workload, j.config);
+            spec.trace = false;
+            labels.push_back(j.label);
+            specs.push_back(std::move(spec));
+        }
+    } else {
+        ExperimentConfig cfg = makeConfig(o, o.cpus, o.policy);
+        cfg.profile = true;
+        labels.push_back(o.workload);
+        specs.push_back(runner::makeJob(o.workload, cfg));
+    }
+
+    // Validation re-runs need the original configs after the batch
+    // engine consumes the specs.
+    std::vector<runner::JobSpec> orig = specs;
+    runner::BatchOptions bopts;
+    bopts.jobs = o.jobs;
+    std::vector<ExperimentResult> results =
+        runner::runBatchOrThrow(std::move(specs), bopts);
+
+    // --- Reconciliation + summary -------------------------------------
+    std::size_t unreconciled = 0;
+    TextTable t({"run", "conflicts", "reconciled", "top color",
+                 "advice"});
+    for (std::size_t i = 0; i < results.size(); i++) {
+        const obs::ProfileResult &p = results[i].profile;
+        if (!p.reconciled())
+            unreconciled++;
+        std::uint32_t top_color = 0;
+        for (std::uint32_t c = 1; c < p.colorConflicts.size(); c++)
+            if (p.colorConflicts[c] > p.colorConflicts[top_color])
+                top_color = c;
+        t.addRow({labels[i], fmtI(p.totalConflicts),
+                  p.reconciled() ? "yes" : "NO",
+                  p.totalConflicts
+                      ? std::to_string(top_color) + " (" +
+                            fmtI(p.colorConflicts[top_color]) + ")"
+                      : "-",
+                  std::to_string(p.advice.size())});
+    }
+    std::cout << o.workload << ": conflict attribution over "
+              << results.size() << " run(s)\n" << t.render() << "\n";
+
+    // --- Rank advised moves across all runs ---------------------------
+    struct Candidate
+    {
+        std::size_t job;
+        std::size_t adv;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < results.size(); i++)
+        for (std::size_t a = 0; a < results[i].profile.advice.size();
+             a++)
+            candidates.push_back({i, a});
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const Candidate &a, const Candidate &b) {
+                  return results[a.job]
+                             .profile.advice[a.adv]
+                             .predictedDelta <
+                         results[b.job]
+                             .profile.advice[b.adv]
+                             .predictedDelta;
+              });
+    std::size_t best_job =
+        candidates.empty() ? results.size() : candidates[0].job;
+
+    // Detail view: the run holding the best advice, else the most
+    // conflicted run.
+    std::size_t detail = best_job;
+    if (detail == results.size()) {
+        detail = 0;
+        for (std::size_t i = 1; i < results.size(); i++)
+            if (results[i].profile.totalConflicts >
+                results[detail].profile.totalConflicts)
+                detail = i;
+    }
+    if (detail < results.size() &&
+        results[detail].profile.totalConflicts > 0) {
+        const obs::ProfileResult &p = results[detail].profile;
+        struct Cell
+        {
+            std::uint32_t c, e, v;
+            std::uint64_t count;
+        };
+        std::vector<Cell> cells;
+        std::size_t n = p.entities.size();
+        for (std::uint32_t c = 0; c < p.numColors; c++)
+            for (std::uint32_t e = 0; e < n; e++)
+                for (std::uint32_t v = 0; v < n; v++)
+                    if (std::uint64_t k = p.cell(c, e, v))
+                        cells.push_back({c, e, v, k});
+        std::sort(cells.begin(), cells.end(),
+                  [](const Cell &a, const Cell &b) {
+                      return a.count > b.count;
+                  });
+        TextTable m({"color", "evictor", "victim", "conflicts"});
+        std::size_t show =
+            std::min<std::size_t>(cells.size(), o.top);
+        for (std::size_t i = 0; i < show; i++)
+            m.addRow({std::to_string(cells[i].c),
+                      p.entities[cells[i].e], p.entities[cells[i].v],
+                      fmtI(cells[i].count)});
+        std::cout << labels[detail] << ": top conflict cells ("
+                  << show << " of " << cells.size() << ")\n"
+                  << m.render() << "\n";
+
+        if (!p.advice.empty()) {
+            TextTable adv({"move", "from", "to", "pages",
+                           "predicted d-conflicts"});
+            std::size_t ashow =
+                std::min<std::size_t>(p.advice.size(), o.top);
+            for (std::size_t i = 0; i < ashow; i++) {
+                const obs::ProfileAdvice &a = p.advice[i];
+                adv.addRow({p.entities[a.moveEntity],
+                            std::to_string(a.color),
+                            std::to_string(a.toColor),
+                            std::to_string(a.movePages),
+                            fmtF(a.predictedDelta, 1)});
+            }
+            std::cout << labels[detail] << ": recoloring advice\n"
+                      << adv.render() << "\n";
+        }
+    }
+
+    // --- Validate advised moves by re-running with overrides ----------
+    // Best-predicted first; stop at the first move that measures an
+    // improvement (up to 3 attempts). Every attempted move keeps its
+    // measured delta, improved or not — validation is a measurement,
+    // not a filter.
+    const std::size_t kMaxValidations = 3;
+    bool improved = false;
+    for (std::size_t k = 0;
+         k < candidates.size() && k < kMaxValidations && !improved;
+         k++) {
+        obs::ProfileAdvice &a = results[candidates[k].job]
+                                    .profile.advice[candidates[k].adv];
+        const obs::ProfileResult &p = results[candidates[k].job].profile;
+        const runner::JobSpec &spec = orig[candidates[k].job];
+        if (a.movePageList.empty())
+            continue;
+        // The advice carries the exact conflicting pages to remap.
+        std::vector<ColorHint> ov;
+        ov.reserve(a.movePageList.size());
+        for (PageNum vpn : a.movePageList)
+            ov.push_back({vpn, static_cast<Color>(a.toColor)});
+        ExperimentConfig vcfg = spec.config;
+        vcfg.profile = false;
+        vcfg.colorOverrides = ov;
+        ExperimentResult after = runWorkload(spec.workload, vcfg);
+        double before_conf = results[candidates[k].job]
+                                 .totals.missCountOf(
+                                     MissKind::Conflict);
+        double after_conf =
+            after.totals.missCountOf(MissKind::Conflict);
+        a.measuredDelta = after_conf - before_conf;
+        a.validated = true;
+        improved = a.measuredDelta < 0;
+        std::cout << "validation (" << labels[candidates[k].job]
+                  << "): move " << p.entities[a.moveEntity]
+                  << " color " << a.color << " -> " << a.toColor
+                  << " (" << ov.size() << " pages): conflicts "
+                  << fmtF(before_conf, 0) << " -> "
+                  << fmtF(after_conf, 0) << " (predicted "
+                  << fmtF(a.predictedDelta, 1) << ", measured "
+                  << fmtF(a.measuredDelta, 1) << ", "
+                  << (improved ? "improved" : "not improved")
+                  << ")\n";
+    }
+    if (candidates.empty())
+        std::cout << "no recoloring advice (no movable entity "
+                     "predicts an improvement)\n";
+
+    if (!o.out.empty()) {
+        std::ofstream out(o.out, std::ios::trunc);
+        fatalIf(!out, "cannot write profile report to ", o.out);
+        for (std::size_t i = 0; i < results.size(); i++) {
+            out << "{\"label\":\""
+                << runner::jsonEscape(labels[i]) << "\","
+                << "\"workload\":\""
+                << runner::jsonEscape(orig[i].workload) << "\","
+                << "\"cpus\":" << orig[i].config.machine.numCpus
+                << ","
+                << "\"policy\":\""
+                << mappingName(orig[i].config.mapping) << "\","
+                << "\"profile\":"
+                << runner::profileToJson(results[i].profile)
+                << "}\n";
+        }
+        std::cout << "profile report written to " << o.out << "\n";
+    }
+    return unreconciled == 0 ? 0 : 1;
+}
+
+int
 cmdTenants(const CliOptions &o)
 {
     if (o.workload.empty())
         usage("tenants needs a scenario spec file");
     tenant::ScenarioSpec spec =
         tenant::parseScenarioFile(o.workload);
+    // Observability knobs ride the command line, not the spec file:
+    // interval snapshots and conflict attribution apply to every
+    // tenant of the scenario.
+    for (tenant::TenantSpec &t : spec.tenants) {
+        if (o.statsInterval)
+            t.base.sim.statsInterval = o.statsInterval;
+        if (o.profile)
+            t.base.profile = true;
+    }
     tenant::ScenarioOptions topts;
     topts.jobs = o.jobs;
     tenant::AloneCache cache;
@@ -1095,6 +1342,35 @@ cmdTenants(const CliOptions &o)
         std::cout << ", max slowdown "
                   << fmtF(res.maxSlowdown, 3) << "x";
     std::cout << "\n";
+
+    for (const tenant::TenantResult &tr : res.tenants) {
+        if (!tr.result.snapshots.empty())
+            std::cout << tr.name << ": "
+                      << tr.result.snapshots.size()
+                      << " interval snapshots captured\n";
+        if (!tr.result.profile.enabled)
+            continue;
+        const obs::ProfileResult &p = tr.result.profile;
+        // Who hurt this tenant most: the foreign evictor with the
+        // largest total across all colors.
+        std::vector<std::uint64_t> byEvictor(p.entities.size(), 0);
+        std::size_t n = p.entities.size();
+        for (std::uint32_t c = 0; c < p.numColors; c++)
+            for (std::uint32_t e = 0; e < n; e++)
+                for (std::uint32_t v = 0; v < n; v++)
+                    byEvictor[e] += p.cell(c, e, v);
+        std::size_t top = 0;
+        for (std::size_t e = 1; e < n; e++)
+            if (byEvictor[e] > byEvictor[top])
+                top = e;
+        std::cout << "profile " << tr.name << ": "
+                  << fmtI(p.totalConflicts) << " conflict misses"
+                  << (p.reconciled() ? "" : " (UNRECONCILED)");
+        if (p.totalConflicts > 0)
+            std::cout << ", top evictor " << p.entities[top] << " ("
+                      << fmtI(byEvictor[top]) << ")";
+        std::cout << "\n";
+    }
 
     if (!o.out.empty()) {
         std::ofstream out(o.out, std::ios::trunc);
@@ -1196,6 +1472,8 @@ dispatch(const CliOptions &o)
         return cmdBatch(o);
     if (o.command == "verify")
         return cmdVerify(o);
+    if (o.command == "profile")
+        return cmdProfile(o);
     if (o.command == "tenants")
         return cmdTenants(o);
     usage(("unknown command " + o.command).c_str());

@@ -1,0 +1,551 @@
+/**
+ * @file
+ * color_report: render `cdpcsim profile --out` JSONL into a human
+ * conflict report, and optionally gate CI on the advisor's promise.
+ *
+ *   color_report <profile.jsonl> [--top N] [--json] [--validate]
+ *
+ * Input: one JSON object per line as written by `cdpcsim profile`,
+ * {"label":...,"workload":...,"cpus":...,"policy":...,"profile":{...}}
+ * where "profile" is the conflict-attribution object (entities,
+ * per-color totals, sparse matrix cells, advice; DESIGN.md §15).
+ *
+ * Text output: a per-run reconciliation summary, the globally
+ * hottest evictor→victim cells (--top N, default 10), and every
+ * advised recoloring with its predicted and (when validated)
+ * measured conflict-miss delta. --json emits the same aggregation
+ * as one machine-readable object instead.
+ *
+ * --validate is the CI gate: exit 1 unless (a) every run's matrix
+ * totals reconcile with miss_classify's conflict counter, and
+ * (b) at least one validated advice *measured* an improvement
+ * (measuredDelta < 0) with the predicted sign agreeing
+ * (predictedDelta < 0). Advice whose validation re-run measured no
+ * improvement is reported — honesty is the point — but only a
+ * sign-consistent measured win satisfies the gate.
+ *
+ * Exit status: 0 clean, 1 validation failure, 2 usage/parse error.
+ *
+ * The parser is hand-rolled recursive descent: the repo has no JSON
+ * dependency, and the input grammar is the small fixed subset our
+ * own serializer emits.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace
+{
+
+// --- Minimal JSON value + recursive-descent parser --------------------
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : fields)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    double
+    num(const std::string &key, double fallback = 0) const
+    {
+        const JsonValue *v = find(key);
+        return v && v->kind == Kind::Number ? v->number : fallback;
+    }
+
+    bool
+    flag(const std::string &key) const
+    {
+        const JsonValue *v = find(key);
+        return v && v->kind == Kind::Bool && v->boolean;
+    }
+
+    std::string
+    text(const std::string &key) const
+    {
+        const JsonValue *v = find(key);
+        return v && v->kind == Kind::String ? v->str : std::string();
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        std::ostringstream os;
+        os << "expected " << what << " at offset " << pos_;
+        error_ = os.str();
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            pos_++;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("a value");
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            pos_ += 5;
+            return true;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            out.kind = JsonValue::Kind::Null;
+            pos_ += 4;
+            return true;
+        }
+        char *end = nullptr;
+        double v = std::strtod(text_.c_str() + pos_, &end);
+        if (end == text_.c_str() + pos_)
+            return fail("a value");
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        pos_ = static_cast<std::size_t>(end - text_.c_str());
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        pos_++; // opening quote
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("an escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case 'r': out.push_back('\r'); break;
+              case 'u':
+                // Our serializer only \u-escapes control chars;
+                // substitute and skip the 4 hex digits.
+                out.push_back('?');
+                pos_ += 4;
+                break;
+              default: out.push_back(e); break;
+            }
+        }
+        if (pos_ >= text_.size())
+            return fail("closing '\"'");
+        pos_++; // closing quote
+        return true;
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        pos_++; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("'\"' starting a key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("':'");
+            pos_++;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.fields.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                pos_++;
+                return true;
+            }
+            return fail("',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        pos_++; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                pos_++;
+                return true;
+            }
+            return fail("',' or ']'");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+// --- Aggregated report model ------------------------------------------
+
+struct AdviceRow
+{
+    std::string run;
+    std::string move;
+    unsigned fromColor = 0;
+    unsigned toColor = 0;
+    unsigned long long pages = 0;
+    double predicted = 0;
+    double measured = 0;
+    bool validated = false;
+};
+
+struct CellRow
+{
+    std::string run;
+    unsigned color = 0;
+    std::string evictor;
+    std::string victim;
+    unsigned long long count = 0;
+};
+
+struct RunRow
+{
+    std::string label;
+    unsigned long long conflicts = 0;
+    unsigned long long classified = 0;
+    bool reconciled = false;
+    unsigned hotColor = 0;
+    unsigned long long hotColorConflicts = 0;
+    std::size_t adviceCount = 0;
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = nullptr;
+    std::size_t top = 10;
+    bool as_json = false;
+    bool validate = false;
+    for (int a = 1; a < argc; a++) {
+        std::string arg = argv[a];
+        if (arg == "--top" && a + 1 < argc) {
+            top = static_cast<std::size_t>(std::atoll(argv[++a]));
+        } else if (arg == "--json") {
+            as_json = true;
+        } else if (arg == "--validate") {
+            validate = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: color_report <profile.jsonl> [--top N] "
+                         "[--json] [--validate]\n";
+            return 0;
+        } else if (!path) {
+            path = argv[a];
+        } else {
+            std::cerr << "color_report: unexpected argument " << arg
+                      << "\n";
+            return 2;
+        }
+    }
+    if (!path || top == 0) {
+        std::cerr << "usage: color_report <profile.jsonl> [--top N] "
+                     "[--json] [--validate]\n";
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "color_report: cannot open " << path << "\n";
+        return 2;
+    }
+
+    std::vector<RunRow> runs;
+    std::vector<CellRow> cells;
+    std::vector<AdviceRow> advice;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        if (line.empty())
+            continue;
+        JsonParser parser(line);
+        JsonValue obj;
+        if (!parser.parse(obj) ||
+            obj.kind != JsonValue::Kind::Object) {
+            std::cerr << "color_report: " << path << ":" << lineno
+                      << ": " << parser.error() << "\n";
+            return 2;
+        }
+        const JsonValue *prof = obj.find("profile");
+        if (!prof || prof->kind != JsonValue::Kind::Object) {
+            std::cerr << "color_report: " << path << ":" << lineno
+                      << ": line has no \"profile\" object\n";
+            return 2;
+        }
+
+        RunRow run;
+        run.label = obj.text("label");
+        if (run.label.empty())
+            run.label = obj.text("workload");
+        run.conflicts =
+            static_cast<unsigned long long>(prof->num("totalConflicts"));
+        run.classified = static_cast<unsigned long long>(
+            prof->num("classifiedConflicts"));
+        run.reconciled = prof->flag("reconciled");
+        if (const JsonValue *cc = prof->find("colorConflicts");
+            cc && cc->kind == JsonValue::Kind::Array) {
+            for (std::size_t c = 0; c < cc->items.size(); c++) {
+                auto v = static_cast<unsigned long long>(
+                    cc->items[c].number);
+                if (v > run.hotColorConflicts) {
+                    run.hotColorConflicts = v;
+                    run.hotColor = static_cast<unsigned>(c);
+                }
+            }
+        }
+
+        if (const JsonValue *cs = prof->find("cells");
+            cs && cs->kind == JsonValue::Kind::Array) {
+            for (const JsonValue &c : cs->items) {
+                CellRow row;
+                row.run = run.label;
+                row.color = static_cast<unsigned>(c.num("color"));
+                row.evictor = c.text("evictor");
+                row.victim = c.text("victim");
+                row.count =
+                    static_cast<unsigned long long>(c.num("count"));
+                cells.push_back(std::move(row));
+            }
+        }
+        if (const JsonValue *av = prof->find("advice");
+            av && av->kind == JsonValue::Kind::Array) {
+            run.adviceCount = av->items.size();
+            for (const JsonValue &a : av->items) {
+                AdviceRow row;
+                row.run = run.label;
+                row.move = a.text("move");
+                row.fromColor = static_cast<unsigned>(a.num("color"));
+                row.toColor = static_cast<unsigned>(a.num("toColor"));
+                row.pages = static_cast<unsigned long long>(
+                    a.num("movePages"));
+                row.predicted = a.num("predictedDelta");
+                row.measured = a.num("measuredDelta");
+                row.validated = a.flag("validated");
+                advice.push_back(std::move(row));
+            }
+        }
+        runs.push_back(std::move(run));
+    }
+    if (runs.empty()) {
+        std::cerr << "color_report: " << path << ": no profile lines\n";
+        return 2;
+    }
+
+    std::stable_sort(cells.begin(), cells.end(),
+                     [](const CellRow &a, const CellRow &b) {
+                         return a.count > b.count;
+                     });
+    if (cells.size() > top)
+        cells.resize(top);
+
+    std::size_t reconciled = 0;
+    for (const RunRow &r : runs)
+        if (r.reconciled)
+            reconciled++;
+
+    // The gate: a validated, sign-consistent measured improvement.
+    const AdviceRow *best = nullptr;
+    for (const AdviceRow &a : advice) {
+        if (!a.validated || a.measured >= 0 || a.predicted >= 0)
+            continue;
+        if (!best || a.measured < best->measured)
+            best = &a;
+    }
+
+    if (as_json) {
+        std::ostringstream os;
+        os << "{\"runs\":" << runs.size()
+           << ",\"reconciled\":" << reconciled << ",\"topCells\":[";
+        for (std::size_t i = 0; i < cells.size(); i++) {
+            const CellRow &c = cells[i];
+            os << (i ? "," : "") << "{\"run\":\"" << jsonEscape(c.run)
+               << "\",\"color\":" << c.color << ",\"evictor\":\""
+               << jsonEscape(c.evictor) << "\",\"victim\":\""
+               << jsonEscape(c.victim) << "\",\"count\":" << c.count
+               << "}";
+        }
+        os << "],\"advice\":[";
+        for (std::size_t i = 0; i < advice.size(); i++) {
+            const AdviceRow &a = advice[i];
+            os << (i ? "," : "") << "{\"run\":\"" << jsonEscape(a.run)
+               << "\",\"move\":\"" << jsonEscape(a.move)
+               << "\",\"fromColor\":" << a.fromColor
+               << ",\"toColor\":" << a.toColor
+               << ",\"pages\":" << a.pages
+               << ",\"predictedDelta\":" << a.predicted
+               << ",\"measuredDelta\":" << a.measured
+               << ",\"validated\":" << (a.validated ? "true" : "false")
+               << "}";
+        }
+        os << "],\"validatedImprovement\":"
+           << (best ? "true" : "false") << "}";
+        std::cout << os.str() << "\n";
+    } else {
+        std::printf("color_report: %zu runs, %zu reconciled (%s)\n",
+                    runs.size(), reconciled, path);
+        std::printf("\n%-32s %12s %12s %5s %9s %6s\n", "run",
+                    "conflicts", "classified", "recon", "hot-color",
+                    "advice");
+        for (const RunRow &r : runs)
+            std::printf("%-32s %12llu %12llu %5s %9u %6zu\n",
+                        r.label.c_str(), r.conflicts, r.classified,
+                        r.reconciled ? "yes" : "NO", r.hotColor,
+                        r.adviceCount);
+
+        std::printf("\ntop %zu conflict cells (evictor -> victim)\n",
+                    top);
+        std::printf("%-32s %6s %-12s %-12s %10s\n", "run", "color",
+                    "evictor", "victim", "conflicts");
+        for (const CellRow &c : cells)
+            std::printf("%-32s %6u %-12s %-12s %10llu\n",
+                        c.run.c_str(), c.color, c.evictor.c_str(),
+                        c.victim.c_str(), c.count);
+
+        std::printf("\nrecoloring advice (%zu total)\n", advice.size());
+        std::printf("%-32s %-10s %6s %4s %6s %11s %11s %s\n", "run",
+                    "move", "from", "to", "pages", "predicted",
+                    "measured", "status");
+        for (const AdviceRow &a : advice)
+            std::printf("%-32s %-10s %6u %4u %6llu %11.1f %11.1f %s\n",
+                        a.run.c_str(), a.move.c_str(), a.fromColor,
+                        a.toColor, a.pages, a.predicted,
+                        a.validated ? a.measured : 0.0,
+                        !a.validated        ? "unvalidated"
+                        : a.measured < 0    ? "improved"
+                                            : "no-improvement");
+        if (best)
+            std::printf("\nbest validated move: %s on %s, color %u -> "
+                        "%u (%llu pages): measured %+.1f conflicts "
+                        "(predicted %+.1f)\n",
+                        best->move.c_str(), best->run.c_str(),
+                        best->fromColor, best->toColor, best->pages,
+                        best->measured, best->predicted);
+    }
+
+    if (validate) {
+        if (reconciled != runs.size()) {
+            std::cerr << "color_report: " << (runs.size() - reconciled)
+                      << " of " << runs.size()
+                      << " runs failed reconciliation\n";
+            return 1;
+        }
+        if (!best) {
+            std::cerr << "color_report: no validated advice measured "
+                         "an improvement with the predicted sign\n";
+            return 1;
+        }
+        std::cerr << "color_report: validation ok (" << best->move
+                  << ": predicted " << best->predicted << ", measured "
+                  << best->measured << ")\n";
+    }
+    return 0;
+}

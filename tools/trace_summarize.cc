@@ -8,11 +8,19 @@
  * Reports, per track (pid), the begin/end spans aggregated by name
  * (count, total and mean duration), the instant-event counts
  * (recolor, colorSteal, fallback, faultFire, busStall, retry,
- * quarantine, ...) and the counter-series sample counts. Also
- * verifies span integrity: every 'E' must match the innermost open
- * 'B' of its (pid, tid) lane, and nothing may remain open at EOF.
- * With --strict an unbalanced trace exits 1 — CI uses this to prove
- * the tracer's RAII discipline survives faults and timeouts.
+ * quarantine, conflict, ...), the counter-series sample counts, and
+ * a per-category rollup keyed on the events' "cat" field (phase,
+ * sim, runner, counter, fault, profile — the profiler's conflict
+ * instants land in "profile"). Also verifies span integrity: every
+ * 'E' must match the innermost open 'B' of its (pid, tid) lane, and
+ * nothing may remain open at EOF. With --strict an unbalanced trace
+ * exits 1 — CI uses this to prove the tracer's RAII discipline
+ * survives faults and timeouts.
+ *
+ * Events with a phase this tool does not fold (anything outside
+ * M/B/E/i/C) or with no name are warned about once per kind rather
+ * than silently dropped, so a tracer change can never make events
+ * vanish from the summary unnoticed.
  *
  * The JSON parser below is a deliberately small recursive-descent
  * one: the repo takes no JSON dependency, and the subset the tracer
@@ -263,7 +271,17 @@ struct SpanStats
 struct OpenSpan
 {
     std::string name;
+    std::string cat;
     double ts = 0.0;
+};
+
+/** Rollup of everything filed under one "cat" value. */
+struct CatStats
+{
+    std::uint64_t spans = 0;
+    double spanUs = 0.0;
+    std::uint64_t instants = 0;
+    std::uint64_t counters = 0;
 };
 
 } // namespace
@@ -322,14 +340,27 @@ main(int argc, char **argv)
     std::map<std::string, SpanStats> spans;
     std::map<std::string, std::uint64_t> instants;
     std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, CatStats> cats;
     std::map<int, std::string> tracks;
+    std::map<std::string, std::uint64_t> unknown;
     std::size_t unbalanced = 0;
 
     for (const Json &ev : events->array) {
         const Json *ph = ev.find("ph");
         const Json *name = ev.find("name");
-        if (!ph || !name)
+        if (!ph || !name) {
+            // Warn once, then keep counting quietly: a tracer bug
+            // that emits nameless events must not hide.
+            if (unknown["(missing ph/name)"]++ == 0)
+                std::cerr << "trace_summarize: event without ph/name "
+                             "fields — counting, not folding\n";
             continue;
+        }
+        const Json *cat_f = ev.find("cat");
+        const std::string cat =
+            cat_f && cat_f->type == Json::Type::String
+                ? cat_f->string
+                : std::string("(none)");
         const Json *pid_f = ev.find("pid");
         const Json *tid_f = ev.find("tid");
         const Json *ts_f = ev.find("ts");
@@ -347,7 +378,7 @@ main(int argc, char **argv)
                     tracks[pid] = label->string;
             }
         } else if (p == "B") {
-            open[{pid, tid}].push_back({n, ts});
+            open[{pid, tid}].push_back({n, cat, ts});
         } else if (p == "E") {
             auto &stack = open[{pid, tid}];
             if (stack.empty() || stack.back().name != n) {
@@ -363,11 +394,24 @@ main(int argc, char **argv)
             SpanStats &s = spans[n];
             s.count++;
             s.totalUs += ts - stack.back().ts;
+            // Durations file under the opening event's category —
+            // that is the one the tracer stamped.
+            CatStats &c = cats[stack.back().cat];
+            c.spans++;
+            c.spanUs += ts - stack.back().ts;
             stack.pop_back();
         } else if (p == "i") {
             instants[n]++;
+            cats[cat].instants++;
         } else if (p == "C") {
             counters[n]++;
+            cats[cat].counters++;
+        } else if (p != "M") {
+            // An unfolded phase: warn the first time each shows up.
+            if (unknown["ph '" + p + "' (" + n + ")"]++ == 0)
+                std::cerr << "trace_summarize: unknown event phase '"
+                          << p << "' (first seen on \"" << n
+                          << "\") — counting, not folding\n";
         }
     }
     for (const auto &[lane, stack] : open) {
@@ -398,6 +442,22 @@ main(int argc, char **argv)
     if (!counters.empty()) {
         TextTable t({"counter series", "samples"});
         for (const auto &[n, c] : counters)
+            t.addRow({n, std::to_string(c)});
+        std::cout << "\n" << t.render();
+    }
+    if (!cats.empty()) {
+        TextTable t({"category", "spans", "span ms", "instants",
+                     "counter samples"});
+        for (const auto &[n, c] : cats)
+            t.addRow({n, std::to_string(c.spans),
+                      fmtF(c.spanUs / 1e3, 3),
+                      std::to_string(c.instants),
+                      std::to_string(c.counters)});
+        std::cout << "\n" << t.render();
+    }
+    if (!unknown.empty()) {
+        TextTable t({"unfolded events", "count"});
+        for (const auto &[n, c] : unknown)
             t.addRow({n, std::to_string(c)});
         std::cout << "\n" << t.render();
     }
