@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Extension experiment: does compiler-directed coloring survive
+ * hostile index functions?
+ *
+ * The paper's machines map consecutive physical pages to consecutive
+ * colors. Modern hardware does not: sliced LLCs hash the slice from
+ * high physical-address bits (Sandy Bridge's recovered XOR
+ * functions), and DRAM-cache memory mode explodes the color space to
+ * hundreds of colors with channel-interleaved pages. This bench
+ * races page coloring, bin hopping and CDPC across the three index
+ * families — the modulo baseline, paperScaledSlicedHash and
+ * dramCacheMode — and asks whether CDPC's advantage is an artifact
+ * of linear color cycling.
+ *
+ * Emits BENCH_ext_hashed_llc.json — a flat object of "hash."-prefixed
+ * metrics per (machine, app, policy) cell — which tools/bench_diff
+ * compares against the committed baseline in CI (".mcpi" cells gate,
+ * the rest are context).
+ */
+
+#include <fstream>
+
+#include "bench/bench_util.h"
+#include "machine/index_function.h"
+
+using namespace cdpc;
+using namespace cdpc::bench;
+
+namespace
+{
+
+struct MachineRow
+{
+    const char *tag;
+    MachineConfig (*make)(std::uint32_t);
+};
+
+const MachineRow kMachines[] = {
+    {"mod", MachineConfig::paperScaled},
+    {"slicedhash", MachineConfig::paperScaledSlicedHash},
+    {"dramcache", MachineConfig::dramCacheMode},
+};
+
+const MappingPolicy kPolicies[] = {
+    MappingPolicy::PageColoring,
+    MappingPolicy::BinHopping,
+    MappingPolicy::Cdpc,
+};
+
+const char *
+policyTag(MappingPolicy p)
+{
+    switch (p) {
+      case MappingPolicy::PageColoring:
+        return "pc";
+      case MappingPolicy::BinHopping:
+        return "bh";
+      case MappingPolicy::Cdpc:
+        return "cdpc";
+      default:
+        return "?";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = parseJobs(argc, argv);
+    banner("Extension — Hostile Index Functions",
+           "modulo vs sliced-hash LLC vs DRAM-cache color mapping");
+
+    const char *apps[] = {"101.tomcatv", "102.swim"};
+    const std::uint32_t cpus = 8;
+
+    std::vector<runner::JobSpec> specs;
+    for (const MachineRow &mr : kMachines) {
+        for (const char *app : apps) {
+            for (MappingPolicy pol : kPolicies) {
+                ExperimentConfig cfg;
+                cfg.machine = mr.make(cpus);
+                cfg.mapping = pol;
+                addJob(specs, app, cfg);
+            }
+        }
+    }
+    std::vector<ExperimentResult> results = runBatch(specs, jobs);
+
+    std::ofstream json("BENCH_ext_hashed_llc.json");
+    fatalIf(!json, "cannot open BENCH_ext_hashed_llc.json");
+    json << "{\n  \"bench\": \"ext_hashed_llc\"";
+
+    std::size_t next = 0;
+    for (const MachineRow &mr : kMachines) {
+        MachineConfig m = mr.make(cpus);
+        std::cout << "--- " << m.name << " ("
+                  << indexKindName(m.l2.indexKind) << ", "
+                  << m.numColors() << " colors) ---\n";
+        TextTable table({"app", "policy", "combined(M)", "MCPI",
+                         "conflict%", "vs page-coloring"});
+        for (const char *app : apps) {
+            double pc = 0.0;
+            for (MappingPolicy pol : kPolicies) {
+                const ExperimentResult &r = results[next++];
+                double combined = r.totals.combinedTime();
+                if (pol == MappingPolicy::PageColoring)
+                    pc = combined;
+                double conf =
+                    r.totals.memStall > 0
+                        ? 100.0 *
+                              r.totals.missStallOf(MissKind::Conflict) /
+                              r.totals.memStall
+                        : 0.0;
+                table.addRow({
+                    app,
+                    r.policy,
+                    fmtF(combined / 1e6, 0),
+                    fmtF(r.totals.mcpi(), 2),
+                    fmtF(conf, 1) + "%",
+                    fmtF(pc / combined, 2) + "x",
+                });
+
+                std::string key = std::string("hash.") + mr.tag + "." +
+                                  app + "." + policyTag(pol);
+                json << ",\n  \"" << key
+                     << ".mcpi\": " << r.totals.mcpi()
+                     << ",\n  \"" << key << ".conflictpct\": " << conf
+                     << ",\n  \"" << key << ".speedup_vs_pc\": "
+                     << (combined > 0 ? pc / combined : 0.0);
+            }
+            table.addSeparator();
+        }
+        std::cout << table.render() << "\n";
+    }
+    json << "\n}\n";
+    json.close();
+    fatalIf(!json, "write to BENCH_ext_hashed_llc.json failed");
+
+    std::cout << "Wrote BENCH_ext_hashed_llc.json (" << next
+              << " cells)\n"
+              << "The slice hash already de-aliases power-of-two\n"
+                 "strides, so page coloring's pathology shrinks — but\n"
+                 "CDPC still wins where per-CPU working sets need\n"
+                 "*packing*, and the huge DRAM-cache color space makes\n"
+                 "hints nearly free to honor.\n";
+    return 0;
+}

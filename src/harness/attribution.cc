@@ -22,7 +22,7 @@ namespace
 struct OsStack
 {
     OsStack(const MachineConfig &m, const ExperimentConfig &config)
-        : phys(m.physPages, m.numColors()),
+        : phys(m.physPages, m.indexFunction()),
           coloring(m.numColors()),
           binhop(m.numColors(), config.binHopRacy, config.seed),
           random(m.numColors(), config.seed), hash(m.numColors()),

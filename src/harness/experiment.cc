@@ -54,7 +54,7 @@ runProgram(Program program, const ExperimentConfig &config)
     compile_span.end();
 
     // --- Operating system ---------------------------------------------
-    PhysMem phys(m.physPages, m.numColors());
+    PhysMem phys(m.physPages, m.indexFunction());
     RandomPolicy random(m.numColors(), config.seed);
     HashPolicy hash(m.numColors());
     fatalIf(config.preallocatedPages >= m.physPages,
@@ -160,6 +160,7 @@ runProgram(Program program, const ExperimentConfig &config)
         pc.pageBytes = m.pageBytes;
         pc.lineBytes = m.l2.lineBytes;
         pc.colorCapacityBytes = m.l2.sizeBytes / m.numColors();
+        pc.index = m.indexFunction();
         for (const ArrayDecl &a : program.arrays)
             pc.entities.push_back({a.name, a.base, a.sizeBytes()});
         profiler = std::make_unique<obs::ConflictProfiler>(pc);

@@ -2,38 +2,104 @@
 
 #include "common/intmath.h"
 #include "common/logging.h"
+#include "machine/index_function.h"
 
 namespace cdpc
 {
+
+IndexFunction
+MachineConfig::indexFunction() const
+{
+    return IndexFunction(l2, pageBytes);
+}
 
 void
 MachineConfig::validate() const
 {
     fatalIf(numCpus == 0, "machine needs at least one CPU");
     fatalIf(!isPowerOf2(pageBytes), "page size must be a power of two");
-    for (const CacheConfig *c : {&l1d, &l1i, &l2}) {
-        fatalIf(c->sizeBytes == 0, "cache size must be nonzero");
-        fatalIf(!isPowerOf2(c->lineBytes),
-                "cache line size must be a power of two");
-        fatalIf(c->assoc == 0, "cache associativity must be nonzero");
+    struct Named
+    {
+        const char *name;
+        const CacheConfig *c;
+    };
+    for (const Named &n : {Named{"l1d", &l1d}, Named{"l1i", &l1i},
+                           Named{"l2", &l2}}) {
+        const CacheConfig *c = n.c;
+        fatalIf(c->sizeBytes == 0, n.name,
+                ": cache size must be nonzero");
+        fatalIf(!isPowerOf2(c->lineBytes), n.name,
+                ": cache line size must be a power of two, got ",
+                c->lineBytes);
+        fatalIf(c->assoc == 0, n.name,
+                ": cache associativity must be nonzero");
         fatalIf(c->sizeBytes % (static_cast<std::uint64_t>(c->assoc) *
                                 c->lineBytes) != 0,
-                "cache size must be a multiple of assoc * line size");
-        fatalIf(!isPowerOf2(c->numSets()),
-                "number of cache sets must be a power of two");
+                n.name,
+                ": cache size must be a multiple of assoc * line size");
+        fatalIf(c->slices == 0, n.name,
+                ": slice/channel count must be nonzero");
+        fatalIf(c->numSets() % c->slices != 0, n.name, ": slice count ",
+                c->slices, " must divide the ", c->numSets(),
+                " cache sets");
+        switch (c->indexKind) {
+          case IndexKind::Modulo:
+            // Only bit-select indexing needs a power-of-two set
+            // count; hash-indexed caches legitimately have non-pow2
+            // slice counts (3-, 6-, 10-slice rings shipped).
+            fatalIf(!isPowerOf2(c->numSets()), n.name,
+                    ": number of cache sets must be a power of two, "
+                    "got ", c->numSets());
+            fatalIf(c->slices != 1, n.name,
+                    ": modulo-indexed caches have exactly one slice");
+            break;
+          case IndexKind::SlicedHash:
+            fatalIf(!isPowerOf2(c->setsPerSlice()), n.name,
+                    ": sets per slice must be a power of two, got ",
+                    c->setsPerSlice());
+            break;
+          case IndexKind::DramCache:
+            fatalIf(c->assoc != 1, n.name,
+                    ": a DRAM cache tier is direct-mapped (assoc 1)");
+            break;
+        }
         // Word masks track 8-byte words of a line in a 32-bit mask;
         // a wider line would silently alias false-sharing state.
-        fatalIf(c->lineBytes > 256,
-                "cache line size above 256B overflows the 32-bit "
+        fatalIf(c->lineBytes > 256, n.name,
+                ": cache line size above 256B overflows the 32-bit "
                 "word mask");
     }
     fatalIf(l2.sizeBytes % (pageBytes * l2.assoc) != 0,
-            "external cache size must be a multiple of page size * assoc");
+            "l2: external cache size must be a multiple of page size "
+            "* assoc");
     fatalIf(numColors() == 0, "machine must have at least one page color");
     fatalIf(pageBytes % l2.lineBytes != 0,
             "page size must be a multiple of the external line size");
     fatalIf(physPages < numColors(),
             "physical memory must cover at least one page per color");
+    // Unequal per-color free-list depths silently skew fallback and
+    // pressure statistics toward the overfull colors, so a modulo
+    // machine must slice physical memory into whole color cycles. A
+    // hashed mapping's depths are inherently what the hash gives
+    // (documented in DESIGN.md §16), but divisibility stays the
+    // baseline sanity requirement there too.
+    fatalIf(physPages % numColors() != 0, "physical pages (", physPages,
+            ") must be a multiple of the ", numColors(),
+            " page colors: the remainder would seed unequal per-color "
+            "free lists and skew pressure statistics");
+    if (l2.indexKind == IndexKind::SlicedHash) {
+        fatalIf(l2.setsPerSlice() < linesPerPage(),
+                "l2: a page (", linesPerPage(), " lines) must fit in "
+                "one ", l2.setsPerSlice(), "-set slice");
+    }
+    if (l2.indexKind == IndexKind::DramCache) {
+        fatalIf(numColors() % l2.slices != 0, "l2: channel count ",
+                l2.slices, " must divide the ", numColors(),
+                " page colors");
+    }
+    // Exercise every IndexFunction construction invariant too, so a
+    // validated machine can never fail to build its mapping later.
+    (void)indexFunction();
 }
 
 MachineConfig
@@ -91,6 +157,52 @@ MachineConfig::alphaScaled(std::uint32_t ncpus)
     m.memLatencyCycles = 120;
     m.remoteDirtyLatencyCycles = 190;
     m.l2HitCycles = 8;
+    m.validate();
+    return m;
+}
+
+MachineConfig
+MachineConfig::paperScaledSlicedHash(std::uint32_t ncpus)
+{
+    MachineConfig m = paperScaled(ncpus);
+    m.name = "simos-scaled-slicedhash-3x64KB";
+    // Three 64KB direct-mapped slices: 3072 sets, 1024 per slice,
+    // 384 colors — both counts non-powers-of-two. The slice is an
+    // XOR hash of the physical bits above the slice footprint.
+    m.l2.sizeBytes = 3 * 64 * 1024;
+    m.l2.indexKind = IndexKind::SlicedHash;
+    m.l2.slices = 3;
+    // 384 colors do not divide the base model's 64K pages; keep the
+    // same ~32MB of memory in whole color cycles (170 * 384 pages).
+    m.physPages = 65280;
+    m.validate();
+    return m;
+}
+
+MachineConfig
+MachineConfig::dramCacheMode(std::uint32_t ncpus)
+{
+    MachineConfig m;
+    m.name = "dram-cache-512c";
+    m.numCpus = ncpus;
+    m.l1d = {8 * 1024, 2, 64};
+    m.l1i = {8 * 1024, 2, 64};
+    // The "external cache" is a 2MB direct-mapped DRAM tier in front
+    // of persistent memory: 512 page colors at 4KB pages, physical
+    // pages interleaved across 4 channels.
+    m.l2 = {2 * 1024 * 1024, 1, 64};
+    m.l2.indexKind = IndexKind::DramCache;
+    m.l2.slices = 4;
+    m.pageBytes = 4096;
+    m.physPages = 16 * 1024; // 64MB of 4KB pages
+    // DRAM-tier hit is a DRAM access, not an SRAM one; the miss path
+    // goes to persistent memory (~3x DRAM latency).
+    m.l2HitCycles = 80;
+    m.memLatencyCycles = 600;
+    m.remoteDirtyLatencyCycles = 700;
+    m.busDataCycles = 22;
+    m.busWritebackCycles = 22;
+    m.busUpgradeCycles = 6;
     m.validate();
     return m;
 }

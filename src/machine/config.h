@@ -25,15 +25,37 @@
 namespace cdpc
 {
 
+/**
+ * How a cache maps addresses to sets and physical pages to colors
+ * (machine/index_function.h holds the actual mappings).
+ */
+enum class IndexKind : std::uint8_t
+{
+    /** Power-of-two bit-select (the paper's machines). */
+    Modulo,
+    /** Sliced LLC with an XOR-of-address-bits slice hash. */
+    SlicedHash,
+    /** Channel-interleaved direct-mapped DRAM cache tier. */
+    DramCache,
+};
+
 /** Cache geometry for one level. */
 struct CacheConfig
 {
     std::uint64_t sizeBytes = 0;
     std::uint32_t assoc = 1;
     std::uint32_t lineBytes = 32;
+    /** Address→set / page→color mapping family. */
+    IndexKind indexKind = IndexKind::Modulo;
+    /**
+     * Slice count (SlicedHash) or channel count (DramCache); must
+     * divide numSets(). Ignored (must be 1) for Modulo.
+     */
+    std::uint32_t slices = 1;
 
     std::uint64_t numLines() const { return sizeBytes / lineBytes; }
     std::uint64_t numSets() const { return numLines() / assoc; }
+    std::uint64_t setsPerSlice() const { return numSets() / slices; }
 };
 
 /** Full machine description. */
@@ -89,12 +111,25 @@ struct MachineConfig
      */
     std::uint32_t maxOutstandingPrefetches = 4;
 
-    /** Number of page colors in the external cache. */
+    /**
+     * Number of page colors in the external cache. The count is the
+     * paper's formula for every index kind — size / (page * assoc) —
+     * only the page→color *mapping* varies (see indexFunction()).
+     */
     std::uint64_t
     numColors() const
     {
         return l2.sizeBytes / (pageBytes * l2.assoc);
     }
+
+    /**
+     * The external cache's address→set / page→color mapping. Every
+     * layer that turns a physical page into a color (PhysMem, the
+     * profiler, the differential verifier) must derive it from this
+     * one object; inlining `ppn % numColors()` silently breaks on
+     * SlicedHash / DramCache machines.
+     */
+    class IndexFunction indexFunction() const;
 
     /** Lines per page. */
     std::uint64_t linesPerPage() const { return pageBytes / l2.lineBytes; }
@@ -123,6 +158,24 @@ struct MachineConfig
 
     /** The paper's full-size base machine (slow to simulate). */
     static MachineConfig paperFull(std::uint32_t ncpus);
+
+    /**
+     * paperScaled() with a hostile external cache: three 64KB slices
+     * selected by a Sandy-Bridge-style XOR hash of the physical
+     * address bits above the slice footprint. 3072 sets and 384
+     * colors — neither a power of two — and consecutive physical
+     * pages no longer cycle the color space linearly.
+     */
+    static MachineConfig paperScaledSlicedHash(std::uint32_t ncpus);
+
+    /**
+     * A DRAM-as-cache memory-mode machine (Optane-style): the
+     * "external cache" is a 2MB direct-mapped DRAM tier in front of
+     * slow persistent memory, pages are large (4KB) and the color
+     * space explodes to 512. Pages interleave across 4 channels, so
+     * ppn % colors is the wrong color for three of every four pages.
+     */
+    static MachineConfig dramCacheMode(std::uint32_t ncpus);
 };
 
 } // namespace cdpc

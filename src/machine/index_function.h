@@ -1,0 +1,429 @@
+/**
+ * @file
+ * IndexFunction: the pluggable address→set / page→color mapping of a
+ * physically indexed cache (DESIGN.md §16).
+ *
+ * Every earlier MachineConfig derived cache sets and page colors with
+ * power-of-two modulo arithmetic — `(addr >> lineShift) & setMask`
+ * and `ppn % numColors` — which modern hardware abandoned. This class
+ * makes the mapping a selectable property of a CacheConfig:
+ *
+ *  - Modulo: the classic mapping of the paper's machines. Consecutive
+ *    physical pages cycle through the colors; sets are a bit-field of
+ *    the address. Bit-identical to the historical inline math.
+ *
+ *  - SlicedHash: a sliced LLC in the style of Sandy Bridge's
+ *    recovered slice hash ("Cracking Intel Sandy Bridge's Cache Hash
+ *    Function"). The cache is `slices` equal slices; the slice is an
+ *    XOR-of-address-bits hash of the bits *above* the within-slice
+ *    footprint (the recovered functions use bits 17..31, all above
+ *    the page offset), and the set within a slice is the usual low
+ *    bits. Non-power-of-two slice counts are supported (real parts
+ *    shipped 3-, 6- and 10-slice rings) via a mixed fold of the same
+ *    input bits reduced mod `slices`, which makes the *total* set and
+ *    color counts non-powers-of-two.
+ *
+ *  - DramCache: a direct-mapped DRAM tier used as a cache in front of
+ *    slow memory (Optane "memory mode"): `PA % DRAM_SIZE` placement,
+ *    huge color counts, large pages — except that multi-channel
+ *    systems interleave *pages* across channels, so consecutive
+ *    physical pages stride the channels instead of walking the color
+ *    space linearly. `slices` is the channel count here.
+ *
+ * The invariant every consumer relies on: two pages have the same
+ * color iff their lines land in exactly the same cache sets. All
+ * three mappings preserve it, so "same set ⇒ same color" inference
+ * (the profiler's page-conflict evidence) and per-color free lists
+ * (PhysMem) stay sound under hostile index functions.
+ *
+ * Each query has two implementations: the optimized one (shifts,
+ * masks, popcount) used by the simulator, and a *Ref variant written
+ * with division, modulo and bit loops, used by the differential
+ * reference model (src/verify/) so the two sides share no clever
+ * machinery.
+ *
+ * Header-only on purpose: PhysMem (cdpc_vm) and Cache (cdpc_mem) sit
+ * *below* cdpc_machine in the link graph but both consume the
+ * mapping, so the implementation cannot live in a machine-layer
+ * object file.
+ */
+
+#ifndef CDPC_MACHINE_INDEX_FUNCTION_H
+#define CDPC_MACHINE_INDEX_FUNCTION_H
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+
+#include "common/intmath.h"
+#include "common/logging.h"
+#include "common/types.h"
+#include "machine/config.h"
+
+namespace cdpc
+{
+
+namespace detail
+{
+
+/** Set the listed bit positions in a 64-bit mask. */
+constexpr std::uint64_t
+bitsOf(std::initializer_list<int> bits)
+{
+    std::uint64_t p = 0;
+    for (int b : bits)
+        p |= std::uint64_t{1} << b;
+    return p;
+}
+
+/**
+ * The recovered Sandy Bridge hash covers physical bits 17..31, a
+ * 15-bit window; tile the window across all 64 input bits so the
+ * hash keeps discriminating however much memory is simulated.
+ */
+constexpr std::uint64_t
+tile15(std::uint64_t pattern)
+{
+    std::uint64_t m = 0;
+    for (unsigned s = 0; s < 64; s += 15)
+        m |= pattern << s;
+    return m;
+}
+
+/**
+ * XOR-parity masks per slice-index bit. The first two rows are the
+ * published Sandy Bridge o0/o1 functions expressed relative to bit
+ * 17; the third is a synthetic companion of the same family for
+ * 8-slice parts.
+ */
+inline constexpr std::uint64_t kSliceMask[3] = {
+    tile15(bitsOf({1, 2, 4, 6, 8, 10, 12, 13, 14})),
+    tile15(bitsOf({0, 2, 3, 4, 5, 6, 7, 9, 11, 12, 14})),
+    tile15(bitsOf({0, 1, 3, 5, 7, 9, 10, 11, 13})),
+};
+
+/** murmur3 finalizer: the mixed fold for non-pow2 slice counts. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace detail
+
+/** @return "modulo", "sliced-hash" or "dram-cache". */
+inline const char *
+indexKindName(IndexKind k)
+{
+    switch (k) {
+      case IndexKind::Modulo:
+        return "modulo";
+      case IndexKind::SlicedHash:
+        return "sliced-hash";
+      case IndexKind::DramCache:
+        return "dram-cache";
+    }
+    return "unknown";
+}
+
+/** Address→set and page→color mapping for one cache level. */
+class IndexFunction
+{
+  public:
+    /** Degenerate single-color modulo map (placeholder only). */
+    IndexFunction() = default;
+
+    /**
+     * Build the mapping for @p cache under @p page_bytes pages.
+     *
+     * @param cache geometry and index kind
+     * @param page_bytes page size; pass 0 for a set-index-only
+     *        function (pageColorOf/numColors then panic — the
+     *        virtually indexed L1s never ask for colors)
+     */
+    inline IndexFunction(const CacheConfig &cache,
+                         std::uint64_t page_bytes);
+
+    /**
+     * A color-math-only modulo map over @p num_colors (no cache
+     * geometry): what legacy PhysMem(pages, colors) callers get.
+     * setOf() panics.
+     */
+    static IndexFunction
+    moduloColors(std::uint64_t num_colors)
+    {
+        fatalIf(num_colors == 0,
+                "a color map needs at least one color");
+        IndexFunction f;
+        f.colors_ = num_colors;
+        return f;
+    }
+
+    IndexKind kind() const { return kind_; }
+    std::uint64_t numSets() const { return numSets_; }
+
+    /** Whether page→color queries are available (a page size was
+     *  given, or moduloColors() built a color-only map). */
+    bool hasColorGeometry() const { return colors_ != 0; }
+
+    /** Page colors in the cache; identical across kinds (only the
+     *  page→color *mapping* differs). */
+    std::uint64_t
+    numColors() const
+    {
+        panicIfNot(colors_ != 0, "IndexFunction has no color geometry "
+                   "(constructed without a page size)");
+        return colors_;
+    }
+
+    /** @return set index of byte address @p addr, in [0, numSets). */
+    std::uint64_t
+    setOf(Addr addr) const
+    {
+        switch (kind_) {
+          case IndexKind::Modulo:
+            panicIfNot(numSets_ != 0,
+                       "set index on a color-only IndexFunction");
+            return (addr >> lineShift_) & setMask_;
+          case IndexKind::SlicedHash: {
+            Addr line = addr >> lineShift_;
+            std::uint64_t within = line & withinMask_;
+            return sliceOf(line >> spsShift_) * setsPerSlice_ + within;
+          }
+          case IndexKind::DramCache: {
+            std::uint64_t in_page =
+                (addr >> lineShift_) & (linesPerPage_ - 1);
+            return pageColorOf(addr >> pageShift_) * linesPerPage_ +
+                   in_page;
+          }
+        }
+        panic("bad index kind");
+    }
+
+    /** Reference implementation of setOf(): division/modulo/bit-loop
+     *  arithmetic only, for the differential model. */
+    std::uint64_t
+    setOfRef(Addr addr) const
+    {
+        std::uint64_t line = addr / lineBytes_;
+        switch (kind_) {
+          case IndexKind::Modulo:
+            panicIfNot(numSets_ != 0,
+                       "set index on a color-only IndexFunction");
+            return line % numSets_;
+          case IndexKind::SlicedHash:
+            return sliceOfRef(line / setsPerSlice_) * setsPerSlice_ +
+                   line % setsPerSlice_;
+          case IndexKind::DramCache: {
+            std::uint64_t ppn = addr / pageBytes_;
+            std::uint64_t color =
+                (ppn % slices_) * colorsPerSlice_ +
+                (ppn / slices_) % colorsPerSlice_;
+            return color * linesPerPage_ + line % linesPerPage_;
+          }
+        }
+        panic("bad index kind");
+    }
+
+    /** @return color of physical page @p ppn, in [0, numColors). */
+    Color
+    pageColorOf(PageNum ppn) const
+    {
+        switch (kind_) {
+          case IndexKind::Modulo:
+            panicIfNot(colors_ != 0, "page color without geometry");
+            return static_cast<Color>(ppn % colors_);
+          case IndexKind::SlicedHash:
+            return static_cast<Color>(
+                sliceOf(ppn >> cpsShift_) * colorsPerSlice_ +
+                (ppn & (colorsPerSlice_ - 1)));
+          case IndexKind::DramCache: {
+            std::uint64_t ch = ppn % slices_;
+            std::uint64_t group = (ppn / slices_) % colorsPerSlice_;
+            return static_cast<Color>(ch * colorsPerSlice_ + group);
+          }
+        }
+        panic("bad index kind");
+    }
+
+    /**
+     * Reference derivation of a page's color: project the page's
+     * first line through setOfRef() and divide by lines-per-page —
+     * the same-set⇒same-color relation run backwards. Used by the
+     * differential verifier as an independent cross-check.
+     */
+    Color
+    pageColorRef(PageNum ppn) const
+    {
+        panicIfNot(colors_ != 0, "page color without geometry");
+        if (numSets_ == 0) // color-only modulo map
+            return static_cast<Color>(ppn % colors_);
+        return static_cast<Color>(setOfRef(ppn * pageBytes_) /
+                                  linesPerPage_);
+    }
+
+    /**
+     * True when pages @p a and @p b have identical set footprints —
+     * the contract audit behind same-set⇒same-color; tests assert it
+     * agrees with pageColorOf() equality over sampled page pairs.
+     */
+    bool
+    sameFootprint(PageNum a, PageNum b) const
+    {
+        panicIfNot(linesPerPage_ != 0,
+                   "footprint of a color-only IndexFunction");
+        for (std::uint64_t k = 0; k < linesPerPage_; ++k) {
+            if (setOf(a * pageBytes_ + k * lineBytes_) !=
+                setOf(b * pageBytes_ + k * lineBytes_)) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::uint64_t
+    sliceOf(std::uint64_t input) const
+    {
+        if (slices_ == 1)
+            return 0;
+        if (slicesPow2_) {
+            std::uint64_t s = 0;
+            for (unsigned b = 0; b < sliceBits_; ++b) {
+                s |= std::uint64_t{
+                    static_cast<unsigned>(std::popcount(
+                        input & detail::kSliceMask[b])) & 1u} << b;
+            }
+            return s;
+        }
+        return detail::mix64(input) % slices_;
+    }
+
+    /** Bit-loop parity variant of sliceOf() for the reference side.
+     *  (The non-pow2 fold is a hash with one definition; only the
+     *  parity computation admits an independent expression.) */
+    std::uint64_t
+    sliceOfRef(std::uint64_t input) const
+    {
+        if (slices_ == 1)
+            return 0;
+        if (!slicesPow2_)
+            return detail::mix64(input) % slices_;
+        std::uint64_t s = 0;
+        for (unsigned b = 0; b < sliceBits_; ++b) {
+            std::uint64_t masked = input & detail::kSliceMask[b];
+            unsigned parity = 0;
+            while (masked != 0) {
+                parity ^= static_cast<unsigned>(masked & 1);
+                masked >>= 1;
+            }
+            s += std::uint64_t{parity} << b;
+        }
+        return s;
+    }
+
+    IndexKind kind_ = IndexKind::Modulo;
+    unsigned lineShift_ = 0;
+    std::uint32_t lineBytes_ = 0;
+    std::uint64_t numSets_ = 0;
+    std::uint64_t setMask_ = 0;
+    /** Slice (SlicedHash) or channel (DramCache) count. */
+    std::uint64_t slices_ = 1;
+    std::uint64_t setsPerSlice_ = 0;
+    std::uint64_t withinMask_ = 0;
+    unsigned spsShift_ = 0;
+    bool slicesPow2_ = false;
+    unsigned sliceBits_ = 0;
+    std::uint64_t pageBytes_ = 0;
+    unsigned pageShift_ = 0;
+    std::uint64_t linesPerPage_ = 0;
+    /** Colors per slice (SlicedHash) / per channel (DramCache). */
+    std::uint64_t colorsPerSlice_ = 0;
+    unsigned cpsShift_ = 0;
+    std::uint64_t colors_ = 0;
+};
+
+inline
+IndexFunction::IndexFunction(const CacheConfig &cache,
+                             std::uint64_t page_bytes)
+{
+    kind_ = cache.indexKind;
+    lineBytes_ = cache.lineBytes;
+    fatalIf(lineBytes_ == 0 || !isPowerOf2(lineBytes_),
+            "index function: line size must be a power of two, got ",
+            cache.lineBytes);
+    lineShift_ = floorLog2(lineBytes_);
+    fatalIf(cache.assoc == 0, "index function: associativity must be "
+            "nonzero");
+    numSets_ = cache.numSets();
+    fatalIf(numSets_ == 0, "index function: cache has no sets");
+    slices_ = cache.slices;
+    fatalIf(slices_ == 0, "index function: slice count must be "
+            "nonzero");
+    fatalIf(numSets_ % slices_ != 0, "index function: slice count ",
+            slices_, " must divide the ", numSets_, " sets");
+    setsPerSlice_ = numSets_ / slices_;
+    slicesPow2_ = isPowerOf2(slices_);
+
+    if (page_bytes != 0) {
+        pageBytes_ = page_bytes;
+        fatalIf(!isPowerOf2(page_bytes),
+                "index function: page size must be a power of two");
+        pageShift_ = floorLog2(page_bytes);
+        fatalIf(page_bytes % lineBytes_ != 0,
+                "index function: page size must be a multiple of the "
+                "line size");
+        linesPerPage_ = page_bytes / lineBytes_;
+        colors_ = cache.sizeBytes /
+                  (page_bytes * static_cast<std::uint64_t>(cache.assoc));
+        fatalIf(colors_ == 0, "index function: cache smaller than one "
+                "page per way yields zero colors");
+    }
+
+    switch (kind_) {
+      case IndexKind::Modulo:
+        fatalIf(slices_ != 1,
+                "modulo-indexed caches have exactly one slice");
+        fatalIf(!isPowerOf2(numSets_),
+                "modulo indexing needs a power-of-two set count, got ",
+                numSets_);
+        setMask_ = numSets_ - 1;
+        break;
+      case IndexKind::SlicedHash:
+        fatalIf(!isPowerOf2(setsPerSlice_),
+                "sliced-hash needs a power-of-two sets per slice, "
+                "got ", setsPerSlice_);
+        fatalIf(slices_ > 8, "sliced-hash supports at most 8 slices "
+                "(3 hash functions), got ", slices_);
+        withinMask_ = setsPerSlice_ - 1;
+        spsShift_ = floorLog2(setsPerSlice_);
+        sliceBits_ = slicesPow2_ ? floorLog2(slices_) : 0;
+        if (page_bytes != 0) {
+            fatalIf(setsPerSlice_ < linesPerPage_,
+                    "sliced-hash: a page (", linesPerPage_,
+                    " lines) must fit within one ", setsPerSlice_,
+                    "-set slice");
+            colorsPerSlice_ = setsPerSlice_ / linesPerPage_;
+            cpsShift_ = floorLog2(colorsPerSlice_);
+        }
+        break;
+      case IndexKind::DramCache:
+        fatalIf(cache.assoc != 1,
+                "a DRAM-cache tier is direct-mapped (assoc 1)");
+        fatalIf(page_bytes == 0,
+                "a DRAM-cache tier needs page geometry");
+        fatalIf(colors_ % slices_ != 0, "dram-cache: channel count ",
+                slices_, " must divide the ", colors_, " colors");
+        colorsPerSlice_ = colors_ / slices_;
+        break;
+    }
+}
+
+} // namespace cdpc
+
+#endif // CDPC_MACHINE_INDEX_FUNCTION_H

@@ -5,15 +5,14 @@
 namespace cdpc
 {
 
-Cache::Cache(const CacheConfig &config)
+Cache::Cache(const CacheConfig &config, std::uint64_t page_bytes)
     : config(config),
+      idx(config, page_bytes),
       lineShift(floorLog2(config.lineBytes)),
-      setMask(config.numSets() - 1),
       lines(config.numLines())
 {
-    fatalIf(!isPowerOf2(config.lineBytes), "line size must be power of 2");
-    fatalIf(!isPowerOf2(config.numSets()),
-            "number of sets must be a power of 2");
+    // Geometry validation (power-of-two lines, kind-specific set
+    // constraints) happens in the IndexFunction constructor.
 }
 
 CacheLine *

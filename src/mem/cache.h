@@ -21,6 +21,7 @@
 #include "common/intmath.h"
 #include "common/types.h"
 #include "machine/config.h"
+#include "machine/index_function.h"
 #include "mem/mesi.h"
 
 namespace cdpc
@@ -64,7 +65,13 @@ struct CacheStats
 class Cache
 {
   public:
-    explicit Cache(const CacheConfig &config);
+    /**
+     * @param config geometry and index kind
+     * @param page_bytes page size for color-aware index kinds; the
+     *        virtually indexed L1s pass 0 (set indexing only)
+     */
+    explicit Cache(const CacheConfig &config,
+                   std::uint64_t page_bytes = 0);
 
     /**
      * Look up a line.
@@ -110,8 +117,11 @@ class Cache
     std::uint64_t
     setIndex(Addr index_addr) const
     {
-        return (index_addr >> lineShift) & setMask;
+        return idx.setOf(index_addr);
     }
+
+    /** The cache's address→set / page→color mapping. */
+    const IndexFunction &indexFunction() const { return idx; }
 
     /** @return physical line address for a physical byte address. */
     Addr lineAddrOf(Addr paddr) const { return paddr >> lineShift; }
@@ -123,8 +133,8 @@ class Cache
 
   private:
     CacheConfig config;
+    IndexFunction idx;
     unsigned lineShift;
-    std::uint64_t setMask;
     std::uint64_t useClock = 0;
     /** lines[set * assoc + way]. */
     std::vector<CacheLine> lines;

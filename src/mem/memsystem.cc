@@ -10,7 +10,7 @@ namespace cdpc
 {
 
 MemorySystem::MemorySystem(const MachineConfig &config, VirtualMemory &vm)
-    : cfg(config), vm(vm),
+    : cfg(config), idx(config.l2, config.pageBytes), vm(vm),
       bus(config.busDataCycles, config.busWritebackCycles,
           config.busUpgradeCycles)
 {
@@ -438,7 +438,7 @@ MemorySystem::colorFootprint(CpuId cpu) const
     // physical address from the line number and divide down.
     ports[cpu]->l2.forEachValid([&](const CacheLine &l) {
         PageNum page = (l.lineAddr << lineShift) / cfg.pageBytes;
-        mask[page % cfg.numColors()] = 1;
+        mask[idx.pageColorOf(page)] = 1;
     });
     return mask;
 }
@@ -458,7 +458,7 @@ MemorySystem::evictColors(CpuId cpu,
     std::vector<Addr> doomed;
     p.l2.forEachValid([&](const CacheLine &l) {
         PageNum page = (l.lineAddr << lineShift) / cfg.pageBytes;
-        if (mask[page % cfg.numColors()])
+        if (mask[idx.pageColorOf(page)])
             doomed.push_back(l.lineAddr);
     });
 
@@ -950,7 +950,7 @@ MemorySystem::colorOccupancy() const
     for (const auto &p : ports) {
         p->l2.forEachValid([&](const CacheLine &l) {
             PageNum page = (l.lineAddr << lineShift) / cfg.pageBytes;
-            counts[page % cfg.numColors()]++;
+            counts[idx.pageColorOf(page)]++;
         });
     }
     return counts;

@@ -446,7 +446,8 @@ class MemorySystem
     struct Port
     {
         Port(const MachineConfig &c)
-            : l1d(c.l1d), l1i(c.l1i), l2(c.l2), tlb(c.tlbEntries),
+            : l1d(c.l1d), l1i(c.l1i), l2(c.l2, c.pageBytes),
+              tlb(c.tlbEntries),
               shadow(c.l2.numLines()),
               l1Residence(c.l1d.numLines() + c.l1i.numLines()),
               prefetches(1024), tcache(kTransCacheEntries)
@@ -481,6 +482,8 @@ class MemorySystem
     };
 
     MachineConfig cfg;
+    /** The external cache's page→color mapping (kind-aware). */
+    IndexFunction idx;
     VirtualMemory &vm;
     Bus bus;
     ConflictObserver conflictObserver;

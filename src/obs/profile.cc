@@ -21,6 +21,12 @@ ConflictProfiler::ConflictProfiler(const Config &cfg) : cfg_(cfg)
 {
     fatalIf(cfg_.numCpus == 0 || cfg_.numColors == 0,
             "profiler needs at least one CPU and one color");
+    if (!cfg_.index.hasColorGeometry())
+        cfg_.index = IndexFunction::moduloColors(cfg_.numColors);
+    fatalIf(cfg_.index.numColors() != cfg_.numColors,
+            "profiler index function has ", cfg_.index.numColors(),
+            " colors but the profiler was configured for ",
+            cfg_.numColors);
     lineShift_ = floorLog2(cfg_.lineBytes);
 
     for (const ProfileEntity &e : cfg_.entities) {
@@ -109,8 +115,8 @@ ConflictProfiler::onConflictMiss(CpuId cpu, VAddr va, PAddr pa,
 {
     (void)now;
     std::uint32_t victim = entityOf(va);
-    auto color = static_cast<std::uint32_t>((pa / cfg_.pageBytes) %
-                                            cfg_.numColors);
+    auto color = static_cast<std::uint32_t>(
+        cfg_.index.pageColorOf(pa / cfg_.pageBytes));
     std::uint32_t evictor = externId_;
     Addr line = pa >> lineShift_;
     auto &evictors = lastEvictor_[cpu];

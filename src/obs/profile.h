@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "machine/index_function.h"
 #include "mem/profile_hook.h"
 
 namespace cdpc::obs
@@ -133,6 +134,15 @@ class ConflictProfiler final : public ConflictProfilerHook
          * destination color, so the advisor refuses the move.
          */
         std::uint64_t colorCapacityBytes = 0;
+        /**
+         * The machine's page→color mapping. The same-set⇒same-color
+         * inference behind the evictor-side page evidence only
+         * attributes to the right color cell if the profiler colors
+         * pages exactly as the cache does — `ppn % numColors` is
+         * wrong on sliced-hash / DRAM-cache machines. When left
+         * default-constructed, falls back to modulo over numColors.
+         */
+        IndexFunction index;
         /** Application arrays (or tenants, with bytes == 0). */
         std::vector<ProfileEntity> entities;
     };

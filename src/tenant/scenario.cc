@@ -228,6 +228,7 @@ buildRig(const TenantSpec &t, PhysMem &phys, const ColorLease &lease,
         pc.pageBytes = m.pageBytes;
         pc.lineBytes = m.l2.lineBytes;
         pc.colorCapacityBytes = m.l2.sizeBytes / m.numColors();
+        pc.index = m.indexFunction();
         for (const std::string &name : tenant_names)
             pc.entities.push_back({name, 0, 0});
         rig->profiler = std::make_unique<obs::ConflictProfiler>(pc);
@@ -431,7 +432,7 @@ runTenantAlone(const ScenarioSpec &spec, std::size_t idx)
     // Same machine-wide environment as the shared run — hog pages,
     // competitor pressure — minus the other tenants, so slowdown
     // isolates exactly the co-residency effect.
-    PhysMem phys(spec.sharedPhysPages(), spec.machine.numColors());
+    PhysMem phys(spec.sharedPhysPages(), spec.machine.indexFunction());
     std::uint64_t half =
         std::max<std::uint64_t>(spec.machine.numColors() / 2, 1);
     for (std::uint64_t i = 0; i < spec.preallocatedPages; i++)
@@ -471,7 +472,7 @@ runScenario(const ScenarioSpec &spec, const ScenarioOptions &opts)
             "preallocatedPages leaves no memory for the tenants");
 
     // --- Shared physical memory (one allocator, all tenants) ----------
-    PhysMem phys(phys_pages, spec.machine.numColors());
+    PhysMem phys(phys_pages, spec.machine.indexFunction());
     std::uint64_t half =
         std::max<std::uint64_t>(spec.machine.numColors() / 2, 1);
     for (std::uint64_t i = 0; i < spec.preallocatedPages; i++)

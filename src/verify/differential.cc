@@ -53,8 +53,8 @@ DifferentialVerifier::DifferentialVerifier(const MachineConfig &config,
                                            const MemorySystem &mem,
                                            const VirtualMemory &vm,
                                            std::uint64_t deep_every)
-    : mem(mem), vm(vm), ref(config, vm), deepEvery(deep_every),
-      untilDeep(deep_every)
+    : mem(mem), vm(vm), refIdx(config.l2, config.pageBytes),
+      ref(config, vm), deepEvery(deep_every), untilDeep(deep_every)
 {}
 
 void
@@ -109,10 +109,10 @@ DifferentialVerifier::onAccess(CpuId cpu, const MemAccess &acc,
     if (r.stall != out.stall)
         repro("stall cycles");
 
-    // Color relation: the physical page's cache color must match what
+    // Color relation: the physical page's cache color — derived with
+    // the reference index-function implementation — must match what
     // the VM layer reports for the virtual page.
-    std::uint64_t colors = vm.numColors();
-    if ((pa / vm.pageBytes()) % colors != vm.colorOf(acc.va))
+    if (refIdx.pageColorRef(pa / vm.pageBytes()) != vm.colorOf(acc.va))
         repro("page color");
 
     // MESI cross-check of the line just touched. Inclusion puts every

@@ -96,6 +96,8 @@ class DifferentialVerifier : public MemObserver
 
     const MemorySystem &mem;
     const VirtualMemory &vm;
+    /** Reference-side page→color mapping (division/bit-loop impl). */
+    IndexFunction refIdx;
     RefMemorySystem ref;
     std::uint64_t deepEvery;
     std::uint64_t untilDeep;

@@ -34,6 +34,10 @@ machineNamed(const std::string &name, std::uint32_t cpus)
         return MachineConfig::paperScaledBig(cpus);
     if (name == "alpha")
         return MachineConfig::alphaScaled(cpus);
+    if (name == "scaled-slicedhash")
+        return MachineConfig::paperScaledSlicedHash(cpus);
+    if (name == "dram-cache")
+        return MachineConfig::dramCacheMode(cpus);
     panic("unknown golden machine preset ", name);
 }
 

@@ -34,6 +34,7 @@
 
 #include "common/types.h"
 #include "machine/config.h"
+#include "machine/index_function.h"
 #include "mem/memsystem.h"
 #include "mem/mesi.h"
 #include "mem/miss_classify.h"
@@ -152,8 +153,11 @@ struct RefLine
 class RefCache
 {
   public:
-    explicit RefCache(const CacheConfig &config)
-        : cfg(config), sets(config.numSets())
+    /** @param page_bytes page size for color-aware index kinds; 0
+     *  for the virtually indexed L1s (set indexing only). */
+    explicit RefCache(const CacheConfig &config,
+                      std::uint64_t page_bytes = 0)
+        : cfg(config), idx(config, page_bytes), sets(config.numSets())
     {}
 
     /** Look up and touch LRU; @return the line or nullptr. */
@@ -195,14 +199,16 @@ class RefCache
     }
 
   private:
-    /** Division/modulo set selection — no shifts, no masks. */
+    /** Division/modulo set selection via the reference index-function
+     *  implementation — no shifts, no masks. */
     std::uint64_t
     setOf(Addr index_addr) const
     {
-        return (index_addr / cfg.lineBytes) % cfg.numSets();
+        return idx.setOfRef(index_addr);
     }
 
     CacheConfig cfg;
+    IndexFunction idx;
     std::vector<std::list<RefLine>> sets;
 };
 
@@ -286,8 +292,8 @@ class RefMemorySystem
     struct RefPort
     {
         RefPort(const MachineConfig &c)
-            : l1d(c.l1d), l1i(c.l1i), l2(c.l2), tlb(c.tlbEntries),
-              shadow(c.l2.numLines())
+            : l1d(c.l1d), l1i(c.l1i), l2(c.l2, c.pageBytes),
+              tlb(c.tlbEntries), shadow(c.l2.numLines())
         {}
 
         RefCache l1d;

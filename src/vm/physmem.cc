@@ -6,20 +6,19 @@
 namespace cdpc
 {
 
-PhysMem::PhysMem(std::uint64_t num_pages, std::uint64_t num_colors)
-    : numPages(num_pages), colors(num_colors), freeCount(num_pages),
-      freeLists(num_colors), reclaimable(num_colors),
+PhysMem::PhysMem(std::uint64_t num_pages, const IndexFunction &index)
+    : numPages(num_pages), idx(index), colors(index.numColors()),
+      freeCount(num_pages), freeLists(colors), reclaimable(colors),
       isFree(num_pages, 1)
 {
-    fatalIf(num_colors == 0, "PhysMem needs at least one color");
-    fatalIf(num_pages < num_colors,
+    fatalIf(num_pages < colors,
             "PhysMem needs at least one page per color");
     for (auto &list : freeLists)
-        list.reserve(num_pages / num_colors + 1);
+        list.reserve(num_pages / colors + 1);
     // Populate free lists high-to-low so that allocation order within a
     // color is ascending physical page number (pop from the back).
     for (std::uint64_t p = num_pages; p-- > 0;)
-        freeLists[p % colors].push_back(p);
+        freeLists[colorOf(p)].push_back(p);
 }
 
 PageNum
@@ -100,7 +99,7 @@ PhysMem::free(PageNum ppn)
     panicIfNot(ppn < numPages, "freeing out-of-range page ", ppn);
     panicIfNot(!isFree[ppn], "double free of physical page ", ppn);
     isFree[ppn] = 1;
-    freeLists[ppn % colors].push_back(ppn);
+    freeLists[colorOf(ppn)].push_back(ppn);
     freeCount++;
 }
 
@@ -110,7 +109,7 @@ PhysMem::markReclaimable(PageNum ppn)
     panicIfNot(ppn < numPages, "reclaimable out-of-range page ", ppn);
     panicIfNot(!isFree[ppn], "reclaimable page ", ppn,
                " is on a free list");
-    reclaimable[ppn % colors].push_back(ppn);
+    reclaimable[colorOf(ppn)].push_back(ppn);
     reclaimableCount++;
 }
 
@@ -134,13 +133,6 @@ PhysMem::reclaim(Color preferred)
     }
     panic("reclaimable count ", reclaimableCount,
           " but all color lists empty");
-}
-
-Color
-PhysMem::colorOf(PageNum ppn) const
-{
-    panicIfNot(ppn < numPages, "colorOf out-of-range page ", ppn);
-    return static_cast<Color>(ppn % colors);
 }
 
 std::uint64_t

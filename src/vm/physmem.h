@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "machine/index_function.h"
 
 namespace cdpc
 {
@@ -48,17 +49,30 @@ struct PhysMemStats
 /**
  * Free-list based physical page allocator.
  *
- * Physical page number p has color p % numColors, matching real
- * memory where consecutive physical pages cycle through the cache.
+ * A page's color comes from the machine's IndexFunction: `ppn %
+ * numColors` on the paper's modulo machines (consecutive physical
+ * pages cycle through the cache), a slice hash or channel interleave
+ * on the hostile ones. colorOf() is the single accessor — no other
+ * method may derive a color from a page number directly, or the
+ * hashed mappings silently drift from the free-list seeding.
  */
 class PhysMem
 {
   public:
     /**
      * @param num_pages total physical pages managed
+     * @param index the external cache's page→color mapping
+     */
+    PhysMem(std::uint64_t num_pages, const IndexFunction &index);
+
+    /**
+     * Legacy modulo convenience: page p has color p % num_colors.
+     * @param num_pages total physical pages managed
      * @param num_colors page colors in the external cache
      */
-    PhysMem(std::uint64_t num_pages, std::uint64_t num_colors);
+    PhysMem(std::uint64_t num_pages, std::uint64_t num_colors)
+        : PhysMem(num_pages, IndexFunction::moduloColors(num_colors))
+    {}
 
     /**
      * Allocate one physical page.
@@ -104,8 +118,17 @@ class PhysMem
      */
     std::optional<PageNum> reclaim(Color preferred);
 
-    /** @return the color of physical page @p ppn. */
-    Color colorOf(PageNum ppn) const;
+    /**
+     * @return the color of physical page @p ppn.
+     * The single page→color accessor; every internal path (free-list
+     * seeding, free, reclaim bookkeeping) routes through it.
+     */
+    Color
+    colorOf(PageNum ppn) const
+    {
+        panicIfNot(ppn < numPages, "colorOf out-of-range page ", ppn);
+        return idx.pageColorOf(ppn);
+    }
 
     std::uint64_t freePages() const { return freeCount; }
     std::uint64_t totalPages() const { return numPages; }
@@ -119,6 +142,8 @@ class PhysMem
     PageNum takeFrom(Color c);
 
     std::uint64_t numPages;
+    /** Page→color mapping (kind-aware). */
+    IndexFunction idx;
     std::uint64_t colors;
     std::uint64_t freeCount;
     /** freeLists[c] holds the free physical pages of color c. */

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/intmath.h"
 #include "harness/experiment.h"
 #include "harness/spec.h"
 
@@ -89,7 +90,9 @@ TEST(Experiment, MemoryPressureDegradesHintHonoring)
     Program prog = buildWorkload("102.swim");
     std::uint64_t data_pages =
         prog.dataSetBytes() / cfg.machine.pageBytes + 64;
-    cfg.machine.physPages = data_pages + cfg.machine.physPages / 2;
+    cfg.machine.physPages = roundUp(
+        data_pages + cfg.machine.physPages / 2,
+        cfg.machine.numColors());
     cfg.preallocatedPages = cfg.machine.physPages - data_pages;
     ExperimentResult r = runProgram(std::move(prog), cfg);
     EXPECT_LT(r.hintsHonored, 0.95);
@@ -107,7 +110,8 @@ TEST(Experiment, BalancedHintsFullyHonoredWithoutPressure)
     cfg.mapping = MappingPolicy::Cdpc;
     Program prog = buildWorkload("102.swim");
     cfg.machine.physPages =
-        prog.dataSetBytes() / cfg.machine.pageBytes +
+        roundUp(prog.dataSetBytes() / cfg.machine.pageBytes,
+                cfg.machine.numColors()) +
         cfg.machine.numColors();
     ExperimentResult r = runProgram(std::move(prog), cfg);
     EXPECT_DOUBLE_EQ(r.hintsHonored, 1.0);

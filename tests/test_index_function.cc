@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Unit tests for the pluggable IndexFunction (DESIGN.md §16): the
+ * optimized/reference agreement of every mapping family, the
+ * same-set⇒same-color contract, golden identity of the default
+ * modulo map with the historical inline math, the PhysMem color
+ * drift regression, and the fig6-style lockstep verification of the
+ * sliced-hash machine.
+ */
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.h"
+#include "common/logging.h"
+#include "harness/experiment.h"
+#include "machine/config.h"
+#include "machine/index_function.h"
+#include "mem/cache.h"
+#include "vm/physmem.h"
+#include "workloads/workload.h"
+
+using namespace cdpc;
+
+namespace
+{
+
+/** The three external-cache geometries under test. */
+CacheConfig
+moduloL2()
+{
+    return MachineConfig::paperScaled(2).l2;
+}
+
+CacheConfig
+slicedL2()
+{
+    return MachineConfig::paperScaledSlicedHash(2).l2;
+}
+
+CacheConfig
+dramL2()
+{
+    return MachineConfig::dramCacheMode(2).l2;
+}
+
+} // namespace
+
+// ---- optimized vs reference agreement --------------------------------------
+
+TEST(IndexFunction, ModuloSetOfMatchesReference)
+{
+    IndexFunction f(moduloL2(), 512);
+    for (Addr a = 0; a < 1 << 20; a += 37)
+        ASSERT_EQ(f.setOf(a), f.setOfRef(a)) << "addr " << a;
+}
+
+TEST(IndexFunction, SlicedHashSetOfMatchesReference)
+{
+    IndexFunction f(slicedL2(), 512);
+    // Dense low range plus sparse high addresses so the tiled hash
+    // window above bit 30 is exercised too.
+    for (Addr a = 0; a < 1 << 20; a += 37)
+        ASSERT_EQ(f.setOf(a), f.setOfRef(a)) << "addr " << a;
+    for (Addr a = 0; a < 64; a++) {
+        Addr high = (a * 0x9e3779b97f4a7c15ULL) & ((Addr{1} << 40) - 1);
+        ASSERT_EQ(f.setOf(high), f.setOfRef(high)) << "addr " << high;
+    }
+}
+
+TEST(IndexFunction, DramCacheSetOfMatchesReference)
+{
+    IndexFunction f(dramL2(), 4096);
+    for (Addr a = 0; a < 1 << 22; a += 131)
+        ASSERT_EQ(f.setOf(a), f.setOfRef(a)) << "addr " << a;
+}
+
+TEST(IndexFunction, PageColorRefAgreesWithOptimizedEverywhere)
+{
+    const struct
+    {
+        CacheConfig cache;
+        std::uint64_t pageBytes;
+        std::uint64_t pages;
+    } cases[] = {
+        {moduloL2(), 512, 4096},
+        {slicedL2(), 512, 4096},
+        {dramL2(), 4096, 4096},
+        // assoc > 1 modulo: color = set-group of the page.
+        {MachineConfig::paperScaledTwoWay(2).l2, 512, 4096},
+    };
+    for (const auto &c : cases) {
+        IndexFunction f(c.cache, c.pageBytes);
+        for (PageNum p = 0; p < c.pages; p++)
+            ASSERT_EQ(f.pageColorOf(p), f.pageColorRef(p)) << "ppn " << p;
+    }
+}
+
+// ---- golden identity of the default map ------------------------------------
+
+TEST(IndexFunction, ModuloIsBitIdenticalToHistoricalInlineMath)
+{
+    MachineConfig m = MachineConfig::paperScaled(4);
+    IndexFunction f = m.indexFunction();
+    const std::uint64_t colors = m.numColors();
+    const unsigned line_shift = 6; // 64B lines
+    const std::uint64_t set_mask = m.l2.numSets() - 1;
+    for (PageNum p = 0; p < 3 * colors + 7; p++)
+        ASSERT_EQ(f.pageColorOf(p), p % colors);
+    for (Addr a = 0; a < 1 << 18; a += 61)
+        ASSERT_EQ(f.setOf(a), (a >> line_shift) & set_mask);
+}
+
+// ---- distribution and counts -----------------------------------------------
+
+TEST(IndexFunction, EveryKindCoversTheWholeColorSpace)
+{
+    const struct
+    {
+        CacheConfig cache;
+        std::uint64_t pageBytes;
+    } cases[] = {
+        {moduloL2(), 512}, {slicedL2(), 512}, {dramL2(), 4096}};
+    for (const auto &c : cases) {
+        IndexFunction f(c.cache, c.pageBytes);
+        std::vector<std::uint64_t> hits(f.numColors(), 0);
+        // Enough pages that a sound mapping touches every color.
+        for (PageNum p = 0; p < 64 * f.numColors(); p++) {
+            Color col = f.pageColorOf(p);
+            ASSERT_LT(col, f.numColors());
+            hits[col]++;
+        }
+        for (std::uint64_t c2 = 0; c2 < f.numColors(); c2++)
+            EXPECT_GT(hits[c2], 0u) << "color " << c2 << " never hit ("
+                                    << indexKindName(f.kind()) << ")";
+    }
+}
+
+TEST(IndexFunction, ColorCountIsKindIndependent)
+{
+    // The paper's formula size/(page*assoc) holds for every kind;
+    // only the mapping differs.
+    EXPECT_EQ(MachineConfig::paperScaled(2).numColors(), 256u);
+    EXPECT_EQ(MachineConfig::paperScaledSlicedHash(2).numColors(), 384u);
+    EXPECT_EQ(MachineConfig::dramCacheMode(2).numColors(), 512u);
+    EXPECT_EQ(IndexFunction(slicedL2(), 512).numColors(), 384u);
+    EXPECT_EQ(IndexFunction(dramL2(), 4096).numColors(), 512u);
+}
+
+// ---- the same-set ⇒ same-color contract ------------------------------------
+
+TEST(IndexFunction, SameColorIffSameSetFootprint)
+{
+    const struct
+    {
+        CacheConfig cache;
+        std::uint64_t pageBytes;
+    } cases[] = {
+        {moduloL2(), 512}, {slicedL2(), 512}, {dramL2(), 4096}};
+    for (const auto &c : cases) {
+        IndexFunction f(c.cache, c.pageBytes);
+        // Sampled page pairs: footprints must coincide exactly when
+        // the colors do.
+        for (PageNum a = 0; a < 128; a++) {
+            for (PageNum b = a; b < a + 2 * f.numColors();
+                 b += 97) {
+                bool same_color = f.pageColorOf(a) == f.pageColorOf(b);
+                ASSERT_EQ(f.sameFootprint(a, b), same_color)
+                    << indexKindName(f.kind()) << " pages " << a
+                    << "," << b;
+            }
+        }
+    }
+}
+
+TEST(IndexFunction, ColorStableUnderRemapToSameColorPage)
+{
+    // Recoloring moves a vpn to a new physical page of the target
+    // color; the contract that makes this meaningful is that any two
+    // pages of that color are interchangeable set-wise.
+    IndexFunction f(slicedL2(), 512);
+    std::vector<std::vector<PageNum>> byColor(f.numColors());
+    for (PageNum p = 0; p < 8 * f.numColors(); p++)
+        byColor[f.pageColorOf(p)].push_back(p);
+    for (Color c = 0; c < 16; c++) {
+        ASSERT_GE(byColor[c].size(), 2u);
+        EXPECT_TRUE(f.sameFootprint(byColor[c][0], byColor[c][1]));
+    }
+}
+
+// ---- Cache / IndexFunction wiring ------------------------------------------
+
+TEST(IndexFunction, CacheSetIndexRoutesThroughIndexFunction)
+{
+    Cache modulo(moduloL2(), 512);
+    Cache sliced(slicedL2(), 512);
+    IndexFunction fm(moduloL2(), 512);
+    IndexFunction fs(slicedL2(), 512);
+    for (Addr a = 0; a < 1 << 18; a += 43) {
+        ASSERT_EQ(modulo.setIndex(a), fm.setOf(a));
+        ASSERT_EQ(sliced.setIndex(a), fs.setOf(a));
+    }
+    // The sliced cache really is hashed: some address must land in a
+    // different set than the modulo bit-select would pick.
+    bool differs = false;
+    for (Addr a = 0; a < 1 << 20 && !differs; a += 64)
+        differs = fs.setOf(a) != (a / 64) % slicedL2().numSets();
+    EXPECT_TRUE(differs);
+}
+
+// ---- PhysMem drift regression (the 7-site bugfix) --------------------------
+
+TEST(PhysMemIndex, HashedColorMapCannotDriftFromModulo)
+{
+    // The poison probe: under the DRAM-cache mapping, ppn % colors —
+    // what the 7 formerly inlined sites computed — disagrees with
+    // colorOf() for most pages. This proves the assertions below
+    // have discriminating power: any site still doing inline modulo
+    // would fail them.
+    MachineConfig m = MachineConfig::dramCacheMode(2);
+    IndexFunction f = m.indexFunction();
+    std::uint64_t poisoned = 0;
+    for (PageNum p = 0; p < 1024; p++) {
+        if (f.pageColorOf(p) != p % f.numColors())
+            poisoned++;
+    }
+    ASSERT_GT(poisoned, 512u)
+        << "mapping too close to modulo to detect drift";
+
+    PhysMem phys(m.physPages, f);
+    // Seeding: every exact-color allocation must return a page whose
+    // colorOf() matches, across the whole color space.
+    std::vector<PageNum> got;
+    for (std::uint64_t c = 0; c < f.numColors(); c++) {
+        auto p = phys.tryAllocExact(static_cast<Color>(c));
+        ASSERT_TRUE(p.has_value()) << "color " << c;
+        ASSERT_EQ(phys.colorOf(*p), c);
+        got.push_back(*p);
+    }
+    // free(): pages must return to the list matching their color.
+    for (PageNum p : got)
+        phys.free(p);
+    for (std::uint64_t c = 0; c < f.numColors(); c++) {
+        auto p = phys.tryAllocExact(static_cast<Color>(c));
+        ASSERT_TRUE(p.has_value());
+        ASSERT_EQ(phys.colorOf(*p), c);
+    }
+    // markReclaimable()/reclaim(): the reclaim bookkeeping must use
+    // the same mapping, or a preferred-color reclaim returns a page
+    // of the wrong color.
+    Color want = phys.colorOf(got[7]);
+    phys.markReclaimable(got[7]);
+    auto back = phys.reclaim(want);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, got[7]);
+    EXPECT_EQ(phys.colorOf(*back), want);
+}
+
+TEST(PhysMemIndex, EqualFreeListDepthsOnEveryMachinePreset)
+{
+    // validate() guarantees physPages % numColors == 0; with the
+    // modulo map that makes every per-color free list exactly
+    // physPages / numColors deep.
+    MachineConfig m = MachineConfig::paperScaled(2);
+    PhysMem phys(m.physPages, m.indexFunction());
+    for (std::uint64_t c = 0; c < m.numColors(); c++) {
+        EXPECT_EQ(phys.freePagesOfColor(static_cast<Color>(c)),
+                  m.physPages / m.numColors());
+    }
+}
+
+// ---- machine presets and validate() ----------------------------------------
+
+TEST(IndexMachines, NewPresetsValidate)
+{
+    EXPECT_NO_THROW(MachineConfig::paperScaledSlicedHash(8).validate());
+    EXPECT_NO_THROW(MachineConfig::dramCacheMode(8).validate());
+}
+
+TEST(IndexMachines, PhysPagesMustBeAMultipleOfColors)
+{
+    MachineConfig m = MachineConfig::paperScaled(2);
+    m.physPages += 1;
+    try {
+        m.validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("multiple"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(IndexMachines, ValidateNamesTheFailingCache)
+{
+    MachineConfig m = MachineConfig::paperScaled(2);
+    m.l1d.lineBytes = 48; // not a power of two
+    try {
+        m.validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("l1d"), std::string::npos)
+            << e.what();
+    }
+    MachineConfig m2 = MachineConfig::paperScaled(2);
+    m2.l2.sizeBytes = 96 * 1024; // 1536 sets, not a power of two
+    try {
+        m2.validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("l2"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(IndexMachines, NonPow2SetsLegalOnlyForHashedCaches)
+{
+    // The exact geometry validate() rejects above becomes legal once
+    // the cache declares hash indexing with pow2 sets per slice.
+    MachineConfig m = MachineConfig::paperScaledSlicedHash(2);
+    EXPECT_EQ(m.l2.numSets(), 3072u);
+    EXPECT_FALSE(isPowerOf2(m.l2.numSets()));
+    EXPECT_NO_THROW(m.validate());
+}
+
+// ---- fig6-style lockstep verification on the hostile machines --------------
+
+TEST(IndexVerify, SlicedHashGridLockstepHasZeroDivergences)
+{
+    // A small fig6-shaped grid (policies x cpus) on the sliced-hash
+    // machine, with per-reference lockstep checks and periodic deep
+    // compares. Any divergence throws DivergenceError.
+    for (MappingPolicy pol :
+         {MappingPolicy::PageColoring, MappingPolicy::Cdpc}) {
+        for (std::uint32_t cpus : {2u, 4u}) {
+            ExperimentConfig cfg;
+            cfg.machine = MachineConfig::paperScaledSlicedHash(cpus);
+            cfg.mapping = pol;
+            cfg.verifyEvery = 2048;
+            ExperimentResult r =
+                runProgram(buildWorkload("102.swim"), cfg);
+            EXPECT_GT(r.verifiedRefs, 0u);
+            EXPECT_GT(r.verifiedDeepCompares, 0u);
+        }
+    }
+}
+
+TEST(IndexVerify, DramCacheLockstepHasZeroDivergences)
+{
+    ExperimentConfig cfg;
+    cfg.machine = MachineConfig::dramCacheMode(4);
+    cfg.mapping = MappingPolicy::Cdpc;
+    cfg.verifyEvery = 2048;
+    ExperimentResult r = runProgram(buildWorkload("101.tomcatv"), cfg);
+    EXPECT_GT(r.verifiedRefs, 0u);
+    EXPECT_GT(r.verifiedDeepCompares, 0u);
+}

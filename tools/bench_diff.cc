@@ -21,16 +21,20 @@
  *  - keys starting with "prof." are conflict-profiler metrics from
  *    the profile-smoke job; the ".conflicts" suffix is lower-is-
  *    better, the rest are context.
+ *  - keys starting with "hash." are hostile-index-function metrics
+ *    from BENCH_ext_hashed_llc.json; the ".mcpi" suffix is lower-is-
+ *    better, the rest are context.
  *  - every other numeric key is reported for context only.
  *
  * Keys present in only one file are listed but by default never fail
  * the run (benchmark filters and battery changes would otherwise
  * break CI spuriously); --strict-keys turns any one-sided key into a
  * failure, for pipelines that pin the battery and want to catch a
- * silently dropped benchmark. "mt." and "prof." keys are exempt from
- * --strict-keys: baselines captured before the multi-tenant bench or
- * the conflict profiler existed stay usable under strict pipelines. Exit status: 0 clean,
- * 1 regression or strict-key mismatch, 2 usage/parse error.
+ * silently dropped benchmark. "mt.", "prof." and "hash." keys are
+ * exempt from --strict-keys: baselines captured before the
+ * multi-tenant bench, the conflict profiler or the index-function
+ * battery existed stay usable under strict pipelines. Exit status:
+ * 0 clean, 1 regression or strict-key mismatch, 2 usage/parse error.
  *
  * The parser is deliberately hand-rolled: the repo has no JSON
  * dependency and this format is a single flat object produced by a
@@ -158,6 +162,22 @@ isProfileRegression(const std::string &key)
     return isProfileKey(key) && endsWith(key, ".conflicts");
 }
 
+/** Hostile-index-function metric (BENCH_ext_hashed_llc.json)? */
+bool
+isHashedLlcKey(const std::string &key)
+{
+    return key.compare(0, 5, "hash.") == 0;
+}
+
+/** Lower-is-better hashed-LLC metric? (".conflictpct" and
+ *  ".speedup_vs_pc" are context — they legitimately move when a
+ *  policy improves on a different axis.) */
+bool
+isHashedLlcRegression(const std::string &key)
+{
+    return isHashedLlcKey(key) && endsWith(key, ".mcpi");
+}
+
 } // namespace
 
 int
@@ -209,17 +229,20 @@ main(int argc, char **argv)
         auto it = cur.find(key);
         if (it == cur.end()) {
             std::cout << "  [skip] " << key << ": only in baseline\n";
-            // mt.* cells come and go with the sweep grid, and prof.*
-            // keys with the smoke figure; neither counts against
+            // mt.* cells come and go with the sweep grid, prof.*
+            // keys with the smoke figure, and hash.* keys with the
+            // index-function battery; none counts against
             // --strict-keys.
-            if (!isMultiTenantKey(key) && !isProfileKey(key))
+            if (!isMultiTenantKey(key) && !isProfileKey(key) &&
+                !isHashedLlcKey(key))
                 one_sided++;
             continue;
         }
         double cur_v = it->second;
         bool lower_better = endsWith(key, "_ns") ||
                             isMultiTenantRegression(key) ||
-                            isProfileRegression(key);
+                            isProfileRegression(key) ||
+                            isHashedLlcRegression(key);
         bool higher_better = key == "refsPerSecond" ||
                              key == "simdParallelEfficiency";
         if (!lower_better && !higher_better)
@@ -243,7 +266,8 @@ main(int argc, char **argv)
                       << " (no baseline)\n";
             one_sided++;
         } else if (isMultiTenantRegression(key) ||
-                   isProfileRegression(key)) {
+                   isProfileRegression(key) ||
+                   isHashedLlcRegression(key)) {
             // New isolation/profiler metrics vs an older baseline:
             // visible but exempt from --strict-keys.
             std::cout << "  [new ] " << key << " = " << v

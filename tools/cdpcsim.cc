@@ -58,7 +58,8 @@
  * Options:
  *   --cpus N        processors (default 8)
  *   --policy P      pc | bh | cdpc | cdpc-touch (default cdpc)
- *   --machine M     scaled | scaled-2way | scaled-4mb | alpha | full
+ *   --machine M     scaled | scaled-2way | scaled-4mb | alpha | full |
+ *                   scaled-slicedhash | dram-cache
  *   --cache KB      override external cache size (KB)
  *   --assoc N       override external cache associativity
  *   --prefetch      enable compiler-inserted prefetching
@@ -239,7 +240,8 @@ usage(const char *msg = nullptr)
         "                       (--profile attributes cross-tenant "
         "conflicts)\n"
         "options: --cpus N --policy pc|bh|cdpc|cdpc-touch\n"
-        "         --machine scaled|scaled-2way|scaled-4mb|alpha|full\n"
+        "         --machine scaled|scaled-2way|scaled-4mb|alpha|full|\n"
+        "                   scaled-slicedhash|dram-cache\n"
         "         --cache KB --assoc N --prefetch --dynamic\n"
         "         --unaligned --no-cyclic --no-greedy\n"
         "         --jobs N --seed N --out FILE\n"
@@ -392,6 +394,10 @@ makeMachine(const CliOptions &o, std::uint32_t cpus)
         m = MachineConfig::alphaScaled(cpus);
     else if (o.machine == "full")
         m = MachineConfig::paperFull(cpus);
+    else if (o.machine == "scaled-slicedhash")
+        m = MachineConfig::paperScaledSlicedHash(cpus);
+    else if (o.machine == "dram-cache")
+        m = MachineConfig::dramCacheMode(cpus);
     else
         usage("unknown machine preset");
     if (o.cacheKb)
@@ -1399,7 +1405,7 @@ cmdRecord(const CliOptions &o)
     copts.aligner.l1SpanBytes = m.l1d.sizeBytes / m.l1d.assoc;
     compileProgram(prog, copts);
 
-    PhysMem phys(m.physPages, m.numColors());
+    PhysMem phys(m.physPages, m.indexFunction());
     PageColoringPolicy policy(m.numColors());
     VirtualMemory vm(m, phys, policy);
     MemorySystem mem(m, vm);
@@ -1423,7 +1429,7 @@ cmdReplay(const CliOptions &o)
     TraceReader reader(o.workload);
     std::uint32_t cpus = std::max(o.cpus, reader.numCpus());
     MachineConfig m = makeMachine(o, cpus);
-    PhysMem phys(m.physPages, m.numColors());
+    PhysMem phys(m.physPages, m.indexFunction());
     PageColoringPolicy policy(m.numColors());
     VirtualMemory vm(m, phys, policy);
     MemorySystem mem(m, vm);
